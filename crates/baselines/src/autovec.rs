@@ -1,0 +1,80 @@
+//! The "autovec" baseline: the small GEMM spelled out as three nested
+//! scalar loops, leaving vectorization entirely to the compiler — the
+//! slowest series in Figures 4/6 (up to 16× behind the JIT kernels in
+//! the paper).
+//!
+//! The loops are written the natural way a framework developer would
+//! write them (pixel → channel → lane); the strided `A` access and the
+//! accumulation into memory (no register tiling, no load/store
+//! hoisting) are what keeps the compiler from reaching more than a
+//! fraction of peak even when it does vectorize the innermost loop.
+
+use crate::xsmm_loops::run_gemm_loops;
+use crate::ConvBaseline;
+use parallel::ThreadPool;
+use tensor::{BlockedActs, BlockedFilter, ConvShape, VLEN};
+
+/// Blocked loops + compiler-vectorized inner triple loop.
+pub struct AutovecConv {
+    shape: ConvShape,
+}
+
+impl AutovecConv {
+    /// New baseline for a shape.
+    pub fn new(shape: ConvShape) -> Self {
+        Self { shape }
+    }
+}
+
+impl ConvBaseline for AutovecConv {
+    fn name(&self) -> &'static str {
+        "autovec"
+    }
+
+    fn forward(
+        &self,
+        pool: &ThreadPool,
+        input: &BlockedActs,
+        weights: &BlockedFilter,
+        output: &mut BlockedActs,
+    ) {
+        let q = self.shape.q();
+        let lda = self.shape.stride * VLEN;
+        run_gemm_loops(&self.shape, pool, input, weights, output, |a, b, c| {
+            // SAFETY: extents per the loop nest's contract.
+            unsafe {
+                for pix in 0..q {
+                    let arow = a.add(pix * lda);
+                    let crow = c.add(pix * VLEN);
+                    for ch in 0..VLEN {
+                        let x = *arow.add(ch);
+                        let brow = b.add(ch * VLEN);
+                        for lane in 0..VLEN {
+                            *crow.add(lane) += x * *brow.add(lane);
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_problem;
+    use conv::reference::conv_fwd_ref;
+    use tensor::{Nchw, Norms};
+
+    #[test]
+    fn matches_reference() {
+        let shape = ConvShape::new(2, 16, 32, 8, 8, 3, 3, 1, 1);
+        let pool = ThreadPool::new(2);
+        let (x, w, xb, wb, mut yb) = random_problem(&shape);
+        AutovecConv::new(shape).forward(&pool, &xb, &wb, &mut yb);
+        let mut y_ref = Nchw::zeros(shape.n, shape.k, shape.p(), shape.q());
+        conv_fwd_ref(&shape, &x, &w, &mut y_ref);
+        let n = Norms::compare(BlockedActs::from_nchw(&y_ref, 0).as_slice(), yb.as_slice());
+        assert!(n.ok(1e-4), "{n}");
+    }
+}

@@ -1,0 +1,96 @@
+//! The "blas" baseline: the same blocked direct-convolution loops as
+//! the libxsmm variant, but every small multiply goes through the
+//! *generic blocked GEMM* — the stand-in for calling MKL SGEMM on tiny
+//! operands. The fixed blocking/dispatch overhead per call is the
+//! effect [LIBXSMM, SC'16] quantified and this baseline reproduces.
+
+use crate::xsmm_loops::run_gemm_loops;
+use crate::ConvBaseline;
+use parallel::ThreadPool;
+use smallgemm::big_gemm;
+use tensor::{BlockedActs, BlockedFilter, ConvShape, VLEN};
+
+/// Blocked loops + generic GEMM calls.
+pub struct BlasConv {
+    shape: ConvShape,
+}
+
+impl BlasConv {
+    /// New baseline for a shape.
+    pub fn new(shape: ConvShape) -> Self {
+        Self { shape }
+    }
+}
+
+impl ConvBaseline for BlasConv {
+    fn name(&self) -> &'static str {
+        "blas"
+    }
+
+    fn forward(
+        &self,
+        pool: &ThreadPool,
+        input: &BlockedActs,
+        weights: &BlockedFilter,
+        output: &mut BlockedActs,
+    ) {
+        let q = self.shape.q();
+        let lda = self.shape.stride * VLEN;
+        run_gemm_loops(&self.shape, pool, input, weights, output, |a, b, c| {
+            // a generic GEMM has no strided-A fast path: pack first,
+            // exactly like a BLAS call would internally
+            let mut a_pack = [0.0f32; 28 * VLEN];
+            let apack = &mut a_pack[..q.min(28) * VLEN];
+            // SAFETY: `a` spans q pixels at stride `lda` per the loop
+            // nest's contract.
+            unsafe {
+                if q <= 28 {
+                    for i in 0..q {
+                        std::ptr::copy_nonoverlapping(
+                            a.add(i * lda),
+                            apack.as_mut_ptr().add(i * VLEN),
+                            VLEN,
+                        );
+                    }
+                    let cs = std::slice::from_raw_parts_mut(c, q * VLEN);
+                    let bs = std::slice::from_raw_parts(b, VLEN * VLEN);
+                    big_gemm(q, VLEN, VLEN, apack, VLEN, bs, VLEN, 1.0, cs, VLEN);
+                } else {
+                    // wide rows: heap-pack (rare in the benchmarks)
+                    let mut heap = vec![0.0f32; q * VLEN];
+                    for i in 0..q {
+                        std::ptr::copy_nonoverlapping(
+                            a.add(i * lda),
+                            heap.as_mut_ptr().add(i * VLEN),
+                            VLEN,
+                        );
+                    }
+                    let cs = std::slice::from_raw_parts_mut(c, q * VLEN);
+                    let bs = std::slice::from_raw_parts(b, VLEN * VLEN);
+                    big_gemm(q, VLEN, VLEN, &heap, VLEN, bs, VLEN, 1.0, cs, VLEN);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_problem;
+    use conv::reference::conv_fwd_ref;
+    use tensor::{Nchw, Norms};
+
+    #[test]
+    fn wide_row_layer_matches_reference() {
+        // Q = 32 exercises the heap-packing path
+        let shape = ConvShape::new(1, 16, 16, 32, 32, 3, 3, 1, 1);
+        let pool = ThreadPool::new(4);
+        let (x, w, xb, wb, mut yb) = random_problem(&shape);
+        BlasConv::new(shape).forward(&pool, &xb, &wb, &mut yb);
+        let mut y_ref = Nchw::zeros(shape.n, shape.k, shape.p(), shape.q());
+        conv_fwd_ref(&shape, &x, &w, &mut y_ref);
+        let n = Norms::compare(BlockedActs::from_nchw(&y_ref, 0).as_slice(), yb.as_slice());
+        assert!(n.ok(1e-4), "{n}");
+    }
+}

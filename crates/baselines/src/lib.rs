@@ -1,0 +1,99 @@
+//! Baseline convolution implementations from the paper's evaluation
+//! (Section III): every series in Figures 4 and 6 besides "this work".
+//!
+//! | name        | paper description                                       |
+//! |-------------|---------------------------------------------------------|
+//! | `im2col`    | flatten input, one large GEMM (the Caffe approach)      |
+//! | `libxsmm`   | blocked direct-conv loops + dispatched small GEMM       |
+//! | `blas`      | same loops, but a generic blocked GEMM per small call   |
+//! | `autovec`   | same loops with the small GEMM spelled out as three     |
+//! |             | nested loops, relying on compiler autovectorization     |
+//! | `mkldnn`    | direct convolution with the same microkernels as the    |
+//! |             | optimized engine, but *without* kernel streams, fusion  |
+//! |             | or two-level prefetch (index math + branches at runtime)|
+//!
+//! All baselines compute identical results (tested against the naive
+//! reference) — they differ only in how the work reaches the FPUs.
+
+pub mod autovec;
+pub mod blas_loops;
+pub mod im2col;
+pub mod mkldnn_like;
+pub mod xsmm_loops;
+
+pub use autovec::AutovecConv;
+pub use blas_loops::BlasConv;
+pub use im2col::Im2colConv;
+pub use mkldnn_like::MkldnnConv;
+pub use xsmm_loops::XsmmConv;
+
+use parallel::ThreadPool;
+use tensor::{BlockedActs, BlockedFilter, ConvShape, Kcrs, Nchw};
+
+/// Common interface so the benchmark harness can sweep implementations.
+pub trait ConvBaseline {
+    /// Implementation name as it appears in the figures.
+    fn name(&self) -> &'static str;
+    /// Run one forward pass (each baseline uses its natural layout
+    /// internally; inputs/outputs are the shared blocked tensors).
+    fn forward(
+        &self,
+        pool: &ThreadPool,
+        input: &BlockedActs,
+        weights: &BlockedFilter,
+        output: &mut BlockedActs,
+    );
+}
+
+/// Build every baseline for a shape (used by benches and tests).
+pub fn all_baselines(shape: ConvShape, threads: usize) -> Vec<Box<dyn ConvBaseline + Sync>> {
+    vec![
+        Box::new(Im2colConv::new(shape)),
+        Box::new(XsmmConv::new(shape)),
+        Box::new(BlasConv::new(shape)),
+        Box::new(AutovecConv::new(shape)),
+        Box::new(MkldnnConv::new(shape, threads)),
+    ]
+}
+
+/// Shared test helper: random problem in both layouts.
+pub fn random_problem(
+    shape: &ConvShape,
+) -> (Nchw, Kcrs, BlockedActs, BlockedFilter, BlockedActs) {
+    let x = Nchw::random(shape.n, shape.c, shape.h, shape.w, 11);
+    let w = Kcrs::random(shape.k, shape.c, shape.r, shape.s, 12);
+    let xb = BlockedActs::from_nchw(&x, shape.pad);
+    let wb = BlockedFilter::from_kcrs(&w);
+    let yb = BlockedActs::zeros(shape.n, shape.k, shape.p(), shape.q(), 0);
+    (x, w, xb, wb, yb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conv::reference::conv_fwd_ref;
+    use tensor::Norms;
+
+    #[test]
+    fn every_baseline_matches_reference() {
+        for shape in [
+            ConvShape::new(2, 32, 32, 8, 8, 3, 3, 1, 1),
+            ConvShape::new(2, 32, 48, 8, 8, 1, 1, 1, 0),
+            ConvShape::new(1, 32, 32, 8, 8, 1, 1, 2, 0),
+            ConvShape::new(1, 16, 16, 10, 10, 3, 3, 2, 1),
+            ConvShape::new(1, 3, 32, 20, 20, 7, 7, 2, 3),
+        ] {
+            let pool = ThreadPool::new(4);
+            let (x, w, xb, wb, mut yb) = random_problem(&shape);
+            let mut y_ref = Nchw::zeros(shape.n, shape.k, shape.p(), shape.q());
+            conv_fwd_ref(&shape, &x, &w, &mut y_ref);
+            let y_ref_b = BlockedActs::from_nchw(&y_ref, 0);
+            for b in all_baselines(shape, 4) {
+                yb.zero();
+                b.forward(&pool, &xb, &wb, &mut yb);
+                let n = Norms::compare(y_ref_b.as_slice(), yb.as_slice());
+                assert!(n.ok(1e-3), "{} on {shape}: {n}", b.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The "libxsmm" baseline: properly blocked direct-convolution loops
+//! with a *dispatched small GEMM* as the innermost microkernel
+//! (the paper's second-fastest baseline).
+//!
+//! Per `(n, kb, oj)` row the inner loops run
+//! `C[Q×VLEN] += A[Q×VLEN] · B[VLEN×VLEN]` over `(cb, r, s)` — unlike
+//! the specialized convolution kernel this cannot hoist output
+//! loads/stores across the `R×S` sequence nor share weight panels
+//! across pixel rows, which is exactly the gap Figures 4/6 measure.
+
+use crate::ConvBaseline;
+use parallel::{FlatPartition, ThreadPool};
+use smallgemm::SmallGemm;
+use tensor::{BlockedActs, BlockedFilter, ConvShape, VLEN};
+
+/// Blocked loops + dispatched small GEMM.
+pub struct XsmmConv {
+    shape: ConvShape,
+    gemm: SmallGemm,
+}
+
+impl XsmmConv {
+    /// Dispatch the small GEMM once (the `libxsmm_dispatch` analogue).
+    pub fn new(shape: ConvShape) -> Self {
+        // A: Q input pixels × VLEN channels (lda strides over pixels)
+        let gemm =
+            SmallGemm::new(shape.q(), VLEN, VLEN, shape.stride * VLEN, VLEN, VLEN, true);
+        Self { shape, gemm }
+    }
+}
+
+impl ConvBaseline for XsmmConv {
+    fn name(&self) -> &'static str {
+        "libxsmm"
+    }
+
+    fn forward(
+        &self,
+        pool: &ThreadPool,
+        input: &BlockedActs,
+        weights: &BlockedFilter,
+        output: &mut BlockedActs,
+    ) {
+        run_gemm_loops(&self.shape, pool, input, weights, output, |a, b, c| {
+            // SAFETY: forwarded contract from run_gemm_loops.
+            unsafe { self.gemm.run_ptr(a, b, c) }
+        });
+    }
+}
+
+/// Shared loop nest for the three GEMM-flavoured baselines; the closure
+/// is the innermost `C[Q×16] += A[Q×16]·B[16×16]` multiply.
+pub(crate) fn run_gemm_loops<F>(
+    shape: &ConvShape,
+    pool: &ThreadPool,
+    input: &BlockedActs,
+    weights: &BlockedFilter,
+    output: &mut BlockedActs,
+    small_gemm: F,
+) where
+    F: Fn(*const f32, *const f32, *mut f32) + Sync,
+{
+    output.zero();
+    let (p, _q) = (shape.p(), shape.q());
+    let part = FlatPartition::new([shape.n, shape.kb(), p, 1]);
+    let in_ptr = SendConst(input.as_ptr());
+    let wt_ptr = SendConst(weights.as_ptr());
+    let out_ptr = SendMut(output.as_mut_ptr());
+    let in_row = input.stride_h();
+    let in_cb = input.stride_cb();
+    let in_n = input.stride_n();
+    let out_row = output.stride_h();
+    let out_kb = output.stride_cb();
+    let out_n = output.stride_n();
+    pool.run(|ctx| {
+        for item in part.range(ctx.nthreads, ctx.tid) {
+            let [n, kb, oj, _] = part.unflatten(item);
+            let c_off = n * out_n + kb * out_kb + oj * out_row;
+            for cb in 0..shape.cb() {
+                for r in 0..shape.r {
+                    for s in 0..shape.s {
+                        // physical input coords (padding materialized)
+                        let a_off =
+                            n * in_n + cb * in_cb + (oj * shape.stride + r) * in_row + s * VLEN;
+                        let b_off = weights.panel_offset(kb, cb, r, s);
+                        // SAFETY: offsets in-bounds; output rows disjoint
+                        // per work item.
+                        small_gemm(
+                            // SAFETY: see above
+                            unsafe { in_ptr.get().add(a_off) },
+                            unsafe { wt_ptr.get().add(b_off) },
+                            unsafe { out_ptr.get().add(c_off) },
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct SendConst(pub(crate) *const f32);
+unsafe impl Send for SendConst {}
+unsafe impl Sync for SendConst {}
+impl SendConst {
+    #[inline]
+    pub(crate) fn get(&self) -> *const f32 {
+        self.0
+    }
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct SendMut(pub(crate) *mut f32);
+unsafe impl Send for SendMut {}
+unsafe impl Sync for SendMut {}
+impl SendMut {
+    #[inline]
+    pub(crate) fn get(&self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// Re-exported wrappers for sibling modules.
+pub(crate) use SendConst as SendConst2;
+pub(crate) use SendMut as SendMut2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_problem;
+    use conv::reference::conv_fwd_ref;
+    use tensor::{Nchw, Norms};
+
+    #[test]
+    fn strided_layer_matches_reference() {
+        let shape = ConvShape::new(1, 32, 16, 8, 8, 3, 3, 2, 1);
+        let pool = ThreadPool::new(2);
+        let (x, w, xb, wb, mut yb) = random_problem(&shape);
+        XsmmConv::new(shape).forward(&pool, &xb, &wb, &mut yb);
+        let mut y_ref = Nchw::zeros(shape.n, shape.k, shape.p(), shape.q());
+        conv_fwd_ref(&shape, &x, &w, &mut y_ref);
+        let n = Norms::compare(BlockedActs::from_nchw(&y_ref, 0).as_slice(), yb.as_slice());
+        assert!(n.ok(1e-4), "{n}");
+    }
+}

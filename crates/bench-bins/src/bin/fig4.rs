@@ -1,0 +1,60 @@
+//! Figure 4: ResNet-50 forward propagation, per-layer GFLOPS for
+//! {this work, mkldnn, im2col, libxsmm, blas, autovec} plus the
+//! efficiency of this work.
+//!
+//! Measured on the host (real kernels), with the SKX-model predicted
+//! efficiency series printed alongside for comparison with the paper's
+//! absolute shape. `--full` uses minibatch = cores and more iterations.
+
+use baselines::{all_baselines, random_problem};
+use bench_bins::{calibrate_host, gflops, time_it, HarnessConfig};
+use conv::fuse::FuseCtx;
+use conv::{ConvLayer, LayerOptions};
+use machine::{predicted_efficiency, MachineModel, Pass};
+use parallel::ThreadPool;
+use topologies::resnet50_table1;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let pool = ThreadPool::new(cfg.threads);
+    let host = calibrate_host(&pool);
+    let skx = MachineModel::skx();
+    println!("# Fig. 4: ResNet-50 fwd — measured host GFLOPS per implementation");
+    println!(
+        "layer\tthiswork\tmkldnn\tim2col\tlibxsmm\tblas\tautovec\teff_host%\teff_skx_model%"
+    );
+    for (id, shape) in resnet50_table1(cfg.minibatch) {
+        let (_x, _w, xb, wb, mut yb) = random_problem(&shape);
+        // this work: the full engine (streams + prefetch)
+        let layer = ConvLayer::new(shape, LayerOptions::new(cfg.threads));
+        let t = time_it(
+            || layer.forward(&pool, &xb, &wb, &mut yb, &FuseCtx::default()),
+            cfg.warmup,
+            cfg.iters,
+        );
+        let this_work = gflops(&shape, t);
+        // baselines (autovec/blas get fewer iterations — they are slow)
+        let mut results = Vec::new();
+        for b in all_baselines(shape, cfg.threads) {
+            let iters = if matches!(b.name(), "autovec" | "blas" | "im2col") {
+                cfg.iters.min(2)
+            } else {
+                cfg.iters
+            };
+            let t = time_it(|| b.forward(&pool, &xb, &wb, &mut yb), 1, iters);
+            results.push((b.name(), gflops(&shape, t)));
+        }
+        let get = |n: &str| results.iter().find(|(name, _)| *name == n).unwrap().1;
+        println!(
+            "{id}\t{:8.1}\t{:8.1}\t{:8.1}\t{:8.1}\t{:8.1}\t{:8.1}\t{:5.1}\t{:5.1}",
+            this_work,
+            get("mkldnn"),
+            get("im2col"),
+            get("libxsmm"),
+            get("blas"),
+            get("autovec"),
+            100.0 * this_work / host.peak_gflops(),
+            100.0 * predicted_efficiency(&skx, &shape, Pass::Forward),
+        );
+    }
+}

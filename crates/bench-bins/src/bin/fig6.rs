@@ -1,0 +1,57 @@
+//! Figure 6: ResNet-50 forward propagation on Knights Mill.
+//!
+//! We do not own a KNM; this binary reports the KNM-model series
+//! (paper parameters: 72 cores, 192 GFLOPS/core, 54.4/27 GB/s L2) with
+//! its roofline diagnosis per layer — the 1×1 layers land in the
+//! L2-bandwidth-bound regime at ≈55% while 3×3 layers stay compute
+//! bound, exactly Section III-B's analysis — next to the measured host
+//! numbers for the same shapes (minibatch 70 on KNM per Table I).
+
+use bench_bins::{calibrate_host, gflops, time_it, HarnessConfig};
+use conv::fuse::FuseCtx;
+use conv::{ConvLayer, LayerOptions};
+use machine::roofline::ridge_oi_read;
+use machine::traffic::forward_traffic;
+use machine::{predicted_efficiency, MachineModel, Pass};
+use parallel::ThreadPool;
+use tensor::{BlockedActs, BlockedFilter};
+use topologies::resnet50_table1;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let pool = ThreadPool::new(cfg.threads);
+    let host = calibrate_host(&pool);
+    let knm = MachineModel::knm();
+    println!(
+        "# Fig. 6: ResNet-50 fwd on KNM (model, ridge OI {:.2} flops/B) + host measurement",
+        ridge_oi_read(&knm)
+    );
+    println!("layer\tknm_model_GFLOPS\tknm_eff%\toi_read\tregime\thost_GFLOPS\thost_eff%");
+    for (id, shape) in resnet50_table1(cfg.minibatch) {
+        let knm_shape = shape.with_minibatch(70);
+        let eff = predicted_efficiency(&knm, &knm_shape, Pass::Forward);
+        let t = forward_traffic(&knm, &knm_shape);
+        let regime =
+            if t.oi_read() < ridge_oi_read(&knm) { "L2-bw-bound" } else { "compute" };
+
+        let layer = ConvLayer::new(shape, LayerOptions::new(cfg.threads));
+        let x = BlockedActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 1);
+        let w = BlockedFilter::random(shape.k, shape.c, shape.r, shape.s, 2);
+        let mut y = layer.new_output();
+        let tm = time_it(
+            || layer.forward(&pool, &x, &w, &mut y, &FuseCtx::default()),
+            cfg.warmup,
+            cfg.iters,
+        );
+        let g = gflops(&shape, tm);
+        println!(
+            "{id}\t{:8.0}\t{:5.1}\t{:6.2}\t{}\t{:8.1}\t{:5.1}",
+            eff * knm.peak_gflops(),
+            100.0 * eff,
+            t.oi_read(),
+            regime,
+            g,
+            100.0 * g / host.peak_gflops(),
+        );
+    }
+}

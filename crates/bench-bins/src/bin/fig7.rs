@@ -1,0 +1,41 @@
+//! Figure 7: ResNet-50 (a) backward and (b) weight-update on KNM.
+//!
+//! KNM-model series (Section III-B: upd drops to 20–55% because the
+//! per-thread dW copies reduce through MCDRAM — no shared LLC — plus
+//! the upfront dO transpose for 4FMA), alongside host measurements.
+
+use bench_bins::{calibrate_host, gflops, time_it, HarnessConfig};
+use conv::{ConvLayer, LayerOptions};
+use machine::{predicted_efficiency, MachineModel, Pass};
+use parallel::ThreadPool;
+use tensor::{BlockedActs, BlockedFilter};
+use topologies::resnet50_table1;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let pool = ThreadPool::new(cfg.threads);
+    let host = calibrate_host(&pool);
+    let knm = MachineModel::knm();
+    println!("# Fig. 7: ResNet-50 bwd (a) / upd (b) on KNM (model) + host measurement");
+    println!("layer\tknm_bwd%\tknm_upd%\thost_bwd_GF\thost_upd_GF");
+    for (id, shape) in resnet50_table1(cfg.minibatch) {
+        let knm_shape = shape.with_minibatch(70);
+        let layer = ConvLayer::new(shape, LayerOptions::new(cfg.threads));
+        let x = BlockedActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 1);
+        let w = BlockedFilter::random(shape.k, shape.c, shape.r, shape.s, 2);
+        let dout =
+            BlockedActs::random(shape.n, shape.k, shape.p(), shape.q(), layer.dout_pad(), 3);
+        let mut dx = layer.new_input();
+        let mut dw = layer.new_filter();
+        let t_bwd = time_it(|| layer.backward(&pool, &dout, &w, &mut dx), cfg.warmup, cfg.iters);
+        let t_upd = time_it(|| layer.update(&pool, &x, &dout, &mut dw), cfg.warmup, cfg.iters);
+        let _ = host;
+        println!(
+            "{id}\t{:5.1}\t{:5.1}\t{:8.1}\t{:8.1}",
+            100.0 * predicted_efficiency(&knm, &knm_shape, Pass::Backward),
+            100.0 * predicted_efficiency(&knm, &knm_shape, Pass::Update),
+            gflops(&shape, t_bwd),
+            gflops(&shape, t_upd),
+        );
+    }
+}

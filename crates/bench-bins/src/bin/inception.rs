@@ -1,0 +1,68 @@
+//! Section III-A/B text numbers: Inception-v3 kernel averages —
+//! average GFLOPS across all conv layers for fwd/bwd/upd, measured on
+//! the host plus SKX/KNM model averages.
+
+use bench_bins::{calibrate_host, gflops, time_it, HarnessConfig};
+use conv::fuse::FuseCtx;
+use conv::{ConvLayer, LayerOptions};
+use machine::{predicted_efficiency, MachineModel, Pass};
+use parallel::ThreadPool;
+use tensor::{BlockedActs, BlockedFilter};
+use topologies::inception_v3_layers;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let knm_mode = args.iter().any(|a| a == "knm");
+    let model = if knm_mode { MachineModel::knm() } else { MachineModel::skx() };
+    let pool = ThreadPool::new(cfg.threads);
+    let host = calibrate_host(&pool);
+
+    println!(
+        "# Inception-v3 kernel averages ({} model + host measurement), minibatch {}",
+        model.name, cfg.minibatch
+    );
+    let mut meas = [0.0f64; 3];
+    let mut modeled = [0.0f64; 3];
+    let layers = inception_v3_layers(cfg.minibatch);
+    let n_layers = layers.len() as f64;
+    for (_id, shape) in &layers {
+        let shape = *shape;
+        let layer = ConvLayer::new(shape, LayerOptions::new(cfg.threads));
+        let x = BlockedActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 1);
+        let w = BlockedFilter::random(shape.k, shape.c, shape.r, shape.s, 2);
+        let mut y = layer.new_output();
+        let dout =
+            BlockedActs::random(shape.n, shape.k, shape.p(), shape.q(), layer.dout_pad(), 3);
+        let mut dx = layer.new_input();
+        let mut dw = layer.new_filter();
+        let tf = time_it(
+            || layer.forward(&pool, &x, &w, &mut y, &FuseCtx::default()),
+            cfg.warmup,
+            cfg.iters,
+        );
+        let tb = time_it(|| layer.backward(&pool, &dout, &w, &mut dx), cfg.warmup, cfg.iters);
+        let tu = time_it(|| layer.update(&pool, &x, &dout, &mut dw), cfg.warmup, cfg.iters);
+        meas[0] += gflops(&shape, tf);
+        meas[1] += gflops(&shape, tb);
+        meas[2] += gflops(&shape, tu);
+        let m_shape = if knm_mode { shape.with_minibatch(70) } else { shape };
+        modeled[0] += predicted_efficiency(&model, &m_shape, Pass::Forward) * model.peak_gflops();
+        modeled[1] += predicted_efficiency(&model, &m_shape, Pass::Backward) * model.peak_gflops();
+        modeled[2] += predicted_efficiency(&model, &m_shape, Pass::Update) * model.peak_gflops();
+    }
+    println!("pass\thost_avg_GFLOPS\thost_avg_eff%\t{}_model_avg_GFLOPS", model.name);
+    for (i, pass) in ["fwd", "bwd", "upd"].iter().enumerate() {
+        println!(
+            "{pass}\t{:8.1}\t{:5.1}\t{:8.0}",
+            meas[i] / n_layers,
+            100.0 * meas[i] / n_layers / host.peak_gflops(),
+            modeled[i] / n_layers
+        );
+    }
+    if knm_mode {
+        println!("# paper (KNM): this-work 6647/5666/4584 GFLOPS, MKL-DNN 7374/5953/4654");
+    } else {
+        println!("# paper (SKX): this-work 2833/2695/2621 GFLOPS, MKL-DNN 2758/2434/2301");
+    }
+}

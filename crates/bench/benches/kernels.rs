@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks: the generated kernels and the layer
+//! engines on representative ResNet-50 shapes, plus backend and
+//! ablation comparisons (JIT vs intrinsics, streams vs branchy,
+//! fused vs unfused).
+
+use baselines::{ConvBaseline, MkldnnConv, XsmmConv};
+use conv::fuse::{FuseCtx, FusedOp};
+use conv::{Backend, ConvLayer, LayerOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use parallel::ThreadPool;
+use tensor::{BlockedActs, BlockedFilter, ConvShape};
+
+fn bench_layer(c: &mut Criterion) {
+    let threads = parallel::hardware_threads().min(8);
+    let pool = ThreadPool::new(threads);
+    // Table I layer 8 at minibatch 4
+    let shape = ConvShape::new(4, 128, 128, 28, 28, 3, 3, 1, 1);
+    let x = BlockedActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 1);
+    let w = BlockedFilter::random(shape.k, shape.c, shape.r, shape.s, 2);
+
+    let mut g = c.benchmark_group("resnet_l8_fwd");
+    g.sample_size(10);
+    for backend in [Backend::Auto, Backend::Intrinsics] {
+        let layer = ConvLayer::new(shape, LayerOptions::new(threads).with_backend(backend));
+        let mut y = layer.new_output();
+        g.bench_function(format!("engine-{}", layer.backend_name()), |b| {
+            b.iter(|| layer.forward(&pool, &x, &w, &mut y, &FuseCtx::default()))
+        });
+    }
+    {
+        let branchy = MkldnnConv::new(shape, threads);
+        let layer = ConvLayer::new(shape, LayerOptions::new(threads));
+        let mut y = layer.new_output();
+        g.bench_function("no-streams(mkldnn-like)", |b| {
+            b.iter(|| branchy.forward(&pool, &x, &w, &mut y))
+        });
+        let xsmm = XsmmConv::new(shape);
+        g.bench_function("small-gemm-loops(libxsmm)", |b| {
+            b.iter(|| xsmm.forward(&pool, &x, &w, &mut y))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("resnet_l8_training");
+    g.sample_size(10);
+    let layer = ConvLayer::new(shape, LayerOptions::new(threads));
+    let gy = BlockedActs::random(shape.n, shape.k, shape.p(), shape.q(), layer.dout_pad(), 3);
+    let mut gx = layer.new_input();
+    let mut dw = layer.new_filter();
+    g.bench_function("bwd(duality)", |b| b.iter(|| layer.backward(&pool, &gy, &w, &mut gx)));
+    g.bench_function("upd", |b| b.iter(|| layer.update(&pool, &x, &gy, &mut dw)));
+    g.finish();
+
+    let mut g = c.benchmark_group("fusion");
+    g.sample_size(10);
+    let fused = ConvLayer::new(
+        shape,
+        LayerOptions::new(threads).with_fuse(FusedOp::BiasRelu),
+    );
+    let bias: Vec<f32> = (0..shape.k).map(|i| i as f32 * 0.01).collect();
+    let mut y = fused.new_output();
+    g.bench_function("conv+bias+relu fused", |b| {
+        b.iter(|| {
+            fused.forward(
+                &pool,
+                &x,
+                &w,
+                &mut y,
+                &FuseCtx { bias: Some(&bias), eltwise: None },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_small_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("small_gemm");
+    g.sample_size(20);
+    let gemm = smallgemm::SmallGemm::new(28, 16, 16, 16, 16, 16, true);
+    let a = vec![1.0f32; 28 * 16];
+    let b = vec![0.5f32; 16 * 16];
+    let mut cm = vec![0.0f32; 28 * 16];
+    g.bench_function("dispatched_28x16x16", |bch| bch.iter(|| gemm.run(&a, &b, &mut cm)));
+    g.bench_function("biggemm_28x16x16", |bch| {
+        bch.iter(|| smallgemm::big_gemm(28, 16, 16, &a, 16, &b, 16, 1.0, &mut cm, 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_layer, bench_small_gemm);
+criterion_main!(benches);

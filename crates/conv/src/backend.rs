@@ -1,0 +1,310 @@
+//! Unified kernel handles over the JIT and intrinsics backends.
+//!
+//! Engines never call a backend directly: they hold [`FwdKernel`] /
+//! [`UpdKernel`] / [`QuantKernel`] handles constructed at layer setup.
+//! `Backend::Auto` prefers real runtime code generation (the paper's
+//! mechanism) and falls back to the monomorphized intrinsics family,
+//! then scalar — so the same engine runs anywhere while using the
+//! fastest available implementation.
+
+use jit::CodeBuffer;
+use microkernel::{KernelShape, UpdShape};
+
+/// Kernel backend selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// JIT when available, else intrinsics, else scalar.
+    #[default]
+    Auto,
+    /// Force runtime code generation (panics if unavailable).
+    Jit,
+    /// Force the monomorphized intrinsics family.
+    Intrinsics,
+    /// Force the scalar kernels (correctness baseline).
+    Scalar,
+}
+
+impl Backend {
+    fn resolve(self) -> Backend {
+        match self {
+            Backend::Auto => {
+                if jit::jit_available() {
+                    Backend::Jit
+                } else {
+                    Backend::Intrinsics
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+enum FwdImpl {
+    Jit {
+        #[allow(dead_code)] // owns the mapping the fn pointer points into
+        buf: CodeBuffer,
+        f: jit::F32Kernel,
+    },
+    Portable(microkernel::FwdFn),
+    Scalar,
+}
+
+/// A ready-to-call forward/backward microkernel.
+pub struct FwdKernel {
+    shape: KernelShape,
+    imp: FwdImpl,
+}
+
+impl FwdKernel {
+    /// Generate/select a kernel for `shape` on `backend`.
+    pub fn new(shape: KernelShape, backend: Backend) -> Self {
+        shape.validate();
+        let imp = match backend.resolve() {
+            Backend::Jit => {
+                let code = jit::assemble_fwd(&shape);
+                let buf = CodeBuffer::from_code(&code).expect("executable memory for JIT kernel");
+                // SAFETY: the buffer holds a kernel with the F32Kernel ABI.
+                let f = unsafe { buf.as_f32_kernel() };
+                FwdImpl::Jit { buf, f }
+            }
+            Backend::Intrinsics => FwdImpl::Portable(microkernel::select_fwd(&shape)),
+            Backend::Scalar => FwdImpl::Scalar,
+            Backend::Auto => unreachable!(),
+        };
+        Self { shape, imp }
+    }
+
+    /// The descriptor this kernel was generated for.
+    #[inline]
+    pub fn shape(&self) -> &KernelShape {
+        &self.shape
+    }
+
+    /// Which backend the handle resolved to.
+    pub fn backend_name(&self) -> &'static str {
+        match self.imp {
+            FwdImpl::Jit { .. } => "jit",
+            FwdImpl::Portable(_) => "intrinsics",
+            FwdImpl::Scalar => "scalar",
+        }
+    }
+
+    /// Invoke the kernel (Section II-E six-pointer ABI).
+    ///
+    /// # Safety
+    /// The pointers must be valid for the extents implied by the
+    /// kernel's [`KernelShape`]; `out` must not alias `inp`/`wt`.
+    #[inline]
+    pub unsafe fn call(
+        &self,
+        inp: *const f32,
+        wt: *const f32,
+        out: *mut f32,
+        pf_in: *const f32,
+        pf_wt: *const f32,
+        pf_out: *const f32,
+    ) {
+        match &self.imp {
+            FwdImpl::Jit { f, .. } => f(inp, wt, out, pf_in, pf_wt, pf_out),
+            FwdImpl::Portable(f) => f(&self.shape, inp, wt, out, pf_in, pf_wt, pf_out),
+            FwdImpl::Scalar => {
+                microkernel::fwd::fwd_scalar(&self.shape, inp, wt, out, pf_in, pf_wt, pf_out)
+            }
+        }
+    }
+}
+
+enum UpdImpl {
+    Jit {
+        #[allow(dead_code)]
+        buf: CodeBuffer,
+        f: jit::F32Kernel,
+    },
+    Portable(microkernel::UpdFn),
+    Scalar,
+}
+
+/// A ready-to-call weight-gradient microkernel.
+pub struct UpdKernel {
+    shape: UpdShape,
+    imp: UpdImpl,
+}
+
+impl UpdKernel {
+    /// Generate/select an update kernel for `shape` on `backend`.
+    pub fn new(shape: UpdShape, backend: Backend) -> Self {
+        shape.validate();
+        let imp = match backend.resolve() {
+            Backend::Jit => {
+                let code = jit::assemble_upd(&shape);
+                let buf = CodeBuffer::from_code(&code).expect("executable memory for JIT kernel");
+                // SAFETY: the buffer holds a kernel with the F32Kernel ABI.
+                let f = unsafe { buf.as_f32_kernel() };
+                UpdImpl::Jit { buf, f }
+            }
+            Backend::Intrinsics => UpdImpl::Portable(microkernel::select_upd(&shape)),
+            Backend::Scalar => UpdImpl::Scalar,
+            Backend::Auto => unreachable!(),
+        };
+        Self { shape, imp }
+    }
+
+    /// The descriptor this kernel was generated for.
+    #[inline]
+    pub fn shape(&self) -> &UpdShape {
+        &self.shape
+    }
+
+    /// Invoke: `(input@tap, dO, dW_panel, prefetch…)`.
+    ///
+    /// # Safety
+    /// Pointer validity per the [`UpdShape`] extents; `dw` must not
+    /// alias the inputs.
+    #[inline]
+    pub unsafe fn call(
+        &self,
+        inp: *const f32,
+        dout: *const f32,
+        dw: *mut f32,
+        pf_in: *const f32,
+        pf_do: *const f32,
+        pf_dw: *const f32,
+    ) {
+        match &self.imp {
+            UpdImpl::Jit { f, .. } => f(inp, dout, dw, pf_in, pf_do, pf_dw),
+            UpdImpl::Portable(f) => f(&self.shape, inp, dout, dw, pf_in, pf_do, pf_dw),
+            UpdImpl::Scalar => {
+                microkernel::upd::upd_scalar(&self.shape, inp, dout, dw, pf_in, pf_do, pf_dw)
+            }
+        }
+    }
+}
+
+enum QuantImpl {
+    Jit {
+        #[allow(dead_code)]
+        buf: CodeBuffer,
+        f: jit::I16Kernel,
+    },
+    Portable(microkernel::QuantFn),
+    Scalar,
+}
+
+/// A ready-to-call int16 microkernel (Section II-K).
+pub struct QuantKernel {
+    shape: KernelShape,
+    imp: QuantImpl,
+}
+
+impl QuantKernel {
+    /// Generate/select an int16 kernel. The JIT path additionally
+    /// requires AVX-512 VNNI on the host.
+    pub fn new(shape: KernelShape, backend: Backend) -> Self {
+        shape.validate();
+        let jit_ok = jit::jit_available() && microkernel::has_vnni();
+        let imp = match backend {
+            Backend::Jit | Backend::Auto if jit_ok => {
+                let code = jit::assemble_quant(&shape);
+                let buf = CodeBuffer::from_code(&code).expect("executable memory for JIT kernel");
+                // SAFETY: the buffer holds a kernel with the I16Kernel ABI.
+                let f = unsafe { buf.as_i16_kernel() };
+                QuantImpl::Jit { buf, f }
+            }
+            Backend::Jit => panic!("JIT int16 backend requires executable memory + AVX-512 VNNI"),
+            Backend::Scalar => QuantImpl::Scalar,
+            _ => QuantImpl::Portable(microkernel::select_quant(&shape)),
+        };
+        Self { shape, imp }
+    }
+
+    /// The descriptor this kernel was generated for.
+    #[inline]
+    pub fn shape(&self) -> &KernelShape {
+        &self.shape
+    }
+
+    /// Invoke on int16 inputs / int32 outputs.
+    ///
+    /// # Safety
+    /// Pointer validity per the [`KernelShape`] extents.
+    #[inline]
+    pub unsafe fn call(
+        &self,
+        inp: *const i16,
+        wt: *const i16,
+        out: *mut i32,
+        pf_in: *const i16,
+        pf_wt: *const i16,
+        pf_out: *const i32,
+    ) {
+        match &self.imp {
+            QuantImpl::Jit { f, .. } => f(inp, wt, out, pf_in, pf_wt, pf_out),
+            QuantImpl::Portable(f) => f(&self.shape, inp, wt, out, pf_in, pf_wt, pf_out),
+            QuantImpl::Scalar => {
+                microkernel::quant::quant_scalar(&self.shape, inp, wt, out, pf_in, pf_wt, pf_out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::VLEN;
+
+    fn shape() -> KernelShape {
+        KernelShape {
+            rbp: 1,
+            rbq: 8,
+            r: 1,
+            s: 1,
+            stride: 1,
+            cb_inner: 1,
+            in_row_stride: 16 * VLEN,
+            in_cb_stride: 16 * 16 * VLEN,
+            out_row_stride: 16 * VLEN,
+            out_col_stride: VLEN,
+            init_zero: true,
+            prefetch: false,
+        }
+    }
+
+    #[test]
+    fn auto_prefers_jit_when_available() {
+        let k = FwdKernel::new(shape(), Backend::Auto);
+        if jit::jit_available() {
+            assert_eq!(k.backend_name(), "jit");
+        } else {
+            assert_eq!(k.backend_name(), "intrinsics");
+        }
+    }
+
+    #[test]
+    fn all_backends_agree() {
+        let sh = shape();
+        let inp: Vec<f32> = (0..sh.in_cb_stride + 256).map(|i| (i % 13) as f32 * 0.25).collect();
+        let wt: Vec<f32> = (0..256).map(|i| (i % 7) as f32 * 0.5 - 1.0).collect();
+        let run = |backend| {
+            let k = FwdKernel::new(sh, backend);
+            let mut out = vec![0.0f32; 16 * 16 * VLEN];
+            unsafe {
+                k.call(
+                    inp.as_ptr(),
+                    wt.as_ptr(),
+                    out.as_mut_ptr(),
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    std::ptr::null(),
+                )
+            };
+            out
+        };
+        let scalar = run(Backend::Scalar);
+        let intr = run(Backend::Intrinsics);
+        assert!(tensor::Norms::compare(&scalar, &intr).ok(1e-5));
+        if jit::jit_available() {
+            let j = run(Backend::Jit);
+            assert!(tensor::Norms::compare(&scalar, &j).ok(1e-5));
+        }
+    }
+}

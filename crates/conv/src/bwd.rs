@@ -1,0 +1,465 @@
+//! Backward propagation (Section II-I).
+//!
+//! Three paths, chosen at setup:
+//!
+//! 1. **stride = 1 duality**: transform the weights
+//!    (`W'[c][k][r'][s'] = W[k][c][R−1−r'][S−1−s']`) and run the
+//!    *forward* engine on the dual shape — dO (physically padded by
+//!    `R−1−pad`) plays the input, dI the output. This is the paper's
+//!    headline trick for halving the number of code generators.
+//! 2. **R = S = 1 duality**: dI is only written at stride-multiple
+//!    pixels; the forward engine runs on the dual 1×1 shape with a
+//!    *strided output geometry* (`out_col_stride = stride·VLEN`) into
+//!    a pre-zeroed dI.
+//! 3. **generic fallback** (strided spatial filters): Algorithm 7 —
+//!    a loop nest of small GEMMs (`M = Q`, `K = N = VLEN`) against the
+//!    transposed/flipped weight panels, parallelized over `(n, cb)` so
+//!    dI accumulation never races.
+
+use crate::blocking;
+use crate::fuse::{FuseCtx, FusedOp};
+use crate::fwd::{FwdPlan, OutGeom, SendConstPtr, SendMutPtr};
+use crate::Backend;
+use parallel::{FlatPartition, ThreadPool};
+use smallgemm::SmallGemm;
+use tensor::{BlockedActs, BlockedFilter, ConvShape, VLEN};
+
+/// Which backward strategy a layer uses (observable for tests/benches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BwdKind {
+    /// Forward engine on the transposed/flipped weights (stride 1).
+    DualStride1,
+    /// Forward engine with strided output writes (1×1, any stride).
+    Dual1x1,
+    /// Algorithm 7 small-GEMM loop nest.
+    GemmFallback,
+}
+
+/// Planned backward pass.
+pub struct BwdPlan {
+    shape: ConvShape,
+    kind: BwdKind,
+    /// Forward plan on the dual shape (duality paths).
+    dual: Option<FwdPlan>,
+    /// GEMM handle for the fallback path.
+    gemm: Option<SmallGemm>,
+    nthreads: usize,
+    /// Physical padding of the dI tensor the plan writes.
+    input_pad: usize,
+}
+
+impl BwdPlan {
+    /// Choose the strategy and dryrun the dual plan.
+    pub fn new(shape: ConvShape, nthreads: usize, backend: Backend, prefetch: bool) -> Self {
+        Self::with_input_pad(shape, nthreads, backend, prefetch, shape.pad)
+    }
+
+    /// As [`BwdPlan::new`] but writing dI into a tensor carrying
+    /// `input_pad ≥ shape.pad` physical padding.
+    pub fn with_input_pad(
+        shape: ConvShape,
+        nthreads: usize,
+        backend: Backend,
+        prefetch: bool,
+        input_pad: usize,
+    ) -> Self {
+        // the transpose-flip duality needs per-dimension dual padding
+        // (r−1−pad_h, s−1−pad_w); with a single symmetric pad it is
+        // only available for square filters — asymmetric (1×7 / 7×1)
+        // Inception factorizations take the Algorithm 7 fallback
+        let kind = if shape.r == 1 && shape.s == 1 {
+            if shape.stride == 1 {
+                BwdKind::DualStride1
+            } else {
+                BwdKind::Dual1x1
+            }
+        } else if shape.stride == 1 && shape.r == shape.s && shape.r > shape.pad {
+            BwdKind::DualStride1
+        } else {
+            BwdKind::GemmFallback
+        };
+        match kind {
+            BwdKind::DualStride1 => {
+                assert!(shape.r > shape.pad, "pad larger than filter");
+                let dual_pad = shape.r - 1 - shape.pad;
+                let dual = ConvShape::new(
+                    shape.n,
+                    shape.k,
+                    shape.c,
+                    shape.p(),
+                    shape.q(),
+                    shape.r,
+                    shape.s,
+                    1,
+                    dual_pad,
+                );
+                debug_assert_eq!(dual.p(), shape.h);
+                debug_assert_eq!(dual.q(), shape.w);
+                // dI is written into the (padded) input-geometry tensor
+                let out_geom = di_geom(&shape, input_pad);
+                let b = blocking::choose(&dual);
+                let plan = FwdPlan::new(
+                    dual,
+                    b,
+                    nthreads,
+                    backend,
+                    prefetch,
+                    FusedOp::None,
+                    Some(out_geom),
+                );
+                Self { shape, kind, dual: Some(plan), gemm: None, nthreads, input_pad }
+            }
+            BwdKind::Dual1x1 => {
+                assert_eq!(shape.pad, 0, "1x1 layers carry no padding");
+                let dual =
+                    ConvShape::new(shape.n, shape.k, shape.c, shape.p(), shape.q(), 1, 1, 1, 0);
+                // strided writes into dI: pixel (oj, oi) of the dual
+                // output lands at dI[stride*oj][stride*oi]
+                let di_row = (shape.w + 2 * input_pad) * VLEN;
+                let di_cb = (shape.h + 2 * input_pad) * di_row;
+                let out_geom = OutGeom {
+                    row_stride: shape.stride * di_row,
+                    col_stride: shape.stride * VLEN,
+                    kb_stride: di_cb,
+                    n_stride: shape.cb() * di_cb,
+                    base: input_pad * (di_row + VLEN),
+                };
+                let b = blocking::choose(&dual);
+                let plan = FwdPlan::new(
+                    dual,
+                    b,
+                    nthreads,
+                    backend,
+                    prefetch,
+                    FusedOp::None,
+                    Some(out_geom),
+                );
+                Self { shape, kind, dual: Some(plan), gemm: None, nthreads, input_pad }
+            }
+            BwdKind::GemmFallback => {
+                // C[Q×VLEN] += A[Q×VLEN] · B[VLEN×VLEN]; C rows are
+                // dI pixels strided by stride·VLEN
+                let gemm =
+                    SmallGemm::new(shape.q(), VLEN, VLEN, VLEN, VLEN, shape.stride * VLEN, true);
+                Self { shape, kind, dual: None, gemm: Some(gemm), nthreads, input_pad }
+            }
+        }
+    }
+
+    /// Strategy in effect.
+    pub fn kind(&self) -> BwdKind {
+        self.kind
+    }
+
+    /// Physical padding the dual path needs on the dO tensor (callers
+    /// allocating gradient buffers with this padding avoid a copy).
+    pub fn dout_pad(&self) -> usize {
+        match self.kind {
+            BwdKind::DualStride1 => self.shape.r - 1 - self.shape.pad,
+            _ => 0,
+        }
+    }
+
+    /// Execute: `dinput = conv_bwd(dout, weights)`.
+    ///
+    /// `dout` must carry at least [`Self::dout_pad`] physical padding
+    /// (a padded scratch copy is made otherwise). `dinput` must have
+    /// the layer's input geometry (same `pad` as the forward input).
+    pub fn run(
+        &self,
+        pool: &ThreadPool,
+        dout: &BlockedActs,
+        weights: &BlockedFilter,
+        dinput: &mut BlockedActs,
+    ) {
+        assert_eq!(pool.nthreads(), self.nthreads);
+        let sh = &self.shape;
+        assert_eq!(
+            (dout.n, dout.c, dout.h, dout.w),
+            (sh.n, sh.k, sh.p(), sh.q()),
+            "dout mismatch"
+        );
+        assert_eq!(
+            (dinput.n, dinput.c, dinput.h, dinput.w, dinput.pad),
+            (sh.n, sh.c, sh.h, sh.w, self.input_pad),
+            "dinput mismatch"
+        );
+        match self.kind {
+            BwdKind::DualStride1 => {
+                let wt = weights.transpose_flip();
+                let need = self.dout_pad();
+                let scratch;
+                let src = if dout.pad == need {
+                    dout
+                } else {
+                    scratch = repad(pool, dout, need);
+                    &scratch
+                };
+                // SAFETY: dual plan geometry matches these tensors.
+                unsafe {
+                    self.dual.as_ref().unwrap().run_raw(
+                        pool,
+                        src.as_ptr(),
+                        wt.as_ptr(),
+                        dinput.as_mut_ptr(),
+                        &FuseCtx::default(),
+                    )
+                };
+            }
+            BwdKind::Dual1x1 => {
+                let wt = weights.transpose_flip();
+                dinput.zero();
+                let scratch;
+                let src = if dout.pad == 0 {
+                    dout
+                } else {
+                    scratch = repad(pool, dout, 0);
+                    &scratch
+                };
+                // SAFETY: strided out-geom targets dinput's interior.
+                unsafe {
+                    self.dual.as_ref().unwrap().run_raw(
+                        pool,
+                        src.as_ptr(),
+                        wt.as_ptr(),
+                        dinput.as_mut_ptr(),
+                        &FuseCtx::default(),
+                    )
+                };
+            }
+            BwdKind::GemmFallback => {
+                let scratch;
+                let src = if dout.pad == 0 {
+                    dout
+                } else {
+                    scratch = repad(pool, dout, 0);
+                    &scratch
+                };
+                self.run_gemm(pool, src, weights, dinput);
+            }
+        }
+    }
+
+    /// Algorithm 7: backward with small GEMM calls.
+    fn run_gemm(
+        &self,
+        pool: &ThreadPool,
+        dout: &BlockedActs,
+        weights: &BlockedFilter,
+        dinput: &mut BlockedActs,
+    ) {
+        let sh = self.shape;
+        let wt = weights.transpose_flip(); // W'[cb][kb][·][·][c'][k']
+        dinput.zero();
+        let gemm = self.gemm.as_ref().unwrap();
+        let p_dim = sh.p();
+        let part = FlatPartition::new([sh.n, sh.cb(), 1, 1]);
+        let di = SendMutPtr(dinput.as_mut_ptr());
+        let go = SendConstPtr(dout.as_ptr());
+        let wt_ref = &wt;
+        let di_row = dinput.stride_h();
+        let di_cb = dinput.stride_cb();
+        let di_n = dinput.stride_n();
+        let di_base = (self.input_pad - sh.pad) * (di_row + VLEN);
+        let do_row = dout.stride_h();
+        let do_kb = dout.stride_cb();
+        let do_n = dout.stride_n();
+        pool.run(move |ctx| {
+            for item in part.range(ctx.nthreads, ctx.tid) {
+                let [n, cb, _, _] = part.unflatten(item);
+                for kb in 0..sh.kb() {
+                    for oj in 0..p_dim {
+                        let ij = sh.stride * oj; // physical dI row base
+                        for r in 0..sh.r {
+                            for s in 0..sh.s {
+                                // A: dO row (Q × VLEN)
+                                let a_off = n * do_n + kb * do_kb + oj * do_row;
+                                // B: W' panel, Alg 7 line 10 indexing
+                                let b_off =
+                                    wt_ref.panel_offset(cb, kb, sh.r - 1 - r, sh.s - 1 - s);
+                                // C: dI pixels [ij + r][s + stride·oi]
+                                let c_off =
+                                    di_base + n * di_n + cb * di_cb + (ij + r) * di_row + s * VLEN;
+                                // SAFETY: offsets in-bounds by construction;
+                                // (n, cb) ownership keeps C writes disjoint.
+                                unsafe {
+                                    gemm.run_ptr(
+                                        go.get().add(a_off),
+                                        wt_ref.as_ptr().add(b_off),
+                                        di.get().add(c_off),
+                                    )
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        // Gradients written into the physical padding border are
+        // gradients w.r.t. zero-padding — discard them to keep the
+        // border invariant (border == 0) for downstream consumers.
+        zero_border(dinput);
+    }
+}
+
+/// dI output geometry: the (padded) input tensor of the layer.
+fn di_geom(shape: &ConvShape, input_pad: usize) -> OutGeom {
+    let row = (shape.w + 2 * input_pad) * VLEN;
+    let cb = (shape.h + 2 * input_pad) * row;
+    OutGeom {
+        row_stride: row,
+        col_stride: VLEN,
+        kb_stride: cb,
+        n_stride: shape.cb() * cb,
+        base: input_pad * row + input_pad * VLEN,
+    }
+}
+
+/// Copy `src` into a tensor with different physical padding.
+pub(crate) fn repad(pool: &ThreadPool, src: &BlockedActs, pad: usize) -> BlockedActs {
+    let mut dst = BlockedActs::zeros(src.n, src.c, src.h, src.w, pad);
+    let rows_total = src.n * src.cb * src.h;
+    let dptr = SendMutPtr(dst.as_mut_ptr());
+    let wp_new = src.w + 2 * pad;
+    let hp_new = src.h + 2 * pad;
+    pool.run(|ctx| {
+        for row in ctx.chunk(rows_total) {
+            let (ncb, h) = (row / src.h, row % src.h);
+            let (n, cb) = (ncb / src.cb, ncb % src.cb);
+            let s_off = src.pix_offset_logical(n, cb, h as isize, 0);
+            let d_off = ((n * src.cb + cb) * hp_new + h + pad) * wp_new * VLEN + pad * VLEN;
+            // SAFETY: disjoint destination rows per iteration.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    src.as_ptr().add(s_off),
+                    dptr.get().add(d_off),
+                    src.w * VLEN,
+                );
+            }
+        }
+    });
+    dst
+}
+
+/// Zero the physical padding border of a tensor.
+fn zero_border(t: &mut BlockedActs) {
+    if t.pad == 0 {
+        return;
+    }
+    let (pad, w, cb_count, n_count) = (t.pad, t.w, t.cb, t.n);
+    let (hp, wp) = (t.hp(), t.wp());
+    let (row, cbs) = (t.stride_h(), t.stride_cb());
+    let data = t.as_mut_slice();
+    for n in 0..n_count {
+        for cb in 0..cb_count {
+            let base = (n * cb_count + cb) * cbs;
+            for h in 0..hp {
+                if h < pad || h >= hp - pad {
+                    data[base + h * row..base + (h + 1) * row].fill(0.0);
+                } else {
+                    data[base + h * row..base + h * row + pad * VLEN].fill(0.0);
+                    let right = base + h * row + (pad + w) * VLEN;
+                    data[right..right + (wp - w - pad) * VLEN].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::conv_bwd_ref;
+    use tensor::{Kcrs, Nchw, Norms};
+
+    fn run_case(shape: ConvShape, threads: usize) -> BwdKind {
+        let pool = ThreadPool::new(threads);
+        let plan = BwdPlan::new(shape, threads, Backend::Auto, false);
+
+        let gy = Nchw::random(shape.n, shape.k, shape.p(), shape.q(), 3);
+        let w = Kcrs::random(shape.k, shape.c, shape.r, shape.s, 4);
+        let gyb = BlockedActs::from_nchw(&gy, plan.dout_pad());
+        let wb = BlockedFilter::from_kcrs(&w);
+        let mut gxb = BlockedActs::zeros(shape.n, shape.c, shape.h, shape.w, shape.pad);
+        plan.run(&pool, &gyb, &wb, &mut gxb);
+
+        let mut gx_ref = Nchw::zeros(shape.n, shape.c, shape.h, shape.w);
+        conv_bwd_ref(&shape, &gy, &w, &mut gx_ref);
+        let n = Norms::compare(gx_ref.as_slice(), gxb.to_nchw().as_slice());
+        assert!(n.ok(1e-4), "{shape}: {n}");
+        plan.kind()
+    }
+
+    #[test]
+    fn stride1_3x3_uses_duality() {
+        let k = run_case(ConvShape::new(2, 32, 32, 8, 8, 3, 3, 1, 1), 4);
+        assert_eq!(k, BwdKind::DualStride1);
+    }
+
+    #[test]
+    fn stride1_1x1_uses_duality() {
+        let k = run_case(ConvShape::new(2, 32, 48, 8, 8, 1, 1, 1, 0), 4);
+        assert_eq!(k, BwdKind::DualStride1);
+    }
+
+    #[test]
+    fn stride1_7x7_pad3() {
+        let k = run_case(ConvShape::new(1, 16, 16, 12, 12, 7, 7, 1, 3), 2);
+        assert_eq!(k, BwdKind::DualStride1);
+    }
+
+    #[test]
+    fn strided_1x1_uses_strided_writes() {
+        let k = run_case(ConvShape::new(2, 32, 48, 8, 8, 1, 1, 2, 0), 3);
+        assert_eq!(k, BwdKind::Dual1x1);
+        // odd input extent: last row/col receives no gradient
+        let k = run_case(ConvShape::new(1, 16, 16, 9, 9, 1, 1, 2, 0), 2);
+        assert_eq!(k, BwdKind::Dual1x1);
+    }
+
+    #[test]
+    fn strided_spatial_uses_gemm_fallback() {
+        let k = run_case(ConvShape::new(1, 16, 32, 10, 10, 3, 3, 2, 1), 4);
+        assert_eq!(k, BwdKind::GemmFallback);
+        // the 7x7/stride-2 first conv (small version)
+        let k = run_case(ConvShape::new(1, 3, 16, 20, 20, 7, 7, 2, 3), 2);
+        assert_eq!(k, BwdKind::GemmFallback);
+    }
+
+    #[test]
+    fn dout_without_padding_takes_copy_path() {
+        let shape = ConvShape::new(1, 16, 16, 8, 8, 3, 3, 1, 1);
+        let pool = ThreadPool::new(2);
+        let plan = BwdPlan::new(shape, 2, Backend::Auto, false);
+        assert_eq!(plan.dout_pad(), 1); // R−1−pad = 3−1−1
+        let gy = Nchw::random(1, 16, 8, 8, 3);
+        let w = Kcrs::random(16, 16, 3, 3, 4);
+        let gyb = BlockedActs::from_nchw(&gy, 0); // *no* padding
+        let wb = BlockedFilter::from_kcrs(&w);
+        let mut gxb = BlockedActs::zeros(1, 16, 8, 8, 1);
+        plan.run(&pool, &gyb, &wb, &mut gxb);
+        let mut gx_ref = Nchw::zeros(1, 16, 8, 8);
+        conv_bwd_ref(&shape, &gy, &w, &mut gx_ref);
+        let n = Norms::compare(gx_ref.as_slice(), gxb.to_nchw().as_slice());
+        assert!(n.ok(1e-4), "{n}");
+    }
+
+    #[test]
+    fn border_stays_zero_after_gemm_fallback() {
+        let shape = ConvShape::new(1, 16, 16, 10, 10, 3, 3, 2, 1);
+        let pool = ThreadPool::new(2);
+        let plan = BwdPlan::new(shape, 2, Backend::Auto, false);
+        let gy = Nchw::random(1, 16, shape.p(), shape.q(), 3);
+        let w = Kcrs::random(16, 16, 3, 3, 4);
+        let gyb = BlockedActs::from_nchw(&gy, 0);
+        let wb = BlockedFilter::from_kcrs(&w);
+        let mut gxb = BlockedActs::zeros(1, 16, 10, 10, 1);
+        plan.run(&pool, &gyb, &wb, &mut gxb);
+        for wcol in 0..gxb.wp() {
+            let off = gxb.pix_offset_logical(0, 0, -1, wcol as isize - 1);
+            for v in 0..VLEN {
+                assert_eq!(gxb.as_slice()[off + v], 0.0);
+            }
+        }
+    }
+}

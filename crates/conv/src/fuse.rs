@@ -1,0 +1,169 @@
+//! Layer fusion (Section II-G).
+//!
+//! Non-convolution layers (Bias, ReLU, residual Eltwise-add …) are
+//! bandwidth bound; applying them to an output sub-tensor *while it is
+//! still cache-hot from the convolution* saves a full memory round
+//! trip per fused operator. The dryrun records an APPLY entry after a
+//! tile's last channel-block reduction (Algorithm 4's
+//! `cb == Cb − 1` condition); replay executes [`apply_tile`] right
+//! after the CONV streak that produced the tile.
+
+use tensor::{BlockedActs, VLEN};
+
+/// Fusable post-convolution operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FusedOp {
+    /// Plain convolution.
+    #[default]
+    None,
+    /// `out += bias[k]`.
+    Bias,
+    /// `out = max(out, 0)`.
+    Relu,
+    /// `out = max(out + bias[k], 0)`.
+    BiasRelu,
+    /// `out += residual` (ResNet shortcut).
+    Eltwise,
+    /// `out = max(out + residual, 0)` (ResNet shortcut + activation).
+    EltwiseRelu,
+}
+
+impl FusedOp {
+    /// Whether this op needs a bias vector at execution time.
+    pub fn needs_bias(&self) -> bool {
+        matches!(self, FusedOp::Bias | FusedOp::BiasRelu)
+    }
+
+    /// Whether this op needs a residual tensor at execution time.
+    pub fn needs_eltwise(&self) -> bool {
+        matches!(self, FusedOp::Eltwise | FusedOp::EltwiseRelu)
+    }
+}
+
+/// Runtime arguments of the fused operators.
+#[derive(Clone, Copy, Default)]
+pub struct FuseCtx<'a> {
+    /// Per-output-channel bias, length `K` (padded to blocks).
+    pub bias: Option<&'a [f32]>,
+    /// Residual tensor with the same geometry as the output.
+    pub eltwise: Option<&'a BlockedActs>,
+}
+
+/// One recorded APPLY: the tile geometry needed to re-touch an output
+/// sub-tensor (offsets are in elements from the output base).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApplyRec {
+    /// Element offset of the tile's first pixel vector.
+    pub out_off: u32,
+    /// Output channel block (for bias indexing).
+    pub kb: u16,
+    /// Tile rows.
+    pub rows: u8,
+    /// Tile columns (pixel vectors per row).
+    pub cols: u16,
+    /// Element stride between tile rows.
+    pub row_stride: u32,
+}
+
+/// Apply `op` to one output tile (called from stream replay while the
+/// tile is cache-hot).
+///
+/// # Safety
+/// `out` (+ the offsets in `rec`) must be in-bounds for the output
+/// tensor; when the op needs eltwise, `ctx.eltwise` must have identical
+/// geometry to the output tensor.
+pub unsafe fn apply_tile(op: FusedOp, rec: &ApplyRec, out: *mut f32, ctx: &FuseCtx<'_>) {
+    let bias = ctx.bias.map(|b| &b[rec.kb as usize * VLEN..]);
+    let elt = ctx.eltwise.map(|e| e.as_ptr());
+    for row in 0..rec.rows as usize {
+        let base = rec.out_off as usize + row * rec.row_stride as usize;
+        for col in 0..rec.cols as usize {
+            let px = out.add(base + col * VLEN);
+            let epx = elt.map(|e| e.add(base + col * VLEN));
+            for v in 0..VLEN {
+                let mut x = *px.add(v);
+                match op {
+                    FusedOp::None => {}
+                    FusedOp::Bias => x += bias.as_ref().unwrap()[v],
+                    FusedOp::Relu => x = x.max(0.0),
+                    FusedOp::BiasRelu => x = (x + bias.as_ref().unwrap()[v]).max(0.0),
+                    FusedOp::Eltwise => x += *epx.unwrap().add(v),
+                    FusedOp::EltwiseRelu => x = (x + *epx.unwrap().add(v)).max(0.0),
+                }
+                *px.add(v) = x;
+            }
+        }
+    }
+}
+
+/// Reference (unfused) application over a whole tensor — used by tests
+/// and by the unfused baselines.
+pub fn apply_unfused(op: FusedOp, out: &mut BlockedActs, ctx: &FuseCtx<'_>) {
+    let (n, kb_total, h, w) = (out.n, out.cb, out.h, out.w);
+    assert_eq!(out.pad, 0, "outputs carry no padding");
+    for n_ in 0..n {
+        for kb in 0..kb_total {
+            for h_ in 0..h {
+                let rec = ApplyRec {
+                    out_off: out.pix_offset_logical(n_, kb, h_ as isize, 0) as u32,
+                    kb: kb as u16,
+                    rows: 1,
+                    cols: w as u16,
+                    row_stride: out.stride_h() as u32,
+                };
+                // SAFETY: offsets computed from the tensor's own layout.
+                unsafe { apply_tile(op, &rec, out.as_mut_ptr(), ctx) };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative() {
+        let mut out = BlockedActs::random(1, 16, 4, 4, 0, 3);
+        let before = out.as_slice().to_vec();
+        apply_unfused(FusedOp::Relu, &mut out, &FuseCtx::default());
+        for (a, b) in out.as_slice().iter().zip(&before) {
+            assert_eq!(*a, b.max(0.0));
+        }
+    }
+
+    #[test]
+    fn bias_adds_per_channel() {
+        let mut out = BlockedActs::zeros(1, 32, 2, 2, 0);
+        let bias: Vec<f32> = (0..32).map(|k| k as f32).collect();
+        apply_unfused(FusedOp::Bias, &mut out, &FuseCtx { bias: Some(&bias), eltwise: None });
+        for k in 0..32 {
+            assert_eq!(out.get(0, k, 1, 1), k as f32);
+        }
+    }
+
+    #[test]
+    fn eltwise_relu_combines() {
+        let mut out = BlockedActs::zeros(1, 16, 2, 2, 0);
+        out.set(0, 3, 0, 0, -5.0);
+        out.set(0, 4, 0, 0, 1.0);
+        let mut res = BlockedActs::zeros(1, 16, 2, 2, 0);
+        res.set(0, 3, 0, 0, 2.0);
+        res.set(0, 4, 0, 0, 2.0);
+        apply_unfused(
+            FusedOp::EltwiseRelu,
+            &mut out,
+            &FuseCtx { bias: None, eltwise: Some(&res) },
+        );
+        assert_eq!(out.get(0, 3, 0, 0), 0.0); // max(-5+2, 0)
+        assert_eq!(out.get(0, 4, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut out = BlockedActs::random(2, 16, 3, 3, 0, 9);
+        let before = out.as_slice().to_vec();
+        apply_unfused(FusedOp::None, &mut out, &FuseCtx::default());
+        assert_eq!(out.as_slice(), &before[..]);
+    }
+}

@@ -1,0 +1,307 @@
+//! The public layer handle: setup once, execute many times.
+//!
+//! `ConvLayer::new` runs the full setup pipeline of the paper — kernel
+//! generation (JIT), dryrun (kernel streams), backward-duality
+//! planning, and the weight-update strategy decision — and the three
+//! pass methods replay the plans. This is the object the GxM graph
+//! executor, the benchmarks and the examples all build on.
+
+use crate::backend::Backend;
+use crate::blocking::{self, Blocking};
+use crate::bwd::{BwdKind, BwdPlan};
+use crate::fuse::{FuseCtx, FusedOp};
+use crate::fwd::FwdPlan;
+use crate::upd::UpdPlan;
+use machine::MachineModel;
+use parallel::ThreadPool;
+use tensor::{BlockedActs, BlockedFilter, ConvShape};
+
+/// Configuration of a layer's engines.
+#[derive(Clone, Debug)]
+pub struct LayerOptions {
+    /// Thread-team size the plans are dryrun for.
+    pub threads: usize,
+    /// Kernel backend.
+    pub backend: Backend,
+    /// Emit software prefetches (Section II-E).
+    pub prefetch: bool,
+    /// Operator fused after the forward convolution (Section II-G).
+    pub fuse: FusedOp,
+    /// Machine model driving the weight-update strategy choice
+    /// (Section II-J). Defaults to the SKX model.
+    pub machine: MachineModel,
+    /// Physical padding of the input tensor (defaults to the conv's
+    /// own pad; graph executors may share a larger buffer).
+    pub input_pad: Option<usize>,
+    /// Physical padding of the gradient-output tensor passed to
+    /// `backward`/`update` (defaults to the duality-optimal padding).
+    pub dout_pad: Option<usize>,
+}
+
+impl LayerOptions {
+    /// Defaults for a given team size.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            backend: Backend::Auto,
+            prefetch: true,
+            fuse: FusedOp::None,
+            machine: MachineModel::skx(),
+            input_pad: None,
+            dout_pad: None,
+        }
+    }
+
+    /// Set the gradient-output padding (graph executors pass 0).
+    pub fn with_dout_pad(mut self, pad: usize) -> Self {
+        self.dout_pad = Some(pad);
+        self
+    }
+
+    /// Set the physical input padding (for shared activation buffers).
+    pub fn with_input_pad(mut self, pad: usize) -> Self {
+        self.input_pad = Some(pad);
+        self
+    }
+
+    /// Set the fused operator.
+    pub fn with_fuse(mut self, fuse: FusedOp) -> Self {
+        self.fuse = fuse;
+        self
+    }
+
+    /// Set the backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Enable/disable prefetching.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+}
+
+/// A fully planned convolution layer (fwd + bwd + upd).
+pub struct ConvLayer {
+    shape: ConvShape,
+    opts: LayerOptions,
+    blocking: Blocking,
+    fwd: FwdPlan,
+    bwd: BwdPlan,
+    upd: UpdPlan,
+}
+
+impl ConvLayer {
+    /// Full setup: blocking choice, kernel generation, dryrun.
+    pub fn new(shape: ConvShape, opts: LayerOptions) -> Self {
+        let b = blocking::choose(&shape);
+        let input_pad = opts.input_pad.unwrap_or(shape.pad);
+        let fwd = FwdPlan::with_input_pad(
+            shape,
+            b,
+            opts.threads,
+            opts.backend,
+            opts.prefetch,
+            opts.fuse,
+            None,
+            input_pad,
+        );
+        let bwd =
+            BwdPlan::with_input_pad(shape, opts.threads, opts.backend, opts.prefetch, input_pad);
+        let dout_pad = opts.dout_pad.unwrap_or_else(|| bwd.dout_pad());
+        let upd = UpdPlan::with_input_pad(
+            shape,
+            b,
+            opts.threads,
+            opts.backend,
+            opts.prefetch,
+            &opts.machine,
+            dout_pad,
+            input_pad,
+        );
+        Self { shape, opts, blocking: b, fwd, bwd, upd }
+    }
+
+    /// Physical padding the plans expect on the input tensor.
+    pub fn input_pad(&self) -> usize {
+        self.opts.input_pad.unwrap_or(self.shape.pad)
+    }
+
+    /// The layer's shape.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The blocking in effect.
+    pub fn blocking(&self) -> &Blocking {
+        &self.blocking
+    }
+
+    /// Backward strategy chosen (Section II-I scenario).
+    pub fn bwd_kind(&self) -> BwdKind {
+        self.bwd.kind()
+    }
+
+    /// Weight-update copies chosen by the Section II-J model.
+    pub fn upd_copies(&self) -> usize {
+        self.upd.copies()
+    }
+
+    /// Kernel backend the forward plan resolved to.
+    pub fn backend_name(&self) -> &'static str {
+        self.fwd.backend_name()
+    }
+
+    /// Physical padding expected on gradient-output tensors (the
+    /// duality-optimal value unless overridden in the options).
+    pub fn dout_pad(&self) -> usize {
+        self.opts.dout_pad.unwrap_or_else(|| self.bwd.dout_pad())
+    }
+
+    /// Allocate a correctly-padded input tensor.
+    pub fn new_input(&self) -> BlockedActs {
+        BlockedActs::zeros(self.shape.n, self.shape.c, self.shape.h, self.shape.w, self.input_pad())
+    }
+
+    /// Allocate an output tensor.
+    pub fn new_output(&self) -> BlockedActs {
+        BlockedActs::zeros(self.shape.n, self.shape.k, self.shape.p(), self.shape.q(), 0)
+    }
+
+    /// Allocate a gradient-output tensor with the duality padding.
+    pub fn new_dout(&self) -> BlockedActs {
+        BlockedActs::zeros(
+            self.shape.n,
+            self.shape.k,
+            self.shape.p(),
+            self.shape.q(),
+            self.dout_pad(),
+        )
+    }
+
+    /// Allocate a filter tensor.
+    pub fn new_filter(&self) -> BlockedFilter {
+        BlockedFilter::zeros(self.shape.k, self.shape.c, self.shape.r, self.shape.s)
+    }
+
+    /// Forward propagation (with the configured fusion).
+    pub fn forward(
+        &self,
+        pool: &ThreadPool,
+        input: &BlockedActs,
+        weights: &BlockedFilter,
+        output: &mut BlockedActs,
+        ctx: &FuseCtx<'_>,
+    ) {
+        self.fwd.run(pool, input, weights, output, ctx);
+    }
+
+    /// Backward propagation: `dinput = conv_bwd(dout, weights)`.
+    pub fn backward(
+        &self,
+        pool: &ThreadPool,
+        dout: &BlockedActs,
+        weights: &BlockedFilter,
+        dinput: &mut BlockedActs,
+    ) {
+        self.bwd.run(pool, dout, weights, dinput);
+    }
+
+    /// Weight-gradient update: `dweights = conv_upd(input, dout)`.
+    pub fn update(
+        &self,
+        pool: &ThreadPool,
+        input: &BlockedActs,
+        dout: &BlockedActs,
+        dweights: &mut BlockedFilter,
+    ) {
+        self.upd.run(pool, input, dout, dweights);
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &LayerOptions {
+        &self.opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{conv_bwd_ref, conv_fwd_ref, conv_upd_ref};
+    use tensor::{Kcrs, Nchw, Norms};
+
+    /// Complete training-step consistency: fwd, bwd and upd of one
+    /// layer against the naive references.
+    #[test]
+    fn full_layer_training_step() {
+        let shape = ConvShape::new(2, 32, 48, 10, 10, 3, 3, 1, 1);
+        let threads = 4;
+        let pool = ThreadPool::new(threads);
+        let layer = ConvLayer::new(shape, LayerOptions::new(threads));
+
+        let x = Nchw::random(2, 32, 10, 10, 1);
+        let w = Kcrs::random(48, 32, 3, 3, 2);
+        let gy = Nchw::random(2, 48, shape.p(), shape.q(), 3);
+
+        let xb = BlockedActs::from_nchw(&x, shape.pad);
+        let wb = BlockedFilter::from_kcrs(&w);
+        let gyb = BlockedActs::from_nchw(&gy, layer.dout_pad());
+
+        let mut yb = layer.new_output();
+        layer.forward(&pool, &xb, &wb, &mut yb, &FuseCtx::default());
+        let mut y_ref = Nchw::zeros(2, 48, shape.p(), shape.q());
+        conv_fwd_ref(&shape, &x, &w, &mut y_ref);
+        assert!(Norms::compare(y_ref.as_slice(), yb.to_nchw().as_slice()).ok(1e-4));
+
+        let mut gxb = layer.new_input();
+        layer.backward(&pool, &gyb, &wb, &mut gxb);
+        let mut gx_ref = Nchw::zeros(2, 32, 10, 10);
+        conv_bwd_ref(&shape, &gy, &w, &mut gx_ref);
+        assert!(Norms::compare(gx_ref.as_slice(), gxb.to_nchw().as_slice()).ok(1e-4));
+
+        let mut dwb = layer.new_filter();
+        layer.update(&pool, &xb, &gyb, &mut dwb);
+        let mut dw_ref = Kcrs::zeros(48, 32, 3, 3);
+        conv_upd_ref(&shape, &x, &gy, &mut dw_ref);
+        assert!(Norms::compare(dw_ref.as_slice(), dwb.to_kcrs().as_slice()).ok(1e-3));
+    }
+
+    #[test]
+    fn layer_reports_its_decisions() {
+        let shape = ConvShape::new(2, 64, 64, 14, 14, 1, 1, 1, 0);
+        let layer = ConvLayer::new(shape, LayerOptions::new(2));
+        assert_eq!(layer.bwd_kind(), BwdKind::DualStride1);
+        assert!(layer.upd_copies() >= 1);
+        assert!(["jit", "intrinsics", "scalar"].contains(&layer.backend_name()));
+        assert_eq!(layer.dout_pad(), 0);
+    }
+
+    #[test]
+    fn fused_layer_end_to_end() {
+        let shape = ConvShape::new(1, 16, 16, 8, 8, 3, 3, 1, 1);
+        let pool = ThreadPool::new(2);
+        let layer =
+            ConvLayer::new(shape, LayerOptions::new(2).with_fuse(FusedOp::BiasRelu));
+        let x = Nchw::random(1, 16, 8, 8, 4);
+        let w = Kcrs::random(16, 16, 3, 3, 5);
+        let xb = BlockedActs::from_nchw(&x, 1);
+        let wb = BlockedFilter::from_kcrs(&w);
+        let bias: Vec<f32> = (0..16).map(|i| 0.1 * i as f32 - 0.5).collect();
+        let mut yb = layer.new_output();
+        layer.forward(&pool, &xb, &wb, &mut yb, &FuseCtx { bias: Some(&bias), eltwise: None });
+
+        let mut y_ref = Nchw::zeros(1, 16, 8, 8);
+        conv_fwd_ref(&shape, &x, &w, &mut y_ref);
+        for k in 0..16 {
+            for h in 0..8 {
+                for wd in 0..8 {
+                    let v = (y_ref.at(0, k, h, wd) + bias[k]).max(0.0);
+                    *y_ref.at_mut(0, k, h, wd) = v;
+                }
+            }
+        }
+        assert!(Norms::compare(y_ref.as_slice(), yb.to_nchw().as_slice()).ok(1e-4));
+    }
+}

@@ -1,0 +1,40 @@
+//! Direct convolution engine — the paper's primary contribution.
+//!
+//! A [`ConvLayer`] is set up once per layer (the "JIT + dryrun" phase)
+//! and then executed many times (the "replay" phase):
+//!
+//! * **setup** picks register/cache blocking ([`blocking`]), generates
+//!   the microkernel variants (JIT machine code when available,
+//!   monomorphized intrinsics otherwise — [`backend`]), runs the
+//!   *dryrun* that records each thread's exact sequence of kernel
+//!   invocations as offset streams with RLE-encoded segments
+//!   ([`streams`], Section II-H), and chooses the weight-update
+//!   parallelization strategy with the Section II-J bandwidth model
+//!   ([`upd`]);
+//! * **execution** replays the per-thread streams (Algorithm 5): no
+//!   branchy index math, prefetch arguments taken from the next stream
+//!   entry, fused operators ([`fuse`]) applied while output sub-tensors
+//!   are cache-hot.
+//!
+//! The backward pass reuses the forward machinery through the duality
+//! transforms of Section II-I ([`bwd`]); int16 kernels implement the
+//! reduced-precision path of Section II-K ([`quant`]); [`reference`]
+//! holds the naive Algorithm 1/6/8 loop nests every engine is tested
+//! against.
+
+pub mod backend;
+pub mod blocking;
+pub mod bwd;
+pub mod fuse;
+pub mod fwd;
+pub mod layer;
+pub mod quant;
+pub mod reference;
+pub mod streams;
+pub mod upd;
+
+pub use backend::{Backend, FwdKernel, UpdKernel};
+pub use blocking::Blocking;
+pub use fuse::FusedOp;
+pub use layer::{ConvLayer, LayerOptions};
+pub use tensor::ConvShape;

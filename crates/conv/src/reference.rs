@@ -1,0 +1,224 @@
+//! Naive reference loop nests (Algorithms 1, 6 and 8 of the paper).
+//!
+//! These operate on plain `NCHW`/`KCRS` tensors and define correctness
+//! for every optimized engine — the same role the "simple loop nest as
+//! reference code" plays in the paper's artifact (Section V-E).
+
+use tensor::{ConvShape, Kcrs, Nchw};
+
+/// Algorithm 1: naive forward propagation. `out` is overwritten.
+pub fn conv_fwd_ref(shape: &ConvShape, input: &Nchw, weights: &Kcrs, out: &mut Nchw) {
+    assert_eq!((input.n, input.c, input.h, input.w), (shape.n, shape.c, shape.h, shape.w));
+    assert_eq!((weights.k, weights.c, weights.r, weights.s), (shape.k, shape.c, shape.r, shape.s));
+    let (p_dim, q_dim) = (shape.p(), shape.q());
+    assert_eq!((out.n, out.c, out.h, out.w), (shape.n, shape.k, p_dim, q_dim));
+    out.zero();
+    for n in 0..shape.n {
+        for k in 0..shape.k {
+            for c in 0..shape.c {
+                for oj in 0..p_dim {
+                    for oi in 0..q_dim {
+                        let mut acc = out.at(n, k, oj, oi);
+                        for r in 0..shape.r {
+                            for s in 0..shape.s {
+                                let ij = (shape.stride * oj + r) as isize - shape.pad as isize;
+                                let ii = (shape.stride * oi + s) as isize - shape.pad as isize;
+                                if ij >= 0
+                                    && (ij as usize) < shape.h
+                                    && ii >= 0
+                                    && (ii as usize) < shape.w
+                                {
+                                    acc += input.at(n, c, ij as usize, ii as usize)
+                                        * weights.at(k, c, r, s);
+                                }
+                            }
+                        }
+                        *out.at_mut(n, k, oj, oi) = acc;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Algorithm 6: naive backward propagation. `dinput` is overwritten.
+pub fn conv_bwd_ref(shape: &ConvShape, dout: &Nchw, weights: &Kcrs, dinput: &mut Nchw) {
+    let (p_dim, q_dim) = (shape.p(), shape.q());
+    assert_eq!((dout.n, dout.c, dout.h, dout.w), (shape.n, shape.k, p_dim, q_dim));
+    assert_eq!((dinput.n, dinput.c, dinput.h, dinput.w), (shape.n, shape.c, shape.h, shape.w));
+    dinput.zero();
+    for n in 0..shape.n {
+        for k in 0..shape.k {
+            for c in 0..shape.c {
+                for oj in 0..p_dim {
+                    for oi in 0..q_dim {
+                        let g = dout.at(n, k, oj, oi);
+                        for r in 0..shape.r {
+                            for s in 0..shape.s {
+                                let ij = (shape.stride * oj + r) as isize - shape.pad as isize;
+                                let ii = (shape.stride * oi + s) as isize - shape.pad as isize;
+                                if ij >= 0
+                                    && (ij as usize) < shape.h
+                                    && ii >= 0
+                                    && (ii as usize) < shape.w
+                                {
+                                    *dinput.at_mut(n, c, ij as usize, ii as usize) +=
+                                        g * weights.at(k, c, r, s);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Algorithm 8: naive weight-gradient update. `dweights` is overwritten.
+pub fn conv_upd_ref(shape: &ConvShape, input: &Nchw, dout: &Nchw, dweights: &mut Kcrs) {
+    let (p_dim, q_dim) = (shape.p(), shape.q());
+    assert_eq!((input.n, input.c, input.h, input.w), (shape.n, shape.c, shape.h, shape.w));
+    assert_eq!((dout.n, dout.c, dout.h, dout.w), (shape.n, shape.k, p_dim, q_dim));
+    assert_eq!(
+        (dweights.k, dweights.c, dweights.r, dweights.s),
+        (shape.k, shape.c, shape.r, shape.s)
+    );
+    dweights.zero();
+    for n in 0..shape.n {
+        for k in 0..shape.k {
+            for c in 0..shape.c {
+                for oj in 0..p_dim {
+                    for oi in 0..q_dim {
+                        let g = dout.at(n, k, oj, oi);
+                        for r in 0..shape.r {
+                            for s in 0..shape.s {
+                                let ij = (shape.stride * oj + r) as isize - shape.pad as isize;
+                                let ii = (shape.stride * oi + s) as isize - shape.pad as isize;
+                                if ij >= 0
+                                    && (ij as usize) < shape.h
+                                    && ii >= 0
+                                    && (ii as usize) < shape.w
+                                {
+                                    *dweights.at_mut(k, c, r, s) +=
+                                        input.at(n, c, ij as usize, ii as usize) * g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fwd_identity_filter_passes_input_through() {
+        // 1x1 filter with W[k][c] = 1 iff k == c copies the input
+        let shape = ConvShape::new(1, 4, 4, 5, 5, 1, 1, 1, 0);
+        let input = Nchw::random(1, 4, 5, 5, 1);
+        let mut w = Kcrs::zeros(4, 4, 1, 1);
+        for k in 0..4 {
+            *w.at_mut(k, k, 0, 0) = 1.0;
+        }
+        let mut out = Nchw::zeros(1, 4, 5, 5);
+        conv_fwd_ref(&shape, &input, &w, &mut out);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn fwd_padding_keeps_output_size() {
+        let shape = ConvShape::new(1, 1, 1, 4, 4, 3, 3, 1, 1);
+        let mut input = Nchw::zeros(1, 1, 4, 4);
+        *input.at_mut(0, 0, 0, 0) = 1.0;
+        let mut w = Kcrs::zeros(1, 1, 3, 3);
+        *w.at_mut(0, 0, 1, 1) = 2.0; // center tap
+        let mut out = Nchw::zeros(1, 1, 4, 4);
+        conv_fwd_ref(&shape, &input, &w, &mut out);
+        assert_eq!(out.at(0, 0, 0, 0), 2.0);
+        assert_eq!(out.at(0, 0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn bwd_is_adjoint_of_fwd() {
+        // <conv(x), gy> == <x, conv_bwd(gy)> — the defining property
+        let shape = ConvShape::new(2, 3, 5, 6, 6, 3, 3, 1, 1);
+        let x = Nchw::random(2, 3, 6, 6, 11);
+        let w = Kcrs::random(5, 3, 3, 3, 12);
+        let gy = Nchw::random(2, 5, shape.p(), shape.q(), 13);
+        let mut y = Nchw::zeros(2, 5, shape.p(), shape.q());
+        conv_fwd_ref(&shape, &x, &w, &mut y);
+        let mut gx = Nchw::zeros(2, 3, 6, 6);
+        conv_bwd_ref(&shape, &gy, &w, &mut gx);
+        let dot_y: f64 = y
+            .as_slice()
+            .iter()
+            .zip(gy.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        let dot_x: f64 = x
+            .as_slice()
+            .iter()
+            .zip(gx.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        assert!((dot_y - dot_x).abs() < 1e-3 * dot_y.abs().max(1.0), "{dot_y} vs {dot_x}");
+    }
+
+    #[test]
+    fn upd_matches_finite_difference_structure() {
+        // d/dw <conv(x; w), gy> = upd(x, gy): check one coordinate
+        let shape = ConvShape::new(1, 2, 2, 4, 4, 3, 3, 1, 1);
+        let x = Nchw::random(1, 2, 4, 4, 21);
+        let gy = Nchw::random(1, 2, 4, 4, 22);
+        let mut dw = Kcrs::zeros(2, 2, 3, 3);
+        conv_upd_ref(&shape, &x, &gy, &mut dw);
+
+        let mut w = Kcrs::zeros(2, 2, 3, 3);
+        let eps = 1e-2f32;
+        *w.at_mut(1, 0, 2, 1) = eps;
+        let mut y = Nchw::zeros(1, 2, 4, 4);
+        conv_fwd_ref(&shape, &x, &w, &mut y);
+        let loss: f64 = y
+            .as_slice()
+            .iter()
+            .zip(gy.as_slice())
+            .map(|(a, b)| (*a as f64) * (*b as f64))
+            .sum();
+        // loss is linear in w: loss = eps * dw[1][0][2][1]
+        let grad = loss / eps as f64;
+        assert!(
+            (grad - dw.at(1, 0, 2, 1) as f64).abs() < 1e-3,
+            "{grad} vs {}",
+            dw.at(1, 0, 2, 1)
+        );
+    }
+
+    #[test]
+    fn strided_shapes_are_consistent() {
+        let shape = ConvShape::new(1, 2, 3, 8, 8, 3, 3, 2, 1);
+        assert_eq!(shape.p(), 4);
+        let x = Nchw::random(1, 2, 8, 8, 5);
+        let w = Kcrs::random(3, 2, 3, 3, 6);
+        let mut y = Nchw::zeros(1, 3, 4, 4);
+        conv_fwd_ref(&shape, &x, &w, &mut y);
+        // spot check one output element against manual computation
+        let (oj, oi, k) = (1usize, 2usize, 2usize);
+        let mut acc = 0.0f32;
+        for c in 0..2 {
+            for r in 0..3 {
+                for s in 0..3 {
+                    let ij = 2 * oj + r;
+                    let ii = 2 * oi + s;
+                    if ij >= 1 && ij - 1 < 8 && ii >= 1 && ii - 1 < 8 {
+                        acc += x.at(0, c, ij - 1, ii - 1) * w.at(k, c, r, s);
+                    }
+                }
+            }
+        }
+        assert!((y.at(0, k, oj, oi) - acc).abs() < 1e-5);
+    }
+}

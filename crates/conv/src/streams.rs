@@ -1,0 +1,199 @@
+//! Kernel streams: the dryrun/replay execution framework (Section II-H).
+//!
+//! During the *dryrun* (layer setup) each thread walks its share of the
+//! convolution loop nest and, instead of calling kernels, records
+//!
+//! * a kernel-variant stream `var[]`,
+//! * three offset streams `inp[]`, `wt[]`, `out[]`,
+//! * APPLY records for fused operators,
+//!
+//! run-length encoded into segments (`CONV-STREAK(n)` / `APPLY`) — the
+//! compact representation of Figure 2. The *replay* (every execution)
+//! is Algorithm 5 verbatim: a flat loop over segments with zero index
+//! arithmetic and no conditionals in the hot path, where the prefetch
+//! arguments of invocation `i` are the compute offsets of invocation
+//! `i + 1`.
+
+use crate::backend::FwdKernel;
+use crate::fuse::{apply_tile, ApplyRec, FuseCtx, FusedOp};
+
+/// One RLE segment of a thread's execution (Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Segment {
+    /// `n` consecutive convolution microkernel calls.
+    ConvStreak(u32),
+    /// One fused-operator application (index into the apply stream).
+    Apply(u32),
+}
+
+/// A single thread's recorded execution.
+#[derive(Clone, Debug, Default)]
+pub struct Stream {
+    /// RLE segments.
+    pub segments: Vec<Segment>,
+    /// Kernel-variant stream (indexes the plan's kernel table).
+    pub var: Vec<u8>,
+    /// Input sub-tensor offsets (elements).
+    pub inp: Vec<u32>,
+    /// Weight sub-tensor offsets (elements).
+    pub wt: Vec<u32>,
+    /// Output sub-tensor offsets (elements).
+    pub out: Vec<u32>,
+    /// APPLY records.
+    pub applies: Vec<ApplyRec>,
+}
+
+impl Stream {
+    /// Record one convolution call (RLE: extends the current streak).
+    pub fn push_conv(&mut self, var: u8, inp: usize, wt: usize, out: usize) {
+        self.var.push(var);
+        self.inp.push(u32::try_from(inp).expect("input offset exceeds u32"));
+        self.wt.push(u32::try_from(wt).expect("weight offset exceeds u32"));
+        self.out.push(u32::try_from(out).expect("output offset exceeds u32"));
+        match self.segments.last_mut() {
+            Some(Segment::ConvStreak(n)) => *n += 1,
+            _ => self.segments.push(Segment::ConvStreak(1)),
+        }
+    }
+
+    /// Record one fused-operator application.
+    pub fn push_apply(&mut self, rec: ApplyRec) {
+        let idx = self.applies.len() as u32;
+        self.applies.push(rec);
+        self.segments.push(Segment::Apply(idx));
+    }
+
+    /// Total convolution calls recorded.
+    pub fn conv_count(&self) -> usize {
+        self.var.len()
+    }
+
+    /// Approximate memory footprint of the stream metadata in bytes —
+    /// the paper's "compact representation" claim is testable.
+    pub fn metadata_bytes(&self) -> usize {
+        self.segments.len() * std::mem::size_of::<Segment>()
+            + self.var.len()
+            + (self.inp.len() + self.wt.len() + self.out.len()) * 4
+            + self.applies.len() * std::mem::size_of::<ApplyRec>()
+    }
+
+    /// Replay this stream (Algorithm 5).
+    ///
+    /// # Safety
+    /// The base pointers must describe tensors laid out exactly as the
+    /// dryrun assumed (same shapes, same padding).
+    pub unsafe fn replay(
+        &self,
+        kernels: &[FwdKernel],
+        fused: FusedOp,
+        inp: *const f32,
+        wt: *const f32,
+        out: *mut f32,
+        ctx: &FuseCtx<'_>,
+    ) {
+        let mut i = 0usize;
+        let last = self.var.len().saturating_sub(1);
+        for seg in &self.segments {
+            match *seg {
+                Segment::ConvStreak(n) => {
+                    for _ in 0..n {
+                        // prefetch args = next invocation's sub-tensors
+                        let j = if i == last { i } else { i + 1 };
+                        let k = &kernels[self.var[i] as usize];
+                        k.call(
+                            inp.add(self.inp[i] as usize),
+                            wt.add(self.wt[i] as usize),
+                            out.add(self.out[i] as usize),
+                            inp.add(self.inp[j] as usize),
+                            wt.add(self.wt[j] as usize),
+                            out.add(self.out[j] as usize),
+                        );
+                        i += 1;
+                    }
+                }
+                Segment::Apply(a) => {
+                    apply_tile(fused, &self.applies[a as usize], out, ctx);
+                }
+            }
+        }
+        debug_assert_eq!(i, self.var.len(), "segment RLE must cover every call");
+    }
+}
+
+impl Stream {
+    /// Replay with int16 kernels (Section II-K). The int16 path does
+    /// not fuse operators, so APPLY segments are rejected.
+    ///
+    /// # Safety
+    /// Same contract as [`Stream::replay`] for the int16/int32 tensors.
+    pub unsafe fn replay_quant(
+        &self,
+        kernels: &[crate::backend::QuantKernel],
+        inp: *const i16,
+        wt: *const i16,
+        out: *mut i32,
+    ) {
+        let mut i = 0usize;
+        let last = self.var.len().saturating_sub(1);
+        for seg in &self.segments {
+            match *seg {
+                Segment::ConvStreak(n) => {
+                    for _ in 0..n {
+                        let j = if i == last { i } else { i + 1 };
+                        let k = &kernels[self.var[i] as usize];
+                        k.call(
+                            inp.add(self.inp[i] as usize),
+                            wt.add(self.wt[i] as usize),
+                            out.add(self.out[i] as usize),
+                            inp.add(self.inp[j] as usize),
+                            wt.add(self.wt[j] as usize),
+                            out.add(self.out[j] as usize),
+                        );
+                        i += 1;
+                    }
+                }
+                Segment::Apply(_) => unreachable!("int16 plans are built without fusion"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rle_merges_consecutive_convs() {
+        let mut s = Stream::default();
+        for i in 0..5 {
+            s.push_conv(0, i, 0, i);
+        }
+        s.push_apply(ApplyRec { out_off: 0, kb: 0, rows: 1, cols: 1, row_stride: 16 });
+        for i in 5..8 {
+            s.push_conv(1, i, 0, i);
+        }
+        assert_eq!(
+            s.segments,
+            vec![Segment::ConvStreak(5), Segment::Apply(0), Segment::ConvStreak(3)]
+        );
+        assert_eq!(s.conv_count(), 8);
+    }
+
+    #[test]
+    fn metadata_is_compact() {
+        // one entry ≈ 13 bytes + segment amortization
+        let mut s = Stream::default();
+        for i in 0..1000 {
+            s.push_conv(0, i, i, i);
+        }
+        assert!(s.metadata_bytes() < 1000 * 16 + 64, "{}", s.metadata_bytes());
+        assert_eq!(s.segments.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn offset_overflow_is_caught() {
+        let mut s = Stream::default();
+        s.push_conv(0, u32::MAX as usize + 1, 0, 0);
+    }
+}

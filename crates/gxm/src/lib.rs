@@ -1,0 +1,25 @@
+//! GxM — the light-weight Graph execution Model (Section II-L).
+//!
+//! "GxM can be seen as a very light-weight sibling of Tensorflow": a
+//! topology description is parsed into a Network List, extended with
+//! Split nodes, turned into an Execution Task Graph through the
+//! pipeline of Figure 3 (NL → ENL → ENG → PETG → UETG → ETG), and the
+//! ETG's tasks execute the forward, backward and weight-update passes
+//! on top of the `conv` crate's engines plus the non-convolution
+//! operators in [`ops`].
+//!
+//! Multi-node training (Fig. 9) is modelled in [`multinode`]: data
+//! parallelism with the gradient allreduce overlapped behind backward
+//! compute, standing in for Intel MLSL over Omnipath (see DESIGN.md).
+
+pub mod data;
+pub mod multinode;
+pub mod net;
+pub mod ops;
+pub mod parser;
+pub mod pipeline;
+pub mod spec;
+
+pub use net::{Network, StepStats};
+pub use parser::parse_topology;
+pub use spec::NodeSpec;

@@ -1,0 +1,850 @@
+//! The ETG executor: a trainable network.
+//!
+//! `Network::build` infers every blob's geometry (including the
+//! physical padding each consumer convolution wants), allocates
+//! activations/gradients/parameters, and sets up one `ConvLayer` per
+//! convolution node (JIT + dryrun). `train_step` then executes the
+//! ETG's forward, backward and update schedules and applies SGD with
+//! momentum — the full training loop of Section III-C.
+//!
+//! Split nodes are resolved as aliases: distribution is free forward,
+//! and the gradient reduction falls out of the accumulate-into-blob
+//! convention every backward operator follows.
+
+use crate::ops;
+use crate::pipeline::{compile, Etg, PassKind};
+use crate::spec::{NodeSpec, PoolKind};
+use conv::{ConvLayer, FusedOp, LayerOptions};
+use parallel::ThreadPool;
+use tensor::rng::SplitMix64;
+use tensor::{BlockedActs, BlockedFilter, VLEN};
+
+/// Activation + gradient pair for one blob.
+struct Blob {
+    act: BlockedActs,
+    grad: BlockedActs,
+}
+
+/// Parameter with gradient and momentum (flat f32).
+struct Param {
+    w: Vec<f32>,
+    dw: Vec<f32>,
+    vel: Vec<f32>,
+}
+
+impl Param {
+    fn new(len: usize) -> Self {
+        Self { w: vec![0.0; len], dw: vec![0.0; len], vel: vec![0.0; len] }
+    }
+}
+
+#[allow(dead_code)] // eltwise indices / dims kept for introspection
+enum LayerState {
+    Input,
+    Conv {
+        layer: Box<ConvLayer>,
+        w: BlockedFilter,
+        dw: BlockedFilter,
+        w_vel: BlockedFilter,
+        bias: Option<Param>,
+        relu: bool,
+        eltwise: Option<usize>,
+        /// masked dO scratch (saved for the update pass)
+        dout_masked: BlockedActs,
+        /// dI scratch (accumulated into the bottom's grad)
+        di_scratch: BlockedActs,
+    },
+    Bn {
+        gamma: Param,
+        beta: Param,
+        saved: ops::BnSaved,
+        relu: bool,
+        eltwise: Option<usize>,
+    },
+    Pool {
+        kind: PoolKind,
+        size: usize,
+        stride: usize,
+        pad: usize,
+        argmax: Vec<u32>,
+    },
+    Gap,
+    Fc {
+        w: Param,
+        b: Param,
+        in_dim: usize,
+        out_dim: usize,
+    },
+    SoftmaxLoss {
+        probs: Vec<f32>,
+        classes: usize,
+    },
+    Split,
+    Concat,
+}
+
+/// Metrics of one training step.
+#[derive(Clone, Copy, Debug)]
+pub struct StepStats {
+    /// Mean cross-entropy loss.
+    pub loss: f32,
+    /// Top-1 accuracy on the minibatch.
+    pub top1: f32,
+}
+
+/// A compiled, trainable network.
+#[allow(dead_code)] // loss_node kept for graph introspection
+pub struct Network {
+    pool: ThreadPool,
+    etg: Etg,
+    /// Blob storage per node (None for alias nodes).
+    blobs: Vec<Option<Blob>>,
+    /// Alias resolution: node → node owning its output blob.
+    alias: Vec<usize>,
+    layers: Vec<LayerState>,
+    /// Index of the input node and the loss node.
+    input_node: usize,
+    loss_node: usize,
+    minibatch: usize,
+    /// Class count of the softmax head.
+    pub classes: usize,
+    labels: Vec<usize>,
+}
+
+impl Network {
+    /// Compile a topology for a minibatch size and thread count.
+    pub fn build(nl: &[NodeSpec], minibatch: usize, threads: usize) -> Self {
+        let etg = compile(nl);
+        let nodes = &etg.eng.nodes;
+        let index: std::collections::HashMap<String, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (n.name().to_string(), i)).collect();
+
+        // alias resolution for Split nodes
+        let mut alias: Vec<usize> = (0..nodes.len()).collect();
+        for (i, n) in nodes.iter().enumerate() {
+            if let NodeSpec::Split { bottom, .. } = n {
+                alias[i] = alias[index[bottom]];
+            }
+        }
+
+        // shape inference: (c, h, w) per node
+        let mut shapes: Vec<(usize, usize, usize)> = Vec::with_capacity(nodes.len());
+        for (i, n) in nodes.iter().enumerate() {
+            let dim_of = |name: &str| shapes[alias[index[name]]];
+            let sh = match n {
+                NodeSpec::Input { c, h, w, .. } => (*c, *h, *w),
+                NodeSpec::Conv { bottom, k, r, s, stride, pad, .. } => {
+                    let (_, h, w) = dim_of(bottom);
+                    ((*k), (h + 2 * pad - r) / stride + 1, (w + 2 * pad - s) / stride + 1)
+                }
+                NodeSpec::Bn { bottom, .. } => dim_of(bottom),
+                NodeSpec::Pool { bottom, size, stride, pad, .. } => {
+                    let (c, h, w) = dim_of(bottom);
+                    (c, (h + 2 * pad - size) / stride + 1, (w + 2 * pad - size) / stride + 1)
+                }
+                NodeSpec::GlobalAvgPool { bottom, .. } => {
+                    let (c, _, _) = dim_of(bottom);
+                    (c, 1, 1)
+                }
+                NodeSpec::Fc { k, .. } => (*k, 1, 1),
+                NodeSpec::SoftmaxLoss { bottom, .. } => dim_of(bottom),
+                NodeSpec::Concat { bottoms, .. } => {
+                    let (mut c, mut h, mut w) = (0, 0, 0);
+                    for b in bottoms {
+                        let (cc, hh, ww) = dim_of(b);
+                        c += cc;
+                        h = hh;
+                        w = ww;
+                    }
+                    (c, h, w)
+                }
+                NodeSpec::Split { bottom, .. } => dim_of(bottom),
+            };
+            let _ = i;
+            shapes.push(sh);
+        }
+
+        // padding inference: blob pad = max pad over conv consumers
+        let mut blob_pad = vec![0usize; nodes.len()];
+        for n in nodes.iter() {
+            if let NodeSpec::Conv { bottom, pad, .. } = n {
+                let owner = alias[index[bottom.as_str()]];
+                blob_pad[owner] = blob_pad[owner].max(*pad);
+            }
+        }
+        // conv outputs must stay pad-0 (they feed BN/pool/eltwise in the
+        // supported topologies); padded consumers read BN/pool outputs
+        for (i, n) in nodes.iter().enumerate() {
+            if matches!(n, NodeSpec::Conv { .. }) {
+                assert_eq!(
+                    blob_pad[i], 0,
+                    "conv '{}' output feeds a padded conv directly; insert a bn node",
+                    n.name()
+                );
+            }
+        }
+
+        // allocate blobs + layer state
+        let pool = ThreadPool::new(threads);
+        let mut rng = SplitMix64::new(0x5eed);
+        let mut blobs: Vec<Option<Blob>> = Vec::with_capacity(nodes.len());
+        let mut layers: Vec<LayerState> = Vec::with_capacity(nodes.len());
+        let mut input_node = usize::MAX;
+        let mut loss_node = usize::MAX;
+        let mut classes = 0usize;
+        for (i, n) in nodes.iter().enumerate() {
+            let (c, h, w) = shapes[i];
+            let mk_blob = |pad: usize| {
+                Some(Blob {
+                    act: BlockedActs::zeros(minibatch, c, h, w, pad),
+                    grad: BlockedActs::zeros(minibatch, c, h, w, pad),
+                })
+            };
+            let (blob, state) = match n {
+                NodeSpec::Input { .. } => {
+                    input_node = i;
+                    (mk_blob(blob_pad[i]), LayerState::Input)
+                }
+                NodeSpec::Conv { bottom, k, r, s, stride, pad, bias, relu, eltwise, .. } => {
+                    let bi = alias[index[bottom.as_str()]];
+                    let (bc, bh, bw) = shapes[bi];
+                    let shape = tensor::ConvShape::new(minibatch, bc, *k, bh, bw, *r, *s, *stride, *pad);
+                    let fuse = match (bias, relu, eltwise.is_some()) {
+                        (true, true, false) => FusedOp::BiasRelu,
+                        (true, false, false) => FusedOp::Bias,
+                        (false, true, false) => FusedOp::Relu,
+                        (false, false, true) => FusedOp::Eltwise,
+                        (false, true, true) | (true, true, true) => FusedOp::EltwiseRelu,
+                        (true, false, true) => FusedOp::Eltwise,
+                        (false, false, false) => FusedOp::None,
+                    };
+                    let layer = ConvLayer::new(
+                        shape,
+                        LayerOptions::new(threads)
+                            .with_fuse(fuse)
+                            .with_input_pad(blob_pad[bi])
+                            .with_dout_pad(0),
+                    );
+                    let mut wt = BlockedFilter::zeros(*k, bc, *r, *s);
+                    he_init_filter(&mut wt, &mut rng);
+                    let bias_p = bias.then(|| Param::new(k.next_multiple_of(VLEN)));
+                    let state = LayerState::Conv {
+                        dout_masked: layer.new_output(),
+                        di_scratch: layer.new_input(),
+                        layer: Box::new(layer),
+                        w: wt,
+                        dw: BlockedFilter::zeros(*k, bc, *r, *s),
+                        w_vel: BlockedFilter::zeros(*k, bc, *r, *s),
+                        bias: bias_p,
+                        relu: *relu,
+                        eltwise: eltwise.as_ref().map(|e| alias[index[e.as_str()]]),
+                    };
+                    (mk_blob(0), state)
+                }
+                NodeSpec::Bn { relu, eltwise, .. } => {
+                    let cpad = c.next_multiple_of(VLEN);
+                    let mut gamma = Param::new(cpad);
+                    gamma.w.fill(1.0);
+                    let state = LayerState::Bn {
+                        gamma,
+                        beta: Param::new(cpad),
+                        saved: ops::BnSaved::default(),
+                        relu: *relu,
+                        eltwise: eltwise.as_ref().map(|e| alias[index[e.as_str()]]),
+                    };
+                    (mk_blob(blob_pad[i]), state)
+                }
+                NodeSpec::Pool { kind, size, stride, pad, .. } => (
+                    mk_blob(blob_pad[i]),
+                    LayerState::Pool {
+                        kind: *kind,
+                        size: *size,
+                        stride: *stride,
+                        pad: *pad,
+                        argmax: Vec::new(),
+                    },
+                ),
+                NodeSpec::GlobalAvgPool { .. } => (mk_blob(0), LayerState::Gap),
+                NodeSpec::Fc { bottom, k, .. } => {
+                    let (bc, _, _) = shapes[alias[index[bottom.as_str()]]];
+                    let (in_dim, out_dim) = (bc.next_multiple_of(VLEN), k.next_multiple_of(VLEN));
+                    let mut w = Param::new(in_dim * out_dim);
+                    let scale = (2.0 / in_dim as f32).sqrt();
+                    for v in w.w.iter_mut() {
+                        *v = rng.next_f32() * 2.0 * scale;
+                    }
+                    (mk_blob(0), LayerState::Fc { w, b: Param::new(out_dim), in_dim, out_dim })
+                }
+                NodeSpec::SoftmaxLoss { bottom, .. } => {
+                    loss_node = i;
+                    classes = shapes[alias[index[bottom.as_str()]]].0;
+                    (None, LayerState::SoftmaxLoss { probs: Vec::new(), classes })
+                }
+                NodeSpec::Concat { .. } => (mk_blob(blob_pad[i]), LayerState::Concat),
+                NodeSpec::Split { .. } => (None, LayerState::Split),
+            };
+            blobs.push(blob);
+            layers.push(state);
+        }
+        assert!(input_node != usize::MAX, "topology has no input node");
+        assert!(loss_node != usize::MAX, "topology has no softmaxloss node");
+        Self {
+            pool,
+            etg,
+            blobs,
+            alias,
+            layers,
+            input_node,
+            loss_node,
+            minibatch,
+            classes,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of trainable parameters (logical, without lane padding).
+    pub fn param_count(&self) -> usize {
+        let mut total = 0usize;
+        for (i, l) in self.layers.iter().enumerate() {
+            match l {
+                LayerState::Conv { w, bias, .. } => {
+                    total += w.k * w.c * w.r * w.s;
+                    if bias.is_some() {
+                        total += w.k;
+                    }
+                    let _ = i;
+                }
+                LayerState::Bn { gamma, .. } => total += 2 * gamma.w.len(),
+                LayerState::Fc { w, b, .. } => total += w.w.len() + b.w.len(),
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Gradient bytes exchanged per step under data parallelism (the
+    /// allreduce payload of Fig. 9).
+    pub fn gradient_bytes(&self) -> f64 {
+        self.param_count() as f64 * 4.0
+    }
+
+    /// Mutable access to the input activation (fill with a batch).
+    pub fn input_mut(&mut self) -> &mut BlockedActs {
+        let i = self.alias[self.input_node];
+        &mut self.blobs[i].as_mut().unwrap().act
+    }
+
+    /// One full training step on (already loaded) input + labels.
+    pub fn train_step(&mut self, labels: &[usize], lr: f32, momentum: f32) -> StepStats {
+        assert_eq!(labels.len(), self.minibatch);
+        self.labels = labels.to_vec();
+        let stats = self.forward();
+        self.backward();
+        self.update();
+        self.sgd(lr, momentum);
+        stats
+    }
+
+    /// Forward pass only (inference); returns loss/top-1 against the
+    /// last set labels (zeros if never set).
+    pub fn forward(&mut self) -> StepStats {
+        if self.labels.len() != self.minibatch {
+            self.labels = vec![0; self.minibatch];
+        }
+        let mut out = StepStats { loss: 0.0, top1: 0.0 };
+        let fwd = self.etg.fwd.clone();
+        for t in &fwd {
+            debug_assert_eq!(t.pass, PassKind::Fwd);
+            if let Some(s) = self.forward_node(t.node) {
+                out = s;
+            }
+        }
+        out
+    }
+
+    fn take_blob(&mut self, node: usize) -> Blob {
+        self.blobs[self.alias[node]].take().expect("blob taken twice")
+    }
+
+    fn put_blob(&mut self, node: usize, b: Blob) {
+        self.blobs[self.alias[node]] = Some(b);
+    }
+
+    fn bottoms_of(&self, node: usize) -> Vec<usize> {
+        let index: Vec<usize> = self.etg.eng.preds[node].clone();
+        index
+    }
+
+    fn forward_node(&mut self, node: usize) -> Option<StepStats> {
+        let spec = self.etg.eng.nodes[node].clone();
+        match spec {
+            NodeSpec::Input { .. } | NodeSpec::Split { .. } => None,
+            NodeSpec::Conv { bottom: _, .. } => {
+                let bots = self.bottoms_of(node);
+                let bot = self.take_blob(bots[0]);
+                let mut own = self.take_blob(node);
+                // eltwise residual (if any) is the second bottom
+                let res = if bots.len() > 1 && self.alias[bots[1]] != self.alias[bots[0]] {
+                    Some(self.take_blob(bots[1]))
+                } else {
+                    None
+                };
+                if let LayerState::Conv { layer, w, bias, .. } = &self.layers[node] {
+                    let ctx = conv::fuse::FuseCtx {
+                        bias: bias.as_ref().map(|b| &b.w[..]),
+                        eltwise: res.as_ref().map(|b| &b.act),
+                    };
+                    layer.forward(&self.pool, &bot.act, w, &mut own.act, &ctx);
+                } else {
+                    unreachable!()
+                }
+                if let Some(r) = res {
+                    self.put_blob(self.bottoms_of(node)[1], r);
+                }
+                self.put_blob(self.bottoms_of(node)[0], bot);
+                self.put_blob(node, own);
+                None
+            }
+            NodeSpec::Bn { .. } => {
+                let bots = self.bottoms_of(node);
+                let bot = self.take_blob(bots[0]);
+                let mut own = self.take_blob(node);
+                let res = if bots.len() > 1 && self.alias[bots[1]] != self.alias[bots[0]] {
+                    Some(self.take_blob(bots[1]))
+                } else {
+                    None
+                };
+                if let LayerState::Bn { gamma, beta, saved, relu, .. } = &mut self.layers[node] {
+                    ops::bn_fwd(
+                        &self.pool,
+                        &bot.act,
+                        &gamma.w,
+                        &beta.w,
+                        1e-5,
+                        *relu,
+                        res.as_ref().map(|b| &b.act),
+                        &mut own.act,
+                        saved,
+                    );
+                } else {
+                    unreachable!()
+                }
+                if let Some(r) = res {
+                    self.put_blob(self.bottoms_of(node)[1], r);
+                }
+                self.put_blob(self.bottoms_of(node)[0], bot);
+                self.put_blob(node, own);
+                None
+            }
+            NodeSpec::Pool { .. } => {
+                let bots = self.bottoms_of(node);
+                let bot = self.take_blob(bots[0]);
+                let mut own = self.take_blob(node);
+                if let LayerState::Pool { kind, size, stride, pad, argmax } =
+                    &mut self.layers[node]
+                {
+                    match kind {
+                        PoolKind::Max => ops::maxpool_fwd(
+                            &self.pool, &bot.act, *size, *stride, *pad, &mut own.act, argmax,
+                        ),
+                        PoolKind::Avg => ops::avgpool_fwd(
+                            &self.pool, &bot.act, *size, *stride, *pad, &mut own.act,
+                        ),
+                    }
+                } else {
+                    unreachable!()
+                }
+                self.put_blob(bots[0], bot);
+                self.put_blob(node, own);
+                None
+            }
+            NodeSpec::GlobalAvgPool { .. } => {
+                let bots = self.bottoms_of(node);
+                let bot = self.take_blob(bots[0]);
+                let mut own = self.take_blob(node);
+                ops::gap_fwd(&self.pool, &bot.act, &mut own.act);
+                self.put_blob(bots[0], bot);
+                self.put_blob(node, own);
+                None
+            }
+            NodeSpec::Fc { .. } => {
+                let bots = self.bottoms_of(node);
+                let bot = self.take_blob(bots[0]);
+                let mut own = self.take_blob(node);
+                if let LayerState::Fc { w, b, .. } = &self.layers[node] {
+                    ops::fc_fwd(&self.pool, &bot.act, &w.w, &b.w, &mut own.act);
+                } else {
+                    unreachable!()
+                }
+                self.put_blob(bots[0], bot);
+                self.put_blob(node, own);
+                None
+            }
+            NodeSpec::SoftmaxLoss { .. } => {
+                let bots = self.bottoms_of(node);
+                let bot = self.take_blob(bots[0]);
+                let labels = self.labels.clone();
+                let stats = if let LayerState::SoftmaxLoss { probs, classes } =
+                    &mut self.layers[node]
+                {
+                    let (loss, top1) = ops::softmax_loss_fwd(&bot.act, *classes, &labels, probs);
+                    StepStats { loss, top1 }
+                } else {
+                    unreachable!()
+                };
+                self.put_blob(bots[0], bot);
+                Some(stats)
+            }
+            NodeSpec::Concat { .. } => {
+                let bots = self.bottoms_of(node);
+                let mut own = self.take_blob(node);
+                let parts: Vec<Blob> = bots.iter().map(|&b| self.take_blob(b)).collect();
+                {
+                    let refs: Vec<&BlockedActs> = parts.iter().map(|p| &p.act).collect();
+                    ops::concat_fwd(&refs, &mut own.act);
+                }
+                for (b, p) in bots.iter().zip(parts) {
+                    self.put_blob(*b, p);
+                }
+                self.put_blob(node, own);
+                None
+            }
+        }
+    }
+
+    /// Backward pass (zeroes gradients first).
+    pub fn backward(&mut self) {
+        for b in self.blobs.iter_mut().flatten() {
+            b.grad.zero();
+        }
+        let bwd = self.etg.bwd.clone();
+        for t in &bwd {
+            self.backward_node(t.node);
+        }
+    }
+
+    fn backward_node(&mut self, node: usize) {
+        let spec = self.etg.eng.nodes[node].clone();
+        match spec {
+            NodeSpec::Input { .. } | NodeSpec::Split { .. } => {}
+            NodeSpec::SoftmaxLoss { .. } => {
+                let bots = self.bottoms_of(node);
+                let mut bot = self.take_blob(bots[0]);
+                let labels = self.labels.clone();
+                if let LayerState::SoftmaxLoss { probs, classes } = &self.layers[node] {
+                    ops::softmax_loss_bwd(probs, *classes, &labels, &mut bot.grad);
+                }
+                self.put_blob(bots[0], bot);
+            }
+            NodeSpec::Fc { .. } => {
+                let bots = self.bottoms_of(node);
+                let mut bot = self.take_blob(bots[0]);
+                let own = self.take_blob(node);
+                if let LayerState::Fc { w, b, .. } = &mut self.layers[node] {
+                    ops::fc_bwd(&self.pool, &bot.act, &own.grad, &w.w, &mut bot.grad, &mut w.dw, &mut b.dw);
+                }
+                self.put_blob(bots[0], bot);
+                self.put_blob(node, own);
+            }
+            NodeSpec::GlobalAvgPool { .. } => {
+                let bots = self.bottoms_of(node);
+                let mut bot = self.take_blob(bots[0]);
+                let own = self.take_blob(node);
+                ops::gap_bwd(&self.pool, &own.grad, &mut bot.grad);
+                self.put_blob(bots[0], bot);
+                self.put_blob(node, own);
+            }
+            NodeSpec::Pool { .. } => {
+                let bots = self.bottoms_of(node);
+                let mut bot = self.take_blob(bots[0]);
+                let own = self.take_blob(node);
+                if let LayerState::Pool { kind, size, stride, pad, argmax } = &self.layers[node] {
+                    match kind {
+                        PoolKind::Max => {
+                            ops::maxpool_bwd(&self.pool, &own.grad, argmax, &mut bot.grad)
+                        }
+                        PoolKind::Avg => ops::avgpool_bwd(
+                            &self.pool, &own.grad, *size, *stride, *pad, &mut bot.grad,
+                        ),
+                    }
+                }
+                self.put_blob(bots[0], bot);
+                self.put_blob(node, own);
+            }
+            NodeSpec::Bn { .. } => {
+                let bots = self.bottoms_of(node);
+                let mut bot = self.take_blob(bots[0]);
+                let own = self.take_blob(node);
+                let mut res = if bots.len() > 1 && self.alias[bots[1]] != self.alias[bots[0]] {
+                    Some(self.take_blob(bots[1]))
+                } else {
+                    None
+                };
+                if let LayerState::Bn { gamma, beta, saved, relu, .. } = &mut self.layers[node] {
+                    ops::bn_bwd(
+                        &self.pool,
+                        &bot.act,
+                        &own.act,
+                        &own.grad,
+                        &gamma.w,
+                        saved,
+                        *relu,
+                        res.as_mut().map(|b| &mut b.grad),
+                        &mut bot.grad,
+                        &mut gamma.dw,
+                        &mut beta.dw,
+                    );
+                }
+                if let Some(r) = res {
+                    self.put_blob(self.bottoms_of(node)[1], r);
+                }
+                self.put_blob(self.bottoms_of(node)[0], bot);
+                self.put_blob(node, own);
+            }
+            NodeSpec::Conv { .. } => {
+                let bots = self.bottoms_of(node);
+                let mut bot = self.take_blob(bots[0]);
+                let own = self.take_blob(node);
+                let mut res = if bots.len() > 1 && self.alias[bots[1]] != self.alias[bots[0]] {
+                    Some(self.take_blob(bots[1]))
+                } else {
+                    None
+                };
+                if let LayerState::Conv {
+                    layer, w, bias, relu, eltwise, dout_masked, di_scratch, ..
+                } = &mut self.layers[node]
+                {
+                    // mask the incoming gradient through the fused ReLU;
+                    // route it to the residual branch as well
+                    let has_post = *relu || eltwise.is_some();
+                    let g_len = own.grad.as_slice().len();
+                    if has_post {
+                        for i in 0..g_len {
+                            let mut g = own.grad.as_slice()[i];
+                            if *relu && own.act.as_slice()[i] <= 0.0 {
+                                g = 0.0;
+                            }
+                            dout_masked.as_mut_slice()[i] = g;
+                        }
+                        if eltwise.is_some() {
+                            if let Some(r) = res.as_mut() {
+                                for (d, s) in
+                                    r.grad.as_mut_slice().iter_mut().zip(dout_masked.as_slice())
+                                {
+                                    *d += s;
+                                }
+                            }
+                        }
+                    } else {
+                        dout_masked.as_mut_slice().copy_from_slice(own.grad.as_slice());
+                    }
+                    // bias gradient
+                    if let Some(bp) = bias.as_mut() {
+                        bp.dw.fill(0.0);
+                        let kpad = dout_masked.cb * VLEN;
+                        let plane = dout_masked.h * dout_masked.w;
+                        for n in 0..dout_masked.n {
+                            for kb in 0..dout_masked.cb {
+                                let base = (n * dout_masked.cb + kb) * plane * VLEN;
+                                for px in 0..plane {
+                                    for v in 0..VLEN {
+                                        bp.dw[kb * VLEN + v] +=
+                                            dout_masked.as_slice()[base + px * VLEN + v];
+                                    }
+                                }
+                            }
+                        }
+                        let _ = kpad;
+                    }
+                    // dI then accumulate into the bottom's gradient
+                    layer.backward(&self.pool, dout_masked, w, di_scratch);
+                    ops::accumulate(&self.pool, &mut bot.grad, di_scratch);
+                }
+                if let Some(r) = res {
+                    self.put_blob(self.bottoms_of(node)[1], r);
+                }
+                self.put_blob(self.bottoms_of(node)[0], bot);
+                self.put_blob(node, own);
+            }
+            NodeSpec::Concat { .. } => {
+                let bots = self.bottoms_of(node);
+                let own = self.take_blob(node);
+                let mut parts: Vec<Blob> = bots.iter().map(|&b| self.take_blob(b)).collect();
+                {
+                    let mut refs: Vec<&mut BlockedActs> =
+                        parts.iter_mut().map(|p| &mut p.grad).collect();
+                    ops::concat_bwd(&own.grad, &mut refs);
+                }
+                for (b, p) in bots.iter().zip(parts) {
+                    self.put_blob(*b, p);
+                }
+                self.put_blob(node, own);
+            }
+        }
+    }
+
+    /// Weight-gradient update pass (the heavy dW computations).
+    pub fn update(&mut self) {
+        let upd = self.etg.upd.clone();
+        for t in &upd {
+            if let NodeSpec::Conv { .. } = self.etg.eng.nodes[t.node] {
+                let bots = self.bottoms_of(t.node);
+                let bot = self.take_blob(bots[0]);
+                if let LayerState::Conv { layer, dw, dout_masked, .. } = &mut self.layers[t.node]
+                {
+                    layer.update(&self.pool, &bot.act, dout_masked, dw);
+                }
+                self.put_blob(bots[0], bot);
+            }
+        }
+    }
+
+    /// SGD with momentum over every parameter.
+    pub fn sgd(&mut self, lr: f32, momentum: f32) {
+        let step = |w: &mut [f32], dw: &[f32], vel: &mut [f32]| {
+            for i in 0..w.len() {
+                vel[i] = momentum * vel[i] - lr * dw[i];
+                w[i] += vel[i];
+            }
+        };
+        for l in self.layers.iter_mut() {
+            match l {
+                LayerState::Conv { w, dw, w_vel, bias, .. } => {
+                    step(w.as_mut_slice(), dw.as_slice(), w_vel.as_mut_slice());
+                    if let Some(b) = bias {
+                        step(&mut b.w, &b.dw, &mut b.vel);
+                    }
+                }
+                LayerState::Bn { gamma, beta, .. } => {
+                    step(&mut gamma.w, &gamma.dw, &mut gamma.vel);
+                    step(&mut beta.w, &beta.dw, &mut beta.vel);
+                }
+                LayerState::Fc { w, b, .. } => {
+                    step(&mut w.w, &w.dw, &mut w.vel);
+                    step(&mut b.w, &b.dw, &mut b.vel);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The compiled ETG (inspection/tests).
+    pub fn etg(&self) -> &Etg {
+        &self.etg
+    }
+}
+
+/// He-normal-ish filter init (uniform approximation, deterministic).
+fn he_init_filter(w: &mut BlockedFilter, rng: &mut SplitMix64) {
+    let fan_in = (w.c * w.r * w.s) as f32;
+    let scale = (6.0 / fan_in).sqrt();
+    for k in 0..w.k {
+        for c in 0..w.c {
+            for r in 0..w.r {
+                for s in 0..w.s {
+                    w.set(k, c, r, s, rng.next_f32() * 2.0 * scale);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_topology;
+
+    fn small_cnn() -> Vec<NodeSpec> {
+        parse_topology(
+            "input name=data c=16 h=16 w=16\n\
+             conv name=c1 bottom=data k=32 r=3 s=3 pad=1 bias=1 relu=1\n\
+             pool name=p1 bottom=c1 kind=max size=2 stride=2\n\
+             conv name=c2 bottom=p1 k=32 bias=1 relu=1\n\
+             gap name=g bottom=c2\n\
+             fc name=logits bottom=g k=16\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_runs_and_produces_finite_loss() {
+        let mut net = Network::build(&small_cnn(), 8, 4);
+        // random input
+        let mut rng = SplitMix64::new(1);
+        rng.fill_f32(net.input_mut().as_mut_slice());
+        let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+        net.labels = labels;
+        let stats = net.forward();
+        assert!(stats.loss.is_finite() && stats.loss > 0.0);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut net = Network::build(&small_cnn(), 8, 4);
+        let mut rng = SplitMix64::new(2);
+        let mut input = vec![0.0f32; net.input_mut().as_slice().len()];
+        rng.fill_f32(&mut input);
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        for step in 0..30 {
+            net.input_mut().as_mut_slice().copy_from_slice(&input);
+            let stats = net.train_step(&labels, 0.05, 0.9);
+            if step == 0 {
+                first = stats.loss;
+            }
+            last = stats.loss;
+            assert!(stats.loss.is_finite(), "step {step}: loss diverged");
+        }
+        assert!(last < 0.5 * first, "loss did not fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn residual_bn_network_trains() {
+        // mini-ResNet block: conv-bn-relu -> conv-bn(+shortcut, relu)
+        let nl = parse_topology(
+            "input name=data c=16 h=8 w=8\n\
+             conv name=c0 bottom=data k=16\n\
+             bn name=b0 bottom=c0 relu=1\n\
+             conv name=c1 bottom=b0 k=16 r=3 s=3 pad=1\n\
+             bn name=b1 bottom=c1 relu=1\n\
+             conv name=c2 bottom=b1 k=16 r=3 s=3 pad=1\n\
+             bn name=b2 bottom=c2 eltwise=b0 relu=1\n\
+             gap name=g bottom=b2\n\
+             fc name=logits bottom=g k=16\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap();
+        let mut net = Network::build(&nl, 4, 3);
+        // b0 fans out (c1 + eltwise) -> one split node must appear
+        assert!(net
+            .etg()
+            .eng
+            .nodes
+            .iter()
+            .any(|n| matches!(n, NodeSpec::Split { .. })));
+        let mut rng = SplitMix64::new(3);
+        let mut input = vec![0.0f32; net.input_mut().as_slice().len()];
+        rng.fill_f32(&mut input);
+        let labels = vec![0usize, 1, 2, 3];
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        for step in 0..40 {
+            net.input_mut().as_mut_slice().copy_from_slice(&input);
+            let s = net.train_step(&labels, 0.05, 0.9);
+            if step == 0 {
+                first = s.loss;
+            }
+            last = s.loss;
+        }
+        assert!(last < 0.7 * first, "residual net loss did not fall: {first} -> {last}");
+    }
+
+    #[test]
+    fn param_count_is_sane() {
+        let net = Network::build(&small_cnn(), 2, 2);
+        // c1: 32*16*9 + 32, c2: 32*32 + 32, fc: 32*16(padded)… > 5k
+        assert!(net.param_count() > 5_000, "{}", net.param_count());
+    }
+}

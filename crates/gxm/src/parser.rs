@@ -1,0 +1,198 @@
+//! Topology text parser (the protobuf substitution, DESIGN.md §2).
+//!
+//! One node per line, `type key=value ...`:
+//!
+//! ```text
+//! input name=data c=3 h=224 w=224
+//! conv name=conv1 bottom=data k=64 r=7 s=7 stride=2 pad=3 bias=1 relu=1
+//! pool name=pool1 bottom=conv1 kind=max size=3 stride=2 pad=1
+//! conv name=c2c bottom=c2b k=256 r=1 s=1 eltwise=short relu=1
+//! bn name=bn1 bottom=conv1 relu=1
+//! gap name=pool5 bottom=res5c
+//! fc name=logits bottom=pool5 k=1000
+//! softmaxloss name=loss bottom=logits
+//! concat name=mix bottom=a,b,c
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. Unspecified
+//! conv fields default to `r=s=1, stride=1, pad=0, bias=0, relu=0`.
+
+use crate::spec::{NodeSpec, PoolKind};
+use std::collections::HashMap;
+
+/// Parse a topology description into the Network List.
+///
+/// # Errors
+/// Returns a human-readable message naming the offending line.
+pub fn parse_topology(text: &str) -> Result<Vec<NodeSpec>, String> {
+    let mut nodes = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let kind = it.next().unwrap();
+        let mut kv: HashMap<&str, &str> = HashMap::new();
+        for tok in it {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key=value, got '{tok}'", lineno + 1))?;
+            kv.insert(k, v);
+        }
+        let name = |kv: &HashMap<&str, &str>| -> Result<String, String> {
+            kv.get("name")
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("line {}: missing name", lineno + 1))
+        };
+        let get_usize = |kv: &HashMap<&str, &str>, key: &str, default: Option<usize>| {
+            match kv.get(key) {
+                Some(v) => v
+                    .parse::<usize>()
+                    .map_err(|_| format!("line {}: bad {key}='{v}'", lineno + 1)),
+                None => default.ok_or_else(|| format!("line {}: missing {key}", lineno + 1)),
+            }
+        };
+        let get_bool = |kv: &HashMap<&str, &str>, key: &str| -> bool {
+            matches!(kv.get(key), Some(&"1") | Some(&"true"))
+        };
+        let bottom = |kv: &HashMap<&str, &str>| -> Result<String, String> {
+            kv.get("bottom")
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("line {}: missing bottom", lineno + 1))
+        };
+        let node = match kind {
+            "input" => NodeSpec::Input {
+                name: name(&kv)?,
+                c: get_usize(&kv, "c", None)?,
+                h: get_usize(&kv, "h", None)?,
+                w: get_usize(&kv, "w", None)?,
+            },
+            "conv" => NodeSpec::Conv {
+                name: name(&kv)?,
+                bottom: bottom(&kv)?,
+                k: get_usize(&kv, "k", None)?,
+                r: get_usize(&kv, "r", Some(1))?,
+                s: get_usize(&kv, "s", Some(1))?,
+                stride: get_usize(&kv, "stride", Some(1))?,
+                pad: get_usize(&kv, "pad", Some(0))?,
+                bias: get_bool(&kv, "bias"),
+                relu: get_bool(&kv, "relu"),
+                eltwise: kv.get("eltwise").map(|s| s.to_string()),
+            },
+            "bn" => NodeSpec::Bn {
+                name: name(&kv)?,
+                bottom: bottom(&kv)?,
+                relu: get_bool(&kv, "relu"),
+                eltwise: kv.get("eltwise").map(|s| s.to_string()),
+            },
+            "pool" => NodeSpec::Pool {
+                name: name(&kv)?,
+                bottom: bottom(&kv)?,
+                kind: match kv.get("kind") {
+                    Some(&"max") | None => PoolKind::Max,
+                    Some(&"avg") => PoolKind::Avg,
+                    Some(other) => {
+                        return Err(format!("line {}: bad pool kind '{other}'", lineno + 1))
+                    }
+                },
+                size: get_usize(&kv, "size", None)?,
+                stride: get_usize(&kv, "stride", Some(1))?,
+                pad: get_usize(&kv, "pad", Some(0))?,
+            },
+            "gap" => NodeSpec::GlobalAvgPool { name: name(&kv)?, bottom: bottom(&kv)? },
+            "fc" => NodeSpec::Fc {
+                name: name(&kv)?,
+                bottom: bottom(&kv)?,
+                k: get_usize(&kv, "k", None)?,
+            },
+            "softmaxloss" => NodeSpec::SoftmaxLoss { name: name(&kv)?, bottom: bottom(&kv)? },
+            "concat" => NodeSpec::Concat {
+                name: name(&kv)?,
+                bottoms: bottom(&kv)?.split(',').map(|s| s.to_string()).collect(),
+            },
+            other => return Err(format!("line {}: unknown node type '{other}'", lineno + 1)),
+        };
+        nodes.push(node);
+    }
+    validate(&nodes)?;
+    Ok(nodes)
+}
+
+/// Structural validation: unique names, bottoms defined before use.
+fn validate(nodes: &[NodeSpec]) -> Result<(), String> {
+    let mut seen = std::collections::HashSet::new();
+    for n in nodes {
+        for b in n.bottoms() {
+            if !seen.contains(b) {
+                return Err(format!("node '{}' reads undefined blob '{b}'", n.name()));
+            }
+        }
+        if !seen.insert(n.name().to_string()) {
+            return Err(format!("duplicate node name '{}'", n.name()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_small_net() {
+        let nl = parse_topology(
+            "# comment\n\
+             input name=data c=3 h=32 w=32\n\
+             conv name=c1 bottom=data k=16 r=3 s=3 stride=1 pad=1 bias=1 relu=1\n\
+             pool name=p1 bottom=c1 kind=max size=2 stride=2\n\
+             gap name=g bottom=p1\n\
+             fc name=logits bottom=g k=16\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap();
+        assert_eq!(nl.len(), 6);
+        assert_eq!(nl[1].name(), "c1");
+        assert_eq!(nl[1].bottoms(), vec!["data"]);
+        assert!(nl[1].has_params());
+    }
+
+    #[test]
+    fn conv_defaults() {
+        let nl =
+            parse_topology("input name=d c=16 h=8 w=8\nconv name=c bottom=d k=16\n").unwrap();
+        match &nl[1] {
+            NodeSpec::Conv { r, s, stride, pad, bias, relu, eltwise, .. } => {
+                assert_eq!((*r, *s, *stride, *pad), (1, 1, 1, 0));
+                assert!(!bias && !relu && eltwise.is_none());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rejects_undefined_bottom() {
+        let e = parse_topology("input name=d c=3 h=4 w=4\nconv name=c bottom=nope k=8\n")
+            .unwrap_err();
+        assert!(e.contains("undefined blob"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let e = parse_topology("input name=d c=3 h=4 w=4\nconv name=d bottom=d k=8\n")
+            .unwrap_err();
+        assert!(e.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn concat_bottoms_split() {
+        let nl = parse_topology(
+            "input name=d c=16 h=8 w=8\n\
+             conv name=a bottom=d k=16\n\
+             conv name=b bottom=d k=16\n\
+             concat name=m bottom=a,b\n",
+        )
+        .unwrap();
+        assert_eq!(nl[3].bottoms(), vec!["a", "b"]);
+    }
+}

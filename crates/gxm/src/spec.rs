@@ -1,0 +1,166 @@
+//! Topology node specifications — the parsed Network List (NL).
+//!
+//! Every node produces exactly one output blob named after the node;
+//! `bottom` references name the producing node. The paper's GxM parses
+//! protobuf; our text format ([`crate::parser`]) is the dependency-free
+//! substitution (DESIGN.md §2).
+
+/// Pooling flavours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Max pooling (stores argmax for the backward pass).
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// One node of the Network List.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeSpec {
+    /// Network input (the data layer).
+    Input {
+        /// Node/blob name.
+        name: String,
+        /// Channels, height, width of one sample.
+        c: usize,
+        /// Spatial height.
+        h: usize,
+        /// Spatial width.
+        w: usize,
+    },
+    /// Convolution (optionally with fused bias/ReLU/residual add).
+    Conv {
+        /// Node/blob name.
+        name: String,
+        /// Input blob.
+        bottom: String,
+        /// Output feature maps.
+        k: usize,
+        /// Filter height/width.
+        r: usize,
+        /// Filter width.
+        s: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Add a learned bias (fused).
+        bias: bool,
+        /// Apply ReLU (fused).
+        relu: bool,
+        /// Residual input fused as an eltwise add before the ReLU.
+        eltwise: Option<String>,
+    },
+    /// Batch normalization (training statistics), optional fused
+    /// residual add and ReLU: `y = relu(bn(x) + residual)`.
+    Bn {
+        /// Node/blob name.
+        name: String,
+        /// Input blob.
+        bottom: String,
+        /// Fused ReLU after normalization.
+        relu: bool,
+        /// Residual blob added before the ReLU (ResNet shortcut).
+        eltwise: Option<String>,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Node/blob name.
+        name: String,
+        /// Input blob.
+        bottom: String,
+        /// Max or average.
+        kind: PoolKind,
+        /// Window size.
+        size: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Global average pooling to 1×1.
+    GlobalAvgPool {
+        /// Node/blob name.
+        name: String,
+        /// Input blob.
+        bottom: String,
+    },
+    /// Fully connected / inner product.
+    Fc {
+        /// Node/blob name.
+        name: String,
+        /// Input blob (1×1 spatial).
+        bottom: String,
+        /// Output units.
+        k: usize,
+    },
+    /// Softmax + cross-entropy loss (training head).
+    SoftmaxLoss {
+        /// Node/blob name.
+        name: String,
+        /// Logits blob.
+        bottom: String,
+    },
+    /// Channel concatenation (Inception blocks).
+    Concat {
+        /// Node/blob name.
+        name: String,
+        /// Input blobs, concatenated in order.
+        bottoms: Vec<String>,
+    },
+    /// Tensor distribution node inserted by the NL Extender when a blob
+    /// feeds several consumers; its backward sums the fan-out
+    /// gradients (Section II-L: "Split nodes that perform tensor
+    /// distribution and reduction").
+    Split {
+        /// Node/blob name.
+        name: String,
+        /// The distributed blob.
+        bottom: String,
+        /// Fan-out count.
+        consumers: usize,
+    },
+}
+
+impl NodeSpec {
+    /// The node's (and its output blob's) name.
+    pub fn name(&self) -> &str {
+        match self {
+            NodeSpec::Input { name, .. }
+            | NodeSpec::Conv { name, .. }
+            | NodeSpec::Bn { name, .. }
+            | NodeSpec::Pool { name, .. }
+            | NodeSpec::GlobalAvgPool { name, .. }
+            | NodeSpec::Fc { name, .. }
+            | NodeSpec::SoftmaxLoss { name, .. }
+            | NodeSpec::Concat { name, .. }
+            | NodeSpec::Split { name, .. } => name,
+        }
+    }
+
+    /// All blobs this node reads.
+    pub fn bottoms(&self) -> Vec<&str> {
+        match self {
+            NodeSpec::Input { .. } => vec![],
+            NodeSpec::Conv { bottom, eltwise, .. }
+            | NodeSpec::Bn { bottom, eltwise, .. } => {
+                let mut v = vec![bottom.as_str()];
+                if let Some(e) = eltwise {
+                    v.push(e.as_str());
+                }
+                v
+            }
+            NodeSpec::Pool { bottom, .. }
+            | NodeSpec::GlobalAvgPool { bottom, .. }
+            | NodeSpec::Fc { bottom, .. }
+            | NodeSpec::SoftmaxLoss { bottom, .. }
+            | NodeSpec::Split { bottom, .. } => vec![bottom.as_str()],
+            NodeSpec::Concat { bottoms, .. } => bottoms.iter().map(|s| s.as_str()).collect(),
+        }
+    }
+
+    /// Whether the node owns trainable parameters.
+    pub fn has_params(&self) -> bool {
+        matches!(self, NodeSpec::Conv { .. } | NodeSpec::Bn { .. } | NodeSpec::Fc { .. })
+    }
+}

@@ -1,0 +1,166 @@
+//! Executable code buffers (W^X discipline).
+//!
+//! Code is assembled into ordinary memory, copied into a fresh
+//! anonymous mapping, and the mapping is flipped from read-write to
+//! read-execute before the function pointer is handed out — the same
+//! life cycle LIBXSMM uses for its generated kernels.
+
+use std::fmt;
+
+/// Errors from the executable-memory layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JitError {
+    /// `mmap` refused to create the mapping.
+    Map(i32),
+    /// `mprotect` refused to make it executable (e.g. a W^X-enforcing
+    /// sandbox without PROT_EXEC).
+    Protect(i32),
+    /// Empty code sequence.
+    Empty,
+}
+
+impl fmt::Display for JitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JitError::Map(e) => write!(f, "mmap failed (errno {e})"),
+            JitError::Protect(e) => write!(f, "mprotect failed (errno {e})"),
+            JitError::Empty => write!(f, "empty code buffer"),
+        }
+    }
+}
+
+impl std::error::Error for JitError {}
+
+/// An executable mapping holding one generated kernel.
+pub struct CodeBuffer {
+    ptr: *mut u8,
+    map_len: usize,
+    code_len: usize,
+}
+
+// SAFETY: the mapping is immutable (RX) after construction; concurrent
+// calls from many threads are the intended use (each thread replays its
+// own kernel stream through the same generated code).
+unsafe impl Send for CodeBuffer {}
+unsafe impl Sync for CodeBuffer {}
+
+impl CodeBuffer {
+    /// Map `code` into fresh executable memory.
+    pub fn from_code(code: &[u8]) -> Result<Self, JitError> {
+        if code.is_empty() {
+            return Err(JitError::Empty);
+        }
+        let page = 4096usize;
+        let map_len = code.len().div_ceil(page) * page;
+        // SAFETY: standard anonymous-mapping dance; failure paths checked.
+        unsafe {
+            let ptr = libc::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            if ptr == libc::MAP_FAILED {
+                return Err(JitError::Map(*libc::__errno_location()));
+            }
+            std::ptr::copy_nonoverlapping(code.as_ptr(), ptr as *mut u8, code.len());
+            if libc::mprotect(ptr, map_len, libc::PROT_READ | libc::PROT_EXEC) != 0 {
+                let errno = *libc::__errno_location();
+                libc::munmap(ptr, map_len);
+                return Err(JitError::Protect(errno));
+            }
+            Ok(Self { ptr: ptr as *mut u8, map_len, code_len: code.len() })
+        }
+    }
+
+    /// Entry point of the generated kernel.
+    #[inline]
+    pub fn as_ptr(&self) -> *const u8 {
+        self.ptr
+    }
+
+    /// Generated code size in bytes (useful for code-bloat accounting —
+    /// the paper's "combinatorial explosion" discussion).
+    #[inline]
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+
+    /// Reinterpret the entry point as an f32 kernel.
+    ///
+    /// # Safety
+    /// The buffer must actually contain a kernel with the
+    /// [`crate::F32Kernel`] ABI.
+    #[inline]
+    pub unsafe fn as_f32_kernel(&self) -> crate::F32Kernel {
+        std::mem::transmute::<*const u8, crate::F32Kernel>(self.ptr)
+    }
+
+    /// Reinterpret the entry point as an int16 kernel.
+    ///
+    /// # Safety
+    /// The buffer must actually contain a kernel with the
+    /// [`crate::I16Kernel`] ABI.
+    #[inline]
+    pub unsafe fn as_i16_kernel(&self) -> crate::I16Kernel {
+        std::mem::transmute::<*const u8, crate::I16Kernel>(self.ptr)
+    }
+}
+
+impl Drop for CodeBuffer {
+    fn drop(&mut self) {
+        // SAFETY: mapping owned exclusively by this buffer.
+        unsafe {
+            libc::munmap(self.ptr as *mut libc::c_void, self.map_len);
+        }
+    }
+}
+
+impl fmt::Debug for CodeBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CodeBuffer").field("code_len", &self.code_len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_return_stub() {
+        // mov eax, 0x1234; ret
+        let code = [0xB8u8, 0x34, 0x12, 0, 0, 0xC3];
+        let buf = CodeBuffer::from_code(&code).expect("exec memory available");
+        let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(buf.as_ptr()) };
+        assert_eq!(f(), 0x1234);
+    }
+
+    #[test]
+    fn executes_argument_passing_stub() {
+        // mov rax, rdi; add rax, rsi ... keep it simple: lea eax,[rdi+rsi]
+        // 48 8d 04 37  lea rax,[rdi+rsi]
+        let code = [0x48u8, 0x8D, 0x04, 0x37, 0xC3];
+        let buf = CodeBuffer::from_code(&code).unwrap();
+        let f: extern "C" fn(usize, usize) -> usize = unsafe { std::mem::transmute(buf.as_ptr()) };
+        assert_eq!(f(40, 2), 42);
+        assert_eq!(f(1000, 337), 1337);
+    }
+
+    #[test]
+    fn rejects_empty_code() {
+        assert_eq!(CodeBuffer::from_code(&[]).unwrap_err(), JitError::Empty);
+    }
+
+    #[test]
+    fn code_spanning_multiple_pages() {
+        // 8192 NOPs followed by mov eax, 7; ret
+        let mut code = vec![0x90u8; 8192];
+        code.extend_from_slice(&[0xB8, 7, 0, 0, 0, 0xC3]);
+        let buf = CodeBuffer::from_code(&code).unwrap();
+        assert_eq!(buf.code_len(), 8198);
+        let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(buf.as_ptr()) };
+        assert_eq!(f(), 7);
+    }
+}

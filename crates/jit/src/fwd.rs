@@ -1,0 +1,276 @@
+//! Forward-kernel assembler (Section II-D).
+//!
+//! Emits the exact instruction recipe the paper describes: *"a) loading
+//! a full vector-register with output channel weights from W … and b)
+//! loop over RBQ pixels of the input activation, broadcasting those and
+//! multiplying them with the loaded weights"* — as straight-line EVEX
+//! code with the output tile held in `zmm0..27` across the whole
+//! `Cb_inner × R × S × VLEN` reduction (the paper's optimization (a):
+//! hoisted output loads/stores), plus `RBP > 1` pixel-row blocking for
+//! small-`Q` layers (optimization (b)).
+//!
+//! Large `cb_inner` reductions (deep 1×1 layers) emit a compact
+//! machine-code loop over channel blocks instead of unrolling, keeping
+//! kernels in the tens-of-KB range the instruction cache tolerates.
+
+use crate::emit::{Emitter, Gpr, PrefetchHint};
+use microkernel::KernelShape;
+use tensor::VLEN;
+
+/// Channel-block count up to which the reduction is fully unrolled.
+const UNROLL_CB_LIMIT: usize = 4;
+
+/// Weight registers cycled by the c-loop (zmm28..31).
+const WT_REGS: [u8; 4] = [28, 29, 30, 31];
+
+/// Assemble the machine code of a forward microkernel for `sh`.
+///
+/// The returned bytes follow the [`crate::F32Kernel`] ABI. Feed them to
+/// [`crate::CodeBuffer::from_code`].
+pub fn assemble_fwd(sh: &KernelShape) -> Vec<u8> {
+    sh.validate();
+    let mut e = Emitter::new();
+    let nacc = sh.rbp * sh.rbq;
+
+    // --- accumulator init: load output tile or zero it -------------
+    for p in 0..sh.rbp {
+        for q in 0..sh.rbq {
+            let acc = (p * sh.rbq + q) as u8;
+            if sh.init_zero {
+                e.vpxord_self(acc);
+            } else {
+                e.vmovups_load(acc, Gpr::Rdx, elem4(sh.out_off(p, q)));
+            }
+        }
+    }
+
+    // --- prefetch plan (Section II-E): L2 for next input/weights, --
+    // --- L1 for next output tile ------------------------------------
+    let mut prefetches: Vec<(PrefetchHint, Gpr, i32)> = Vec::new();
+    if sh.prefetch {
+        let in_rows = (sh.rbp - 1) * sh.stride + sh.r;
+        let row_bytes = ((sh.rbq - 1) * sh.stride + sh.s) * VLEN * 4;
+        for row in 0..in_rows {
+            for line in 0..row_bytes.div_ceil(64).min(16) {
+                prefetches.push((
+                    PrefetchHint::T1,
+                    Gpr::Rcx,
+                    elem4(row * sh.in_row_stride) + (line * 64) as i32,
+                ));
+            }
+        }
+        let wt_bytes = sh.r * sh.s * VLEN * VLEN * 4;
+        for line in 0..wt_bytes.div_ceil(64).min(24) {
+            prefetches.push((PrefetchHint::T1, Gpr::R8, (line * 64) as i32));
+        }
+        for p in 0..sh.rbp {
+            for q in 0..sh.rbq {
+                prefetches.push((PrefetchHint::T0, Gpr::R9, elem4(sh.out_off(p, q))));
+            }
+        }
+    }
+    let total_fmas = sh.cb_inner.min(UNROLL_CB_LIMIT).max(1) * sh.r * sh.s * VLEN;
+    let pf_interval = (total_fmas / prefetches.len().max(1)).max(1);
+    let mut pf_iter = prefetches.into_iter();
+    let mut fma_groups = 0usize;
+
+    // --- reduction body ---------------------------------------------
+    let unrolled = sh.cb_inner <= UNROLL_CB_LIMIT;
+    let (cb_count, loop_label) = if unrolled {
+        (sh.cb_inner, None)
+    } else {
+        // machine-code loop: emit all prefetches up front — sprinkling
+        // them into the body would re-issue them every iteration
+        for (hint, basereg, disp) in pf_iter.by_ref() {
+            e.prefetch(hint, basereg, disp);
+        }
+        e.mov_imm32(Gpr::R10, i32::try_from(sh.cb_inner).expect("cb_inner too large"));
+        (1, Some(e.label()))
+    };
+
+    for cb in 0..cb_count {
+        for r in 0..sh.r {
+            for s in 0..sh.s {
+                let wt_panel = sh.wt_off(cb, r, s);
+                for c in 0..VLEN {
+                    let wreg = WT_REGS[c % WT_REGS.len()];
+                    e.vmovups_load(wreg, Gpr::Rsi, elem4(wt_panel + c * VLEN));
+                    for p in 0..sh.rbp {
+                        let base = sh.in_off(cb, r, s, p, 0) + c;
+                        for q in 0..sh.rbq {
+                            let acc = (p * sh.rbq + q) as u8;
+                            e.vfmadd231ps_bcst(
+                                acc,
+                                wreg,
+                                Gpr::Rdi,
+                                elem4(base + q * sh.stride * VLEN),
+                            );
+                        }
+                    }
+                    // sprinkle prefetches through the FMA stream
+                    fma_groups += 1;
+                    if fma_groups % pf_interval == 0 {
+                        if let Some((hint, basereg, disp)) = pf_iter.next() {
+                            e.prefetch(hint, basereg, disp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(label) = loop_label {
+        // advance input and weight base pointers to the next channel
+        // block, then loop
+        e.add_imm32(Gpr::Rdi, elem4(sh.in_cb_stride));
+        e.add_imm32(Gpr::Rsi, elem4(sh.r * sh.s * VLEN * VLEN));
+        e.dec(Gpr::R10);
+        e.jnz_to(label);
+    }
+
+    // drain any remaining prefetches before the stores
+    for (hint, basereg, disp) in pf_iter {
+        e.prefetch(hint, basereg, disp);
+    }
+
+    // --- store the output tile ---------------------------------------
+    for p in 0..sh.rbp {
+        for q in 0..sh.rbq {
+            let acc = (p * sh.rbq + q) as u8;
+            e.vmovups_store(acc, Gpr::Rdx, elem4(sh.out_off(p, q)));
+        }
+    }
+    e.ret();
+    debug_assert!(nacc <= 28);
+    e.finish()
+}
+
+/// f32 element offset → byte displacement (with overflow check).
+fn elem4(elems: usize) -> i32 {
+    i32::try_from(elems * 4).expect("displacement exceeds disp32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{jit_available, CodeBuffer};
+    use microkernel::fwd::fwd_scalar;
+    use tensor::rng::SplitMix64;
+
+    fn base(rbp: usize, rbq: usize, r: usize, s: usize, stride: usize, cbi: usize) -> KernelShape {
+        let in_cols = (rbq - 1) * stride + s + 2;
+        let in_rows = (rbp - 1) * stride + r + 1;
+        KernelShape {
+            rbp,
+            rbq,
+            r,
+            s,
+            stride,
+            cb_inner: cbi,
+            in_row_stride: in_cols * VLEN,
+            in_cb_stride: in_rows * in_cols * VLEN + 64,
+            out_row_stride: (rbq + 2) * VLEN,
+            out_col_stride: VLEN,
+            init_zero: false,
+            prefetch: false,
+        }
+    }
+
+    fn check(sh: &KernelShape) {
+        if !jit_available() {
+            return;
+        }
+        let in_rows = (sh.rbp - 1) * sh.stride + sh.r + 1;
+        let in_len = sh.cb_inner * sh.in_cb_stride.max(in_rows * sh.in_row_stride)
+            + in_rows * sh.in_row_stride;
+        let wt_len = sh.cb_inner * sh.r * sh.s * VLEN * VLEN;
+        let out_len = sh.rbp * sh.out_row_stride + sh.rbq * sh.out_col_stride + VLEN;
+        let mut rng = SplitMix64::new(31);
+        let mut inp = vec![0.0f32; in_len];
+        let mut wt = vec![0.0f32; wt_len];
+        let mut out0 = vec![0.0f32; out_len];
+        rng.fill_f32(&mut inp);
+        rng.fill_f32(&mut wt);
+        rng.fill_f32(&mut out0);
+
+        let mut expect = out0.clone();
+        unsafe {
+            fwd_scalar(
+                sh,
+                inp.as_ptr(),
+                wt.as_ptr(),
+                expect.as_mut_ptr(),
+                std::ptr::null(),
+                std::ptr::null(),
+                std::ptr::null(),
+            )
+        };
+
+        let code = assemble_fwd(sh);
+        let buf = CodeBuffer::from_code(&code).unwrap();
+        let f = unsafe { buf.as_f32_kernel() };
+        let mut out_j = out0.clone();
+        unsafe {
+            f(
+                inp.as_ptr(),
+                wt.as_ptr(),
+                out_j.as_mut_ptr(),
+                inp.as_ptr(),
+                wt.as_ptr(),
+                out_j.as_ptr(),
+            )
+        };
+        let n = tensor::Norms::compare(&expect, &out_j);
+        assert!(n.ok(1e-5), "jit {sh:?}: {n}");
+    }
+
+    #[test]
+    fn jit_matrix_of_shapes() {
+        for (rbp, rbq) in [(1, 1), (1, 7), (1, 14), (1, 28), (2, 14), (4, 7)] {
+            for (r, s, stride) in [(1, 1, 1), (3, 3, 1), (1, 1, 2), (3, 3, 2), (7, 7, 2)] {
+                check(&base(rbp, rbq, r, s, stride, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn jit_cb_unrolled_and_looped() {
+        // 2 and 4 unroll; 8 and 32 take the machine-code loop path
+        for cbi in [1usize, 2, 4, 8, 32] {
+            check(&base(1, 14, 1, 1, 1, cbi));
+        }
+    }
+
+    #[test]
+    fn jit_init_zero() {
+        let mut sh = base(1, 12, 3, 3, 1, 1);
+        sh.init_zero = true;
+        check(&sh);
+    }
+
+    #[test]
+    fn jit_with_prefetch() {
+        let mut sh = base(2, 14, 3, 3, 1, 1);
+        sh.prefetch = true;
+        check(&sh);
+        let mut sh = base(1, 28, 1, 1, 1, 4);
+        sh.prefetch = true;
+        check(&sh);
+    }
+
+    #[test]
+    fn jit_strided_output() {
+        let mut sh = base(1, 6, 1, 1, 1, 1);
+        sh.out_col_stride = 2 * VLEN;
+        sh.out_row_stride = 16 * VLEN;
+        check(&sh);
+    }
+
+    #[test]
+    fn code_size_stays_reasonable() {
+        // a deep 1x1 kernel must emit a loop, not half a megabyte
+        let sh = base(1, 28, 1, 1, 1, 128);
+        let code = assemble_fwd(&sh);
+        assert!(code.len() < 64 * 1024, "code too large: {} bytes", code.len());
+    }
+}

@@ -1,0 +1,217 @@
+//! Int16 kernel assembler (Section II-K).
+//!
+//! Identical structure to the f32 forward assembler, with the datatype
+//! changes of the reduced-precision path:
+//!
+//! * the channel loop runs over `VLEN/2` *pairs*; one 32-bit embedded
+//!   broadcast feeds two adjacent input channels,
+//! * weights load pair-interleaved panels with `vmovdqu32`,
+//! * `vpdpwssd` (AVX-512 VNNI) multiplies the int16 pairs and
+//!   accumulates int32 — our 4VNNIW stand-in,
+//! * accumulators are int32 and the output stores remain 512-bit —
+//!   which is why output traffic does not shrink (Section III-B).
+
+use crate::emit::{Emitter, Gpr, PrefetchHint};
+use microkernel::KernelShape;
+use tensor::VLEN;
+
+const UNROLL_CB_LIMIT: usize = 4;
+const WT_REGS: [u8; 4] = [28, 29, 30, 31];
+
+/// Assemble the machine code of an int16 forward microkernel.
+///
+/// Returned bytes follow the [`crate::I16Kernel`] ABI. Requires
+/// AVX-512 VNNI at execution time.
+pub fn assemble_quant(sh: &KernelShape) -> Vec<u8> {
+    sh.validate();
+    let mut e = Emitter::new();
+
+    for p in 0..sh.rbp {
+        for q in 0..sh.rbq {
+            let acc = (p * sh.rbq + q) as u8;
+            if sh.init_zero {
+                e.vpxord_self(acc);
+            } else {
+                e.vmovdqu32_load(acc, Gpr::Rdx, elem_i32(sh.out_off(p, q)));
+            }
+        }
+    }
+
+    if sh.prefetch {
+        let in_rows = (sh.rbp - 1) * sh.stride + sh.r;
+        for row in 0..in_rows {
+            e.prefetch(PrefetchHint::T1, Gpr::Rcx, elem_i16(row * sh.in_row_stride));
+        }
+        let wt_bytes = sh.r * sh.s * VLEN * VLEN * 2;
+        for line in 0..wt_bytes.div_ceil(64).min(16) {
+            e.prefetch(PrefetchHint::T1, Gpr::R8, (line * 64) as i32);
+        }
+        for p in 0..sh.rbp {
+            e.prefetch(PrefetchHint::T0, Gpr::R9, elem_i32(sh.out_off(p, 0)));
+        }
+    }
+
+    let unrolled = sh.cb_inner <= UNROLL_CB_LIMIT;
+    let (cb_count, loop_label) = if unrolled {
+        (sh.cb_inner, None)
+    } else {
+        e.mov_imm32(Gpr::R10, i32::try_from(sh.cb_inner).expect("cb_inner too large"));
+        (1, Some(e.label()))
+    };
+
+    for cb in 0..cb_count {
+        for r in 0..sh.r {
+            for s in 0..sh.s {
+                let wt_panel = sh.wt_off(cb, r, s);
+                for cp in 0..VLEN / 2 {
+                    let wreg = WT_REGS[cp % WT_REGS.len()];
+                    e.vmovdqu32_load(wreg, Gpr::Rsi, elem_i16(wt_panel + cp * VLEN * 2));
+                    for p in 0..sh.rbp {
+                        let base = sh.in_off(cb, r, s, p, 0) + 2 * cp;
+                        for q in 0..sh.rbq {
+                            let acc = (p * sh.rbq + q) as u8;
+                            e.vpdpwssd_bcst(
+                                acc,
+                                wreg,
+                                Gpr::Rdi,
+                                elem_i16(base + q * sh.stride * VLEN),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(label) = loop_label {
+        e.add_imm32(Gpr::Rdi, elem_i16(sh.in_cb_stride));
+        e.add_imm32(Gpr::Rsi, elem_i16(sh.r * sh.s * VLEN * VLEN));
+        e.dec(Gpr::R10);
+        e.jnz_to(label);
+    }
+
+    for p in 0..sh.rbp {
+        for q in 0..sh.rbq {
+            let acc = (p * sh.rbq + q) as u8;
+            e.vmovdqu32_store(acc, Gpr::Rdx, elem_i32(sh.out_off(p, q)));
+        }
+    }
+    e.ret();
+    e.finish()
+}
+
+/// i16 element offset → byte displacement.
+fn elem_i16(elems: usize) -> i32 {
+    i32::try_from(elems * 2).expect("displacement exceeds disp32")
+}
+
+/// i32 element offset → byte displacement.
+fn elem_i32(elems: usize) -> i32 {
+    i32::try_from(elems * 4).expect("displacement exceeds disp32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{jit_available, CodeBuffer};
+    use microkernel::quant::quant_scalar;
+    use tensor::rng::SplitMix64;
+
+    fn vnni_ready() -> bool {
+        jit_available() && std::arch::is_x86_feature_detected!("avx512vnni")
+    }
+
+    fn base(rbp: usize, rbq: usize, r: usize, s: usize, stride: usize, cbi: usize) -> KernelShape {
+        let in_cols = (rbq - 1) * stride + s + 2;
+        let in_rows = (rbp - 1) * stride + r + 1;
+        KernelShape {
+            rbp,
+            rbq,
+            r,
+            s,
+            stride,
+            cb_inner: cbi,
+            in_row_stride: in_cols * VLEN,
+            in_cb_stride: in_rows * in_cols * VLEN + 64,
+            out_row_stride: (rbq + 2) * VLEN,
+            out_col_stride: VLEN,
+            init_zero: false,
+            prefetch: false,
+        }
+    }
+
+    fn check(sh: &KernelShape) {
+        if !vnni_ready() {
+            return;
+        }
+        let in_rows = (sh.rbp - 1) * sh.stride + sh.r + 1;
+        let in_len = sh.cb_inner * sh.in_cb_stride.max(in_rows * sh.in_row_stride)
+            + in_rows * sh.in_row_stride;
+        let wt_len = sh.cb_inner * sh.r * sh.s * VLEN * VLEN;
+        let out_len = sh.rbp * sh.out_row_stride + sh.rbq * sh.out_col_stride + VLEN;
+        let mut rng = SplitMix64::new(5);
+        let mut inp = vec![0i16; in_len];
+        let mut wt = vec![0i16; wt_len];
+        let mut out0 = vec![0i32; out_len];
+        rng.fill_i16(&mut inp);
+        rng.fill_i16(&mut wt);
+        for x in out0.iter_mut() {
+            *x = rng.next_i16() as i32;
+        }
+
+        let mut expect = out0.clone();
+        unsafe {
+            quant_scalar(
+                sh,
+                inp.as_ptr(),
+                wt.as_ptr(),
+                expect.as_mut_ptr(),
+                std::ptr::null(),
+                std::ptr::null(),
+                std::ptr::null(),
+            )
+        };
+
+        let buf = CodeBuffer::from_code(&assemble_quant(sh)).unwrap();
+        let f = unsafe { buf.as_i16_kernel() };
+        let mut out_j = out0.clone();
+        unsafe {
+            f(
+                inp.as_ptr(),
+                wt.as_ptr(),
+                out_j.as_mut_ptr(),
+                inp.as_ptr(),
+                wt.as_ptr(),
+                out_j.as_ptr(),
+            )
+        };
+        // integer kernels must agree bit-exactly with the scalar oracle
+        assert_eq!(expect, out_j, "jit quant {sh:?}");
+    }
+
+    #[test]
+    fn jit_quant_matrix() {
+        for (rbp, rbq) in [(1, 1), (1, 14), (2, 7), (4, 7)] {
+            for (r, s, stride) in [(1, 1, 1), (3, 3, 1), (1, 1, 2)] {
+                check(&base(rbp, rbq, r, s, stride, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn jit_quant_cb_loop() {
+        for cbi in [2usize, 8, 32] {
+            check(&base(1, 8, 1, 1, 1, cbi));
+        }
+    }
+
+    #[test]
+    fn jit_quant_init_zero_and_prefetch() {
+        let mut sh = base(1, 7, 3, 3, 1, 1);
+        sh.init_zero = true;
+        check(&sh);
+        let mut sh = base(2, 14, 1, 1, 1, 2);
+        sh.prefetch = true;
+        check(&sh);
+    }
+}

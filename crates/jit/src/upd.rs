@@ -1,0 +1,180 @@
+//! Weight-gradient kernel assembler (Algorithm 9 / Section II-J).
+//!
+//! One generated kernel accumulates a `VLEN × VLEN` dW panel over a
+//! `BP × BQ` block of output pixels. The panel lives in `zmm0..15`
+//! (16 independent FMA chains — "register blocking up to a factor of
+//! VLEN"); the dO pixel vector loads into `zmm30`; input channels
+//! enter as embedded broadcasts. Rows (`BP`) run in a machine-code
+//! loop that advances the input and dO base registers.
+//!
+//! ABI (see [`crate::F32Kernel`]): `(in @(r,s), dO, dW, pf_in, pf_dO,
+//! pf_dW)`.
+
+use crate::emit::{Emitter, Gpr, PrefetchHint};
+use microkernel::UpdShape;
+use tensor::VLEN;
+
+/// Assemble the machine code of a weight-update microkernel.
+pub fn assemble_upd(sh: &UpdShape) -> Vec<u8> {
+    sh.validate();
+    let mut e = Emitter::new();
+
+    // load the dW panel into zmm0..15
+    for c in 0..VLEN {
+        e.vmovups_load(c as u8, Gpr::Rdx, elem4(c * VLEN));
+    }
+
+    if sh.prefetch {
+        for row in 0..sh.bp.min(8) {
+            e.prefetch(PrefetchHint::T1, Gpr::Rcx, elem4(row * sh.stride * sh.in_row_stride));
+            e.prefetch(PrefetchHint::T1, Gpr::R8, elem4(row * sh.do_row_stride));
+        }
+        for c in 0..VLEN {
+            e.prefetch(PrefetchHint::T0, Gpr::R9, elem4(c * VLEN));
+        }
+    }
+
+    let looped = sh.bp > 1;
+    let label = if looped {
+        e.mov_imm32(Gpr::R10, i32::try_from(sh.bp).expect("bp too large"));
+        Some(e.label())
+    } else {
+        None
+    };
+
+    // one row of BQ pixels, fully unrolled
+    for q in 0..sh.bq {
+        e.vmovups_load(30, Gpr::Rsi, elem4(q * VLEN));
+        let in_base = q * sh.stride * VLEN;
+        for c in 0..VLEN {
+            e.vfmadd231ps_bcst(c as u8, 30, Gpr::Rdi, elem4(in_base + c));
+        }
+    }
+
+    if let Some(label) = label {
+        e.add_imm32(Gpr::Rdi, elem4(sh.stride * sh.in_row_stride));
+        e.add_imm32(Gpr::Rsi, elem4(sh.do_row_stride));
+        e.dec(Gpr::R10);
+        e.jnz_to(label);
+    }
+
+    // store the panel back
+    for c in 0..VLEN {
+        e.vmovups_store(c as u8, Gpr::Rdx, elem4(c * VLEN));
+    }
+    e.ret();
+    e.finish()
+}
+
+fn elem4(elems: usize) -> i32 {
+    i32::try_from(elems * 4).expect("displacement exceeds disp32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{jit_available, CodeBuffer};
+    use microkernel::upd::upd_scalar;
+    use tensor::rng::SplitMix64;
+
+    fn base(bp: usize, bq: usize, stride: usize) -> UpdShape {
+        UpdShape {
+            bp,
+            bq,
+            stride,
+            in_row_stride: (bq * stride + 3) * VLEN,
+            do_row_stride: (bq + 1) * VLEN,
+            prefetch: false,
+        }
+    }
+
+    fn check(sh: &UpdShape) {
+        if !jit_available() {
+            return;
+        }
+        let in_len = sh.bp * sh.stride * sh.in_row_stride + sh.bq * sh.stride * VLEN + VLEN;
+        let do_len = sh.bp * sh.do_row_stride + sh.bq * VLEN + VLEN;
+        let mut rng = SplitMix64::new(77);
+        let mut inp = vec![0.0f32; in_len];
+        let mut dout = vec![0.0f32; do_len];
+        let mut dw0 = vec![0.0f32; VLEN * VLEN];
+        rng.fill_f32(&mut inp);
+        rng.fill_f32(&mut dout);
+        rng.fill_f32(&mut dw0);
+
+        let mut expect = dw0.clone();
+        unsafe {
+            upd_scalar(
+                sh,
+                inp.as_ptr(),
+                dout.as_ptr(),
+                expect.as_mut_ptr(),
+                std::ptr::null(),
+                std::ptr::null(),
+                std::ptr::null(),
+            )
+        };
+
+        let buf = CodeBuffer::from_code(&assemble_upd(sh)).unwrap();
+        let f = unsafe { buf.as_f32_kernel() };
+        let mut dw_j = dw0.clone();
+        unsafe {
+            f(
+                inp.as_ptr(),
+                dout.as_ptr(),
+                dw_j.as_mut_ptr(),
+                inp.as_ptr(),
+                dout.as_ptr(),
+                dw_j.as_ptr(),
+            )
+        };
+        let n = tensor::Norms::compare(&expect, &dw_j);
+        assert!(n.ok(1e-5), "jit upd {sh:?}: {n}");
+    }
+
+    #[test]
+    fn jit_upd_matrix() {
+        for (bp, bq) in [(1, 1), (1, 14), (4, 7), (7, 7), (14, 14), (28, 28)] {
+            for stride in [1, 2] {
+                check(&base(bp, bq, stride));
+            }
+        }
+    }
+
+    #[test]
+    fn jit_upd_with_prefetch() {
+        let mut sh = base(7, 14, 1);
+        sh.prefetch = true;
+        check(&sh);
+    }
+
+    #[test]
+    fn jit_upd_accumulates_across_calls() {
+        if !jit_available() {
+            return;
+        }
+        let sh = base(2, 3, 1);
+        let in_len = sh.bp * sh.stride * sh.in_row_stride + sh.bq * sh.stride * VLEN + VLEN;
+        let do_len = sh.bp * sh.do_row_stride + sh.bq * VLEN + VLEN;
+        let inp = vec![1.0f32; in_len];
+        let dout = vec![1.0f32; do_len];
+        let mut dw = vec![0.0f32; 256];
+        let buf = CodeBuffer::from_code(&assemble_upd(&sh)).unwrap();
+        let f = unsafe { buf.as_f32_kernel() };
+        for _ in 0..5 {
+            unsafe {
+                f(
+                    inp.as_ptr(),
+                    dout.as_ptr(),
+                    dw.as_mut_ptr(),
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    std::ptr::null(),
+                )
+            };
+        }
+        for &x in &dw {
+            assert_eq!(x, (5 * sh.bp * sh.bq) as f32);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests: randomly-shaped JIT-generated kernels agree
+//! with the scalar oracles (and bit-exactly for the integer kernels).
+
+use jit::{assemble_fwd, assemble_quant, CodeBuffer};
+use microkernel::KernelShape;
+use proptest::prelude::*;
+use tensor::rng::SplitMix64;
+use tensor::{Norms, VLEN};
+
+fn shape(rbp: usize, rbq: usize, r: usize, s: usize, stride: usize, cbi: usize) -> KernelShape {
+    let in_cols = (rbq - 1) * stride + s + 2;
+    let in_rows = (rbp - 1) * stride + r + 1;
+    KernelShape {
+        rbp,
+        rbq,
+        r,
+        s,
+        stride,
+        cb_inner: cbi,
+        in_row_stride: in_cols * VLEN,
+        in_cb_stride: in_rows * in_cols * VLEN + 48,
+        out_row_stride: (rbq + 1) * VLEN,
+        out_col_stride: VLEN,
+        init_zero: false,
+        prefetch: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn jit_fwd_equals_scalar(
+        rbp in 1usize..3,
+        rbq in 1usize..15,
+        r in 1usize..4,
+        s in 1usize..4,
+        stride in 1usize..3,
+        cbi in 1usize..9,
+        prefetch in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(rbp * rbq <= 28);
+        if !jit::jit_available() {
+            return Ok(());
+        }
+        let mut sh = shape(rbp, rbq, r, s, stride, cbi);
+        sh.prefetch = prefetch;
+        let in_rows = (rbp - 1) * stride + r + 1;
+        let in_len = cbi * sh.in_cb_stride + in_rows * sh.in_row_stride;
+        let wt_len = cbi * r * s * 256;
+        let out_len = rbp * sh.out_row_stride + rbq * VLEN + VLEN;
+        let mut rng = SplitMix64::new(seed);
+        let mut inp = vec![0.0f32; in_len];
+        let mut wt = vec![0.0f32; wt_len];
+        let mut out0 = vec![0.0f32; out_len];
+        rng.fill_f32(&mut inp);
+        rng.fill_f32(&mut wt);
+        rng.fill_f32(&mut out0);
+        let mut a = out0.clone();
+        let mut b = out0;
+        unsafe {
+            microkernel::fwd::fwd_scalar(
+                &sh, inp.as_ptr(), wt.as_ptr(), a.as_mut_ptr(),
+                std::ptr::null(), std::ptr::null(), std::ptr::null(),
+            );
+            let buf = CodeBuffer::from_code(&assemble_fwd(&sh)).unwrap();
+            (buf.as_f32_kernel())(
+                inp.as_ptr(), wt.as_ptr(), b.as_mut_ptr(),
+                inp.as_ptr(), wt.as_ptr(), b.as_ptr(),
+            );
+        }
+        let n = Norms::compare(&a, &b);
+        prop_assert!(n.ok(1e-5), "{sh:?}: {n}");
+    }
+
+    #[test]
+    fn jit_quant_bit_exact(
+        rbq in 1usize..15,
+        r in 1usize..4,
+        stride in 1usize..3,
+        cbi in 1usize..9,
+        seed in 0u64..10_000,
+    ) {
+        if !jit::jit_available() || !microkernel::has_vnni() {
+            return Ok(());
+        }
+        let sh = shape(1, rbq, r, r, stride, cbi);
+        let in_rows = r + 1;
+        let in_len = cbi * sh.in_cb_stride + in_rows * sh.in_row_stride;
+        let wt_len = cbi * r * r * 256;
+        let out_len = sh.out_row_stride + rbq * VLEN + VLEN;
+        let mut rng = SplitMix64::new(seed);
+        let mut inp = vec![0i16; in_len];
+        let mut wt = vec![0i16; wt_len];
+        let mut out0 = vec![0i32; out_len];
+        rng.fill_i16(&mut inp);
+        rng.fill_i16(&mut wt);
+        for x in out0.iter_mut() {
+            *x = rng.next_i16() as i32;
+        }
+        let mut a = out0.clone();
+        let mut b = out0;
+        unsafe {
+            microkernel::quant::quant_scalar(
+                &sh, inp.as_ptr(), wt.as_ptr(), a.as_mut_ptr(),
+                std::ptr::null(), std::ptr::null(), std::ptr::null(),
+            );
+            let buf = CodeBuffer::from_code(&assemble_quant(&sh)).unwrap();
+            (buf.as_i16_kernel())(
+                inp.as_ptr(), wt.as_ptr(), b.as_mut_ptr(),
+                inp.as_ptr(), wt.as_ptr(), b.as_ptr(),
+            );
+        }
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,185 @@
+//! Calibration of the machine this library actually runs on.
+//!
+//! The bench binaries report measured GFLOPS as a fraction of the
+//! *host's* peak, which we establish empirically the same way the paper
+//! quotes SGEMM peak and stream triad for its testbeds:
+//!
+//! * [`measure_peak_gflops`] — a register-resident FMA loop with enough
+//!   independent accumulation chains to hide FMA latency, run on every
+//!   core of a [`parallel::ThreadPool`];
+//! * [`measure_stream_gbs`] — a stream-triad pass over buffers far
+//!   larger than LLC.
+//!
+//! The result is packaged as a [`MachineModel`] so the same roofline
+//! code works for SKX, KNM and the host.
+
+use crate::model::MachineModel;
+use parallel::ThreadPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// FMA chains used by the peak loop; 16 covers the latency×ports
+/// product of every x86 core this library targets.
+const CHAINS: usize = 16;
+const PEAK_ITERS: usize = 200_000;
+
+/// One thread's peak measurement: `CHAINS` independent f32×16 FMA
+/// chains. Returns achieved GFLOPS on this thread.
+fn peak_loop_once() -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: feature checked above.
+            return unsafe { peak_loop_avx512() };
+        }
+    }
+    peak_loop_portable()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn peak_loop_avx512() -> f64 {
+    use std::arch::x86_64::*;
+    let a = _mm512_set1_ps(1.000_000_1);
+    let b = _mm512_set1_ps(0.999_999_9);
+    let mut acc = [_mm512_set1_ps(1.0); CHAINS];
+    let t0 = Instant::now();
+    for _ in 0..PEAK_ITERS {
+        // 16 independent chains hide the 4-cycle FMA latency on 2 ports
+        for v in acc.iter_mut() {
+            *v = _mm512_fmadd_ps(a, b, *v);
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let mut sink = 0.0f32;
+    for v in acc {
+        sink += _mm512_reduce_add_ps(v);
+    }
+    std::hint::black_box(sink);
+    let flops = (PEAK_ITERS * CHAINS * 16 * 2) as f64;
+    flops / dt / 1e9
+}
+
+/// Fallback used on non-AVX-512 hosts; may undershoot true peak.
+fn peak_loop_portable() -> f64 {
+    let mut acc = [[1.0f32; 16]; CHAINS];
+    let a = [1.000_000_1f32; 16];
+    let b = [0.999_999_9f32; 16];
+    let t0 = Instant::now();
+    for _ in 0..PEAK_ITERS {
+        for chain in &mut acc {
+            for l in 0..16 {
+                chain[l] = a[l].mul_add(b[l], chain[l]);
+            }
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let sink: f32 = acc.iter().flat_map(|c| c.iter()).sum();
+    std::hint::black_box(sink);
+    let flops = (PEAK_ITERS * CHAINS * 16 * 2) as f64;
+    flops / dt / 1e9
+}
+
+/// Measure multi-core f32 FMA peak in GFLOPS using `pool`.
+pub fn measure_peak_gflops(pool: &ThreadPool) -> f64 {
+    let total_mflops = AtomicU64::new(0);
+    let t0 = Instant::now();
+    pool.run(|_ctx| {
+        let g = peak_loop_once();
+        // accumulate per-thread achieved GFLOPS ×1000 to keep integer atomics
+        total_mflops.fetch_add((g * 1000.0) as u64, Ordering::Relaxed);
+    });
+    let _ = t0;
+    total_mflops.load(Ordering::Relaxed) as f64 / 1000.0
+}
+
+/// Measure stream-triad bandwidth (GB/s) over all cores.
+pub fn measure_stream_gbs(pool: &ThreadPool) -> f64 {
+    const N: usize = 8 * 1024 * 1024; // 32 MB per array per thread-chunk
+    let a = vec![1.0f32; N];
+    let b = vec![2.0f32; N];
+    let mut c = vec![0.0f32; N];
+    // write the triad through raw pointers per disjoint chunk
+    let cptr = SendPtr(c.as_mut_ptr());
+    let reps = 5;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        pool.run(|ctx| {
+            let r = ctx.chunk(N);
+            let cp = cptr; // copy the Send wrapper into the closure
+            for i in r {
+                // SAFETY: chunks are disjoint per thread.
+                unsafe { *cp.0.add(i) = a[i] + 1.5 * b[i] };
+            }
+        });
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(&c);
+    // triad moves 3 arrays per pass
+    (reps * 3 * N * 4) as f64 / dt / 1e9
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+/// Build a calibrated model of the host.
+///
+/// `l2_read/write` are set from the measured peak with SKX-like ratios
+/// (they only matter for the host's roofline sanity checks, not for the
+/// paper-series predictions, which use the SKX/KNM models).
+pub fn host_model(pool: &ThreadPool) -> MachineModel {
+    let peak = measure_peak_gflops(pool);
+    let cores = pool.nthreads();
+    let peak_core = peak / cores as f64;
+    let stream = measure_stream_gbs(pool);
+    MachineModel {
+        name: "host",
+        cores,
+        // back out an effective frequency from the measured peak,
+        // assuming AVX-512 (2 FMA ports × 16 lanes × 2 flops)
+        freq_ghz: peak_core / (2.0 * 16.0 * 2.0),
+        simd_f32: 16,
+        fma_per_cycle: 2,
+        fma_latency: 4,
+        l2_read_gbs: peak_core, // SKX-like ratio: ≈1 byte/flop
+        l2_write_gbs: peak_core / 2.0,
+        mem_bw_gbs: stream,
+        shared_llc: true,
+        int16_speedup: if is_x86_feature_detected_vnni() { 2.0 } else { 1.0 },
+    }
+}
+
+/// Whether the host can run the VNNI int16 kernels.
+pub fn is_x86_feature_detected_vnni() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512vnni")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_loop_produces_positive_gflops() {
+        let g = peak_loop_once();
+        assert!(g > 1.0, "implausible peak {g}");
+    }
+
+    #[test]
+    fn host_model_is_consistent() {
+        let pool = ThreadPool::new(2);
+        let m = host_model(&pool);
+        assert_eq!(m.cores, 2);
+        assert!(m.peak_gflops() > 1.0);
+        assert!(m.mem_bw_gbs > 0.5);
+        assert!(m.freq_ghz > 0.1 && m.freq_ghz < 10.0);
+    }
+}

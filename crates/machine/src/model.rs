@@ -1,0 +1,142 @@
+//! Hardware parameter sets.
+//!
+//! Every number in [`MachineModel::skx`] and [`MachineModel::knm`] is
+//! quoted from Section III of the paper (or directly derivable from a
+//! quoted number, e.g. per-core peak = socket SGEMM peak / cores).
+
+/// Parameters of one CPU (a socket for SKX, the whole chip for KNM).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineModel {
+    /// Human-readable name used in benchmark output.
+    pub name: &'static str,
+    /// Physical cores participating in compute.
+    pub cores: usize,
+    /// Sustained AVX frequency in GHz under full FMA load.
+    pub freq_ghz: f64,
+    /// f32 lanes per SIMD register (16 for AVX-512).
+    pub simd_f32: usize,
+    /// FMA results per cycle per core (2 FMA ports on SKX; KNM's
+    /// 4-way-chained 4FMA retires the equivalent of 4).
+    pub fma_per_cycle: usize,
+    /// FMA latency in cycles — the accumulation-chain depth the register
+    /// blocking must cover (Section II-B).
+    pub fma_latency: usize,
+    /// Per-core L2→core read bandwidth, GB/s (Section III-B).
+    pub l2_read_gbs: f64,
+    /// Per-core core→L2 write bandwidth, GB/s (Section III-B).
+    pub l2_write_gbs: f64,
+    /// Socket/chip stream-triad bandwidth, GB/s (Section III).
+    pub mem_bw_gbs: f64,
+    /// Whether a shared last-level cache absorbs reductions
+    /// (true for SKX; false for KNM — Section III-B explains the weight
+    /// update gap with exactly this).
+    pub shared_llc: bool,
+    /// int16 FMA throughput multiplier over f32 (2× on KNM's 4VNNIW,
+    /// Section II-K; 1× where no such instruction exists).
+    pub int16_speedup: f64,
+}
+
+impl MachineModel {
+    /// Skylake-SP: one Intel Xeon Platinum 8180 socket (28 cores).
+    ///
+    /// Quoted: 3.8 TFLOPS SGEMM/socket, 105 GB/s stream triad, per-core
+    /// 147 GB/s L2 read / 74 GB/s L2 write, 147 GFLOPS/core peak.
+    pub fn skx() -> Self {
+        Self {
+            name: "SKX",
+            cores: 28,
+            freq_ghz: 2.3,
+            simd_f32: 16,
+            fma_per_cycle: 2,
+            fma_latency: 4,
+            l2_read_gbs: 147.0,
+            l2_write_gbs: 74.0,
+            mem_bw_gbs: 105.0,
+            shared_llc: true,
+            int16_speedup: 1.0,
+        }
+    }
+
+    /// Knights Mill: Intel Xeon Phi 7295 (72 cores).
+    ///
+    /// Quoted: 11.5 TFLOPS SGEMM, ≈470 GB/s stream triad (MCDRAM),
+    /// per-core 54.4 GB/s L2 read / 27 GB/s L2 write, 192 GFLOPS/core
+    /// peak via the 4FMA instruction; 2× int16 throughput via 4VNNIW.
+    pub fn knm() -> Self {
+        Self {
+            name: "KNM",
+            cores: 72,
+            freq_ghz: 1.5,
+            simd_f32: 16,
+            fma_per_cycle: 4,
+            fma_latency: 6,
+            l2_read_gbs: 54.4,
+            l2_write_gbs: 27.0,
+            mem_bw_gbs: 470.0,
+            shared_llc: false,
+            int16_speedup: 2.0,
+        }
+    }
+
+    /// Per-core f32 peak in GFLOPS: `freq × fma/cycle × lanes × 2`.
+    #[inline]
+    pub fn peak_gflops_core(&self) -> f64 {
+        self.freq_ghz * self.fma_per_cycle as f64 * self.simd_f32 as f64 * 2.0
+    }
+
+    /// Whole-model f32 peak in GFLOPS.
+    #[inline]
+    pub fn peak_gflops(&self) -> f64 {
+        self.peak_gflops_core() * self.cores as f64
+    }
+
+    /// Independent accumulation chains required to hide FMA latency —
+    /// the lower bound on `RBP × RBQ` (Section II-B / II-D).
+    #[inline]
+    pub fn min_accum_chains(&self) -> usize {
+        self.fma_per_cycle * self.fma_latency
+    }
+
+    /// A copy restricted to `cores` cores (e.g. when some cores are set
+    /// aside to drive the fabric, as in Fig. 9's multi-node runs).
+    pub fn with_cores(&self, cores: usize) -> Self {
+        let mut m = self.clone();
+        m.cores = cores;
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skx_peak_matches_paper() {
+        let m = MachineModel::skx();
+        // 2.3 GHz × 2 × 16 × 2 = 147.2 GFLOPS/core (paper: 147)
+        assert!((m.peak_gflops_core() - 147.2).abs() < 0.5);
+        // socket: ≈ 4.1 TFLOPS raw; paper measures 3.8 TFLOPS SGEMM
+        assert!(m.peak_gflops() > 3800.0 && m.peak_gflops() < 4300.0);
+    }
+
+    #[test]
+    fn knm_peak_matches_paper() {
+        let m = MachineModel::knm();
+        // 1.5 GHz × 4 × 16 × 2 = 192 GFLOPS/core (paper: 192)
+        assert!((m.peak_gflops_core() - 192.0).abs() < 0.5);
+        // chip: 13.8 TFLOPS raw; paper measures 11.5 TFLOPS SGEMM
+        assert!(m.peak_gflops() > 11500.0 && m.peak_gflops() < 14000.0);
+    }
+
+    #[test]
+    fn accumulation_chain_requirements() {
+        assert_eq!(MachineModel::skx().min_accum_chains(), 8);
+        assert_eq!(MachineModel::knm().min_accum_chains(), 24);
+    }
+
+    #[test]
+    fn with_cores_scales_peak() {
+        let m = MachineModel::skx().with_cores(14);
+        assert!((m.peak_gflops() - 14.0 * 147.2).abs() < 1.0);
+    }
+}

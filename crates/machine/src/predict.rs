@@ -1,0 +1,268 @@
+//! Per-layer efficiency prediction for the paper's testbeds.
+//!
+//! We do not own an SKX 8180 or a KNM 7295, so the figures that the
+//! paper measured there are regenerated from a model with two parts:
+//!
+//! 1. **Calibrated kernel-class efficiencies** — the paper states where
+//!    each layer class lands (Section III-A/B): on SKX 3×3 layers reach
+//!    ≈80% of peak, 1×1 ≈70%, reuse-starved early layers ≈55%; on KNM
+//!    3×3 ≈72.5%, 1×1 ≈55% (L2-bandwidth bound per the roofline), early
+//!    ≈50%. These constants are *taken from the paper's text* and are
+//!    the documented calibration of this model.
+//! 2. **Analytic pass overheads** — the backward stride-2 write
+//!    expansion (Section III-A), the weight-update reduction traffic
+//!    (computed with the Section II-J bandwidth model: T partial weight
+//!    copies reduced through the LLC on SKX but through memory on KNM)
+//!    and KNM's upfront dO transpose for 4FMA (Section III-B), and the
+//!    int16 speedup limiters of Section II-K.
+//!
+//! Everything is pure arithmetic on [`MachineModel`] constants, so the
+//! bench binaries can print the "paper-shaped" series next to the
+//! measured host series.
+
+use crate::model::MachineModel;
+use crate::roofline::attainable_gflops_core;
+use crate::traffic::forward_traffic;
+use tensor::{ConvShape, VLEN};
+
+/// Which pass of the layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Forward propagation (Algorithm 3).
+    Forward,
+    /// Backward propagation by duality (Section II-I).
+    Backward,
+    /// Weight gradient update (Algorithm 9).
+    Update,
+}
+
+/// Layer classes the paper's evaluation distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerClass {
+    /// Very low input-channel reuse: first conv / layers 2-3 of Table I.
+    ReuseStarved,
+    /// 1×1 convolutions.
+    OneByOne,
+    /// Spatial filters (3×3, 7×7 …) — highest register reuse.
+    Spatial,
+}
+
+/// Classify a layer the way Section III-A discusses them.
+pub fn classify(shape: &ConvShape) -> LayerClass {
+    if shape.c < 2 * VLEN {
+        // first conv: C=3
+        return LayerClass::ReuseStarved;
+    }
+    if shape.r == 1 && shape.s == 1 {
+        if shape.cb() <= 4 && shape.p() * shape.q() >= 56 * 56 {
+            // Table I layers 2-3: few input FMs + large spatial writes
+            LayerClass::ReuseStarved
+        } else {
+            LayerClass::OneByOne
+        }
+    } else {
+        LayerClass::Spatial
+    }
+}
+
+/// The calibrated forward kernel efficiency for a class on a machine
+/// (constants quoted from the paper, see module docs).
+pub fn class_efficiency(m: &MachineModel, class: LayerClass) -> f64 {
+    let knm = !m.shared_llc;
+    match (class, knm) {
+        (LayerClass::Spatial, false) => 0.80,
+        (LayerClass::OneByOne, false) => 0.70,
+        (LayerClass::ReuseStarved, false) => 0.55,
+        (LayerClass::Spatial, true) => 0.725,
+        (LayerClass::OneByOne, true) => 0.55,
+        (LayerClass::ReuseStarved, true) => 0.50,
+    }
+}
+
+/// Predicted fraction of machine peak for one layer and pass.
+pub fn predicted_efficiency(m: &MachineModel, shape: &ConvShape, pass: Pass) -> f64 {
+    let base = class_efficiency(m, classify(shape));
+    // The roofline can only cap the calibrated class number further
+    // (e.g. pathological shapes an engine user might feed in).
+    let t = forward_traffic(m, shape);
+    let roof = attainable_gflops_core(m, t.oi_read(), t.oi_write()) / m.peak_gflops_core();
+    let fwd = base.min(roof.max(0.05));
+    match pass {
+        Pass::Forward => fwd,
+        Pass::Backward => {
+            if shape.stride > 1 {
+                // dI is stride² larger than dO: higher write bandwidth
+                // demand degrades these layers (Section III-A).
+                fwd * 0.72
+            } else {
+                fwd * 0.97
+            }
+        }
+        Pass::Update => update_efficiency(m, shape, fwd),
+    }
+}
+
+/// Weight-update efficiency from the Section II-J bandwidth model.
+///
+/// Per-thread weight-gradient copies must be sum-reduced; with `T`
+/// threads that moves `(T+1) × |dW|` bytes. On SKX the shared LLC
+/// absorbs this (modelled as 3× stream bandwidth); KNM has no shared
+/// LLC, so the copies round-trip MCDRAM at stream bandwidth, and KNM
+/// additionally pays an upfront memory-bound transpose of dO to feed
+/// the 4FMA instruction (Section III-B).
+fn update_efficiency(m: &MachineModel, shape: &ConvShape, fwd_eff: f64) -> f64 {
+    // the update kernel itself runs below the forward kernel: dO drives
+    // the reduction dimension, so output-register reuse is limited
+    // (paper: "10%-15% lower" on SKX before reduction costs).
+    let kernel_eff = fwd_eff * 0.85;
+    let flops = shape.flops() as f64;
+    let t_compute = flops / (kernel_eff * m.peak_gflops() * 1e9);
+
+    let threads = m.cores as f64;
+    let w_bytes = (shape.k * shape.c * shape.r * shape.s * 4) as f64;
+    let reduce_bytes = (threads + 1.0) * w_bytes;
+    let reduce_bw = if m.shared_llc { 3.0 * m.mem_bw_gbs } else { m.mem_bw_gbs } * 1e9;
+    let t_reduce = reduce_bytes / reduce_bw;
+
+    let t_transpose = if m.shared_llc {
+        0.0
+    } else {
+        // read + write of the full dO tensor through memory
+        let do_bytes = (shape.n * shape.k * shape.p() * shape.q() * 4) as f64;
+        2.0 * do_bytes / (m.mem_bw_gbs * 1e9)
+    };
+
+    kernel_eff * t_compute / (t_compute + t_reduce + t_transpose)
+}
+
+/// Predicted int16/fp32 speedup on a 2×-int16 machine (Section II-K).
+///
+/// Three limiters keep it below 2×: (1) outputs stay 32-bit, so output
+/// traffic does not shrink; (2) the accumulation chain must be split to
+/// avoid overflow, costing register reuse (modelled as a 15% compute
+/// overhead); (3) the update pass reduces 32-bit partial copies.
+pub fn predicted_int16_speedup(m: &MachineModel, shape: &ConvShape, pass: Pass) -> f64 {
+    if m.int16_speedup < 2.0 {
+        return 1.0;
+    }
+    let t = forward_traffic(m, shape);
+    let out_bytes = t.l2_write;
+    let in_bytes = (t.l2_read - out_bytes).max(0.0);
+    // share of time spent on (unshrinkable) 32-bit output movement
+    let out_share = out_bytes / (in_bytes + out_bytes);
+    let chain_loss = 0.15;
+    let base = 2.0 / (1.0 + chain_loss + out_share);
+    match pass {
+        Pass::Forward => base,
+        Pass::Backward => base * 0.97,
+        Pass::Update => {
+            // the 32-bit partial-copy reduction is unshrinkable extra
+            // traffic, sized against the layer's minimal DRAM footprint
+            let threads = m.cores as f64;
+            let w_bytes = (shape.k * shape.c * shape.r * shape.s * 4) as f64;
+            let red_share = ((threads + 1.0) * w_bytes / t.dram).min(0.55);
+            2.0 / (1.0 + chain_loss + out_share + red_share)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(id: usize) -> ConvShape {
+        // a few Table I layers (N=28)
+        match id {
+            1 => ConvShape::new(28, 3, 64, 224, 224, 7, 7, 2, 3),
+            2 => ConvShape::new(28, 64, 256, 56, 56, 1, 1, 1, 0),
+            4 => ConvShape::new(28, 64, 64, 56, 56, 3, 3, 1, 1),
+            5 => ConvShape::new(28, 256, 64, 56, 56, 1, 1, 1, 0),
+            13 => ConvShape::new(28, 256, 256, 14, 14, 3, 3, 1, 1),
+            16 => ConvShape::new(28, 1024, 2048, 14, 14, 1, 1, 2, 0),
+            19 => ConvShape::new(28, 512, 2048, 7, 7, 1, 1, 1, 0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn classes_match_paper_discussion() {
+        assert_eq!(classify(&layer(1)), LayerClass::ReuseStarved);
+        assert_eq!(classify(&layer(2)), LayerClass::ReuseStarved); // layers 2-3 at ~55%
+        assert_eq!(classify(&layer(4)), LayerClass::Spatial);
+        assert_eq!(classify(&layer(5)), LayerClass::OneByOne);
+    }
+
+    #[test]
+    fn skx_forward_matches_paper_bands() {
+        let skx = MachineModel::skx();
+        let e3 = predicted_efficiency(&skx, &layer(4), Pass::Forward);
+        let e1 = predicted_efficiency(&skx, &layer(19), Pass::Forward);
+        let e2 = predicted_efficiency(&skx, &layer(2), Pass::Forward);
+        assert!((e3 - 0.80).abs() < 0.05, "3x3 {e3}");
+        assert!((e1 - 0.70).abs() < 0.05, "1x1 {e1}");
+        assert!((e2 - 0.55).abs() < 0.05, "layer2 {e2}");
+    }
+
+    #[test]
+    fn knm_one_by_one_is_lower_than_skx() {
+        let (skx, knm) = (MachineModel::skx(), MachineModel::knm());
+        let s = predicted_efficiency(&skx, &layer(5), Pass::Forward);
+        let k = predicted_efficiency(&knm, &layer(5).with_minibatch(70), Pass::Forward);
+        assert!(k < s, "KNM {k} vs SKX {s}");
+        assert!((k - 0.55).abs() < 0.06);
+    }
+
+    #[test]
+    fn backward_stride2_degrades() {
+        let skx = MachineModel::skx();
+        let f = predicted_efficiency(&skx, &layer(16), Pass::Forward);
+        let b = predicted_efficiency(&skx, &layer(16), Pass::Backward);
+        assert!(b < 0.85 * f, "bwd {b} vs fwd {f}");
+    }
+
+    #[test]
+    fn update_on_knm_spans_paper_range() {
+        let knm = MachineModel::knm();
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for id in [4, 5, 13, 16, 19] {
+            let e = predicted_efficiency(&knm, &layer(id).with_minibatch(70), Pass::Update);
+            lo = lo.min(e);
+            hi = hi.max(e);
+        }
+        // paper: "in the range of 20%-55%"
+        assert!(lo > 0.10 && lo < 0.45, "lo={lo}");
+        assert!(hi > 0.40 && hi < 0.62, "hi={hi}");
+    }
+
+    #[test]
+    fn update_on_skx_is_10_to_15_points_lower() {
+        let skx = MachineModel::skx();
+        let f = predicted_efficiency(&skx, &layer(4), Pass::Forward);
+        let u = predicted_efficiency(&skx, &layer(4), Pass::Update);
+        assert!(f - u > 0.08 && f - u < 0.20, "fwd {f} upd {u}");
+    }
+
+    #[test]
+    fn int16_speedups_match_paper_averages() {
+        let knm = MachineModel::knm();
+        let ids = [2usize, 4, 5, 13, 16, 19];
+        let avg = |pass| {
+            ids.iter()
+                .map(|&i| predicted_int16_speedup(&knm, &layer(i).with_minibatch(70), pass))
+                .sum::<f64>()
+                / ids.len() as f64
+        };
+        let (f, b, u) = (avg(Pass::Forward), avg(Pass::Backward), avg(Pass::Update));
+        assert!((f - 1.63).abs() < 0.15, "fwd speedup {f}");
+        assert!((b - 1.58).abs() < 0.15, "bwd speedup {b}");
+        assert!((u - 1.30).abs() < 0.20, "upd speedup {u}");
+        assert!(u < b && b <= f);
+    }
+
+    #[test]
+    fn skx_has_no_int16_speedup() {
+        let skx = MachineModel::skx();
+        assert_eq!(predicted_int16_speedup(&skx, &layer(4), Pass::Forward), 1.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Per-core roofline (paper Section III-B).
+//!
+//! The paper explains the efficiency gap between SKX and KNM on 1×1
+//! layers with per-core rooflines built from the quoted L2 read/write
+//! bandwidths and core peaks. This module is that calculation.
+
+use crate::model::MachineModel;
+
+/// Attainable per-core GFLOPS for a kernel with the given L2
+/// operational intensities (flops per byte read from / written to L2).
+///
+/// `oi_read`/`oi_write` of `f64::INFINITY` mean "no traffic of that
+/// kind" and leave the respective roof unconstrained.
+pub fn attainable_gflops_core(m: &MachineModel, oi_read: f64, oi_write: f64) -> f64 {
+    let peak = m.peak_gflops_core();
+    let read_roof = oi_read * m.l2_read_gbs;
+    let write_roof = oi_write * m.l2_write_gbs;
+    peak.min(read_roof).min(write_roof)
+}
+
+/// The operational intensity (vs. L2 reads) at which a kernel stops
+/// being read-bandwidth bound on this machine — the roofline "ridge".
+pub fn ridge_oi_read(m: &MachineModel) -> f64 {
+    m.peak_gflops_core() / m.l2_read_gbs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_oi_is_compute_bound() {
+        let skx = MachineModel::skx();
+        let g = attainable_gflops_core(&skx, 100.0, 100.0);
+        assert!((g - skx.peak_gflops_core()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_oi_is_bandwidth_bound() {
+        let knm = MachineModel::knm();
+        let g = attainable_gflops_core(&knm, 1.0, f64::INFINITY);
+        assert!((g - knm.l2_read_gbs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knm_ridge_is_higher_than_skx() {
+        // KNM needs ~3.5 flops/byte to leave the L2-bound regime; SKX
+        // only ~1.0 — this asymmetry is the paper's Section III-B story.
+        let knm_ridge = ridge_oi_read(&MachineModel::knm());
+        let skx_ridge = ridge_oi_read(&MachineModel::skx());
+        assert!(knm_ridge > 3.0 && knm_ridge < 4.0, "{knm_ridge}");
+        assert!(skx_ridge < 1.5, "{skx_ridge}");
+        assert!(knm_ridge > 2.0 * skx_ridge);
+    }
+
+    #[test]
+    fn write_roof_can_dominate() {
+        let knm = MachineModel::knm();
+        let g = attainable_gflops_core(&knm, 100.0, 0.5);
+        assert!((g - 0.5 * knm.l2_write_gbs).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,173 @@
+//! Simplified L2/DRAM traffic model for the blocked direct convolution.
+//!
+//! The model mirrors the microkernel structure of Section II-D:
+//! an invocation computes an `RBP × RBQ` tile of output pixel vectors
+//! for one output-channel block, streaming the input tile and the
+//! weight panels while keeping accumulators in registers. Assumptions
+//! (documented, deliberately simple):
+//!
+//! * the input tile is read from L2 once per (invocation, cb) step —
+//!   it is too large for L1 in general;
+//! * weight panels are L1-resident within an invocation when the whole
+//!   per-tile weight working set (`C×VLEN×R×S×4` bytes) fits in L1,
+//!   otherwise they stream from L2;
+//! * outputs are read+written to L2 once per cb step for `R,S > 1`
+//!   (Algorithm 2's loop order) and once per tile for `1×1` layers
+//!   (where the cb loop is pulled inside, Section II-C);
+//! * strided (stride ≥ 2) input reads waste a factor `stride` of each
+//!   cache line in the W dimension.
+//!
+//! The absolute numbers are approximate; what the model is used for is
+//! (a) ranking weight-update parallelization strategies (Section II-J)
+//! and (b) locating layers on the roofline (Section III-B).
+
+use crate::model::MachineModel;
+use tensor::{ConvShape, VLEN};
+
+/// L1 data cache size assumed by the residency checks (bytes).
+pub const L1_BYTES: usize = 32 * 1024;
+
+/// Estimated per-layer traffic of one forward pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvTraffic {
+    /// Bytes read from L2 by the cores.
+    pub l2_read: f64,
+    /// Bytes written towards L2 by the cores.
+    pub l2_write: f64,
+    /// Minimum DRAM traffic (every tensor touched once).
+    pub dram: f64,
+    /// FLOP count of the pass.
+    pub flops: f64,
+}
+
+impl ConvTraffic {
+    /// Operational intensity against L2 reads (flops/byte).
+    #[inline]
+    pub fn oi_read(&self) -> f64 {
+        if self.l2_read == 0.0 { f64::INFINITY } else { self.flops / self.l2_read }
+    }
+
+    /// Operational intensity against L2 writes (flops/byte).
+    #[inline]
+    pub fn oi_write(&self) -> f64 {
+        if self.l2_write == 0.0 { f64::INFINITY } else { self.flops / self.l2_write }
+    }
+
+    /// Operational intensity against DRAM (flops/byte).
+    #[inline]
+    pub fn oi_dram(&self) -> f64 {
+        if self.dram == 0.0 { f64::INFINITY } else { self.flops / self.dram }
+    }
+}
+
+/// Register blocking choice used by the traffic model (the same policy
+/// as the real engine: cover the FMA latency, divide Q evenly).
+pub fn model_register_blocking(m: &MachineModel, shape: &ConvShape) -> (usize, usize) {
+    let q = shape.q();
+    let need = m.min_accum_chains();
+    // prefer the largest RBQ <= 28 that divides Q reasonably
+    let mut rbq = q.min(28);
+    for cand in (1..=q.min(28)).rev() {
+        if q % cand == 0 {
+            rbq = cand;
+            break;
+        }
+    }
+    let mut rbp = 1;
+    while rbp * rbq < need && rbp < shape.p() {
+        rbp += 1;
+    }
+    (rbp, rbq)
+}
+
+/// Traffic estimate for one forward pass of `shape` on machine `m`.
+pub fn forward_traffic(m: &MachineModel, shape: &ConvShape) -> ConvTraffic {
+    let (rbp, rbq) = model_register_blocking(m, shape);
+    let (p, q) = (shape.p(), shape.q());
+    let (cb, kb) = (shape.cb(), shape.kb());
+    let tiles = shape.n as f64 * kb as f64 * (p as f64 / rbp as f64) * (q as f64 / rbq as f64);
+    let f32b = 4.0;
+    let one_by_one = shape.r == 1 && shape.s == 1;
+
+    // input tile per (invocation, cb): the strided footprint. For
+    // strided 1×1 layers only every stride-th pixel vector is used but
+    // whole lines are transferred, hence the `rbq * stride` width.
+    let in_rows = (rbp - 1) * shape.stride + shape.r;
+    let in_cols = if one_by_one && shape.stride > 1 {
+        (rbq * shape.stride).min(shape.w + 2 * shape.pad)
+    } else {
+        (rbq - 1) * shape.stride + shape.s
+    };
+    let in_tile_bytes = (in_rows * in_cols * VLEN) as f64 * f32b;
+
+    // weight working set for a full-C tile
+    let w_set = shape.c * VLEN * shape.r * shape.s * 4;
+    let weights_l1_resident = w_set <= L1_BYTES;
+    let w_bytes_per_tile = if weights_l1_resident {
+        // charged once per (n, kb) pass, amortized over the spatial tiles
+        (w_set as f64) / ((p as f64 / rbp as f64) * (q as f64 / rbq as f64))
+    } else {
+        w_set as f64
+    };
+
+    // output tile bytes (read + write)
+    let out_tile = (rbp * rbq * VLEN) as f64 * f32b;
+    let out_passes = if one_by_one { 1.0 } else { cb as f64 };
+
+    let l2_read = tiles * (cb as f64 * in_tile_bytes + w_bytes_per_tile + out_passes * out_tile);
+    let l2_write = tiles * out_passes * out_tile;
+    let dram = shape.min_bytes_f32() as f64;
+    ConvTraffic { l2_read, l2_write, dram, flops: shape.flops() as f64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MachineModel;
+
+    fn skx() -> MachineModel {
+        MachineModel::skx()
+    }
+
+    #[test]
+    fn blocking_covers_fma_latency() {
+        let m = skx();
+        for shape in [
+            ConvShape::new(28, 64, 64, 56, 56, 3, 3, 1, 1),
+            ConvShape::new(28, 512, 512, 7, 7, 3, 3, 1, 1),
+            ConvShape::new(28, 1024, 2048, 14, 14, 1, 1, 2, 0),
+        ] {
+            let (rbp, rbq) = model_register_blocking(&m, &shape);
+            assert!(rbp * rbq >= m.min_accum_chains().min(shape.p() * shape.q()),
+                "{shape}: rbp={rbp} rbq={rbq}");
+            assert!(rbq <= shape.q());
+        }
+    }
+
+    #[test]
+    fn three_by_three_has_higher_oi_than_one_by_one() {
+        let m = skx();
+        // layer 4 (3x3) vs layer 5 (1x1) of Table I
+        let t3 = forward_traffic(&m, &ConvShape::new(28, 64, 64, 56, 56, 3, 3, 1, 1));
+        let t1 = forward_traffic(&m, &ConvShape::new(28, 256, 64, 56, 56, 1, 1, 1, 0));
+        assert!(t3.oi_read() > t1.oi_read(),
+            "3x3 OI {} should exceed 1x1 OI {}", t3.oi_read(), t1.oi_read());
+    }
+
+    #[test]
+    fn flops_match_shape() {
+        let m = skx();
+        let s = ConvShape::new(28, 64, 64, 56, 56, 3, 3, 1, 1);
+        let t = forward_traffic(&m, &s);
+        assert_eq!(t.flops, s.flops() as f64);
+    }
+
+    #[test]
+    fn dram_is_minimal_footprint() {
+        let m = skx();
+        let s = ConvShape::new(28, 256, 512, 56, 56, 1, 1, 2, 0);
+        let t = forward_traffic(&m, &s);
+        assert_eq!(t.dram, s.min_bytes_f32() as f64);
+        assert!(t.l2_read >= t.dram * 0.5, "L2 traffic should not be wildly below DRAM floor");
+    }
+}

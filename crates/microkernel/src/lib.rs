@@ -1,0 +1,56 @@
+//! Portable convolution microkernel family.
+//!
+//! This crate is the *intrinsics* implementation of the microkernels of
+//! Section II-D: where the paper (and our `jit` crate) generates x86
+//! machine code at runtime, this crate reaches the same specialization
+//! through monomorphization — a family of kernels is compiled ahead of
+//! time over const-generic register-blocking factors, and "generation"
+//! selects the right instance from a dispatch table at layer-setup
+//! time. The two backends share:
+//!
+//! * [`KernelShape`] / [`UpdShape`] — the complete descriptor of one
+//!   microkernel (register blocking, strides, inner channel-block
+//!   count, prefetch behaviour),
+//! * the six-pointer ABI of Section II-E: three compute pointers plus
+//!   three prefetch pointers for the *next* invocation's sub-tensors.
+//!
+//! Kernels:
+//! * [`fwd`] — forward/backward f32 microkernel (backward reuses it via
+//!   the duality transform of Section II-I),
+//! * [`upd`] — weight-gradient microkernel (one `VLEN×VLEN` dW panel
+//!   per invocation, Section II-J),
+//! * [`quant`] — int16→int32 kernels with VNNI pairing (Section II-K).
+
+pub mod fwd;
+pub mod quant;
+pub mod shape;
+pub mod upd;
+
+pub use fwd::{select_fwd, FwdFn};
+pub use quant::{select_quant, QuantFn};
+pub use shape::{KernelShape, UpdShape};
+pub use upd::{select_upd, UpdFn};
+
+/// True when the host can run the AVX-512 f32 kernels.
+pub fn has_avx512() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the host can run the VNNI int16 kernels natively.
+pub fn has_vnni() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512vnni")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}

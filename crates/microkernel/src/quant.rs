@@ -1,0 +1,385 @@
+//! Reduced-precision int16 → int32 microkernel (Section II-K).
+//!
+//! The kernel follows the same structure as the f32 forward kernel but
+//! consumes channel *pairs*: one 32-bit broadcast carries two adjacent
+//! int16 input channels, one 512-bit weight load carries the
+//! pair-interleaved weights (see `tensor::vnni`), and `vpdpwssd`
+//! multiplies the pairs and accumulates into int32 lanes — the AVX-512
+//! VNNI equivalent of Knights Mill's `4VNNIW`.
+//!
+//! The paper restricts the FMA accumulation-chain length to avoid
+//! overflowing the int32 accumulators; [`KernelShape::cb_inner`] plays
+//! that role here — the engine bounds how many channel blocks one
+//! invocation reduces and spills to memory in between, which is one of
+//! the three reasons int16 stays below 2× (Section III-B).
+
+use crate::shape::KernelShape;
+use tensor::VLEN;
+
+/// Quantized microkernel ABI (mirrors [`crate::FwdFn`] with int types).
+pub type QuantFn = unsafe fn(
+    sh: &KernelShape,
+    inp: *const i16,
+    wt: *const i16,
+    out: *mut i32,
+    pf_in: *const i16,
+    pf_wt: *const i16,
+    pf_out: *const i32,
+);
+
+/// Select the best available quantized kernel for `sh`.
+///
+/// Preference: AVX-512 VNNI (`vpdpwssd`), then plain AVX-512
+/// (`vpmaddwd` + `vpaddd`, the pre-VNNI sequence), then scalar.
+pub fn select_quant(sh: &KernelShape) -> QuantFn {
+    sh.validate();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512vnni") {
+            if let Some(k) = lookup_vnni(sh.rbp, sh.rbq) {
+                return k;
+            }
+        }
+        if std::arch::is_x86_feature_detected!("avx512bw") {
+            if let Some(k) = lookup_madd(sh.rbp, sh.rbq) {
+                return k;
+            }
+        }
+    }
+    quant_scalar
+}
+
+/// Portable scalar kernel: processes channel pairs exactly like the
+/// vector kernels, so results are bit-identical across backends.
+pub unsafe fn quant_scalar(
+    sh: &KernelShape,
+    inp: *const i16,
+    wt: *const i16,
+    out: *mut i32,
+    _pf_in: *const i16,
+    _pf_wt: *const i16,
+    _pf_out: *const i32,
+) {
+    let mut acc = [[0i32; VLEN]; 28];
+    if !sh.init_zero {
+        for p in 0..sh.rbp {
+            for q in 0..sh.rbq {
+                let o = out.add(sh.out_off(p, q));
+                for v in 0..VLEN {
+                    acc[p * sh.rbq + q][v] = *o.add(v);
+                }
+            }
+        }
+    }
+    for cb in 0..sh.cb_inner {
+        for r in 0..sh.r {
+            for s in 0..sh.s {
+                // pair-interleaved weight panel: [c/2][k][2]
+                let wbase = wt.add(sh.wt_off(cb, r, s));
+                for cp in 0..VLEN / 2 {
+                    for p in 0..sh.rbp {
+                        for q in 0..sh.rbq {
+                            let ioff = sh.in_off(cb, r, s, p, q) + 2 * cp;
+                            let x0 = *inp.add(ioff) as i32;
+                            let x1 = *inp.add(ioff + 1) as i32;
+                            let t = &mut acc[p * sh.rbq + q];
+                            for v in 0..VLEN {
+                                let w0 = *wbase.add((cp * VLEN + v) * 2) as i32;
+                                let w1 = *wbase.add((cp * VLEN + v) * 2 + 1) as i32;
+                                t[v] = t[v].wrapping_add(x0 * w0 + x1 * w1);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for p in 0..sh.rbp {
+        for q in 0..sh.rbq {
+            let o = out.add(sh.out_off(p, q));
+            for v in 0..VLEN {
+                *o.add(v) = acc[p * sh.rbq + q][v];
+            }
+        }
+    }
+}
+
+/// AVX-512 VNNI kernel: `vpdpwssd` with a 32-bit embedded broadcast.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512vnni,avx512bw")]
+unsafe fn quant_vnni<const RBP: usize, const RBQ: usize>(
+    sh: &KernelShape,
+    inp: *const i16,
+    wt: *const i16,
+    out: *mut i32,
+    pf_in: *const i16,
+    pf_wt: *const i16,
+    pf_out: *const i32,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm512_setzero_si512(); RBQ]; RBP];
+    if !sh.init_zero {
+        for p in 0..RBP {
+            for q in 0..RBQ {
+                acc[p][q] = _mm512_loadu_si512(out.add(sh.out_off(p, q)) as *const _);
+            }
+        }
+    }
+    if sh.prefetch && !pf_in.is_null() {
+        let in_rows = (RBP - 1) * sh.stride + sh.r;
+        for row in 0..in_rows {
+            _mm_prefetch::<_MM_HINT_T1>(pf_in.add(row * sh.in_row_stride) as *const i8);
+        }
+        _mm_prefetch::<_MM_HINT_T1>(pf_wt as *const i8);
+        for p in 0..RBP {
+            _mm_prefetch::<_MM_HINT_T0>(pf_out.add(sh.out_off(p, 0)) as *const i8);
+        }
+    }
+    for cb in 0..sh.cb_inner {
+        for r in 0..sh.r {
+            for s in 0..sh.s {
+                let wbase = wt.add(sh.wt_off(cb, r, s));
+                for cp in 0..VLEN / 2 {
+                    // one 512-bit load: 16 k-lanes × one i16 channel pair
+                    let w = _mm512_loadu_si512(wbase.add(cp * VLEN * 2) as *const _);
+                    for p in 0..RBP {
+                        let ibase = inp.add(sh.in_off(cb, r, s, p, 0) + 2 * cp);
+                        for q in 0..RBQ {
+                            let pair = *(ibase.add(q * sh.stride * VLEN) as *const i32);
+                            let b = _mm512_set1_epi32(pair);
+                            acc[p][q] = _mm512_dpwssd_epi32(acc[p][q], b, w);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for p in 0..RBP {
+        for q in 0..RBQ {
+            _mm512_storeu_si512(out.add(sh.out_off(p, q)) as *mut _, acc[p][q]);
+        }
+    }
+}
+
+/// Pre-VNNI AVX-512 kernel: `vpmaddwd` (pairwise i16 multiply-add into
+/// i32) followed by `vpaddd` — two instructions where VNNI needs one,
+/// i.e. no throughput gain over f32, matching pre-KNM silicon.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512bw")]
+unsafe fn quant_madd<const RBP: usize, const RBQ: usize>(
+    sh: &KernelShape,
+    inp: *const i16,
+    wt: *const i16,
+    out: *mut i32,
+    _pf_in: *const i16,
+    _pf_wt: *const i16,
+    _pf_out: *const i32,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm512_setzero_si512(); RBQ]; RBP];
+    if !sh.init_zero {
+        for p in 0..RBP {
+            for q in 0..RBQ {
+                acc[p][q] = _mm512_loadu_si512(out.add(sh.out_off(p, q)) as *const _);
+            }
+        }
+    }
+    for cb in 0..sh.cb_inner {
+        for r in 0..sh.r {
+            for s in 0..sh.s {
+                let wbase = wt.add(sh.wt_off(cb, r, s));
+                for cp in 0..VLEN / 2 {
+                    let w = _mm512_loadu_si512(wbase.add(cp * VLEN * 2) as *const _);
+                    for p in 0..RBP {
+                        let ibase = inp.add(sh.in_off(cb, r, s, p, 0) + 2 * cp);
+                        for q in 0..RBQ {
+                            let pair = *(ibase.add(q * sh.stride * VLEN) as *const i32);
+                            let b = _mm512_set1_epi32(pair);
+                            let prod = _mm512_madd_epi16(b, w);
+                            acc[p][q] = _mm512_add_epi32(acc[p][q], prod);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for p in 0..RBP {
+        for q in 0..RBQ {
+            _mm512_storeu_si512(out.add(sh.out_off(p, q)) as *mut _, acc[p][q]);
+        }
+    }
+}
+
+/// Dispatch table shared by both int16 kernel families.
+#[cfg(target_arch = "x86_64")]
+macro_rules! quant_dispatch {
+    ($kern:ident, $rbp:expr, $rbq:expr) => {
+        match ($rbp, $rbq) {
+            (1, 1) => Some($kern::<1, 1> as QuantFn),
+            (1, 2) => Some($kern::<1, 2> as QuantFn),
+            (1, 3) => Some($kern::<1, 3> as QuantFn),
+            (1, 4) => Some($kern::<1, 4> as QuantFn),
+            (1, 5) => Some($kern::<1, 5> as QuantFn),
+            (1, 6) => Some($kern::<1, 6> as QuantFn),
+            (1, 7) => Some($kern::<1, 7> as QuantFn),
+            (1, 8) => Some($kern::<1, 8> as QuantFn),
+            (1, 9) => Some($kern::<1, 9> as QuantFn),
+            (1, 10) => Some($kern::<1, 10> as QuantFn),
+            (1, 11) => Some($kern::<1, 11> as QuantFn),
+            (1, 12) => Some($kern::<1, 12> as QuantFn),
+            (1, 13) => Some($kern::<1, 13> as QuantFn),
+            (1, 14) => Some($kern::<1, 14> as QuantFn),
+            (1, 16) => Some($kern::<1, 16> as QuantFn),
+            (1, 28) => Some($kern::<1, 28> as QuantFn),
+            (2, 7) => Some($kern::<2, 7> as QuantFn),
+            (2, 14) => Some($kern::<2, 14> as QuantFn),
+            (4, 7) => Some($kern::<4, 7> as QuantFn),
+            _ => None,
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+fn lookup_vnni(rbp: usize, rbq: usize) -> Option<QuantFn> {
+    quant_dispatch!(quant_vnni, rbp, rbq)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn lookup_madd(rbp: usize, rbq: usize) -> Option<QuantFn> {
+    quant_dispatch!(quant_madd, rbp, rbq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::rng::SplitMix64;
+
+    fn check(sh: &KernelShape) {
+        sh.validate();
+        let in_rows = (sh.rbp - 1) * sh.stride + sh.r + 1;
+        let in_len = sh.cb_inner * sh.in_cb_stride.max(in_rows * sh.in_row_stride)
+            + in_rows * sh.in_row_stride;
+        let wt_len = sh.cb_inner * sh.r * sh.s * VLEN * VLEN;
+        let out_len = sh.rbp * sh.out_row_stride + sh.rbq * sh.out_col_stride + VLEN;
+        let mut rng = SplitMix64::new(123);
+        let mut inp = vec![0i16; in_len];
+        let mut wt = vec![0i16; wt_len];
+        let mut out0 = vec![0i32; out_len];
+        rng.fill_i16(&mut inp);
+        rng.fill_i16(&mut wt);
+        for x in out0.iter_mut() {
+            *x = rng.next_i16() as i32;
+        }
+
+        // reference: pairs in natural channel order, weights interleaved
+        let mut expect = out0.clone();
+        for p in 0..sh.rbp {
+            for q in 0..sh.rbq {
+                let o = sh.out_off(p, q);
+                if sh.init_zero {
+                    expect[o..o + VLEN].fill(0);
+                }
+                for cb in 0..sh.cb_inner {
+                    for r in 0..sh.r {
+                        for s in 0..sh.s {
+                            let wb = sh.wt_off(cb, r, s);
+                            for c in 0..VLEN {
+                                let x = inp[sh.in_off(cb, r, s, p, q) + c] as i32;
+                                let (cp, parity) = (c / 2, c % 2);
+                                for v in 0..VLEN {
+                                    let w = wt[wb + (cp * VLEN + v) * 2 + parity] as i32;
+                                    expect[o + v] += x * w;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut out_s = out0.clone();
+        unsafe {
+            quant_scalar(
+                sh,
+                inp.as_ptr(),
+                wt.as_ptr(),
+                out_s.as_mut_ptr(),
+                std::ptr::null(),
+                std::ptr::null(),
+                std::ptr::null(),
+            )
+        };
+        assert_eq!(expect, out_s, "scalar mismatch {sh:?}");
+
+        let k = select_quant(sh);
+        let mut out_v = out0.clone();
+        unsafe {
+            k(
+                sh,
+                inp.as_ptr(),
+                wt.as_ptr(),
+                out_v.as_mut_ptr(),
+                inp.as_ptr(),
+                wt.as_ptr(),
+                out_v.as_mut_ptr(),
+            )
+        };
+        assert_eq!(expect, out_v, "dispatched mismatch {sh:?}");
+    }
+
+    fn base(rbp: usize, rbq: usize, r: usize, s: usize, stride: usize, cbi: usize) -> KernelShape {
+        let in_cols = (rbq - 1) * stride + s + 2;
+        let in_rows = (rbp - 1) * stride + r + 1;
+        KernelShape {
+            rbp,
+            rbq,
+            r,
+            s,
+            stride,
+            cb_inner: cbi,
+            in_row_stride: in_cols * VLEN,
+            in_cb_stride: in_rows * in_cols * VLEN + 64,
+            out_row_stride: (rbq + 2) * VLEN,
+            out_col_stride: VLEN,
+            init_zero: false,
+            prefetch: false,
+        }
+    }
+
+    #[test]
+    fn vnni_kernel_is_exact() {
+        for (rbp, rbq) in [(1, 1), (1, 14), (2, 7), (4, 7)] {
+            for (r, s, stride) in [(1, 1, 1), (3, 3, 1), (1, 1, 2)] {
+                check(&base(rbp, rbq, r, s, stride, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn cb_inner_restricted_chain() {
+        // cb_inner models the restricted accumulation chain: results
+        // must stay exact for any split
+        check(&base(1, 8, 1, 1, 1, 1));
+        check(&base(1, 8, 1, 1, 1, 2));
+        check(&base(1, 8, 1, 1, 1, 4));
+    }
+
+    #[test]
+    fn init_zero_quant() {
+        let mut sh = base(1, 7, 3, 3, 1, 1);
+        sh.init_zero = true;
+        check(&sh);
+    }
+
+    #[test]
+    fn dispatch_uses_vnni_when_available() {
+        if crate::has_vnni() {
+            let sh = base(1, 14, 1, 1, 1, 1);
+            let k = select_quant(&sh);
+            assert!(
+                !std::ptr::fn_addr_eq(k, quant_scalar as QuantFn),
+                "should pick a vector kernel"
+            );
+        }
+    }
+}

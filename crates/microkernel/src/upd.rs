@@ -1,0 +1,234 @@
+//! Weight-gradient microkernel (Algorithm 9 / Section II-J).
+//!
+//! One invocation accumulates a single `VLEN × VLEN` panel of `dW` for
+//! one filter tap `(r, s)`, sweeping a `BP × BQ` block of output
+//! pixels. The register blocking is over the *input channel* dimension:
+//! `VLEN` accumulators (one per `c` row of the panel) expose `VLEN`
+//! independent FMA chains — exactly the paper's "register blocking up
+//! to a factor of VLEN".
+
+use crate::shape::UpdShape;
+use tensor::VLEN;
+
+/// Weight-update microkernel ABI: input (pre-offset to tap `(r,s)`),
+/// output gradient, dW panel, plus the three prefetch pointers.
+pub type UpdFn = unsafe fn(
+    sh: &UpdShape,
+    inp: *const f32,
+    dout: *const f32,
+    dw: *mut f32,
+    pf_in: *const f32,
+    pf_do: *const f32,
+    pf_dw: *const f32,
+);
+
+/// Select the best available update kernel for `sh`.
+pub fn select_upd(sh: &UpdShape) -> UpdFn {
+    sh.validate();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return upd_avx512;
+        }
+    }
+    upd_scalar
+}
+
+/// Portable scalar update kernel.
+pub unsafe fn upd_scalar(
+    sh: &UpdShape,
+    inp: *const f32,
+    dout: *const f32,
+    dw: *mut f32,
+    _pf_in: *const f32,
+    _pf_do: *const f32,
+    _pf_dw: *const f32,
+) {
+    let mut acc = [[0.0f32; VLEN]; VLEN];
+    for (c, row) in acc.iter_mut().enumerate() {
+        let base = dw.add(c * VLEN);
+        for (v, x) in row.iter_mut().enumerate() {
+            *x = *base.add(v);
+        }
+    }
+    for p in 0..sh.bp {
+        for q in 0..sh.bq {
+            let g = dout.add(sh.do_off(p, q));
+            let x = inp.add(sh.in_off(p, q));
+            for (c, row) in acc.iter_mut().enumerate() {
+                let xi = *x.add(c);
+                for (v, a) in row.iter_mut().enumerate() {
+                    *a += xi * *g.add(v);
+                }
+            }
+        }
+    }
+    for (c, row) in acc.iter().enumerate() {
+        let base = dw.add(c * VLEN);
+        for (v, x) in row.iter().enumerate() {
+            *base.add(v) = *x;
+        }
+    }
+}
+
+/// AVX-512 update kernel: 16 zmm accumulators hold the dW panel.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+pub unsafe fn upd_avx512(
+    sh: &UpdShape,
+    inp: *const f32,
+    dout: *const f32,
+    dw: *mut f32,
+    pf_in: *const f32,
+    pf_do: *const f32,
+    pf_dw: *const f32,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [_mm512_setzero_ps(); VLEN];
+    for (c, a) in acc.iter_mut().enumerate() {
+        *a = _mm512_loadu_ps(dw.add(c * VLEN));
+    }
+    if sh.prefetch && !pf_in.is_null() {
+        for row in 0..sh.bp.min(8) {
+            _mm_prefetch::<_MM_HINT_T1>(pf_in.add(row * sh.stride * sh.in_row_stride) as *const i8);
+            _mm_prefetch::<_MM_HINT_T1>(pf_do.add(row * sh.do_row_stride) as *const i8);
+        }
+        for c in 0..VLEN {
+            _mm_prefetch::<_MM_HINT_T0>(pf_dw.add(c * VLEN) as *const i8);
+        }
+    }
+    for p in 0..sh.bp {
+        let grow = dout.add(sh.do_off(p, 0));
+        let xrow = inp.add(sh.in_off(p, 0));
+        for q in 0..sh.bq {
+            let g = _mm512_loadu_ps(grow.add(q * VLEN));
+            let x = xrow.add(q * sh.stride * VLEN);
+            // 16 independent chains: one per input channel
+            for (c, a) in acc.iter_mut().enumerate() {
+                *a = _mm512_fmadd_ps(_mm512_set1_ps(*x.add(c)), g, *a);
+            }
+        }
+    }
+    for (c, a) in acc.iter().enumerate() {
+        _mm512_storeu_ps(dw.add(c * VLEN), *a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tensor::rng::SplitMix64;
+
+    fn check(sh: &UpdShape) {
+        sh.validate();
+        let in_len = sh.bp * sh.stride * sh.in_row_stride + sh.bq * sh.stride * VLEN + VLEN;
+        let do_len = sh.bp * sh.do_row_stride + sh.bq * VLEN + VLEN;
+        let mut rng = SplitMix64::new(7);
+        let mut inp = vec![0.0f32; in_len];
+        let mut dout = vec![0.0f32; do_len];
+        let mut dw0 = vec![0.0f32; VLEN * VLEN];
+        rng.fill_f32(&mut inp);
+        rng.fill_f32(&mut dout);
+        rng.fill_f32(&mut dw0);
+
+        // reference
+        let mut expect = dw0.clone();
+        for p in 0..sh.bp {
+            for q in 0..sh.bq {
+                for c in 0..VLEN {
+                    let x = inp[sh.in_off(p, q) + c];
+                    for v in 0..VLEN {
+                        expect[c * VLEN + v] += x * dout[sh.do_off(p, q) + v];
+                    }
+                }
+            }
+        }
+
+        let mut dw_s = dw0.clone();
+        unsafe {
+            upd_scalar(
+                sh,
+                inp.as_ptr(),
+                dout.as_ptr(),
+                dw_s.as_mut_ptr(),
+                std::ptr::null(),
+                std::ptr::null(),
+                std::ptr::null(),
+            )
+        };
+        let n = tensor::Norms::compare(&expect, &dw_s);
+        assert!(n.ok(1e-5), "scalar {sh:?}: {n}");
+
+        let k = select_upd(sh);
+        let mut dw_v = dw0.clone();
+        unsafe {
+            k(
+                sh,
+                inp.as_ptr(),
+                dout.as_ptr(),
+                dw_v.as_mut_ptr(),
+                inp.as_ptr(),
+                dout.as_ptr(),
+                dw_v.as_mut_ptr(),
+            )
+        };
+        let n = tensor::Norms::compare(&expect, &dw_v);
+        assert!(n.ok(1e-5), "dispatched {sh:?}: {n}");
+    }
+
+    fn base(bp: usize, bq: usize, stride: usize) -> UpdShape {
+        UpdShape {
+            bp,
+            bq,
+            stride,
+            in_row_stride: (bq * stride + 3) * VLEN,
+            do_row_stride: (bq + 1) * VLEN,
+            prefetch: false,
+        }
+    }
+
+    #[test]
+    fn panel_accumulation_matches_reference() {
+        for (bp, bq) in [(1, 1), (1, 14), (4, 7), (7, 7), (14, 14)] {
+            for stride in [1, 2] {
+                check(&base(bp, bq, stride));
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_variant_is_harmless() {
+        let mut sh = base(4, 14, 1);
+        sh.prefetch = true;
+        check(&sh);
+    }
+
+    #[test]
+    fn repeated_invocations_accumulate() {
+        // dW accumulates across invocations (the n / spatial-block loops)
+        let sh = base(2, 4, 1);
+        let in_len = sh.bp * sh.stride * sh.in_row_stride + sh.bq * sh.stride * VLEN + VLEN;
+        let do_len = sh.bp * sh.do_row_stride + sh.bq * VLEN + VLEN;
+        let inp = vec![1.0f32; in_len];
+        let dout = vec![1.0f32; do_len];
+        let mut dw = vec![0.0f32; 256];
+        let k = select_upd(&sh);
+        for _ in 0..3 {
+            unsafe {
+                k(
+                    &sh,
+                    inp.as_ptr(),
+                    dout.as_ptr(),
+                    dw.as_mut_ptr(),
+                    std::ptr::null(),
+                    std::ptr::null(),
+                    std::ptr::null(),
+                )
+            };
+        }
+        // every element = 3 invocations × bp·bq pixels × 1·1
+        for &x in &dw {
+            assert_eq!(x, (3 * sh.bp * sh.bq) as f32);
+        }
+    }
+}

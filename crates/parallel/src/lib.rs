@@ -1,0 +1,33 @@
+//! OpenMP-style threading runtime (substrate for the convolution engines).
+//!
+//! The paper's kernels run under OpenMP parallel regions: a fixed team of
+//! threads with *stable thread ids*, static work partitioning decided at
+//! dryrun time, and team-wide barriers (e.g. between the per-thread
+//! weight-gradient accumulation and the tree reduction of Section II-J).
+//! Work stealing would break the per-thread kernel streams (each thread
+//! replays its own pre-recorded offset stream, Section II-H), so instead
+//! of rayon this crate implements exactly the OpenMP shape:
+//!
+//! * [`ThreadPool::run`] executes a closure on every team member,
+//!   passing a [`Ctx`] with the thread id; the caller participates as
+//!   thread 0, the workers are persistent and pinned to cores,
+//! * [`Ctx::barrier`] is a sense-reversing spin barrier usable *inside*
+//!   a region,
+//! * [`split_even`] / [`split_blocks`] are the static partitioners.
+//!
+//! Dispatch latency is a few microseconds (spin-then-park workers);
+//! in-region barriers are pure spinners, which is the right trade-off
+//! for millisecond-scale layer kernels.
+
+mod barrier;
+mod partition;
+mod pool;
+
+pub use barrier::SpinBarrier;
+pub use partition::{split_blocks, split_even, FlatPartition};
+pub use pool::{Ctx, ThreadPool};
+
+/// Number of hardware threads available to this process.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

@@ -1,0 +1,152 @@
+//! Static work partitioning (the paper's Section II-F strategy).
+//!
+//! Work items (microkernel invocations) are divided among threads once,
+//! at dryrun time. The partitioners here are deterministic and balanced:
+//! with `total` items over `parts` threads, the first `total % parts`
+//! threads get one extra item.
+
+use std::ops::Range;
+
+/// Balanced contiguous split of `0..total` into `parts` ranges;
+/// returns the `i`-th range (`i < parts`). Empty ranges are possible
+/// when `total < parts`.
+#[inline]
+pub fn split_even(total: usize, parts: usize, i: usize) -> Range<usize> {
+    assert!(i < parts, "part index out of range");
+    let base = total / parts;
+    let rem = total % parts;
+    let start = i * base + i.min(rem);
+    let len = base + usize::from(i < rem);
+    start..(start + len).min(total)
+}
+
+/// Split `0..total` into ranges aligned to `block` (except possibly the
+/// last): used when work must stay aligned to register-block boundaries.
+pub fn split_blocks(total: usize, block: usize, parts: usize, i: usize) -> Range<usize> {
+    assert!(block > 0);
+    let nblocks = total.div_ceil(block);
+    let r = split_even(nblocks, parts, i);
+    (r.start * block).min(total)..(r.end * block).min(total)
+}
+
+/// A flattened multi-dimensional iteration space split across threads.
+///
+/// The paper's forward pass has `N × Kb × Pb × Qb` independent work
+/// items (Section II-F); threads take a contiguous chunk of the
+/// flattened space so the minibatch dimension is split first, then
+/// output feature blocks, then spatial blocks — exactly the priority
+/// order of the paper ("first minibatch, then output feature maps, then
+/// the spatial domains").
+#[derive(Clone, Copy, Debug)]
+pub struct FlatPartition {
+    /// Extents of the (up to) 4 loops, outermost first.
+    pub dims: [usize; 4],
+}
+
+impl FlatPartition {
+    /// Create a partition over the given loop extents (outermost first).
+    pub fn new(dims: [usize; 4]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "empty dimension");
+        Self { dims }
+    }
+
+    /// Total number of work items.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The flat index range owned by thread `tid` of `nthreads`.
+    #[inline]
+    pub fn range(&self, nthreads: usize, tid: usize) -> Range<usize> {
+        split_even(self.total(), nthreads, tid)
+    }
+
+    /// Decompose a flat index into the 4 loop coordinates.
+    #[inline]
+    pub fn unflatten(&self, mut idx: usize) -> [usize; 4] {
+        debug_assert!(idx < self.total());
+        let mut out = [0usize; 4];
+        for d in (0..4).rev() {
+            out[d] = idx % self.dims[d];
+            idx /= self.dims[d];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_covers_everything_once() {
+        for total in [0usize, 1, 7, 24, 100, 101] {
+            for parts in [1usize, 2, 3, 24, 130] {
+                let mut covered = vec![0u8; total];
+                for i in 0..parts {
+                    for j in split_even(total, parts, i) {
+                        covered[j] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "total={total} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_even_is_balanced() {
+        for total in [100usize, 101, 97] {
+            for parts in [3usize, 7, 24] {
+                let lens: Vec<usize> = (0..parts).map(|i| split_even(total, parts, i).len()).collect();
+                let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(mx - mn <= 1, "total={total} parts={parts} lens={lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_blocks_respects_alignment() {
+        for i in 0..4 {
+            let r = split_blocks(100, 8, 4, i);
+            assert_eq!(r.start % 8, 0);
+            if r.end != 100 {
+                assert_eq!(r.end % 8, 0);
+            }
+        }
+        // union covers everything
+        let mut covered = vec![0u8; 100];
+        for i in 0..4 {
+            for j in split_blocks(100, 8, 4, i) {
+                covered[j] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn flat_partition_unflatten_roundtrip() {
+        let p = FlatPartition::new([3, 4, 5, 6]);
+        assert_eq!(p.total(), 360);
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..p.total() {
+            let [a, b, c, d] = p.unflatten(idx);
+            assert!(a < 3 && b < 4 && c < 5 && d < 6);
+            assert!(seen.insert((a, b, c, d)));
+            // flat order: idx == ((a*4 + b)*5 + c)*6 + d
+            assert_eq!(((a * 4 + b) * 5 + c) * 6 + d, idx);
+        }
+    }
+
+    #[test]
+    fn flat_partition_thread_ranges_tile_space() {
+        let p = FlatPartition::new([2, 8, 4, 4]);
+        let mut covered = vec![0u8; p.total()];
+        for tid in 0..28 {
+            for j in p.range(28, tid) {
+                covered[j] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+}

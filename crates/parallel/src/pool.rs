@@ -1,0 +1,320 @@
+//! Persistent worker team with stable thread ids ("OpenMP substitute").
+//!
+//! `ThreadPool::run(f)` executes `f(ctx)` on every team member. The
+//! calling thread participates as thread 0; `nthreads - 1` pinned
+//! workers cover ids `1..nthreads`. The closure is passed by reference
+//! into the workers — `run` blocks until every member finished, which is
+//! what makes the borrow sound (the same reasoning as
+//! `std::thread::scope`).
+//!
+//! Workers spin briefly waiting for the next region and then park, so an
+//! idle pool costs nothing while dispatch stays in the microsecond
+//! range for back-to-back regions (the benchmark case).
+
+use crate::barrier::SpinBarrier;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Per-thread context handed to the region closure.
+#[derive(Clone, Copy)]
+pub struct Ctx<'a> {
+    /// This thread's stable id in `0..nthreads`.
+    pub tid: usize,
+    /// Team size.
+    pub nthreads: usize,
+    barrier: &'a SpinBarrier,
+}
+
+impl<'a> Ctx<'a> {
+    /// Team-wide barrier (usable repeatedly inside the region).
+    #[inline]
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// This thread's balanced chunk of `0..total`.
+    #[inline]
+    pub fn chunk(&self, total: usize) -> std::ops::Range<usize> {
+        crate::partition::split_even(total, self.nthreads, self.tid)
+    }
+}
+
+/// A region closure: callable with any context lifetime.
+type Job = dyn for<'a> Fn(Ctx<'a>) + Sync;
+
+struct Shared {
+    /// Incremented by the dispatcher to publish a new region.
+    seq: AtomicUsize,
+    /// The current region's closure. The `'static` lifetime is a lie
+    /// told only for storage; `run` keeps the real closure alive until
+    /// every worker passed the `done` barrier.
+    job: parking_lot::Mutex<Option<&'static Job>>,
+    /// Set to request worker shutdown.
+    shutdown: AtomicBool,
+    /// Completion barrier: team = nthreads (workers + caller).
+    done: SpinBarrier,
+    /// In-region user barrier.
+    region_barrier: SpinBarrier,
+    nthreads: usize,
+}
+
+/// Persistent OpenMP-style thread team.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Create a team of `nthreads` (>= 1). Workers are pinned to cores
+    /// `1..nthreads` (best effort); the caller should run on core 0.
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads >= 1, "team must be non-empty");
+        let shared = Arc::new(Shared {
+            seq: AtomicUsize::new(0),
+            job: parking_lot::Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            done: SpinBarrier::new(nthreads),
+            region_barrier: SpinBarrier::new(nthreads),
+            nthreads,
+        });
+        let workers = (1..nthreads)
+            .map(|tid| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("anatomy-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, shared))
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Team with one thread per hardware thread.
+    pub fn with_all_cores() -> Self {
+        Self::new(crate::hardware_threads())
+    }
+
+    /// Team size.
+    #[inline]
+    pub fn nthreads(&self) -> usize {
+        self.shared.nthreads
+    }
+
+    /// Execute `f(ctx)` on every team member and wait for completion.
+    ///
+    /// The closure may freely use `ctx.barrier()`; it must not call
+    /// `run` on the same pool (no nested regions, as in OpenMP's default).
+    pub fn run<F>(&self, f: F)
+    where
+        F: for<'a> Fn(Ctx<'a>) + Sync,
+    {
+        let shared = &*self.shared;
+        if shared.nthreads == 1 {
+            f(Ctx { tid: 0, nthreads: 1, barrier: &shared.region_barrier });
+            return;
+        }
+        {
+            let dyn_ref: &(dyn for<'b> Fn(Ctx<'b>) + Sync + '_) = &f;
+            // SAFETY: only lifetimes are transmuted. `run` does not
+            // return until the `done` barrier below, so the reference
+            // stays valid for the whole time workers can observe it.
+            let static_ref: &'static Job = unsafe { std::mem::transmute(dyn_ref) };
+            *shared.job.lock() = Some(static_ref);
+        }
+        // Publish: release so workers' acquire of `seq` sees the job.
+        shared.seq.fetch_add(1, Ordering::Release);
+        // Wake any parked workers.
+        for h in &self.workers {
+            h.thread().unpark();
+        }
+        // Participate as tid 0.
+        f(Ctx { tid: 0, nthreads: shared.nthreads, barrier: &shared.region_barrier });
+        // Wait until every worker finished the region.
+        shared.done.wait();
+        *shared.job.lock() = None;
+    }
+
+    /// Convenience: statically partition `0..total` and run `f(range, tid)`.
+    pub fn for_each_chunk<F>(&self, total: usize, f: F)
+    where
+        F: Fn(std::ops::Range<usize>, usize) + Sync,
+    {
+        self.run(|ctx| f(ctx.chunk(total), ctx.tid));
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.seq.fetch_add(1, Ordering::Release);
+        for h in &self.workers {
+            h.thread().unpark();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(tid: usize, shared: Arc<Shared>) {
+    pin_to_core(tid);
+    let mut last_seq = 0usize;
+    loop {
+        // Wait for a new region (spin, then park).
+        let mut spins = 0u32;
+        let seq = loop {
+            let s = shared.seq.load(Ordering::Acquire);
+            if s != last_seq {
+                break s;
+            }
+            spins += 1;
+            if spins < 10_000 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::park_timeout(std::time::Duration::from_millis(1));
+            }
+        };
+        last_seq = seq;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let job = shared.job.lock().expect("job published with seq");
+        job(Ctx { tid, nthreads: shared.nthreads, barrier: &shared.region_barrier });
+        shared.done.wait();
+    }
+}
+
+/// Pin the calling thread to one core (Linux only, best effort).
+fn pin_to_core(core: usize) {
+    #[cfg(target_os = "linux")]
+    unsafe {
+        let mut set: libc::cpu_set_t = std::mem::zeroed();
+        libc::CPU_SET(core % libc::CPU_SETSIZE as usize, &mut set);
+        // best effort: ignore failures (cgroup restrictions etc.)
+        libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = core;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn all_threads_participate_once() {
+        let pool = ThreadPool::new(8);
+        let hits = (0..8).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        pool.run(|ctx| {
+            hits[ctx.tid].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn many_back_to_back_regions() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..500 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 500 * 4);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let pool = ThreadPool::new(6);
+        let data: Vec<u64> = (0..100_000u64).collect();
+        let total = AtomicU64::new(0);
+        pool.run(|ctx| {
+            let r = ctx.chunk(data.len());
+            let partial: u64 = data[r].iter().sum();
+            total.fetch_add(partial, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100_000u64 * 99_999 / 2);
+    }
+
+    #[test]
+    fn in_region_barrier_orders_phases() {
+        let pool = ThreadPool::new(5);
+        let phase1 = AtomicUsize::new(0);
+        let ok = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            phase1.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier();
+            if phase1.load(Ordering::Relaxed) == ctx.nthreads {
+                ok.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn borrows_stack_data_mutably_disjoint() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; 4096];
+        let chunks: Vec<&mut [usize]> = data.chunks_mut(1024).collect();
+        let chunks = parking_lot::Mutex::new(chunks);
+        pool.run(|ctx| {
+            let mut guard = chunks.lock();
+            let chunk = guard.pop().unwrap();
+            drop(guard);
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = ctx.tid * 10_000 + i;
+            }
+        });
+        drop(chunks);
+        // every chunk was written by exactly one thread
+        let mut tids_seen = std::collections::HashSet::new();
+        for c in data.chunks(1024) {
+            let tid = c[0] / 10_000;
+            assert!(tids_seen.insert(tid));
+            for (i, &v) in c.iter().enumerate() {
+                assert_eq!(v, tid * 10_000 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            assert_eq!(ctx.tid, 0);
+            assert_eq!(ctx.nthreads, 1);
+            counter.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier(); // must not deadlock
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_range() {
+        let pool = ThreadPool::new(3);
+        let covered: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.for_each_chunk(100, |range, _tid| {
+            for i in range {
+                covered[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(covered.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pools_can_be_created_and_dropped_repeatedly() {
+        for _ in 0..10 {
+            let pool = ThreadPool::new(3);
+            let c = AtomicUsize::new(0);
+            pool.run(|_| {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(c.load(Ordering::Relaxed), 3);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Cache-blocked large GEMM — the stand-in for the MKL SGEMM call used
+//! by the paper's "blas" and "im2col" baselines.
+//!
+//! Deliberately a *generic* GEMM: it blocks for cache and vectorizes,
+//! but it cannot exploit convolution-specific structure (output tiles
+//! revisited across R×S taps, shared weight panels across pixel rows).
+//! That gap is exactly what Figures 4/6 measure.
+
+/// Blocking parameters (bytes-level reasoning: fit an A panel and a B
+/// panel in L2, a B sub-panel in L1).
+const MC: usize = 64;
+const KC: usize = 256;
+const NC: usize = 512;
+
+/// `C[M×N] (+)= A[M×K] · B[K×N]`, row-major, contiguous leading dims.
+///
+/// `beta == 0.0` overwrites C; `beta == 1.0` accumulates.
+#[allow(clippy::too_many_arguments)]
+pub fn big_gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(lda >= k && ldb >= n && ldc >= n, "leading dims too small");
+    assert!(a.len() >= (m - 1) * lda + k, "A too small");
+    assert!(b.len() >= (k - 1) * ldb + n, "B too small");
+    assert!(c.len() >= (m - 1) * ldc + n, "C too small");
+
+    if beta == 0.0 {
+        for i in 0..m {
+            c[i * ldc..i * ldc + n].fill(0.0);
+        }
+    }
+
+    let mut jc = 0;
+    while jc < n {
+        let nb = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kb = KC.min(k - pc);
+            let mut ic = 0;
+            while ic < m {
+                let mb = MC.min(m - ic);
+                macro_kernel(mb, nb, kb, a, lda, ic, pc, b, ldb, jc, c, ldc);
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Inner macro kernel over one (MC × KC) A block and (KC × NC) B block.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn macro_kernel(
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    a: &[f32],
+    lda: usize,
+    ic: usize,
+    pc: usize,
+    b: &[f32],
+    ldb: usize,
+    jc: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    // 2-row micro kernel: two C rows accumulate in registers per sweep;
+    // the j loop autovectorizes (contiguous C and B rows).
+    let mut i = 0;
+    while i + 2 <= mb {
+        let (r0, r1) = (ic + i, ic + i + 1);
+        for p in 0..kb {
+            let a0 = a[r0 * lda + pc + p];
+            let a1 = a[r1 * lda + pc + p];
+            let brow = &b[(pc + p) * ldb + jc..(pc + p) * ldb + jc + nb];
+            // split the mutable C rows
+            let (head, tail) = c.split_at_mut(r1 * ldc + jc);
+            let c0 = &mut head[r0 * ldc + jc..r0 * ldc + jc + nb];
+            let c1 = &mut tail[..nb];
+            for j in 0..nb {
+                c0[j] += a0 * brow[j];
+                c1[j] += a1 * brow[j];
+            }
+        }
+        i += 2;
+    }
+    if i < mb {
+        let r0 = ic + i;
+        for p in 0..kb {
+            let a0 = a[r0 * lda + pc + p];
+            let brow = &b[(pc + p) * ldb + jc..(pc + p) * ldb + jc + nb];
+            let c0 = &mut c[r0 * ldc + jc..r0 * ldc + jc + nb];
+            for j in 0..nb {
+                c0[j] += a0 * brow[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_ref;
+
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn check(m: usize, n: usize, k: usize, beta: f32) {
+        let a = fill(7, m * k);
+        let b = fill(11, k * n);
+        let mut c_test = fill(13, m * n);
+        let mut c_ref = c_test.clone();
+        big_gemm(m, n, k, &a, k, &b, n, beta, &mut c_test, n);
+        gemm_ref(m, n, k, &a, k, &b, n, beta, &mut c_ref, n);
+        for (i, (x, y)) in c_test.iter().zip(&c_ref).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-3 * (1.0 + y.abs()),
+                "m={m} n={n} k={k} beta={beta} i={i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        check(4, 4, 4, 0.0);
+        check(4, 4, 4, 1.0);
+        check(1, 1, 1, 0.0);
+    }
+
+    #[test]
+    fn matches_reference_non_divisible_blocks() {
+        // sizes straddling the MC/KC/NC block boundaries
+        check(65, 513, 257, 0.0);
+        check(63, 100, 300, 1.0);
+    }
+
+    #[test]
+    fn matches_reference_tall_skinny() {
+        // conv-like: M = output channels, N = pixels, K = C*R*S
+        check(64, 784, 576, 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Small-GEMM library — the LIBXSMM [14] substrate.
+//!
+//! The paper builds its convolution microkernels on the insight that
+//! the innermost computation is a sequence of *small* GEMMs whose `M`
+//! and `K` are multiples of the machine's vector length (Section II-D),
+//! and that statically-tuned BLAS calls lose badly at these sizes. This
+//! crate provides:
+//!
+//! * [`gemm_ref`] — the textbook triple loop (the correctness oracle,
+//!   and the "autovec" baseline's inner kernel),
+//! * [`SmallGemm`] — a runtime-specialized small GEMM for row-major
+//!   `C[M×N] += A[M×K] · B[K×N]` with `N = 16` (one zmm of output
+//!   channels): the "load B-row, broadcast A, FMA" pattern,
+//! * [`big_gemm`] — a cache-blocked large GEMM standing in for the MKL
+//!   SGEMM call of the "blas"/"im2col" baselines.
+//!
+//! All kernels are f32 and row-major.
+
+mod big;
+mod small;
+
+pub use big::big_gemm;
+pub use small::SmallGemm;
+
+/// Reference GEMM: `C[M×N] (+)= A[M×K] · B[K×N]`, row-major with leading
+/// dimensions. `beta == 0.0` overwrites C, `beta == 1.0` accumulates.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_ref(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(lda >= k && ldb >= n && ldc >= n, "leading dimensions too small");
+    assert!(a.len() >= (m - 1) * lda + k, "A too small");
+    assert!(b.len() >= (k - 1) * ldb + n, "B too small");
+    assert!(c.len() >= (m - 1) * ldc + n, "C too small");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = if beta == 0.0 { 0.0 } else { c[i * ldc + j] * beta };
+            for p in 0..k {
+                acc += a[i * lda + p] * b[p * ldb + j];
+            }
+            c[i * ldc + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ref_gemm_identity() {
+        // A = I (4x4), C = A*B must equal B
+        let mut a = vec![0.0f32; 16];
+        for i in 0..4 {
+            a[i * 4 + i] = 1.0;
+        }
+        let b = fill(1, 16);
+        let mut c = vec![0.0f32; 16];
+        gemm_ref(4, 4, 4, &a, 4, &b, 4, 0.0, &mut c, 4);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn ref_gemm_beta_one_accumulates() {
+        let a = fill(2, 8); // 2x4
+        let b = fill(3, 12); // 4x3
+        let mut c = vec![1.0f32; 6]; // 2x3
+        gemm_ref(2, 3, 4, &a, 4, &b, 3, 1.0, &mut c, 3);
+        let mut expect = vec![1.0f32; 6];
+        for i in 0..2 {
+            for j in 0..3 {
+                for p in 0..4 {
+                    expect[i * 3 + j] += a[i * 4 + p] * b[p * 3 + j];
+                }
+            }
+        }
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ref_gemm_respects_leading_dims() {
+        // embed a 2x2 multiply in larger strided buffers
+        let a = vec![1.0, 2.0, 9.0, 3.0, 4.0, 9.0]; // lda=3
+        let b = vec![5.0, 6.0, 9.0, 7.0, 8.0, 9.0]; // ldb=3
+        let mut c = vec![0.0; 6]; // ldc=3
+        gemm_ref(2, 2, 2, &a, 3, &b, 3, 0.0, &mut c, 3);
+        assert_eq!(&c[..2], &[19.0, 22.0]);
+        assert_eq!(&c[3..5], &[43.0, 50.0]);
+        assert_eq!(c[2], 0.0);
+    }
+}

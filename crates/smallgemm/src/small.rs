@@ -1,0 +1,296 @@
+//! Runtime-specialized small GEMM (the LIBXSMM idea, Section II-D).
+//!
+//! A [`SmallGemm`] is constructed once per (M, N, K, ld, beta) tuple —
+//! analogous to a `libxsmm_dispatch` call — and then invoked many
+//! times. Specialization happens at construction: the best kernel
+//! variant for the host ISA and the shape is selected, with `N == 16`
+//! shapes (one AVX-512 register of output channels) getting the
+//! broadcast-FMA kernel the paper describes for convolutions.
+
+/// Function signature of a dispatched kernel.
+type Kernel = unsafe fn(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+);
+
+/// A dispatched small-GEMM handle for `C[M×N] (+)= A[M×K] · B[K×N]`.
+#[derive(Clone)]
+pub struct SmallGemm {
+    m: usize,
+    n: usize,
+    k: usize,
+    lda: usize,
+    ldb: usize,
+    ldc: usize,
+    accumulate: bool,
+    kernel: Kernel,
+    /// Human-readable name of the selected variant (for logs/tests).
+    pub variant: &'static str,
+}
+
+impl SmallGemm {
+    /// Dispatch a kernel for the given shape.
+    ///
+    /// `accumulate == true` ⇒ `C += A·B` (beta = 1), else `C = A·B`.
+    pub fn new(
+        m: usize,
+        n: usize,
+        k: usize,
+        lda: usize,
+        ldb: usize,
+        ldc: usize,
+        accumulate: bool,
+    ) -> Self {
+        assert!(m > 0 && n > 0 && k > 0, "degenerate GEMM");
+        assert!(lda >= k && ldb >= n && ldc >= n, "leading dims too small");
+        let (kernel, variant): (Kernel, &'static str) = {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if n == 16 && std::arch::is_x86_feature_detected!("avx512f") {
+                    if accumulate {
+                        (n16_avx512_acc as Kernel, "avx512-n16-acc")
+                    } else {
+                        (n16_avx512_set as Kernel, "avx512-n16-set")
+                    }
+                } else if accumulate {
+                    (generic_acc as Kernel, "generic-acc")
+                } else {
+                    (generic_set as Kernel, "generic-set")
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                if accumulate {
+                    (generic_acc as Kernel, "generic-acc")
+                } else {
+                    (generic_set as Kernel, "generic-set")
+                }
+            }
+        };
+        Self { m, n, k, lda, ldb, ldc, accumulate, kernel, variant }
+    }
+
+    /// Shape accessors.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.m, self.n, self.k)
+    }
+
+    /// Execute on slices (bounds-checked entry point).
+    pub fn run(&self, a: &[f32], b: &[f32], c: &mut [f32]) {
+        assert!(a.len() >= (self.m - 1) * self.lda + self.k, "A too small");
+        assert!(b.len() >= (self.k - 1) * self.ldb + self.n, "B too small");
+        assert!(c.len() >= (self.m - 1) * self.ldc + self.n, "C too small");
+        // SAFETY: bounds checked above; kernels only touch the described
+        // index ranges.
+        unsafe { self.run_ptr(a.as_ptr(), b.as_ptr(), c.as_mut_ptr()) }
+    }
+
+    /// Execute on raw pointers (the hot path used by the engines).
+    ///
+    /// # Safety
+    /// `a`, `b`, `c` must be valid for the (m,k,lda)/(k,n,ldb)/(m,n,ldc)
+    /// index ranges, and `c` must not alias `a`/`b`.
+    #[inline]
+    pub unsafe fn run_ptr(&self, a: *const f32, b: *const f32, c: *mut f32) {
+        (self.kernel)(self.m, self.n, self.k, a, self.lda, b, self.ldb, c, self.ldc)
+    }
+
+    /// Whether this handle accumulates into C.
+    pub fn accumulates(&self) -> bool {
+        self.accumulate
+    }
+}
+
+/// Generic fallbacks (any N); the optimizer autovectorizes the j loop.
+#[allow(clippy::too_many_arguments)]
+unsafe fn generic_acc(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    generic_impl::<true>(m, n, k, a, lda, b, ldb, c, ldc)
+}
+
+#[allow(clippy::too_many_arguments)]
+unsafe fn generic_set(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    generic_impl::<false>(m, n, k, a, lda, b, ldb, c, ldc)
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline]
+unsafe fn generic_impl<const ACC: bool>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    for i in 0..m {
+        let crow = c.add(i * ldc);
+        if !ACC {
+            for j in 0..n {
+                *crow.add(j) = 0.0;
+            }
+        }
+        for p in 0..k {
+            let av = *a.add(i * lda + p);
+            let brow = b.add(p * ldb);
+            for j in 0..n {
+                *crow.add(j) += av * *brow.add(j);
+            }
+        }
+    }
+}
+
+/// AVX-512 kernel, N = 16, accumulate: one zmm holds a full C row.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn n16_avx512_acc(
+    m: usize,
+    _n: usize,
+    k: usize,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    n16_avx512_impl::<true>(m, k, a, lda, b, ldb, c, ldc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn n16_avx512_set(
+    m: usize,
+    _n: usize,
+    k: usize,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    n16_avx512_impl::<false>(m, k, a, lda, b, ldb, c, ldc)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn n16_avx512_impl<const ACC: bool>(
+    m: usize,
+    k: usize,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    use std::arch::x86_64::*;
+    // process rows of C in pairs to expose two accumulation chains
+    let mut i = 0;
+    while i + 2 <= m {
+        let mut acc0 = if ACC { _mm512_loadu_ps(c.add(i * ldc)) } else { _mm512_setzero_ps() };
+        let mut acc1 =
+            if ACC { _mm512_loadu_ps(c.add((i + 1) * ldc)) } else { _mm512_setzero_ps() };
+        for p in 0..k {
+            let brow = _mm512_loadu_ps(b.add(p * ldb));
+            acc0 = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(i * lda + p)), brow, acc0);
+            acc1 = _mm512_fmadd_ps(_mm512_set1_ps(*a.add((i + 1) * lda + p)), brow, acc1);
+        }
+        _mm512_storeu_ps(c.add(i * ldc), acc0);
+        _mm512_storeu_ps(c.add((i + 1) * ldc), acc1);
+        i += 2;
+    }
+    if i < m {
+        let mut acc = if ACC { _mm512_loadu_ps(c.add(i * ldc)) } else { _mm512_setzero_ps() };
+        for p in 0..k {
+            let brow = _mm512_loadu_ps(b.add(p * ldb));
+            acc = _mm512_fmadd_ps(_mm512_set1_ps(*a.add(i * lda + p)), brow, acc);
+        }
+        _mm512_storeu_ps(c.add(i * ldc), acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_ref;
+
+    fn fill(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn check(m: usize, n: usize, k: usize, accumulate: bool) {
+        let a = fill(m as u64 * 31 + k as u64, m * k);
+        let b = fill(n as u64 * 17 + 3, k * n);
+        let mut c_test = fill(99, m * n);
+        let mut c_ref = c_test.clone();
+        let g = SmallGemm::new(m, n, k, k, n, n, accumulate);
+        g.run(&a, &b, &mut c_test);
+        gemm_ref(m, n, k, &a, k, &b, n, if accumulate { 1.0 } else { 0.0 }, &mut c_ref, n);
+        for (i, (x, y)) in c_test.iter().zip(&c_ref).enumerate() {
+            assert!((x - y).abs() < 1e-4, "m={m} n={n} k={k} acc={accumulate} i={i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn n16_matches_reference() {
+        for m in [1usize, 2, 3, 7, 14, 28] {
+            for k in [1usize, 4, 16, 32] {
+                check(m, 16, k, true);
+                check(m, 16, k, false);
+            }
+        }
+    }
+
+    #[test]
+    fn generic_shapes_match_reference() {
+        for (m, n, k) in [(3usize, 5usize, 7usize), (16, 8, 16), (2, 24, 4)] {
+            check(m, n, k, true);
+            check(m, n, k, false);
+        }
+    }
+
+    #[test]
+    fn dispatch_picks_avx512_for_n16() {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            let g = SmallGemm::new(4, 16, 16, 16, 16, 16, true);
+            assert!(g.variant.starts_with("avx512"), "{}", g.variant);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Cache-line / vector-register aligned heap buffers.
+//!
+//! AVX-512 loads and stores are fastest when 64-byte aligned, and the
+//! JIT-generated kernels use aligned moves for filter blocks. `AVec<T>`
+//! is a fixed-capacity, 64-byte aligned buffer: it deliberately does
+//! *not* grow, because every tensor in this library has a size fully
+//! determined by its layout at construction time.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut, Index, IndexMut};
+
+/// Alignment (bytes) of all tensor buffers: one cache line / one zmm.
+pub const ALIGNMENT: usize = 64;
+
+/// A 64-byte aligned, zero-initialized, fixed-length heap buffer.
+pub struct AVec<T: Copy> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: AVec owns its buffer exclusively; `T: Copy` rules out interior
+// mutability and drop side effects, so moving a reference across threads
+// is sound exactly as for `Vec<T>`.
+unsafe impl<T: Copy + Send> Send for AVec<T> {}
+unsafe impl<T: Copy + Sync> Sync for AVec<T> {}
+
+impl<T: Copy> AVec<T> {
+    /// Allocate a zeroed buffer holding `len` elements of `T`.
+    ///
+    /// All-zero bytes must be a valid `T`; this holds for the numeric
+    /// types (`f32`, `i16`, `i32`) this crate instantiates.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self { ptr: std::ptr::NonNull::dangling().as_ptr(), len: 0 };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0, T is a numeric type).
+        let ptr = unsafe { alloc_zeroed(layout) } as *mut T;
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        Self { ptr, len }
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<T>(), ALIGNMENT)
+            .expect("tensor allocation too large")
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw const pointer to the first element.
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr
+    }
+
+    /// Raw mutable pointer to the first element.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr
+    }
+
+    /// Set every element to `v`.
+    pub fn fill(&mut self, v: T) {
+        self.as_mut_slice().fill(v);
+    }
+
+    /// View as immutable slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr/len describe an owned, initialized allocation.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// View as mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: ptr/len describe an owned, initialized allocation.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl<T: Copy> Drop for AVec<T> {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated in `zeroed` with the same layout.
+            unsafe { dealloc(self.ptr as *mut u8, Self::layout(self.len)) };
+        }
+    }
+}
+
+impl<T: Copy> Clone for AVec<T> {
+    fn clone(&self) -> Self {
+        let mut out = Self::zeroed(self.len);
+        out.as_mut_slice().copy_from_slice(self.as_slice());
+        out
+    }
+}
+
+impl<T: Copy> Deref for AVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy> Index<usize> for AVec<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.as_slice()[i]
+    }
+}
+
+impl<T: Copy> IndexMut<usize> for AVec<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.as_mut_slice()[i]
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AVec")
+            .field("len", &self.len)
+            .field("align", &ALIGNMENT)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_aligned_and_zero() {
+        let v: AVec<f32> = AVec::zeroed(1037);
+        assert_eq!(v.as_ptr() as usize % ALIGNMENT, 0);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.len(), 1037);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let v: AVec<f32> = AVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f32]);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut v: AVec<i16> = AVec::zeroed(64);
+        for i in 0..64 {
+            v[i] = i as i16 - 32;
+        }
+        for i in 0..64 {
+            assert_eq!(v[i], i as i16 - 32);
+        }
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a: AVec<f32> = AVec::zeroed(16);
+        a[3] = 7.0;
+        let b = a.clone();
+        a[3] = 9.0;
+        assert_eq!(b[3], 7.0);
+        assert_eq!(a[3], 9.0);
+        assert_eq!(b.as_ptr() as usize % ALIGNMENT, 0);
+    }
+
+    #[test]
+    fn fill_sets_all() {
+        let mut v: AVec<f32> = AVec::zeroed(100);
+        v.fill(2.5);
+        assert!(v.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn many_allocations_stay_aligned() {
+        for len in [1usize, 5, 15, 16, 17, 255, 4096] {
+            let v: AVec<f32> = AVec::zeroed(len);
+            assert_eq!(v.as_ptr() as usize % ALIGNMENT, 0, "len={len}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Blocked tensor layouts for high-performance direct convolutions.
+//!
+//! This crate implements the data layouts from Section II-B of
+//! *Anatomy of High-Performance Deep Learning Convolutions on SIMD
+//! Architectures* (Georganas et al., SC'18):
+//!
+//! * activations are stored as `[N][C/VLEN][H][W][VLEN]` so that the
+//!   innermost, fast-running dimension is a full SIMD vector of feature
+//!   maps ("NCHWc" in oneDNN parlance),
+//! * filters are stored as `[K/VLEN][C/VLEN][R][S][VLEN_c][VLEN_k]`
+//!   ("KCRSck"), putting an output-feature-map vector innermost so a
+//!   single aligned vector load yields the weights of `VLEN` output
+//!   channels for one input channel,
+//! * reduced-precision (int16) tensors use the VNNI pairing layout
+//!   `[N][C/VLEN][H][W][VLEN/2][2]` / `[K/VLEN][C/VLEN][R][S][VLEN_c/2][VLEN_k][2]`
+//!   so that one 32-bit broadcast carries two adjacent input channels
+//!   (Section II-K).
+//!
+//! The crate also provides plain `NCHW`/`KCRS` tensors (used as the
+//! reference implementation's format), conversions in both directions,
+//! physical spatial padding, zero channel-padding up to `VLEN`, and the
+//! comparison norms used by the paper's artifact (L∞/L2, absolute and
+//! relative).
+
+pub mod align;
+pub mod blocked;
+pub mod nchw;
+pub mod norms;
+pub mod rng;
+pub mod shape;
+pub mod vnni;
+
+pub use align::AVec;
+pub use blocked::{BlockedActs, BlockedFilter};
+pub use nchw::{Kcrs, Nchw};
+pub use norms::Norms;
+pub use shape::{ConvShape, VLEN};
+pub use vnni::{VnniActs, VnniFilter};
+
+/// Round `x` up to the next multiple of `m` (`m > 0`).
+#[inline]
+pub const fn round_up(x: usize, m: usize) -> usize {
+    x.div_ceil(m) * m
+}
+
+/// Number of `VLEN` blocks needed to cover `c` channels.
+#[inline]
+pub const fn blocks(c: usize) -> usize {
+    c.div_ceil(VLEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_up_basic() {
+        assert_eq!(round_up(0, 16), 0);
+        assert_eq!(round_up(1, 16), 16);
+        assert_eq!(round_up(16, 16), 16);
+        assert_eq!(round_up(17, 16), 32);
+        assert_eq!(round_up(3, 16), 16);
+    }
+
+    #[test]
+    fn blocks_basic() {
+        assert_eq!(blocks(3), 1);
+        assert_eq!(blocks(16), 1);
+        assert_eq!(blocks(64), 4);
+        assert_eq!(blocks(2048), 128);
+    }
+}

@@ -1,0 +1,194 @@
+//! Plain (unblocked) tensors: `NCHW` activations and `KCRS` filters.
+//!
+//! These are the formats of Algorithm 1/6/8 in the paper — the naive
+//! reference loop nests operate directly on them. They also serve as the
+//! interchange format: the blocked layouts convert from/to these.
+
+use crate::align::AVec;
+use crate::rng::SplitMix64;
+
+/// A dense `[N][C][H][W]` f32 activation tensor (no padding).
+#[derive(Clone, Debug)]
+pub struct Nchw {
+    pub n: usize,
+    pub c: usize,
+    pub h: usize,
+    pub w: usize,
+    data: AVec<f32>,
+}
+
+impl Nchw {
+    /// Zero-initialized tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w, data: AVec::zeroed(n * c * h * w) }
+    }
+
+    /// Deterministically pseudo-random tensor.
+    pub fn random(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Self {
+        let mut t = Self::zeros(n, c, h, w);
+        SplitMix64::new(seed).fill_f32(t.data.as_mut_slice());
+        t
+    }
+
+    /// Flat index of `[n][c][h][w]`.
+    #[inline]
+    pub fn idx(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && c < self.c && h < self.h && w < self.w);
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.idx(n, c, h, w)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let i = self.idx(n, c, h, w);
+        &mut self.data[i]
+    }
+
+    /// Backing storage (row-major `[N][C][H][W]`).
+    pub fn as_slice(&self) -> &[f32] {
+        self.data.as_slice()
+    }
+
+    /// Mutable backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.data.as_mut_slice()
+    }
+
+    /// Set all elements to zero.
+    pub fn zero(&mut self) {
+        self.data.fill(0.0);
+    }
+}
+
+/// A dense `[K][C][R][S]` f32 filter tensor.
+#[derive(Clone, Debug)]
+pub struct Kcrs {
+    pub k: usize,
+    pub c: usize,
+    pub r: usize,
+    pub s: usize,
+    data: AVec<f32>,
+}
+
+impl Kcrs {
+    /// Zero-initialized filter.
+    pub fn zeros(k: usize, c: usize, r: usize, s: usize) -> Self {
+        Self { k, c, r, s, data: AVec::zeroed(k * c * r * s) }
+    }
+
+    /// Deterministically pseudo-random filter.
+    pub fn random(k: usize, c: usize, r: usize, s: usize, seed: u64) -> Self {
+        let mut t = Self::zeros(k, c, r, s);
+        SplitMix64::new(seed).fill_f32(t.data.as_mut_slice());
+        t
+    }
+
+    /// Flat index of `[k][c][r][s]`.
+    #[inline]
+    pub fn idx(&self, k: usize, c: usize, r: usize, s: usize) -> usize {
+        debug_assert!(k < self.k && c < self.c && r < self.r && s < self.s);
+        ((k * self.c + c) * self.r + r) * self.s + s
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, k: usize, c: usize, r: usize, s: usize) -> f32 {
+        self.data[self.idx(k, c, r, s)]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, k: usize, c: usize, r: usize, s: usize) -> &mut f32 {
+        let i = self.idx(k, c, r, s);
+        &mut self.data[i]
+    }
+
+    /// Backing storage (row-major `[K][C][R][S]`).
+    pub fn as_slice(&self) -> &[f32] {
+        self.data.as_slice()
+    }
+
+    /// Mutable backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.data.as_mut_slice()
+    }
+
+    /// Set all elements to zero.
+    pub fn zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// The paper's backward-duality transform (Section II-I scenario 1):
+    /// `W'[c][k][r'][s'] = W[k][c][R−1−r'][S−1−s']` — feature-map
+    /// dimensions transposed, spatial dimensions flipped.
+    pub fn transpose_flip(&self) -> Kcrs {
+        let mut out = Kcrs::zeros(self.c, self.k, self.r, self.s);
+        for k in 0..self.k {
+            for c in 0..self.c {
+                for r in 0..self.r {
+                    for s in 0..self.s {
+                        *out.at_mut(c, k, self.r - 1 - r, self.s - 1 - s) = self.at(k, c, r, s);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nchw_indexing_is_row_major() {
+        let mut t = Nchw::zeros(2, 3, 4, 5);
+        *t.at_mut(1, 2, 3, 4) = 9.0;
+        assert_eq!(t.as_slice()[2 * 3 * 4 * 5 - 1], 9.0);
+        assert_eq!(t.at(1, 2, 3, 4), 9.0);
+        assert_eq!(t.at(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn kcrs_indexing_is_row_major() {
+        let mut t = Kcrs::zeros(2, 2, 3, 3);
+        *t.at_mut(1, 1, 2, 2) = 5.0;
+        assert_eq!(t.as_slice()[2 * 2 * 3 * 3 - 1], 5.0);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Nchw::random(1, 2, 3, 4, 99);
+        let b = Nchw::random(1, 2, 3, 4, 99);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn transpose_flip_roundtrip() {
+        let w = Kcrs::random(4, 6, 3, 3, 5);
+        let t = w.transpose_flip();
+        assert_eq!((t.k, t.c, t.r, t.s), (6, 4, 3, 3));
+        // applying the transform twice restores the original
+        let tt = t.transpose_flip();
+        assert_eq!(tt.as_slice(), w.as_slice());
+        // spot-check the definition
+        assert_eq!(t.at(2, 3, 0, 1), w.at(3, 2, 2, 1));
+    }
+
+    #[test]
+    fn transpose_flip_1x1_is_pure_transpose() {
+        let w = Kcrs::random(8, 4, 1, 1, 11);
+        let t = w.transpose_flip();
+        for k in 0..8 {
+            for c in 0..4 {
+                assert_eq!(t.at(c, k, 0, 0), w.at(k, c, 0, 0));
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Tiny deterministic RNG for tensor fills.
+//!
+//! Kernel correctness tests and the layer benchmark auto-generate their
+//! input data (paper artifact §V-B5). A self-contained xoshiro-style
+//! generator keeps this crate dependency-free and the fills reproducible
+//! across runs and platforms.
+
+/// SplitMix64 — used to seed and as a simple standalone stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f32 in `[-0.5, 0.5)` — the value range used by the layer
+    /// tests; small magnitudes keep f32 accumulation error low.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        // 24 mantissa bits -> uniform in [0,1), then center.
+        let bits = (self.next_u64() >> 40) as u32;
+        bits as f32 * (1.0 / (1 << 24) as f32) - 0.5
+    }
+
+    /// Uniform i16 in `[-64, 63]`, safe for long i32 accumulation chains.
+    #[inline]
+    pub fn next_i16(&mut self) -> i16 {
+        ((self.next_u64() & 0x7F) as i16) - 64
+    }
+
+    /// Fill a f32 slice.
+    pub fn fill_f32(&mut self, dst: &mut [f32]) {
+        for v in dst {
+            *v = self.next_f32();
+        }
+    }
+
+    /// Fill an i16 slice.
+    pub fn fill_i16(&mut self, dst: &mut [i16]) {
+        for v in dst {
+            *v = self.next_i16();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f32_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f32();
+            assert!((-0.5..0.5).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn i16_range() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let x = r.next_i16();
+            assert!((-64..=63).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn f32_mean_near_zero() {
+        let mut r = SplitMix64::new(13);
+        let n = 100_000;
+        let mean: f32 = (0..n).map(|_| r.next_f32()).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+    }
+}

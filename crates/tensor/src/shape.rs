@@ -1,0 +1,196 @@
+//! Convolution problem shapes and derived quantities.
+//!
+//! Terminology follows Section II of the paper: the input activation
+//! tensor has dimensions `N × C × H × W`, the output `N × K × P × Q`,
+//! and the filter `K × C × R × S`. The input spatial domain may be
+//! accessed with a `stride`, and may carry a physical zero `pad` (the
+//! paper's loop nests assume in-bounds accesses, i.e. padding is
+//! materialized in the layout — see DESIGN.md §5.4).
+
+/// SIMD vector length in f32 lanes (AVX-512: 16). All blocked layouts in
+/// this library use this single block size; see DESIGN.md §5.3.
+pub const VLEN: usize = 16;
+
+/// A complete convolution problem description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConvShape {
+    /// Minibatch size.
+    pub n: usize,
+    /// Input feature maps.
+    pub c: usize,
+    /// Output feature maps.
+    pub k: usize,
+    /// Input spatial height (unpadded).
+    pub h: usize,
+    /// Input spatial width (unpadded).
+    pub w: usize,
+    /// Filter spatial height.
+    pub r: usize,
+    /// Filter spatial width.
+    pub s: usize,
+    /// Spatial stride (same in both dimensions, as in the paper).
+    pub stride: usize,
+    /// Physical zero-padding on each spatial border of the input.
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Construct and validate a shape.
+    ///
+    /// # Panics
+    /// Panics when the output spatial extent would be empty or the
+    /// parameters are degenerate (zero dims, zero stride).
+    pub fn new(
+        n: usize,
+        c: usize,
+        k: usize,
+        h: usize,
+        w: usize,
+        r: usize,
+        s: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(n > 0 && c > 0 && k > 0, "empty feature dims");
+        assert!(h > 0 && w > 0 && r > 0 && s > 0, "empty spatial dims");
+        assert!(stride > 0, "stride must be positive");
+        assert!(h + 2 * pad >= r && w + 2 * pad >= s, "filter larger than padded input");
+        let sh = Self { n, c, k, h, w, r, s, stride, pad };
+        assert!(sh.p() > 0 && sh.q() > 0, "empty output");
+        sh
+    }
+
+    /// Output spatial height `P = (H + 2·pad − R)/stride + 1`.
+    #[inline]
+    pub fn p(&self) -> usize {
+        (self.h + 2 * self.pad - self.r) / self.stride + 1
+    }
+
+    /// Output spatial width `Q = (W + 2·pad − S)/stride + 1`.
+    #[inline]
+    pub fn q(&self) -> usize {
+        (self.w + 2 * self.pad - self.s) / self.stride + 1
+    }
+
+    /// Input feature-map blocks `Cb = ⌈C/VLEN⌉`.
+    #[inline]
+    pub fn cb(&self) -> usize {
+        self.c.div_ceil(VLEN)
+    }
+
+    /// Output feature-map blocks `Kb = ⌈K/VLEN⌉`.
+    #[inline]
+    pub fn kb(&self) -> usize {
+        self.k.div_ceil(VLEN)
+    }
+
+    /// Multiply–add count of one forward pass, counted as 2 ops each
+    /// (the convention of the paper's GFLOPS plots).
+    ///
+    /// Uses the *logical* channel counts (`C`, `K`), not the padded
+    /// ones, matching how the paper computes GFLOPS for layer 1.
+    #[inline]
+    pub fn flops(&self) -> u64 {
+        2 * self.n as u64
+            * self.c as u64
+            * self.k as u64
+            * self.p() as u64
+            * self.q() as u64
+            * self.r as u64
+            * self.s as u64
+    }
+
+    /// Bytes touched by a minimal single pass over all three f32 tensors
+    /// (each element once). Used by the roofline model for operational
+    /// intensity; real traffic is higher without blocking.
+    pub fn min_bytes_f32(&self) -> u64 {
+        let input = self.n * self.c * (self.h + 2 * self.pad) * (self.w + 2 * self.pad);
+        let output = self.n * self.k * self.p() * self.q();
+        let weights = self.k * self.c * self.r * self.s;
+        4 * (input as u64 + output as u64 + weights as u64)
+    }
+
+    /// The same layer with a different minibatch size.
+    pub fn with_minibatch(mut self, n: usize) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// True when the backward pass can reuse the forward kernels through
+    /// the stride-1 weight-transpose duality (Section II-I scenario 1).
+    #[inline]
+    pub fn duality_stride1(&self) -> bool {
+        self.stride == 1
+    }
+
+    /// True when the backward pass can reuse the forward kernels through
+    /// the 1×1 duality (Section II-I scenario 2).
+    #[inline]
+    pub fn duality_1x1(&self) -> bool {
+        self.r == 1 && self.s == 1
+    }
+}
+
+impl std::fmt::Display for ConvShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "N{} C{} K{} H{} W{} R{} S{} str{} pad{} -> P{} Q{}",
+            self.n, self.c, self.k, self.h, self.w, self.r, self.s, self.stride, self.pad,
+            self.p(), self.q()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_3x3_layer_shape() {
+        // Table I layer 4: C=64 K=64 H=W=56 R=S=3 stride 1 (pad 1).
+        let s = ConvShape::new(28, 64, 64, 56, 56, 3, 3, 1, 1);
+        assert_eq!(s.p(), 56);
+        assert_eq!(s.q(), 56);
+        assert_eq!(s.cb(), 4);
+        assert_eq!(s.kb(), 4);
+    }
+
+    #[test]
+    fn resnet_1x1_stride2_shape() {
+        // Table I layer 6: C=256 K=512 H=W=56 R=S=1 stride 2.
+        let s = ConvShape::new(28, 256, 512, 56, 56, 1, 1, 2, 0);
+        assert_eq!(s.p(), 28);
+        assert_eq!(s.q(), 28);
+    }
+
+    #[test]
+    fn first_conv_7x7() {
+        // Table I layer 1: C=3 K=64 H=W=224 R=S=7 stride 2 (pad 3).
+        let s = ConvShape::new(28, 3, 64, 224, 224, 7, 7, 2, 3);
+        assert_eq!(s.p(), 112);
+        assert_eq!(s.q(), 112);
+        assert_eq!(s.cb(), 1); // 3 channels padded into one block
+    }
+
+    #[test]
+    fn flops_formula() {
+        let s = ConvShape::new(1, 16, 16, 4, 4, 1, 1, 1, 0);
+        // 2*1*16*16*4*4*1*1 = 8192
+        assert_eq!(s.flops(), 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter larger")]
+    fn rejects_filter_larger_than_input() {
+        ConvShape::new(1, 16, 16, 2, 2, 5, 5, 1, 0);
+    }
+
+    #[test]
+    fn duality_flags() {
+        assert!(ConvShape::new(1, 16, 16, 8, 8, 3, 3, 1, 1).duality_stride1());
+        assert!(ConvShape::new(1, 16, 16, 8, 8, 1, 1, 2, 0).duality_1x1());
+        let s = ConvShape::new(1, 16, 16, 8, 8, 3, 3, 2, 1);
+        assert!(!s.duality_stride1() && !s.duality_1x1());
+    }
+}

@@ -1,0 +1,393 @@
+//! Reduced-precision (int16) tensor layouts for the quantized kernels
+//! (Section II-K).
+//!
+//! Knights Mill's `4VNNIW` (and AVX-512 VNNI's `vpdpwssd`) multiply
+//! *pairs* of adjacent int16 values held in one 32-bit lane and
+//! accumulate into int32. To feed that instruction with plain loads and
+//! 32-bit broadcasts:
+//!
+//! * activations keep the natural channel order `[N][Cb][Hp][Wp][VLEN]`
+//!   of i16 — a 32-bit broadcast at an even channel offset carries the
+//!   channel pair `(c, c+1)`;
+//! * filters interleave the channel pair innermost:
+//!   `[Kb][Cb][R][S][c/2][k][2]`, so one 512-bit load yields, for every
+//!   output lane `k`, the pair `(w[c][k], w[c+1][k])` packed into a
+//!   32-bit lane;
+//! * outputs accumulate in int32 `[N][Kb][P][Q][VLEN]` — this is why
+//!   the paper's int16 kernels move the same number of output bytes as
+//!   fp32 and cannot reach a 2× speedup.
+
+use crate::align::AVec;
+use crate::rng::SplitMix64;
+use crate::shape::VLEN;
+
+/// Blocked int16 activations `[N][Cb][Hp][Wp][VLEN]`.
+#[derive(Clone, Debug)]
+pub struct VnniActs {
+    pub n: usize,
+    pub c: usize,
+    pub cb: usize,
+    pub h: usize,
+    pub w: usize,
+    pub pad: usize,
+    data: AVec<i16>,
+}
+
+impl VnniActs {
+    /// Zero tensor.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize, pad: usize) -> Self {
+        let cb = c.div_ceil(VLEN);
+        let (hp, wp) = (h + 2 * pad, w + 2 * pad);
+        Self { n, c, cb, h, w, pad, data: AVec::zeroed(n * cb * hp * wp * VLEN) }
+    }
+
+    /// Deterministic small random interior (range safe for long i32
+    /// accumulation chains); padding stays zero.
+    pub fn random(n: usize, c: usize, h: usize, w: usize, pad: usize, seed: u64) -> Self {
+        let mut t = Self::zeros(n, c, h, w, pad);
+        let mut rng = SplitMix64::new(seed);
+        for n_ in 0..n {
+            for c_ in 0..c {
+                for h_ in 0..h {
+                    for w_ in 0..w {
+                        t.set(n_, c_, h_, w_, rng.next_i16());
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Padded height.
+    #[inline]
+    pub fn hp(&self) -> usize {
+        self.h + 2 * self.pad
+    }
+
+    /// Padded width.
+    #[inline]
+    pub fn wp(&self) -> usize {
+        self.w + 2 * self.pad
+    }
+
+    /// Element stride between padded rows.
+    #[inline]
+    pub fn stride_h(&self) -> usize {
+        self.wp() * VLEN
+    }
+
+    /// Element stride between channel blocks.
+    #[inline]
+    pub fn stride_cb(&self) -> usize {
+        self.hp() * self.stride_h()
+    }
+
+    /// Element stride between samples.
+    #[inline]
+    pub fn stride_n(&self) -> usize {
+        self.cb * self.stride_cb()
+    }
+
+    /// Flat offset of a pixel vector by logical coordinates.
+    #[inline]
+    pub fn pix_offset_logical(&self, n: usize, cb: usize, h: isize, w: isize) -> usize {
+        let hp = h + self.pad as isize;
+        let wp = w + self.pad as isize;
+        debug_assert!(hp >= 0 && (hp as usize) < self.hp());
+        debug_assert!(wp >= 0 && (wp as usize) < self.wp());
+        ((n * self.cb + cb) * self.hp() + hp as usize) * self.stride_h() + wp as usize * VLEN
+    }
+
+    /// Read an element by logical channel and spatial coords.
+    #[inline]
+    pub fn get(&self, n: usize, c: usize, h: usize, w: usize) -> i16 {
+        self.data[self.pix_offset_logical(n, c / VLEN, h as isize, w as isize) + c % VLEN]
+    }
+
+    /// Write an element by logical channel and spatial coords.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: i16) {
+        let off = self.pix_offset_logical(n, c / VLEN, h as isize, w as isize) + c % VLEN;
+        self.data[off] = v;
+    }
+
+    /// Quantize a f32 blocked tensor with the given scale
+    /// (`q = round(x / scale)`, saturating).
+    pub fn quantize(src: &crate::BlockedActs, scale: f32) -> Self {
+        let mut out = Self::zeros(src.n, src.c, src.h, src.w, src.pad);
+        let inv = 1.0 / scale;
+        for (d, s) in out.data.as_mut_slice().iter_mut().zip(src.as_slice()) {
+            *d = (s * inv).round().clamp(i16::MIN as f32, i16::MAX as f32) as i16;
+        }
+        out
+    }
+
+    /// Raw pointer.
+    #[inline]
+    pub fn as_ptr(&self) -> *const i16 {
+        self.data.as_ptr()
+    }
+
+    /// Backing storage.
+    pub fn as_slice(&self) -> &[i16] {
+        self.data.as_slice()
+    }
+
+    /// Mutable backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [i16] {
+        self.data.as_mut_slice()
+    }
+}
+
+/// VNNI-interleaved int16 filter `[Kb][Cb][R][S][c/2][k][2]`.
+#[derive(Clone, Debug)]
+pub struct VnniFilter {
+    pub k: usize,
+    pub c: usize,
+    pub kb: usize,
+    pub cb: usize,
+    pub r: usize,
+    pub s: usize,
+    data: AVec<i16>,
+}
+
+impl VnniFilter {
+    /// Zero filter.
+    pub fn zeros(k: usize, c: usize, r: usize, s: usize) -> Self {
+        let (kb, cb) = (k.div_ceil(VLEN), c.div_ceil(VLEN));
+        Self { k, c, kb, cb, r, s, data: AVec::zeroed(kb * cb * r * s * VLEN * VLEN) }
+    }
+
+    /// Deterministic small random filter.
+    pub fn random(k: usize, c: usize, r: usize, s: usize, seed: u64) -> Self {
+        let mut t = Self::zeros(k, c, r, s);
+        let mut rng = SplitMix64::new(seed);
+        for k_ in 0..k {
+            for c_ in 0..c {
+                for r_ in 0..r {
+                    for s_ in 0..s {
+                        t.set(k_, c_, r_, s_, rng.next_i16());
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Element stride between `(r, s)` taps: one interleaved panel.
+    #[inline]
+    pub fn stride_s(&self) -> usize {
+        VLEN * VLEN
+    }
+
+    /// Flat offset of the pair-interleaved panel at `(kb, cb, r, s)`.
+    #[inline]
+    pub fn panel_offset(&self, kb: usize, cb: usize, r: usize, s: usize) -> usize {
+        debug_assert!(kb < self.kb && cb < self.cb && r < self.r && s < self.s);
+        (((kb * self.cb + cb) * self.r + r) * self.s + s) * self.stride_s()
+    }
+
+    /// Read element by logical channels: pair-interleaved addressing.
+    #[inline]
+    pub fn get(&self, k: usize, c: usize, r: usize, s: usize) -> i16 {
+        let base = self.panel_offset(k / VLEN, c / VLEN, r, s);
+        let (cp, parity) = ((c % VLEN) / 2, c % 2);
+        self.data[base + (cp * VLEN + k % VLEN) * 2 + parity]
+    }
+
+    /// Write element by logical channels.
+    #[inline]
+    pub fn set(&mut self, k: usize, c: usize, r: usize, s: usize, v: i16) {
+        let base = self.panel_offset(k / VLEN, c / VLEN, r, s);
+        let (cp, parity) = ((c % VLEN) / 2, c % 2);
+        let off = base + (cp * VLEN + k % VLEN) * 2 + parity;
+        self.data[off] = v;
+    }
+
+    /// Quantize a f32 blocked filter with the given scale.
+    pub fn quantize(src: &crate::BlockedFilter, scale: f32) -> Self {
+        let mut out = Self::zeros(src.k, src.c, src.r, src.s);
+        let inv = 1.0 / scale;
+        for k in 0..src.k {
+            for c in 0..src.c {
+                for r in 0..src.r {
+                    for s in 0..src.s {
+                        let q = (src.get(k, c, r, s) * inv)
+                            .round()
+                            .clamp(i16::MIN as f32, i16::MAX as f32) as i16;
+                        out.set(k, c, r, s, q);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Raw pointer.
+    #[inline]
+    pub fn as_ptr(&self) -> *const i16 {
+        self.data.as_ptr()
+    }
+
+    /// Backing storage.
+    pub fn as_slice(&self) -> &[i16] {
+        self.data.as_slice()
+    }
+}
+
+/// Blocked int32 tensor `[N][Kb][P][Q][VLEN]` — the accumulator/output
+/// side of the quantized kernels.
+#[derive(Clone, Debug)]
+pub struct BlockedI32 {
+    pub n: usize,
+    pub k: usize,
+    pub kb: usize,
+    pub h: usize,
+    pub w: usize,
+    data: AVec<i32>,
+}
+
+impl BlockedI32 {
+    /// Zero tensor (outputs carry no physical padding).
+    pub fn zeros(n: usize, k: usize, h: usize, w: usize) -> Self {
+        let kb = k.div_ceil(VLEN);
+        Self { n, k, kb, h, w, data: AVec::zeroed(n * kb * h * w * VLEN) }
+    }
+
+    /// Element stride between rows.
+    #[inline]
+    pub fn stride_h(&self) -> usize {
+        self.w * VLEN
+    }
+
+    /// Element stride between channel blocks.
+    #[inline]
+    pub fn stride_kb(&self) -> usize {
+        self.h * self.stride_h()
+    }
+
+    /// Element stride between samples.
+    #[inline]
+    pub fn stride_n(&self) -> usize {
+        self.kb * self.stride_kb()
+    }
+
+    /// Flat offset of a pixel vector.
+    #[inline]
+    pub fn pix_offset(&self, n: usize, kb: usize, h: usize, w: usize) -> usize {
+        debug_assert!(n < self.n && kb < self.kb && h < self.h && w < self.w);
+        ((n * self.kb + kb) * self.h + h) * self.stride_h() + w * VLEN
+    }
+
+    /// Read element by logical channel.
+    #[inline]
+    pub fn get(&self, n: usize, k: usize, h: usize, w: usize) -> i32 {
+        self.data[self.pix_offset(n, k / VLEN, h, w) + k % VLEN]
+    }
+
+    /// Write element by logical channel.
+    #[inline]
+    pub fn set(&mut self, n: usize, k: usize, h: usize, w: usize, v: i32) {
+        let off = self.pix_offset(n, k / VLEN, h, w) + k % VLEN;
+        self.data[off] = v;
+    }
+
+    /// Zero all elements.
+    pub fn zero(&mut self) {
+        self.data.fill(0);
+    }
+
+    /// Dequantize into a f32 blocked tensor with combined scale
+    /// `x = q · scale` (where `scale = in_scale · w_scale`).
+    pub fn dequantize(&self, scale: f32) -> crate::BlockedActs {
+        let mut out = crate::BlockedActs::zeros(self.n, self.k, self.h, self.w, 0);
+        for (d, s) in out.as_mut_slice().iter_mut().zip(self.data.as_slice()) {
+            *d = *s as f32 * scale;
+        }
+        out
+    }
+
+    /// Raw mutable pointer.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut i32 {
+        self.data.as_mut_ptr()
+    }
+
+    /// Raw const pointer.
+    #[inline]
+    pub fn as_ptr(&self) -> *const i32 {
+        self.data.as_ptr()
+    }
+
+    /// Backing storage.
+    pub fn as_slice(&self) -> &[i32] {
+        self.data.as_slice()
+    }
+
+    /// Mutable backing storage.
+    pub fn as_mut_slice(&mut self) -> &mut [i32] {
+        self.data.as_mut_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acts_pairing_is_natural_order() {
+        // channels are stored in natural order: a 32-bit broadcast at an
+        // even lane reads channels (c, c+1)
+        let mut a = VnniActs::zeros(1, 16, 1, 1, 0);
+        for c in 0..16 {
+            a.set(0, c, 0, 0, c as i16);
+        }
+        let s = a.as_slice();
+        for c in 0..16 {
+            assert_eq!(s[c], c as i16);
+        }
+    }
+
+    #[test]
+    fn filter_pair_interleave() {
+        let mut f = VnniFilter::zeros(16, 16, 1, 1);
+        f.set(3, 4, 0, 0, 40); // even channel of pair 2
+        f.set(3, 5, 0, 0, 50); // odd channel of pair 2
+        let s = f.as_slice();
+        // pair cp=2, k=3: offset (2*16+3)*2 = 70, parity 0/1
+        assert_eq!(s[70], 40);
+        assert_eq!(s[71], 50);
+    }
+
+    #[test]
+    fn filter_get_set_roundtrip() {
+        let mut f = VnniFilter::zeros(32, 48, 3, 3);
+        f.set(17, 33, 2, 1, -7);
+        assert_eq!(f.get(17, 33, 2, 1), -7);
+        assert_eq!(f.get(17, 32, 2, 1), 0);
+    }
+
+    #[test]
+    fn quantize_dequantize_roundtrip() {
+        let src = crate::BlockedActs::random(1, 16, 4, 4, 0, 3);
+        let q = VnniActs::quantize(&src, 1.0 / 256.0);
+        for c in 0..16 {
+            for h in 0..4 {
+                for w in 0..4 {
+                    let x = src.get(0, c, h, w);
+                    let back = q.get(0, c, h, w) as f32 / 256.0;
+                    assert!((x - back).abs() <= 0.5 / 256.0 + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i32_out_roundtrip() {
+        let mut o = BlockedI32::zeros(2, 32, 3, 3);
+        o.set(1, 31, 2, 2, -12345);
+        assert_eq!(o.get(1, 31, 2, 2), -12345);
+        let f = o.dequantize(0.5);
+        assert_eq!(f.get(1, 31, 2, 2), -6172.5);
+    }
+}

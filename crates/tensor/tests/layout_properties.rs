@@ -1,0 +1,118 @@
+//! Property-based tests on the blocked tensor layouts: conversion
+//! round-trips, padding invariants, and offset arithmetic over random
+//! geometries.
+
+use proptest::prelude::*;
+use tensor::{BlockedActs, BlockedFilter, Kcrs, Nchw, VnniActs, VnniFilter, VLEN};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nchw_blocked_roundtrip(
+        n in 1usize..4,
+        c in 1usize..40,
+        h in 1usize..10,
+        w in 1usize..10,
+        pad in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let src = Nchw::random(n, c, h, w, seed);
+        let blk = BlockedActs::from_nchw(&src, pad);
+        prop_assert_eq!(blk.cb, c.div_ceil(VLEN));
+        let back = blk.to_nchw();
+        prop_assert_eq!(back.as_slice().to_vec(), src.as_slice().to_vec());
+    }
+
+    #[test]
+    fn blocked_padding_border_is_always_zero(
+        n in 1usize..3,
+        c in 1usize..33,
+        h in 1usize..8,
+        w in 1usize..8,
+        pad in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let src = Nchw::random(n, c, h, w, seed);
+        let blk = BlockedActs::from_nchw(&src, pad);
+        // walk the full physical extent; anything outside the logical
+        // interior must be zero
+        for n_ in 0..n {
+            for cb in 0..blk.cb {
+                for hp in 0..blk.hp() {
+                    for wp in 0..blk.wp() {
+                        let interior = hp >= pad && hp < pad + h && wp >= pad && wp < pad + w;
+                        if !interior {
+                            let off = ((n_ * blk.cb + cb) * blk.hp() + hp) * blk.stride_h()
+                                + wp * VLEN;
+                            for v in 0..VLEN {
+                                prop_assert_eq!(blk.as_slice()[off + v], 0.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_roundtrip_and_double_transpose(
+        k in 1usize..40,
+        c in 1usize..40,
+        r in 1usize..4,
+        s in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let src = Kcrs::random(k, c, r, s, seed);
+        let blk = BlockedFilter::from_kcrs(&src);
+        prop_assert_eq!(blk.to_kcrs().as_slice().to_vec(), src.as_slice().to_vec());
+        // transpose_flip is an involution
+        let twice = blk.transpose_flip().transpose_flip();
+        prop_assert_eq!(twice.as_slice().to_vec(), blk.as_slice().to_vec());
+        // and matches the plain-layout transform
+        prop_assert_eq!(
+            blk.transpose_flip().to_kcrs().as_slice().to_vec(),
+            src.transpose_flip().as_slice().to_vec()
+        );
+    }
+
+    #[test]
+    fn vnni_pairing_reads_back(
+        k in 1usize..33,
+        c in 1usize..33,
+        r in 1usize..3,
+        s in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let f = VnniFilter::random(k, c, r, s, seed);
+        // get after set round-trips through the pair interleave
+        for (kk, cc) in [(0usize, 0usize), (k - 1, c - 1), (k / 2, c / 2)] {
+            let v = f.get(kk, cc, r - 1, s - 1);
+            prop_assert!(v >= -64 && v <= 63);
+        }
+        let a = VnniActs::random(1, c, 3, 3, 1, seed);
+        for cc in 0..c {
+            let _ = a.get(0, cc, 0, 0); // in-bounds for every channel
+        }
+    }
+
+    #[test]
+    fn offsets_monotone_in_each_coordinate(
+        n in 1usize..3,
+        cb in 1usize..4,
+        h in 2usize..8,
+        w in 2usize..8,
+        pad in 0usize..3,
+    ) {
+        let t = BlockedActs::zeros(n, cb * VLEN, h, w, pad);
+        let base = t.pix_offset_logical(0, 0, 0, 0);
+        prop_assert!(t.pix_offset_logical(0, 0, 1, 0) == base + t.stride_h());
+        prop_assert!(t.pix_offset_logical(0, 0, 0, 1) == base + VLEN);
+        if cb > 1 {
+            prop_assert!(t.pix_offset_logical(0, 1, 0, 0) == base + t.stride_cb());
+        }
+        if n > 1 {
+            prop_assert!(t.pix_offset_logical(1, 0, 0, 0) == base + t.stride_n());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Inception-v3 ("GoogleNet v3" in the paper's run scripts): the
+//! distinct convolution shapes for the kernel-average experiments and
+//! a trainable graph with real Inception mixed blocks.
+
+use conv::ConvShape;
+
+/// The distinct convolution shapes of Inception-v3 (299×299 input),
+/// `(c, k, hw_in, r, s, stride, pad)`. Asymmetric 1×7/7×1 factorized
+/// convolutions appear as their two halves.
+pub const INCEPTION_V3_CONVS: [(usize, usize, usize, usize, usize, usize, usize); 24] = [
+    // stem
+    (32, 32, 149, 3, 3, 1, 0),
+    (32, 64, 147, 3, 3, 1, 1),
+    (64, 80, 73, 1, 1, 1, 0),
+    (80, 192, 73, 3, 3, 1, 0),
+    // 35×35 mixed blocks
+    (192, 64, 35, 1, 1, 1, 0),
+    (192, 48, 35, 1, 1, 1, 0),
+    (48, 64, 35, 5, 5, 1, 2),
+    (64, 96, 35, 3, 3, 1, 1),
+    (96, 96, 35, 3, 3, 1, 1),
+    (288, 384, 35, 3, 3, 2, 0),
+    // 17×17 mixed blocks (1×7 / 7×1 factorization)
+    (288, 128, 17, 1, 1, 1, 0),
+    (128, 128, 17, 1, 7, 1, 0),
+    (128, 192, 17, 7, 1, 1, 0),
+    (768, 192, 17, 1, 1, 1, 0),
+    (192, 192, 17, 7, 1, 1, 0),
+    (192, 192, 17, 1, 7, 1, 0),
+    (192, 320, 17, 3, 3, 2, 0),
+    // 8×8 mixed blocks
+    (1280, 320, 8, 1, 1, 1, 0),
+    (1280, 384, 8, 1, 1, 1, 0),
+    (384, 384, 8, 1, 3, 1, 0),
+    (384, 384, 8, 3, 1, 1, 0),
+    (1280, 448, 8, 1, 1, 1, 0),
+    (448, 384, 8, 3, 3, 1, 1),
+    (2048, 192, 8, 1, 1, 1, 0),
+];
+
+/// Inception-v3 conv shapes for a minibatch. The first stem conv
+/// (3→32, stride 2) is omitted like the paper omits C=3 layers from
+/// the Inception averages (its Fig. 8 x-axis also starts at layer 2).
+pub fn inception_v3_layers(minibatch: usize) -> Vec<(usize, ConvShape)> {
+    INCEPTION_V3_CONVS
+        .iter()
+        .enumerate()
+        .map(|(i, &(c, k, hw, r, s, stride, pad))| {
+            // asymmetric filters would need asymmetric padding to
+            // preserve spatial extent; ConvShape has a single pad, so
+            // the factorized taps run unpadded ("valid") — same FLOP
+            // structure, slightly smaller outputs.
+            (i + 2, ConvShape::new(minibatch, c, k, hw, hw, r, s, stride, pad))
+        })
+        .collect()
+}
+
+/// A trainable Inception-style graph: stem + one 35×35 mixed block
+/// (four branches with filter concat) + reduction + head. Full v3
+/// repeats these block patterns; one of each exercises every operator
+/// class (concat, avg-pool branch, factorized convs).
+pub fn inception_v3_topology(classes: usize) -> String {
+    let mut t = String::new();
+    t.push_str("input name=data c=3 h=147 w=147\n");
+    // stem (shortened: v3's 299→147 double-stride stem collapsed)
+    t.push_str("conv name=stem1 bottom=data k=32 r=3 s=3 stride=2 pad=1\n");
+    t.push_str("bn name=stem1bn bottom=stem1 relu=1\n");
+    t.push_str("conv name=stem2 bottom=stem1bn k=64 r=3 s=3 pad=1\n");
+    t.push_str("bn name=stem2bn bottom=stem2 relu=1\n");
+    t.push_str("pool name=stempool bottom=stem2bn kind=max size=3 stride=2 pad=1\n");
+    t.push_str("conv name=stem3 bottom=stempool k=192 r=3 s=3 pad=1\n");
+    t.push_str("bn name=stem3bn bottom=stem3 relu=1\n");
+    t.push_str("pool name=pool2 bottom=stem3bn kind=max size=3 stride=2 pad=1\n");
+    // mixed block (35×35-style): 1x1 / 5x5 / double-3x3 / pool branches
+    t.push_str("conv name=b1x1 bottom=pool2 k=64\n");
+    t.push_str("bn name=b1x1bn bottom=b1x1 relu=1\n");
+    t.push_str("conv name=b5red bottom=pool2 k=48\n");
+    t.push_str("bn name=b5redbn bottom=b5red relu=1\n");
+    t.push_str("conv name=b5 bottom=b5redbn k=64 r=5 s=5 pad=2\n");
+    t.push_str("bn name=b5bn bottom=b5 relu=1\n");
+    t.push_str("conv name=b3red bottom=pool2 k=64\n");
+    t.push_str("bn name=b3redbn bottom=b3red relu=1\n");
+    t.push_str("conv name=b3a bottom=b3redbn k=96 r=3 s=3 pad=1\n");
+    t.push_str("bn name=b3abn bottom=b3a relu=1\n");
+    t.push_str("conv name=b3b bottom=b3abn k=96 r=3 s=3 pad=1\n");
+    t.push_str("bn name=b3bbn bottom=b3b relu=1\n");
+    t.push_str("pool name=bpool bottom=pool2 kind=avg size=3 stride=1 pad=1\n");
+    t.push_str("conv name=bpoolproj bottom=bpool k=32\n");
+    t.push_str("bn name=bpoolprojbn bottom=bpoolproj relu=1\n");
+    t.push_str("concat name=mixed1 bottom=b1x1bn,b5bn,b3bbn,bpoolprojbn\n");
+    // head
+    t.push_str("conv name=head bottom=mixed1 k=256\n");
+    t.push_str("bn name=headbn bottom=head relu=1\n");
+    t.push_str("gap name=gpool bottom=headbn\n");
+    t.push_str(&format!("fc name=logits bottom=gpool k={classes}\n"));
+    t.push_str("softmaxloss name=loss bottom=logits\n");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_inventory_is_consistent() {
+        let layers = inception_v3_layers(28);
+        assert_eq!(layers.len(), 24);
+        for (id, s) in &layers {
+            assert!(s.p() > 0 && s.q() > 0, "layer {id}: {s}");
+        }
+    }
+
+    #[test]
+    fn includes_factorized_convolutions() {
+        let layers = inception_v3_layers(1);
+        assert!(layers.iter().any(|(_, s)| s.r == 1 && s.s == 7));
+        assert!(layers.iter().any(|(_, s)| s.r == 7 && s.s == 1));
+    }
+
+    #[test]
+    fn topology_parses_and_has_concat() {
+        let nl = gxm::parse_topology(&inception_v3_topology(1000)).expect("valid");
+        assert!(nl.iter().any(|n| matches!(n, gxm::NodeSpec::Concat { .. })));
+        // the mixed block concatenates 64+64+96+32 = 256 channels
+    }
+}

@@ -1,0 +1,14 @@
+//! Network topologies of the paper's evaluation: ResNet-50 (Table I)
+//! and Inception-v3 (Section III's secondary workload).
+//!
+//! Two views of each network:
+//! * the **kernel view** — the distinct convolution layer shapes used
+//!   by the per-layer benchmarks (Figures 4–8),
+//! * the **graph view** — a full GxM topology text for end-to-end
+//!   training (Figure 9).
+
+pub mod inception;
+pub mod resnet;
+
+pub use inception::{inception_v3_layers, inception_v3_topology};
+pub use resnet::{resnet50_table1, resnet50_topology, TableRow};

@@ -1,0 +1,45 @@
+//! The layer benchmark of the paper's artifact (`run_resnet50.sh`):
+//! sweep all 20 Table I layers, print GFLOPS and runtime per pass.
+//!
+//! ```sh
+//! cargo run --release --example resnet50_layers -- F   # forward
+//! cargo run --release --example resnet50_layers -- B   # backward
+//! cargo run --release --example resnet50_layers -- U   # weight update
+//! ```
+
+use anatomy::conv::fuse::FuseCtx;
+use anatomy::conv::{ConvLayer, LayerOptions};
+use anatomy::parallel::ThreadPool;
+use anatomy::tensor::{BlockedActs, BlockedFilter};
+use anatomy::topologies::resnet50_table1;
+
+fn main() {
+    let pass = std::env::args().nth(1).unwrap_or_else(|| "F".into());
+    let threads = anatomy::parallel::hardware_threads();
+    let minibatch = 8.min(threads);
+    let pool = ThreadPool::new(threads);
+    let iters = 5;
+    println!("# ResNet-50 layers, pass {pass}, minibatch {minibatch}, {threads} threads");
+    println!("layer\tGFLOPS\tms");
+    for (id, shape) in resnet50_table1(minibatch) {
+        let layer = ConvLayer::new(shape, LayerOptions::new(threads));
+        let x = BlockedActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 1);
+        let w = BlockedFilter::random(shape.k, shape.c, shape.r, shape.s, 2);
+        let gy = BlockedActs::random(shape.n, shape.k, shape.p(), shape.q(), layer.dout_pad(), 3);
+        let mut y = layer.new_output();
+        let mut gx = layer.new_input();
+        let mut dw = layer.new_filter();
+        let mut run = || match pass.as_str() {
+            "B" => layer.backward(&pool, &gy, &w, &mut gx),
+            "U" => layer.update(&pool, &x, &gy, &mut dw),
+            _ => layer.forward(&pool, &x, &w, &mut y, &FuseCtx::default()),
+        };
+        run(); // warmup (first touch)
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            run();
+        }
+        let secs = t0.elapsed().as_secs_f64() / iters as f64;
+        println!("{id}\t{:8.1}\t{:7.2}", shape.flops() as f64 / secs / 1e9, secs * 1e3);
+    }
+}

@@ -1,0 +1,49 @@
+//! Train a small residual CNN end-to-end with the GxM graph executor
+//! on synthetic class-separable data — the miniature version of the
+//! paper's Section III-C experiment. Loss falls and training accuracy
+//! climbs within a few dozen steps.
+//!
+//! ```sh
+//! cargo run --release --example train_cnn
+//! ```
+
+use anatomy::gxm::data::SyntheticData;
+use anatomy::gxm::{parse_topology, Network};
+
+fn main() {
+    let classes = 8;
+    let topology = format!(
+        "input name=data c=16 h=16 w=16\n\
+         conv name=c0 bottom=data k=32\n\
+         bn name=b0 bottom=c0 relu=1\n\
+         conv name=c1 bottom=b0 k=32 r=3 s=3 pad=1\n\
+         bn name=b1 bottom=c1 relu=1\n\
+         conv name=c2 bottom=b1 k=32 r=3 s=3 pad=1\n\
+         bn name=b2 bottom=c2 eltwise=b0 relu=1\n\
+         pool name=p1 bottom=b2 kind=max size=2 stride=2\n\
+         conv name=c3 bottom=p1 k=64 bias=1 relu=1\n\
+         gap name=g bottom=c3\n\
+         fc name=logits bottom=g k={classes}\n\
+         softmaxloss name=loss bottom=logits\n"
+    );
+    let nl = parse_topology(&topology).expect("valid topology");
+    let threads = anatomy::parallel::hardware_threads().min(8);
+    let minibatch = 32;
+    let mut net = Network::build(&nl, minibatch, threads);
+    println!("residual CNN: {} parameters, {} threads", net.param_count(), threads);
+
+    let mut data = SyntheticData::new(classes, 16, 16, 16, 42);
+    let t0 = std::time::Instant::now();
+    for step in 0..60 {
+        let labels = data.next_batch(net.input_mut());
+        let stats = net.train_step(&labels, 0.05, 0.9);
+        if step % 10 == 0 || step == 59 {
+            println!("step {step:3}: loss {:.4}  top-1 {:.2}", stats.loss, stats.top1);
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "60 steps in {elapsed:.2}s — {:.1} img/s",
+        60.0 * minibatch as f64 / elapsed
+    );
+}

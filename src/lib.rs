@@ -1,0 +1,35 @@
+//! # anatomy
+//!
+//! A from-scratch Rust reproduction of *Anatomy of High-Performance
+//! Deep Learning Convolutions on SIMD Architectures* (Georganas et
+//! al., SC 2018): JIT-compiled direct-convolution kernels, the
+//! kernel-streams dryrun/replay execution framework, layer fusion,
+//! duality-based backward propagation, bandwidth-balanced weight
+//! updates, int16 (VNNI) kernels, and the GxM graph executor with
+//! simulated multi-node data parallelism.
+//!
+//! This root crate re-exports the workspace so examples and downstream
+//! users can depend on one name:
+//!
+//! ```
+//! use anatomy::conv::{ConvLayer, LayerOptions};
+//! use anatomy::tensor::ConvShape;
+//!
+//! let shape = ConvShape::new(1, 32, 32, 8, 8, 3, 3, 1, 1);
+//! let layer = ConvLayer::new(shape, LayerOptions::new(2));
+//! assert!(layer.blocking().rbq >= 8);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment
+//! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use baselines;
+pub use conv;
+pub use gxm;
+pub use jit;
+pub use machine;
+pub use microkernel;
+pub use parallel;
+pub use smallgemm;
+pub use tensor;
+pub use topologies;

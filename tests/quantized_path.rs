@@ -1,0 +1,55 @@
+//! Cross-crate integration: the int16 reduced-precision path against
+//! the f32 path through quantize → conv → dequantize.
+
+use anatomy::conv::fuse::FuseCtx;
+use anatomy::conv::quant::QuantFwdPlan;
+use anatomy::conv::{Backend, ConvLayer, LayerOptions};
+use anatomy::parallel::ThreadPool;
+use anatomy::tensor::vnni::BlockedI32;
+use anatomy::tensor::{BlockedActs, BlockedFilter, ConvShape, Norms, VnniActs, VnniFilter};
+
+#[test]
+fn quantized_conv_approximates_f32_conv() {
+    let shape = ConvShape::new(2, 32, 32, 10, 10, 3, 3, 1, 1);
+    let threads = 4;
+    let pool = ThreadPool::new(threads);
+
+    // f32 ground truth
+    let x = BlockedActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 1);
+    let w = BlockedFilter::random(shape.k, shape.c, shape.r, shape.s, 2);
+    let layer = ConvLayer::new(shape, LayerOptions::new(threads));
+    let mut y = layer.new_output();
+    layer.forward(&pool, &x, &w, &mut y, &FuseCtx::default());
+
+    // quantize → int16 conv → dequantize
+    let (sx, sw) = (1.0 / 512.0, 1.0 / 512.0);
+    let xq = VnniActs::quantize(&x, sx);
+    let wq = VnniFilter::quantize(&w, sw);
+    let plan = QuantFwdPlan::new(shape, threads, Backend::Auto, true, 4, None);
+    let mut yq = BlockedI32::zeros(shape.n, shape.k, shape.p(), shape.q());
+    plan.run(&pool, &xq, &wq, &mut yq);
+    let y16 = yq.dequantize(sx * sw);
+
+    let n = Norms::compare(y.as_slice(), y16.as_slice());
+    // quantization noise, not kernel error: relative L2 well under 1%
+    assert!(n.l2_rel < 0.01, "{n}");
+}
+
+#[test]
+fn chain_limit_trades_no_accuracy() {
+    // the paper's restricted accumulation chain is exact in int32
+    let shape = ConvShape::new(1, 128, 16, 6, 6, 1, 1, 1, 0);
+    let pool = ThreadPool::new(2);
+    let xq = VnniActs::random(1, 128, 6, 6, 0, 3);
+    let wq = VnniFilter::random(16, 128, 1, 1, 4);
+    let mut reference: Option<Vec<i32>> = None;
+    for chain in [1usize, 2, 8] {
+        let plan = QuantFwdPlan::new(shape, 2, Backend::Auto, false, chain, None);
+        let mut out = BlockedI32::zeros(1, 16, 6, 6);
+        plan.run(&pool, &xq, &wq, &mut out);
+        match &reference {
+            None => reference = Some(out.as_slice().to_vec()),
+            Some(r) => assert_eq!(r, &out.as_slice().to_vec(), "chain={chain}"),
+        }
+    }
+}
