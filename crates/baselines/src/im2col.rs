@@ -68,8 +68,12 @@ impl ConvBaseline for Im2colConv {
                             let row = (c * sh.r + r) * sh.s + s;
                             for oj in 0..p {
                                 let ij = oj * sh.stride + r; // physical (pad included)
-                                let base =
-                                    input.pix_offset_logical(n, c / VLEN, ij as isize - sh.pad as isize, -(sh.pad as isize));
+                                let base = input.pix_offset_logical(
+                                    n,
+                                    c / VLEN,
+                                    ij as isize - sh.pad as isize,
+                                    -(sh.pad as isize),
+                                );
                                 for oi in 0..q {
                                     let ii = oi * sh.stride + s;
                                     col[row * pq + oj * q + oi] =
@@ -85,7 +89,10 @@ impl ConvBaseline for Im2colConv {
                 for k in 0..sh.k {
                     for oj in 0..p {
                         for oi in 0..q {
-                            let off = n * out_n + (k / VLEN) * out_kb + oj * out_row + oi * VLEN
+                            let off = n * out_n
+                                + (k / VLEN) * out_kb
+                                + oj * out_row
+                                + oi * VLEN
                                 + k % VLEN;
                             // SAFETY: disjoint n per thread.
                             unsafe { *out_ptr.get().add(off) = res[k * pq + oj * q + oi] };

@@ -57,9 +57,7 @@ pub fn all_baselines(shape: ConvShape, threads: usize) -> Vec<Box<dyn ConvBaseli
 }
 
 /// Shared test helper: random problem in both layouts.
-pub fn random_problem(
-    shape: &ConvShape,
-) -> (Nchw, Kcrs, BlockedActs, BlockedFilter, BlockedActs) {
+pub fn random_problem(shape: &ConvShape) -> (Nchw, Kcrs, BlockedActs, BlockedFilter, BlockedActs) {
     let x = Nchw::random(shape.n, shape.c, shape.h, shape.w, 11);
     let w = Kcrs::random(shape.k, shape.c, shape.r, shape.s, 12);
     let xb = BlockedActs::from_nchw(&x, shape.pad);

@@ -23,8 +23,7 @@ impl XsmmConv {
     /// Dispatch the small GEMM once (the `libxsmm_dispatch` analogue).
     pub fn new(shape: ConvShape) -> Self {
         // A: Q input pixels × VLEN channels (lda strides over pixels)
-        let gemm =
-            SmallGemm::new(shape.q(), VLEN, VLEN, shape.stride * VLEN, VLEN, VLEN, true);
+        let gemm = SmallGemm::new(shape.q(), VLEN, VLEN, shape.stride * VLEN, VLEN, VLEN, true);
         Self { shape, gemm }
     }
 }

@@ -33,21 +33,15 @@ fn main() {
         // backends
         for backend in [Backend::Auto, Backend::Intrinsics, Backend::Scalar] {
             let iters = if backend == Backend::Scalar { 1 } else { cfg.iters };
-            let layer =
-                ConvLayer::new(shape, LayerOptions::new(cfg.threads).with_backend(backend));
+            let layer = ConvLayer::new(shape, LayerOptions::new(cfg.threads).with_backend(backend));
             let mut y = layer.new_output();
-            let t = time_it(
-                || layer.forward(&pool, &x, &w, &mut y, &FuseCtx::default()),
-                1,
-                iters,
-            );
+            let t = time_it(|| layer.forward(&pool, &x, &w, &mut y, &FuseCtx::default()), 1, iters);
             println!("backend {:<12} {:8.1} GFLOPS", layer.backend_name(), gflops(&shape, t));
         }
 
         // prefetch on/off
         for pf in [true, false] {
-            let layer =
-                ConvLayer::new(shape, LayerOptions::new(cfg.threads).with_prefetch(pf));
+            let layer = ConvLayer::new(shape, LayerOptions::new(cfg.threads).with_prefetch(pf));
             let mut y = layer.new_output();
             let t = time_it(
                 || layer.forward(&pool, &x, &w, &mut y, &FuseCtx::default()),
@@ -110,7 +104,7 @@ fn main() {
             let dout = BlockedActs::random(shape.n, shape.k, shape.p(), shape.q(), 0, 3);
             let mut dw = BlockedFilter::zeros(shape.k, shape.c, shape.r, shape.s);
             for g in [1usize, cfg.threads / 2, cfg.threads] {
-                if g == 0 || cfg.threads % g != 0 {
+                if g == 0 || !cfg.threads.is_multiple_of(g) {
                     continue;
                 }
                 let plan = UpdPlan::with_forced_copies(

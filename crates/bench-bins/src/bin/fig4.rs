@@ -20,9 +20,7 @@ fn main() {
     let host = calibrate_host(&pool);
     let skx = MachineModel::skx();
     println!("# Fig. 4: ResNet-50 fwd — measured host GFLOPS per implementation");
-    println!(
-        "layer\tthiswork\tmkldnn\tim2col\tlibxsmm\tblas\tautovec\teff_host%\teff_skx_model%"
-    );
+    println!("layer\tthiswork\tmkldnn\tim2col\tlibxsmm\tblas\tautovec\teff_host%\teff_skx_model%");
     for (id, shape) in resnet50_table1(cfg.minibatch) {
         let (_x, _w, xb, wb, mut yb) = random_problem(&shape);
         // this work: the full engine (streams + prefetch)

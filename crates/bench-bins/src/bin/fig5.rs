@@ -22,8 +22,7 @@ fn main() {
         let layer = ConvLayer::new(shape, LayerOptions::new(cfg.threads));
         let x = BlockedActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 1);
         let w = BlockedFilter::random(shape.k, shape.c, shape.r, shape.s, 2);
-        let dout =
-            BlockedActs::random(shape.n, shape.k, shape.p(), shape.q(), layer.dout_pad(), 3);
+        let dout = BlockedActs::random(shape.n, shape.k, shape.p(), shape.q(), layer.dout_pad(), 3);
         let mut dx = layer.new_input();
         let mut dw = layer.new_filter();
 

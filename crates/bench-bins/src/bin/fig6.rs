@@ -31,8 +31,7 @@ fn main() {
         let knm_shape = shape.with_minibatch(70);
         let eff = predicted_efficiency(&knm, &knm_shape, Pass::Forward);
         let t = forward_traffic(&knm, &knm_shape);
-        let regime =
-            if t.oi_read() < ridge_oi_read(&knm) { "L2-bw-bound" } else { "compute" };
+        let regime = if t.oi_read() < ridge_oi_read(&knm) { "L2-bw-bound" } else { "compute" };
 
         let layer = ConvLayer::new(shape, LayerOptions::new(cfg.threads));
         let x = BlockedActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 1);

@@ -40,14 +40,8 @@ fn main() {
             cfg.iters,
         );
         // int16 forward
-        let qplan = QuantFwdPlan::new(
-            shape,
-            cfg.threads,
-            Backend::Auto,
-            true,
-            DEFAULT_CHAIN_LIMIT,
-            None,
-        );
+        let qplan =
+            QuantFwdPlan::new(shape, cfg.threads, Backend::Auto, true, DEFAULT_CHAIN_LIMIT, None);
         let xq = VnniActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 3);
         let wq = VnniFilter::random(shape.k, shape.c, shape.r, shape.s, 4);
         let mut yq = BlockedI32::zeros(shape.n, shape.k, shape.p(), shape.q());
@@ -79,8 +73,7 @@ fn main() {
             qb.run(&pool, &gyq, &w, 1.0 / 64.0, &mut gxq);
             let qu = QuantUpdPlan::new(shape, cfg.threads);
             let gyq0 = VnniActs::random(shape.n, shape.k, shape.p(), shape.q(), 0, 6);
-            let mut dwq =
-                vec![0i32; shape.kb() * shape.cb() * shape.r * shape.s * VLEN * VLEN];
+            let mut dwq = vec![0i32; shape.kb() * shape.cb() * shape.r * shape.s * VLEN * VLEN];
             let t_u16 = time_it(|| qu.run(&pool, &xq, &gyq0, &mut dwq), 1, cfg.iters.min(2));
             eprintln!("#   layer {id}: int16 upd ran at {:.1} GOPS", gflops(&shape, t_u16));
         }

@@ -21,8 +21,7 @@ use std::time::Instant;
 fn main() {
     let cfg = HarnessConfig::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let inception = args.iter().any(|a| a == "--topology")
-        && args.iter().any(|a| a == "inception");
+    let inception = args.iter().any(|a| a == "--topology") && args.iter().any(|a| a == "inception");
     let hw = args
         .iter()
         .position(|a| a == "--hw")
@@ -58,13 +57,22 @@ fn main() {
     let t_step = t0.elapsed().as_secs_f64() / cfg.iters as f64;
     let imgs = cfg.minibatch as f64 / t_step;
     let s = last.unwrap();
-    println!("# single node (host, measured): {imgs:.1} img/s  ({t_step:.3}s/step, loss {:.3})", s.loss);
+    println!(
+        "# single node (host, measured): {imgs:.1} img/s  ({t_step:.3}s/step, loss {:.3})",
+        s.loss
+    );
 
     // strong scaling model (4 comm cores of 56 as on the SKX testbed)
     let fabric = Fabric::omnipath(4);
     println!("nodes\timgs_per_s\tefficiency");
-    for p in simulate_strong_scaling(&fabric, t_step, cfg.minibatch, net.gradient_bytes(), 4.0 / 56.0, 16)
-    {
+    for p in simulate_strong_scaling(
+        &fabric,
+        t_step,
+        cfg.minibatch,
+        net.gradient_bytes(),
+        4.0 / 56.0,
+        16,
+    ) {
         println!("{}\t{:8.1}\t{:5.3}", p.nodes, p.imgs_per_s, p.efficiency);
     }
     println!("# paper references (Fig. 9): KNM+this-work 192 img/s, 2S-SKX+this-work 136 img/s,");

@@ -32,8 +32,7 @@ fn main() {
         let x = BlockedActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 1);
         let w = BlockedFilter::random(shape.k, shape.c, shape.r, shape.s, 2);
         let mut y = layer.new_output();
-        let dout =
-            BlockedActs::random(shape.n, shape.k, shape.p(), shape.q(), layer.dout_pad(), 3);
+        let dout = BlockedActs::random(shape.n, shape.k, shape.p(), shape.q(), layer.dout_pad(), 3);
         let mut dx = layer.new_input();
         let mut dw = layer.new_filter();
         let tf = time_it(

@@ -76,7 +76,10 @@ pub fn calibrate_host(pool: &ThreadPool) -> MachineModel {
 
 /// Print one series row: `label, layer id, GFLOPS, %peak`.
 pub fn print_row(figure: &str, series: &str, layer: usize, gf: f64, peak_frac: f64) {
-    println!("{figure}\t{series}\tlayer={layer}\tGFLOPS={gf:8.1}\tpct_peak={:5.1}", peak_frac * 100.0);
+    println!(
+        "{figure}\t{series}\tlayer={layer}\tGFLOPS={gf:8.1}\tpct_peak={:5.1}",
+        peak_frac * 100.0
+    );
 }
 
 #[cfg(test)]

@@ -53,21 +53,12 @@ fn bench_layer(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fusion");
     g.sample_size(10);
-    let fused = ConvLayer::new(
-        shape,
-        LayerOptions::new(threads).with_fuse(FusedOp::BiasRelu),
-    );
+    let fused = ConvLayer::new(shape, LayerOptions::new(threads).with_fuse(FusedOp::BiasRelu));
     let bias: Vec<f32> = (0..shape.k).map(|i| i as f32 * 0.01).collect();
     let mut y = fused.new_output();
     g.bench_function("conv+bias+relu fused", |b| {
         b.iter(|| {
-            fused.forward(
-                &pool,
-                &x,
-                &w,
-                &mut y,
-                &FuseCtx { bias: Some(&bias), eltwise: None },
-            )
+            fused.forward(&pool, &x, &w, &mut y, &FuseCtx { bias: Some(&bias), eltwise: None })
         })
     });
     g.finish();

@@ -69,7 +69,7 @@ fn choose_rbq(q: usize) -> usize {
     }
     let mut best = 0;
     for cand in (1..=MAX_ACC).rev() {
-        if q % cand == 0 {
+        if q.is_multiple_of(cand) {
             best = cand;
             break;
         }

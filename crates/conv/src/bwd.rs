@@ -174,11 +174,7 @@ impl BwdPlan {
     ) {
         assert_eq!(pool.nthreads(), self.nthreads);
         let sh = &self.shape;
-        assert_eq!(
-            (dout.n, dout.c, dout.h, dout.w),
-            (sh.n, sh.k, sh.p(), sh.q()),
-            "dout mismatch"
-        );
+        assert_eq!((dout.n, dout.c, dout.h, dout.w), (sh.n, sh.k, sh.p(), sh.q()), "dout mismatch");
         assert_eq!(
             (dinput.n, dinput.c, dinput.h, dinput.w, dinput.pad),
             (sh.n, sh.c, sh.h, sh.w, self.input_pad),
@@ -275,8 +271,7 @@ impl BwdPlan {
                                 // A: dO row (Q × VLEN)
                                 let a_off = n * do_n + kb * do_kb + oj * do_row;
                                 // B: W' panel, Alg 7 line 10 indexing
-                                let b_off =
-                                    wt_ref.panel_offset(cb, kb, sh.r - 1 - r, sh.s - 1 - s);
+                                let b_off = wt_ref.panel_offset(cb, kb, sh.r - 1 - r, sh.s - 1 - s);
                                 // C: dI pixels [ij + r][s + stride·oi]
                                 let c_off =
                                     di_base + n * di_n + cb * di_cb + (ij + r) * di_row + s * VLEN;

@@ -150,11 +150,7 @@ mod tests {
         let mut res = BlockedActs::zeros(1, 16, 2, 2, 0);
         res.set(0, 3, 0, 0, 2.0);
         res.set(0, 4, 0, 0, 2.0);
-        apply_unfused(
-            FusedOp::EltwiseRelu,
-            &mut out,
-            &FuseCtx { bias: None, eltwise: Some(&res) },
-        );
+        apply_unfused(FusedOp::EltwiseRelu, &mut out, &FuseCtx { bias: None, eltwise: Some(&res) });
         assert_eq!(out.get(0, 3, 0, 0), 0.0); // max(-5+2, 0)
         assert_eq!(out.get(0, 4, 0, 0), 3.0);
     }

@@ -76,7 +76,9 @@ impl FwdPlan {
         fused: FusedOp,
         out_geom: Option<OutGeom>,
     ) -> Self {
-        Self::with_input_pad(shape, blocking, nthreads, backend, prefetch, fused, out_geom, shape.pad)
+        Self::with_input_pad(
+            shape, blocking, nthreads, backend, prefetch, fused, out_geom, shape.pad,
+        )
     }
 
     /// Dryrun against an input tensor carrying `input_pad ≥ shape.pad`

@@ -282,8 +282,7 @@ mod tests {
     fn fused_layer_end_to_end() {
         let shape = ConvShape::new(1, 16, 16, 8, 8, 3, 3, 1, 1);
         let pool = ThreadPool::new(2);
-        let layer =
-            ConvLayer::new(shape, LayerOptions::new(2).with_fuse(FusedOp::BiasRelu));
+        let layer = ConvLayer::new(shape, LayerOptions::new(2).with_fuse(FusedOp::BiasRelu));
         let x = Nchw::random(1, 16, 8, 8, 4);
         let w = Kcrs::random(16, 16, 3, 3, 5);
         let xb = BlockedActs::from_nchw(&x, 1);
@@ -294,10 +293,10 @@ mod tests {
 
         let mut y_ref = Nchw::zeros(1, 16, 8, 8);
         conv_fwd_ref(&shape, &x, &w, &mut y_ref);
-        for k in 0..16 {
+        for (k, &bk) in bias.iter().enumerate() {
             for h in 0..8 {
                 for wd in 0..8 {
-                    let v = (y_ref.at(0, k, h, wd) + bias[k]).max(0.0);
+                    let v = (y_ref.at(0, k, h, wd) + bk).max(0.0);
                     *y_ref.at_mut(0, k, h, wd) = v;
                 }
             }

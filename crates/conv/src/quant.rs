@@ -57,7 +57,7 @@ impl QuantFwdPlan {
         if b.cb_inner > chain_limit {
             // keep it a divisor of Cb so cb_steps stays integral
             let mut ci = chain_limit;
-            while shape.cb() % ci != 0 {
+            while !shape.cb().is_multiple_of(ci) {
                 ci -= 1;
             }
             b.cb_inner = ci;
@@ -179,7 +179,8 @@ impl QuantBwdPlan {
                 dual_pad,
             );
             let geom = OutGeom::dense(&dual);
-            let plan = QuantFwdPlan::new(dual, nthreads, backend, prefetch, chain_limit, Some(geom));
+            let plan =
+                QuantFwdPlan::new(dual, nthreads, backend, prefetch, chain_limit, Some(geom));
             Self { shape, dual: plan, dual_pad }
         } else if shape.r == 1 && shape.s == 1 {
             let dual = ConvShape::new(shape.n, shape.k, shape.c, shape.p(), shape.q(), 1, 1, 1, 0);
@@ -191,7 +192,8 @@ impl QuantBwdPlan {
                 n_stride: shape.cb() * shape.h * di_row,
                 base: 0,
             };
-            let plan = QuantFwdPlan::new(dual, nthreads, backend, prefetch, chain_limit, Some(geom));
+            let plan =
+                QuantFwdPlan::new(dual, nthreads, backend, prefetch, chain_limit, Some(geom));
             Self { shape, dual: plan, dual_pad: 0 }
         } else {
             panic!("int16 backward supports stride-1 or 1x1 layers (as does the paper)")
@@ -252,13 +254,7 @@ impl QuantUpdPlan {
     /// Includes the two upfront transposes the paper charges to this
     /// pass: dO rows → pair-interleaved `[q/2][k][2]`, input rows →
     /// channel-major `[c][q]`.
-    pub fn run(
-        &self,
-        pool: &ThreadPool,
-        input: &VnniActs,
-        dout: &VnniActs,
-        dweights: &mut [i32],
-    ) {
+    pub fn run(&self, pool: &ThreadPool, input: &VnniActs, dout: &VnniActs, dweights: &mut [i32]) {
         assert_eq!(pool.nthreads(), self.nthreads);
         let sh = &self.shape;
         assert_eq!((input.n, input.c, input.h, input.w), (sh.n, sh.c, sh.h, sh.w));
@@ -559,8 +555,7 @@ mod tests {
                                             && ii >= 0
                                             && (ii as usize) < shape.w
                                         {
-                                            let xv =
-                                                x.get(n, c, ij as usize, ii as usize) as i32;
+                                            let xv = x.get(n, c, ij as usize, ii as usize) as i32;
                                             let panel = (((k / VLEN) * shape.cb() + c / VLEN)
                                                 * shape.r
                                                 + r)

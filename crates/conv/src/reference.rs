@@ -153,18 +153,10 @@ mod tests {
         conv_fwd_ref(&shape, &x, &w, &mut y);
         let mut gx = Nchw::zeros(2, 3, 6, 6);
         conv_bwd_ref(&shape, &gy, &w, &mut gx);
-        let dot_y: f64 = y
-            .as_slice()
-            .iter()
-            .zip(gy.as_slice())
-            .map(|(a, b)| (*a as f64) * (*b as f64))
-            .sum();
-        let dot_x: f64 = x
-            .as_slice()
-            .iter()
-            .zip(gx.as_slice())
-            .map(|(a, b)| (*a as f64) * (*b as f64))
-            .sum();
+        let dot_y: f64 =
+            y.as_slice().iter().zip(gy.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let dot_x: f64 =
+            x.as_slice().iter().zip(gx.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         assert!((dot_y - dot_x).abs() < 1e-3 * dot_y.abs().max(1.0), "{dot_y} vs {dot_x}");
     }
 
@@ -182,19 +174,11 @@ mod tests {
         *w.at_mut(1, 0, 2, 1) = eps;
         let mut y = Nchw::zeros(1, 2, 4, 4);
         conv_fwd_ref(&shape, &x, &w, &mut y);
-        let loss: f64 = y
-            .as_slice()
-            .iter()
-            .zip(gy.as_slice())
-            .map(|(a, b)| (*a as f64) * (*b as f64))
-            .sum();
+        let loss: f64 =
+            y.as_slice().iter().zip(gy.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
         // loss is linear in w: loss = eps * dw[1][0][2][1]
         let grad = loss / eps as f64;
-        assert!(
-            (grad - dw.at(1, 0, 2, 1) as f64).abs() < 1e-3,
-            "{grad} vs {}",
-            dw.at(1, 0, 2, 1)
-        );
+        assert!((grad - dw.at(1, 0, 2, 1) as f64).abs() < 1e-3, "{grad} vs {}", dw.at(1, 0, 2, 1));
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub fn choose_copies(shape: &ConvShape, t: usize, _machine: &MachineModel) -> us
     let tasks = shape.kb() * shape.cb() * shape.r * shape.s;
     let mut best = (f64::INFINITY, t);
     for g in 1..=t {
-        if t % g != 0 {
+        if !t.is_multiple_of(g) {
             continue;
         }
         let members = t / g;
@@ -91,7 +91,9 @@ impl UpdPlan {
         machine: &MachineModel,
         dout_pad: usize,
     ) -> Self {
-        Self::with_input_pad(shape, blocking, nthreads, backend, prefetch, machine, dout_pad, shape.pad)
+        Self::with_input_pad(
+            shape, blocking, nthreads, backend, prefetch, machine, dout_pad, shape.pad,
+        )
     }
 
     /// As [`UpdPlan::new`] but with the copy count forced (ablations).
@@ -107,7 +109,7 @@ impl UpdPlan {
         input_pad: usize,
         copies: usize,
     ) -> Self {
-        assert!(copies >= 1 && nthreads % copies == 0, "copies must divide the team");
+        assert!(copies >= 1 && nthreads.is_multiple_of(copies), "copies must divide the team");
         let mut plan = Self::with_input_pad(
             shape, blocking, nthreads, backend, prefetch, machine, dout_pad, input_pad,
         );
@@ -136,7 +138,7 @@ impl UpdPlan {
         let mut variant_of_rows = HashMap::new();
         let p = shape.p();
         let mut rows_needed = vec![blocking.upd_bp.min(p)];
-        if p % blocking.upd_bp != 0 {
+        if !p.is_multiple_of(blocking.upd_bp) {
             rows_needed.push(p % blocking.upd_bp);
         }
         for rows in rows_needed {
@@ -262,7 +264,9 @@ impl UpdPlan {
                         let (pf_in, pf_do) = if tj + 1 < tiles {
                             let np0 = (tj + 1) * bp;
                             (
-                                in_base + n * in_n + cb * in_cb
+                                in_base
+                                    + n * in_n
+                                    + cb * in_cb
                                     + (np0 * shv.stride + r_) * in_row
                                     + s_ * VLEN,
                                 do_base + n * do_n + kb * do_kb + np0 * do_row,
@@ -403,7 +407,8 @@ mod tests {
         for threads in [1usize, 2, 6] {
             let pool = ThreadPool::new(threads);
             let b = blocking::choose(&shape);
-            let plan = UpdPlan::new(shape, b, threads, Backend::Auto, false, &MachineModel::skx(), 0);
+            let plan =
+                UpdPlan::new(shape, b, threads, Backend::Auto, false, &MachineModel::skx(), 0);
             let mut dwb = BlockedFilter::zeros(32, 32, 3, 3);
             plan.run(&pool, &xb, &gyb, &mut dwb);
             outs.push(dwb.as_slice().to_vec());

@@ -12,6 +12,11 @@
 //! parallelism with the gradient allreduce overlapped behind backward
 //! compute, standing in for Intel MLSL over Omnipath (see DESIGN.md).
 
+// The non-conv operators index accumulator tiles by (pixel, lane)
+// coordinates like the kernel crates; iterator rewrites would obscure
+// the addressing.
+#![allow(clippy::needless_range_loop)]
+
 pub mod data;
 pub mod multinode;
 pub mod net;

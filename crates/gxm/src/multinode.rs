@@ -92,11 +92,7 @@ mod tests {
         assert_eq!(pts.len(), 5); // 1,2,4,8,16
         let last = pts.last().unwrap();
         assert_eq!(last.nodes, 16);
-        assert!(
-            last.efficiency > 0.85 && last.efficiency < 0.97,
-            "efficiency {}",
-            last.efficiency
-        );
+        assert!(last.efficiency > 0.85 && last.efficiency < 0.97, "efficiency {}", last.efficiency);
         // throughput grows monotonically
         for w in pts.windows(2) {
             assert!(w[1].imgs_per_s > w[0].imgs_per_s);

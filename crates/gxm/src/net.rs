@@ -38,7 +38,12 @@ impl Param {
     }
 }
 
-#[allow(dead_code)] // eltwise indices / dims kept for introspection
+#[allow(dead_code)]
+// eltwise indices / dims kept for introspection
+// One LayerState exists per network layer and they live in a Vec for
+// the network's lifetime; boxing the Conv payload would only add an
+// indirection on the training hot path.
+#[allow(clippy::large_enum_variant)]
 enum LayerState {
     Input,
     Conv {
@@ -177,7 +182,8 @@ impl Network {
         for (i, n) in nodes.iter().enumerate() {
             if matches!(n, NodeSpec::Conv { .. }) {
                 assert_eq!(
-                    blob_pad[i], 0,
+                    blob_pad[i],
+                    0,
                     "conv '{}' output feeds a padded conv directly; insert a bn node",
                     n.name()
                 );
@@ -208,7 +214,8 @@ impl Network {
                 NodeSpec::Conv { bottom, k, r, s, stride, pad, bias, relu, eltwise, .. } => {
                     let bi = alias[index[bottom.as_str()]];
                     let (bc, bh, bw) = shapes[bi];
-                    let shape = tensor::ConvShape::new(minibatch, bc, *k, bh, bw, *r, *s, *stride, *pad);
+                    let shape =
+                        tensor::ConvShape::new(minibatch, bc, *k, bh, bw, *r, *s, *stride, *pad);
                     let fuse = match (bias, relu, eltwise.is_some()) {
                         (true, true, false) => FusedOp::BiasRelu,
                         (true, false, false) => FusedOp::Bias,
@@ -440,15 +447,25 @@ impl Network {
                 let bots = self.bottoms_of(node);
                 let bot = self.take_blob(bots[0]);
                 let mut own = self.take_blob(node);
-                if let LayerState::Pool { kind, size, stride, pad, argmax } =
-                    &mut self.layers[node]
+                if let LayerState::Pool { kind, size, stride, pad, argmax } = &mut self.layers[node]
                 {
                     match kind {
                         PoolKind::Max => ops::maxpool_fwd(
-                            &self.pool, &bot.act, *size, *stride, *pad, &mut own.act, argmax,
+                            &self.pool,
+                            &bot.act,
+                            *size,
+                            *stride,
+                            *pad,
+                            &mut own.act,
+                            argmax,
                         ),
                         PoolKind::Avg => ops::avgpool_fwd(
-                            &self.pool, &bot.act, *size, *stride, *pad, &mut own.act,
+                            &self.pool,
+                            &bot.act,
+                            *size,
+                            *stride,
+                            *pad,
+                            &mut own.act,
                         ),
                     }
                 } else {
@@ -541,7 +558,15 @@ impl Network {
                 let mut bot = self.take_blob(bots[0]);
                 let own = self.take_blob(node);
                 if let LayerState::Fc { w, b, .. } = &mut self.layers[node] {
-                    ops::fc_bwd(&self.pool, &bot.act, &own.grad, &w.w, &mut bot.grad, &mut w.dw, &mut b.dw);
+                    ops::fc_bwd(
+                        &self.pool,
+                        &bot.act,
+                        &own.grad,
+                        &w.w,
+                        &mut bot.grad,
+                        &mut w.dw,
+                        &mut b.dw,
+                    );
                 }
                 self.put_blob(bots[0], bot);
                 self.put_blob(node, own);
@@ -564,7 +589,12 @@ impl Network {
                             ops::maxpool_bwd(&self.pool, &own.grad, argmax, &mut bot.grad)
                         }
                         PoolKind::Avg => ops::avgpool_bwd(
-                            &self.pool, &own.grad, *size, *stride, *pad, &mut bot.grad,
+                            &self.pool,
+                            &own.grad,
+                            *size,
+                            *stride,
+                            *pad,
+                            &mut bot.grad,
                         ),
                     }
                 }
@@ -611,7 +641,14 @@ impl Network {
                     None
                 };
                 if let LayerState::Conv {
-                    layer, w, bias, relu, eltwise, dout_masked, di_scratch, ..
+                    layer,
+                    w,
+                    bias,
+                    relu,
+                    eltwise,
+                    dout_masked,
+                    di_scratch,
+                    ..
                 } = &mut self.layers[node]
                 {
                     // mask the incoming gradient through the fused ReLU;
@@ -690,8 +727,7 @@ impl Network {
             if let NodeSpec::Conv { .. } = self.etg.eng.nodes[t.node] {
                 let bots = self.bottoms_of(t.node);
                 let bot = self.take_blob(bots[0]);
-                if let LayerState::Conv { layer, dw, dout_masked, .. } = &mut self.layers[t.node]
-                {
+                if let LayerState::Conv { layer, dw, dout_masked, .. } = &mut self.layers[t.node] {
                     layer.update(&self.pool, &bot.act, dout_masked, dw);
                 }
                 self.put_blob(bots[0], bot);
@@ -818,12 +854,7 @@ mod tests {
         .unwrap();
         let mut net = Network::build(&nl, 4, 3);
         // b0 fans out (c1 + eltwise) -> one split node must appear
-        assert!(net
-            .etg()
-            .eng
-            .nodes
-            .iter()
-            .any(|n| matches!(n, NodeSpec::Split { .. })));
+        assert!(net.etg().eng.nodes.iter().any(|n| matches!(n, NodeSpec::Split { .. })));
         let mut rng = SplitMix64::new(3);
         let mut input = vec![0.0f32; net.input_mut().as_slice().len()];
         rng.fill_f32(&mut input);

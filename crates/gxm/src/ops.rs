@@ -164,7 +164,8 @@ pub fn avgpool_bwd(
             let (n, cb) = (slot / dy.cb, slot % dy.cb);
             for oj in 0..dy.h {
                 for oi in 0..dy.w {
-                    let g = &dy.as_slice()[dy.pix_offset_logical(n, cb, oj as isize, oi as isize)..];
+                    let g =
+                        &dy.as_slice()[dy.pix_offset_logical(n, cb, oj as isize, oi as isize)..];
                     for r in 0..size {
                         for s in 0..size {
                             let ij = (oj * stride + r) as isize - pad as isize;
@@ -374,8 +375,8 @@ pub fn bn_bwd(
                                 // SAFETY: disjoint channel blocks.
                                 unsafe { *dr.get().add(doff + w * VLEN + v) += g };
                             }
-                            let xh = (x.as_slice()[off + w * VLEN + v] - saved.mean[c])
-                                * saved.istd[c];
+                            let xh =
+                                (x.as_slice()[off + w * VLEN + v] - saved.mean[c]) * saved.istd[c];
                             dg[v] += (g * xh) as f64;
                             db[v] += g as f64;
                         }
@@ -416,8 +417,7 @@ pub fn bn_bwd(
                         let t = g - dbeta[c] / m - xh * dgamma[c] / m;
                         // SAFETY: disjoint slots.
                         unsafe {
-                            *dxp.get().add(dx_off + w * VLEN + v) +=
-                                gamma[c] * saved.istd[c] * t
+                            *dxp.get().add(dx_off + w * VLEN + v) += gamma[c] * saved.istd[c] * t
                         };
                     }
                 }
@@ -428,13 +428,7 @@ pub fn bn_bwd(
 
 /// Fully connected forward: `y[N][K] = x[N][C] · w[C][K] + b` over the
 /// padded channel dimension (padding lanes are zero).
-pub fn fc_fwd(
-    _pool: &ThreadPool,
-    x: &BlockedActs,
-    w: &[f32],
-    bias: &[f32],
-    y: &mut BlockedActs,
-) {
+pub fn fc_fwd(_pool: &ThreadPool, x: &BlockedActs, w: &[f32], bias: &[f32], y: &mut BlockedActs) {
     assert_eq!(x.h * x.w, 1, "FC expects 1x1 spatial input");
     let (cpad, kpad) = (x.cb * VLEN, y.cb * VLEN);
     assert_eq!(w.len(), cpad * kpad);
@@ -571,8 +565,7 @@ pub fn concat_fwd(parts: &[&BlockedActs], y: &mut BlockedActs) {
                 let src = part.pix_offset_logical(n, cb, 0, 0);
                 let dst = y.pix_offset_logical(n, cb0 + cb, 0, 0);
                 let len = part.h * part.w * VLEN;
-                y.as_mut_slice()[dst..dst + len]
-                    .copy_from_slice(&part.as_slice()[src..src + len]);
+                y.as_mut_slice()[dst..dst + len].copy_from_slice(&part.as_slice()[src..src + len]);
             }
         }
         cb0 += part.cb;
@@ -710,12 +703,8 @@ mod tests {
             let mut y = BlockedActs::zeros(2, 16, 3, 3, 0);
             let mut saved = BnSaved::default();
             bn_fwd(&pool, xx, &gamma, &beta, 1e-5, false, None, &mut y, &mut saved);
-            let loss: f64 = y
-                .as_slice()
-                .iter()
-                .zip(g.as_slice())
-                .map(|(a, b)| (*a as f64) * (*b as f64))
-                .sum();
+            let loss: f64 =
+                y.as_slice().iter().zip(g.as_slice()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
             (loss, y, saved)
         };
         let (_, y, saved) = run(&x);

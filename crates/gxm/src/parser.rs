@@ -45,14 +45,13 @@ pub fn parse_topology(text: &str) -> Result<Vec<NodeSpec>, String> {
                 .map(|s| s.to_string())
                 .ok_or_else(|| format!("line {}: missing name", lineno + 1))
         };
-        let get_usize = |kv: &HashMap<&str, &str>, key: &str, default: Option<usize>| {
-            match kv.get(key) {
-                Some(v) => v
-                    .parse::<usize>()
-                    .map_err(|_| format!("line {}: bad {key}='{v}'", lineno + 1)),
+        let get_usize =
+            |kv: &HashMap<&str, &str>, key: &str, default: Option<usize>| match kv.get(key) {
+                Some(v) => {
+                    v.parse::<usize>().map_err(|_| format!("line {}: bad {key}='{v}'", lineno + 1))
+                }
                 None => default.ok_or_else(|| format!("line {}: missing {key}", lineno + 1)),
-            }
-        };
+            };
         let get_bool = |kv: &HashMap<&str, &str>, key: &str| -> bool {
             matches!(kv.get(key), Some(&"1") | Some(&"true"))
         };
@@ -159,8 +158,7 @@ mod tests {
 
     #[test]
     fn conv_defaults() {
-        let nl =
-            parse_topology("input name=d c=16 h=8 w=8\nconv name=c bottom=d k=16\n").unwrap();
+        let nl = parse_topology("input name=d c=16 h=8 w=8\nconv name=c bottom=d k=16\n").unwrap();
         match &nl[1] {
             NodeSpec::Conv { r, s, stride, pad, bias, relu, eltwise, .. } => {
                 assert_eq!((*r, *s, *stride, *pad), (1, 1, 1, 0));
@@ -172,15 +170,14 @@ mod tests {
 
     #[test]
     fn rejects_undefined_bottom() {
-        let e = parse_topology("input name=d c=3 h=4 w=4\nconv name=c bottom=nope k=8\n")
-            .unwrap_err();
+        let e =
+            parse_topology("input name=d c=3 h=4 w=4\nconv name=c bottom=nope k=8\n").unwrap_err();
         assert!(e.contains("undefined blob"), "{e}");
     }
 
     #[test]
     fn rejects_duplicate_names() {
-        let e = parse_topology("input name=d c=3 h=4 w=4\nconv name=d bottom=d k=8\n")
-            .unwrap_err();
+        let e = parse_topology("input name=d c=3 h=4 w=4\nconv name=d bottom=d k=8\n").unwrap_err();
         assert!(e.contains("duplicate"), "{e}");
     }
 

@@ -115,10 +115,7 @@ fn rewrite_bottoms(n: &mut NodeSpec, rename: &HashMap<String, String>) {
 pub fn build_eng(enl: Vec<NodeSpec>) -> Eng {
     let index: HashMap<String, usize> =
         enl.iter().enumerate().map(|(i, n)| (n.name().to_string(), i)).collect();
-    let preds = enl
-        .iter()
-        .map(|n| n.bottoms().iter().map(|b| index[*b]).collect())
-        .collect();
+    let preds = enl.iter().map(|n| n.bottoms().iter().map(|b| index[*b]).collect()).collect();
     Eng { nodes: enl, preds }
 }
 
@@ -134,11 +131,10 @@ pub fn build_etg(eng: Eng) -> Etg {
         }
     }
     // PETG → UETG: bin per pass
-    let mut fwd: Vec<Task> = (0..eng.nodes.len()).map(|node| Task { node, pass: PassKind::Fwd }).collect();
-    let bwd: Vec<Task> = (0..eng.nodes.len())
-        .rev()
-        .map(|node| Task { node, pass: PassKind::Bwd })
-        .collect();
+    let mut fwd: Vec<Task> =
+        (0..eng.nodes.len()).map(|node| Task { node, pass: PassKind::Fwd }).collect();
+    let bwd: Vec<Task> =
+        (0..eng.nodes.len()).rev().map(|node| Task { node, pass: PassKind::Bwd }).collect();
     let upd: Vec<Task> = (0..eng.nodes.len())
         .rev()
         .filter(|&node| eng.nodes[node].has_params())
@@ -180,10 +176,7 @@ mod tests {
     fn extender_inserts_split_for_fanout() {
         // blob `a` feeds both `b` and the eltwise of `c`
         let enl = extend_nl(&residual_nl());
-        let split: Vec<_> = enl
-            .iter()
-            .filter(|n| matches!(n, NodeSpec::Split { .. }))
-            .collect();
+        let split: Vec<_> = enl.iter().filter(|n| matches!(n, NodeSpec::Split { .. })).collect();
         assert_eq!(split.len(), 1);
         match split[0] {
             NodeSpec::Split { bottom, consumers, .. } => {
@@ -230,8 +223,7 @@ mod tests {
             assert_eq!(f.node, b.node);
         }
         // upd tasks exist exactly for parameterized nodes
-        let with_params =
-            etg.eng.nodes.iter().filter(|nd| nd.has_params()).count();
+        let with_params = etg.eng.nodes.iter().filter(|nd| nd.has_params()).count();
         assert_eq!(etg.upd.len(), with_params);
     }
 }

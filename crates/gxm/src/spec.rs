@@ -142,8 +142,7 @@ impl NodeSpec {
     pub fn bottoms(&self) -> Vec<&str> {
         match self {
             NodeSpec::Input { .. } => vec![],
-            NodeSpec::Conv { bottom, eltwise, .. }
-            | NodeSpec::Bn { bottom, eltwise, .. } => {
+            NodeSpec::Conv { bottom, eltwise, .. } | NodeSpec::Bn { bottom, eltwise, .. } => {
                 let mut v = vec![bottom.as_str()];
                 if let Some(e) = eltwise {
                     v.push(e.as_str());

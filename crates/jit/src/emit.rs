@@ -112,13 +112,16 @@ impl Emitter {
     }
 
     /// EVEX instruction with a `[base + disp32]` memory operand.
+    // The nine operands mirror the EVEX encoding fields one-to-one;
+    // bundling them into a struct would only rename them.
+    #[allow(clippy::too_many_arguments)]
     fn evex_mem(
         &mut self,
         map: u8,
         pp: u8,
         opcode: u8,
-        reg: u8,   // zmm destination (or source for stores)
-        vvvv: u8,  // second register operand (0 when unused)
+        reg: u8,  // zmm destination (or source for stores)
+        vvvv: u8, // second register operand (0 when unused)
         base: Gpr,
         disp: i32,
         bcst: bool,

@@ -69,7 +69,7 @@ pub fn assemble_fwd(sh: &KernelShape) -> Vec<u8> {
             }
         }
     }
-    let total_fmas = sh.cb_inner.min(UNROLL_CB_LIMIT).max(1) * sh.r * sh.s * VLEN;
+    let total_fmas = sh.cb_inner.clamp(1, UNROLL_CB_LIMIT) * sh.r * sh.s * VLEN;
     let pf_interval = (total_fmas / prefetches.len().max(1)).max(1);
     let mut pf_iter = prefetches.into_iter();
     let mut fma_groups = 0usize;
@@ -109,7 +109,7 @@ pub fn assemble_fwd(sh: &KernelShape) -> Vec<u8> {
                     }
                     // sprinkle prefetches through the FMA stream
                     fma_groups += 1;
-                    if fma_groups % pf_interval == 0 {
+                    if fma_groups.is_multiple_of(pf_interval) {
                         if let Some((hint, basereg, disp)) = pf_iter.next() {
                             e.prefetch(hint, basereg, disp);
                         }

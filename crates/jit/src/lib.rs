@@ -43,24 +43,12 @@ pub use upd::assemble_upd;
 /// ABI of the generated f32 kernels: `(in, wt, out, pf_in, pf_wt,
 /// pf_out)`. For the weight-update kernel the roles are `(in, dO, dW,
 /// pf_in, pf_dO, pf_dW)`.
-pub type F32Kernel = unsafe extern "C" fn(
-    *const f32,
-    *const f32,
-    *mut f32,
-    *const f32,
-    *const f32,
-    *const f32,
-);
+pub type F32Kernel =
+    unsafe extern "C" fn(*const f32, *const f32, *mut f32, *const f32, *const f32, *const f32);
 
 /// ABI of the generated int16 kernels.
-pub type I16Kernel = unsafe extern "C" fn(
-    *const i16,
-    *const i16,
-    *mut i32,
-    *const i16,
-    *const i16,
-    *const i32,
-);
+pub type I16Kernel =
+    unsafe extern "C" fn(*const i16, *const i16, *mut i32, *const i16, *const i16, *const i32);
 
 /// Whether this process can map and execute generated code *and* the
 /// host has AVX-512 (both are required to use the JIT backend). The
@@ -79,8 +67,7 @@ pub fn jit_available() -> bool {
             let stub = [0xB8u8, 42, 0, 0, 0, 0xC3];
             match CodeBuffer::from_code(&stub) {
                 Ok(buf) => {
-                    let f: extern "C" fn() -> i32 =
-                        unsafe { std::mem::transmute(buf.as_ptr()) };
+                    let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(buf.as_ptr()) };
                     f() == 42
                 }
                 Err(_) => false,

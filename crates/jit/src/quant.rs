@@ -118,7 +118,9 @@ mod tests {
     use tensor::rng::SplitMix64;
 
     fn vnni_ready() -> bool {
-        jit_available() && std::arch::is_x86_feature_detected!("avx512vnni")
+        // microkernel::has_vnni is target_arch-gated, so this compiles
+        // (and is simply false) off x86_64
+        jit_available() && microkernel::has_vnni()
     }
 
     fn base(rbp: usize, rbq: usize, r: usize, s: usize, stride: usize, cbi: usize) -> KernelShape {

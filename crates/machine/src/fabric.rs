@@ -95,10 +95,7 @@ mod tests {
         let f = Fabric::omnipath(4);
         let allreduce = f.allreduce_seconds(16, 102e6);
         let window = 0.2 * 2.0 / 3.0;
-        assert!(
-            allreduce < window,
-            "allreduce {allreduce}s should hide inside window {window}s"
-        );
+        assert!(allreduce < window, "allreduce {allreduce}s should hide inside window {window}s");
     }
 
     #[test]

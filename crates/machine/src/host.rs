@@ -134,14 +134,23 @@ pub fn host_model(pool: &ThreadPool) -> MachineModel {
     let cores = pool.nthreads();
     let peak_core = peak / cores as f64;
     let stream = measure_stream_gbs(pool);
+    // Describe the datapath of the path `peak_loop_once` actually takes
+    // (AVX-512: 2 FMA ports × 16 lanes; otherwise a nominal 128-bit
+    // single-port pipe) and back out an effective frequency against
+    // exactly those fields. The bench binaries report efficiency as
+    // measured/`peak_gflops()`, so this identity must hold on every
+    // host: peak_gflops_core() == the peak we just measured.
+    #[cfg(target_arch = "x86_64")]
+    let avx512 = std::arch::is_x86_feature_detected!("avx512f");
+    #[cfg(not(target_arch = "x86_64"))]
+    let avx512 = false;
+    let (simd_f32, fma_per_cycle) = if avx512 { (16, 2) } else { (4, 1) };
     MachineModel {
         name: "host",
         cores,
-        // back out an effective frequency from the measured peak,
-        // assuming AVX-512 (2 FMA ports × 16 lanes × 2 flops)
-        freq_ghz: peak_core / (2.0 * 16.0 * 2.0),
-        simd_f32: 16,
-        fma_per_cycle: 2,
+        freq_ghz: peak_core / (fma_per_cycle as f64 * simd_f32 as f64 * 2.0),
+        simd_f32,
+        fma_per_cycle,
         fma_latency: 4,
         l2_read_gbs: peak_core, // SKX-like ratio: ≈1 byte/flop
         l2_write_gbs: peak_core / 2.0,
@@ -180,6 +189,9 @@ mod tests {
         assert_eq!(m.cores, 2);
         assert!(m.peak_gflops() > 1.0);
         assert!(m.mem_bw_gbs > 0.5);
-        assert!(m.freq_ghz > 0.1 && m.freq_ghz < 10.0);
+        // effective frequency, not nameplate: under `cargo test` the
+        // calibration loop runs unoptimized, so only sanity bounds hold
+        // (positive, finite, below any plausible core clock)
+        assert!(m.freq_ghz.is_finite() && m.freq_ghz > 0.0 && m.freq_ghz < 15.0);
     }
 }

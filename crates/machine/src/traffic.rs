@@ -44,19 +44,31 @@ impl ConvTraffic {
     /// Operational intensity against L2 reads (flops/byte).
     #[inline]
     pub fn oi_read(&self) -> f64 {
-        if self.l2_read == 0.0 { f64::INFINITY } else { self.flops / self.l2_read }
+        if self.l2_read == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.l2_read
+        }
     }
 
     /// Operational intensity against L2 writes (flops/byte).
     #[inline]
     pub fn oi_write(&self) -> f64 {
-        if self.l2_write == 0.0 { f64::INFINITY } else { self.flops / self.l2_write }
+        if self.l2_write == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.l2_write
+        }
     }
 
     /// Operational intensity against DRAM (flops/byte).
     #[inline]
     pub fn oi_dram(&self) -> f64 {
-        if self.dram == 0.0 { f64::INFINITY } else { self.flops / self.dram }
+        if self.dram == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.dram
+        }
     }
 }
 
@@ -68,7 +80,7 @@ pub fn model_register_blocking(m: &MachineModel, shape: &ConvShape) -> (usize, u
     // prefer the largest RBQ <= 28 that divides Q reasonably
     let mut rbq = q.min(28);
     for cand in (1..=q.min(28)).rev() {
-        if q % cand == 0 {
+        if q.is_multiple_of(cand) {
             rbq = cand;
             break;
         }
@@ -138,8 +150,10 @@ mod tests {
             ConvShape::new(28, 1024, 2048, 14, 14, 1, 1, 2, 0),
         ] {
             let (rbp, rbq) = model_register_blocking(&m, &shape);
-            assert!(rbp * rbq >= m.min_accum_chains().min(shape.p() * shape.q()),
-                "{shape}: rbp={rbp} rbq={rbq}");
+            assert!(
+                rbp * rbq >= m.min_accum_chains().min(shape.p() * shape.q()),
+                "{shape}: rbp={rbp} rbq={rbq}"
+            );
             assert!(rbq <= shape.q());
         }
     }
@@ -150,8 +164,12 @@ mod tests {
         // layer 4 (3x3) vs layer 5 (1x1) of Table I
         let t3 = forward_traffic(&m, &ConvShape::new(28, 64, 64, 56, 56, 3, 3, 1, 1));
         let t1 = forward_traffic(&m, &ConvShape::new(28, 256, 64, 56, 56, 1, 1, 1, 0));
-        assert!(t3.oi_read() > t1.oi_read(),
-            "3x3 OI {} should exceed 1x1 OI {}", t3.oi_read(), t1.oi_read());
+        assert!(
+            t3.oi_read() > t1.oi_read(),
+            "3x3 OI {} should exceed 1x1 OI {}",
+            t3.oi_read(),
+            t1.oi_read()
+        );
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub fn select_fwd(sh: &KernelShape) -> FwdFn {
 
 /// Portable scalar kernel: correct for every shape; the fallback when
 /// no vector instance exists.
+///
+/// # Safety
+/// `inp`, `wt` and `out` must point to buffers that stay in bounds for
+/// every offset `sh` describes (validated via [`KernelShape::validate`]);
+/// `out` must not alias the inputs. Prefetch pointers may be null.
 pub unsafe fn fwd_scalar(
     sh: &KernelShape,
     inp: *const f32,
@@ -178,7 +183,9 @@ fn lookup_avx512(rbp: usize, rbq: usize) -> Option<FwdFn> {
             }
         };
     }
-    table!(
+    // keep one row per RBP group so gaps in the family are visible
+    #[rustfmt::skip]
+    let f = table!(
         (1, 1), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (1, 7), (1, 8), (1, 9), (1, 10),
         (1, 11), (1, 12), (1, 13), (1, 14), (1, 15), (1, 16), (1, 17), (1, 18), (1, 19),
         (1, 20), (1, 21), (1, 22), (1, 23), (1, 24), (1, 25), (1, 26), (1, 27), (1, 28),
@@ -186,7 +193,8 @@ fn lookup_avx512(rbp: usize, rbq: usize) -> Option<FwdFn> {
         (2, 11), (2, 12), (2, 13), (2, 14),
         (3, 1), (3, 2), (3, 3), (3, 4), (3, 5), (3, 6), (3, 7),
         (4, 1), (4, 2), (4, 3), (4, 4), (4, 5), (4, 6), (4, 7),
-    )
+    );
+    f
 }
 
 #[cfg(test)]

@@ -21,6 +21,11 @@
 //!   per invocation, Section II-J),
 //! * [`quant`] — int16→int32 kernels with VNNI pairing (Section II-K).
 
+// Kernel bodies index fixed-size accumulator tiles by (p, q, lane)
+// coordinates to mirror the register blocking; iterator rewrites would
+// obscure the addressing the paper reasons about.
+#![allow(clippy::needless_range_loop)]
+
 pub mod fwd;
 pub mod quant;
 pub mod shape;

@@ -51,6 +51,11 @@ pub fn select_quant(sh: &KernelShape) -> QuantFn {
 
 /// Portable scalar kernel: processes channel pairs exactly like the
 /// vector kernels, so results are bit-identical across backends.
+///
+/// # Safety
+/// `inp`, `wt` and `out` must point to buffers that stay in bounds for
+/// every offset `sh` describes (validated via [`KernelShape::validate`]);
+/// `out` must not alias the inputs. Prefetch pointers may be null.
 pub unsafe fn quant_scalar(
     sh: &KernelShape,
     inp: *const i16,

@@ -188,7 +188,9 @@ mod tests {
         assert_eq!(k.in_off(0, 0, 0, 0, 0), 0);
         assert_eq!(k.in_off(0, 1, 0, 0, 0), k.in_row_stride);
         assert_eq!(k.in_off(0, 0, 1, 0, 1), 2 * VLEN);
-        assert_eq!(k.wt_off(0, 1, 2), (1 * 3 + 2) * 256);
+        #[allow(clippy::identity_op)] // keep the (r * S + s) shape visible
+        let rs = 1 * 3 + 2;
+        assert_eq!(k.wt_off(0, 1, 2), rs * 256);
         assert_eq!(k.out_off(1, 3), 56 * VLEN + 3 * VLEN);
         assert_eq!(k.accumulators(), 28);
         assert_eq!(k.flops(), 2 * 256 * 28 * 9);

@@ -35,6 +35,12 @@ pub fn select_upd(sh: &UpdShape) -> UpdFn {
 }
 
 /// Portable scalar update kernel.
+///
+/// # Safety
+/// `inp` and `dout` must stay in bounds for every offset `sh` describes
+/// (validated via [`UpdShape::validate`]); `dw` must cover one
+/// `VLEN x VLEN` panel and not alias the inputs. Prefetch pointers may
+/// be null.
 pub unsafe fn upd_scalar(
     sh: &UpdShape,
     inp: *const f32,
@@ -72,6 +78,11 @@ pub unsafe fn upd_scalar(
 }
 
 /// AVX-512 update kernel: 16 zmm accumulators hold the dW panel.
+///
+/// # Safety
+/// Same contract as [`upd_scalar`], plus the CPU must support AVX-512F
+/// and the prefetch pointers must be valid to prefetch (any readable
+/// or null address).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
 pub unsafe fn upd_avx512(

@@ -98,7 +98,8 @@ mod tests {
     fn split_even_is_balanced() {
         for total in [100usize, 101, 97] {
             for parts in [3usize, 7, 24] {
-                let lens: Vec<usize> = (0..parts).map(|i| split_even(total, parts, i).len()).collect();
+                let lens: Vec<usize> =
+                    (0..parts).map(|i| split_even(total, parts, i).len()).collect();
                 let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
                 assert!(mx - mn <= 1, "total={total} parts={parts} lens={lens:?}");
             }
@@ -115,7 +116,7 @@ mod tests {
             }
         }
         // union covers everything
-        let mut covered = vec![0u8; 100];
+        let mut covered = [0u8; 100];
         for i in 0..4 {
             for j in split_blocks(100, 8, 4, i) {
                 covered[j] += 1;

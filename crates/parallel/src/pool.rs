@@ -49,7 +49,7 @@ struct Shared {
     /// The current region's closure. The `'static` lifetime is a lie
     /// told only for storage; `run` keeps the real closure alive until
     /// every worker passed the `done` barrier.
-    job: parking_lot::Mutex<Option<&'static Job>>,
+    job: std::sync::Mutex<Option<&'static Job>>,
     /// Set to request worker shutdown.
     shutdown: AtomicBool,
     /// Completion barrier: team = nthreads (workers + caller).
@@ -72,7 +72,7 @@ impl ThreadPool {
         assert!(nthreads >= 1, "team must be non-empty");
         let shared = Arc::new(Shared {
             seq: AtomicUsize::new(0),
-            job: parking_lot::Mutex::new(None),
+            job: std::sync::Mutex::new(None),
             shutdown: AtomicBool::new(false),
             done: SpinBarrier::new(nthreads),
             region_barrier: SpinBarrier::new(nthreads),
@@ -120,7 +120,7 @@ impl ThreadPool {
             // return until the `done` barrier below, so the reference
             // stays valid for the whole time workers can observe it.
             let static_ref: &'static Job = unsafe { std::mem::transmute(dyn_ref) };
-            *shared.job.lock() = Some(static_ref);
+            *shared.job.lock().unwrap() = Some(static_ref);
         }
         // Publish: release so workers' acquire of `seq` sees the job.
         shared.seq.fetch_add(1, Ordering::Release);
@@ -132,7 +132,7 @@ impl ThreadPool {
         f(Ctx { tid: 0, nthreads: shared.nthreads, barrier: &shared.region_barrier });
         // Wait until every worker finished the region.
         shared.done.wait();
-        *shared.job.lock() = None;
+        *shared.job.lock().unwrap() = None;
     }
 
     /// Convenience: statically partition `0..total` and run `f(range, tid)`.
@@ -179,7 +179,7 @@ fn worker_loop(tid: usize, shared: Arc<Shared>) {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let job = shared.job.lock().expect("job published with seq");
+        let job = shared.job.lock().unwrap().expect("job published with seq");
         job(Ctx { tid, nthreads: shared.nthreads, barrier: &shared.region_barrier });
         shared.done.wait();
     }
@@ -260,9 +260,9 @@ mod tests {
         let pool = ThreadPool::new(4);
         let mut data = vec![0usize; 4096];
         let chunks: Vec<&mut [usize]> = data.chunks_mut(1024).collect();
-        let chunks = parking_lot::Mutex::new(chunks);
+        let chunks = std::sync::Mutex::new(chunks);
         pool.run(|ctx| {
-            let mut guard = chunks.lock();
+            let mut guard = chunks.lock().unwrap();
             let chunk = guard.pop().unwrap();
             drop(guard);
             for (i, v) in chunk.iter_mut().enumerate() {

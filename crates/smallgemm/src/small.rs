@@ -204,6 +204,8 @@ unsafe fn n16_avx512_set(
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx512f")]
+// (m, k, a, lda, b, ldb, c, ldc) is the BLAS calling convention.
+#[allow(clippy::too_many_arguments)]
 unsafe fn n16_avx512_impl<const ACC: bool>(
     m: usize,
     k: usize,
@@ -287,6 +289,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(target_arch = "x86_64")]
     fn dispatch_picks_avx512_for_n16() {
         if std::arch::is_x86_feature_detected!("avx512f") {
             let g = SmallGemm::new(4, 16, 16, 16, 16, 16, true);

@@ -140,10 +140,7 @@ impl<T: Copy> IndexMut<usize> for AVec<T> {
 
 impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AVec<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AVec")
-            .field("len", &self.len)
-            .field("align", &ALIGNMENT)
-            .finish()
+        f.debug_struct("AVec").field("len", &self.len).field("align", &ALIGNMENT).finish()
     }
 }
 

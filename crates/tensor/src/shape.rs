@@ -40,6 +40,9 @@ impl ConvShape {
     /// # Panics
     /// Panics when the output spatial extent would be empty or the
     /// parameters are degenerate (zero dims, zero stride).
+    // (N, C, K, H, W, R, S, stride, pad) is the paper's canonical
+    // parameter order; keeping it beats a builder here.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         n: usize,
         c: usize,
@@ -136,8 +139,17 @@ impl std::fmt::Display for ConvShape {
         write!(
             f,
             "N{} C{} K{} H{} W{} R{} S{} str{} pad{} -> P{} Q{}",
-            self.n, self.c, self.k, self.h, self.w, self.r, self.s, self.stride, self.pad,
-            self.p(), self.q()
+            self.n,
+            self.c,
+            self.k,
+            self.h,
+            self.w,
+            self.r,
+            self.s,
+            self.stride,
+            self.pad,
+            self.p(),
+            self.q()
         )
     }
 }

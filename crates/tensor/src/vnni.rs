@@ -214,7 +214,8 @@ impl VnniFilter {
                     for s in 0..src.s {
                         let q = (src.get(k, c, r, s) * inv)
                             .round()
-                            .clamp(i16::MIN as f32, i16::MAX as f32) as i16;
+                            .clamp(i16::MIN as f32, i16::MAX as f32)
+                            as i16;
                         out.set(k, c, r, s, q);
                     }
                 }
@@ -343,8 +344,8 @@ mod tests {
             a.set(0, c, 0, 0, c as i16);
         }
         let s = a.as_slice();
-        for c in 0..16 {
-            assert_eq!(s[c], c as i16);
+        for (c, &v) in s.iter().enumerate().take(16) {
+            assert_eq!(v, c as i16);
         }
     }
 

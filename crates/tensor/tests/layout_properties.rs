@@ -88,7 +88,7 @@ proptest! {
         // get after set round-trips through the pair interleave
         for (kk, cc) in [(0usize, 0usize), (k - 1, c - 1), (k / 2, c / 2)] {
             let v = f.get(kk, cc, r - 1, s - 1);
-            prop_assert!(v >= -64 && v <= 63);
+            prop_assert!((-64..=63).contains(&v));
         }
         let a = VnniActs::random(1, c, 3, 3, 1, seed);
         for cc in 0..c {

@@ -50,20 +50,7 @@ pub fn resnet50_table1(minibatch: usize) -> Vec<(usize, ConvShape)> {
     TABLE_I
         .iter()
         .map(|r| {
-            (
-                r.id,
-                ConvShape::new(
-                    minibatch,
-                    r.c,
-                    r.k,
-                    r.hw,
-                    r.hw,
-                    r.rs,
-                    r.rs,
-                    r.stride,
-                    r.rs / 2,
-                ),
-            )
+            (r.id, ConvShape::new(minibatch, r.c, r.k, r.hw, r.hw, r.rs, r.rs, r.stride, r.rs / 2))
         })
         .collect()
 }
@@ -96,18 +83,12 @@ pub fn resnet50_topology(input_hw: usize, classes: usize) -> String {
             } else {
                 bottom.clone()
             };
-            t.push_str(&format!(
-                "conv name={name}_1 bottom={bottom} k={mid} stride={stride}\n"
-            ));
+            t.push_str(&format!("conv name={name}_1 bottom={bottom} k={mid} stride={stride}\n"));
             t.push_str(&format!("bn name={name}_1bn bottom={name}_1 relu=1\n"));
-            t.push_str(&format!(
-                "conv name={name}_2 bottom={name}_1bn k={mid} r=3 s=3 pad=1\n"
-            ));
+            t.push_str(&format!("conv name={name}_2 bottom={name}_1bn k={mid} r=3 s=3 pad=1\n"));
             t.push_str(&format!("bn name={name}_2bn bottom={name}_2 relu=1\n"));
             t.push_str(&format!("conv name={name}_3 bottom={name}_2bn k={out}\n"));
-            t.push_str(&format!(
-                "bn name={name}_3bn bottom={name}_3 eltwise={shortcut} relu=1\n"
-            ));
+            t.push_str(&format!("bn name={name}_3bn bottom={name}_3 eltwise={shortcut} relu=1\n"));
             bottom = format!("{name}_3bn");
         }
     }
@@ -155,10 +136,7 @@ mod tests {
         let text = resnet50_topology(224, 1000);
         let nl = gxm::parse_topology(&text).expect("valid topology");
         // 1 stem conv + 16 blocks × 3 convs + 4 shortcut convs = 53
-        let convs = nl
-            .iter()
-            .filter(|n| matches!(n, gxm::NodeSpec::Conv { .. }))
-            .count();
+        let convs = nl.iter().filter(|n| matches!(n, gxm::NodeSpec::Conv { .. })).count();
         assert_eq!(convs, 53);
         // distinct conv shapes in the graph == Table I rows
         let mut shapes = std::collections::HashSet::new();

@@ -31,10 +31,7 @@ fn main() {
     let bias: Vec<f32> = (0..shape.k).map(|i| (i % 7) as f32 * 0.01).collect();
 
     // fused: conv + bias + eltwise + relu in one stream replay
-    let fused = ConvLayer::new(
-        shape,
-        LayerOptions::new(threads).with_fuse(FusedOp::EltwiseRelu),
-    );
+    let fused = ConvLayer::new(shape, LayerOptions::new(threads).with_fuse(FusedOp::EltwiseRelu));
     let ctx = FuseCtx { bias: Some(&bias), eltwise: Some(&residual) };
     let mut y_fused = fused.new_output();
     let time = |f: &mut dyn FnMut()| {
@@ -74,9 +71,5 @@ fn main() {
     let mut y2 = plain.new_output();
     let t_replay = time(&mut || plain.forward(&pool, &x, &w, &mut y2, &FuseCtx::default()));
     let t_branchy = time(&mut || branchy.forward(&pool, &x, &w, &mut y2));
-    println!(
-        "replay {:.2} ms vs branchy loop nest {:.2} ms",
-        t_replay * 1e3,
-        t_branchy * 1e3
-    );
+    println!("replay {:.2} ms vs branchy loop nest {:.2} ms", t_replay * 1e3, t_branchy * 1e3);
 }

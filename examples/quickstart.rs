@@ -58,10 +58,7 @@ fn main() {
     layer.update(&pool, &xb, &gyb, &mut dwb);
     let mut dw_ref = Kcrs::zeros(shape.k, shape.c, shape.r, shape.s);
     conv_upd_ref(&shape, &x, &gy, &mut dw_ref);
-    println!(
-        "upd vs reference: {}",
-        Norms::compare(dw_ref.as_slice(), dwb.to_kcrs().as_slice())
-    );
+    println!("upd vs reference: {}", Norms::compare(dw_ref.as_slice(), dwb.to_kcrs().as_slice()));
 
     // quick throughput number
     let t0 = std::time::Instant::now();

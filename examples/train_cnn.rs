@@ -42,8 +42,5 @@ fn main() {
         }
     }
     let elapsed = t0.elapsed().as_secs_f64();
-    println!(
-        "60 steps in {elapsed:.2}s — {:.1} img/s",
-        60.0 * minibatch as f64 / elapsed
-    );
+    println!("60 steps in {elapsed:.2}s — {:.1} img/s", 60.0 * minibatch as f64 / elapsed);
 }

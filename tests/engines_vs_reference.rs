@@ -57,7 +57,17 @@ fn resnet_table_shapes_reduced() {
     // all 20 Table I geometries at reduced spatial size / minibatch 2
     for (id, full) in anatomy::topologies::resnet50_table1(2) {
         let hw = (full.h / 4).max(full.r);
-        let shape = ConvShape::new(2, full.c.min(64), full.k.min(64), hw, hw, full.r, full.s, full.stride, full.pad);
+        let shape = ConvShape::new(
+            2,
+            full.c.min(64),
+            full.k.min(64),
+            hw,
+            hw,
+            full.r,
+            full.s,
+            full.stride,
+            full.pad,
+        );
         check_all(shape, 4);
         let _ = id;
     }

@@ -1,0 +1,45 @@
+//! Workspace smoke test: the `anatomy::` facade re-exports resolve and
+//! a layer built through them produces the reference result on a tiny
+//! shape. Guards the root crate's wiring (the examples and downstream
+//! users depend on these paths, not on the member crates directly).
+
+use anatomy::conv::fuse::FuseCtx;
+use anatomy::conv::reference::conv_fwd_ref;
+use anatomy::conv::{Backend, ConvLayer, LayerOptions};
+use anatomy::parallel::ThreadPool;
+use anatomy::tensor::{BlockedActs, BlockedFilter, ConvShape, Kcrs, Nchw, Norms, VLEN};
+
+#[test]
+fn facade_reexports_resolve() {
+    // one symbol per re-exported crate, so a dropped `pub use` fails here
+    let shape = ConvShape::new(1, 16, 16, 6, 6, 3, 3, 1, 1);
+    assert_eq!(shape.cb(), 16usize.div_ceil(VLEN));
+    assert!(anatomy::machine::MachineModel::skx().peak_gflops() > 0.0);
+    assert!(anatomy::parallel::hardware_threads() >= 1);
+    assert!(!anatomy::topologies::resnet50_table1(1).is_empty());
+    let _ = anatomy::microkernel::has_avx512();
+    let _ = anatomy::smallgemm::SmallGemm::new(2, 2, 2, 2, 2, 2, true);
+    let _ = anatomy::jit::jit_available();
+    let _ = anatomy::baselines::all_baselines(shape, 1);
+}
+
+#[test]
+fn facade_layer_forward_matches_reference() {
+    let shape = ConvShape::new(1, 16, 16, 6, 6, 3, 3, 1, 1);
+    let pool = ThreadPool::new(2);
+    let layer = ConvLayer::new(shape, LayerOptions::new(2).with_backend(Backend::Auto));
+
+    let x = Nchw::random(shape.n, shape.c, shape.h, shape.w, 7);
+    let w = Kcrs::random(shape.k, shape.c, shape.r, shape.s, 11);
+    let xb = BlockedActs::from_nchw(&x, shape.pad);
+    let wb = BlockedFilter::from_kcrs(&w);
+
+    let mut y_ref = Nchw::zeros(shape.n, shape.k, shape.p(), shape.q());
+    conv_fwd_ref(&shape, &x, &w, &mut y_ref);
+
+    let mut yb = layer.new_output();
+    layer.forward(&pool, &xb, &wb, &mut yb, &FuseCtx::default());
+
+    let n = Norms::compare(y_ref.as_slice(), yb.to_nchw().as_slice());
+    assert!(n.ok(1e-4), "facade forward diverged from reference: {n}");
+}

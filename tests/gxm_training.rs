@@ -29,12 +29,7 @@ fn inception_block_trains_through_concat() {
     let nl = parse_topology(&text).unwrap();
     // graph contains split + concat machinery
     let mut net = Network::build(&nl, 2, 4);
-    assert!(net
-        .etg()
-        .eng
-        .nodes
-        .iter()
-        .any(|n| matches!(n, NodeSpec::Split { .. })));
+    assert!(net.etg().eng.nodes.iter().any(|n| matches!(n, NodeSpec::Split { .. })));
     let mut data = SyntheticData::new(10, 3, 147, 147, 6);
     let labels = data.next_batch(net.input_mut());
     let s = net.train_step(&labels, 0.01, 0.9);

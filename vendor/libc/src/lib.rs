@@ -1,0 +1,85 @@
+//! Minimal vendored subset of the `libc` crate.
+//!
+//! The build container has no network access to crates.io, so this
+//! workspace-local shim declares exactly the FFI surface the repo
+//! uses: anonymous executable mappings for the JIT (`mmap`,
+//! `mprotect`, `munmap`, `__errno_location`) and thread pinning for
+//! the OpenMP-style pool (`sched_setaffinity`, `cpu_set_t`,
+//! `CPU_SET`). Signatures and constant values match the real `libc`
+//! crate on `x86_64-unknown-linux-gnu`, so replacing this path
+//! dependency with the registry crate is a one-line manifest change.
+
+#![allow(non_camel_case_types)]
+
+pub type c_void = core::ffi::c_void;
+pub type c_int = i32;
+pub type size_t = usize;
+pub type off_t = i64;
+pub type pid_t = i32;
+
+pub const PROT_READ: c_int = 0x1;
+pub const PROT_WRITE: c_int = 0x2;
+pub const PROT_EXEC: c_int = 0x4;
+
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+pub const CPU_SETSIZE: c_int = 1024;
+
+/// Linux's fixed 1024-bit CPU affinity mask.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SETSIZE as usize / 64],
+}
+
+/// Equivalent of the C `CPU_SET` macro.
+///
+/// # Safety
+/// Matches the real `libc` crate's `unsafe fn` signature; the
+/// operation itself is a plain in-bounds bit set (out-of-range CPU
+/// indices are ignored, as glibc does).
+#[allow(clippy::missing_safety_doc, non_snake_case)]
+pub unsafe fn CPU_SET(cpu: usize, cpuset: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        cpuset.bits[cpu / 64] |= 1u64 << (cpu % 64);
+    }
+}
+
+#[cfg(unix)]
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn __errno_location() -> *mut c_int;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_sets_expected_bit() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        unsafe { CPU_SET(3, &mut set) };
+        assert_eq!(set.bits[0], 0b1000);
+        unsafe { CPU_SET(64, &mut set) };
+        assert_eq!(set.bits[1], 1);
+        // Out-of-range index must be a no-op, not UB.
+        unsafe { CPU_SET(100_000, &mut set) };
+    }
+
+    #[test]
+    fn cpu_set_layout_matches_glibc() {
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128);
+    }
+}
