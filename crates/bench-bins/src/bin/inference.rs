@@ -1,0 +1,91 @@
+//! Serving benchmark: forward-only ResNet-50 (and optionally the
+//! Inception mixed-block graph) through the `InferenceSession` facade.
+//!
+//! Reports images/second and the plan-cache hit rate — the two numbers
+//! that characterize the serving path (replay throughput and how much
+//! of the setup pipeline the cache amortized) — on stdout and as
+//! `BENCH_inference.json` (see DESIGN.md §3 for the methodology).
+//!
+//! `--hw N` sets the input resolution (default 64; `--hw 224 --full`
+//! for the paper geometry), `--topology inception` switches graphs.
+
+use anatomy::InferenceSession;
+use bench_bins::HarnessConfig;
+use std::time::Instant;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let inception = args.iter().any(|a| a == "--topology") && args.iter().any(|a| a == "inception");
+    let hw = args
+        .iter()
+        .position(|a| a == "--hw")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64usize);
+    let classes = 100usize;
+
+    let (name, text, in_hw) = if inception {
+        (
+            "inception_mixed",
+            topologies::inception_v3_topology_sized(hw.max(31), classes),
+            hw.max(31),
+        )
+    } else {
+        ("resnet50", topologies::resnet50_topology(hw, classes), hw)
+    };
+    eprintln!("# building {name} at {in_hw}x{in_hw}, minibatch {}", cfg.minibatch);
+    let t0 = Instant::now();
+    let mut session =
+        InferenceSession::new(&text, cfg.minibatch, cfg.threads).expect("topology parses");
+    let setup_s = t0.elapsed().as_secs_f64();
+    let stats = session.cache_stats();
+    let net = session.network();
+    eprintln!(
+        "# setup {:.2}s: {} plans for {} conv nodes (hit rate {:.0}%), {} activation slots, training state bytes = {}",
+        setup_s,
+        stats.entries,
+        stats.hits + stats.misses,
+        stats.hit_rate() * 100.0,
+        net.activation_slot_count(),
+        net.training_state_bytes()
+    );
+
+    let mut rng = tensor::rng::SplitMix64::new(2024);
+    let mut batch = vec![0.0f32; cfg.minibatch * 3 * in_hw * in_hw];
+    for _ in 0..cfg.warmup {
+        rng.fill_f32(&mut batch);
+        session.run(&batch);
+    }
+    let t0 = Instant::now();
+    for _ in 0..cfg.iters {
+        rng.fill_f32(&mut batch);
+        session.run(&batch);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let imgs_per_s = (cfg.iters * cfg.minibatch) as f64 / secs;
+    println!(
+        "inference\t{name}\thw={in_hw}\tminibatch={}\timgs_per_s={imgs_per_s:8.1}\tcache_hit_rate={:.3}",
+        cfg.minibatch,
+        stats.hit_rate()
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"inference\",\n  \"topology\": \"{name}\",\n  \"hw\": {in_hw},\n  \
+         \"minibatch\": {},\n  \"threads\": {},\n  \"iters\": {},\n  \"setup_seconds\": {setup_s:.4},\n  \
+         \"images_per_second\": {imgs_per_s:.2},\n  \"plan_cache\": {{\n    \"hits\": {},\n    \
+         \"misses\": {},\n    \"entries\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \
+         \"activation_slots\": {},\n  \"training_state_bytes\": {}\n}}\n",
+        cfg.minibatch,
+        cfg.threads,
+        cfg.iters,
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.hit_rate(),
+        session.network().activation_slot_count(),
+        session.network().training_state_bytes(),
+    );
+    std::fs::write("BENCH_inference.json", &json).expect("write BENCH_inference.json");
+    eprintln!("# wrote BENCH_inference.json");
+}

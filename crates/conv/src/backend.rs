@@ -6,12 +6,21 @@
 //! mechanism) and falls back to the monomorphized intrinsics family,
 //! then scalar — so the same engine runs anywhere while using the
 //! fastest available implementation.
+//!
+//! Handles are `Arc`-backed: cloning one shares the generated code
+//! buffer instead of re-JITting (the cuDNN-style "handle to a compiled
+//! primitive" model). A process-wide code cache keyed by the kernel
+//! descriptor dedupes generation across plans — ResNet-50 repeats a
+//! handful of kernel shapes dozens of times, so most plans only clone.
 
 use jit::CodeBuffer;
 use microkernel::{KernelShape, UpdShape};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Kernel backend selection.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Backend {
     /// JIT when available, else intrinsics, else scalar.
     #[default]
@@ -39,6 +48,55 @@ impl Backend {
     }
 }
 
+/// Hit/miss counters of the process-wide kernel code cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelCacheStats {
+    /// Handles served by cloning an existing entry.
+    pub hits: usize,
+    /// Handles that required generation (JIT/select).
+    pub misses: usize,
+}
+
+impl KernelCacheStats {
+    /// Fraction of lookups served from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct KernelCache {
+    fwd: Mutex<HashMap<(KernelShape, Backend), FwdKernel>>,
+    upd: Mutex<HashMap<(UpdShape, Backend), UpdKernel>>,
+    quant: Mutex<HashMap<(KernelShape, Backend), QuantKernel>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+fn kernel_cache() -> &'static KernelCache {
+    static CACHE: OnceLock<KernelCache> = OnceLock::new();
+    CACHE.get_or_init(|| KernelCache {
+        fwd: Mutex::new(HashMap::new()),
+        upd: Mutex::new(HashMap::new()),
+        quant: Mutex::new(HashMap::new()),
+        hits: AtomicUsize::new(0),
+        misses: AtomicUsize::new(0),
+    })
+}
+
+/// Counters of the process-wide kernel code cache (all kernel kinds).
+pub fn kernel_cache_stats() -> KernelCacheStats {
+    let c = kernel_cache();
+    KernelCacheStats {
+        hits: c.hits.load(Ordering::Relaxed),
+        misses: c.misses.load(Ordering::Relaxed),
+    }
+}
+
 enum FwdImpl {
     Jit {
         #[allow(dead_code)] // owns the mapping the fn pointer points into
@@ -49,10 +107,12 @@ enum FwdImpl {
     Scalar,
 }
 
-/// A ready-to-call forward/backward microkernel.
+/// A ready-to-call forward/backward microkernel. Cloning is cheap: the
+/// generated code is shared behind an `Arc`.
+#[derive(Clone)]
 pub struct FwdKernel {
     shape: KernelShape,
-    imp: FwdImpl,
+    imp: Arc<FwdImpl>,
 }
 
 impl FwdKernel {
@@ -71,7 +131,25 @@ impl FwdKernel {
             Backend::Scalar => FwdImpl::Scalar,
             Backend::Auto => unreachable!(),
         };
-        Self { shape, imp }
+        Self { shape, imp: Arc::new(imp) }
+    }
+
+    /// As [`FwdKernel::new`] but consulting the process-wide code
+    /// cache: identical `(shape, resolved backend)` requests share one
+    /// generated kernel. Plans use this path so repeated layer shapes
+    /// JIT once per process.
+    pub fn cached(shape: KernelShape, backend: Backend) -> Self {
+        let key = (shape, backend.resolve());
+        let cache = kernel_cache();
+        let mut map = cache.fwd.lock().unwrap();
+        if let Some(k) = map.get(&key) {
+            cache.hits.fetch_add(1, Ordering::Relaxed);
+            return k.clone();
+        }
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        let k = Self::new(shape, key.1);
+        map.insert(key, k.clone());
+        k
     }
 
     /// The descriptor this kernel was generated for.
@@ -82,7 +160,7 @@ impl FwdKernel {
 
     /// Which backend the handle resolved to.
     pub fn backend_name(&self) -> &'static str {
-        match self.imp {
+        match *self.imp {
             FwdImpl::Jit { .. } => "jit",
             FwdImpl::Portable(_) => "intrinsics",
             FwdImpl::Scalar => "scalar",
@@ -104,7 +182,7 @@ impl FwdKernel {
         pf_wt: *const f32,
         pf_out: *const f32,
     ) {
-        match &self.imp {
+        match &*self.imp {
             FwdImpl::Jit { f, .. } => f(inp, wt, out, pf_in, pf_wt, pf_out),
             FwdImpl::Portable(f) => f(&self.shape, inp, wt, out, pf_in, pf_wt, pf_out),
             FwdImpl::Scalar => {
@@ -124,10 +202,12 @@ enum UpdImpl {
     Scalar,
 }
 
-/// A ready-to-call weight-gradient microkernel.
+/// A ready-to-call weight-gradient microkernel. Cloning shares the
+/// generated code behind an `Arc`.
+#[derive(Clone)]
 pub struct UpdKernel {
     shape: UpdShape,
-    imp: UpdImpl,
+    imp: Arc<UpdImpl>,
 }
 
 impl UpdKernel {
@@ -146,7 +226,22 @@ impl UpdKernel {
             Backend::Scalar => UpdImpl::Scalar,
             Backend::Auto => unreachable!(),
         };
-        Self { shape, imp }
+        Self { shape, imp: Arc::new(imp) }
+    }
+
+    /// As [`UpdKernel::new`] but through the process-wide code cache.
+    pub fn cached(shape: UpdShape, backend: Backend) -> Self {
+        let key = (shape, backend.resolve());
+        let cache = kernel_cache();
+        let mut map = cache.upd.lock().unwrap();
+        if let Some(k) = map.get(&key) {
+            cache.hits.fetch_add(1, Ordering::Relaxed);
+            return k.clone();
+        }
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        let k = Self::new(shape, key.1);
+        map.insert(key, k.clone());
+        k
     }
 
     /// The descriptor this kernel was generated for.
@@ -170,7 +265,7 @@ impl UpdKernel {
         pf_do: *const f32,
         pf_dw: *const f32,
     ) {
-        match &self.imp {
+        match &*self.imp {
             UpdImpl::Jit { f, .. } => f(inp, dout, dw, pf_in, pf_do, pf_dw),
             UpdImpl::Portable(f) => f(&self.shape, inp, dout, dw, pf_in, pf_do, pf_dw),
             UpdImpl::Scalar => {
@@ -190,10 +285,12 @@ enum QuantImpl {
     Scalar,
 }
 
-/// A ready-to-call int16 microkernel (Section II-K).
+/// A ready-to-call int16 microkernel (Section II-K). Cloning shares
+/// the generated code behind an `Arc`.
+#[derive(Clone)]
 pub struct QuantKernel {
     shape: KernelShape,
-    imp: QuantImpl,
+    imp: Arc<QuantImpl>,
 }
 
 impl QuantKernel {
@@ -214,7 +311,24 @@ impl QuantKernel {
             Backend::Scalar => QuantImpl::Scalar,
             _ => QuantImpl::Portable(microkernel::select_quant(&shape)),
         };
-        Self { shape, imp }
+        Self { shape, imp: Arc::new(imp) }
+    }
+
+    /// As [`QuantKernel::new`] but through the process-wide code cache.
+    /// Keyed on the *unresolved* backend: int16 resolution depends on
+    /// host VNNI support, which is constant for the process lifetime.
+    pub fn cached(shape: KernelShape, backend: Backend) -> Self {
+        let key = (shape, backend);
+        let cache = kernel_cache();
+        let mut map = cache.quant.lock().unwrap();
+        if let Some(k) = map.get(&key) {
+            cache.hits.fetch_add(1, Ordering::Relaxed);
+            return k.clone();
+        }
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        let k = Self::new(shape, backend);
+        map.insert(key, k.clone());
+        k
     }
 
     /// The descriptor this kernel was generated for.
@@ -237,7 +351,7 @@ impl QuantKernel {
         pf_wt: *const i16,
         pf_out: *const i32,
     ) {
-        match &self.imp {
+        match &*self.imp {
             QuantImpl::Jit { f, .. } => f(inp, wt, out, pf_in, pf_wt, pf_out),
             QuantImpl::Portable(f) => f(&self.shape, inp, wt, out, pf_in, pf_wt, pf_out),
             QuantImpl::Scalar => {
@@ -267,6 +381,31 @@ mod tests {
             init_zero: true,
             prefetch: false,
         }
+    }
+
+    #[test]
+    fn cached_handles_share_generated_code() {
+        // a shape no other test uses, so the cache key is private to
+        // this test; the global counters are only checked with >=
+        // because sibling tests mutate them concurrently
+        let mut sh = shape();
+        sh.rbq = 7;
+        let before = kernel_cache_stats();
+        let a = FwdKernel::cached(sh, Backend::Intrinsics);
+        let b = FwdKernel::cached(sh, Backend::Intrinsics);
+        let after = kernel_cache_stats();
+        assert!(Arc::ptr_eq(&a.imp, &b.imp), "cache must hand out the same impl");
+        assert!(after.hits > before.hits, "second lookup must hit");
+        assert!(after.misses > before.misses, "first lookup must miss");
+        assert!(after.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn clones_are_cheap_and_identical() {
+        let k = FwdKernel::new(shape(), Backend::Scalar);
+        let c = k.clone();
+        assert!(Arc::ptr_eq(&k.imp, &c.imp));
+        assert_eq!(k.backend_name(), c.backend_name());
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::fwd::{FwdPlan, OutGeom, SendConstPtr, SendMutPtr};
 use crate::Backend;
 use parallel::{FlatPartition, ThreadPool};
 use smallgemm::SmallGemm;
+use std::sync::Mutex;
 use tensor::{BlockedActs, BlockedFilter, ConvShape, VLEN};
 
 /// Which backward strategy a layer uses (observable for tests/benches).
@@ -46,6 +47,12 @@ pub struct BwdPlan {
     nthreads: usize,
     /// Physical padding of the dI tensor the plan writes.
     input_pad: usize,
+    /// Reusable dO re-padding buffer for callers whose gradient tensor
+    /// does not carry [`Self::dout_pad`] physical padding. Held by the
+    /// plan so steady-state `run` calls stop allocating; taken out of
+    /// the mutex for the duration of a call, so concurrent runs of a
+    /// shared plan fall back to a fresh allocation instead of blocking.
+    repad_scratch: Mutex<Option<BlockedActs>>,
 }
 
 impl BwdPlan {
@@ -107,7 +114,15 @@ impl BwdPlan {
                     FusedOp::None,
                     Some(out_geom),
                 );
-                Self { shape, kind, dual: Some(plan), gemm: None, nthreads, input_pad }
+                Self {
+                    shape,
+                    kind,
+                    dual: Some(plan),
+                    gemm: None,
+                    nthreads,
+                    input_pad,
+                    repad_scratch: Mutex::new(None),
+                }
             }
             BwdKind::Dual1x1 => {
                 assert_eq!(shape.pad, 0, "1x1 layers carry no padding");
@@ -134,14 +149,30 @@ impl BwdPlan {
                     FusedOp::None,
                     Some(out_geom),
                 );
-                Self { shape, kind, dual: Some(plan), gemm: None, nthreads, input_pad }
+                Self {
+                    shape,
+                    kind,
+                    dual: Some(plan),
+                    gemm: None,
+                    nthreads,
+                    input_pad,
+                    repad_scratch: Mutex::new(None),
+                }
             }
             BwdKind::GemmFallback => {
                 // C[Q×VLEN] += A[Q×VLEN] · B[VLEN×VLEN]; C rows are
                 // dI pixels strided by stride·VLEN
                 let gemm =
                     SmallGemm::new(shape.q(), VLEN, VLEN, VLEN, VLEN, shape.stride * VLEN, true);
-                Self { shape, kind, dual: None, gemm: Some(gemm), nthreads, input_pad }
+                Self {
+                    shape,
+                    kind,
+                    dual: None,
+                    gemm: Some(gemm),
+                    nthreads,
+                    input_pad,
+                    repad_scratch: Mutex::new(None),
+                }
             }
         }
     }
@@ -180,17 +211,15 @@ impl BwdPlan {
             (sh.n, sh.c, sh.h, sh.w, self.input_pad),
             "dinput mismatch"
         );
+        // every path needs dout at exactly `dout_pad()` physical
+        // padding (0 for the non-DualStride1 kinds); mismatched
+        // callers go through the plan's reusable re-padding buffer
+        let need = self.dout_pad();
+        let scratch = (dout.pad != need).then(|| self.repad_to_scratch(pool, dout, need));
+        let src = scratch.as_ref().unwrap_or(dout);
         match self.kind {
             BwdKind::DualStride1 => {
                 let wt = weights.transpose_flip();
-                let need = self.dout_pad();
-                let scratch;
-                let src = if dout.pad == need {
-                    dout
-                } else {
-                    scratch = repad(pool, dout, need);
-                    &scratch
-                };
                 // SAFETY: dual plan geometry matches these tensors.
                 unsafe {
                     self.dual.as_ref().unwrap().run_raw(
@@ -205,13 +234,6 @@ impl BwdPlan {
             BwdKind::Dual1x1 => {
                 let wt = weights.transpose_flip();
                 dinput.zero();
-                let scratch;
-                let src = if dout.pad == 0 {
-                    dout
-                } else {
-                    scratch = repad(pool, dout, 0);
-                    &scratch
-                };
                 // SAFETY: strided out-geom targets dinput's interior.
                 unsafe {
                     self.dual.as_ref().unwrap().run_raw(
@@ -224,16 +246,24 @@ impl BwdPlan {
                 };
             }
             BwdKind::GemmFallback => {
-                let scratch;
-                let src = if dout.pad == 0 {
-                    dout
-                } else {
-                    scratch = repad(pool, dout, 0);
-                    &scratch
-                };
                 self.run_gemm(pool, src, weights, dinput);
             }
         }
+        if let Some(buf) = scratch {
+            *self.repad_scratch.lock().unwrap() = Some(buf);
+        }
+    }
+
+    /// Copy `src` into the plan's re-padding buffer (allocating it on
+    /// first use or when a concurrent run holds it) and return it.
+    fn repad_to_scratch(&self, pool: &ThreadPool, src: &BlockedActs, pad: usize) -> BlockedActs {
+        let taken = self.repad_scratch.lock().unwrap().take();
+        let mut dst = match taken {
+            Some(b) if (b.n, b.c, b.h, b.w, b.pad) == (src.n, src.c, src.h, src.w, pad) => b,
+            _ => BlockedActs::zeros(src.n, src.c, src.h, src.w, pad),
+        };
+        repad_into(pool, src, &mut dst);
+        dst
     }
 
     /// Algorithm 7: backward with small GEMM calls.
@@ -310,9 +340,12 @@ fn di_geom(shape: &ConvShape, input_pad: usize) -> OutGeom {
     }
 }
 
-/// Copy `src` into a tensor with different physical padding.
-pub(crate) fn repad(pool: &ThreadPool, src: &BlockedActs, pad: usize) -> BlockedActs {
-    let mut dst = BlockedActs::zeros(src.n, src.c, src.h, src.w, pad);
+/// Copy `src`'s logical interior into `dst`, which carries different
+/// physical padding. Only interior rows are written, so a zero border
+/// stays zero across reuses of the same destination buffer.
+pub(crate) fn repad_into(pool: &ThreadPool, src: &BlockedActs, dst: &mut BlockedActs) {
+    assert_eq!((dst.n, dst.c, dst.h, dst.w), (src.n, src.c, src.h, src.w), "repad geometry");
+    let pad = dst.pad;
     let rows_total = src.n * src.cb * src.h;
     let dptr = SendMutPtr(dst.as_mut_ptr());
     let wp_new = src.w + 2 * pad;
@@ -333,7 +366,6 @@ pub(crate) fn repad(pool: &ThreadPool, src: &BlockedActs, pad: usize) -> Blocked
             }
         }
     });
-    dst
 }
 
 /// Zero the physical padding border of a tensor.
@@ -437,6 +469,26 @@ mod tests {
         conv_bwd_ref(&shape, &gy, &w, &mut gx_ref);
         let n = Norms::compare(gx_ref.as_slice(), gxb.to_nchw().as_slice());
         assert!(n.ok(1e-4), "{n}");
+    }
+
+    #[test]
+    fn repad_scratch_is_reused_across_calls() {
+        let shape = ConvShape::new(1, 16, 16, 8, 8, 3, 3, 1, 1);
+        let pool = ThreadPool::new(2);
+        let plan = BwdPlan::new(shape, 2, Backend::Auto, false);
+        assert!(plan.dout_pad() > 0);
+        let gy = Nchw::random(1, 16, 8, 8, 3);
+        let w = Kcrs::random(16, 16, 3, 3, 4);
+        let gyb = BlockedActs::from_nchw(&gy, 0); // forces the repad path
+        let wb = BlockedFilter::from_kcrs(&w);
+        let mut gxb = BlockedActs::zeros(1, 16, 8, 8, 1);
+        plan.run(&pool, &gyb, &wb, &mut gxb);
+        let first = plan.repad_scratch.lock().unwrap().as_ref().map(|b| b.as_ptr()).unwrap();
+        let out1 = gxb.as_slice().to_vec();
+        plan.run(&pool, &gyb, &wb, &mut gxb);
+        let second = plan.repad_scratch.lock().unwrap().as_ref().map(|b| b.as_ptr()).unwrap();
+        assert_eq!(first, second, "steady-state backward must reuse the plan's buffer");
+        assert_eq!(out1, gxb.as_slice(), "reused scratch must not change results");
     }
 
     #[test]

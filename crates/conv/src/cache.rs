@@ -1,0 +1,250 @@
+//! Layer-plan cache: setup once per *distinct* layer, replay forever.
+//!
+//! The paper's setup/replay split (Section II-H) makes a fully planned
+//! [`ConvLayer`] a natural unit of reuse: everything the setup phase
+//! produces — JIT code buffers, dryrun offset streams, the backward
+//! duality plan, the weight-update strategy — depends only on the
+//! normalized `(ConvShape, LayerOptions)` pair. ResNet-50 instantiates
+//! 53 convolution nodes over ~20 distinct shapes; building the graph
+//! through a [`PlanCache`] performs one JIT + dryrun per distinct
+//! shape and hands every repeat an `Arc` to the shared plan (the
+//! handle-based primitive model of cuDNN).
+//!
+//! The cache is explicit and shareable (clone it, it is one cache):
+//! a serving process keeps one `PlanCache` next to its `ThreadPool`
+//! and builds every network through it. A second, process-wide cache
+//! below this one dedupes individual kernel code buffers across
+//! *different* layer shapes (see [`crate::backend::kernel_cache_stats`]).
+
+use crate::backend::Backend;
+use crate::fuse::FusedOp;
+use crate::layer::{ConvLayer, LayerOptions};
+use machine::MachineModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use tensor::ConvShape;
+
+/// Normalized cache key: every input of the layer-setup pipeline that
+/// can change the generated plan.
+#[derive(Clone, Debug, PartialEq)]
+struct LayerKey {
+    shape: ConvShape,
+    threads: usize,
+    backend: Backend,
+    prefetch: bool,
+    fuse: FusedOp,
+    /// Resolved physical input padding (the `None` default resolves to
+    /// `shape.pad`, so explicit-default and implicit requests unify).
+    input_pad: usize,
+    /// Requested dO padding (`None` = duality-optimal; resolving it
+    /// would need the bwd plan, so the request itself is the key).
+    dout_pad: Option<usize>,
+    machine: MachineModel,
+}
+
+impl Eq for LayerKey {}
+
+// MachineModel carries f64 fields, so Hash cannot be derived; hashing
+// the bit patterns is consistent with the derived PartialEq above
+// (equal floats in a model hash equally; models never hold NaN).
+impl std::hash::Hash for LayerKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.shape.hash(state);
+        self.threads.hash(state);
+        self.backend.hash(state);
+        self.prefetch.hash(state);
+        self.fuse.hash(state);
+        self.input_pad.hash(state);
+        self.dout_pad.hash(state);
+        let m = &self.machine;
+        m.name.hash(state);
+        m.cores.hash(state);
+        m.freq_ghz.to_bits().hash(state);
+        m.simd_f32.hash(state);
+        m.fma_per_cycle.hash(state);
+        m.fma_latency.hash(state);
+        m.l2_read_gbs.to_bits().hash(state);
+        m.l2_write_gbs.to_bits().hash(state);
+        m.mem_bw_gbs.to_bits().hash(state);
+        m.shared_llc.hash(state);
+        m.int16_speedup.to_bits().hash(state);
+    }
+}
+
+impl LayerKey {
+    fn new(shape: &ConvShape, opts: &LayerOptions) -> Self {
+        Self {
+            shape: *shape,
+            threads: opts.threads,
+            backend: opts.backend,
+            prefetch: opts.prefetch,
+            fuse: opts.fuse,
+            input_pad: opts.input_pad.unwrap_or(shape.pad),
+            dout_pad: opts.dout_pad,
+            machine: opts.machine.clone(),
+        }
+    }
+}
+
+/// Snapshot of a cache's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanCacheStats {
+    /// Lookups served by an existing plan (no JIT, no dryrun).
+    pub hits: usize,
+    /// Lookups that ran the full setup pipeline.
+    pub misses: usize,
+    /// Distinct plans currently held.
+    pub entries: usize,
+}
+
+impl PlanCacheStats {
+    /// Fraction of lookups served from the cache (0 when unused).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Inner {
+    plans: Mutex<HashMap<LayerKey, Arc<ConvLayer>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+/// A shareable cache of fully planned convolution layers.
+///
+/// Cloning the handle shares the cache (graph executors, inference
+/// sessions and benchmarks can all feed one instance).
+#[derive(Clone)]
+pub struct PlanCache {
+    inner: Arc<Inner>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                plans: Mutex::new(HashMap::new()),
+                hits: AtomicUsize::new(0),
+                misses: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Return the plan for `(shape, opts)`, running the setup pipeline
+    /// (blocking choice, kernel generation, dryrun) only on a miss.
+    ///
+    /// The build happens under the cache lock so concurrent requests
+    /// for the same key JIT once; plan setup is a cold path by design
+    /// (the paper's "setup once, replay many times").
+    pub fn get_or_build(&self, shape: ConvShape, opts: LayerOptions) -> Arc<ConvLayer> {
+        let key = LayerKey::new(&shape, &opts);
+        let mut plans = self.inner.plans.lock().unwrap();
+        if let Some(plan) = plans.get(&key) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(ConvLayer::new(shape, opts));
+        plans.insert(key, Arc::clone(&plan));
+        plan
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that built a new plan so far.
+    pub fn misses(&self) -> usize {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct plans currently held.
+    pub fn len(&self) -> usize {
+        self.inner.plans.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats { hits: self.hits(), misses: self.misses(), entries: self.len() }
+    }
+
+    /// Drop every cached plan (counters keep accumulating).
+    pub fn clear(&self) {
+        self.inner.plans.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_shape() -> ConvShape {
+        ConvShape::new(1, 16, 16, 6, 6, 3, 3, 1, 1)
+    }
+
+    #[test]
+    fn hit_returns_the_same_plan() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        let b = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!((cache.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_entries() {
+        let cache = PlanCache::new();
+        let _ = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        let _ = cache.get_or_build(small_shape(), LayerOptions::new(4));
+        let _ = cache.get_or_build(small_shape(), LayerOptions::new(2).with_fuse(FusedOp::Relu));
+        let _ = cache.get_or_build(small_shape(), LayerOptions::new(2).with_prefetch(false));
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn default_padding_normalizes_to_explicit() {
+        let cache = PlanCache::new();
+        let shape = small_shape();
+        let a = cache.get_or_build(shape, LayerOptions::new(2));
+        // explicitly requesting the conv's own pad is the same plan
+        let b = cache.get_or_build(shape, LayerOptions::new(2).with_input_pad(shape.pad));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let cache = PlanCache::new();
+        let other = cache.clone();
+        let _ = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        let _ = other.get_or_build(small_shape(), LayerOptions::new(2));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(other.misses(), 1);
+        cache.clear();
+        assert!(other.is_empty());
+    }
+}

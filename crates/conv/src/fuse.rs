@@ -11,7 +11,7 @@
 use tensor::{BlockedActs, VLEN};
 
 /// Fusable post-convolution operators.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum FusedOp {
     /// Plain convolution.
     #[default]

@@ -121,7 +121,7 @@ impl FwdPlan {
                     init_zero: init,
                     prefetch,
                 };
-                kernels.push(FwdKernel::new(sh, backend));
+                kernels.push(FwdKernel::cached(sh, backend));
                 u8::try_from(kernels.len() - 1).expect("too many kernel variants")
             })
         };

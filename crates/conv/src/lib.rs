@@ -18,13 +18,14 @@
 //!
 //! The backward pass reuses the forward machinery through the duality
 //! transforms of Section II-I ([`bwd`]); int16 kernels implement the
-//! reduced-precision path of Section II-K ([`quant`]); [`reference`]
+//! reduced-precision path of Section II-K ([`quant`]); [`mod@reference`]
 //! holds the naive Algorithm 1/6/8 loop nests every engine is tested
 //! against.
 
 pub mod backend;
 pub mod blocking;
 pub mod bwd;
+pub mod cache;
 pub mod fuse;
 pub mod fwd;
 pub mod layer;
@@ -33,8 +34,9 @@ pub mod reference;
 pub mod streams;
 pub mod upd;
 
-pub use backend::{Backend, FwdKernel, UpdKernel};
+pub use backend::{kernel_cache_stats, Backend, FwdKernel, KernelCacheStats, UpdKernel};
 pub use blocking::Blocking;
+pub use cache::{PlanCache, PlanCacheStats};
 pub use fuse::FusedOp;
 pub use layer::{ConvLayer, LayerOptions};
 pub use tensor::ConvShape;

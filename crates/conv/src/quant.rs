@@ -15,7 +15,7 @@
 //! * **update** — the 4VNNIW-style pixel-pair reduction: dO rows are
 //!   transposed into pair-interleaved `[q/2][k][2]` panels and input
 //!   rows into channel-major `[c][q]` rows (the paper's *"memory bound
-//!   operation [that] further degrades the performance"*), then a
+//!   operation \[that\] further degrades the performance"*), then a
 //!   16-accumulator `vpdpwssd` kernel sweeps pixel pairs.
 
 use crate::backend::{Backend, QuantKernel};
@@ -83,7 +83,7 @@ impl QuantFwdPlan {
                     init_zero: init,
                     prefetch,
                 };
-                kernels.push(QuantKernel::new(sh, backend));
+                kernels.push(QuantKernel::cached(sh, backend));
                 u8::try_from(kernels.len() - 1).expect("too many kernel variants")
             })
         };

@@ -26,6 +26,7 @@ use machine::MachineModel;
 use microkernel::UpdShape;
 use parallel::{split_even, ThreadPool};
 use std::collections::HashMap;
+use std::sync::Mutex;
 use tensor::{AVec, BlockedActs, BlockedFilter, ConvShape, VLEN};
 
 /// Planned weight-gradient pass.
@@ -42,6 +43,11 @@ pub struct UpdPlan {
     dout_pad: usize,
     /// Physical padding expected on the input tensor.
     input_pad: usize,
+    /// Reusable partial-copy buffer (`G·|dW|` floats when `G > 1`),
+    /// held by the plan so steady-state `run` calls stop allocating.
+    /// Taken out of the mutex for a call's duration; concurrent runs
+    /// of a shared plan fall back to a fresh allocation.
+    copy_scratch: Mutex<Option<AVec<f32>>>,
 }
 
 /// Bandwidth model of Section II-J: approximate bytes moved for a
@@ -143,7 +149,7 @@ impl UpdPlan {
         }
         for rows in rows_needed {
             variant_of_rows.entry(rows).or_insert_with(|| {
-                kernels.push(UpdKernel::new(
+                kernels.push(UpdKernel::cached(
                     UpdShape {
                         bp: rows,
                         bq: shape.q(),
@@ -166,6 +172,7 @@ impl UpdPlan {
             nthreads,
             dout_pad,
             input_pad,
+            copy_scratch: Mutex::new(None),
         }
     }
 
@@ -205,8 +212,14 @@ impl UpdPlan {
         let t = self.nthreads;
         let members = t / g;
         let wlen = dweights.as_slice().len();
-        // partial copies (zeroed); G == 1 accumulates into dW directly
-        let mut scratch: AVec<f32> = AVec::zeroed(if g > 1 { g * wlen } else { 0 });
+        // partial copies, reused across calls (re-zeroed in-region
+        // below); G == 1 accumulates into dW directly with no scratch
+        let slen = if g > 1 { g * wlen } else { 0 };
+        let taken = self.copy_scratch.lock().unwrap().take();
+        let mut scratch: AVec<f32> = match taken {
+            Some(b) if b.len() == slen => b,
+            _ => AVec::zeroed(slen),
+        };
         let scratch_ptr = SendMutPtr(scratch.as_mut_ptr());
         let dw_ptr = SendMutPtr(dweights.as_mut_ptr());
         let in_ptr = SendConstPtr(input.as_ptr());
@@ -231,6 +244,13 @@ impl UpdPlan {
         let shv = *sh;
 
         pool.run(move |ctx| {
+            if g > 1 {
+                // zero the (reused) partial copies before accumulating
+                let my = ctx.chunk(g * wlen);
+                // SAFETY: disjoint per-thread chunks of the scratch.
+                unsafe { std::ptr::write_bytes(scratch_ptr.get().add(my.start), 0, my.len()) };
+                ctx.barrier();
+            }
             let group = ctx.tid / members;
             let member = ctx.tid % members;
             let n_range = split_even(shv.n, g, group);
@@ -305,6 +325,9 @@ impl UpdPlan {
                 }
             }
         });
+        if g > 1 {
+            *self.copy_scratch.lock().unwrap() = Some(scratch);
+        }
     }
 }
 
@@ -377,6 +400,27 @@ mod tests {
         conv_upd_ref(&shape, &x, &gy, &mut dw_ref);
         let n = Norms::compare(dw_ref.as_slice(), dwb.to_kcrs().as_slice());
         assert!(n.ok(1e-3), "{n}");
+    }
+
+    #[test]
+    fn copy_scratch_is_reused_across_calls() {
+        let shape = ConvShape::new(4, 32, 32, 8, 8, 3, 3, 1, 1);
+        let pool = ThreadPool::new(4);
+        let b = blocking::choose(&shape);
+        let mut plan = UpdPlan::new(shape, b, 4, Backend::Auto, false, &MachineModel::skx(), 0);
+        plan.copies = 4; // force the partial-copy path
+        let x = Nchw::random(4, 32, 8, 8, 5);
+        let gy = Nchw::random(4, 32, 8, 8, 6);
+        let xb = BlockedActs::from_nchw(&x, 1);
+        let gyb = BlockedActs::from_nchw(&gy, 0);
+        let mut dwb = BlockedFilter::zeros(32, 32, 3, 3);
+        plan.run(&pool, &xb, &gyb, &mut dwb);
+        let first_ptr = plan.copy_scratch.lock().unwrap().as_ref().map(|s| s.as_ptr()).unwrap();
+        let out1 = dwb.as_slice().to_vec();
+        plan.run(&pool, &xb, &gyb, &mut dwb);
+        let second_ptr = plan.copy_scratch.lock().unwrap().as_ref().map(|s| s.as_ptr()).unwrap();
+        assert_eq!(first_ptr, second_ptr, "steady-state update must reuse the plan's buffer");
+        assert_eq!(out1, dwb.as_slice(), "re-zeroed scratch must reproduce identical dW");
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub mod parser;
 pub mod pipeline;
 pub mod spec;
 
-pub use net::{Network, StepStats};
+pub use net::{ExecMode, Network, StepStats};
 pub use parser::parse_topology;
 pub use spec::NodeSpec;

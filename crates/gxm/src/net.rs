@@ -1,31 +1,57 @@
-//! The ETG executor: a trainable network.
+//! The ETG executor: a trainable (or forward-only) network.
 //!
-//! `Network::build` infers every blob's geometry (including the
-//! physical padding each consumer convolution wants), allocates
-//! activations/gradients/parameters, and sets up one `ConvLayer` per
-//! convolution node (JIT + dryrun). `train_step` then executes the
-//! ETG's forward, backward and update schedules and applies SGD with
-//! momentum — the full training loop of Section III-C.
+//! Building a network is split into two phases mirroring the paper's
+//! setup/replay discipline:
+//!
+//! * the **plan phase** (`plan_graph`) compiles the topology to an
+//!   ETG, infers every blob's geometry (including the physical padding
+//!   each consumer convolution wants) and obtains one planned
+//!   `ConvLayer` per convolution node **through a [`PlanCache`]** —
+//!   repeated layer shapes JIT + dryrun once and share the plan;
+//! * the **allocate phase** materializes parameters and activation
+//!   storage for an [`ExecMode`]: `Training` keeps the classic
+//!   blob-per-node layout with gradients and momentum, `Inference`
+//!   allocates *no* gradient/momentum/scratch state and shares
+//!   activation buffers between nodes whose lifetimes do not overlap
+//!   (a liveness scan over the forward schedule —
+//!   [`crate::pipeline::fwd_last_use`]).
+//!
+//! `train_step` then executes the ETG's forward, backward and update
+//! schedules and applies SGD with momentum — the full training loop of
+//! Section III-C; `forward` alone serves inference.
 //!
 //! Split nodes are resolved as aliases: distribution is free forward,
 //! and the gradient reduction falls out of the accumulate-into-blob
 //! convention every backward operator follows.
 
 use crate::ops;
-use crate::pipeline::{compile, Etg, PassKind};
+use crate::pipeline::{compile, fwd_last_use, Etg, PassKind};
 use crate::spec::{NodeSpec, PoolKind};
-use conv::{ConvLayer, FusedOp, LayerOptions};
+use conv::{ConvLayer, FusedOp, LayerOptions, PlanCache};
 use parallel::ThreadPool;
+use std::collections::HashMap;
+use std::sync::Arc;
 use tensor::rng::SplitMix64;
 use tensor::{BlockedActs, BlockedFilter, VLEN};
 
-/// Activation + gradient pair for one blob.
-struct Blob {
-    act: BlockedActs,
-    grad: BlockedActs,
+/// How a network's storage is materialized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Activations + gradients + momentum: the full training loop.
+    #[default]
+    Training,
+    /// Forward-only serving: no gradient/momentum/scratch allocation,
+    /// activation buffers shared via the liveness memory plan.
+    Inference,
 }
 
-/// Parameter with gradient and momentum (flat f32).
+/// Activation (+ gradient, in training mode) storage for one slot.
+struct Blob {
+    act: BlockedActs,
+    grad: Option<BlockedActs>,
+}
+
+/// Parameter with (training-only) gradient and momentum (flat f32).
 struct Param {
     w: Vec<f32>,
     dw: Vec<f32>,
@@ -33,9 +59,28 @@ struct Param {
 }
 
 impl Param {
-    fn new(len: usize) -> Self {
-        Self { w: vec![0.0; len], dw: vec![0.0; len], vel: vec![0.0; len] }
+    fn new(mode: ExecMode, len: usize) -> Self {
+        match mode {
+            ExecMode::Training => {
+                Self { w: vec![0.0; len], dw: vec![0.0; len], vel: vec![0.0; len] }
+            }
+            ExecMode::Inference => Self { w: vec![0.0; len], dw: Vec::new(), vel: Vec::new() },
+        }
     }
+
+    fn training_bytes(&self) -> usize {
+        (self.dw.len() + self.vel.len()) * 4
+    }
+}
+
+/// Training-only state of a convolution node.
+struct ConvTrainState {
+    dw: BlockedFilter,
+    w_vel: BlockedFilter,
+    /// masked dO scratch (saved for the update pass)
+    dout_masked: BlockedActs,
+    /// dI scratch (accumulated into the bottom's grad)
+    di_scratch: BlockedActs,
 }
 
 #[allow(dead_code)]
@@ -47,17 +92,15 @@ impl Param {
 enum LayerState {
     Input,
     Conv {
-        layer: Box<ConvLayer>,
+        /// Shared plan handle (deduped through the [`PlanCache`]).
+        layer: Arc<ConvLayer>,
         w: BlockedFilter,
-        dw: BlockedFilter,
-        w_vel: BlockedFilter,
         bias: Option<Param>,
         relu: bool,
         eltwise: Option<usize>,
-        /// masked dO scratch (saved for the update pass)
-        dout_masked: BlockedActs,
-        /// dI scratch (accumulated into the bottom's grad)
-        di_scratch: BlockedActs,
+        /// `None` in inference mode — the zero-gradient-allocation
+        /// invariant the serving path depends on.
+        train: Option<ConvTrainState>,
     },
     Bn {
         gamma: Param,
@@ -97,13 +140,248 @@ pub struct StepStats {
     pub top1: f32,
 }
 
-/// A compiled, trainable network.
+/// Output of the plan phase: everything shape-dependent, including
+/// the (cached) convolution plans, but **no** tensor storage.
+struct GraphPlan {
+    etg: Etg,
+    /// Alias resolution: node → node owning its output blob.
+    alias: Vec<usize>,
+    /// Inferred (c, h, w) per node.
+    shapes: Vec<(usize, usize, usize)>,
+    /// Physical padding of each owner blob (max over conv consumers).
+    blob_pad: Vec<usize>,
+    /// One shared plan per convolution node.
+    conv_plans: Vec<Option<Arc<ConvLayer>>>,
+    input_node: usize,
+    loss_node: usize,
+    classes: usize,
+}
+
+/// Plan phase: compile the topology, infer geometry, and obtain every
+/// convolution plan through `cache` (one JIT + dryrun per *distinct*
+/// normalized layer, shared handles for repeats).
+fn plan_graph(nl: &[NodeSpec], minibatch: usize, threads: usize, cache: &PlanCache) -> GraphPlan {
+    let etg = compile(nl);
+    let nodes = &etg.eng.nodes;
+    let index: HashMap<String, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (n.name().to_string(), i)).collect();
+
+    // alias resolution for Split nodes
+    let mut alias: Vec<usize> = (0..nodes.len()).collect();
+    for (i, n) in nodes.iter().enumerate() {
+        if let NodeSpec::Split { bottom, .. } = n {
+            alias[i] = alias[index[bottom]];
+        }
+    }
+
+    // shape inference: (c, h, w) per node
+    let mut shapes: Vec<(usize, usize, usize)> = Vec::with_capacity(nodes.len());
+    for n in nodes.iter() {
+        let dim_of = |name: &str| shapes[alias[index[name]]];
+        let sh = match n {
+            NodeSpec::Input { c, h, w, .. } => (*c, *h, *w),
+            NodeSpec::Conv { bottom, k, r, s, stride, pad, .. } => {
+                let (_, h, w) = dim_of(bottom);
+                ((*k), (h + 2 * pad - r) / stride + 1, (w + 2 * pad - s) / stride + 1)
+            }
+            NodeSpec::Bn { bottom, .. } => dim_of(bottom),
+            NodeSpec::Pool { bottom, size, stride, pad, .. } => {
+                let (c, h, w) = dim_of(bottom);
+                (c, (h + 2 * pad - size) / stride + 1, (w + 2 * pad - size) / stride + 1)
+            }
+            NodeSpec::GlobalAvgPool { bottom, .. } => {
+                let (c, _, _) = dim_of(bottom);
+                (c, 1, 1)
+            }
+            NodeSpec::Fc { k, .. } => (*k, 1, 1),
+            NodeSpec::SoftmaxLoss { bottom, .. } => dim_of(bottom),
+            NodeSpec::Concat { bottoms, .. } => {
+                let (mut c, mut h, mut w) = (0, 0, 0);
+                for b in bottoms {
+                    let (cc, hh, ww) = dim_of(b);
+                    c += cc;
+                    h = hh;
+                    w = ww;
+                }
+                (c, h, w)
+            }
+            NodeSpec::Split { bottom, .. } => dim_of(bottom),
+        };
+        shapes.push(sh);
+    }
+
+    // padding inference: blob pad = max pad over conv consumers
+    let mut blob_pad = vec![0usize; nodes.len()];
+    for n in nodes.iter() {
+        if let NodeSpec::Conv { bottom, pad, .. } = n {
+            let owner = alias[index[bottom.as_str()]];
+            blob_pad[owner] = blob_pad[owner].max(*pad);
+        }
+    }
+    // conv outputs must stay pad-0 (they feed BN/pool/eltwise in the
+    // supported topologies); padded consumers read BN/pool outputs
+    for (i, n) in nodes.iter().enumerate() {
+        if matches!(n, NodeSpec::Conv { .. }) {
+            assert_eq!(
+                blob_pad[i],
+                0,
+                "conv '{}' output feeds a padded conv directly; insert a bn node",
+                n.name()
+            );
+        }
+    }
+
+    // convolution plans through the cache (the JIT + dryrun phase)
+    let mut conv_plans: Vec<Option<Arc<ConvLayer>>> = Vec::with_capacity(nodes.len());
+    let mut input_node = usize::MAX;
+    let mut loss_node = usize::MAX;
+    let mut classes = 0usize;
+    for (i, n) in nodes.iter().enumerate() {
+        let plan = match n {
+            NodeSpec::Input { .. } => {
+                input_node = i;
+                None
+            }
+            NodeSpec::SoftmaxLoss { bottom, .. } => {
+                loss_node = i;
+                classes = shapes[alias[index[bottom.as_str()]]].0;
+                None
+            }
+            NodeSpec::Conv { bottom, k, r, s, stride, pad, bias, relu, eltwise, .. } => {
+                // no fused-op variant applies bias together with a
+                // residual add — reject rather than silently drop the
+                // bias (real graphs put bias/relu on the BN nodes)
+                assert!(
+                    !(*bias && eltwise.is_some()),
+                    "conv '{}': bias=1 combined with eltwise is unsupported",
+                    n.name()
+                );
+                let bi = alias[index[bottom.as_str()]];
+                let (bc, bh, bw) = shapes[bi];
+                let shape =
+                    tensor::ConvShape::new(minibatch, bc, *k, bh, bw, *r, *s, *stride, *pad);
+                let fuse = match (bias, relu, eltwise.is_some()) {
+                    (true, true, false) => FusedOp::BiasRelu,
+                    (true, false, false) => FusedOp::Bias,
+                    (false, true, false) => FusedOp::Relu,
+                    (false, false, true) => FusedOp::Eltwise,
+                    (false, true, true) => FusedOp::EltwiseRelu,
+                    (true, _, true) => unreachable!("rejected above"),
+                    (false, false, false) => FusedOp::None,
+                };
+                Some(
+                    cache.get_or_build(
+                        shape,
+                        LayerOptions::new(threads)
+                            .with_fuse(fuse)
+                            .with_input_pad(blob_pad[bi])
+                            .with_dout_pad(0),
+                    ),
+                )
+            }
+            _ => None,
+        };
+        conv_plans.push(plan);
+    }
+    assert!(input_node != usize::MAX, "topology has no input node");
+    assert!(loss_node != usize::MAX, "topology has no softmaxloss node");
+    GraphPlan { etg, alias, shapes, blob_pad, conv_plans, input_node, loss_node, classes }
+}
+
+impl GraphPlan {
+    /// Physical padding of node `i`'s own output blob (convs, GAP and
+    /// FC always produce pad-0 tensors; the rest inherit the inferred
+    /// consumer padding).
+    fn out_pad(&self, i: usize) -> usize {
+        match self.etg.eng.nodes[i] {
+            NodeSpec::Conv { .. } | NodeSpec::GlobalAvgPool { .. } | NodeSpec::Fc { .. } => 0,
+            _ => self.blob_pad[i],
+        }
+    }
+
+    /// Whether node `i` owns an activation blob (Splits alias their
+    /// bottom, the loss head reads its bottom in place).
+    fn owns_blob(&self, i: usize) -> bool {
+        !matches!(self.etg.eng.nodes[i], NodeSpec::Split { .. } | NodeSpec::SoftmaxLoss { .. })
+    }
+}
+
+/// Inference memory plan: walk the forward schedule, hand every
+/// blob-owning node a slot, and return a node's slot to the free pool
+/// of its geometry once its last consumer has executed — so e.g. the
+/// early-stage 56×56 activations of ResNet-50 back many later nodes.
+///
+/// Reuse is keyed on the exact `(n, c, h, w, pad)` geometry. Every
+/// producer fully overwrites its logical interior and nothing writes
+/// the physical padding border, so a recycled buffer's border stays
+/// zero — the invariant padded convolutions rely on.
+///
+/// A dying input is released only *after* the current node's output
+/// slot is taken, so an operator never reads and writes one buffer.
+/// The network-input node's slot is pinned (never recycled): a batch
+/// loaded through `input_mut` stays valid across repeated forwards,
+/// the same contract training mode provides.
+fn assign_slots_inference(plan: &GraphPlan, minibatch: usize) -> (Vec<usize>, Vec<Option<Blob>>) {
+    type Geom = (usize, usize, usize, usize, usize);
+    let nodes_len = plan.etg.eng.nodes.len();
+    let last = fwd_last_use(&plan.etg, &plan.alias);
+    let geom_of = |i: usize| -> Geom {
+        let (c, h, w) = plan.shapes[i];
+        (minibatch, c, h, w, plan.out_pad(i))
+    };
+    let mut slot_of = vec![usize::MAX; nodes_len];
+    let mut slot_geom: Vec<Geom> = Vec::new();
+    let mut free: HashMap<Geom, Vec<usize>> = HashMap::new();
+    for (pos, t) in plan.etg.fwd.iter().enumerate() {
+        let node = t.node;
+        if plan.alias[node] != node || !plan.owns_blob(node) {
+            // alias nodes and the loss head own no storage; their
+            // inputs still die here, so fall through to the release
+        } else {
+            let geom = geom_of(node);
+            let slot = match free.get_mut(&geom).and_then(|v| v.pop()) {
+                Some(s) => s,
+                None => {
+                    slot_geom.push(geom);
+                    slot_geom.len() - 1
+                }
+            };
+            slot_of[node] = slot;
+        }
+        // release every distinct input blob whose last use is here
+        // (except the pinned network-input slot)
+        let mut dying: Vec<usize> = plan.etg.eng.preds[node]
+            .iter()
+            .map(|&p| plan.alias[p])
+            .filter(|&o| o != plan.input_node && last[o] == pos && slot_of[o] != usize::MAX)
+            .collect();
+        dying.sort_unstable();
+        dying.dedup();
+        for o in dying {
+            free.entry(geom_of(o)).or_default().push(slot_of[o]);
+        }
+    }
+    let blobs = slot_geom
+        .into_iter()
+        .map(|(n, c, h, w, pad)| {
+            Some(Blob { act: BlockedActs::zeros(n, c, h, w, pad), grad: None })
+        })
+        .collect();
+    (slot_of, blobs)
+}
+
+/// A compiled network (trainable or forward-only, per [`ExecMode`]).
 #[allow(dead_code)] // loss_node kept for graph introspection
 pub struct Network {
-    pool: ThreadPool,
+    pool: Arc<ThreadPool>,
     etg: Etg,
-    /// Blob storage per node (None for alias nodes).
+    mode: ExecMode,
+    /// Blob storage per slot. Training mode uses one slot per owner
+    /// node; inference mode shares slots between nodes with disjoint
+    /// forward lifetimes (the liveness memory plan).
     blobs: Vec<Option<Blob>>,
+    /// Owner node → slot index (usize::MAX for blob-less nodes).
+    slot_of: Vec<usize>,
     /// Alias resolution: node → node owning its output blob.
     alias: Vec<usize>,
     layers: Vec<LayerState>,
@@ -117,194 +395,144 @@ pub struct Network {
 }
 
 impl Network {
-    /// Compile a topology for a minibatch size and thread count.
+    /// Compile a topology for a minibatch size and thread count: a
+    /// private pool, a private plan cache, training mode.
     pub fn build(nl: &[NodeSpec], minibatch: usize, threads: usize) -> Self {
-        let etg = compile(nl);
-        let nodes = &etg.eng.nodes;
-        let index: std::collections::HashMap<String, usize> =
-            nodes.iter().enumerate().map(|(i, n)| (n.name().to_string(), i)).collect();
+        Self::build_with(
+            nl,
+            minibatch,
+            Arc::new(ThreadPool::new(threads)),
+            ExecMode::Training,
+            &PlanCache::new(),
+        )
+    }
 
-        // alias resolution for Split nodes
-        let mut alias: Vec<usize> = (0..nodes.len()).collect();
-        for (i, n) in nodes.iter().enumerate() {
-            if let NodeSpec::Split { bottom, .. } = n {
-                alias[i] = alias[index[bottom]];
-            }
-        }
+    /// Full-control build: a shared thread pool, an execution mode and
+    /// a shared [`PlanCache`]. Serving stacks pass one pool + cache to
+    /// every network they build so repeated layer shapes JIT once.
+    pub fn build_with(
+        nl: &[NodeSpec],
+        minibatch: usize,
+        pool: Arc<ThreadPool>,
+        mode: ExecMode,
+        cache: &PlanCache,
+    ) -> Self {
+        let threads = pool.nthreads();
+        let plan = plan_graph(nl, minibatch, threads, cache);
+        Self::allocate(plan, minibatch, pool, mode)
+    }
 
-        // shape inference: (c, h, w) per node
-        let mut shapes: Vec<(usize, usize, usize)> = Vec::with_capacity(nodes.len());
-        for (i, n) in nodes.iter().enumerate() {
-            let dim_of = |name: &str| shapes[alias[index[name]]];
-            let sh = match n {
-                NodeSpec::Input { c, h, w, .. } => (*c, *h, *w),
-                NodeSpec::Conv { bottom, k, r, s, stride, pad, .. } => {
-                    let (_, h, w) = dim_of(bottom);
-                    ((*k), (h + 2 * pad - r) / stride + 1, (w + 2 * pad - s) / stride + 1)
-                }
-                NodeSpec::Bn { bottom, .. } => dim_of(bottom),
-                NodeSpec::Pool { bottom, size, stride, pad, .. } => {
-                    let (c, h, w) = dim_of(bottom);
-                    (c, (h + 2 * pad - size) / stride + 1, (w + 2 * pad - size) / stride + 1)
-                }
-                NodeSpec::GlobalAvgPool { bottom, .. } => {
-                    let (c, _, _) = dim_of(bottom);
-                    (c, 1, 1)
-                }
-                NodeSpec::Fc { k, .. } => (*k, 1, 1),
-                NodeSpec::SoftmaxLoss { bottom, .. } => dim_of(bottom),
-                NodeSpec::Concat { bottoms, .. } => {
-                    let (mut c, mut h, mut w) = (0, 0, 0);
-                    for b in bottoms {
-                        let (cc, hh, ww) = dim_of(b);
-                        c += cc;
-                        h = hh;
-                        w = ww;
+    /// Allocate phase: materialize parameters and activation storage
+    /// for `mode` over a finished [`GraphPlan`].
+    fn allocate(plan: GraphPlan, minibatch: usize, pool: Arc<ThreadPool>, mode: ExecMode) -> Self {
+        let nodes_len = plan.etg.eng.nodes.len();
+        let index: HashMap<String, usize> =
+            plan.etg.eng.nodes.iter().enumerate().map(|(i, n)| (n.name().to_string(), i)).collect();
+
+        // activation storage: one slot per owner node in training,
+        // liveness-shared slots in inference
+        let (slot_of, blobs) = match mode {
+            ExecMode::Training => {
+                let mut slot_of = vec![usize::MAX; nodes_len];
+                let mut blobs: Vec<Option<Blob>> = Vec::with_capacity(nodes_len);
+                for i in 0..nodes_len {
+                    if plan.alias[i] == i && plan.owns_blob(i) {
+                        let (c, h, w) = plan.shapes[i];
+                        let pad = plan.out_pad(i);
+                        slot_of[i] = blobs.len();
+                        blobs.push(Some(Blob {
+                            act: BlockedActs::zeros(minibatch, c, h, w, pad),
+                            grad: Some(BlockedActs::zeros(minibatch, c, h, w, pad)),
+                        }));
                     }
-                    (c, h, w)
                 }
-                NodeSpec::Split { bottom, .. } => dim_of(bottom),
-            };
-            let _ = i;
-            shapes.push(sh);
-        }
-
-        // padding inference: blob pad = max pad over conv consumers
-        let mut blob_pad = vec![0usize; nodes.len()];
-        for n in nodes.iter() {
-            if let NodeSpec::Conv { bottom, pad, .. } = n {
-                let owner = alias[index[bottom.as_str()]];
-                blob_pad[owner] = blob_pad[owner].max(*pad);
+                (slot_of, blobs)
             }
-        }
-        // conv outputs must stay pad-0 (they feed BN/pool/eltwise in the
-        // supported topologies); padded consumers read BN/pool outputs
-        for (i, n) in nodes.iter().enumerate() {
-            if matches!(n, NodeSpec::Conv { .. }) {
-                assert_eq!(
-                    blob_pad[i],
-                    0,
-                    "conv '{}' output feeds a padded conv directly; insert a bn node",
-                    n.name()
-                );
-            }
-        }
+            ExecMode::Inference => assign_slots_inference(&plan, minibatch),
+        };
 
-        // allocate blobs + layer state
-        let pool = ThreadPool::new(threads);
+        // parameters + per-node operator state (identical RNG sequence
+        // in both modes, so training and inference nets built from one
+        // topology carry bit-identical initial weights)
         let mut rng = SplitMix64::new(0x5eed);
-        let mut blobs: Vec<Option<Blob>> = Vec::with_capacity(nodes.len());
-        let mut layers: Vec<LayerState> = Vec::with_capacity(nodes.len());
-        let mut input_node = usize::MAX;
-        let mut loss_node = usize::MAX;
-        let mut classes = 0usize;
-        for (i, n) in nodes.iter().enumerate() {
-            let (c, h, w) = shapes[i];
-            let mk_blob = |pad: usize| {
-                Some(Blob {
-                    act: BlockedActs::zeros(minibatch, c, h, w, pad),
-                    grad: BlockedActs::zeros(minibatch, c, h, w, pad),
-                })
-            };
-            let (blob, state) = match n {
-                NodeSpec::Input { .. } => {
-                    input_node = i;
-                    (mk_blob(blob_pad[i]), LayerState::Input)
-                }
-                NodeSpec::Conv { bottom, k, r, s, stride, pad, bias, relu, eltwise, .. } => {
-                    let bi = alias[index[bottom.as_str()]];
-                    let (bc, bh, bw) = shapes[bi];
-                    let shape =
-                        tensor::ConvShape::new(minibatch, bc, *k, bh, bw, *r, *s, *stride, *pad);
-                    let fuse = match (bias, relu, eltwise.is_some()) {
-                        (true, true, false) => FusedOp::BiasRelu,
-                        (true, false, false) => FusedOp::Bias,
-                        (false, true, false) => FusedOp::Relu,
-                        (false, false, true) => FusedOp::Eltwise,
-                        (false, true, true) | (true, true, true) => FusedOp::EltwiseRelu,
-                        (true, false, true) => FusedOp::Eltwise,
-                        (false, false, false) => FusedOp::None,
-                    };
-                    let layer = ConvLayer::new(
-                        shape,
-                        LayerOptions::new(threads)
-                            .with_fuse(fuse)
-                            .with_input_pad(blob_pad[bi])
-                            .with_dout_pad(0),
-                    );
+        let mut layers: Vec<LayerState> = Vec::with_capacity(nodes_len);
+        for (i, n) in plan.etg.eng.nodes.iter().enumerate() {
+            let index_of = |name: &str| index[name];
+            let (c, _, _) = plan.shapes[i];
+            let state = match n {
+                NodeSpec::Input { .. } => LayerState::Input,
+                NodeSpec::Conv { bottom, k, r, s, bias, relu, eltwise, .. } => {
+                    let layer = Arc::clone(plan.conv_plans[i].as_ref().expect("conv planned"));
+                    let bi = plan.alias[index_of(bottom.as_str())];
+                    let (bc, _, _) = plan.shapes[bi];
                     let mut wt = BlockedFilter::zeros(*k, bc, *r, *s);
                     he_init_filter(&mut wt, &mut rng);
-                    let bias_p = bias.then(|| Param::new(k.next_multiple_of(VLEN)));
-                    let state = LayerState::Conv {
-                        dout_masked: layer.new_output(),
-                        di_scratch: layer.new_input(),
-                        layer: Box::new(layer),
-                        w: wt,
+                    let bias_p = bias.then(|| Param::new(mode, k.next_multiple_of(VLEN)));
+                    let train = (mode == ExecMode::Training).then(|| ConvTrainState {
                         dw: BlockedFilter::zeros(*k, bc, *r, *s),
                         w_vel: BlockedFilter::zeros(*k, bc, *r, *s),
+                        dout_masked: layer.new_output(),
+                        di_scratch: layer.new_input(),
+                    });
+                    LayerState::Conv {
+                        layer,
+                        w: wt,
                         bias: bias_p,
                         relu: *relu,
-                        eltwise: eltwise.as_ref().map(|e| alias[index[e.as_str()]]),
-                    };
-                    (mk_blob(0), state)
+                        eltwise: eltwise.as_ref().map(|e| plan.alias[index_of(e.as_str())]),
+                        train,
+                    }
                 }
                 NodeSpec::Bn { relu, eltwise, .. } => {
                     let cpad = c.next_multiple_of(VLEN);
-                    let mut gamma = Param::new(cpad);
+                    let mut gamma = Param::new(mode, cpad);
                     gamma.w.fill(1.0);
-                    let state = LayerState::Bn {
+                    LayerState::Bn {
                         gamma,
-                        beta: Param::new(cpad),
+                        beta: Param::new(mode, cpad),
                         saved: ops::BnSaved::default(),
                         relu: *relu,
-                        eltwise: eltwise.as_ref().map(|e| alias[index[e.as_str()]]),
-                    };
-                    (mk_blob(blob_pad[i]), state)
+                        eltwise: eltwise.as_ref().map(|e| plan.alias[index_of(e.as_str())]),
+                    }
                 }
-                NodeSpec::Pool { kind, size, stride, pad, .. } => (
-                    mk_blob(blob_pad[i]),
-                    LayerState::Pool {
-                        kind: *kind,
-                        size: *size,
-                        stride: *stride,
-                        pad: *pad,
-                        argmax: Vec::new(),
-                    },
-                ),
-                NodeSpec::GlobalAvgPool { .. } => (mk_blob(0), LayerState::Gap),
+                NodeSpec::Pool { kind, size, stride, pad, .. } => LayerState::Pool {
+                    kind: *kind,
+                    size: *size,
+                    stride: *stride,
+                    pad: *pad,
+                    argmax: Vec::new(),
+                },
+                NodeSpec::GlobalAvgPool { .. } => LayerState::Gap,
                 NodeSpec::Fc { bottom, k, .. } => {
-                    let (bc, _, _) = shapes[alias[index[bottom.as_str()]]];
+                    let (bc, _, _) = plan.shapes[plan.alias[index_of(bottom.as_str())]];
                     let (in_dim, out_dim) = (bc.next_multiple_of(VLEN), k.next_multiple_of(VLEN));
-                    let mut w = Param::new(in_dim * out_dim);
+                    let mut w = Param::new(mode, in_dim * out_dim);
                     let scale = (2.0 / in_dim as f32).sqrt();
                     for v in w.w.iter_mut() {
                         *v = rng.next_f32() * 2.0 * scale;
                     }
-                    (mk_blob(0), LayerState::Fc { w, b: Param::new(out_dim), in_dim, out_dim })
+                    LayerState::Fc { w, b: Param::new(mode, out_dim), in_dim, out_dim }
                 }
-                NodeSpec::SoftmaxLoss { bottom, .. } => {
-                    loss_node = i;
-                    classes = shapes[alias[index[bottom.as_str()]]].0;
-                    (None, LayerState::SoftmaxLoss { probs: Vec::new(), classes })
+                NodeSpec::SoftmaxLoss { .. } => {
+                    LayerState::SoftmaxLoss { probs: Vec::new(), classes: plan.classes }
                 }
-                NodeSpec::Concat { .. } => (mk_blob(blob_pad[i]), LayerState::Concat),
-                NodeSpec::Split { .. } => (None, LayerState::Split),
+                NodeSpec::Concat { .. } => LayerState::Concat,
+                NodeSpec::Split { .. } => LayerState::Split,
             };
-            blobs.push(blob);
             layers.push(state);
         }
-        assert!(input_node != usize::MAX, "topology has no input node");
-        assert!(loss_node != usize::MAX, "topology has no softmaxloss node");
         Self {
             pool,
-            etg,
+            etg: plan.etg,
+            mode,
             blobs,
-            alias,
+            slot_of,
+            alias: plan.alias,
             layers,
-            input_node,
-            loss_node,
+            input_node: plan.input_node,
+            loss_node: plan.loss_node,
             minibatch,
-            classes,
+            classes: plan.classes,
             labels: Vec::new(),
         }
     }
@@ -335,14 +563,88 @@ impl Network {
         self.param_count() as f64 * 4.0
     }
 
+    /// The mode the network's storage was materialized for.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Number of gradient blobs currently allocated (0 in inference).
+    pub fn gradient_blob_count(&self) -> usize {
+        self.blobs.iter().flatten().filter(|b| b.grad.is_some()).count()
+    }
+
+    /// Bytes of training-only state: gradient blobs, weight gradients,
+    /// momentum and backward scratch. Exactly 0 in inference mode.
+    pub fn training_state_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for b in self.blobs.iter().flatten() {
+            if let Some(g) = &b.grad {
+                total += g.as_slice().len() * 4;
+            }
+        }
+        for l in &self.layers {
+            match l {
+                LayerState::Conv { bias, train, .. } => {
+                    if let Some(t) = train {
+                        total += (t.dw.as_slice().len() + t.w_vel.as_slice().len()) * 4;
+                        total +=
+                            (t.dout_masked.as_slice().len() + t.di_scratch.as_slice().len()) * 4;
+                    }
+                    if let Some(b) = bias {
+                        total += b.training_bytes();
+                    }
+                }
+                LayerState::Bn { gamma, beta, .. } => {
+                    total += gamma.training_bytes() + beta.training_bytes();
+                }
+                LayerState::Fc { w, b, .. } => total += w.training_bytes() + b.training_bytes(),
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Activation slots allocated (inference shares slots between
+    /// nodes with disjoint lifetimes, so this is below the node count).
+    pub fn activation_slot_count(&self) -> usize {
+        self.blobs.len()
+    }
+
+    /// Bytes of activation storage across all slots.
+    pub fn activation_bytes(&self) -> usize {
+        self.blobs.iter().flatten().map(|b| b.act.as_slice().len() * 4).sum()
+    }
+
+    /// Softmax probabilities of the last forward pass, one padded row
+    /// of `cb·VLEN` lanes per sample (the first [`Self::classes`] of
+    /// each row are the real classes). Empty before the first forward.
+    pub fn probabilities(&self) -> &[f32] {
+        if let LayerState::SoftmaxLoss { probs, .. } = &self.layers[self.loss_node] {
+            probs
+        } else {
+            unreachable!("loss node is a softmax")
+        }
+    }
+
     /// Mutable access to the input activation (fill with a batch).
+    ///
+    /// Valid in both modes: the inference memory plan pins the input
+    /// node's slot, so a loaded batch stays intact across repeated
+    /// `forward` calls exactly as in training mode.
     pub fn input_mut(&mut self) -> &mut BlockedActs {
-        let i = self.alias[self.input_node];
-        &mut self.blobs[i].as_mut().unwrap().act
+        let slot = self.slot_of[self.alias[self.input_node]];
+        &mut self.blobs[slot].as_mut().unwrap().act
+    }
+
+    /// Set the labels the next `forward` scores loss/top-1 against.
+    pub fn set_labels(&mut self, labels: &[usize]) {
+        assert_eq!(labels.len(), self.minibatch);
+        self.labels = labels.to_vec();
     }
 
     /// One full training step on (already loaded) input + labels.
     pub fn train_step(&mut self, labels: &[usize], lr: f32, momentum: f32) -> StepStats {
+        assert_eq!(self.mode, ExecMode::Training, "train_step needs a Training-mode network");
         assert_eq!(labels.len(), self.minibatch);
         self.labels = labels.to_vec();
         let stats = self.forward();
@@ -370,11 +672,11 @@ impl Network {
     }
 
     fn take_blob(&mut self, node: usize) -> Blob {
-        self.blobs[self.alias[node]].take().expect("blob taken twice")
+        self.blobs[self.slot_of[self.alias[node]]].take().expect("blob taken twice")
     }
 
     fn put_blob(&mut self, node: usize, b: Blob) {
-        self.blobs[self.alias[node]] = Some(b);
+        self.blobs[self.slot_of[self.alias[node]]] = Some(b);
     }
 
     fn bottoms_of(&self, node: usize) -> Vec<usize> {
@@ -531,8 +833,9 @@ impl Network {
 
     /// Backward pass (zeroes gradients first).
     pub fn backward(&mut self) {
+        assert_eq!(self.mode, ExecMode::Training, "backward needs a Training-mode network");
         for b in self.blobs.iter_mut().flatten() {
-            b.grad.zero();
+            b.grad.as_mut().expect("training blobs carry gradients").zero();
         }
         let bwd = self.etg.bwd.clone();
         for t in &bwd {
@@ -549,7 +852,7 @@ impl Network {
                 let mut bot = self.take_blob(bots[0]);
                 let labels = self.labels.clone();
                 if let LayerState::SoftmaxLoss { probs, classes } = &self.layers[node] {
-                    ops::softmax_loss_bwd(probs, *classes, &labels, &mut bot.grad);
+                    ops::softmax_loss_bwd(probs, *classes, &labels, bot.grad.as_mut().unwrap());
                 }
                 self.put_blob(bots[0], bot);
             }
@@ -561,9 +864,9 @@ impl Network {
                     ops::fc_bwd(
                         &self.pool,
                         &bot.act,
-                        &own.grad,
+                        own.grad.as_ref().unwrap(),
                         &w.w,
-                        &mut bot.grad,
+                        bot.grad.as_mut().unwrap(),
                         &mut w.dw,
                         &mut b.dw,
                     );
@@ -575,7 +878,7 @@ impl Network {
                 let bots = self.bottoms_of(node);
                 let mut bot = self.take_blob(bots[0]);
                 let own = self.take_blob(node);
-                ops::gap_bwd(&self.pool, &own.grad, &mut bot.grad);
+                ops::gap_bwd(&self.pool, own.grad.as_ref().unwrap(), bot.grad.as_mut().unwrap());
                 self.put_blob(bots[0], bot);
                 self.put_blob(node, own);
             }
@@ -585,16 +888,19 @@ impl Network {
                 let own = self.take_blob(node);
                 if let LayerState::Pool { kind, size, stride, pad, argmax } = &self.layers[node] {
                     match kind {
-                        PoolKind::Max => {
-                            ops::maxpool_bwd(&self.pool, &own.grad, argmax, &mut bot.grad)
-                        }
+                        PoolKind::Max => ops::maxpool_bwd(
+                            &self.pool,
+                            own.grad.as_ref().unwrap(),
+                            argmax,
+                            bot.grad.as_mut().unwrap(),
+                        ),
                         PoolKind::Avg => ops::avgpool_bwd(
                             &self.pool,
-                            &own.grad,
+                            own.grad.as_ref().unwrap(),
                             *size,
                             *stride,
                             *pad,
-                            &mut bot.grad,
+                            bot.grad.as_mut().unwrap(),
                         ),
                     }
                 }
@@ -615,12 +921,12 @@ impl Network {
                         &self.pool,
                         &bot.act,
                         &own.act,
-                        &own.grad,
+                        own.grad.as_ref().unwrap(),
                         &gamma.w,
                         saved,
                         *relu,
-                        res.as_mut().map(|b| &mut b.grad),
-                        &mut bot.grad,
+                        res.as_mut().map(|b| b.grad.as_mut().unwrap()),
+                        bot.grad.as_mut().unwrap(),
                         &mut gamma.dw,
                         &mut beta.dw,
                     );
@@ -640,62 +946,59 @@ impl Network {
                 } else {
                     None
                 };
-                if let LayerState::Conv {
-                    layer,
-                    w,
-                    bias,
-                    relu,
-                    eltwise,
-                    dout_masked,
-                    di_scratch,
-                    ..
-                } = &mut self.layers[node]
+                if let LayerState::Conv { layer, w, bias, relu, eltwise, train } =
+                    &mut self.layers[node]
                 {
+                    let ts = train.as_mut().expect("backward requires training-mode state");
+                    let own_grad = own.grad.as_ref().unwrap();
                     // mask the incoming gradient through the fused ReLU;
                     // route it to the residual branch as well
                     let has_post = *relu || eltwise.is_some();
-                    let g_len = own.grad.as_slice().len();
+                    let g_len = own_grad.as_slice().len();
                     if has_post {
                         for i in 0..g_len {
-                            let mut g = own.grad.as_slice()[i];
+                            let mut g = own_grad.as_slice()[i];
                             if *relu && own.act.as_slice()[i] <= 0.0 {
                                 g = 0.0;
                             }
-                            dout_masked.as_mut_slice()[i] = g;
+                            ts.dout_masked.as_mut_slice()[i] = g;
                         }
                         if eltwise.is_some() {
                             if let Some(r) = res.as_mut() {
-                                for (d, s) in
-                                    r.grad.as_mut_slice().iter_mut().zip(dout_masked.as_slice())
+                                for (d, s) in r
+                                    .grad
+                                    .as_mut()
+                                    .unwrap()
+                                    .as_mut_slice()
+                                    .iter_mut()
+                                    .zip(ts.dout_masked.as_slice())
                                 {
                                     *d += s;
                                 }
                             }
                         }
                     } else {
-                        dout_masked.as_mut_slice().copy_from_slice(own.grad.as_slice());
+                        ts.dout_masked.as_mut_slice().copy_from_slice(own_grad.as_slice());
                     }
                     // bias gradient
                     if let Some(bp) = bias.as_mut() {
                         bp.dw.fill(0.0);
-                        let kpad = dout_masked.cb * VLEN;
-                        let plane = dout_masked.h * dout_masked.w;
-                        for n in 0..dout_masked.n {
-                            for kb in 0..dout_masked.cb {
-                                let base = (n * dout_masked.cb + kb) * plane * VLEN;
+                        let dm = &ts.dout_masked;
+                        let plane = dm.h * dm.w;
+                        for n in 0..dm.n {
+                            for kb in 0..dm.cb {
+                                let base = (n * dm.cb + kb) * plane * VLEN;
                                 for px in 0..plane {
                                     for v in 0..VLEN {
-                                        bp.dw[kb * VLEN + v] +=
-                                            dout_masked.as_slice()[base + px * VLEN + v];
+                                        bp.dw[kb * VLEN + v] += dm.as_slice()[base + px * VLEN + v];
                                     }
                                 }
                             }
                         }
-                        let _ = kpad;
                     }
                     // dI then accumulate into the bottom's gradient
-                    layer.backward(&self.pool, dout_masked, w, di_scratch);
-                    ops::accumulate(&self.pool, &mut bot.grad, di_scratch);
+                    layer.backward(&self.pool, &ts.dout_masked, w, &mut ts.di_scratch);
+                    ops::accumulate(&self.pool, bot.grad.as_mut().unwrap(), &ts.di_scratch);
                 }
                 if let Some(r) = res {
                     self.put_blob(self.bottoms_of(node)[1], r);
@@ -709,8 +1012,8 @@ impl Network {
                 let mut parts: Vec<Blob> = bots.iter().map(|&b| self.take_blob(b)).collect();
                 {
                     let mut refs: Vec<&mut BlockedActs> =
-                        parts.iter_mut().map(|p| &mut p.grad).collect();
-                    ops::concat_bwd(&own.grad, &mut refs);
+                        parts.iter_mut().map(|p| p.grad.as_mut().unwrap()).collect();
+                    ops::concat_bwd(own.grad.as_ref().unwrap(), &mut refs);
                 }
                 for (b, p) in bots.iter().zip(parts) {
                     self.put_blob(*b, p);
@@ -722,13 +1025,15 @@ impl Network {
 
     /// Weight-gradient update pass (the heavy dW computations).
     pub fn update(&mut self) {
+        assert_eq!(self.mode, ExecMode::Training, "update needs a Training-mode network");
         let upd = self.etg.upd.clone();
         for t in &upd {
             if let NodeSpec::Conv { .. } = self.etg.eng.nodes[t.node] {
                 let bots = self.bottoms_of(t.node);
                 let bot = self.take_blob(bots[0]);
-                if let LayerState::Conv { layer, dw, dout_masked, .. } = &mut self.layers[t.node] {
-                    layer.update(&self.pool, &bot.act, dout_masked, dw);
+                if let LayerState::Conv { layer, train, .. } = &mut self.layers[t.node] {
+                    let ts = train.as_mut().expect("update requires training-mode state");
+                    layer.update(&self.pool, &bot.act, &ts.dout_masked, &mut ts.dw);
                 }
                 self.put_blob(bots[0], bot);
             }
@@ -737,6 +1042,7 @@ impl Network {
 
     /// SGD with momentum over every parameter.
     pub fn sgd(&mut self, lr: f32, momentum: f32) {
+        assert_eq!(self.mode, ExecMode::Training, "sgd needs a Training-mode network");
         let step = |w: &mut [f32], dw: &[f32], vel: &mut [f32]| {
             for i in 0..w.len() {
                 vel[i] = momentum * vel[i] - lr * dw[i];
@@ -745,8 +1051,9 @@ impl Network {
         };
         for l in self.layers.iter_mut() {
             match l {
-                LayerState::Conv { w, dw, w_vel, bias, .. } => {
-                    step(w.as_mut_slice(), dw.as_slice(), w_vel.as_mut_slice());
+                LayerState::Conv { w, bias, train, .. } => {
+                    let ts = train.as_mut().expect("sgd requires training-mode state");
+                    step(w.as_mut_slice(), ts.dw.as_slice(), ts.w_vel.as_mut_slice());
                     if let Some(b) = bias {
                         step(&mut b.w, &b.dw, &mut b.vel);
                     }
@@ -877,5 +1184,133 @@ mod tests {
         let net = Network::build(&small_cnn(), 2, 2);
         // c1: 32*16*9 + 32, c2: 32*32 + 32, fc: 32*16(padded)… > 5k
         assert!(net.param_count() > 5_000, "{}", net.param_count());
+    }
+
+    #[test]
+    fn inference_forward_matches_training_exactly() {
+        let nl = small_cnn();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(4));
+        let mut train = Network::build_with(&nl, 8, Arc::clone(&pool), ExecMode::Training, &cache);
+        let mut infer = Network::build_with(&nl, 8, Arc::clone(&pool), ExecMode::Inference, &cache);
+        let first_build_misses = cache.misses();
+        // the second build must not have JIT'd anything new
+        assert_eq!(first_build_misses, 2, "two distinct conv layers in the topology");
+        assert!(cache.hits() >= 2, "inference build must reuse the training build's plans");
+
+        let mut rng = SplitMix64::new(7);
+        let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
+        rng.fill_f32(&mut input);
+        train.input_mut().as_mut_slice().copy_from_slice(&input);
+        infer.input_mut().as_mut_slice().copy_from_slice(&input);
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        train.set_labels(&labels);
+        infer.set_labels(&labels);
+        let st = train.forward();
+        let si = infer.forward();
+        assert_eq!(st.loss, si.loss, "losses must agree bit-for-bit");
+        assert_eq!(st.top1, si.top1);
+        assert_eq!(train.probabilities(), infer.probabilities());
+    }
+
+    #[test]
+    fn inference_mode_allocates_no_training_state() {
+        let nl = small_cnn();
+        let infer = Network::build_with(
+            &nl,
+            4,
+            Arc::new(ThreadPool::new(2)),
+            ExecMode::Inference,
+            &PlanCache::new(),
+        );
+        assert_eq!(infer.mode(), ExecMode::Inference);
+        assert_eq!(infer.gradient_blob_count(), 0, "no gradient blobs in inference");
+        assert_eq!(infer.training_state_bytes(), 0, "no dW/momentum/scratch in inference");
+        let train = Network::build(&nl, 4, 2);
+        assert!(train.gradient_blob_count() > 0);
+        assert!(train.training_state_bytes() > 0);
+    }
+
+    #[test]
+    fn inference_liveness_plan_shares_slots() {
+        // a same-geometry conv chain: only a handful of buffers must
+        // stay live at any point of the forward schedule
+        let nl = parse_topology(
+            "input name=data c=16 h=8 w=8\n\
+             conv name=a bottom=data k=16 relu=1\n\
+             conv name=b bottom=a k=16 relu=1\n\
+             conv name=c bottom=b k=16 relu=1\n\
+             conv name=d bottom=c k=16 relu=1\n\
+             conv name=e bottom=d k=16 relu=1\n\
+             gap name=g bottom=e\n\
+             fc name=logits bottom=g k=16\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(2));
+        let train = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache);
+        let infer = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache);
+        assert!(
+            infer.activation_slot_count() < train.activation_slot_count(),
+            "liveness plan must share buffers: {} vs {}",
+            infer.activation_slot_count(),
+            train.activation_slot_count()
+        );
+        assert!(infer.activation_bytes() < train.activation_bytes());
+        // the five 1×1 convs share one normalized shape: one plan
+        assert_eq!(cache.misses(), 1, "identical chain convs must share one plan");
+    }
+
+    #[test]
+    fn inference_residual_network_matches_training() {
+        // eltwise fan-out through a split: liveness must keep the
+        // residual blob alive until its consumer
+        let nl = parse_topology(
+            "input name=data c=16 h=8 w=8\n\
+             conv name=c0 bottom=data k=16\n\
+             bn name=b0 bottom=c0 relu=1\n\
+             conv name=c1 bottom=b0 k=16 r=3 s=3 pad=1\n\
+             bn name=b1 bottom=c1 relu=1\n\
+             conv name=c2 bottom=b1 k=16 r=3 s=3 pad=1\n\
+             bn name=b2 bottom=c2 eltwise=b0 relu=1\n\
+             gap name=g bottom=b2\n\
+             fc name=logits bottom=g k=16\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(3));
+        let mut train = Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Training, &cache);
+        let mut infer = Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Inference, &cache);
+        let mut rng = SplitMix64::new(11);
+        let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
+        rng.fill_f32(&mut input);
+        let labels = vec![0usize, 1, 2, 3];
+        train.set_labels(&labels);
+        infer.set_labels(&labels);
+        // fill ONCE, forward repeatedly: the pinned input slot must
+        // keep the batch intact across recycled-buffer forwards
+        train.input_mut().as_mut_slice().copy_from_slice(&input);
+        infer.input_mut().as_mut_slice().copy_from_slice(&input);
+        for step in 0..3 {
+            let st = train.forward();
+            let si = infer.forward();
+            assert_eq!(st.loss, si.loss, "step {step}");
+            assert_eq!(train.probabilities(), infer.probabilities(), "step {step}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Training-mode network")]
+    fn inference_network_rejects_train_step() {
+        let mut infer = Network::build_with(
+            &small_cnn(),
+            2,
+            Arc::new(ThreadPool::new(1)),
+            ExecMode::Inference,
+            &PlanCache::new(),
+        );
+        infer.train_step(&[0, 1], 0.1, 0.9);
     }
 }

@@ -154,6 +154,27 @@ pub fn compile(nl: &[NodeSpec]) -> Etg {
     build_etg(build_eng(extend_nl(nl)))
 }
 
+/// Forward-schedule liveness: for every blob-owning node, the last
+/// position in `etg.fwd` at which its output blob is read (by a
+/// consumer, through any Split alias) or written (by the node itself).
+///
+/// `alias[i]` maps node `i` to the node owning its output blob (Split
+/// nodes alias their bottom; everything else owns itself). The result
+/// is indexed by owner node and drives the inference executor's
+/// buffer-reuse plan: after position `last_use[o]` the owner's
+/// activation storage is dead and can back a later node's output.
+pub fn fwd_last_use(etg: &Etg, alias: &[usize]) -> Vec<usize> {
+    let mut last = vec![0usize; etg.eng.nodes.len()];
+    for (pos, t) in etg.fwd.iter().enumerate() {
+        last[alias[t.node]] = last[alias[t.node]].max(pos);
+        for &p in &etg.eng.preds[t.node] {
+            let o = alias[p];
+            last[o] = last[o].max(pos);
+        }
+    }
+    last
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +231,30 @@ mod tests {
                 assert!(p < i);
             }
         }
+    }
+
+    #[test]
+    fn liveness_tracks_split_consumers() {
+        let etg = compile(&residual_nl());
+        let nodes = &etg.eng.nodes;
+        // resolve aliases exactly as the executor does
+        let index: HashMap<String, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (n.name().to_string(), i)).collect();
+        let mut alias: Vec<usize> = (0..nodes.len()).collect();
+        for (i, n) in nodes.iter().enumerate() {
+            if let NodeSpec::Split { bottom, .. } = n {
+                alias[i] = alias[index[bottom.as_str()]];
+            }
+        }
+        let last = fwd_last_use(&etg, &alias);
+        // conv `a` fans out through a split to `b` and the eltwise of
+        // `c`: its blob must stay live until `c` executes
+        let a = index["a"];
+        let c_pos = etg.fwd.iter().position(|t| t.node == index["c"]).unwrap();
+        assert_eq!(last[a], c_pos);
+        // the final fc feeds only the loss (the schedule's last task)
+        let f = index["f"];
+        assert_eq!(last[f], etg.fwd.len() - 1);
     }
 
     #[test]

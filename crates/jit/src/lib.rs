@@ -2,7 +2,7 @@
 //!
 //! This crate is the faithful reproduction of the paper's central
 //! mechanism: *"we implemented a runtime just-in-time (JIT) code
-//! generator following the ideas presented in [LIBXSMM]"* (Section
+//! generator following the ideas presented in \[LIBXSMM\]"* (Section
 //! II-D). At layer-setup time a [`microkernel::KernelShape`] is
 //! assembled into straight-line AVX-512 machine code in an executable
 //! buffer:

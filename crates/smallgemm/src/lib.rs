@@ -1,4 +1,4 @@
-//! Small-GEMM library — the LIBXSMM [14] substrate.
+//! Small-GEMM library — the LIBXSMM \[14\] substrate.
 //!
 //! The paper builds its convolution microkernels on the insight that
 //! the innermost computation is a sequence of *small* GEMMs whose `M`

@@ -60,8 +60,16 @@ pub fn inception_v3_layers(minibatch: usize) -> Vec<(usize, ConvShape)> {
 /// repeats these block patterns; one of each exercises every operator
 /// class (concat, avg-pool branch, factorized convs).
 pub fn inception_v3_topology(classes: usize) -> String {
+    inception_v3_topology_sized(147, classes)
+}
+
+/// As [`inception_v3_topology`] with a configurable input resolution
+/// (tests and inference benchmarks run the same graph at reduced
+/// spatial extents; `input_hw` must survive the three stride-2 stages,
+/// so ≥ 31 keeps every block non-degenerate).
+pub fn inception_v3_topology_sized(input_hw: usize, classes: usize) -> String {
     let mut t = String::new();
-    t.push_str("input name=data c=3 h=147 w=147\n");
+    t.push_str(&format!("input name=data c=3 h={input_hw} w={input_hw}\n"));
     // stem (shortened: v3's 299→147 double-stride stem collapsed)
     t.push_str("conv name=stem1 bottom=data k=32 r=3 s=3 stride=2 pad=1\n");
     t.push_str("bn name=stem1bn bottom=stem1 relu=1\n");
@@ -122,5 +130,13 @@ mod tests {
         let nl = gxm::parse_topology(&inception_v3_topology(1000)).expect("valid");
         assert!(nl.iter().any(|n| matches!(n, gxm::NodeSpec::Concat { .. })));
         // the mixed block concatenates 64+64+96+32 = 256 channels
+    }
+
+    #[test]
+    fn sized_topology_matches_default_at_147() {
+        assert_eq!(inception_v3_topology(10), inception_v3_topology_sized(147, 10));
+        // a reduced-resolution instance still parses
+        let nl = gxm::parse_topology(&inception_v3_topology_sized(63, 10)).expect("valid");
+        assert!(nl.iter().any(|n| matches!(n, gxm::NodeSpec::Concat { .. })));
     }
 }

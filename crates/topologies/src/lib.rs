@@ -10,5 +10,5 @@
 pub mod inception;
 pub mod resnet;
 
-pub use inception::{inception_v3_layers, inception_v3_topology};
+pub use inception::{inception_v3_layers, inception_v3_topology, inception_v3_topology_sized};
 pub use resnet::{resnet50_table1, resnet50_topology, TableRow};

@@ -1,0 +1,66 @@
+//! Forward-only serving through the `InferenceSession` facade: build
+//! ResNet-50 once through the shared plan cache (one JIT + dryrun per
+//! distinct layer shape), then loop `run(batch) -> outputs`.
+//!
+//! ```sh
+//! cargo run --release --example inference_serving -- [--hw 64] [--batches 8]
+//! ```
+
+use anatomy::InferenceSession;
+
+fn arg(key: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let hw = arg("--hw", 64);
+    let minibatch = arg("--minibatch", 2);
+    let batches = arg("--batches", 8);
+    let threads = arg("--threads", anatomy::parallel::hardware_threads().min(8));
+
+    let topology = anatomy::topologies::resnet50_topology(hw, 1000);
+    println!("ResNet-50 @ {hw}x{hw}, minibatch {minibatch}, {threads} threads");
+
+    let t0 = std::time::Instant::now();
+    let mut session =
+        InferenceSession::new(&topology, minibatch, threads).expect("topology parses");
+    let stats = session.cache_stats();
+    println!(
+        "setup: {:.2?} — {} conv nodes planned, {} distinct plans (cache hit rate {:.0}%)",
+        t0.elapsed(),
+        stats.hits + stats.misses,
+        stats.entries,
+        stats.hit_rate() * 100.0
+    );
+    let net = session.network();
+    println!(
+        "inference memory plan: {} activation slots, {:.1} MiB activations, {} B training state",
+        net.activation_slot_count(),
+        net.activation_bytes() as f64 / (1024.0 * 1024.0),
+        net.training_state_bytes()
+    );
+
+    // synthetic traffic: a deterministic batch per request
+    let mut rng = anatomy::tensor::rng::SplitMix64::new(42);
+    let mut batch = vec![0.0f32; minibatch * 3 * hw * hw];
+    let t0 = std::time::Instant::now();
+    let mut last_top1 = Vec::new();
+    for _ in 0..batches {
+        rng.fill_f32(&mut batch);
+        let out = session.run(&batch);
+        last_top1 = out.top1;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    println!(
+        "served {} images in {:.2}s — {:.1} images/s (last top-1: {:?})",
+        batches * minibatch,
+        secs,
+        (batches * minibatch) as f64 / secs,
+        last_top1
+    );
+}

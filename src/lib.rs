@@ -33,3 +33,156 @@ pub use parallel;
 pub use smallgemm;
 pub use tensor;
 pub use topologies;
+
+use std::sync::Arc;
+
+/// One batch's worth of inference results.
+#[derive(Clone, Debug)]
+pub struct InferenceOutput {
+    /// Softmax probabilities, `minibatch × classes` row-major (dense,
+    /// without SIMD-lane padding).
+    pub probs: Vec<f32>,
+    /// Arg-max class per sample.
+    pub top1: Vec<usize>,
+}
+
+/// The serving entry point: a forward-only network behind a shared
+/// thread pool and a shared layer-plan cache.
+///
+/// A session owns an [`gxm::ExecMode::Inference`] network — no
+/// gradient, momentum or backward-scratch allocation, activation
+/// buffers recycled via the liveness memory plan — and exposes a
+/// `run(batch) → outputs` loop. Several sessions (e.g. one per model,
+/// or one per minibatch size) can share one pool and one cache so
+/// repeated layer shapes JIT once per process:
+///
+/// ```
+/// use anatomy::InferenceSession;
+///
+/// let topo = "input name=data c=3 h=8 w=8\n\
+///             conv name=c1 bottom=data k=16 r=3 s=3 pad=1 bias=1 relu=1\n\
+///             gap name=g bottom=c1\n\
+///             fc name=logits bottom=g k=4\n\
+///             softmaxloss name=loss bottom=logits\n";
+/// let mut session = InferenceSession::new(topo, 2, 2).unwrap();
+/// let batch = vec![0.5f32; 2 * 3 * 8 * 8];
+/// let out = session.run(&batch);
+/// assert_eq!(out.top1.len(), 2);
+/// assert_eq!(out.probs.len(), 2 * session.classes());
+/// ```
+pub struct InferenceSession {
+    net: gxm::Network,
+    pool: Arc<parallel::ThreadPool>,
+    cache: conv::PlanCache,
+    minibatch: usize,
+    in_c: usize,
+    in_h: usize,
+    in_w: usize,
+}
+
+impl InferenceSession {
+    /// Build a session with a private pool and cache.
+    pub fn new(topology: &str, minibatch: usize, threads: usize) -> Result<Self, String> {
+        Self::with_shared(
+            topology,
+            minibatch,
+            Arc::new(parallel::ThreadPool::new(threads)),
+            conv::PlanCache::new(),
+        )
+    }
+
+    /// Build a session sharing `pool` and `cache` with other sessions
+    /// (the cache dedupes JIT + dryrun work across all of them).
+    pub fn with_shared(
+        topology: &str,
+        minibatch: usize,
+        pool: Arc<parallel::ThreadPool>,
+        cache: conv::PlanCache,
+    ) -> Result<Self, String> {
+        let nl = gxm::parse_topology(topology)?;
+        let (in_c, in_h, in_w) = nl
+            .iter()
+            .find_map(|n| match n {
+                gxm::NodeSpec::Input { c, h, w, .. } => Some((*c, *h, *w)),
+                _ => None,
+            })
+            .ok_or_else(|| "topology has no input node".to_string())?;
+        let net = gxm::Network::build_with(
+            &nl,
+            minibatch,
+            Arc::clone(&pool),
+            gxm::ExecMode::Inference,
+            &cache,
+        );
+        Ok(Self { net, pool, cache, minibatch, in_c, in_h, in_w })
+    }
+
+    /// Run one batch (`minibatch × c × h × w` NCHW f32) and return the
+    /// softmax probabilities and top-1 predictions.
+    pub fn run(&mut self, batch: &[f32]) -> InferenceOutput {
+        assert_eq!(
+            batch.len(),
+            self.minibatch * self.in_c * self.in_h * self.in_w,
+            "batch must be minibatch × c × h × w NCHW f32"
+        );
+        // load the batch — zero first so lane padding (c beyond the
+        // logical channel count) and physical borders hold the value
+        // the kernels assume regardless of the previous batch
+        let (c, h, w) = (self.in_c, self.in_h, self.in_w);
+        let input = self.net.input_mut();
+        input.zero();
+        for n in 0..self.minibatch {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        input.set(n, ci, hi, wi, batch[((n * c + ci) * h + hi) * w + wi]);
+                    }
+                }
+            }
+        }
+        self.net.forward();
+        let classes = self.net.classes;
+        let padded = self.net.probabilities();
+        let kpad = padded.len() / self.minibatch;
+        let mut probs = Vec::with_capacity(self.minibatch * classes);
+        let mut top1 = Vec::with_capacity(self.minibatch);
+        for n in 0..self.minibatch {
+            let row = &padded[n * kpad..n * kpad + classes];
+            probs.extend_from_slice(row);
+            let best =
+                row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
+            top1.push(best);
+        }
+        InferenceOutput { probs, top1 }
+    }
+
+    /// Class count of the model's softmax head.
+    pub fn classes(&self) -> usize {
+        self.net.classes
+    }
+
+    /// The session's batch size.
+    pub fn minibatch(&self) -> usize {
+        self.minibatch
+    }
+
+    /// The shared thread pool (hand it to further sessions).
+    pub fn pool(&self) -> &Arc<parallel::ThreadPool> {
+        &self.pool
+    }
+
+    /// The shared plan cache (hand it to further sessions).
+    pub fn cache(&self) -> &conv::PlanCache {
+        &self.cache
+    }
+
+    /// Plan-cache counters (hit rate is the serving-path health metric).
+    pub fn cache_stats(&self) -> conv::PlanCacheStats {
+        self.cache.stats()
+    }
+
+    /// The underlying forward-only network (introspection).
+    pub fn network(&self) -> &gxm::Network {
+        &self.net
+    }
+}

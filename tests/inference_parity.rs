@@ -1,0 +1,204 @@
+//! Inference-mode acceptance tests on the real paper topologies:
+//!
+//! * building ResNet-50 through a shared [`conv::PlanCache`] performs
+//!   one JIT + dryrun per *distinct* layer shape (the distinct count
+//!   is recomputed here independently of the executor),
+//! * an `ExecMode::Inference` network allocates zero gradient blobs
+//!   and zero training-state bytes while its forward pass matches the
+//!   training-mode network bit-for-bit (loss, top-1, probabilities),
+//! * the `InferenceSession` facade serves batches end to end.
+
+use anatomy::conv::PlanCache;
+use anatomy::gxm::{parse_topology, ExecMode, Network, NodeSpec};
+use anatomy::parallel::ThreadPool;
+use anatomy::tensor::rng::SplitMix64;
+use anatomy::tensor::ConvShape;
+use anatomy::InferenceSession;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Count the distinct normalized conv layers of a topology the same
+/// way a cache key sees them — (ConvShape, input blob padding) — but
+/// computed directly from the node list, independent of `gxm`'s plan
+/// phase. (The graph convolutions carry no fused ops; BN owns those.)
+fn distinct_conv_layers(nl: &[NodeSpec], minibatch: usize) -> usize {
+    let mut dims: HashMap<&str, (usize, usize, usize)> = HashMap::new(); // name -> (c, h, w)
+    let mut blob_pad: HashMap<&str, usize> = HashMap::new();
+    // consumer padding first: blob pad = max pad over conv consumers
+    for n in nl {
+        if let NodeSpec::Conv { bottom, pad, .. } = n {
+            let e = blob_pad.entry(bottom.as_str()).or_insert(0);
+            *e = (*e).max(*pad);
+        }
+    }
+    let mut shapes: HashSet<(ConvShape, usize)> = HashSet::new();
+    for n in nl {
+        match n {
+            NodeSpec::Input { name, c, h, w, .. } => {
+                dims.insert(name, (*c, *h, *w));
+            }
+            NodeSpec::Conv { name, bottom, k, r, s, stride, pad, .. } => {
+                let (bc, bh, bw) = dims[bottom.as_str()];
+                let shape = ConvShape::new(minibatch, bc, *k, bh, bw, *r, *s, *stride, *pad);
+                let input_pad = blob_pad.get(bottom.as_str()).copied().unwrap_or(0);
+                shapes.insert((shape, input_pad));
+                dims.insert(name, (*k, shape.p(), shape.q()));
+            }
+            NodeSpec::Bn { name, bottom, .. } => {
+                let d = dims[bottom.as_str()];
+                dims.insert(name, d);
+            }
+            NodeSpec::Pool { name, bottom, size, stride, pad, .. } => {
+                let (c, h, w) = dims[bottom.as_str()];
+                let oh = (h + 2 * pad - size) / stride + 1;
+                let ow = (w + 2 * pad - size) / stride + 1;
+                dims.insert(name, (c, oh, ow));
+            }
+            NodeSpec::GlobalAvgPool { name, bottom, .. } => {
+                let (c, _, _) = dims[bottom.as_str()];
+                dims.insert(name, (c, 1, 1));
+            }
+            NodeSpec::Fc { name, k, .. } => {
+                dims.insert(name, (*k, 1, 1));
+            }
+            NodeSpec::Concat { name, bottoms, .. } => {
+                let mut c = 0;
+                let (mut h, mut w) = (0, 0);
+                for b in bottoms {
+                    let (cc, hh, ww) = dims[b.as_str()];
+                    c += cc;
+                    h = hh;
+                    w = ww;
+                }
+                dims.insert(name, (c, h, w));
+            }
+            NodeSpec::SoftmaxLoss { .. } | NodeSpec::Split { .. } => {}
+        }
+    }
+    shapes.len()
+}
+
+#[test]
+fn resnet50_builds_once_per_distinct_shape_and_inference_matches_training() {
+    let text = anatomy::topologies::resnet50_topology(32, 10);
+    let nl = parse_topology(&text).unwrap();
+    let convs = nl.iter().filter(|n| matches!(n, NodeSpec::Conv { .. })).count();
+    assert_eq!(convs, 53, "the full ResNet-50 graph");
+    let distinct = distinct_conv_layers(&nl, 2);
+    assert!(distinct < convs, "repeats exist: {distinct} distinct of {convs}");
+
+    let cache = PlanCache::new();
+    let pool = Arc::new(ThreadPool::new(4));
+    let mut train = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache);
+    // one JIT + dryrun per distinct layer shape, not per node
+    assert_eq!(
+        cache.misses(),
+        distinct,
+        "cache must build exactly one plan per distinct (shape, input_pad)"
+    );
+    assert_eq!(cache.hits(), convs - distinct, "every repeat must hit");
+
+    // the inference build reuses every plan: zero further misses
+    let mut infer = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache);
+    assert_eq!(cache.misses(), distinct, "inference build must JIT nothing");
+    assert_eq!(cache.hits(), 2 * convs - distinct);
+
+    // zero gradient/momentum allocation in inference
+    assert_eq!(infer.gradient_blob_count(), 0);
+    assert_eq!(infer.training_state_bytes(), 0);
+    assert!(train.training_state_bytes() > 0);
+    assert!(
+        infer.activation_slot_count() < train.activation_slot_count(),
+        "liveness plan must share buffers ({} vs {})",
+        infer.activation_slot_count(),
+        train.activation_slot_count()
+    );
+
+    // forward parity: loss and top-1 agree exactly
+    let mut rng = SplitMix64::new(99);
+    let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
+    rng.fill_f32(&mut input);
+    let labels = vec![3usize, 7];
+    train.set_labels(&labels);
+    infer.set_labels(&labels);
+    train.input_mut().as_mut_slice().copy_from_slice(&input);
+    infer.input_mut().as_mut_slice().copy_from_slice(&input);
+    let st = train.forward();
+    let si = infer.forward();
+    assert_eq!(st.loss, si.loss, "ResNet-50 inference forward must match training exactly");
+    assert_eq!(st.top1, si.top1);
+    assert_eq!(train.probabilities(), infer.probabilities());
+}
+
+#[test]
+fn inception_inference_matches_training() {
+    let text = anatomy::topologies::inception_v3_topology_sized(63, 10);
+    let nl = parse_topology(&text).unwrap();
+    let cache = PlanCache::new();
+    let pool = Arc::new(ThreadPool::new(4));
+    let mut train = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache);
+    let misses_after_train = cache.misses();
+    let mut infer = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache);
+    assert_eq!(cache.misses(), misses_after_train, "inference build must JIT nothing new");
+    assert_eq!(infer.gradient_blob_count(), 0);
+    assert_eq!(infer.training_state_bytes(), 0);
+
+    let mut rng = SplitMix64::new(123);
+    let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
+    rng.fill_f32(&mut input);
+    let labels = vec![1usize, 4];
+    train.set_labels(&labels);
+    infer.set_labels(&labels);
+    for step in 0..2 {
+        train.input_mut().as_mut_slice().copy_from_slice(&input);
+        infer.input_mut().as_mut_slice().copy_from_slice(&input);
+        let st = train.forward();
+        let si = infer.forward();
+        assert_eq!(st.loss, si.loss, "step {step}: Inception inference must match training");
+        assert_eq!(st.top1, si.top1, "step {step}");
+        assert_eq!(train.probabilities(), infer.probabilities(), "step {step}");
+    }
+}
+
+#[test]
+fn inference_session_serves_batches() {
+    let topo = anatomy::topologies::resnet50_topology(32, 10);
+    let mut session = InferenceSession::new(&topo, 2, 2).expect("valid topology");
+    assert_eq!(session.classes(), 10);
+    assert_eq!(session.network().training_state_bytes(), 0);
+
+    let mut rng = SplitMix64::new(5);
+    let mut batch = vec![0.0f32; 2 * 3 * 32 * 32];
+    let mut first = None;
+    for i in 0..3 {
+        rng.fill_f32(&mut batch);
+        if i == 0 {
+            first = Some(batch.clone());
+        }
+        let out = session.run(&batch);
+        assert_eq!(out.top1.len(), 2);
+        assert_eq!(out.probs.len(), 2 * 10);
+        for n in 0..2 {
+            let row = &out.probs[n * 10..(n + 1) * 10];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "probabilities must sum to 1, got {sum}");
+            assert!(row.iter().all(|p| *p >= 0.0));
+        }
+    }
+    // replaying the first batch reproduces its outputs exactly
+    // (recycled buffers hold no hidden state)
+    let first = first.unwrap();
+    let a = session.run(&first);
+    let b = session.run(&first);
+    assert_eq!(a.probs, b.probs);
+    assert_eq!(a.top1, b.top1);
+
+    // a second session sharing pool + cache builds without new JIT
+    let misses = session.cache_stats().misses;
+    let pool = Arc::clone(session.pool());
+    let cache = session.cache().clone();
+    let mut twin = InferenceSession::with_shared(&topo, 2, pool, cache).unwrap();
+    assert_eq!(twin.cache_stats().misses, misses, "shared cache must serve the twin session");
+    let out = twin.run(&first);
+    assert_eq!(out.probs, a.probs, "twin session must reproduce the same outputs");
+}
