@@ -10,19 +10,13 @@
 //! for the paper geometry), `--topology inception` switches graphs.
 
 use anatomy::InferenceSession;
-use bench_bins::HarnessConfig;
+use bench_bins::{arg_str, arg_usize, HarnessConfig};
 use std::time::Instant;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let args: Vec<String> = std::env::args().collect();
-    let inception = args.iter().any(|a| a == "--topology") && args.iter().any(|a| a == "inception");
-    let hw = args
-        .iter()
-        .position(|a| a == "--hw")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64usize);
+    let inception = arg_str("--topology").as_deref() == Some("inception");
+    let hw = arg_usize("--hw", 64);
     let classes = 100usize;
 
     let (name, text, in_hw) = if inception {

@@ -26,22 +26,32 @@ pub struct HarnessConfig {
 impl HarnessConfig {
     /// Parse from `std::env::args`: `--minibatch N --iters I --full`.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let get = |key: &str| -> Option<usize> {
-            args.iter()
-                .position(|a| a == key)
-                .and_then(|i| args.get(i + 1))
-                .and_then(|v| v.parse().ok())
-        };
-        let full = args.iter().any(|a| a == "--full");
-        let threads = get("--threads").unwrap_or_else(parallel::hardware_threads);
+        let full = std::env::args().any(|a| a == "--full");
+        let threads = arg_opt("--threads").unwrap_or_else(parallel::hardware_threads);
         Self {
-            minibatch: get("--minibatch").unwrap_or(if full { threads } else { 4 }),
+            minibatch: arg_opt("--minibatch").unwrap_or(if full { threads } else { 4 }),
             threads,
-            iters: get("--iters").unwrap_or(if full { 10 } else { 3 }),
-            warmup: get("--warmup").unwrap_or(1),
+            iters: arg_opt("--iters").unwrap_or(if full { 10 } else { 3 }),
+            warmup: arg_opt("--warmup").unwrap_or(1),
         }
     }
+}
+
+/// Parse a `--key N` pair from `std::env::args`, if present.
+pub fn arg_opt(key: &str) -> Option<usize> {
+    arg_str(key).and_then(|v| v.parse().ok())
+}
+
+/// Parse a `--key value` pair from `std::env::args`, if present.
+pub fn arg_str(key: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Parse a `--key N` pair from `std::env::args`, with a default — for
+/// binary-specific flags outside [`HarnessConfig`]'s common set.
+pub fn arg_usize(key: &str, default: usize) -> usize {
+    arg_opt(key).unwrap_or(default)
 }
 
 /// Measure seconds/iteration of `f` (after warmup).

@@ -110,6 +110,19 @@ impl PlanCacheStats {
     }
 }
 
+/// One-call health snapshot of *both* cache tiers the serving path
+/// relies on: this plan cache (whole-layer plans) and the process-wide
+/// kernel code cache below it (individual JIT/select'd code buffers,
+/// shared across different layer shapes).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CombinedCacheStats {
+    /// Whole-layer plan cache counters (per [`PlanCache`] instance).
+    pub plans: PlanCacheStats,
+    /// Process-wide kernel code cache counters
+    /// ([`crate::backend::kernel_cache_stats`]).
+    pub kernels: crate::backend::KernelCacheStats,
+}
+
 struct Inner {
     plans: Mutex<HashMap<LayerKey, Arc<ConvLayer>>>,
     hits: AtomicUsize,
@@ -187,6 +200,12 @@ impl PlanCache {
         PlanCacheStats { hits: self.hits(), misses: self.misses(), entries: self.len() }
     }
 
+    /// Snapshot of this plan cache *and* the process-wide kernel code
+    /// cache in one call — what a serving stats endpoint reports.
+    pub fn combined_stats(&self) -> CombinedCacheStats {
+        CombinedCacheStats { plans: self.stats(), kernels: crate::backend::kernel_cache_stats() }
+    }
+
     /// Drop every cached plan (counters keep accumulating).
     pub fn clear(&self) {
         self.inner.plans.lock().unwrap().clear();
@@ -234,6 +253,16 @@ mod tests {
         let b = cache.get_or_build(shape, LayerOptions::new(2).with_input_pad(shape.pad));
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn combined_stats_reflect_both_tiers() {
+        let cache = PlanCache::new();
+        let _ = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        let combined = cache.combined_stats();
+        assert_eq!(combined.plans.misses, cache.misses());
+        // building a plan touches the process-wide kernel code cache
+        assert!(combined.kernels.hits + combined.kernels.misses > 0);
     }
 
     #[test]

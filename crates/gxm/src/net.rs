@@ -388,6 +388,8 @@ pub struct Network {
     /// Index of the input node and the loss node.
     input_node: usize,
     loss_node: usize,
+    /// Logical (c, h, w) of the input node.
+    input_dims: (usize, usize, usize),
     minibatch: usize,
     /// Class count of the softmax head.
     pub classes: usize,
@@ -521,6 +523,7 @@ impl Network {
             };
             layers.push(state);
         }
+        let input_dims = plan.shapes[plan.alias[plan.input_node]];
         Self {
             pool,
             etg: plan.etg,
@@ -531,6 +534,7 @@ impl Network {
             layers,
             input_node: plan.input_node,
             loss_node: plan.loss_node,
+            input_dims,
             minibatch,
             classes: plan.classes,
             labels: Vec::new(),
@@ -634,6 +638,53 @@ impl Network {
     pub fn input_mut(&mut self) -> &mut BlockedActs {
         let slot = self.slot_of[self.alias[self.input_node]];
         &mut self.blobs[slot].as_mut().unwrap().act
+    }
+
+    /// The minibatch size the network was compiled for.
+    pub fn minibatch(&self) -> usize {
+        self.minibatch
+    }
+
+    /// Logical `(c, h, w)` of the network's input node — together with
+    /// [`Self::minibatch`] this is everything a batching front-end
+    /// needs to slice client payloads into samples.
+    pub fn input_dims(&self) -> (usize, usize, usize) {
+        self.input_dims
+    }
+
+    /// Load `count` dense NCHW f32 samples into batch positions
+    /// `0..count` and zero the rest — the safe way to serve a partial
+    /// batch (`count < minibatch`): unused tail positions, SIMD lane
+    /// padding and the physical zero border all hold the value the
+    /// kernels assume regardless of what the previous batch left
+    /// behind.
+    ///
+    /// `samples` must hold exactly `count × c × h × w` elements with
+    /// `count <= minibatch`.
+    pub fn load_input_nchw(&mut self, samples: &[f32], count: usize) {
+        let (c, h, w) = self.input_dims;
+        assert!(count >= 1 && count <= self.minibatch, "count must be in 1..=minibatch");
+        assert_eq!(samples.len(), count * c * h * w, "samples must be count × c × h × w NCHW f32");
+        let minibatch = self.minibatch;
+        let input = self.input_mut();
+        // only the unloaded tail needs clearing: positions `0..count`
+        // are fully overwritten below, and the lane padding / physical
+        // border are zeroed at allocation and never written (the blob
+        // is pinned — nothing else touches it). The batch dimension is
+        // outermost in the blocked layout, so the tail is one slice.
+        if count < minibatch {
+            let per_sample = input.as_slice().len() / minibatch;
+            input.as_mut_slice()[count * per_sample..].fill(0.0);
+        }
+        for n in 0..count {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        input.set(n, ci, hi, wi, samples[((n * c + ci) * h + hi) * w + wi]);
+                    }
+                }
+            }
+        }
     }
 
     /// Set the labels the next `forward` scores loss/top-1 against.

@@ -25,7 +25,7 @@ mod pool;
 
 pub use barrier::SpinBarrier;
 pub use partition::{split_blocks, split_even, FlatPartition};
-pub use pool::{Ctx, ThreadPool};
+pub use pool::{pin_current_thread, Ctx, PoolOptions, ThreadPool};
 
 /// Number of hardware threads available to this process.
 pub fn hardware_threads() -> usize {

@@ -59,6 +59,56 @@ struct Shared {
     nthreads: usize,
 }
 
+/// Construction options for a [`ThreadPool`]: team size plus the
+/// naming and core-affinity hints a serving stack uses to keep several
+/// replica pools apart.
+///
+/// The defaults reproduce [`ThreadPool::new`]: workers named
+/// `anatomy-worker-<tid>` and pinned (best effort) to cores
+/// `1..nthreads`, i.e. a core offset of 0.
+#[derive(Clone, Debug)]
+pub struct PoolOptions {
+    threads: usize,
+    name: String,
+    core_offset: Option<usize>,
+}
+
+impl PoolOptions {
+    /// Options for a team of `threads` (>= 1) with default naming and
+    /// pinning.
+    pub fn new(threads: usize) -> Self {
+        Self { threads, name: "anatomy-worker".to_string(), core_offset: Some(0) }
+    }
+
+    /// Prefix worker thread names with `name` (worker `tid` becomes
+    /// `<name>-<tid>`), so `top -H` / debuggers attribute time to the
+    /// right replica.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Pin worker `tid` to core `offset + tid` (best effort). Replica
+    /// `r` of a serving stack passes `r * threads_per_replica` so
+    /// replicas occupy disjoint cores.
+    pub fn with_core_offset(mut self, offset: usize) -> Self {
+        self.core_offset = Some(offset);
+        self
+    }
+
+    /// Disable core pinning entirely (oversubscribed or virtualized
+    /// hosts where affinity hurts).
+    pub fn without_pinning(mut self) -> Self {
+        self.core_offset = None;
+        self
+    }
+
+    /// The configured team size.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
 /// Persistent OpenMP-style thread team.
 pub struct ThreadPool {
     shared: Arc<Shared>,
@@ -69,6 +119,13 @@ impl ThreadPool {
     /// Create a team of `nthreads` (>= 1). Workers are pinned to cores
     /// `1..nthreads` (best effort); the caller should run on core 0.
     pub fn new(nthreads: usize) -> Self {
+        Self::with_options(PoolOptions::new(nthreads))
+    }
+
+    /// Create a team from explicit [`PoolOptions`] (worker naming and
+    /// core-affinity hints; serving replicas use this to stay apart).
+    pub fn with_options(opts: PoolOptions) -> Self {
+        let nthreads = opts.threads;
         assert!(nthreads >= 1, "team must be non-empty");
         let shared = Arc::new(Shared {
             seq: AtomicUsize::new(0),
@@ -81,9 +138,10 @@ impl ThreadPool {
         let workers = (1..nthreads)
             .map(|tid| {
                 let shared = Arc::clone(&shared);
+                let pin = opts.core_offset.map(|o| o + tid);
                 std::thread::Builder::new()
-                    .name(format!("anatomy-worker-{tid}"))
-                    .spawn(move || worker_loop(tid, shared))
+                    .name(format!("{}-{tid}", opts.name))
+                    .spawn(move || worker_loop(tid, shared, pin))
                     .expect("failed to spawn worker")
             })
             .collect();
@@ -157,8 +215,10 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(tid: usize, shared: Arc<Shared>) {
-    pin_to_core(tid);
+fn worker_loop(tid: usize, shared: Arc<Shared>, pin: Option<usize>) {
+    if let Some(core) = pin {
+        pin_current_thread(core);
+    }
     let mut last_seq = 0usize;
     loop {
         // Wait for a new region (spin, then park).
@@ -185,8 +245,12 @@ fn worker_loop(tid: usize, shared: Arc<Shared>) {
     }
 }
 
-/// Pin the calling thread to one core (Linux only, best effort).
-fn pin_to_core(core: usize) {
+/// Pin the calling thread to one core (Linux only, best effort —
+/// failures from cgroup restrictions or out-of-range cores are
+/// ignored). A serving replica pins its own dispatcher thread to the
+/// pool's core-offset so the caller-participates-as-tid-0 convention
+/// keeps the whole team on one contiguous core range.
+pub fn pin_current_thread(core: usize) {
     #[cfg(target_os = "linux")]
     unsafe {
         let mut set: libc::cpu_set_t = std::mem::zeroed();
@@ -304,6 +368,36 @@ mod tests {
             }
         });
         assert!(covered.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn named_offset_pool_runs_all_threads() {
+        let pool = ThreadPool::with_options(
+            PoolOptions::new(3).with_name("replica-1").with_core_offset(3),
+        );
+        let hits = (0..3).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        pool.run(|ctx| {
+            hits[ctx.tid].fetch_add(1, Ordering::Relaxed);
+            // worker threads carry the replica name prefix
+            if ctx.tid > 0 {
+                let name = std::thread::current().name().unwrap_or("").to_string();
+                assert!(name.starts_with("replica-1-"), "{name}");
+            }
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn unpinned_pool_runs() {
+        let pool = ThreadPool::with_options(PoolOptions::new(2).without_pinning());
+        let c = AtomicUsize::new(0);
+        pool.run(|_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+        assert_eq!(PoolOptions::new(2).threads(), 2);
     }
 
     #[test]

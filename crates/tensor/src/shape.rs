@@ -5,10 +5,10 @@
 //! and the filter `K × C × R × S`. The input spatial domain may be
 //! accessed with a `stride`, and may carry a physical zero `pad` (the
 //! paper's loop nests assume in-bounds accesses, i.e. padding is
-//! materialized in the layout — see DESIGN.md §5.4).
+//! materialized in the layout — see DESIGN.md §6.4).
 
 /// SIMD vector length in f32 lanes (AVX-512: 16). All blocked layouts in
-/// this library use this single block size; see DESIGN.md §5.3.
+/// this library use this single block size; see DESIGN.md §6.3.
 pub const VLEN: usize = 16;
 
 /// A complete convolution problem description.

@@ -1,0 +1,94 @@
+//! Multi-client serving through `anatomy::serve::BatchingFrontend`:
+//! concurrent client threads each submit single images; the frontend
+//! coalesces them into planned minibatches, flushes partial batches at
+//! the deadline, and fans batches out over session replicas that share
+//! one plan cache (N replicas, one JIT pass).
+//!
+//! ```sh
+//! cargo run --release --example serving_frontend -- \
+//!     [--hw 32] [--replicas 2] [--threads 2] [--clients 8] [--requests 32]
+//! ```
+
+use anatomy::serve::{BatchingFrontend, ServeConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn arg(key: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let hw = arg("--hw", 32);
+    let replicas = arg("--replicas", 2);
+    let threads = arg("--threads", 2); // per replica
+    let minibatch = arg("--minibatch", 4);
+    let clients = arg("--clients", 8);
+    let requests = arg("--requests", 32);
+    let max_wait = Duration::from_millis(arg("--max-wait-ms", 2) as u64);
+
+    let topology = anatomy::topologies::resnet50_topology(hw, 1000);
+    println!(
+        "ResNet-50 @ {hw}x{hw}: {replicas} replica(s) × {threads} thread(s), \
+         minibatch {minibatch}, max_wait {max_wait:?}"
+    );
+
+    let t0 = std::time::Instant::now();
+    let cfg = ServeConfig::new(replicas, threads, minibatch).with_max_wait(max_wait);
+    let frontend = BatchingFrontend::new(&topology, cfg).expect("topology parses");
+    let caches = frontend.cache().combined_stats();
+    println!(
+        "setup: {:.2?} — {} distinct plans for {} lookups across {replicas} replica(s) \
+         (hit rate {:.0}%: one JIT pass serves all replicas)",
+        t0.elapsed(),
+        caches.plans.entries,
+        caches.plans.hits + caches.plans.misses,
+        caches.plans.hit_rate() * 100.0,
+    );
+
+    // closed-loop clients: each submits one image at a time until the
+    // global budget is spent
+    let remaining = AtomicUsize::new(requests);
+    let sample = frontend.sample_elems();
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for k in 0..clients {
+            let frontend = &frontend;
+            let remaining = &remaining;
+            scope.spawn(move || {
+                let mut rng = anatomy::tensor::rng::SplitMix64::new(0xc11e27 + k as u64);
+                let mut image = vec![0.0f32; sample];
+                while remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| r.checked_sub(1))
+                    .is_ok()
+                {
+                    rng.fill_f32(&mut image);
+                    let out = frontend.infer(&image);
+                    assert_eq!(out.top1.len(), 1);
+                }
+            });
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    let stats = frontend.shutdown();
+    println!(
+        "served {} images from {clients} clients in {:.2}s — {:.1} images/s",
+        stats.images,
+        secs,
+        stats.images as f64 / secs
+    );
+    println!(
+        "{} batches, mean occupancy {:.0}%, {} deadline flushes, \
+         latency p50 {:?} / p99 {:?}",
+        stats.batches,
+        stats.mean_occupancy * 100.0,
+        stats.deadline_flushes,
+        stats.p50_latency,
+        stats.p99_latency,
+    );
+}

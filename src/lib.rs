@@ -20,8 +20,18 @@
 //! assert!(layer.blocking().rbq >= 8);
 //! ```
 //!
+//! On top of the re-exports it adds the serving surface:
+//!
+//! * [`InferenceSession`] — one forward-only network behind a shared
+//!   thread pool and layer-plan cache, `run(batch) → outputs`;
+//! * [`serve::BatchingFrontend`] — a multi-client micro-batching
+//!   front-end over several session replicas (see the [`serve`]
+//!   module docs).
+//!
 //! See `DESIGN.md` for the system inventory and the per-experiment
 //! index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![deny(missing_docs)]
 
 pub use baselines;
 pub use conv;
@@ -34,12 +44,14 @@ pub use smallgemm;
 pub use tensor;
 pub use topologies;
 
+pub mod serve;
+
 use std::sync::Arc;
 
 /// One batch's worth of inference results.
 #[derive(Clone, Debug)]
 pub struct InferenceOutput {
-    /// Softmax probabilities, `minibatch × classes` row-major (dense,
+    /// Softmax probabilities, `samples × classes` row-major (dense,
     /// without SIMD-lane padding).
     pub probs: Vec<f32>,
     /// Arg-max class per sample.
@@ -69,20 +81,25 @@ pub struct InferenceOutput {
 /// let out = session.run(&batch);
 /// assert_eq!(out.top1.len(), 2);
 /// assert_eq!(out.probs.len(), 2 * session.classes());
+///
+/// // partial batches pad the tail internally and return exactly
+/// // `count` results:
+/// let one = session.run_samples(&batch[..session.sample_elems()], 1);
+/// assert_eq!(one.top1.len(), 1);
+/// assert_eq!(one.top1[0], out.top1[0]);
 /// ```
 pub struct InferenceSession {
     net: gxm::Network,
     pool: Arc<parallel::ThreadPool>,
     cache: conv::PlanCache,
-    minibatch: usize,
-    in_c: usize,
-    in_h: usize,
-    in_w: usize,
 }
 
 impl InferenceSession {
     /// Build a session with a private pool and cache.
     pub fn new(topology: &str, minibatch: usize, threads: usize) -> Result<Self, String> {
+        if threads == 0 {
+            return Err("threads must be >= 1".to_string());
+        }
         Self::with_shared(
             topology,
             minibatch,
@@ -99,14 +116,20 @@ impl InferenceSession {
         pool: Arc<parallel::ThreadPool>,
         cache: conv::PlanCache,
     ) -> Result<Self, String> {
+        if minibatch == 0 {
+            return Err("minibatch must be >= 1".to_string());
+        }
         let nl = gxm::parse_topology(topology)?;
-        let (in_c, in_h, in_w) = nl
-            .iter()
-            .find_map(|n| match n {
-                gxm::NodeSpec::Input { c, h, w, .. } => Some((*c, *h, *w)),
-                _ => None,
-            })
-            .ok_or_else(|| "topology has no input node".to_string())?;
+        // validate the graph's endpoints here so the common
+        // malformations surface as Err (deeper structural errors —
+        // e.g. unsupported fusion combinations — still panic inside
+        // the build with a named-node message)
+        if !nl.iter().any(|n| matches!(n, gxm::NodeSpec::Input { .. })) {
+            return Err("topology has no input node".to_string());
+        }
+        if !nl.iter().any(|n| matches!(n, gxm::NodeSpec::SoftmaxLoss { .. })) {
+            return Err("topology has no softmaxloss node".to_string());
+        }
         let net = gxm::Network::build_with(
             &nl,
             minibatch,
@@ -114,39 +137,37 @@ impl InferenceSession {
             gxm::ExecMode::Inference,
             &cache,
         );
-        Ok(Self { net, pool, cache, minibatch, in_c, in_h, in_w })
+        Ok(Self { net, pool, cache })
     }
 
-    /// Run one batch (`minibatch × c × h × w` NCHW f32) and return the
-    /// softmax probabilities and top-1 predictions.
+    /// Run one full batch (`minibatch × c × h × w` NCHW f32) and return
+    /// the softmax probabilities and top-1 predictions.
     pub fn run(&mut self, batch: &[f32]) -> InferenceOutput {
         assert_eq!(
             batch.len(),
-            self.minibatch * self.in_c * self.in_h * self.in_w,
+            self.net.minibatch() * self.sample_elems(),
             "batch must be minibatch × c × h × w NCHW f32"
         );
-        // load the batch — zero first so lane padding (c beyond the
-        // logical channel count) and physical borders hold the value
-        // the kernels assume regardless of the previous batch
-        let (c, h, w) = (self.in_c, self.in_h, self.in_w);
-        let input = self.net.input_mut();
-        input.zero();
-        for n in 0..self.minibatch {
-            for ci in 0..c {
-                for hi in 0..h {
-                    for wi in 0..w {
-                        input.set(n, ci, hi, wi, batch[((n * c + ci) * h + hi) * w + wi]);
-                    }
-                }
-            }
-        }
+        self.run_samples(batch, self.net.minibatch())
+    }
+
+    /// Run `count <= minibatch` samples (`count × c × h × w` NCHW f32),
+    /// padding the unused tail of the planned batch with zeros, and
+    /// return exactly `count` results.
+    ///
+    /// This is the primitive a batching front-end flushes partial
+    /// batches through: the kernels always execute at the planned
+    /// minibatch (replaying the recorded streams unchanged), only the
+    /// load and the result extraction are `count`-sized.
+    pub fn run_samples(&mut self, samples: &[f32], count: usize) -> InferenceOutput {
+        self.net.load_input_nchw(samples, count);
         self.net.forward();
         let classes = self.net.classes;
         let padded = self.net.probabilities();
-        let kpad = padded.len() / self.minibatch;
-        let mut probs = Vec::with_capacity(self.minibatch * classes);
-        let mut top1 = Vec::with_capacity(self.minibatch);
-        for n in 0..self.minibatch {
+        let kpad = padded.len() / self.net.minibatch();
+        let mut probs = Vec::with_capacity(count * classes);
+        let mut top1 = Vec::with_capacity(count);
+        for n in 0..count {
             let row = &padded[n * kpad..n * kpad + classes];
             probs.extend_from_slice(row);
             let best =
@@ -163,7 +184,19 @@ impl InferenceSession {
 
     /// The session's batch size.
     pub fn minibatch(&self) -> usize {
-        self.minibatch
+        self.net.minibatch()
+    }
+
+    /// Elements per sample (`c × h × w` of the input node) — the unit
+    /// a front-end slices client payloads by.
+    pub fn sample_elems(&self) -> usize {
+        let (c, h, w) = self.net.input_dims();
+        c * h * w
+    }
+
+    /// Logical `(c, h, w)` of the model's input.
+    pub fn input_dims(&self) -> (usize, usize, usize) {
+        self.net.input_dims()
     }
 
     /// The shared thread pool (hand it to further sessions).

@@ -1,0 +1,616 @@
+//! Micro-batching inference serving: many clients, few big batches.
+//!
+//! The paper's setup/replay split means a planned network is fastest
+//! when every `forward` replays a *full* minibatch — but real serving
+//! traffic arrives as single images from many independent callers. This
+//! module closes that gap with the classic batching-server shape
+//! (DESIGN.md §5):
+//!
+//! * a [`BatchingFrontend`] accepts requests of any sample count from
+//!   any number of threads and appends them to one FIFO queue;
+//! * a dispatcher thread coalesces queued samples into batches of the
+//!   planned minibatch — **splitting** requests larger than a
+//!   minibatch across consecutive batches and **padding** the tail of
+//!   a partial batch with zeros — and hands batches to replicas in
+//!   round-robin order;
+//! * a **deadline flush** bounds tail latency: once the oldest queued
+//!   sample has waited [`ServeConfig::max_wait`], a partial batch is
+//!   dispatched rather than stalling a lone request forever;
+//! * `N` replica threads each own an [`InferenceSession`] on a private
+//!   [`parallel::ThreadPool`] (named, pinned to a disjoint core range)
+//!   while sharing one [`conv::PlanCache`] and the process-wide kernel
+//!   code cache — so N replicas cost **one** JIT + dryrun pass and
+//!   only replicate activation buffers.
+//!
+//! Results are routed back to the submitting caller through a
+//! per-request completion slot; [`BatchingFrontend::stats`] snapshots
+//! throughput, batch occupancy, latency percentiles and both cache
+//! tiers.
+//!
+//! Because samples are computed independently inside a batch (the
+//! batch dimension is the outermost loop of every kernel), a
+//! frontend-served output is bit-identical to a direct
+//! [`InferenceSession::run`] of the same sample — regardless of which
+//! batch or batch position it landed in. The one exception is graphs
+//! with cross-sample operators (this repo's `bn` nodes normalize over
+//! the batch): those are only reproducible batch-for-batch, i.e. when
+//! a request supplies the whole minibatch itself.
+
+use crate::{InferenceOutput, InferenceSession};
+use conv::{CombinedCacheStats, PlanCache};
+use parallel::{pin_current_thread, PoolOptions, ThreadPool};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`BatchingFrontend`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of session replicas (each on its own thread pool).
+    pub replicas: usize,
+    /// Thread-team size of each replica's pool. Keep it identical
+    /// across replicas — the plan cache keys on the thread count, so
+    /// uniform replicas share one set of plans.
+    pub threads_per_replica: usize,
+    /// The planned batch size every replica executes.
+    pub minibatch: usize,
+    /// How long the dispatcher lets a *partial* batch wait for more
+    /// samples before flushing it (measured from the oldest queued
+    /// sample's submission).
+    pub max_wait: Duration,
+    /// Pin replica `r`'s team to cores starting at
+    /// `r * threads_per_replica` (best effort). Disable on
+    /// oversubscribed hosts.
+    pub pin_replicas: bool,
+}
+
+impl ServeConfig {
+    /// A config with the given shape and defaults of `max_wait = 2ms`
+    /// and best-effort replica pinning.
+    pub fn new(replicas: usize, threads_per_replica: usize, minibatch: usize) -> Self {
+        Self {
+            replicas,
+            threads_per_replica,
+            minibatch,
+            max_wait: Duration::from_millis(2),
+            pin_replicas: true,
+        }
+    }
+
+    /// Override the deadline-flush window.
+    pub fn with_max_wait(mut self, max_wait: Duration) -> Self {
+        self.max_wait = max_wait;
+        self
+    }
+
+    /// Enable/disable best-effort core pinning of the replica pools.
+    pub fn with_pinning(mut self, pin: bool) -> Self {
+        self.pin_replicas = pin;
+        self
+    }
+}
+
+/// One queued sample: its pixels, where its result goes, and when it
+/// arrived (the latency clock and the deadline-flush anchor).
+struct Pending {
+    image: Box<[f32]>,
+    slot: Arc<ResponseState>,
+    index: usize,
+    enqueued: Instant,
+    /// Set once the sample's result has been written to its slot.
+    done: bool,
+}
+
+impl Drop for Pending {
+    /// A sample dropped before completion (replica panicked mid-batch,
+    /// or the pipeline drained on failure) poisons its request so the
+    /// waiting client wakes up and fails instead of blocking forever.
+    fn drop(&mut self) {
+        if !self.done {
+            if let Ok(mut g) = self.slot.inner.lock() {
+                g.failed = true;
+            }
+            self.slot.cv.notify_all();
+        }
+    }
+}
+
+/// Completion slot shared between a request's samples and its waiting
+/// client.
+struct ResponseState {
+    inner: Mutex<ResponseInner>,
+    cv: Condvar,
+}
+
+struct ResponseInner {
+    probs: Vec<f32>,
+    top1: Vec<usize>,
+    remaining: usize,
+    /// True when a sample of this request was abandoned (see
+    /// [`Pending::drop`]); waiters panic rather than hang.
+    failed: bool,
+}
+
+/// Handle to an in-flight request; [`PendingRequest::wait`] blocks
+/// until every sample of the request has been served.
+pub struct PendingRequest {
+    slot: Arc<ResponseState>,
+    count: usize,
+}
+
+impl PendingRequest {
+    /// Number of samples this request covers.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Block until the whole request is served and return its results
+    /// in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving pipeline failed (a replica died) before
+    /// this request completed — the alternative would be to block
+    /// forever.
+    pub fn wait(self) -> InferenceOutput {
+        let mut g = self.slot.inner.lock().unwrap();
+        while g.remaining > 0 && !g.failed {
+            g = self.slot.cv.wait(g).unwrap();
+        }
+        assert!(!g.failed, "serving pipeline failed before the request completed");
+        InferenceOutput { probs: std::mem::take(&mut g.probs), top1: std::mem::take(&mut g.top1) }
+    }
+}
+
+/// Latency samples kept for percentile estimation; older samples are
+/// overwritten ring-buffer style so a long-lived frontend's stats stay
+/// bounded (the percentiles then describe the most recent window).
+const LATENCY_WINDOW: usize = 1 << 16;
+
+#[derive(Default)]
+struct StatsInner {
+    requests: usize,
+    images: usize,
+    batches: usize,
+    batched_images: usize,
+    deadline_flushes: usize,
+    latencies_us: Vec<u64>,
+    latency_next: usize,
+}
+
+impl StatsInner {
+    fn record_latency(&mut self, us: u64) {
+        if self.latencies_us.len() < LATENCY_WINDOW {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.latency_next] = us;
+        }
+        self.latency_next = (self.latency_next + 1) % LATENCY_WINDOW;
+    }
+}
+
+/// Snapshot of a frontend's serving counters.
+#[derive(Clone, Debug)]
+pub struct ServerStats {
+    /// Replica count of the frontend.
+    pub replicas: usize,
+    /// The planned batch size.
+    pub minibatch: usize,
+    /// Client requests accepted so far.
+    pub requests: usize,
+    /// Samples accepted so far (a request may carry several).
+    pub images: usize,
+    /// Batches dispatched to replicas so far.
+    pub batches: usize,
+    /// Mean fraction of batch slots holding real samples (1.0 = every
+    /// dispatched batch was full; padding pulls it below 1).
+    pub mean_occupancy: f64,
+    /// Batches flushed partially filled by the `max_wait` deadline.
+    pub deadline_flushes: usize,
+    /// Median submit-to-result latency over the most recent completed
+    /// samples (a bounded window of 65536).
+    pub p50_latency: Duration,
+    /// 99th-percentile submit-to-result latency over the same window.
+    pub p99_latency: Duration,
+    /// Plan-cache + kernel-code-cache counters (the shared tiers all
+    /// replicas sit on).
+    pub caches: CombinedCacheStats,
+}
+
+/// State shared by clients, the dispatcher and the replicas.
+struct Shared {
+    queue: Mutex<VecDeque<Pending>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    stats: Mutex<StatsInner>,
+    sample_elems: usize,
+    minibatch: usize,
+    classes: usize,
+}
+
+/// A multi-client micro-batching front-end over replicated
+/// [`InferenceSession`]s (see the [module docs](self) for the
+/// architecture).
+///
+/// ```
+/// use anatomy::serve::{BatchingFrontend, ServeConfig};
+/// use std::time::Duration;
+///
+/// let topo = "input name=data c=3 h=8 w=8\n\
+///             conv name=c1 bottom=data k=16 r=3 s=3 pad=1 bias=1 relu=1\n\
+///             gap name=g bottom=c1\n\
+///             fc name=logits bottom=g k=4\n\
+///             softmaxloss name=loss bottom=logits\n";
+/// let cfg = ServeConfig::new(1, 1, 4).with_max_wait(Duration::from_millis(1));
+/// let frontend = BatchingFrontend::new(topo, cfg).unwrap();
+///
+/// // a lone image: padded to the planned batch after the deadline
+/// let image = vec![0.25f32; 3 * 8 * 8];
+/// let out = frontend.infer(&image);
+/// assert_eq!(out.top1.len(), 1);
+/// assert_eq!(out.probs.len(), frontend.classes());
+///
+/// let stats = frontend.shutdown();
+/// assert_eq!(stats.images, 1);
+/// assert!(stats.batches >= 1);
+/// ```
+pub struct BatchingFrontend {
+    shared: Arc<Shared>,
+    cache: PlanCache,
+    replicas: usize,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchingFrontend {
+    /// Build a frontend with a private [`PlanCache`].
+    pub fn new(topology: &str, cfg: ServeConfig) -> Result<Self, String> {
+        Self::with_cache(topology, cfg, PlanCache::new())
+    }
+
+    /// Build a frontend whose replicas plan through `cache` (share one
+    /// cache across frontends to JIT each distinct layer shape once
+    /// per process).
+    ///
+    /// All replicas are built through the same cache with identical
+    /// thread counts, so replica 1..N hit the plans replica 0 built:
+    /// N replicas cost one JIT + dryrun pass.
+    pub fn with_cache(topology: &str, cfg: ServeConfig, cache: PlanCache) -> Result<Self, String> {
+        if cfg.replicas == 0 || cfg.threads_per_replica == 0 || cfg.minibatch == 0 {
+            return Err("replicas, threads_per_replica and minibatch must be >= 1".to_string());
+        }
+        // Build every session up front (cheap after the first: shared
+        // plan cache), then move each into its replica thread.
+        let mut sessions = Vec::with_capacity(cfg.replicas);
+        for r in 0..cfg.replicas {
+            let mut opts =
+                PoolOptions::new(cfg.threads_per_replica).with_name(format!("serve-r{r}"));
+            opts = if cfg.pin_replicas {
+                opts.with_core_offset(r * cfg.threads_per_replica)
+            } else {
+                opts.without_pinning()
+            };
+            let pool = Arc::new(ThreadPool::with_options(opts));
+            sessions.push(InferenceSession::with_shared(
+                topology,
+                cfg.minibatch,
+                pool,
+                cache.clone(),
+            )?);
+        }
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(StatsInner::default()),
+            sample_elems: sessions[0].sample_elems(),
+            minibatch: cfg.minibatch,
+            classes: sessions[0].classes(),
+        });
+        let mut txs = Vec::with_capacity(cfg.replicas);
+        let mut workers = Vec::with_capacity(cfg.replicas);
+        for (r, session) in sessions.into_iter().enumerate() {
+            // bound 1: the dispatcher stays at most one batch ahead of
+            // each replica, which keeps round-robin assignment fair
+            // and bounds queued-but-undelivered work
+            let (tx, rx) = sync_channel::<Vec<Pending>>(1);
+            let sh = Arc::clone(&shared);
+            let pin = cfg.pin_replicas.then_some(r * cfg.threads_per_replica);
+            let handle = std::thread::Builder::new()
+                .name(format!("serve-replica-{r}"))
+                .spawn(move || {
+                    // the replica thread participates in its pool's
+                    // regions as tid 0 — keep it on the team's range
+                    if let Some(core) = pin {
+                        pin_current_thread(core);
+                    }
+                    replica_loop(session, rx, sh);
+                })
+                .map_err(|e| format!("spawn replica {r}: {e}"))?;
+            txs.push(tx);
+            workers.push(handle);
+        }
+        let dispatcher = {
+            let sh = Arc::clone(&shared);
+            let max_wait = cfg.max_wait;
+            std::thread::Builder::new()
+                .name("serve-dispatch".to_string())
+                .spawn(move || dispatcher_loop(sh, txs, max_wait))
+                .map_err(|e| format!("spawn dispatcher: {e}"))?
+        };
+        Ok(Self { shared, cache, replicas: cfg.replicas, dispatcher: Some(dispatcher), workers })
+    }
+
+    /// Submit a request of one or more samples (`len` must be a
+    /// non-zero multiple of [`Self::sample_elems`], in NCHW f32) and
+    /// return a handle to wait on.
+    ///
+    /// Requests larger than the planned minibatch are split across
+    /// consecutive batches; the handle completes when the last piece
+    /// is served. Samples of one request stay in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline has shut down (a replica died) — new
+    /// work could never complete.
+    pub fn submit(&self, images: &[f32]) -> PendingRequest {
+        let se = self.shared.sample_elems;
+        assert!(
+            !images.is_empty() && images.len().is_multiple_of(se),
+            "request must be a non-zero multiple of sample_elems ({se}) f32s"
+        );
+        let count = images.len() / se;
+        let slot = Arc::new(ResponseState {
+            inner: Mutex::new(ResponseInner {
+                probs: vec![0.0; count * self.shared.classes],
+                top1: vec![0; count],
+                remaining: count,
+                failed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let now = Instant::now();
+        // slice + copy the samples before taking the queue lock so a
+        // large request doesn't stall the dispatcher's deadline clock
+        let mut pendings: Vec<Pending> = (0..count)
+            .map(|i| Pending {
+                image: images[i * se..(i + 1) * se].into(),
+                slot: Arc::clone(&slot),
+                index: i,
+                enqueued: now,
+                done: false,
+            })
+            .collect();
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            // checked under the queue lock: the failure path sets the
+            // flag and clears the queue under this same lock, so a
+            // request can never slip in behind the drained dispatcher
+            // and strand its client
+            assert!(
+                !self.shared.shutdown.load(Ordering::Acquire),
+                "frontend is shut down; new requests would never complete"
+            );
+            q.extend(pendings.drain(..));
+        }
+        self.shared.queue_cv.notify_all();
+        {
+            let mut s = self.shared.stats.lock().unwrap();
+            s.requests += 1;
+            s.images += count;
+        }
+        PendingRequest { slot, count }
+    }
+
+    /// Submit and block: `submit(images).wait()`.
+    pub fn infer(&self, images: &[f32]) -> InferenceOutput {
+        self.submit(images).wait()
+    }
+
+    /// Class count of the served model.
+    pub fn classes(&self) -> usize {
+        self.shared.classes
+    }
+
+    /// Elements per sample (`c × h × w` of the model input).
+    pub fn sample_elems(&self) -> usize {
+        self.shared.sample_elems
+    }
+
+    /// The planned batch size.
+    pub fn minibatch(&self) -> usize {
+        self.shared.minibatch
+    }
+
+    /// Number of session replicas.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The plan cache all replicas share.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Snapshot the serving counters (latency percentiles cover
+    /// completed samples only).
+    pub fn stats(&self) -> ServerStats {
+        // copy everything out, then drop the guard before the sort so
+        // replicas recording latencies never wait on a stats poll
+        let (mut lat, s) = {
+            let s = self.shared.stats.lock().unwrap();
+            (
+                s.latencies_us.clone(),
+                StatsInner {
+                    requests: s.requests,
+                    images: s.images,
+                    batches: s.batches,
+                    batched_images: s.batched_images,
+                    deadline_flushes: s.deadline_flushes,
+                    latencies_us: Vec::new(),
+                    latency_next: 0,
+                },
+            )
+        };
+        lat.sort_unstable();
+        let pct = |q: f64| {
+            if lat.is_empty() {
+                Duration::ZERO
+            } else {
+                let idx = ((lat.len() - 1) as f64 * q).round() as usize;
+                Duration::from_micros(lat[idx])
+            }
+        };
+        ServerStats {
+            replicas: self.replicas,
+            minibatch: self.shared.minibatch,
+            requests: s.requests,
+            images: s.images,
+            batches: s.batches,
+            mean_occupancy: if s.batches == 0 {
+                0.0
+            } else {
+                s.batched_images as f64 / (s.batches * self.shared.minibatch) as f64
+            },
+            deadline_flushes: s.deadline_flushes,
+            p50_latency: pct(0.50),
+            p99_latency: pct(0.99),
+            caches: self.cache.combined_stats(),
+        }
+    }
+
+    /// Zero every serving counter and drop the recorded latencies
+    /// (cache counters are unaffected — they describe setup, not
+    /// traffic). Benchmarks call this after warmup so percentiles and
+    /// occupancy describe only the measured traffic.
+    pub fn reset_stats(&self) {
+        *self.shared.stats.lock().unwrap() = StatsInner::default();
+    }
+
+    /// Drain the queue, stop the dispatcher and every replica, and
+    /// return the final counters. Dropping the frontend performs the
+    /// same orderly shutdown (minus the returned stats).
+    pub fn shutdown(mut self) -> ServerStats {
+        self.join_workers();
+        self.stats()
+    }
+
+    fn join_workers(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BatchingFrontend {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+/// The dispatcher: form batches (full, or partial at the deadline /
+/// shutdown) and hand them to replicas round-robin.
+fn dispatcher_loop(shared: Arc<Shared>, txs: Vec<SyncSender<Vec<Pending>>>, max_wait: Duration) {
+    let mut rr = 0usize;
+    loop {
+        let (batch, flushed_early) = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if q.len() >= shared.minibatch || shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                match q.front() {
+                    None => q = shared.queue_cv.wait(q).unwrap(),
+                    Some(front) => {
+                        // partial batch: wait for more samples, but no
+                        // longer than the oldest sample's deadline
+                        let deadline = front.enqueued + max_wait;
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        q = shared.queue_cv.wait_timeout(q, deadline - now).unwrap().0;
+                    }
+                }
+            }
+            let draining = shared.shutdown.load(Ordering::Acquire);
+            if q.is_empty() {
+                if draining {
+                    return;
+                }
+                continue; // spurious wakeup
+            }
+            let take = q.len().min(shared.minibatch);
+            let batch: Vec<Pending> = q.drain(..take).collect();
+            // a partial batch drained at shutdown is not a *deadline*
+            // flush — don't let teardown skew the batching stats
+            let flushed_early = batch.len() < shared.minibatch && !draining;
+            (batch, flushed_early)
+        };
+        {
+            let mut s = shared.stats.lock().unwrap();
+            s.batches += 1;
+            s.batched_images += batch.len();
+            if flushed_early {
+                s.deadline_flushes += 1;
+            }
+        }
+        // round-robin over replicas; `send` blocks when the target is
+        // busy (bound-1 channel), which is the frontend's backpressure
+        if txs[rr].send(batch).is_err() {
+            // a replica died: stop accepting work and abandon whatever
+            // is still queued — dropping the Pendings poisons their
+            // request slots, so every waiting client wakes and fails
+            // instead of hanging (the batch inside the SendError is
+            // dropped the same way). Flag and drain under the queue
+            // lock so `submit` can't enqueue behind the drain.
+            let mut q = shared.queue.lock().unwrap();
+            shared.shutdown.store(true, Ordering::Release);
+            q.clear();
+            return;
+        }
+        rr = (rr + 1) % txs.len();
+    }
+}
+
+/// One replica: execute batches on the owned session and route every
+/// sample's result back to its request slot.
+fn replica_loop(mut session: InferenceSession, rx: Receiver<Vec<Pending>>, shared: Arc<Shared>) {
+    let se = shared.sample_elems;
+    let classes = shared.classes;
+    let mut flat = vec![0.0f32; shared.minibatch * se];
+    while let Ok(batch) = rx.recv() {
+        let n = batch.len();
+        for (i, p) in batch.iter().enumerate() {
+            flat[i * se..(i + 1) * se].copy_from_slice(&p.image);
+        }
+        let out = session.run_samples(&flat[..n * se], n);
+        let done = Instant::now();
+        let mut latencies = Vec::with_capacity(n);
+        for (i, mut p) in batch.into_iter().enumerate() {
+            latencies.push(done.duration_since(p.enqueued).as_micros() as u64);
+            let mut g = p.slot.inner.lock().unwrap();
+            g.probs[p.index * classes..(p.index + 1) * classes]
+                .copy_from_slice(&out.probs[i * classes..(i + 1) * classes]);
+            g.top1[p.index] = out.top1[i];
+            g.remaining -= 1;
+            p.done = true;
+            if g.remaining == 0 {
+                drop(g);
+                p.slot.cv.notify_all();
+            }
+        }
+        let mut s = shared.stats.lock().unwrap();
+        for us in latencies {
+            s.record_latency(us);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Batching-frontend edge cases: oversized requests, deadline
+//! flushes, result routing under concurrent submitters, and bit-exact
+//! parity between frontend-served and direct `InferenceSession::run`
+//! outputs.
+//!
+//! The topologies here avoid `bn` nodes on purpose: batch norm
+//! normalizes over the batch, so its outputs depend on batch
+//! composition. Everything else computes samples independently, which
+//! is what makes the bit-exactness assertions valid regardless of
+//! which batch (and batch position) the frontend assigned a sample to.
+
+use anatomy::serve::{BatchingFrontend, ServeConfig};
+use anatomy::InferenceSession;
+use std::time::Duration;
+
+fn tiny_topology() -> &'static str {
+    "input name=data c=3 h=8 w=8\n\
+     conv name=c1 bottom=data k=16 r=3 s=3 pad=1 bias=1 relu=1\n\
+     pool name=p1 bottom=c1 kind=max size=2 stride=2\n\
+     conv name=c2 bottom=p1 k=16 bias=1 relu=1\n\
+     gap name=g bottom=c2\n\
+     fc name=logits bottom=g k=5\n\
+     softmaxloss name=loss bottom=logits\n"
+}
+
+const SAMPLE: usize = 3 * 8 * 8;
+
+fn random_images(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = anatomy::tensor::rng::SplitMix64::new(seed);
+    let mut v = vec![0.0f32; n * SAMPLE];
+    rng.fill_f32(&mut v);
+    v
+}
+
+#[test]
+fn frontend_matches_direct_session_bitexact() {
+    let minibatch = 4;
+    let threads = 2;
+    let mut direct = InferenceSession::new(tiny_topology(), minibatch, threads).unwrap();
+    let frontend = BatchingFrontend::new(
+        tiny_topology(),
+        ServeConfig::new(1, threads, minibatch).with_max_wait(Duration::from_millis(1)),
+    )
+    .unwrap();
+
+    let images = random_images(minibatch, 77);
+    let want = direct.run(&images);
+
+    // one request carrying the whole minibatch: lands as one batch
+    let got = frontend.infer(&images);
+    assert_eq!(got.probs, want.probs, "full-batch request must be bit-identical to direct run");
+    assert_eq!(got.top1, want.top1);
+
+    // the same samples submitted one by one: each is served from a
+    // padded partial batch at position 0, and must STILL match the
+    // direct run's row n bit-for-bit (per-sample independence)
+    for n in 0..minibatch {
+        let one = frontend.infer(&images[n * SAMPLE..(n + 1) * SAMPLE]);
+        let classes = frontend.classes();
+        assert_eq!(
+            one.probs,
+            want.probs[n * classes..(n + 1) * classes],
+            "sample {n} served alone must match its batched result"
+        );
+        assert_eq!(one.top1[0], want.top1[n]);
+    }
+    let stats = frontend.shutdown();
+    assert_eq!(stats.requests, 1 + minibatch);
+    assert_eq!(stats.images, 2 * minibatch);
+}
+
+#[test]
+fn oversized_request_spans_batches() {
+    let minibatch = 2;
+    let count = 5; // 2 full batches + 1 padded tail batch
+    let mut direct = InferenceSession::new(tiny_topology(), minibatch, 1).unwrap();
+    let frontend = BatchingFrontend::new(
+        tiny_topology(),
+        ServeConfig::new(1, 1, minibatch).with_max_wait(Duration::from_millis(1)),
+    )
+    .unwrap();
+    let images = random_images(count, 123);
+    let out = frontend.infer(&images);
+    assert_eq!(out.top1.len(), count);
+    assert_eq!(out.probs.len(), count * frontend.classes());
+    // every sample matches a direct single-sample run
+    for n in 0..count {
+        let want = direct.run_samples(&images[n * SAMPLE..(n + 1) * SAMPLE], 1);
+        let classes = frontend.classes();
+        assert_eq!(out.probs[n * classes..(n + 1) * classes], want.probs, "sample {n}");
+        assert_eq!(out.top1[n], want.top1[0]);
+    }
+    let stats = frontend.shutdown();
+    assert_eq!(stats.images, count);
+    assert!(
+        stats.batches >= 3,
+        "5 samples at minibatch 2 need >= 3 batches, got {}",
+        stats.batches
+    );
+    assert!(stats.mean_occupancy > 0.5 && stats.mean_occupancy <= 1.0);
+}
+
+#[test]
+fn lone_request_hits_the_deadline() {
+    // minibatch 4 but only ONE sample ever arrives: without the
+    // max_wait flush this would stall forever
+    let frontend = BatchingFrontend::new(
+        tiny_topology(),
+        ServeConfig::new(1, 1, 4).with_max_wait(Duration::from_millis(5)),
+    )
+    .unwrap();
+    let images = random_images(1, 9);
+    let out = frontend.infer(&images);
+    assert_eq!(out.top1.len(), 1);
+    let stats = frontend.shutdown();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.deadline_flushes, 1, "the lone request must be a deadline flush");
+    assert!(stats.mean_occupancy <= 0.25 + 1e-9, "1 of 4 slots: {}", stats.mean_occupancy);
+    assert!(stats.p50_latency >= Duration::from_millis(4), "latency includes the wait window");
+}
+
+#[test]
+fn concurrent_submitters_get_their_own_results() {
+    let minibatch = 4;
+    let clients = 6;
+    let per_client = 4;
+    // expected outputs per client, from a direct session
+    let mut direct = InferenceSession::new(tiny_topology(), minibatch, 1).unwrap();
+    let images: Vec<Vec<f32>> = (0..clients).map(|k| random_images(1, 1000 + k as u64)).collect();
+    let expected: Vec<_> = images.iter().map(|im| direct.run_samples(im, 1)).collect();
+
+    let frontend = std::sync::Arc::new(
+        BatchingFrontend::new(
+            tiny_topology(),
+            // 2 replicas so batches genuinely run concurrently
+            ServeConfig::new(2, 1, minibatch).with_max_wait(Duration::from_millis(1)),
+        )
+        .unwrap(),
+    );
+    std::thread::scope(|scope| {
+        for k in 0..clients {
+            let frontend = std::sync::Arc::clone(&frontend);
+            let image = images[k].clone();
+            let want = expected[k].clone();
+            scope.spawn(move || {
+                for round in 0..per_client {
+                    let got = frontend.infer(&image);
+                    assert_eq!(got.probs, want.probs, "client {k} round {round} got foreign data");
+                    assert_eq!(got.top1, want.top1);
+                }
+            });
+        }
+    });
+    let frontend = std::sync::Arc::into_inner(frontend).unwrap();
+    let stats = frontend.shutdown();
+    assert_eq!(stats.requests, clients * per_client);
+    assert_eq!(stats.images, clients * per_client);
+    assert!(stats.batches >= (clients * per_client).div_ceil(minibatch));
+}
+
+#[test]
+fn shutdown_drains_the_queue_without_counting_deadline_flushes() {
+    // max_wait far beyond the test runtime: the only way the lone
+    // sample gets served is the shutdown drain, which must complete
+    // the request but NOT be attributed to the deadline
+    let frontend = BatchingFrontend::new(
+        tiny_topology(),
+        ServeConfig::new(1, 1, 4).with_max_wait(Duration::from_secs(3600)),
+    )
+    .unwrap();
+    let images = random_images(1, 5);
+    let handle = frontend.submit(&images);
+    let stats = frontend.shutdown();
+    let out = handle.wait();
+    assert_eq!(out.top1.len(), 1);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.deadline_flushes, 0, "a shutdown drain is not a deadline flush");
+}
+
+#[test]
+fn malformed_topologies_are_err_not_panic() {
+    let no_input = "conv name=c1 bottom=data k=16\nsoftmaxloss name=loss bottom=c1\n";
+    assert!(InferenceSession::new(no_input, 2, 1).is_err());
+    let no_loss = "input name=data c=3 h=8 w=8\nconv name=c1 bottom=data k=16\n";
+    assert!(InferenceSession::new(no_loss, 2, 1).is_err());
+    assert!(BatchingFrontend::new(no_input, ServeConfig::new(1, 1, 2)).is_err());
+    assert!(BatchingFrontend::new(tiny_topology(), ServeConfig::new(0, 1, 2)).is_err());
+}
+
+#[test]
+fn n_replicas_cost_one_jit_pass() {
+    let frontend = BatchingFrontend::new(tiny_topology(), ServeConfig::new(3, 1, 2)).unwrap();
+    let stats = frontend.stats();
+    // 2 distinct conv shapes in the topology: replica 0 builds them,
+    // replicas 1 and 2 only hit
+    assert_eq!(stats.caches.plans.entries, 2, "{:?}", stats.caches.plans);
+    assert_eq!(stats.caches.plans.misses, 2, "{:?}", stats.caches.plans);
+    assert!(stats.caches.plans.hits >= 4, "replicas must reuse plans: {:?}", stats.caches.plans);
+    drop(frontend);
+}
