@@ -30,15 +30,14 @@ fn main() {
         .unwrap_or(64usize);
     let classes = 100usize;
 
-    let (name, text) = if inception {
-        ("Inception-v3(mixed-block)", topologies::inception_v3_topology(classes))
+    let (name, model) = if inception {
+        ("Inception-v3(mixed-block)", topologies::inception_v3_model(classes))
     } else {
-        ("ResNet-50", topologies::resnet50_topology(hw, classes))
+        ("ResNet-50", topologies::resnet50_model(hw, classes))
     };
-    let nl = gxm::parse_topology(&text).expect("topology parses");
     eprintln!("# building {name} at {hw}x{hw}, minibatch {}", cfg.minibatch);
     let t0 = Instant::now();
-    let mut net = Network::build(&nl, cfg.minibatch, cfg.threads);
+    let mut net = Network::build(&model, cfg.minibatch, cfg.threads).expect("valid model");
     eprintln!("# setup (JIT + dryrun): {:?}, params {}", t0.elapsed(), net.param_count());
 
     let (c, h, w) = if inception { (3, 147, 147) } else { (3, hw, hw) };

@@ -49,12 +49,12 @@ fn main() {
     let mut batch = vec![0.0f32; cfg.minibatch * 3 * in_hw * in_hw];
     for _ in 0..cfg.warmup {
         rng.fill_f32(&mut batch);
-        session.run(&batch);
+        session.run(&batch).expect("batch sized to the session");
     }
     let t0 = Instant::now();
     for _ in 0..cfg.iters {
         rng.fill_f32(&mut batch);
-        session.run(&batch);
+        session.run(&batch).expect("batch sized to the session");
     }
     let secs = t0.elapsed().as_secs_f64();
     let imgs_per_s = (cfg.iters * cfg.minibatch) as f64 / secs;

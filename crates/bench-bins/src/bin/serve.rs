@@ -49,7 +49,7 @@ fn drive(
     let mut image = vec![0.0f32; sample];
     for _ in 0..warmup {
         rng.fill_f32(&mut image);
-        frontend.infer(&image);
+        frontend.infer(&image).expect("serving pipeline alive");
     }
     // warmup requests are serial lone samples (worst-case latency and
     // occupancy) — reset so the stats describe only measured traffic
@@ -69,7 +69,7 @@ fn drive(
                     .is_ok()
                 {
                     rng.fill_f32(&mut image);
-                    frontend.infer(&image);
+                    frontend.infer(&image).expect("serving pipeline alive");
                 }
             });
         }
@@ -101,8 +101,8 @@ fn parity_check(topology: &str, minibatch: usize, threads: usize) -> bool {
     let mut rng = tensor::rng::SplitMix64::new(0x9a21);
     let mut batch = vec![0.0f32; minibatch * frontend.sample_elems()];
     rng.fill_f32(&mut batch);
-    let want = direct.run(&batch);
-    let got = frontend.infer(&batch);
+    let want = direct.run(&batch).expect("batch sized to the session");
+    let got = frontend.infer(&batch).expect("serving pipeline alive");
     got.probs == want.probs && got.top1 == want.top1
 }
 

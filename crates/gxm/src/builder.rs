@@ -1,0 +1,335 @@
+//! `GraphBuilder` — the fluent, typed route to a [`ModelSpec`].
+//!
+//! The builder keeps an implicit cursor on the most recently added
+//! node: each layer method consumes the cursor as its `bottom` and
+//! moves the cursor to the new node, so a linear network reads as one
+//! chain. Branching topologies re-anchor the cursor with
+//! [`GraphBuilder::from`] and join branches with
+//! [`GraphBuilder::concat`] (Inception) or the `eltwise` residual
+//! joins on conv/bn nodes (ResNet).
+//!
+//! Nothing is validated until [`GraphBuilder::build`], which runs the
+//! full [`ModelSpec`] validation — a builder chain can therefore be
+//! assembled in any order that keeps `bottom`s defined before use.
+//!
+//! ```
+//! use gxm::{ConvOpts, GraphBuilder};
+//!
+//! let spec = GraphBuilder::new()
+//!     .input("data", 3, 32, 32)
+//!     .conv("c1", ConvOpts::k(16).rs(3).pad(1).bias().relu())
+//!     .max_pool("p1", 2, 2, 0)
+//!     .conv("c2", ConvOpts::k(32).bias().relu())
+//!     .gap("g")
+//!     .fc("logits", 10)
+//!     .softmax("loss")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(spec.nodes().len(), 7);
+//! assert_eq!(spec.classes(), 10);
+//!
+//! // a residual join: re-anchor with `.from`, join with `bn_join`
+//! let block = GraphBuilder::new()
+//!     .input("data", 16, 8, 8)
+//!     .conv("c0", ConvOpts::k(16))
+//!     .bn_relu("b0")
+//!     .conv("c1", ConvOpts::k(16).rs(3).pad(1))
+//!     .bn_relu("b1")
+//!     .conv("c2", ConvOpts::k(16).rs(3).pad(1))
+//!     .bn_join("b2", "b0", true)
+//!     .gap("g")
+//!     .fc("logits", 4)
+//!     .softmax("loss")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(block.input_dims(), (16, 8, 8));
+//! ```
+
+use crate::error::Error;
+use crate::model::ModelSpec;
+use crate::spec::{NodeSpec, PoolKind};
+
+/// Convolution layer options for [`GraphBuilder::conv`], built
+/// fluently from the output-channel count.
+#[derive(Clone, Debug)]
+pub struct ConvOpts {
+    k: usize,
+    r: usize,
+    s: usize,
+    stride: usize,
+    pad: usize,
+    bias: bool,
+    relu: bool,
+    eltwise: Option<String>,
+}
+
+impl ConvOpts {
+    /// A `k`-output-channel 1×1 convolution, stride 1, no padding, no
+    /// fused ops — extend fluently from here.
+    pub fn k(k: usize) -> Self {
+        Self { k, r: 1, s: 1, stride: 1, pad: 0, bias: false, relu: false, eltwise: None }
+    }
+
+    /// Square `rs`×`rs` filter.
+    pub fn rs(mut self, rs: usize) -> Self {
+        self.r = rs;
+        self.s = rs;
+        self
+    }
+
+    /// Rectangular `r`×`s` filter (factorized 1×7 / 7×1 taps).
+    pub fn filter(mut self, r: usize, s: usize) -> Self {
+        self.r = r;
+        self.s = s;
+        self
+    }
+
+    /// Stride in both spatial dimensions.
+    pub fn stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Zero padding in both spatial dimensions.
+    pub fn pad(mut self, pad: usize) -> Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Fuse a learned bias into the convolution.
+    pub fn bias(mut self) -> Self {
+        self.bias = true;
+        self
+    }
+
+    /// Fuse a ReLU into the convolution.
+    pub fn relu(mut self) -> Self {
+        self.relu = true;
+        self
+    }
+
+    /// Fuse a residual eltwise-add of `blob` (before the ReLU).
+    pub fn residual(mut self, blob: &str) -> Self {
+        self.eltwise = Some(blob.to_string());
+        self
+    }
+}
+
+/// Fluent builder for [`ModelSpec`]s (see the [module docs](self) for
+/// the cursor model and a full example).
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<NodeSpec>,
+    seed: Option<u64>,
+    cursor: String,
+}
+
+impl GraphBuilder {
+    /// An empty builder; add an [`GraphBuilder::input`] first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the weight-initialization seed of the built spec.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    fn push(mut self, node: NodeSpec) -> Self {
+        self.cursor = node.name().to_string();
+        self.nodes.push(node);
+        self
+    }
+
+    /// Re-anchor the cursor on an earlier node, so the next layer
+    /// reads `name` as its bottom (branch points).
+    pub fn from(mut self, name: &str) -> Self {
+        self.cursor = name.to_string();
+        self
+    }
+
+    /// The network input (the data layer), `c`×`h`×`w` per sample.
+    pub fn input(self, name: &str, c: usize, h: usize, w: usize) -> Self {
+        self.push(NodeSpec::Input { name: name.to_string(), c, h, w })
+    }
+
+    /// A convolution reading the cursor, configured by [`ConvOpts`].
+    pub fn conv(self, name: &str, opts: ConvOpts) -> Self {
+        let bottom = self.cursor.clone();
+        self.push(NodeSpec::Conv {
+            name: name.to_string(),
+            bottom,
+            k: opts.k,
+            r: opts.r,
+            s: opts.s,
+            stride: opts.stride,
+            pad: opts.pad,
+            bias: opts.bias,
+            relu: opts.relu,
+            eltwise: opts.eltwise,
+        })
+    }
+
+    /// Batch normalization of the cursor.
+    pub fn bn(self, name: &str) -> Self {
+        let bottom = self.cursor.clone();
+        self.push(NodeSpec::Bn { name: name.to_string(), bottom, relu: false, eltwise: None })
+    }
+
+    /// Batch normalization with a fused ReLU.
+    pub fn bn_relu(self, name: &str) -> Self {
+        let bottom = self.cursor.clone();
+        self.push(NodeSpec::Bn { name: name.to_string(), bottom, relu: true, eltwise: None })
+    }
+
+    /// Batch normalization joining a residual branch:
+    /// `y = [relu](bn(cursor) + residual)` — the ResNet shortcut.
+    pub fn bn_join(self, name: &str, residual: &str, relu: bool) -> Self {
+        let bottom = self.cursor.clone();
+        self.push(NodeSpec::Bn {
+            name: name.to_string(),
+            bottom,
+            relu,
+            eltwise: Some(residual.to_string()),
+        })
+    }
+
+    /// Max pooling of the cursor.
+    pub fn max_pool(self, name: &str, size: usize, stride: usize, pad: usize) -> Self {
+        let bottom = self.cursor.clone();
+        self.push(NodeSpec::Pool {
+            name: name.to_string(),
+            bottom,
+            kind: PoolKind::Max,
+            size,
+            stride,
+            pad,
+        })
+    }
+
+    /// Average pooling of the cursor.
+    pub fn avg_pool(self, name: &str, size: usize, stride: usize, pad: usize) -> Self {
+        let bottom = self.cursor.clone();
+        self.push(NodeSpec::Pool {
+            name: name.to_string(),
+            bottom,
+            kind: PoolKind::Avg,
+            size,
+            stride,
+            pad,
+        })
+    }
+
+    /// Global average pooling of the cursor to 1×1.
+    pub fn gap(self, name: &str) -> Self {
+        let bottom = self.cursor.clone();
+        self.push(NodeSpec::GlobalAvgPool { name: name.to_string(), bottom })
+    }
+
+    /// Fully connected head over the (1×1-spatial) cursor.
+    pub fn fc(self, name: &str, k: usize) -> Self {
+        let bottom = self.cursor.clone();
+        self.push(NodeSpec::Fc { name: name.to_string(), bottom, k })
+    }
+
+    /// Softmax + cross-entropy head over the cursor.
+    pub fn softmax(self, name: &str) -> Self {
+        let bottom = self.cursor.clone();
+        self.push(NodeSpec::SoftmaxLoss { name: name.to_string(), bottom })
+    }
+
+    /// Channel concatenation of named branches (Inception joins); the
+    /// cursor moves to the concat node.
+    pub fn concat(self, name: &str, bottoms: &[&str]) -> Self {
+        self.push(NodeSpec::Concat {
+            name: name.to_string(),
+            bottoms: bottoms.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Validate into a [`ModelSpec`] (structure + shape inference).
+    pub fn build(self) -> Result<ModelSpec, Error> {
+        let spec = ModelSpec::from_nodes(self.nodes)?;
+        Ok(match self.seed {
+            Some(s) => spec.with_seed(s),
+            None => spec,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_equals_parsed_text() {
+        let built = GraphBuilder::new()
+            .input("data", 3, 8, 8)
+            .conv("c1", ConvOpts::k(16).rs(3).pad(1).bias().relu())
+            .max_pool("p1", 2, 2, 0)
+            .gap("g")
+            .fc("logits", 4)
+            .softmax("loss")
+            .build()
+            .unwrap();
+        let parsed = ModelSpec::parse(
+            "input name=data c=3 h=8 w=8\n\
+             conv name=c1 bottom=data k=16 r=3 s=3 pad=1 bias=1 relu=1\n\
+             pool name=p1 bottom=c1 kind=max size=2 stride=2\n\
+             gap name=g bottom=p1\n\
+             fc name=logits bottom=g k=4\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn branches_concat_and_residuals() {
+        let spec = GraphBuilder::new()
+            .input("data", 16, 8, 8)
+            .conv("a", ConvOpts::k(16))
+            .from("data")
+            .conv("b", ConvOpts::k(8))
+            .from("data")
+            .avg_pool("p", 3, 1, 1)
+            .conv("pproj", ConvOpts::k(8))
+            .concat("mix", &["a", "b", "pproj"])
+            .conv("post", ConvOpts::k(32).relu())
+            .gap("g")
+            .fc("logits", 4)
+            .softmax("loss")
+            .build()
+            .unwrap();
+        // concat sums channels: 16 + 8 + 8
+        let mix = spec.nodes().iter().position(|n| n.name() == "mix").unwrap();
+        assert_eq!(spec.shapes()[mix], (32, 8, 8));
+    }
+
+    #[test]
+    fn build_surfaces_validation_errors() {
+        let e = GraphBuilder::new()
+            .input("data", 3, 4, 4)
+            .conv("c", ConvOpts::k(8).rs(9))
+            .gap("g")
+            .fc("f", 2)
+            .softmax("loss")
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, Error::Shape { .. }), "{e}");
+    }
+
+    #[test]
+    fn seed_is_carried() {
+        let spec = GraphBuilder::new()
+            .seed(123)
+            .input("data", 3, 4, 4)
+            .gap("g")
+            .fc("f", 2)
+            .softmax("loss")
+            .build()
+            .unwrap();
+        assert_eq!(spec.seed(), 123);
+    }
+}

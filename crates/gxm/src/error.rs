@@ -1,0 +1,104 @@
+//! The crate-wide error type of the typed model API.
+//!
+//! Every public construction path — topology text parsing,
+//! [`crate::ModelSpec`] validation, [`crate::Network`] building, state
+//! dict I/O and the `anatomy` serving facade — reports failures
+//! through this enum instead of `Result<_, String>` or panics, so
+//! callers can match on the failure class and tests can assert on
+//! line/node context.
+
+use std::fmt;
+
+/// Errors of the model-description, build and serving surface.
+#[derive(Debug)]
+pub enum Error {
+    /// Topology text failed to tokenize/parse.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The node graph is structurally invalid (duplicate names,
+    /// dangling `bottom` references, missing input/loss head, …).
+    Graph {
+        /// Name of the offending node.
+        node: String,
+        /// 1-based source line when the graph came from text.
+        line: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
+    /// Shape inference failed or an unsupported operator combination
+    /// was requested at a node.
+    Shape {
+        /// Name of the offending node.
+        node: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// Caller-supplied runtime data (batches, sample counts, labels)
+    /// has the wrong size or shape.
+    BadInput(String),
+    /// The serving pipeline failed (replica death, shutdown races).
+    Serve(String),
+    /// A state-dict blob is malformed or does not match the network.
+    StateDict(String),
+    /// An underlying I/O failure (state-dict save/load).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line, message } => write!(f, "line {line}: {message}"),
+            Error::Graph { node, line: Some(line), message } => {
+                write!(f, "line {line}: node '{node}': {message}")
+            }
+            Error::Graph { node, line: None, message } => write!(f, "node '{node}': {message}"),
+            Error::Shape { node, message } => write!(f, "node '{node}': {message}"),
+            Error::BadInput(message) => write!(f, "bad input: {message}"),
+            Error::Serve(message) => write!(f, "serving error: {message}"),
+            Error::StateDict(message) => write!(f, "state dict: {message}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::Parse { line: 3, message: "bad k='x'".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = Error::Graph { node: "c1".into(), line: Some(7), message: "duplicate".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 7") && s.contains("c1") && s.contains("duplicate"));
+        let e = Error::Shape { node: "p1".into(), message: "window larger than input".into() };
+        assert!(e.to_string().contains("p1"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

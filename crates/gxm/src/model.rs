@@ -1,0 +1,562 @@
+//! `ModelSpec` — the validated, typed model description.
+//!
+//! A `ModelSpec` is a graph of [`NodeSpec`]s that has passed full
+//! structural *and* shape validation: unique names, define-before-use
+//! `bottom` references, exactly one input and one softmax head,
+//! per-node shape inference (so kernel-vs-input mismatches surface
+//! here, not as panics deep in the plan phase) and the executor's
+//! fusion constraints. Because every constructor validates, a
+//! `ModelSpec` in hand is proof the network can be built —
+//! [`crate::Network::build`] no longer has a malformed-input panic
+//! path.
+//!
+//! Construction routes:
+//! * [`ModelSpec::parse`] — the topology text format (errors carry
+//!   line numbers);
+//! * [`crate::GraphBuilder`] — the fluent typed builder;
+//! * [`ModelSpec::from_nodes`] — a raw node list from code.
+//!
+//! [`ModelSpec::to_text`] emits canonical topology text that reparses
+//! to an equal spec (the round-trip property the proptests pin down).
+
+use crate::error::Error;
+use crate::spec::{NodeSpec, PoolKind};
+use std::collections::HashMap;
+
+/// The weight-init seed a spec carries when none is set explicitly.
+/// Matches the historical hard-coded network seed, so existing
+/// deterministic tests keep their initial weights.
+pub const DEFAULT_SEED: u64 = 0x5eed;
+
+/// A validated model description: the typed alternative to raw
+/// topology strings (see the [module docs](self)).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelSpec {
+    nodes: Vec<NodeSpec>,
+    seed: u64,
+    /// Inferred (c, h, w) per node, aligned with `nodes`.
+    shapes: Vec<(usize, usize, usize)>,
+    input: usize,
+    loss: usize,
+}
+
+impl ModelSpec {
+    /// Parse topology text (see [`crate::parser`] for the format) into
+    /// a validated spec. Errors carry 1-based line numbers.
+    pub fn parse(text: &str) -> Result<Self, Error> {
+        let parsed = crate::parser::parse_text(text)?;
+        let mut spec = Self::validated(parsed.nodes, Some(&parsed.lines))?;
+        if let Some(seed) = parsed.seed {
+            spec.seed = seed;
+        }
+        Ok(spec)
+    }
+
+    /// Validate a raw node list into a spec (builder/programmatic
+    /// route; errors carry node names but no line numbers).
+    pub fn from_nodes(nodes: Vec<NodeSpec>) -> Result<Self, Error> {
+        Self::validated(nodes, None)
+    }
+
+    fn validated(nodes: Vec<NodeSpec>, lines: Option<&[usize]>) -> Result<Self, Error> {
+        let (shapes, input, loss) = validate(&nodes, lines)?;
+        Ok(Self { nodes, seed: DEFAULT_SEED, shapes, input, loss })
+    }
+
+    /// The validated node list.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The weight-initialization seed ([`DEFAULT_SEED`] unless set).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Set the weight-initialization seed. Every parameter is
+    /// initialized from a stream derived from `(seed, node name)`, so
+    /// two specs with equal seeds produce bit-identical initial
+    /// weights node by node — independent of construction order.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Logical `(c, h, w)` of the input node.
+    pub fn input_dims(&self) -> (usize, usize, usize) {
+        self.shapes[self.input]
+    }
+
+    /// Class count of the softmax head.
+    pub fn classes(&self) -> usize {
+        self.shapes[self.loss].0
+    }
+
+    /// Inferred `(c, h, w)` of every node, aligned with [`Self::nodes`].
+    pub fn shapes(&self) -> &[(usize, usize, usize)] {
+        &self.shapes
+    }
+
+    /// Emit canonical topology text. Reparsing the result yields an
+    /// equal spec (including the seed), and the emission is idempotent
+    /// — `to_text` of the reparse equals this text.
+    pub fn to_text(&self) -> String {
+        let mut t = String::new();
+        if self.seed != DEFAULT_SEED {
+            t.push_str(&format!("seed value={}\n", self.seed));
+        }
+        for n in &self.nodes {
+            match n {
+                NodeSpec::Input { name, c, h, w } => {
+                    t.push_str(&format!("input name={name} c={c} h={h} w={w}\n"));
+                }
+                NodeSpec::Conv { name, bottom, k, r, s, stride, pad, bias, relu, eltwise } => {
+                    t.push_str(&format!(
+                        "conv name={name} bottom={bottom} k={k} r={r} s={s} stride={stride} pad={pad}"
+                    ));
+                    if *bias {
+                        t.push_str(" bias=1");
+                    }
+                    if *relu {
+                        t.push_str(" relu=1");
+                    }
+                    if let Some(e) = eltwise {
+                        t.push_str(&format!(" eltwise={e}"));
+                    }
+                    t.push('\n');
+                }
+                NodeSpec::Bn { name, bottom, relu, eltwise } => {
+                    t.push_str(&format!("bn name={name} bottom={bottom}"));
+                    if *relu {
+                        t.push_str(" relu=1");
+                    }
+                    if let Some(e) = eltwise {
+                        t.push_str(&format!(" eltwise={e}"));
+                    }
+                    t.push('\n');
+                }
+                NodeSpec::Pool { name, bottom, kind, size, stride, pad } => {
+                    let kind = match kind {
+                        PoolKind::Max => "max",
+                        PoolKind::Avg => "avg",
+                    };
+                    t.push_str(&format!(
+                        "pool name={name} bottom={bottom} kind={kind} size={size} stride={stride} pad={pad}\n"
+                    ));
+                }
+                NodeSpec::GlobalAvgPool { name, bottom } => {
+                    t.push_str(&format!("gap name={name} bottom={bottom}\n"));
+                }
+                NodeSpec::Fc { name, bottom, k } => {
+                    t.push_str(&format!("fc name={name} bottom={bottom} k={k}\n"));
+                }
+                NodeSpec::SoftmaxLoss { name, bottom } => {
+                    t.push_str(&format!("softmaxloss name={name} bottom={bottom}\n"));
+                }
+                NodeSpec::Concat { name, bottoms } => {
+                    t.push_str(&format!("concat name={name} bottom={}\n", bottoms.join(",")));
+                }
+                // validation rejects executor-internal nodes
+                NodeSpec::Split { .. } => unreachable!("Split never appears in a ModelSpec"),
+            }
+        }
+        t
+    }
+}
+
+impl std::str::FromStr for ModelSpec {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Error> {
+        Self::parse(s)
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+/// Conversion into a validated [`ModelSpec`] — the bound the typed
+/// session constructors take, so call sites can hand over a spec, a
+/// builder, or legacy topology text interchangeably.
+pub trait IntoModelSpec {
+    /// Produce the validated spec (parsing/validating as needed).
+    fn into_model_spec(self) -> Result<ModelSpec, Error>;
+}
+
+impl IntoModelSpec for ModelSpec {
+    fn into_model_spec(self) -> Result<ModelSpec, Error> {
+        Ok(self)
+    }
+}
+
+impl IntoModelSpec for &ModelSpec {
+    fn into_model_spec(self) -> Result<ModelSpec, Error> {
+        Ok(self.clone())
+    }
+}
+
+impl IntoModelSpec for &str {
+    fn into_model_spec(self) -> Result<ModelSpec, Error> {
+        ModelSpec::parse(self)
+    }
+}
+
+impl IntoModelSpec for &String {
+    fn into_model_spec(self) -> Result<ModelSpec, Error> {
+        ModelSpec::parse(self)
+    }
+}
+
+impl IntoModelSpec for String {
+    fn into_model_spec(self) -> Result<ModelSpec, Error> {
+        ModelSpec::parse(&self)
+    }
+}
+
+impl IntoModelSpec for crate::GraphBuilder {
+    fn into_model_spec(self) -> Result<ModelSpec, Error> {
+        self.build()
+    }
+}
+
+/// Why a node name cannot be represented in the topology text format
+/// (`None` when it is legal). Bottoms need no separate check: they
+/// must reference a defined (hence already-validated) name.
+fn bad_name(name: &str) -> Option<&'static str> {
+    if name.is_empty() {
+        return Some("names must be non-empty");
+    }
+    if name.starts_with('#') {
+        return Some("names must not start with '#' (comment marker)");
+    }
+    if name.chars().any(|c| c.is_whitespace() || c == '=' || c == ',') {
+        return Some("names must not contain whitespace, '=' or ','");
+    }
+    None
+}
+
+/// Full structural + shape validation. Returns per-node inferred
+/// shapes and the input/loss node indices.
+#[allow(clippy::type_complexity)]
+fn validate(
+    nodes: &[NodeSpec],
+    lines: Option<&[usize]>,
+) -> Result<(Vec<(usize, usize, usize)>, usize, usize), Error> {
+    let line_of = |i: usize| lines.map(|l| l[i]);
+    let graph_err = |i: usize, msg: String| Error::Graph {
+        node: nodes[i].name().to_string(),
+        line: line_of(i),
+        message: msg,
+    };
+    let shape_err =
+        |i: usize, msg: String| Error::Shape { node: nodes[i].name().to_string(), message: msg };
+
+    if nodes.is_empty() {
+        return Err(Error::Graph {
+            node: String::new(),
+            line: None,
+            message: "topology is empty".to_string(),
+        });
+    }
+
+    // pass 1: structure — legal names, unique names, define-before-use
+    // bottoms, no executor-internal node kinds
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        if matches!(n, NodeSpec::Split { .. }) {
+            return Err(graph_err(
+                i,
+                "'split' nodes are inserted by the executor and cannot appear in a model spec"
+                    .to_string(),
+            ));
+        }
+        // names must survive the text format (key=value tokens,
+        // comma-joined concat bottoms, '#' comments) or the documented
+        // to_text ↔ parse round trip would be lossy
+        if let Some(why) = bad_name(n.name()) {
+            return Err(graph_err(i, format!("illegal node name '{}': {why}", n.name())));
+        }
+        for b in n.bottoms() {
+            if !index.contains_key(b) {
+                return Err(graph_err(i, format!("reads undefined blob '{b}'")));
+            }
+        }
+        if index.insert(n.name(), i).is_some() {
+            return Err(graph_err(i, format!("duplicate node name '{}'", n.name())));
+        }
+    }
+
+    // pass 2: shape inference with per-node diagnostics
+    let mut shapes: Vec<(usize, usize, usize)> = Vec::with_capacity(nodes.len());
+    let mut input = None;
+    let mut loss = None;
+    for (i, n) in nodes.iter().enumerate() {
+        let dim_of = |name: &str| shapes[index[name]];
+        let sh = match n {
+            NodeSpec::Input { c, h, w, .. } => {
+                if *c == 0 || *h == 0 || *w == 0 {
+                    return Err(shape_err(i, format!("input dims must be >= 1, got {c}x{h}x{w}")));
+                }
+                if input.replace(i).is_some() {
+                    return Err(graph_err(i, "topology has more than one input node".to_string()));
+                }
+                (*c, *h, *w)
+            }
+            NodeSpec::Conv { bottom, k, r, s, stride, pad, bias, eltwise, .. } => {
+                let (_, h, w) = dim_of(bottom);
+                if *k == 0 || *r == 0 || *s == 0 || *stride == 0 {
+                    return Err(shape_err(i, "k, r, s and stride must be >= 1".to_string()));
+                }
+                if h + 2 * pad < *r || w + 2 * pad < *s {
+                    return Err(shape_err(
+                        i,
+                        format!("{r}x{s} filter does not fit {h}x{w} input with pad {pad}"),
+                    ));
+                }
+                if *bias && eltwise.is_some() {
+                    return Err(shape_err(
+                        i,
+                        "bias=1 combined with eltwise is unsupported (put bias/relu on a bn node)"
+                            .to_string(),
+                    ));
+                }
+                // physically padded blobs must not be produced by a
+                // conv (conv outputs stay pad-0 in the executor)
+                if *pad > 0 && matches!(nodes[index[bottom.as_str()]], NodeSpec::Conv { .. }) {
+                    return Err(shape_err(
+                        i,
+                        format!(
+                            "conv output '{bottom}' feeds this padded conv directly; \
+                             insert a bn node between them"
+                        ),
+                    ));
+                }
+                let out = (*k, (h + 2 * pad - r) / stride + 1, (w + 2 * pad - s) / stride + 1);
+                if let Some(e) = eltwise {
+                    if dim_of(e) != out {
+                        return Err(shape_err(
+                            i,
+                            format!(
+                                "eltwise blob '{e}' has shape {:?}, output is {:?}",
+                                dim_of(e),
+                                out
+                            ),
+                        ));
+                    }
+                }
+                out
+            }
+            NodeSpec::Bn { bottom, eltwise, .. } => {
+                let out = dim_of(bottom);
+                if let Some(e) = eltwise {
+                    if dim_of(e) != out {
+                        return Err(shape_err(
+                            i,
+                            format!(
+                                "eltwise blob '{e}' has shape {:?}, output is {:?}",
+                                dim_of(e),
+                                out
+                            ),
+                        ));
+                    }
+                }
+                out
+            }
+            NodeSpec::Pool { bottom, size, stride, pad, .. } => {
+                let (c, h, w) = dim_of(bottom);
+                if *size == 0 || *stride == 0 {
+                    return Err(shape_err(i, "size and stride must be >= 1".to_string()));
+                }
+                if h + 2 * pad < *size || w + 2 * pad < *size {
+                    return Err(shape_err(
+                        i,
+                        format!("{size}x{size} window does not fit {h}x{w} input with pad {pad}"),
+                    ));
+                }
+                (c, (h + 2 * pad - size) / stride + 1, (w + 2 * pad - size) / stride + 1)
+            }
+            NodeSpec::GlobalAvgPool { bottom, .. } => {
+                let (c, _, _) = dim_of(bottom);
+                (c, 1, 1)
+            }
+            NodeSpec::Fc { bottom, k, .. } => {
+                let (_, h, w) = dim_of(bottom);
+                if (h, w) != (1, 1) {
+                    return Err(shape_err(
+                        i,
+                        format!("fc bottom must be 1x1 spatial (insert gap), got {h}x{w}"),
+                    ));
+                }
+                if *k == 0 {
+                    return Err(shape_err(i, "fc k must be >= 1".to_string()));
+                }
+                (*k, 1, 1)
+            }
+            NodeSpec::SoftmaxLoss { bottom, .. } => {
+                let (c, h, w) = dim_of(bottom);
+                if (h, w) != (1, 1) {
+                    return Err(shape_err(
+                        i,
+                        format!("softmaxloss bottom must be 1x1 spatial, got {h}x{w}"),
+                    ));
+                }
+                if loss.replace(i).is_some() {
+                    return Err(graph_err(
+                        i,
+                        "topology has more than one softmaxloss node".to_string(),
+                    ));
+                }
+                (c, 1, 1)
+            }
+            NodeSpec::Concat { bottoms, .. } => {
+                if bottoms.is_empty() {
+                    return Err(graph_err(i, "concat needs at least one bottom".to_string()));
+                }
+                let (_, h0, w0) = dim_of(&bottoms[0]);
+                let mut c = 0;
+                for b in bottoms {
+                    let (cc, hh, ww) = dim_of(b);
+                    if (hh, ww) != (h0, w0) {
+                        return Err(shape_err(
+                            i,
+                            format!("concat inputs disagree spatially: {h0}x{w0} vs {hh}x{ww}"),
+                        ));
+                    }
+                    c += cc;
+                }
+                (c, h0, w0)
+            }
+            NodeSpec::Split { .. } => unreachable!("rejected in pass 1"),
+        };
+        shapes.push(sh);
+    }
+
+    let input = input.ok_or_else(|| Error::Graph {
+        node: String::new(),
+        line: None,
+        message: "topology has no input node".to_string(),
+    })?;
+    let loss = loss.ok_or_else(|| Error::Graph {
+        node: String::new(),
+        line: None,
+        message: "topology has no softmaxloss node".to_string(),
+    })?;
+    Ok((shapes, input, loss))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> &'static str {
+        "input name=data c=3 h=8 w=8\n\
+         conv name=c1 bottom=data k=16 r=3 s=3 pad=1 bias=1 relu=1\n\
+         gap name=g bottom=c1\n\
+         fc name=logits bottom=g k=4\n\
+         softmaxloss name=loss bottom=logits\n"
+    }
+
+    #[test]
+    fn parse_infers_shapes_and_endpoints() {
+        let spec = ModelSpec::parse(small()).unwrap();
+        assert_eq!(spec.input_dims(), (3, 8, 8));
+        assert_eq!(spec.classes(), 4);
+        assert_eq!(spec.shapes()[1], (16, 8, 8));
+        assert_eq!(spec.seed(), DEFAULT_SEED);
+    }
+
+    #[test]
+    fn text_round_trip_is_identity() {
+        let spec = ModelSpec::parse(small()).unwrap().with_seed(7);
+        let text = spec.to_text();
+        let reparsed = ModelSpec::parse(&text).unwrap();
+        assert_eq!(spec, reparsed);
+        assert_eq!(text, reparsed.to_text(), "emission must be idempotent");
+    }
+
+    #[test]
+    fn missing_endpoints_are_graph_errors() {
+        let e = ModelSpec::parse("input name=d c=3 h=4 w=4\n").unwrap_err();
+        assert!(matches!(e, Error::Graph { .. }), "{e}");
+        assert!(e.to_string().contains("no softmaxloss"));
+        let e = ModelSpec::parse(
+            "input name=d c=3 h=4 w=4\ninput name=d2 c=3 h=4 w=4\n\
+             gap name=g bottom=d\nfc name=f bottom=g k=2\nsoftmaxloss name=l bottom=f\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("more than one input"), "{e}");
+    }
+
+    #[test]
+    fn names_unrepresentable_in_text_are_rejected() {
+        // whitespace, '=', ',', '#'-prefix and empty names would all
+        // break the to_text ↔ parse round trip — builder route
+        for bad in ["my data", "a=b", "a,b", "#x", ""] {
+            let e = crate::GraphBuilder::new()
+                .input(bad, 3, 4, 4)
+                .gap("g")
+                .fc("f", 2)
+                .softmax("loss")
+                .build()
+                .unwrap_err();
+            assert!(e.to_string().contains("illegal node name"), "{bad:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn oversized_filter_is_a_shape_error() {
+        let e = ModelSpec::parse(
+            "input name=d c=3 h=4 w=4\nconv name=c bottom=d k=8 r=7 s=7\n\
+             gap name=g bottom=c\nfc name=f bottom=g k=2\nsoftmaxloss name=l bottom=f\n",
+        )
+        .unwrap_err();
+        assert!(matches!(e, Error::Shape { .. }), "{e}");
+        assert!(e.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn conv_feeding_padded_conv_is_rejected() {
+        let e = ModelSpec::parse(
+            "input name=d c=16 h=8 w=8\nconv name=a bottom=d k=16\n\
+             conv name=b bottom=a k=16 r=3 s=3 pad=1\n\
+             gap name=g bottom=b\nfc name=f bottom=g k=2\nsoftmaxloss name=l bottom=f\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("insert a bn node"), "{e}");
+    }
+
+    #[test]
+    fn bias_plus_eltwise_is_rejected() {
+        let e = ModelSpec::parse(
+            "input name=d c=16 h=8 w=8\nconv name=a bottom=d k=16\n\
+             conv name=b bottom=a k=16\nconv name=c bottom=b k=16 bias=1 eltwise=a\n\
+             gap name=g bottom=c\nfc name=f bottom=g k=2\nsoftmaxloss name=l bottom=f\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("unsupported"), "{e}");
+    }
+
+    #[test]
+    fn fc_on_spatial_blob_is_rejected() {
+        let e = ModelSpec::parse(
+            "input name=d c=16 h=8 w=8\nfc name=f bottom=d k=2\nsoftmaxloss name=l bottom=f\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("insert gap"), "{e}");
+    }
+
+    #[test]
+    fn eltwise_shape_mismatch_is_rejected() {
+        let e = ModelSpec::parse(
+            "input name=d c=16 h=8 w=8\nconv name=a bottom=d k=16\n\
+             pool name=p bottom=a kind=max size=2 stride=2\n\
+             conv name=b bottom=p k=16\nbn name=bb bottom=b eltwise=a\n\
+             gap name=g bottom=bb\nfc name=f bottom=g k=2\nsoftmaxloss name=l bottom=f\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("eltwise"), "{e}");
+    }
+}

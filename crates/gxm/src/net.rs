@@ -24,15 +24,25 @@
 //! and the gradient reduction falls out of the accumulate-into-blob
 //! convention every backward operator follows.
 
+use crate::error::Error;
+use crate::model::ModelSpec;
 use crate::ops;
 use crate::pipeline::{compile, fwd_last_use, Etg, PassKind};
 use crate::spec::{NodeSpec, PoolKind};
+use crate::state::StateDict;
 use conv::{ConvLayer, FusedOp, LayerOptions, PlanCache};
 use parallel::ThreadPool;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tensor::rng::SplitMix64;
 use tensor::{BlockedActs, BlockedFilter, VLEN};
+
+/// Epsilon of every batch-norm node.
+const BN_EPS: f32 = 1e-5;
+
+/// Exponential-moving-average factor for the BN running statistics
+/// accumulated during training (the usual framework default).
+const BN_MOMENTUM: f32 = 0.1;
 
 /// How a network's storage is materialized.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -106,6 +116,12 @@ enum LayerState {
         gamma: Param,
         beta: Param,
         saved: ops::BnSaved,
+        /// EMA of the per-channel batch means seen during training
+        /// (persisted through the state dict; groundwork for
+        /// frozen-stats inference).
+        running_mean: Vec<f32>,
+        /// EMA of the per-channel batch variances (initialized to 1).
+        running_var: Vec<f32>,
         relu: bool,
         eltwise: Option<usize>,
     },
@@ -384,6 +400,8 @@ pub struct Network {
     slot_of: Vec<usize>,
     /// Alias resolution: node → node owning its output blob.
     alias: Vec<usize>,
+    /// Inferred logical (c, h, w) per node (state-dict geometry).
+    shapes: Vec<(usize, usize, usize)>,
     layers: Vec<LayerState>,
     /// Index of the input node and the loss node.
     input_node: usize,
@@ -397,11 +415,19 @@ pub struct Network {
 }
 
 impl Network {
-    /// Compile a topology for a minibatch size and thread count: a
-    /// private pool, a private plan cache, training mode.
-    pub fn build(nl: &[NodeSpec], minibatch: usize, threads: usize) -> Self {
+    /// Compile a validated [`ModelSpec`] for a minibatch size and
+    /// thread count: a private pool, a private plan cache, training
+    /// mode.
+    ///
+    /// Malformed topologies cannot reach this point — every
+    /// [`ModelSpec`] constructor validates — so the only failures left
+    /// are degenerate runtime parameters ([`Error::BadInput`]).
+    pub fn build(spec: &ModelSpec, minibatch: usize, threads: usize) -> Result<Self, Error> {
+        if threads == 0 {
+            return Err(Error::BadInput("threads must be >= 1".to_string()));
+        }
         Self::build_with(
-            nl,
+            spec,
             minibatch,
             Arc::new(ThreadPool::new(threads)),
             ExecMode::Training,
@@ -413,20 +439,30 @@ impl Network {
     /// a shared [`PlanCache`]. Serving stacks pass one pool + cache to
     /// every network they build so repeated layer shapes JIT once.
     pub fn build_with(
-        nl: &[NodeSpec],
+        spec: &ModelSpec,
         minibatch: usize,
         pool: Arc<ThreadPool>,
         mode: ExecMode,
         cache: &PlanCache,
-    ) -> Self {
+    ) -> Result<Self, Error> {
+        if minibatch == 0 {
+            return Err(Error::BadInput("minibatch must be >= 1".to_string()));
+        }
         let threads = pool.nthreads();
-        let plan = plan_graph(nl, minibatch, threads, cache);
-        Self::allocate(plan, minibatch, pool, mode)
+        let plan = plan_graph(spec.nodes(), minibatch, threads, cache);
+        Ok(Self::allocate(plan, minibatch, pool, mode, spec.seed()))
     }
 
     /// Allocate phase: materialize parameters and activation storage
-    /// for `mode` over a finished [`GraphPlan`].
-    fn allocate(plan: GraphPlan, minibatch: usize, pool: Arc<ThreadPool>, mode: ExecMode) -> Self {
+    /// for `mode` over a finished [`GraphPlan`]. `seed` drives the
+    /// per-node weight-init streams.
+    fn allocate(
+        plan: GraphPlan,
+        minibatch: usize,
+        pool: Arc<ThreadPool>,
+        mode: ExecMode,
+        seed: u64,
+    ) -> Self {
         let nodes_len = plan.etg.eng.nodes.len();
         let index: HashMap<String, usize> =
             plan.etg.eng.nodes.iter().enumerate().map(|(i, n)| (n.name().to_string(), i)).collect();
@@ -453,10 +489,11 @@ impl Network {
             ExecMode::Inference => assign_slots_inference(&plan, minibatch),
         };
 
-        // parameters + per-node operator state (identical RNG sequence
-        // in both modes, so training and inference nets built from one
-        // topology carry bit-identical initial weights)
-        let mut rng = SplitMix64::new(0x5eed);
+        // parameters + per-node operator state. Every parameterized
+        // node draws from its own RNG stream keyed on (spec seed, node
+        // name): training and inference nets built from one spec carry
+        // bit-identical initial weights, and a node's init no longer
+        // depends on which nodes were constructed before it.
         let mut layers: Vec<LayerState> = Vec::with_capacity(nodes_len);
         for (i, n) in plan.etg.eng.nodes.iter().enumerate() {
             let index_of = |name: &str| index[name];
@@ -468,7 +505,7 @@ impl Network {
                     let bi = plan.alias[index_of(bottom.as_str())];
                     let (bc, _, _) = plan.shapes[bi];
                     let mut wt = BlockedFilter::zeros(*k, bc, *r, *s);
-                    he_init_filter(&mut wt, &mut rng);
+                    he_init_filter(&mut wt, &mut node_rng(seed, n.name()));
                     let bias_p = bias.then(|| Param::new(mode, k.next_multiple_of(VLEN)));
                     let train = (mode == ExecMode::Training).then(|| ConvTrainState {
                         dw: BlockedFilter::zeros(*k, bc, *r, *s),
@@ -493,6 +530,8 @@ impl Network {
                         gamma,
                         beta: Param::new(mode, cpad),
                         saved: ops::BnSaved::default(),
+                        running_mean: vec![0.0; cpad],
+                        running_var: vec![1.0; cpad],
                         relu: *relu,
                         eltwise: eltwise.as_ref().map(|e| plan.alias[index_of(e.as_str())]),
                     }
@@ -509,6 +548,7 @@ impl Network {
                     let (bc, _, _) = plan.shapes[plan.alias[index_of(bottom.as_str())]];
                     let (in_dim, out_dim) = (bc.next_multiple_of(VLEN), k.next_multiple_of(VLEN));
                     let mut w = Param::new(mode, in_dim * out_dim);
+                    let mut rng = node_rng(seed, n.name());
                     let scale = (2.0 / in_dim as f32).sqrt();
                     for v in w.w.iter_mut() {
                         *v = rng.next_f32() * 2.0 * scale;
@@ -531,6 +571,7 @@ impl Network {
             blobs,
             slot_of,
             alias: plan.alias,
+            shapes: plan.shapes,
             layers,
             input_node: plan.input_node,
             loss_node: plan.loss_node,
@@ -774,18 +815,34 @@ impl Network {
                 } else {
                     None
                 };
-                if let LayerState::Bn { gamma, beta, saved, relu, .. } = &mut self.layers[node] {
+                let training = self.mode == ExecMode::Training;
+                if let LayerState::Bn {
+                    gamma, beta, saved, running_mean, running_var, relu, ..
+                } = &mut self.layers[node]
+                {
                     ops::bn_fwd(
                         &self.pool,
                         &bot.act,
                         &gamma.w,
                         &beta.w,
-                        1e-5,
+                        BN_EPS,
                         *relu,
                         res.as_ref().map(|b| &b.act),
                         &mut own.act,
                         saved,
                     );
+                    // accumulate the running statistics every
+                    // training-mode forward (the EMA a frozen-stats
+                    // inference path will consume; batch statistics
+                    // still drive this PR's forward in both modes)
+                    if training {
+                        for c in 0..running_mean.len() {
+                            running_mean[c] =
+                                (1.0 - BN_MOMENTUM) * running_mean[c] + BN_MOMENTUM * saved.mean[c];
+                            running_var[c] =
+                                (1.0 - BN_MOMENTUM) * running_var[c] + BN_MOMENTUM * saved.var[c];
+                        }
+                    }
                 } else {
                     unreachable!()
                 }
@@ -1126,6 +1183,190 @@ impl Network {
     pub fn etg(&self) -> &Etg {
         &self.etg
     }
+
+    /// The exact tensor inventory (name, logical dims) the network
+    /// exports/imports — the contract both state-dict directions and
+    /// their validation share.
+    fn param_inventory(&self) -> Vec<(String, Vec<usize>)> {
+        let mut inv = Vec::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            let name = self.etg.eng.nodes[i].name();
+            match l {
+                LayerState::Conv { w, bias, .. } => {
+                    inv.push((format!("{name}.weight"), vec![w.k, w.c, w.r, w.s]));
+                    if bias.is_some() {
+                        inv.push((format!("{name}.bias"), vec![w.k]));
+                    }
+                }
+                LayerState::Bn { .. } => {
+                    let c = self.shapes[i].0;
+                    for t in ["gamma", "beta", "running_mean", "running_var"] {
+                        inv.push((format!("{name}.{t}"), vec![c]));
+                    }
+                }
+                LayerState::Fc { .. } => {
+                    let c_in = self.shapes[self.alias[self.etg.eng.preds[i][0]]].0;
+                    let k_out = self.shapes[i].0;
+                    inv.push((format!("{name}.weight"), vec![c_in, k_out]));
+                    inv.push((format!("{name}.bias"), vec![k_out]));
+                }
+                _ => {}
+            }
+        }
+        inv
+    }
+
+    /// Export every parameter (and BN running statistic) as a named
+    /// [`StateDict`] in dense logical layout. Extraction copies bits
+    /// out of the blocked storage without arithmetic, so
+    /// [`Self::load_state_dict`] of the result is bit-exact.
+    pub fn state_dict(&self) -> StateDict {
+        let mut sd = StateDict::new();
+        for (i, l) in self.layers.iter().enumerate() {
+            let name = self.etg.eng.nodes[i].name();
+            match l {
+                LayerState::Conv { w, bias, .. } => {
+                    let mut data = Vec::with_capacity(w.k * w.c * w.r * w.s);
+                    for k in 0..w.k {
+                        for c in 0..w.c {
+                            for r in 0..w.r {
+                                for s in 0..w.s {
+                                    data.push(w.get(k, c, r, s));
+                                }
+                            }
+                        }
+                    }
+                    sd.insert(&format!("{name}.weight"), vec![w.k, w.c, w.r, w.s], data)
+                        .expect("export geometry is self-consistent");
+                    if let Some(b) = bias {
+                        sd.insert(&format!("{name}.bias"), vec![w.k], b.w[..w.k].to_vec())
+                            .expect("export geometry is self-consistent");
+                    }
+                }
+                LayerState::Bn { gamma, beta, running_mean, running_var, .. } => {
+                    let c = self.shapes[i].0;
+                    sd.insert(&format!("{name}.gamma"), vec![c], gamma.w[..c].to_vec())
+                        .expect("export geometry is self-consistent");
+                    sd.insert(&format!("{name}.beta"), vec![c], beta.w[..c].to_vec())
+                        .expect("export geometry is self-consistent");
+                    sd.insert(&format!("{name}.running_mean"), vec![c], running_mean[..c].to_vec())
+                        .expect("export geometry is self-consistent");
+                    sd.insert(&format!("{name}.running_var"), vec![c], running_var[..c].to_vec())
+                        .expect("export geometry is self-consistent");
+                }
+                LayerState::Fc { w, b, out_dim, .. } => {
+                    let c_in = self.shapes[self.alias[self.etg.eng.preds[i][0]]].0;
+                    let k_out = self.shapes[i].0;
+                    let mut data = Vec::with_capacity(c_in * k_out);
+                    for c in 0..c_in {
+                        data.extend_from_slice(&w.w[c * out_dim..c * out_dim + k_out]);
+                    }
+                    sd.insert(&format!("{name}.weight"), vec![c_in, k_out], data)
+                        .expect("export geometry is self-consistent");
+                    sd.insert(&format!("{name}.bias"), vec![k_out], b.w[..k_out].to_vec())
+                        .expect("export geometry is self-consistent");
+                }
+                _ => {}
+            }
+        }
+        sd
+    }
+
+    /// Import a [`StateDict`] previously exported from a network of
+    /// the same topology (any [`ExecMode`] on either side).
+    ///
+    /// Strict by design: every expected tensor must be present with
+    /// matching dims and no unknown names may remain — and validation
+    /// runs *before* any write, so a failed load leaves the network
+    /// untouched. Imported buffers are re-canonicalized (SIMD-lane
+    /// padding zeroed, BN gamma padding reset to 1) so a reloaded
+    /// network is indistinguishable from the one that was saved.
+    pub fn load_state_dict(&mut self, sd: &StateDict) -> Result<(), Error> {
+        // pass 1: validate the full inventory up front
+        let expected = self.param_inventory();
+        for (name, dims) in &expected {
+            match sd.get(name) {
+                None => return Err(Error::StateDict(format!("missing tensor '{name}'"))),
+                Some(e) if &e.dims != dims => {
+                    return Err(Error::StateDict(format!(
+                        "tensor '{name}': dims {:?} do not match the network's {:?}",
+                        e.dims, dims
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        let known: std::collections::HashSet<&str> =
+            expected.iter().map(|(n, _)| n.as_str()).collect();
+        if let Some(stranger) = sd.names().find(|n| !known.contains(n)) {
+            return Err(Error::StateDict(format!(
+                "unexpected tensor '{stranger}' (not a parameter of this network)"
+            )));
+        }
+        // pass 2: write back with canonical padding
+        let load_padded = |dst: &mut [f32], src: &[f32], fill: f32| {
+            dst.fill(fill);
+            dst[..src.len()].copy_from_slice(src);
+        };
+        for i in 0..self.layers.len() {
+            let name = self.etg.eng.nodes[i].name().to_string();
+            let fc_cin = match &self.layers[i] {
+                LayerState::Fc { .. } => self.shapes[self.alias[self.etg.eng.preds[i][0]]].0,
+                _ => 0,
+            };
+            match &mut self.layers[i] {
+                LayerState::Conv { w, bias, .. } => {
+                    let e = sd.get(&format!("{name}.weight")).expect("validated");
+                    w.as_mut_slice().fill(0.0);
+                    let mut it = e.data.iter();
+                    for k in 0..w.k {
+                        for c in 0..w.c {
+                            for r in 0..w.r {
+                                for s in 0..w.s {
+                                    w.set(k, c, r, s, *it.next().expect("validated dims"));
+                                }
+                            }
+                        }
+                    }
+                    if let Some(b) = bias {
+                        let e = sd.get(&format!("{name}.bias")).expect("validated");
+                        load_padded(&mut b.w, &e.data, 0.0);
+                    }
+                }
+                LayerState::Bn { gamma, beta, running_mean, running_var, .. } => {
+                    let get = |t: &str| &sd.get(&format!("{name}.{t}")).expect("validated").data;
+                    load_padded(&mut gamma.w, get("gamma"), 1.0);
+                    load_padded(&mut beta.w, get("beta"), 0.0);
+                    load_padded(running_mean, get("running_mean"), 0.0);
+                    load_padded(running_var, get("running_var"), 1.0);
+                }
+                LayerState::Fc { w, b, out_dim, .. } => {
+                    let e = sd.get(&format!("{name}.weight")).expect("validated");
+                    let k_out = e.dims[1];
+                    w.w.fill(0.0);
+                    for c in 0..fc_cin {
+                        w.w[c * *out_dim..c * *out_dim + k_out]
+                            .copy_from_slice(&e.data[c * k_out..(c + 1) * k_out]);
+                    }
+                    let e = sd.get(&format!("{name}.bias")).expect("validated");
+                    load_padded(&mut b.w, &e.data, 0.0);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Derive a node's private weight-init stream from the spec seed and
+/// the node's name (FNV-1a over the name, mixed into the seed), so
+/// initialization is independent of node construction order.
+fn node_rng(seed: u64, name: &str) -> SplitMix64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SplitMix64::new(seed ^ h)
 }
 
 /// He-normal-ish filter init (uniform approximation, deterministic).
@@ -1148,7 +1389,7 @@ mod tests {
     use super::*;
     use crate::parser::parse_topology;
 
-    fn small_cnn() -> Vec<NodeSpec> {
+    fn small_cnn() -> ModelSpec {
         parse_topology(
             "input name=data c=16 h=16 w=16\n\
              conv name=c1 bottom=data k=32 r=3 s=3 pad=1 bias=1 relu=1\n\
@@ -1163,7 +1404,7 @@ mod tests {
 
     #[test]
     fn forward_runs_and_produces_finite_loss() {
-        let mut net = Network::build(&small_cnn(), 8, 4);
+        let mut net = Network::build(&small_cnn(), 8, 4).unwrap();
         // random input
         let mut rng = SplitMix64::new(1);
         rng.fill_f32(net.input_mut().as_mut_slice());
@@ -1175,7 +1416,7 @@ mod tests {
 
     #[test]
     fn training_reduces_loss() {
-        let mut net = Network::build(&small_cnn(), 8, 4);
+        let mut net = Network::build(&small_cnn(), 8, 4).unwrap();
         let mut rng = SplitMix64::new(2);
         let mut input = vec![0.0f32; net.input_mut().as_slice().len()];
         rng.fill_f32(&mut input);
@@ -1210,7 +1451,7 @@ mod tests {
              softmaxloss name=loss bottom=logits\n",
         )
         .unwrap();
-        let mut net = Network::build(&nl, 4, 3);
+        let mut net = Network::build(&nl, 4, 3).unwrap();
         // b0 fans out (c1 + eltwise) -> one split node must appear
         assert!(net.etg().eng.nodes.iter().any(|n| matches!(n, NodeSpec::Split { .. })));
         let mut rng = SplitMix64::new(3);
@@ -1232,7 +1473,7 @@ mod tests {
 
     #[test]
     fn param_count_is_sane() {
-        let net = Network::build(&small_cnn(), 2, 2);
+        let net = Network::build(&small_cnn(), 2, 2).unwrap();
         // c1: 32*16*9 + 32, c2: 32*32 + 32, fc: 32*16(padded)… > 5k
         assert!(net.param_count() > 5_000, "{}", net.param_count());
     }
@@ -1242,8 +1483,10 @@ mod tests {
         let nl = small_cnn();
         let cache = PlanCache::new();
         let pool = Arc::new(ThreadPool::new(4));
-        let mut train = Network::build_with(&nl, 8, Arc::clone(&pool), ExecMode::Training, &cache);
-        let mut infer = Network::build_with(&nl, 8, Arc::clone(&pool), ExecMode::Inference, &cache);
+        let mut train =
+            Network::build_with(&nl, 8, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
+        let mut infer =
+            Network::build_with(&nl, 8, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
         let first_build_misses = cache.misses();
         // the second build must not have JIT'd anything new
         assert_eq!(first_build_misses, 2, "two distinct conv layers in the topology");
@@ -1273,11 +1516,12 @@ mod tests {
             Arc::new(ThreadPool::new(2)),
             ExecMode::Inference,
             &PlanCache::new(),
-        );
+        )
+        .unwrap();
         assert_eq!(infer.mode(), ExecMode::Inference);
         assert_eq!(infer.gradient_blob_count(), 0, "no gradient blobs in inference");
         assert_eq!(infer.training_state_bytes(), 0, "no dW/momentum/scratch in inference");
-        let train = Network::build(&nl, 4, 2);
+        let train = Network::build(&nl, 4, 2).unwrap();
         assert!(train.gradient_blob_count() > 0);
         assert!(train.training_state_bytes() > 0);
     }
@@ -1300,8 +1544,10 @@ mod tests {
         .unwrap();
         let cache = PlanCache::new();
         let pool = Arc::new(ThreadPool::new(2));
-        let train = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache);
-        let infer = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache);
+        let train =
+            Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
+        let infer =
+            Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
         assert!(
             infer.activation_slot_count() < train.activation_slot_count(),
             "liveness plan must share buffers: {} vs {}",
@@ -1332,8 +1578,10 @@ mod tests {
         .unwrap();
         let cache = PlanCache::new();
         let pool = Arc::new(ThreadPool::new(3));
-        let mut train = Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Training, &cache);
-        let mut infer = Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Inference, &cache);
+        let mut train =
+            Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
+        let mut infer =
+            Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
         let mut rng = SplitMix64::new(11);
         let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
         rng.fill_f32(&mut input);
@@ -1361,7 +1609,136 @@ mod tests {
             Arc::new(ThreadPool::new(1)),
             ExecMode::Inference,
             &PlanCache::new(),
-        );
+        )
+        .unwrap();
         infer.train_step(&[0, 1], 0.1, 0.9);
+    }
+
+    #[test]
+    fn state_dict_round_trips_bit_exact_after_training() {
+        let spec = small_cnn();
+        let mut net = Network::build(&spec, 4, 2).unwrap();
+        let mut rng = SplitMix64::new(21);
+        let mut input = vec![0.0f32; net.input_mut().as_slice().len()];
+        rng.fill_f32(&mut input);
+        let labels = vec![0usize, 1, 2, 3];
+        for _ in 0..3 {
+            net.input_mut().as_mut_slice().copy_from_slice(&input);
+            net.train_step(&labels, 0.05, 0.9);
+        }
+        let sd = net.state_dict();
+        // serialize through the binary format too
+        let sd = StateDict::from_bytes(&sd.to_bytes()).unwrap();
+        let mut twin = Network::build(&spec.clone().with_seed(999), 4, 2).unwrap();
+        twin.load_state_dict(&sd).unwrap();
+        net.input_mut().as_mut_slice().copy_from_slice(&input);
+        twin.input_mut().as_mut_slice().copy_from_slice(&input);
+        net.set_labels(&labels);
+        twin.set_labels(&labels);
+        let a = net.forward();
+        let b = twin.forward();
+        assert_eq!(a.loss, b.loss, "reloaded forward must be bit-identical");
+        assert_eq!(net.probabilities(), twin.probabilities());
+        // and the reloaded network exports the identical dict
+        assert_eq!(twin.state_dict(), sd);
+    }
+
+    #[test]
+    fn load_state_dict_is_strict_and_atomic() {
+        let spec = small_cnn();
+        let mut net = Network::build(&spec, 2, 1).unwrap();
+        let good = net.state_dict();
+        // missing tensor
+        let mut missing = StateDict::new();
+        for (name, e) in good.iter() {
+            if name != "c1.weight" {
+                missing.insert(name, e.dims.clone(), e.data.clone()).unwrap();
+            }
+        }
+        let e = net.load_state_dict(&missing).unwrap_err();
+        assert!(e.to_string().contains("missing tensor 'c1.weight'"), "{e}");
+        // unexpected tensor
+        let mut extra = good.clone();
+        extra.insert("ghost.weight", vec![1], vec![0.0]).unwrap();
+        assert!(net.load_state_dict(&extra).is_err());
+        // wrong dims — and the failed load must not have clobbered
+        // anything (validation precedes writes)
+        let mut wrong = good.clone();
+        wrong.insert("c1.bias", vec![3], vec![0.0; 3]).unwrap();
+        assert!(net.load_state_dict(&wrong).is_err());
+        assert_eq!(net.state_dict(), good, "failed loads must leave the network untouched");
+    }
+
+    #[test]
+    fn bn_running_stats_accumulate_in_training_only() {
+        let spec = parse_topology(
+            "input name=data c=16 h=8 w=8\n\
+             conv name=c0 bottom=data k=16\n\
+             bn name=b0 bottom=c0 relu=1\n\
+             gap name=g bottom=b0\n\
+             fc name=logits bottom=g k=4\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap();
+        let mean_of = |net: &Network| -> Vec<f32> {
+            net.state_dict().get("b0.running_mean").unwrap().data.clone()
+        };
+        let mut train = Network::build(&spec, 2, 1).unwrap();
+        let mut rng = SplitMix64::new(5);
+        rng.fill_f32(train.input_mut().as_mut_slice());
+        assert!(mean_of(&train).iter().all(|&m| m == 0.0), "fresh stats start at 0");
+        train.forward();
+        let after_one = mean_of(&train);
+        assert!(after_one.iter().any(|&m| m != 0.0), "training forward must accumulate");
+        train.forward();
+        assert_ne!(mean_of(&train), after_one, "EMA keeps moving");
+        // inference-mode forwards leave the stats frozen
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(1));
+        let mut infer = Network::build_with(&spec, 2, pool, ExecMode::Inference, &cache).unwrap();
+        rng.fill_f32(infer.input_mut().as_mut_slice());
+        infer.forward();
+        assert!(mean_of(&infer).iter().all(|&m| m == 0.0), "inference must not accumulate");
+    }
+
+    #[test]
+    fn seeded_init_is_per_node_not_order_dependent() {
+        // two specs sharing node names 'c1'/'logits' but with an extra
+        // layer in between: the shared nodes' initial weights must be
+        // identical because init streams derive from (seed, name)
+        let a = parse_topology(
+            "input name=data c=16 h=8 w=8\n\
+             conv name=c1 bottom=data k=16\n\
+             gap name=g bottom=c1\n\
+             fc name=logits bottom=g k=4\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap()
+        .with_seed(7);
+        let b = parse_topology(
+            "input name=data c=16 h=8 w=8\n\
+             conv name=c1 bottom=data k=16\n\
+             conv name=extra bottom=c1 k=16\n\
+             gap name=g bottom=extra\n\
+             fc name=logits bottom=g k=4\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap()
+        .with_seed(7);
+        let na = Network::build(&a, 1, 1).unwrap();
+        let nb = Network::build(&b, 1, 1).unwrap();
+        let wa = na.state_dict();
+        let wb = nb.state_dict();
+        assert_eq!(wa.get("c1.weight"), wb.get("c1.weight"));
+        assert_eq!(wa.get("logits.weight"), wb.get("logits.weight"));
+        // a different seed moves the weights
+        let c = Network::build(&a.clone().with_seed(8), 1, 1).unwrap();
+        assert_ne!(c.state_dict().get("c1.weight"), wa.get("c1.weight"));
+    }
+
+    #[test]
+    fn degenerate_runtime_params_are_bad_input() {
+        assert!(matches!(Network::build(&small_cnn(), 0, 1), Err(Error::BadInput(_))));
+        assert!(matches!(Network::build(&small_cnn(), 1, 0), Err(Error::BadInput(_))));
     }
 }

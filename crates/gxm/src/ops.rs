@@ -242,6 +242,10 @@ pub struct BnSaved {
     pub mean: Vec<f32>,
     /// Per-channel inverse standard deviation.
     pub istd: Vec<f32>,
+    /// Per-channel batch variance (exactly as computed, before the
+    /// eps-regularized inverse sqrt — the value running-stat EMAs
+    /// consume).
+    pub var: Vec<f32>,
 }
 
 /// Batch normalization forward (training statistics), optional fused
@@ -266,10 +270,12 @@ pub fn bn_fwd(
     }
     saved.mean = vec![0.0; cpad];
     saved.istd = vec![0.0; cpad];
+    saved.var = vec![0.0; cpad];
     let m = (x.n * x.h * x.w) as f32;
     // pass 1: per-channel mean/var (parallel over channel blocks)
     let meanp = SendMut(saved.mean.as_mut_ptr());
     let istdp = SendMut(saved.istd.as_mut_ptr());
+    let varp = SendMut(saved.var.as_mut_ptr());
     pool.run(|ctx| {
         for cb in ctx.chunk(x.cb) {
             let mut sum = [0.0f64; VLEN];
@@ -292,6 +298,7 @@ pub fn bn_fwd(
                 unsafe {
                     *meanp.get().add(cb * VLEN + v) = mu as f32;
                     *istdp.get().add(cb * VLEN + v) = 1.0 / (var as f32 + eps).sqrt();
+                    *varp.get().add(cb * VLEN + v) = var as f32;
                 }
             }
         }

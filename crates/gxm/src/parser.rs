@@ -3,6 +3,7 @@
 //! One node per line, `type key=value ...`:
 //!
 //! ```text
+//! seed value=42
 //! input name=data c=3 h=224 w=224
 //! conv name=conv1 bottom=data k=64 r=7 s=7 stride=2 pad=3 bias=1 relu=1
 //! pool name=pool1 bottom=conv1 kind=max size=3 stride=2 pad=1
@@ -15,18 +16,38 @@
 //! ```
 //!
 //! Lines starting with `#` and blank lines are ignored. Unspecified
-//! conv fields default to `r=s=1, stride=1, pad=0, bias=0, relu=0`.
+//! conv fields default to `r=s=1, stride=1, pad=0, bias=0, relu=0`;
+//! unknown keys and malformed flag values are errors (a typo must not
+//! silently produce a different model).
+//! The optional `seed` directive sets the weight-initialization seed
+//! carried by the resulting [`crate::ModelSpec`].
+//!
+//! This module only tokenizes; [`crate::ModelSpec::parse`] is the
+//! public entry point and runs the full structural + shape validation
+//! on the token stream (with line numbers threaded through for the
+//! graph diagnostics).
 
+use crate::error::Error;
+use crate::model::ModelSpec;
 use crate::spec::{NodeSpec, PoolKind};
 use std::collections::HashMap;
 
-/// Parse a topology description into the Network List.
-///
-/// # Errors
-/// Returns a human-readable message naming the offending line.
-pub fn parse_topology(text: &str) -> Result<Vec<NodeSpec>, String> {
+/// Raw parse result: nodes with their 1-based source lines, plus the
+/// optional `seed` directive.
+pub(crate) struct Parsed {
+    pub nodes: Vec<NodeSpec>,
+    pub lines: Vec<usize>,
+    pub seed: Option<u64>,
+}
+
+/// Tokenize topology text into nodes (no graph validation here).
+pub(crate) fn parse_text(text: &str) -> Result<Parsed, Error> {
     let mut nodes = Vec::new();
-    for (lineno, raw) in text.lines().enumerate() {
+    let mut lines = Vec::new();
+    let mut seed = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |message: String| Error::Parse { line: lineno, message };
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -37,101 +58,141 @@ pub fn parse_topology(text: &str) -> Result<Vec<NodeSpec>, String> {
         for tok in it {
             let (k, v) = tok
                 .split_once('=')
-                .ok_or_else(|| format!("line {}: expected key=value, got '{tok}'", lineno + 1))?;
-            kv.insert(k, v);
+                .ok_or_else(|| err(format!("expected key=value, got '{tok}'")))?;
+            if kv.insert(k, v).is_some() {
+                return Err(err(format!("duplicate key '{k}'")));
+            }
         }
-        let name = |kv: &HashMap<&str, &str>| -> Result<String, String> {
-            kv.get("name")
-                .map(|s| s.to_string())
-                .ok_or_else(|| format!("line {}: missing name", lineno + 1))
+        let name = |kv: &HashMap<&str, &str>| -> Result<String, Error> {
+            kv.get("name").map(|s| s.to_string()).ok_or_else(|| err("missing name".to_string()))
         };
         let get_usize =
             |kv: &HashMap<&str, &str>, key: &str, default: Option<usize>| match kv.get(key) {
-                Some(v) => {
-                    v.parse::<usize>().map_err(|_| format!("line {}: bad {key}='{v}'", lineno + 1))
-                }
-                None => default.ok_or_else(|| format!("line {}: missing {key}", lineno + 1)),
+                Some(v) => v.parse::<usize>().map_err(|_| err(format!("bad {key}='{v}'"))),
+                None => default.ok_or_else(|| err(format!("missing {key}"))),
             };
-        let get_bool = |kv: &HashMap<&str, &str>, key: &str| -> bool {
-            matches!(kv.get(key), Some(&"1") | Some(&"true"))
+        let get_bool = |kv: &HashMap<&str, &str>, key: &str| -> Result<bool, Error> {
+            match kv.get(key) {
+                None | Some(&"0") | Some(&"false") => Ok(false),
+                Some(&"1") | Some(&"true") => Ok(true),
+                Some(other) => Err(err(format!("bad {key}='{other}' (use 0/1/true/false)"))),
+            }
         };
-        let bottom = |kv: &HashMap<&str, &str>| -> Result<String, String> {
-            kv.get("bottom")
-                .map(|s| s.to_string())
-                .ok_or_else(|| format!("line {}: missing bottom", lineno + 1))
+        let bottom = |kv: &HashMap<&str, &str>| -> Result<String, Error> {
+            kv.get("bottom").map(|s| s.to_string()).ok_or_else(|| err("missing bottom".to_string()))
+        };
+        // every key must belong to the node type — a misspelled key
+        // silently producing a structurally different model is exactly
+        // what the typed API exists to prevent
+        let check_keys = |kv: &HashMap<&str, &str>, allowed: &[&str]| -> Result<(), Error> {
+            match kv.keys().find(|k| !allowed.contains(*k)) {
+                Some(stranger) => {
+                    Err(err(format!("unknown key '{stranger}' for node type '{kind}'")))
+                }
+                None => Ok(()),
+            }
         };
         let node = match kind {
-            "input" => NodeSpec::Input {
-                name: name(&kv)?,
-                c: get_usize(&kv, "c", None)?,
-                h: get_usize(&kv, "h", None)?,
-                w: get_usize(&kv, "w", None)?,
-            },
-            "conv" => NodeSpec::Conv {
-                name: name(&kv)?,
-                bottom: bottom(&kv)?,
-                k: get_usize(&kv, "k", None)?,
-                r: get_usize(&kv, "r", Some(1))?,
-                s: get_usize(&kv, "s", Some(1))?,
-                stride: get_usize(&kv, "stride", Some(1))?,
-                pad: get_usize(&kv, "pad", Some(0))?,
-                bias: get_bool(&kv, "bias"),
-                relu: get_bool(&kv, "relu"),
-                eltwise: kv.get("eltwise").map(|s| s.to_string()),
-            },
-            "bn" => NodeSpec::Bn {
-                name: name(&kv)?,
-                bottom: bottom(&kv)?,
-                relu: get_bool(&kv, "relu"),
-                eltwise: kv.get("eltwise").map(|s| s.to_string()),
-            },
-            "pool" => NodeSpec::Pool {
-                name: name(&kv)?,
-                bottom: bottom(&kv)?,
-                kind: match kv.get("kind") {
-                    Some(&"max") | None => PoolKind::Max,
-                    Some(&"avg") => PoolKind::Avg,
-                    Some(other) => {
-                        return Err(format!("line {}: bad pool kind '{other}'", lineno + 1))
-                    }
-                },
-                size: get_usize(&kv, "size", None)?,
-                stride: get_usize(&kv, "stride", Some(1))?,
-                pad: get_usize(&kv, "pad", Some(0))?,
-            },
-            "gap" => NodeSpec::GlobalAvgPool { name: name(&kv)?, bottom: bottom(&kv)? },
-            "fc" => NodeSpec::Fc {
-                name: name(&kv)?,
-                bottom: bottom(&kv)?,
-                k: get_usize(&kv, "k", None)?,
-            },
-            "softmaxloss" => NodeSpec::SoftmaxLoss { name: name(&kv)?, bottom: bottom(&kv)? },
-            "concat" => NodeSpec::Concat {
-                name: name(&kv)?,
-                bottoms: bottom(&kv)?.split(',').map(|s| s.to_string()).collect(),
-            },
-            other => return Err(format!("line {}: unknown node type '{other}'", lineno + 1)),
+            "seed" => {
+                check_keys(&kv, &["value"])?;
+                let v = kv.get("value").ok_or_else(|| err("missing value".to_string()))?;
+                let v = v.parse::<u64>().map_err(|_| err(format!("bad value='{v}'")))?;
+                if seed.replace(v).is_some() {
+                    return Err(err("duplicate seed directive".to_string()));
+                }
+                continue;
+            }
+            "input" => {
+                check_keys(&kv, &["name", "c", "h", "w"])?;
+                NodeSpec::Input {
+                    name: name(&kv)?,
+                    c: get_usize(&kv, "c", None)?,
+                    h: get_usize(&kv, "h", None)?,
+                    w: get_usize(&kv, "w", None)?,
+                }
+            }
+            "conv" => {
+                check_keys(
+                    &kv,
+                    &["name", "bottom", "k", "r", "s", "stride", "pad", "bias", "relu", "eltwise"],
+                )?;
+                NodeSpec::Conv {
+                    name: name(&kv)?,
+                    bottom: bottom(&kv)?,
+                    k: get_usize(&kv, "k", None)?,
+                    r: get_usize(&kv, "r", Some(1))?,
+                    s: get_usize(&kv, "s", Some(1))?,
+                    stride: get_usize(&kv, "stride", Some(1))?,
+                    pad: get_usize(&kv, "pad", Some(0))?,
+                    bias: get_bool(&kv, "bias")?,
+                    relu: get_bool(&kv, "relu")?,
+                    eltwise: kv.get("eltwise").map(|s| s.to_string()),
+                }
+            }
+            "bn" => {
+                check_keys(&kv, &["name", "bottom", "relu", "eltwise"])?;
+                NodeSpec::Bn {
+                    name: name(&kv)?,
+                    bottom: bottom(&kv)?,
+                    relu: get_bool(&kv, "relu")?,
+                    eltwise: kv.get("eltwise").map(|s| s.to_string()),
+                }
+            }
+            "pool" => {
+                check_keys(&kv, &["name", "bottom", "kind", "size", "stride", "pad"])?;
+                NodeSpec::Pool {
+                    name: name(&kv)?,
+                    bottom: bottom(&kv)?,
+                    kind: match kv.get("kind") {
+                        Some(&"max") | None => PoolKind::Max,
+                        Some(&"avg") => PoolKind::Avg,
+                        Some(other) => return Err(err(format!("bad pool kind '{other}'"))),
+                    },
+                    size: get_usize(&kv, "size", None)?,
+                    stride: get_usize(&kv, "stride", Some(1))?,
+                    pad: get_usize(&kv, "pad", Some(0))?,
+                }
+            }
+            "gap" => {
+                check_keys(&kv, &["name", "bottom"])?;
+                NodeSpec::GlobalAvgPool { name: name(&kv)?, bottom: bottom(&kv)? }
+            }
+            "fc" => {
+                check_keys(&kv, &["name", "bottom", "k"])?;
+                NodeSpec::Fc {
+                    name: name(&kv)?,
+                    bottom: bottom(&kv)?,
+                    k: get_usize(&kv, "k", None)?,
+                }
+            }
+            "softmaxloss" => {
+                check_keys(&kv, &["name", "bottom"])?;
+                NodeSpec::SoftmaxLoss { name: name(&kv)?, bottom: bottom(&kv)? }
+            }
+            "concat" => {
+                check_keys(&kv, &["name", "bottom"])?;
+                NodeSpec::Concat {
+                    name: name(&kv)?,
+                    bottoms: bottom(&kv)?.split(',').map(|s| s.to_string()).collect(),
+                }
+            }
+            other => return Err(err(format!("unknown node type '{other}'"))),
         };
         nodes.push(node);
+        lines.push(lineno);
     }
-    validate(&nodes)?;
-    Ok(nodes)
+    Ok(Parsed { nodes, lines, seed })
 }
 
-/// Structural validation: unique names, bottoms defined before use.
-fn validate(nodes: &[NodeSpec]) -> Result<(), String> {
-    let mut seen = std::collections::HashSet::new();
-    for n in nodes {
-        for b in n.bottoms() {
-            if !seen.contains(b) {
-                return Err(format!("node '{}' reads undefined blob '{b}'", n.name()));
-            }
-        }
-        if !seen.insert(n.name().to_string()) {
-            return Err(format!("duplicate node name '{}'", n.name()));
-        }
-    }
-    Ok(())
+/// Parse a topology description into a validated [`ModelSpec`].
+///
+/// Compatibility shim for the pre-typed API; new code should call
+/// [`ModelSpec::parse`] directly.
+///
+/// # Errors
+/// Returns a typed [`Error`] naming the offending line or node.
+pub fn parse_topology(text: &str) -> Result<ModelSpec, Error> {
+    ModelSpec::parse(text)
 }
 
 #[cfg(test)]
@@ -140,7 +201,7 @@ mod tests {
 
     #[test]
     fn parses_a_small_net() {
-        let nl = parse_topology(
+        let spec = parse_topology(
             "# comment\n\
              input name=data c=3 h=32 w=32\n\
              conv name=c1 bottom=data k=16 r=3 s=3 stride=1 pad=1 bias=1 relu=1\n\
@@ -150,6 +211,7 @@ mod tests {
              softmaxloss name=loss bottom=logits\n",
         )
         .unwrap();
+        let nl = spec.nodes();
         assert_eq!(nl.len(), 6);
         assert_eq!(nl[1].name(), "c1");
         assert_eq!(nl[1].bottoms(), vec!["data"]);
@@ -158,8 +220,12 @@ mod tests {
 
     #[test]
     fn conv_defaults() {
-        let nl = parse_topology("input name=d c=16 h=8 w=8\nconv name=c bottom=d k=16\n").unwrap();
-        match &nl[1] {
+        let spec = parse_topology(
+            "input name=d c=16 h=8 w=8\nconv name=c bottom=d k=16\ngap name=g bottom=c\n\
+             fc name=f bottom=g k=4\nsoftmaxloss name=loss bottom=f\n",
+        )
+        .unwrap();
+        match &spec.nodes()[1] {
             NodeSpec::Conv { r, s, stride, pad, bias, relu, eltwise, .. } => {
                 assert_eq!((*r, *s, *stride, *pad), (1, 1, 1, 0));
                 assert!(!bias && !relu && eltwise.is_none());
@@ -169,27 +235,87 @@ mod tests {
     }
 
     #[test]
-    fn rejects_undefined_bottom() {
-        let e =
-            parse_topology("input name=d c=3 h=4 w=4\nconv name=c bottom=nope k=8\n").unwrap_err();
-        assert!(e.contains("undefined blob"), "{e}");
+    fn seed_directive_is_carried() {
+        let spec = parse_topology(
+            "seed value=99\ninput name=d c=16 h=8 w=8\nconv name=c bottom=d k=16\n\
+             gap name=g bottom=c\nfc name=f bottom=g k=4\nsoftmaxloss name=loss bottom=f\n",
+        )
+        .unwrap();
+        assert_eq!(spec.seed(), 99);
     }
 
     #[test]
-    fn rejects_duplicate_names() {
-        let e = parse_topology("input name=d c=3 h=4 w=4\nconv name=d bottom=d k=8\n").unwrap_err();
-        assert!(e.contains("duplicate"), "{e}");
+    fn rejects_undefined_bottom_with_line() {
+        let e =
+            parse_topology("input name=d c=3 h=4 w=4\nconv name=c bottom=nope k=8\n").unwrap_err();
+        match &e {
+            Error::Graph { node, line, message } => {
+                assert_eq!(node, "c");
+                assert_eq!(*line, Some(2));
+                assert!(message.contains("undefined blob"), "{message}");
+            }
+            other => panic!("expected Graph error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_names_with_line() {
+        let e = parse_topology(
+            "input name=d c=3 h=4 w=4\n\n# padding comment\nconv name=d bottom=d k=8\n",
+        )
+        .unwrap_err();
+        match &e {
+            Error::Graph { line, message, .. } => {
+                assert_eq!(*line, Some(4), "line numbers must skip blanks/comments");
+                assert!(message.contains("duplicate"), "{message}");
+            }
+            other => panic!("expected Graph error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_bad_flags() {
+        // a misspelled key must not silently vanish
+        let e = parse_topology("input name=d c=3 h=4 w=4\nconv name=c bottom=d k=8 strde=2\n")
+            .unwrap_err();
+        match &e {
+            Error::Parse { line, message } => {
+                assert_eq!(*line, 2);
+                assert!(message.contains("unknown key 'strde'"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        // a flag value outside 0/1/true/false must not mean false
+        let e = parse_topology("input name=d c=3 h=4 w=4\nconv name=c bottom=d k=8 bias=yes\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("bias='yes'"), "{e}");
+        // repeated keys must not silently last-win
+        let e = parse_topology(
+            "input name=d c=3 h=4 w=4\nconv name=c bottom=d k=8 stride=1 stride=2\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("duplicate key 'stride'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_tokens_with_line() {
+        let e = parse_topology("input name=d c=3 h=4 w=4\nconv name=c bottom=d k=banana\n")
+            .unwrap_err();
+        assert!(matches!(e, Error::Parse { line: 2, .. }), "{e:?}");
     }
 
     #[test]
     fn concat_bottoms_split() {
-        let nl = parse_topology(
+        let spec = parse_topology(
             "input name=d c=16 h=8 w=8\n\
              conv name=a bottom=d k=16\n\
              conv name=b bottom=d k=16\n\
-             concat name=m bottom=a,b\n",
+             concat name=m bottom=a,b\n\
+             gap name=g bottom=m\n\
+             fc name=f bottom=g k=4\n\
+             softmaxloss name=loss bottom=f\n",
         )
         .unwrap();
-        assert_eq!(nl[3].bottoms(), vec!["a", "b"]);
+        assert_eq!(spec.nodes()[3].bottoms(), vec!["a", "b"]);
     }
 }

@@ -184,13 +184,15 @@ mod tests {
         parse_topology(
             "input name=data c=16 h=8 w=8\n\
              conv name=a bottom=data k=16 r=3 s=3 pad=1\n\
-             conv name=b bottom=a k=16 r=3 s=3 pad=1\n\
+             conv name=b bottom=a k=16\n\
              conv name=c bottom=b k=16 eltwise=a relu=1\n\
              gap name=g bottom=c\n\
              fc name=f bottom=g k=16\n\
              softmaxloss name=loss bottom=f\n",
         )
         .unwrap()
+        .nodes()
+        .to_vec()
     }
 
     #[test]
@@ -216,9 +218,12 @@ mod tests {
     #[test]
     fn linear_chain_needs_no_split() {
         let nl = parse_topology(
-            "input name=d c=16 h=4 w=4\nconv name=c bottom=d k=16\ngap name=g bottom=c\n",
+            "input name=d c=16 h=4 w=4\nconv name=c bottom=d k=16\ngap name=g bottom=c\n\
+             fc name=f bottom=g k=4\nsoftmaxloss name=loss bottom=f\n",
         )
-        .unwrap();
+        .unwrap()
+        .nodes()
+        .to_vec();
         let enl = extend_nl(&nl);
         assert_eq!(enl.len(), nl.len());
     }

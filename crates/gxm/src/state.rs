@@ -1,0 +1,292 @@
+//! `StateDict` — named-parameter export/import for trained networks.
+//!
+//! A state dict maps dotted parameter names (`conv1.weight`,
+//! `bn1.running_mean`, `logits.bias`, …) to dense logical-layout f32
+//! tensors with explicit dimensions. Values are extracted from (and
+//! written back into) the executor's SIMD-blocked storage without any
+//! arithmetic, so a save → load round trip is bit-exact — the property
+//! the train→save→serve pipeline depends on.
+//!
+//! The on-disk format is a small versioned little-endian binary:
+//!
+//! ```text
+//! magic   8 B   b"ANATSD\0\x01"  (last byte = format version)
+//! count   u32
+//! entry*  { name_len u32, name utf-8, ndims u32, dims u32*, data f32* }
+//! ```
+//!
+//! Entries are serialized in sorted name order, so equal dicts produce
+//! byte-identical files.
+
+use crate::error::Error;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic + version prefix of the binary format.
+const MAGIC: [u8; 8] = *b"ANATSD\x00\x01";
+
+/// Sanity cap on a deserialized tensor's rank — real entries are at
+/// most 4-D ([k, c, r, s]); anything beyond this is a corrupt or
+/// hostile file, rejected before any allocation trusts it.
+const MAX_DIMS: usize = 16;
+
+/// One named tensor of a [`StateDict`]: logical dims and dense data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TensorEntry {
+    /// Logical dimensions (e.g. `[k, c, r, s]` for a conv filter).
+    pub dims: Vec<usize>,
+    /// Dense row-major values, `dims.iter().product()` long.
+    pub data: Vec<f32>,
+}
+
+/// A named-parameter snapshot of a network (see the
+/// [module docs](self) for the format).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StateDict {
+    entries: BTreeMap<String, TensorEntry>,
+}
+
+impl StateDict {
+    /// An empty dict.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a tensor (replacing any same-named entry).
+    ///
+    /// # Errors
+    /// [`Error::StateDict`] when `data.len()` is not the product of
+    /// `dims` — the same geometry invariant [`Self::from_bytes`]
+    /// enforces on files.
+    pub fn insert(&mut self, name: &str, dims: Vec<usize>, data: Vec<f32>) -> Result<(), Error> {
+        if dims.iter().product::<usize>() != data.len() {
+            return Err(Error::StateDict(format!(
+                "tensor '{name}': dims {dims:?} disagree with {} values",
+                data.len()
+            )));
+        }
+        self.entries.insert(name.to_string(), TensorEntry { dims, data });
+        Ok(())
+    }
+
+    /// Look up a tensor by name.
+    pub fn get(&self, name: &str) -> Option<&TensorEntry> {
+        self.entries.get(name)
+    }
+
+    /// Iterate `(name, entry)` in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TensorEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Names in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|k| k.as_str())
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dict holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total f32 values across all tensors.
+    pub fn value_count(&self) -> usize {
+        self.entries.values().map(|e| e.data.len()).sum()
+    }
+
+    /// Serialize to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize = self
+            .entries
+            .iter()
+            .map(|(n, e)| 8 + n.len() + 4 * e.dims.len() + 4 * e.data.len())
+            .sum();
+        let mut out = Vec::with_capacity(MAGIC.len() + 4 + payload);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for (name, e) in &self.entries {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(e.dims.len() as u32).to_le_bytes());
+            for &d in &e.dims {
+                out.extend_from_slice(&(d as u32).to_le_bytes());
+            }
+            for &v in &e.data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialize from the versioned binary format, validating magic,
+    /// version, entry geometry and trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, Error> {
+        let bad = |msg: &str| Error::StateDict(msg.to_string());
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], Error> {
+            let end = pos.checked_add(n).filter(|&e| e <= bytes.len()).ok_or_else(|| {
+                Error::StateDict(format!("truncated: wanted {n} bytes at offset {pos}"))
+            })?;
+            let s = &bytes[pos..end];
+            pos = end;
+            Ok(s)
+        };
+        let magic = take(8)?;
+        if magic[..6] != MAGIC[..6] {
+            return Err(bad("not a state-dict file (bad magic)"));
+        }
+        if magic[6..] != MAGIC[6..] {
+            return Err(Error::StateDict(format!(
+                "unsupported format version {:?} (this build reads version {:?})",
+                &magic[6..],
+                &MAGIC[6..]
+            )));
+        }
+        let read_u32 = |b: &[u8]| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        let count = read_u32(take(4)?);
+        let mut entries = BTreeMap::new();
+        for _ in 0..count {
+            let name_len = read_u32(take(4)?);
+            let name = std::str::from_utf8(take(name_len)?)
+                .map_err(|_| bad("entry name is not valid utf-8"))?
+                .to_string();
+            let ndims = read_u32(take(4)?);
+            // bound declared geometry before trusting it: ndims caps
+            // the up-front allocation, and the element count must not
+            // wrap (a crafted product of 2^64 would otherwise read 0
+            // bytes and fabricate an entry whose data disagrees with
+            // its dims)
+            if ndims > MAX_DIMS {
+                return Err(Error::StateDict(format!(
+                    "entry '{name}': implausible rank {ndims} (max {MAX_DIMS})"
+                )));
+            }
+            let mut dims = Vec::with_capacity(ndims);
+            for _ in 0..ndims {
+                dims.push(read_u32(take(4)?));
+            }
+            let len = dims
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+                .and_then(|n| n.checked_mul(4))
+                .ok_or_else(|| {
+                    Error::StateDict(format!("entry '{name}': dims {dims:?} overflow"))
+                })?;
+            let raw = take(len)?;
+            let data =
+                raw.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
+            if entries.insert(name.clone(), TensorEntry { dims, data }).is_some() {
+                return Err(Error::StateDict(format!("duplicate entry '{name}'")));
+            }
+        }
+        if pos != bytes.len() {
+            return Err(Error::StateDict(format!(
+                "{} trailing bytes after the last entry",
+                bytes.len() - pos
+            )));
+        }
+        Ok(Self { entries })
+    }
+
+    /// Write the dict to `path` (the whole file is the binary format).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read a dict previously written by [`StateDict::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, Error> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StateDict {
+        let mut sd = StateDict::new();
+        sd.insert("c1.weight", vec![2, 3], vec![1.0, -2.5, 3.25, 0.0, f32::MIN_POSITIVE, 6.0])
+            .unwrap();
+        sd.insert("c1.bias", vec![2], vec![0.125, -0.5]).unwrap();
+        sd.insert("bn.running_var", vec![3], vec![1.0, 1.0, 2.0]).unwrap();
+        sd
+    }
+
+    #[test]
+    fn bytes_round_trip_bit_exact() {
+        let sd = sample();
+        let rt = StateDict::from_bytes(&sd.to_bytes()).unwrap();
+        assert_eq!(sd, rt);
+        // byte-identical re-serialization (sorted order is canonical)
+        assert_eq!(sd.to_bytes(), rt.to_bytes());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_and_truncation() {
+        let bytes = sample().to_bytes();
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(StateDict::from_bytes(&wrong_magic).is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[7] = 9;
+        let e = StateDict::from_bytes(&wrong_version).unwrap_err();
+        assert!(e.to_string().contains("version"), "{e}");
+        assert!(StateDict::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(StateDict::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn rejects_hostile_geometry() {
+        // entry declaring an absurd rank: rejected before allocation
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one entry
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name_len
+        bytes.push(b'x');
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // ndims
+        let e = StateDict::from_bytes(&bytes).unwrap_err();
+        assert!(e.to_string().contains("implausible rank"), "{e}");
+
+        // dims whose product wraps usize: rejected, not fabricated
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'x');
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // ndims = 3
+        for d in [1u32 << 30, 1u32 << 30, 16] {
+            bytes.extend_from_slice(&d.to_le_bytes());
+        }
+        let e = StateDict::from_bytes(&bytes).unwrap_err();
+        assert!(e.to_string().contains("overflow") || e.to_string().contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("anatomy_sd_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rt.anat");
+        let sd = sample();
+        sd.save(&path).unwrap();
+        assert_eq!(StateDict::load(&path).unwrap(), sd);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn insert_checks_geometry() {
+        let e = StateDict::new().insert("x", vec![2, 2], vec![0.0; 3]).unwrap_err();
+        assert!(e.to_string().contains("disagree"), "{e}");
+    }
+}

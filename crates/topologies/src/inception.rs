@@ -59,50 +59,68 @@ pub fn inception_v3_layers(minibatch: usize) -> Vec<(usize, ConvShape)> {
 /// (four branches with filter concat) + reduction + head. Full v3
 /// repeats these block patterns; one of each exercises every operator
 /// class (concat, avg-pool branch, factorized convs).
-pub fn inception_v3_topology(classes: usize) -> String {
-    inception_v3_topology_sized(147, classes)
+pub fn inception_v3_model(classes: usize) -> gxm::ModelSpec {
+    inception_v3_model_sized(147, classes)
 }
 
-/// As [`inception_v3_topology`] with a configurable input resolution
+/// As [`inception_v3_model`] with a configurable input resolution
 /// (tests and inference benchmarks run the same graph at reduced
 /// spatial extents; `input_hw` must survive the three stride-2 stages,
-/// so ≥ 31 keeps every block non-degenerate).
+/// so ≥ 31 keeps every block non-degenerate). The four mixed-block
+/// branches fan out from `pool2` via [`gxm::GraphBuilder::from`] and
+/// rejoin through `concat`.
+pub fn inception_v3_model_sized(input_hw: usize, classes: usize) -> gxm::ModelSpec {
+    use gxm::ConvOpts;
+    gxm::GraphBuilder::new()
+        .input("data", 3, input_hw, input_hw)
+        // stem (shortened: v3's 299→147 double-stride stem collapsed)
+        .conv("stem1", ConvOpts::k(32).rs(3).stride(2).pad(1))
+        .bn_relu("stem1bn")
+        .conv("stem2", ConvOpts::k(64).rs(3).pad(1))
+        .bn_relu("stem2bn")
+        .max_pool("stempool", 3, 2, 1)
+        .conv("stem3", ConvOpts::k(192).rs(3).pad(1))
+        .bn_relu("stem3bn")
+        .max_pool("pool2", 3, 2, 1)
+        // mixed block (35×35-style): 1x1 / 5x5 / double-3x3 / pool
+        .conv("b1x1", ConvOpts::k(64))
+        .bn_relu("b1x1bn")
+        .from("pool2")
+        .conv("b5red", ConvOpts::k(48))
+        .bn_relu("b5redbn")
+        .conv("b5", ConvOpts::k(64).rs(5).pad(2))
+        .bn_relu("b5bn")
+        .from("pool2")
+        .conv("b3red", ConvOpts::k(64))
+        .bn_relu("b3redbn")
+        .conv("b3a", ConvOpts::k(96).rs(3).pad(1))
+        .bn_relu("b3abn")
+        .conv("b3b", ConvOpts::k(96).rs(3).pad(1))
+        .bn_relu("b3bbn")
+        .from("pool2")
+        .avg_pool("bpool", 3, 1, 1)
+        .conv("bpoolproj", ConvOpts::k(32))
+        .bn_relu("bpoolprojbn")
+        .concat("mixed1", &["b1x1bn", "b5bn", "b3bbn", "bpoolprojbn"])
+        // head
+        .conv("head", ConvOpts::k(256))
+        .bn_relu("headbn")
+        .gap("gpool")
+        .fc("logits", classes)
+        .softmax("loss")
+        .build()
+        .expect("inception graph is valid by construction")
+}
+
+/// String shim for the pre-typed API: [`inception_v3_model`] as text.
+pub fn inception_v3_topology(classes: usize) -> String {
+    inception_v3_model(classes).to_text()
+}
+
+/// String shim for the pre-typed API: [`inception_v3_model_sized`] as
+/// text.
 pub fn inception_v3_topology_sized(input_hw: usize, classes: usize) -> String {
-    let mut t = String::new();
-    t.push_str(&format!("input name=data c=3 h={input_hw} w={input_hw}\n"));
-    // stem (shortened: v3's 299→147 double-stride stem collapsed)
-    t.push_str("conv name=stem1 bottom=data k=32 r=3 s=3 stride=2 pad=1\n");
-    t.push_str("bn name=stem1bn bottom=stem1 relu=1\n");
-    t.push_str("conv name=stem2 bottom=stem1bn k=64 r=3 s=3 pad=1\n");
-    t.push_str("bn name=stem2bn bottom=stem2 relu=1\n");
-    t.push_str("pool name=stempool bottom=stem2bn kind=max size=3 stride=2 pad=1\n");
-    t.push_str("conv name=stem3 bottom=stempool k=192 r=3 s=3 pad=1\n");
-    t.push_str("bn name=stem3bn bottom=stem3 relu=1\n");
-    t.push_str("pool name=pool2 bottom=stem3bn kind=max size=3 stride=2 pad=1\n");
-    // mixed block (35×35-style): 1x1 / 5x5 / double-3x3 / pool branches
-    t.push_str("conv name=b1x1 bottom=pool2 k=64\n");
-    t.push_str("bn name=b1x1bn bottom=b1x1 relu=1\n");
-    t.push_str("conv name=b5red bottom=pool2 k=48\n");
-    t.push_str("bn name=b5redbn bottom=b5red relu=1\n");
-    t.push_str("conv name=b5 bottom=b5redbn k=64 r=5 s=5 pad=2\n");
-    t.push_str("bn name=b5bn bottom=b5 relu=1\n");
-    t.push_str("conv name=b3red bottom=pool2 k=64\n");
-    t.push_str("bn name=b3redbn bottom=b3red relu=1\n");
-    t.push_str("conv name=b3a bottom=b3redbn k=96 r=3 s=3 pad=1\n");
-    t.push_str("bn name=b3abn bottom=b3a relu=1\n");
-    t.push_str("conv name=b3b bottom=b3abn k=96 r=3 s=3 pad=1\n");
-    t.push_str("bn name=b3bbn bottom=b3b relu=1\n");
-    t.push_str("pool name=bpool bottom=pool2 kind=avg size=3 stride=1 pad=1\n");
-    t.push_str("conv name=bpoolproj bottom=bpool k=32\n");
-    t.push_str("bn name=bpoolprojbn bottom=bpoolproj relu=1\n");
-    t.push_str("concat name=mixed1 bottom=b1x1bn,b5bn,b3bbn,bpoolprojbn\n");
-    // head
-    t.push_str("conv name=head bottom=mixed1 k=256\n");
-    t.push_str("bn name=headbn bottom=head relu=1\n");
-    t.push_str("gap name=gpool bottom=headbn\n");
-    t.push_str(&format!("fc name=logits bottom=gpool k={classes}\n"));
-    t.push_str("softmaxloss name=loss bottom=logits\n");
-    t
+    inception_v3_model_sized(input_hw, classes).to_text()
 }
 
 #[cfg(test)]
@@ -127,16 +145,20 @@ mod tests {
 
     #[test]
     fn topology_parses_and_has_concat() {
-        let nl = gxm::parse_topology(&inception_v3_topology(1000)).expect("valid");
-        assert!(nl.iter().any(|n| matches!(n, gxm::NodeSpec::Concat { .. })));
+        let spec = gxm::ModelSpec::parse(&inception_v3_topology(1000)).expect("valid");
+        assert!(spec.nodes().iter().any(|n| matches!(n, gxm::NodeSpec::Concat { .. })));
         // the mixed block concatenates 64+64+96+32 = 256 channels
+        let mix = spec.nodes().iter().position(|n| n.name() == "mixed1").unwrap();
+        assert_eq!(spec.shapes()[mix].0, 256);
+        // and the text shim round-trips to the same spec
+        assert_eq!(spec, inception_v3_model(1000));
     }
 
     #[test]
     fn sized_topology_matches_default_at_147() {
         assert_eq!(inception_v3_topology(10), inception_v3_topology_sized(147, 10));
         // a reduced-resolution instance still parses
-        let nl = gxm::parse_topology(&inception_v3_topology_sized(63, 10)).expect("valid");
-        assert!(nl.iter().any(|n| matches!(n, gxm::NodeSpec::Concat { .. })));
+        let spec = gxm::ModelSpec::parse(&inception_v3_topology_sized(63, 10)).expect("valid");
+        assert!(spec.nodes().iter().any(|n| matches!(n, gxm::NodeSpec::Concat { .. })));
     }
 }

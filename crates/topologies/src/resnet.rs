@@ -55,16 +55,18 @@ pub fn resnet50_table1(minibatch: usize) -> Vec<(usize, ConvShape)> {
         .collect()
 }
 
-/// Emit the full ResNet-50 v1 training graph in GxM topology text
-/// (conv → bn[+relu], bottleneck blocks with projection shortcuts,
-/// stride on the first 1×1 of each downsampling block, exactly the
-/// variant whose shapes populate Table I).
-pub fn resnet50_topology(input_hw: usize, classes: usize) -> String {
-    let mut t = String::new();
-    t.push_str(&format!("input name=data c=3 h={input_hw} w={input_hw}\n"));
-    t.push_str("conv name=conv1 bottom=data k=64 r=7 s=7 stride=2 pad=3\n");
-    t.push_str("bn name=bn1 bottom=conv1 relu=1\n");
-    t.push_str("pool name=pool1 bottom=bn1 kind=max size=3 stride=2 pad=1\n");
+/// The full ResNet-50 v1 training graph as a validated
+/// [`gxm::ModelSpec`] (conv → bn[+relu], bottleneck blocks with
+/// projection shortcuts, stride on the first 1×1 of each downsampling
+/// block, exactly the variant whose shapes populate Table I) —
+/// assembled through the typed [`gxm::GraphBuilder`], residual joins
+/// via `bn_join`.
+pub fn resnet50_model(input_hw: usize, classes: usize) -> gxm::ModelSpec {
+    let mut g = gxm::GraphBuilder::new()
+        .input("data", 3, input_hw, input_hw)
+        .conv("conv1", gxm::ConvOpts::k(64).rs(7).stride(2).pad(3))
+        .bn_relu("bn1")
+        .max_pool("pool1", 3, 2, 1);
 
     let stages: [(usize, usize, usize); 4] =
         [(64, 256, 3), (128, 512, 4), (256, 1024, 6), (512, 2048, 3)];
@@ -75,27 +77,36 @@ pub fn resnet50_topology(input_hw: usize, classes: usize) -> String {
             let stride = if si > 0 && b == 0 { 2 } else { 1 };
             // projection shortcut on the first block of each stage
             let shortcut = if b == 0 {
-                t.push_str(&format!(
-                    "conv name={name}_sc bottom={bottom} k={out} stride={stride}\n"
-                ));
-                t.push_str(&format!("bn name={name}_scbn bottom={name}_sc\n"));
+                g = g
+                    .from(&bottom)
+                    .conv(&format!("{name}_sc"), gxm::ConvOpts::k(*out).stride(stride))
+                    .bn(&format!("{name}_scbn"));
                 format!("{name}_scbn")
             } else {
                 bottom.clone()
             };
-            t.push_str(&format!("conv name={name}_1 bottom={bottom} k={mid} stride={stride}\n"));
-            t.push_str(&format!("bn name={name}_1bn bottom={name}_1 relu=1\n"));
-            t.push_str(&format!("conv name={name}_2 bottom={name}_1bn k={mid} r=3 s=3 pad=1\n"));
-            t.push_str(&format!("bn name={name}_2bn bottom={name}_2 relu=1\n"));
-            t.push_str(&format!("conv name={name}_3 bottom={name}_2bn k={out}\n"));
-            t.push_str(&format!("bn name={name}_3bn bottom={name}_3 eltwise={shortcut} relu=1\n"));
+            g = g
+                .from(&bottom)
+                .conv(&format!("{name}_1"), gxm::ConvOpts::k(*mid).stride(stride))
+                .bn_relu(&format!("{name}_1bn"))
+                .conv(&format!("{name}_2"), gxm::ConvOpts::k(*mid).rs(3).pad(1))
+                .bn_relu(&format!("{name}_2bn"))
+                .conv(&format!("{name}_3"), gxm::ConvOpts::k(*out))
+                .bn_join(&format!("{name}_3bn"), &shortcut, true);
             bottom = format!("{name}_3bn");
         }
     }
-    t.push_str(&format!("gap name=pool5 bottom={bottom}\n"));
-    t.push_str(&format!("fc name=logits bottom=pool5 k={classes}\n"));
-    t.push_str("softmaxloss name=loss bottom=logits\n");
-    t
+    g.gap("pool5")
+        .fc("logits", classes)
+        .softmax("loss")
+        .build()
+        .expect("resnet50 graph is valid by construction")
+}
+
+/// String shim for the pre-typed API: [`resnet50_model`] emitted as
+/// canonical GxM topology text.
+pub fn resnet50_topology(input_hw: usize, classes: usize) -> String {
+    resnet50_model(input_hw, classes).to_text()
 }
 
 #[cfg(test)]
@@ -132,9 +143,17 @@ mod tests {
     }
 
     #[test]
+    fn model_round_trips_through_text() {
+        let model = resnet50_model(224, 1000);
+        let reparsed = gxm::ModelSpec::parse(&resnet50_topology(224, 1000)).unwrap();
+        assert_eq!(model, reparsed, "string shim must emit the same graph");
+    }
+
+    #[test]
     fn topology_text_parses_and_covers_table() {
         let text = resnet50_topology(224, 1000);
-        let nl = gxm::parse_topology(&text).expect("valid topology");
+        let spec = gxm::ModelSpec::parse(&text).expect("valid topology");
+        let nl = spec.nodes();
         // 1 stem conv + 16 blocks × 3 convs + 4 shortcut convs = 53
         let convs = nl.iter().filter(|n| matches!(n, gxm::NodeSpec::Conv { .. })).count();
         assert_eq!(convs, 53);
@@ -142,7 +161,7 @@ mod tests {
         let mut shapes = std::collections::HashSet::new();
         let mut dims: std::collections::HashMap<String, (usize, usize)> = Default::default();
         let mut chans: std::collections::HashMap<String, usize> = Default::default();
-        for n in &nl {
+        for n in nl {
             match n {
                 gxm::NodeSpec::Input { name, c, h, .. } => {
                     dims.insert(name.clone(), (*h, *h));

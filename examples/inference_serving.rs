@@ -23,12 +23,11 @@ fn main() {
     let batches = arg("--batches", 8);
     let threads = arg("--threads", anatomy::parallel::hardware_threads().min(8));
 
-    let topology = anatomy::topologies::resnet50_topology(hw, 1000);
+    let model = anatomy::topologies::resnet50_model(hw, 1000);
     println!("ResNet-50 @ {hw}x{hw}, minibatch {minibatch}, {threads} threads");
 
     let t0 = std::time::Instant::now();
-    let mut session =
-        InferenceSession::new(&topology, minibatch, threads).expect("topology parses");
+    let mut session = InferenceSession::new(&model, minibatch, threads).expect("model is valid");
     let stats = session.cache_stats();
     println!(
         "setup: {:.2?} — {} conv nodes planned, {} distinct plans (cache hit rate {:.0}%)",
@@ -52,7 +51,7 @@ fn main() {
     let mut last_top1 = Vec::new();
     for _ in 0..batches {
         rng.fill_f32(&mut batch);
-        let out = session.run(&batch);
+        let out = session.run(&batch).expect("batch is sized to the session");
         last_top1 = out.top1;
     }
     let secs = t0.elapsed().as_secs_f64();

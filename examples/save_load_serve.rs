@@ -1,0 +1,108 @@
+//! The full train → save → load → serve round trip:
+//!
+//! 1. build a ResNet-50 (reduced resolution) through the typed
+//!    `ModelSpec` API with an explicit weight-init seed,
+//! 2. train it for a few SGD steps on synthetic data,
+//! 3. export the trained parameters (plus BN running statistics) as a
+//!    `StateDict` and save them to a versioned binary file,
+//! 4. reload the file into a forward-only `InferenceSession` *and* a
+//!    batching frontend, and verify the served outputs are
+//!    **bit-identical** to the in-memory trained network's forward.
+//!
+//! ```sh
+//! cargo run --release --example save_load_serve -- [--hw 32] [--steps 2] [--out model.anat]
+//! ```
+
+use anatomy::gxm::data::SyntheticData;
+use anatomy::gxm::Network;
+use anatomy::serve::{BatchingFrontend, ServeConfig};
+use anatomy::{InferenceSession, StateDict};
+use std::time::Duration;
+
+fn arg(key: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let hw = arg("--hw", 32);
+    let steps = arg("--steps", 2);
+    let minibatch = arg("--minibatch", 2);
+    let threads = arg("--threads", anatomy::parallel::hardware_threads().min(4));
+    let out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+            .unwrap_or_else(|| "model.anat".to_string())
+    };
+    let classes = 10;
+
+    // 1. typed model with an explicit seed
+    let model = anatomy::topologies::resnet50_model(hw, classes).with_seed(2024);
+    println!("ResNet-50 @ {hw}x{hw}: training {steps} step(s), minibatch {minibatch}");
+
+    // 2. a few training steps
+    let mut net = Network::build(&model, minibatch, threads).expect("valid model");
+    let mut data = SyntheticData::new(classes, 3, hw, hw, 11);
+    for step in 0..steps {
+        let labels = data.next_batch(net.input_mut());
+        let s = net.train_step(&labels, 0.002, 0.9);
+        println!("step {step}: loss {:.4} top-1 {:.2}", s.loss, s.top1);
+    }
+
+    // 3. export + save
+    let sd = net.state_dict();
+    sd.save(&out).expect("state dict saves");
+    let bytes = std::fs::metadata(&out).expect("saved file exists").len();
+    println!("saved {} tensors ({} values, {bytes} bytes) to {out}", sd.len(), sd.value_count());
+
+    // the trained network's reference forward on one more batch
+    let labels = data.next_batch(net.input_mut());
+    net.set_labels(&labels);
+    net.forward();
+    let (c, h, w) = net.input_dims();
+    let probe: Vec<f32> = {
+        let acts = net.input_mut();
+        let mut v = Vec::with_capacity(minibatch * c * h * w);
+        for n in 0..minibatch {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        v.push(acts.get(n, ci, hi, wi));
+                    }
+                }
+            }
+        }
+        v
+    };
+    let padded = net.probabilities();
+    let kpad = padded.len() / minibatch;
+    let want: Vec<f32> =
+        (0..minibatch).flat_map(|n| padded[n * kpad..n * kpad + classes].to_vec()).collect();
+
+    // 4a. reload into a forward-only session
+    let reloaded = StateDict::load(&out).expect("state dict loads");
+    let mut session = InferenceSession::new(&model, minibatch, threads).expect("valid model");
+    session.load_state_dict(&reloaded).expect("dict matches the model");
+    let served = session.run(&probe).expect("probe batch sized to the session");
+    assert_eq!(served.probs, want, "served forward must be bit-identical to training");
+    println!("InferenceSession: bit-exact OK (top-1 {:?})", served.top1);
+
+    // 4b. and through the batching frontend (whole-batch request, so
+    // BN batch statistics match the direct run exactly)
+    let cfg = ServeConfig::new(1, threads, minibatch)
+        .with_max_wait(Duration::from_millis(1))
+        .with_pinning(false);
+    let frontend = BatchingFrontend::with_weights(&model, cfg, &reloaded).expect("valid model");
+    let out2 = frontend.infer(&probe).expect("pipeline alive");
+    assert_eq!(out2.probs, want, "frontend must serve the same trained weights");
+    frontend.shutdown();
+    println!("BatchingFrontend: bit-exact OK");
+    println!("train -> save -> load -> serve round trip complete");
+}

@@ -31,7 +31,7 @@ fn main() {
     let requests = arg("--requests", 32);
     let max_wait = Duration::from_millis(arg("--max-wait-ms", 2) as u64);
 
-    let topology = anatomy::topologies::resnet50_topology(hw, 1000);
+    let model = anatomy::topologies::resnet50_model(hw, 1000);
     println!(
         "ResNet-50 @ {hw}x{hw}: {replicas} replica(s) × {threads} thread(s), \
          minibatch {minibatch}, max_wait {max_wait:?}"
@@ -39,7 +39,7 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let cfg = ServeConfig::new(replicas, threads, minibatch).with_max_wait(max_wait);
-    let frontend = BatchingFrontend::new(&topology, cfg).expect("topology parses");
+    let frontend = BatchingFrontend::new(&model, cfg).expect("model is valid");
     let caches = frontend.cache().combined_stats();
     println!(
         "setup: {:.2?} — {} distinct plans for {} lookups across {replicas} replica(s) \
@@ -67,7 +67,7 @@ fn main() {
                     .is_ok()
                 {
                     rng.fill_f32(&mut image);
-                    let out = frontend.infer(&image);
+                    let out = frontend.infer(&image).expect("image is sample-sized");
                     assert_eq!(out.top1.len(), 1);
                 }
             });

@@ -8,28 +8,31 @@
 //! ```
 
 use anatomy::gxm::data::SyntheticData;
-use anatomy::gxm::{parse_topology, Network};
+use anatomy::gxm::Network;
+use anatomy::{ConvOpts, GraphBuilder};
 
 fn main() {
     let classes = 8;
-    let topology = format!(
-        "input name=data c=16 h=16 w=16\n\
-         conv name=c0 bottom=data k=32\n\
-         bn name=b0 bottom=c0 relu=1\n\
-         conv name=c1 bottom=b0 k=32 r=3 s=3 pad=1\n\
-         bn name=b1 bottom=c1 relu=1\n\
-         conv name=c2 bottom=b1 k=32 r=3 s=3 pad=1\n\
-         bn name=b2 bottom=c2 eltwise=b0 relu=1\n\
-         pool name=p1 bottom=b2 kind=max size=2 stride=2\n\
-         conv name=c3 bottom=p1 k=64 bias=1 relu=1\n\
-         gap name=g bottom=c3\n\
-         fc name=logits bottom=g k={classes}\n\
-         softmaxloss name=loss bottom=logits\n"
-    );
-    let nl = parse_topology(&topology).expect("valid topology");
+    // the typed route: a fluent builder with a residual bn join,
+    // validated into a ModelSpec before anything allocates
+    let model = GraphBuilder::new()
+        .input("data", 16, 16, 16)
+        .conv("c0", ConvOpts::k(32))
+        .bn_relu("b0")
+        .conv("c1", ConvOpts::k(32).rs(3).pad(1))
+        .bn_relu("b1")
+        .conv("c2", ConvOpts::k(32).rs(3).pad(1))
+        .bn_join("b2", "b0", true)
+        .max_pool("p1", 2, 2, 0)
+        .conv("c3", ConvOpts::k(64).bias().relu())
+        .gap("g")
+        .fc("logits", classes)
+        .softmax("loss")
+        .build()
+        .expect("valid model");
     let threads = anatomy::parallel::hardware_threads().min(8);
     let minibatch = 32;
-    let mut net = Network::build(&nl, minibatch, threads);
+    let mut net = Network::build(&model, minibatch, threads).expect("buildable model");
     println!("residual CNN: {} parameters, {} threads", net.param_count(), threads);
 
     let mut data = SyntheticData::new(classes, 16, 16, 16, 42);

@@ -28,6 +28,12 @@
 //!   front-end over several session replicas (see the [`serve`]
 //!   module docs).
 //!
+//! The model surface is typed (DESIGN.md §8): sessions take anything
+//! [`IntoModelSpec`] — a validated [`ModelSpec`], a [`GraphBuilder`]
+//! chain, or legacy topology text — every failure is a structured
+//! [`Error`], and trained weights travel through [`StateDict`]s for
+//! the train → save → load → serve round trip.
+//!
 //! See `DESIGN.md` for the system inventory and the per-experiment
 //! index, and `EXPERIMENTS.md` for paper-vs-measured results.
 
@@ -43,6 +49,8 @@ pub use parallel;
 pub use smallgemm;
 pub use tensor;
 pub use topologies;
+
+pub use gxm::{ConvOpts, Error, GraphBuilder, IntoModelSpec, ModelSpec, StateDict};
 
 pub mod serve;
 
@@ -66,27 +74,36 @@ pub struct InferenceOutput {
 /// buffers recycled via the liveness memory plan — and exposes a
 /// `run(batch) → outputs` loop. Several sessions (e.g. one per model,
 /// or one per minibatch size) can share one pool and one cache so
-/// repeated layer shapes JIT once per process:
+/// repeated layer shapes JIT once per process.
+///
+/// Constructors take anything [`IntoModelSpec`]: a validated
+/// [`ModelSpec`], a [`GraphBuilder`], or legacy topology text.
 ///
 /// ```
-/// use anatomy::InferenceSession;
+/// use anatomy::{ConvOpts, GraphBuilder, InferenceSession};
 ///
-/// let topo = "input name=data c=3 h=8 w=8\n\
-///             conv name=c1 bottom=data k=16 r=3 s=3 pad=1 bias=1 relu=1\n\
-///             gap name=g bottom=c1\n\
-///             fc name=logits bottom=g k=4\n\
-///             softmaxloss name=loss bottom=logits\n";
-/// let mut session = InferenceSession::new(topo, 2, 2).unwrap();
+/// let model = GraphBuilder::new()
+///     .input("data", 3, 8, 8)
+///     .conv("c1", ConvOpts::k(16).rs(3).pad(1).bias().relu())
+///     .gap("g")
+///     .fc("logits", 4)
+///     .softmax("loss")
+///     .build()
+///     .unwrap();
+/// let mut session = InferenceSession::new(&model, 2, 2).unwrap();
 /// let batch = vec![0.5f32; 2 * 3 * 8 * 8];
-/// let out = session.run(&batch);
+/// let out = session.run(&batch).unwrap();
 /// assert_eq!(out.top1.len(), 2);
 /// assert_eq!(out.probs.len(), 2 * session.classes());
 ///
 /// // partial batches pad the tail internally and return exactly
 /// // `count` results:
-/// let one = session.run_samples(&batch[..session.sample_elems()], 1);
+/// let one = session.run_samples(&batch[..session.sample_elems()], 1).unwrap();
 /// assert_eq!(one.top1.len(), 1);
 /// assert_eq!(one.top1[0], out.top1[0]);
+///
+/// // wrong-sized payloads are typed errors, not panics:
+/// assert!(session.run(&batch[..7]).is_err());
 /// ```
 pub struct InferenceSession {
     net: gxm::Network,
@@ -96,12 +113,12 @@ pub struct InferenceSession {
 
 impl InferenceSession {
     /// Build a session with a private pool and cache.
-    pub fn new(topology: &str, minibatch: usize, threads: usize) -> Result<Self, String> {
+    pub fn new(model: impl IntoModelSpec, minibatch: usize, threads: usize) -> Result<Self, Error> {
         if threads == 0 {
-            return Err("threads must be >= 1".to_string());
+            return Err(Error::BadInput("threads must be >= 1".to_string()));
         }
         Self::with_shared(
-            topology,
+            model,
             minibatch,
             Arc::new(parallel::ThreadPool::new(threads)),
             conv::PlanCache::new(),
@@ -111,43 +128,44 @@ impl InferenceSession {
     /// Build a session sharing `pool` and `cache` with other sessions
     /// (the cache dedupes JIT + dryrun work across all of them).
     pub fn with_shared(
-        topology: &str,
+        model: impl IntoModelSpec,
         minibatch: usize,
         pool: Arc<parallel::ThreadPool>,
         cache: conv::PlanCache,
-    ) -> Result<Self, String> {
-        if minibatch == 0 {
-            return Err("minibatch must be >= 1".to_string());
-        }
-        let nl = gxm::parse_topology(topology)?;
-        // validate the graph's endpoints here so the common
-        // malformations surface as Err (deeper structural errors —
-        // e.g. unsupported fusion combinations — still panic inside
-        // the build with a named-node message)
-        if !nl.iter().any(|n| matches!(n, gxm::NodeSpec::Input { .. })) {
-            return Err("topology has no input node".to_string());
-        }
-        if !nl.iter().any(|n| matches!(n, gxm::NodeSpec::SoftmaxLoss { .. })) {
-            return Err("topology has no softmaxloss node".to_string());
-        }
+    ) -> Result<Self, Error> {
+        let spec = model.into_model_spec()?;
         let net = gxm::Network::build_with(
-            &nl,
+            &spec,
             minibatch,
             Arc::clone(&pool),
             gxm::ExecMode::Inference,
             &cache,
-        );
+        )?;
         Ok(Self { net, pool, cache })
+    }
+
+    /// Load trained parameters (a [`StateDict`] exported by
+    /// [`gxm::Network::state_dict`]) into the served network. Forward
+    /// outputs afterwards are bit-identical to the network the dict
+    /// was saved from — the serve half of train → save → load → serve.
+    pub fn load_state_dict(&mut self, sd: &StateDict) -> Result<(), Error> {
+        self.net.load_state_dict(sd)
     }
 
     /// Run one full batch (`minibatch × c × h × w` NCHW f32) and return
     /// the softmax probabilities and top-1 predictions.
-    pub fn run(&mut self, batch: &[f32]) -> InferenceOutput {
-        assert_eq!(
-            batch.len(),
-            self.net.minibatch() * self.sample_elems(),
-            "batch must be minibatch × c × h × w NCHW f32"
-        );
+    ///
+    /// # Errors
+    /// [`Error::BadInput`] when `batch` is not exactly
+    /// `minibatch × c × h × w` values.
+    pub fn run(&mut self, batch: &[f32]) -> Result<InferenceOutput, Error> {
+        let want = self.net.minibatch() * self.sample_elems();
+        if batch.len() != want {
+            return Err(Error::BadInput(format!(
+                "batch must be minibatch × c × h × w = {want} f32 values, got {}",
+                batch.len()
+            )));
+        }
         self.run_samples(batch, self.net.minibatch())
     }
 
@@ -159,7 +177,24 @@ impl InferenceSession {
     /// batches through: the kernels always execute at the planned
     /// minibatch (replaying the recorded streams unchanged), only the
     /// load and the result extraction are `count`-sized.
-    pub fn run_samples(&mut self, samples: &[f32], count: usize) -> InferenceOutput {
+    ///
+    /// # Errors
+    /// [`Error::BadInput`] when `count` is 0 or exceeds the planned
+    /// minibatch, or when `samples` is not `count × c × h × w` values.
+    pub fn run_samples(&mut self, samples: &[f32], count: usize) -> Result<InferenceOutput, Error> {
+        if count == 0 || count > self.net.minibatch() {
+            return Err(Error::BadInput(format!(
+                "count must be in 1..={}, got {count}",
+                self.net.minibatch()
+            )));
+        }
+        if samples.len() != count * self.sample_elems() {
+            return Err(Error::BadInput(format!(
+                "samples must be count × c × h × w = {} f32 values, got {}",
+                count * self.sample_elems(),
+                samples.len()
+            )));
+        }
         self.net.load_input_nchw(samples, count);
         self.net.forward();
         let classes = self.net.classes;
@@ -174,7 +209,7 @@ impl InferenceSession {
                 row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap();
             top1.push(best);
         }
-        InferenceOutput { probs, top1 }
+        Ok(InferenceOutput { probs, top1 })
     }
 
     /// Class count of the model's softmax head.

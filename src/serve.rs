@@ -36,8 +36,9 @@
 //! the batch): those are only reproducible batch-for-batch, i.e. when
 //! a request supplies the whole minibatch itself.
 
-use crate::{InferenceOutput, InferenceSession};
+use crate::{Error, InferenceOutput, InferenceSession, IntoModelSpec, StateDict};
 use conv::{CombinedCacheStats, PlanCache};
+use gxm::ModelSpec;
 use parallel::{pin_current_thread, PoolOptions, ThreadPool};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -130,7 +131,8 @@ struct ResponseInner {
     top1: Vec<usize>,
     remaining: usize,
     /// True when a sample of this request was abandoned (see
-    /// [`Pending::drop`]); waiters panic rather than hang.
+    /// [`Pending::drop`]); waiters get [`Error::Serve`] rather than
+    /// hanging.
     failed: bool,
 }
 
@@ -150,18 +152,24 @@ impl PendingRequest {
     /// Block until the whole request is served and return its results
     /// in submission order.
     ///
-    /// # Panics
-    ///
-    /// Panics if the serving pipeline failed (a replica died) before
-    /// this request completed — the alternative would be to block
-    /// forever.
-    pub fn wait(self) -> InferenceOutput {
+    /// # Errors
+    /// [`Error::Serve`] if the serving pipeline failed (a replica
+    /// died) before this request completed — the alternative would be
+    /// to block forever.
+    pub fn wait(self) -> Result<InferenceOutput, Error> {
         let mut g = self.slot.inner.lock().unwrap();
         while g.remaining > 0 && !g.failed {
             g = self.slot.cv.wait(g).unwrap();
         }
-        assert!(!g.failed, "serving pipeline failed before the request completed");
-        InferenceOutput { probs: std::mem::take(&mut g.probs), top1: std::mem::take(&mut g.top1) }
+        if g.failed {
+            return Err(Error::Serve(
+                "serving pipeline failed before the request completed".to_string(),
+            ));
+        }
+        Ok(InferenceOutput {
+            probs: std::mem::take(&mut g.probs),
+            top1: std::mem::take(&mut g.top1),
+        })
     }
 }
 
@@ -237,21 +245,28 @@ struct Shared {
 ///
 /// ```
 /// use anatomy::serve::{BatchingFrontend, ServeConfig};
+/// use anatomy::{ConvOpts, GraphBuilder};
 /// use std::time::Duration;
 ///
-/// let topo = "input name=data c=3 h=8 w=8\n\
-///             conv name=c1 bottom=data k=16 r=3 s=3 pad=1 bias=1 relu=1\n\
-///             gap name=g bottom=c1\n\
-///             fc name=logits bottom=g k=4\n\
-///             softmaxloss name=loss bottom=logits\n";
+/// let model = GraphBuilder::new()
+///     .input("data", 3, 8, 8)
+///     .conv("c1", ConvOpts::k(16).rs(3).pad(1).bias().relu())
+///     .gap("g")
+///     .fc("logits", 4)
+///     .softmax("loss")
+///     .build()
+///     .unwrap();
 /// let cfg = ServeConfig::new(1, 1, 4).with_max_wait(Duration::from_millis(1));
-/// let frontend = BatchingFrontend::new(topo, cfg).unwrap();
+/// let frontend = BatchingFrontend::new(&model, cfg).unwrap();
 ///
 /// // a lone image: padded to the planned batch after the deadline
 /// let image = vec![0.25f32; 3 * 8 * 8];
-/// let out = frontend.infer(&image);
+/// let out = frontend.infer(&image).unwrap();
 /// assert_eq!(out.top1.len(), 1);
 /// assert_eq!(out.probs.len(), frontend.classes());
+///
+/// // wrong-sized payloads are typed errors, not panics
+/// assert!(frontend.submit(&image[..5]).is_err());
 ///
 /// let stats = frontend.shutdown();
 /// assert_eq!(stats.images, 1);
@@ -266,9 +281,24 @@ pub struct BatchingFrontend {
 }
 
 impl BatchingFrontend {
-    /// Build a frontend with a private [`PlanCache`].
-    pub fn new(topology: &str, cfg: ServeConfig) -> Result<Self, String> {
-        Self::with_cache(topology, cfg, PlanCache::new())
+    /// Build a frontend with a private [`PlanCache`]. `model` is
+    /// anything [`IntoModelSpec`]: a spec, a builder, or topology
+    /// text.
+    pub fn new(model: impl IntoModelSpec, cfg: ServeConfig) -> Result<Self, Error> {
+        Self::with_cache(model, cfg, PlanCache::new())
+    }
+
+    /// Build a frontend serving trained weights: every replica loads
+    /// `weights` (a [`StateDict`] exported by
+    /// [`gxm::Network::state_dict`]) before serving, so frontend
+    /// outputs are bit-identical to the trained network's forwards.
+    pub fn with_weights(
+        model: impl IntoModelSpec,
+        cfg: ServeConfig,
+        weights: &StateDict,
+    ) -> Result<Self, Error> {
+        let spec = model.into_model_spec()?;
+        Self::build(&spec, cfg, PlanCache::new(), Some(weights))
     }
 
     /// Build a frontend whose replicas plan through `cache` (share one
@@ -278,9 +308,25 @@ impl BatchingFrontend {
     /// All replicas are built through the same cache with identical
     /// thread counts, so replica 1..N hit the plans replica 0 built:
     /// N replicas cost one JIT + dryrun pass.
-    pub fn with_cache(topology: &str, cfg: ServeConfig, cache: PlanCache) -> Result<Self, String> {
+    pub fn with_cache(
+        model: impl IntoModelSpec,
+        cfg: ServeConfig,
+        cache: PlanCache,
+    ) -> Result<Self, Error> {
+        let spec = model.into_model_spec()?;
+        Self::build(&spec, cfg, cache, None)
+    }
+
+    fn build(
+        spec: &ModelSpec,
+        cfg: ServeConfig,
+        cache: PlanCache,
+        weights: Option<&StateDict>,
+    ) -> Result<Self, Error> {
         if cfg.replicas == 0 || cfg.threads_per_replica == 0 || cfg.minibatch == 0 {
-            return Err("replicas, threads_per_replica and minibatch must be >= 1".to_string());
+            return Err(Error::BadInput(
+                "replicas, threads_per_replica and minibatch must be >= 1".to_string(),
+            ));
         }
         // Build every session up front (cheap after the first: shared
         // plan cache), then move each into its replica thread.
@@ -294,12 +340,12 @@ impl BatchingFrontend {
                 opts.without_pinning()
             };
             let pool = Arc::new(ThreadPool::with_options(opts));
-            sessions.push(InferenceSession::with_shared(
-                topology,
-                cfg.minibatch,
-                pool,
-                cache.clone(),
-            )?);
+            let mut session =
+                InferenceSession::with_shared(spec, cfg.minibatch, pool, cache.clone())?;
+            if let Some(sd) = weights {
+                session.load_state_dict(sd)?;
+            }
+            sessions.push(session);
         }
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -329,7 +375,7 @@ impl BatchingFrontend {
                     }
                     replica_loop(session, rx, sh);
                 })
-                .map_err(|e| format!("spawn replica {r}: {e}"))?;
+                .map_err(|e| Error::Serve(format!("spawn replica {r}: {e}")))?;
             txs.push(tx);
             workers.push(handle);
         }
@@ -339,7 +385,7 @@ impl BatchingFrontend {
             std::thread::Builder::new()
                 .name("serve-dispatch".to_string())
                 .spawn(move || dispatcher_loop(sh, txs, max_wait))
-                .map_err(|e| format!("spawn dispatcher: {e}"))?
+                .map_err(|e| Error::Serve(format!("spawn dispatcher: {e}")))?
         };
         Ok(Self { shared, cache, replicas: cfg.replicas, dispatcher: Some(dispatcher), workers })
     }
@@ -352,16 +398,18 @@ impl BatchingFrontend {
     /// consecutive batches; the handle completes when the last piece
     /// is served. Samples of one request stay in submission order.
     ///
-    /// # Panics
-    ///
-    /// Panics if the pipeline has shut down (a replica died) — new
-    /// work could never complete.
-    pub fn submit(&self, images: &[f32]) -> PendingRequest {
+    /// # Errors
+    /// [`Error::BadInput`] for empty or non-sample-multiple payloads;
+    /// [`Error::Serve`] if the pipeline has shut down (a replica died)
+    /// — new work could never complete.
+    pub fn submit(&self, images: &[f32]) -> Result<PendingRequest, Error> {
         let se = self.shared.sample_elems;
-        assert!(
-            !images.is_empty() && images.len().is_multiple_of(se),
-            "request must be a non-zero multiple of sample_elems ({se}) f32s"
-        );
+        if images.is_empty() || !images.len().is_multiple_of(se) {
+            return Err(Error::BadInput(format!(
+                "request must be a non-zero multiple of sample_elems ({se}) f32s, got {}",
+                images.len()
+            )));
+        }
         let count = images.len() / se;
         let slot = Arc::new(ResponseState {
             inner: Mutex::new(ResponseInner {
@@ -390,10 +438,15 @@ impl BatchingFrontend {
             // flag and clears the queue under this same lock, so a
             // request can never slip in behind the drained dispatcher
             // and strand its client
-            assert!(
-                !self.shared.shutdown.load(Ordering::Acquire),
-                "frontend is shut down; new requests would never complete"
-            );
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                // dropping `pendings` would poison the fresh slot and
+                // mark the request failed — return the typed error
+                // directly instead
+                pendings.iter_mut().for_each(|p| p.done = true);
+                return Err(Error::Serve(
+                    "frontend is shut down; new requests would never complete".to_string(),
+                ));
+            }
             q.extend(pendings.drain(..));
         }
         self.shared.queue_cv.notify_all();
@@ -402,12 +455,12 @@ impl BatchingFrontend {
             s.requests += 1;
             s.images += count;
         }
-        PendingRequest { slot, count }
+        Ok(PendingRequest { slot, count })
     }
 
-    /// Submit and block: `submit(images).wait()`.
-    pub fn infer(&self, images: &[f32]) -> InferenceOutput {
-        self.submit(images).wait()
+    /// Submit and block: `submit(images)?.wait()`.
+    pub fn infer(&self, images: &[f32]) -> Result<InferenceOutput, Error> {
+        self.submit(images)?.wait()
     }
 
     /// Class count of the served model.
@@ -592,7 +645,9 @@ fn replica_loop(mut session: InferenceSession, rx: Receiver<Vec<Pending>>, share
         for (i, p) in batch.iter().enumerate() {
             flat[i * se..(i + 1) * se].copy_from_slice(&p.image);
         }
-        let out = session.run_samples(&flat[..n * se], n);
+        let out = session
+            .run_samples(&flat[..n * se], n)
+            .expect("dispatcher batches always fit the planned minibatch");
         let done = Instant::now();
         let mut latencies = Vec::with_capacity(n);
         for (i, mut p) in batch.into_iter().enumerate() {

@@ -10,7 +10,7 @@ fn resnet50_graph_builds_and_trains() {
     // the real ResNet-50 graph (all 53 convs) at reduced resolution
     let text = anatomy::topologies::resnet50_topology(32, 10);
     let nl = parse_topology(&text).unwrap();
-    let mut net = Network::build(&nl, 2, 4);
+    let mut net = Network::build(&nl, 2, 4).unwrap();
     // ~23.5M conv/fc parameters (the ResNet-50 count)
     assert!(net.param_count() > 20_000_000, "{}", net.param_count());
     let mut data = SyntheticData::new(10, 3, 32, 32, 5);
@@ -28,7 +28,7 @@ fn inception_block_trains_through_concat() {
     let text = anatomy::topologies::inception_v3_topology(10);
     let nl = parse_topology(&text).unwrap();
     // graph contains split + concat machinery
-    let mut net = Network::build(&nl, 2, 4);
+    let mut net = Network::build(&nl, 2, 4).unwrap();
     assert!(net.etg().eng.nodes.iter().any(|n| matches!(n, NodeSpec::Split { .. })));
     let mut data = SyntheticData::new(10, 3, 147, 147, 6);
     let labels = data.next_batch(net.input_mut());
@@ -47,7 +47,7 @@ fn memorization_on_fixed_batch() {
                 fc name=logits bottom=g k=16\n\
                 softmaxloss name=loss bottom=logits\n";
     let nl = parse_topology(text).unwrap();
-    let mut net = Network::build(&nl, 8, 4);
+    let mut net = Network::build(&nl, 8, 4).unwrap();
     let mut data = SyntheticData::new(4, 16, 8, 8, 9);
     let labels = data.next_batch(net.input_mut());
     let input: Vec<f32> = net.input_mut().as_slice().to_vec();

@@ -82,14 +82,15 @@ fn distinct_conv_layers(nl: &[NodeSpec], minibatch: usize) -> usize {
 fn resnet50_builds_once_per_distinct_shape_and_inference_matches_training() {
     let text = anatomy::topologies::resnet50_topology(32, 10);
     let nl = parse_topology(&text).unwrap();
-    let convs = nl.iter().filter(|n| matches!(n, NodeSpec::Conv { .. })).count();
+    let convs = nl.nodes().iter().filter(|n| matches!(n, NodeSpec::Conv { .. })).count();
     assert_eq!(convs, 53, "the full ResNet-50 graph");
-    let distinct = distinct_conv_layers(&nl, 2);
+    let distinct = distinct_conv_layers(nl.nodes(), 2);
     assert!(distinct < convs, "repeats exist: {distinct} distinct of {convs}");
 
     let cache = PlanCache::new();
     let pool = Arc::new(ThreadPool::new(4));
-    let mut train = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache);
+    let mut train =
+        Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
     // one JIT + dryrun per distinct layer shape, not per node
     assert_eq!(
         cache.misses(),
@@ -99,7 +100,8 @@ fn resnet50_builds_once_per_distinct_shape_and_inference_matches_training() {
     assert_eq!(cache.hits(), convs - distinct, "every repeat must hit");
 
     // the inference build reuses every plan: zero further misses
-    let mut infer = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache);
+    let mut infer =
+        Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
     assert_eq!(cache.misses(), distinct, "inference build must JIT nothing");
     assert_eq!(cache.hits(), 2 * convs - distinct);
 
@@ -136,9 +138,11 @@ fn inception_inference_matches_training() {
     let nl = parse_topology(&text).unwrap();
     let cache = PlanCache::new();
     let pool = Arc::new(ThreadPool::new(4));
-    let mut train = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache);
+    let mut train =
+        Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
     let misses_after_train = cache.misses();
-    let mut infer = Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache);
+    let mut infer =
+        Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
     assert_eq!(cache.misses(), misses_after_train, "inference build must JIT nothing new");
     assert_eq!(infer.gradient_blob_count(), 0);
     assert_eq!(infer.training_state_bytes(), 0);
@@ -175,7 +179,7 @@ fn inference_session_serves_batches() {
         if i == 0 {
             first = Some(batch.clone());
         }
-        let out = session.run(&batch);
+        let out = session.run(&batch).unwrap();
         assert_eq!(out.top1.len(), 2);
         assert_eq!(out.probs.len(), 2 * 10);
         for n in 0..2 {
@@ -188,8 +192,8 @@ fn inference_session_serves_batches() {
     // replaying the first batch reproduces its outputs exactly
     // (recycled buffers hold no hidden state)
     let first = first.unwrap();
-    let a = session.run(&first);
-    let b = session.run(&first);
+    let a = session.run(&first).unwrap();
+    let b = session.run(&first).unwrap();
     assert_eq!(a.probs, b.probs);
     assert_eq!(a.top1, b.top1);
 
@@ -199,6 +203,6 @@ fn inference_session_serves_batches() {
     let cache = session.cache().clone();
     let mut twin = InferenceSession::with_shared(&topo, 2, pool, cache).unwrap();
     assert_eq!(twin.cache_stats().misses, misses, "shared cache must serve the twin session");
-    let out = twin.run(&first);
+    let out = twin.run(&first).unwrap();
     assert_eq!(out.probs, a.probs, "twin session must reproduce the same outputs");
 }

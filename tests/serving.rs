@@ -44,10 +44,10 @@ fn frontend_matches_direct_session_bitexact() {
     .unwrap();
 
     let images = random_images(minibatch, 77);
-    let want = direct.run(&images);
+    let want = direct.run(&images).unwrap();
 
     // one request carrying the whole minibatch: lands as one batch
-    let got = frontend.infer(&images);
+    let got = frontend.infer(&images).unwrap();
     assert_eq!(got.probs, want.probs, "full-batch request must be bit-identical to direct run");
     assert_eq!(got.top1, want.top1);
 
@@ -55,7 +55,7 @@ fn frontend_matches_direct_session_bitexact() {
     // padded partial batch at position 0, and must STILL match the
     // direct run's row n bit-for-bit (per-sample independence)
     for n in 0..minibatch {
-        let one = frontend.infer(&images[n * SAMPLE..(n + 1) * SAMPLE]);
+        let one = frontend.infer(&images[n * SAMPLE..(n + 1) * SAMPLE]).unwrap();
         let classes = frontend.classes();
         assert_eq!(
             one.probs,
@@ -80,12 +80,12 @@ fn oversized_request_spans_batches() {
     )
     .unwrap();
     let images = random_images(count, 123);
-    let out = frontend.infer(&images);
+    let out = frontend.infer(&images).unwrap();
     assert_eq!(out.top1.len(), count);
     assert_eq!(out.probs.len(), count * frontend.classes());
     // every sample matches a direct single-sample run
     for n in 0..count {
-        let want = direct.run_samples(&images[n * SAMPLE..(n + 1) * SAMPLE], 1);
+        let want = direct.run_samples(&images[n * SAMPLE..(n + 1) * SAMPLE], 1).unwrap();
         let classes = frontend.classes();
         assert_eq!(out.probs[n * classes..(n + 1) * classes], want.probs, "sample {n}");
         assert_eq!(out.top1[n], want.top1[0]);
@@ -110,7 +110,7 @@ fn lone_request_hits_the_deadline() {
     )
     .unwrap();
     let images = random_images(1, 9);
-    let out = frontend.infer(&images);
+    let out = frontend.infer(&images).unwrap();
     assert_eq!(out.top1.len(), 1);
     let stats = frontend.shutdown();
     assert_eq!(stats.batches, 1);
@@ -127,7 +127,7 @@ fn concurrent_submitters_get_their_own_results() {
     // expected outputs per client, from a direct session
     let mut direct = InferenceSession::new(tiny_topology(), minibatch, 1).unwrap();
     let images: Vec<Vec<f32>> = (0..clients).map(|k| random_images(1, 1000 + k as u64)).collect();
-    let expected: Vec<_> = images.iter().map(|im| direct.run_samples(im, 1)).collect();
+    let expected: Vec<_> = images.iter().map(|im| direct.run_samples(im, 1).unwrap()).collect();
 
     let frontend = std::sync::Arc::new(
         BatchingFrontend::new(
@@ -144,7 +144,7 @@ fn concurrent_submitters_get_their_own_results() {
             let want = expected[k].clone();
             scope.spawn(move || {
                 for round in 0..per_client {
-                    let got = frontend.infer(&image);
+                    let got = frontend.infer(&image).unwrap();
                     assert_eq!(got.probs, want.probs, "client {k} round {round} got foreign data");
                     assert_eq!(got.top1, want.top1);
                 }
@@ -169,9 +169,9 @@ fn shutdown_drains_the_queue_without_counting_deadline_flushes() {
     )
     .unwrap();
     let images = random_images(1, 5);
-    let handle = frontend.submit(&images);
+    let handle = frontend.submit(&images).unwrap();
     let stats = frontend.shutdown();
-    let out = handle.wait();
+    let out = handle.wait().unwrap();
     assert_eq!(out.top1.len(), 1);
     assert_eq!(stats.batches, 1);
     assert_eq!(stats.deadline_flushes, 0, "a shutdown drain is not a deadline flush");
