@@ -1,10 +1,19 @@
 //! Serving benchmark: forward-only ResNet-50 (and optionally the
 //! Inception mixed-block graph) through the `InferenceSession` facade.
 //!
-//! Reports images/second and the plan-cache hit rate — the two numbers
-//! that characterize the serving path (replay throughput and how much
-//! of the setup pipeline the cache amortized) — on stdout and as
-//! `BENCH_inference.json` (see DESIGN.md §3 for the methodology).
+//! Two executors run the same bn-graph back to back:
+//!
+//! * **fused** — the inference fusion pass folds every eligible BN's
+//!   frozen statistics into its producer convolution (Section II-G's
+//!   cache-hot APPLY carries BN + residual + ReLU);
+//! * **unfused** — every BN runs as a standalone frozen-stats
+//!   full-tensor pass (the reference executor).
+//!
+//! Reports images/second for both paths, the fused-node coverage
+//! (`folded_bn / bn_nodes`), and the plan-cache hit rate, on stdout
+//! and as `BENCH_inference.json` (see DESIGN.md §3 for the
+//! methodology) — so every PR's perf trajectory records the fusion
+//! speedup.
 //!
 //! `--hw N` sets the input resolution (default 64; `--hw 224 --full`
 //! for the paper geometry), `--topology inception` switches graphs.
@@ -12,6 +21,27 @@
 use anatomy::InferenceSession;
 use bench_bins::{arg_str, arg_usize, HarnessConfig};
 use std::time::Instant;
+
+/// Measured throughput of one executor.
+struct Measured {
+    imgs_per_s: f64,
+    setup_s: f64,
+}
+
+fn run_side(session: &mut InferenceSession, cfg: &HarnessConfig, in_hw: usize) -> f64 {
+    let mut rng = tensor::rng::SplitMix64::new(2024);
+    let mut batch = vec![0.0f32; cfg.minibatch * 3 * in_hw * in_hw];
+    for _ in 0..cfg.warmup {
+        rng.fill_f32(&mut batch);
+        session.run(&batch).expect("batch sized to the session");
+    }
+    let t0 = Instant::now();
+    for _ in 0..cfg.iters {
+        rng.fill_f32(&mut batch);
+        session.run(&batch).expect("batch sized to the session");
+    }
+    (cfg.iters * cfg.minibatch) as f64 / t0.elapsed().as_secs_f64()
+}
 
 fn main() {
     let cfg = HarnessConfig::from_args();
@@ -29,56 +59,65 @@ fn main() {
         ("resnet50", topologies::resnet50_topology(hw, classes), hw)
     };
     eprintln!("# building {name} at {in_hw}x{in_hw}, minibatch {}", cfg.minibatch);
+
+    // fused executor: BN folded into the convolutions
     let t0 = Instant::now();
-    let mut session =
+    let mut fused =
         InferenceSession::new(&text, cfg.minibatch, cfg.threads).expect("topology parses");
-    let setup_s = t0.elapsed().as_secs_f64();
-    let stats = session.cache_stats();
-    let net = session.network();
+    let fused_setup = t0.elapsed().as_secs_f64();
+    let stats = fused.cache_stats();
+    let (bn_nodes, folded) = (fused.network().bn_node_count(), fused.network().folded_bn_count());
     eprintln!(
-        "# setup {:.2}s: {} plans for {} conv nodes (hit rate {:.0}%), {} activation slots, training state bytes = {}",
-        setup_s,
+        "# fused setup {:.2}s: {} plans (hit rate {:.0}%), {} of {} bn nodes folded, {} activation slots",
+        fused_setup,
         stats.entries,
-        stats.hits + stats.misses,
         stats.hit_rate() * 100.0,
-        net.activation_slot_count(),
-        net.training_state_bytes()
+        folded,
+        bn_nodes,
+        fused.network().activation_slot_count(),
     );
 
-    let mut rng = tensor::rng::SplitMix64::new(2024);
-    let mut batch = vec![0.0f32; cfg.minibatch * 3 * in_hw * in_hw];
-    for _ in 0..cfg.warmup {
-        rng.fill_f32(&mut batch);
-        session.run(&batch).expect("batch sized to the session");
-    }
+    // unfused reference: standalone frozen-stats BN passes
     let t0 = Instant::now();
-    for _ in 0..cfg.iters {
-        rng.fill_f32(&mut batch);
-        session.run(&batch).expect("batch sized to the session");
-    }
-    let secs = t0.elapsed().as_secs_f64();
-    let imgs_per_s = (cfg.iters * cfg.minibatch) as f64 / secs;
+    let mut unfused =
+        InferenceSession::new_unfused(&text, cfg.minibatch, cfg.threads).expect("topology parses");
+    let unfused_setup = t0.elapsed().as_secs_f64();
+
+    let f = Measured { imgs_per_s: run_side(&mut fused, &cfg, in_hw), setup_s: fused_setup };
+    let u = Measured { imgs_per_s: run_side(&mut unfused, &cfg, in_hw), setup_s: unfused_setup };
+    let speedup = f.imgs_per_s / u.imgs_per_s;
+    let coverage = if bn_nodes == 0 { 1.0 } else { folded as f64 / bn_nodes as f64 };
+
     println!(
-        "inference\t{name}\thw={in_hw}\tminibatch={}\timgs_per_s={imgs_per_s:8.1}\tcache_hit_rate={:.3}",
+        "inference\t{name}\thw={in_hw}\tminibatch={}\tfused_imgs_per_s={:8.1}\tunfused_imgs_per_s={:8.1}\tspeedup={speedup:.3}\tbn_coverage={coverage:.2}\tcache_hit_rate={:.3}",
         cfg.minibatch,
+        f.imgs_per_s,
+        u.imgs_per_s,
         stats.hit_rate()
     );
 
     let json = format!(
         "{{\n  \"bench\": \"inference\",\n  \"topology\": \"{name}\",\n  \"hw\": {in_hw},\n  \
-         \"minibatch\": {},\n  \"threads\": {},\n  \"iters\": {},\n  \"setup_seconds\": {setup_s:.4},\n  \
-         \"images_per_second\": {imgs_per_s:.2},\n  \"plan_cache\": {{\n    \"hits\": {},\n    \
+         \"minibatch\": {},\n  \"threads\": {},\n  \"iters\": {},\n  \"setup_seconds\": {:.4},\n  \
+         \"images_per_second\": {:.2},\n  \"unfused\": {{\n    \"setup_seconds\": {:.4},\n    \
+         \"images_per_second\": {:.2}\n  }},\n  \"fused_speedup\": {speedup:.4},\n  \
+         \"bn_nodes\": {bn_nodes},\n  \"folded_bn_nodes\": {folded},\n  \
+         \"fused_bn_coverage\": {coverage:.4},\n  \"plan_cache\": {{\n    \"hits\": {},\n    \
          \"misses\": {},\n    \"entries\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \
          \"activation_slots\": {},\n  \"training_state_bytes\": {}\n}}\n",
         cfg.minibatch,
         cfg.threads,
         cfg.iters,
+        f.setup_s,
+        f.imgs_per_s,
+        u.setup_s,
+        u.imgs_per_s,
         stats.hits,
         stats.misses,
         stats.entries,
         stats.hit_rate(),
-        session.network().activation_slot_count(),
-        session.network().training_state_bytes(),
+        fused.network().activation_slot_count(),
+        fused.network().training_state_bytes(),
     );
     std::fs::write("BENCH_inference.json", &json).expect("write BENCH_inference.json");
     eprintln!("# wrote BENCH_inference.json");

@@ -40,6 +40,11 @@ struct LayerKey {
     /// Requested dO padding (`None` = duality-optimal; resolving it
     /// would need the bwd plan, so the request itself is the key).
     dout_pad: Option<usize>,
+    /// Physical output padding of the forward plan. Folded-BN
+    /// inference plans write padded outputs; keying on it keeps them
+    /// from ever colliding with the pad-0 training plans of the same
+    /// shape.
+    out_pad: usize,
     machine: MachineModel,
 }
 
@@ -57,6 +62,7 @@ impl std::hash::Hash for LayerKey {
         self.fuse.hash(state);
         self.input_pad.hash(state);
         self.dout_pad.hash(state);
+        self.out_pad.hash(state);
         let m = &self.machine;
         m.name.hash(state);
         m.cores.hash(state);
@@ -82,9 +88,21 @@ impl LayerKey {
             fuse: opts.fuse,
             input_pad: opts.input_pad.unwrap_or(shape.pad),
             dout_pad: opts.dout_pad,
+            out_pad: opts.out_pad,
             machine: opts.machine.clone(),
         }
     }
+}
+
+/// Hit/miss counters of one [`FusedOp`] flavour (an element of
+/// [`PlanCacheStats::per_op`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FusedOpCacheStats {
+    /// Lookups for plans with this fused op served from the cache.
+    pub hits: usize,
+    /// Lookups for plans with this fused op that ran the setup
+    /// pipeline.
+    pub misses: usize,
 }
 
 /// Snapshot of a cache's counters.
@@ -96,6 +114,11 @@ pub struct PlanCacheStats {
     pub misses: usize,
     /// Distinct plans currently held.
     pub entries: usize,
+    /// Hits/misses broken out per requested [`FusedOp`], indexed by
+    /// [`FusedOp::index`] (i.e. parallel to [`FusedOp::ALL`]) — makes
+    /// the cache behaviour of folded-BN inference plans observable
+    /// next to the plain training plans.
+    pub per_op: [FusedOpCacheStats; FusedOp::ALL.len()],
 }
 
 impl PlanCacheStats {
@@ -107,6 +130,11 @@ impl PlanCacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// The counters recorded for one fused-op flavour.
+    pub fn for_op(&self, op: FusedOp) -> FusedOpCacheStats {
+        self.per_op[op.index()]
     }
 }
 
@@ -123,10 +151,18 @@ pub struct CombinedCacheStats {
     pub kernels: crate::backend::KernelCacheStats,
 }
 
+/// One hit + one miss counter per [`FusedOp`] variant.
+#[derive(Default)]
+struct PerOpCounters {
+    hits: [AtomicUsize; FusedOp::ALL.len()],
+    misses: [AtomicUsize; FusedOp::ALL.len()],
+}
+
 struct Inner {
     plans: Mutex<HashMap<LayerKey, Arc<ConvLayer>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    per_op: PerOpCounters,
 }
 
 /// A shareable cache of fully planned convolution layers.
@@ -152,6 +188,7 @@ impl PlanCache {
                 plans: Mutex::new(HashMap::new()),
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
+                per_op: PerOpCounters::default(),
             }),
         }
     }
@@ -164,12 +201,15 @@ impl PlanCache {
     /// (the paper's "setup once, replay many times").
     pub fn get_or_build(&self, shape: ConvShape, opts: LayerOptions) -> Arc<ConvLayer> {
         let key = LayerKey::new(&shape, &opts);
+        let op = opts.fuse.index();
         let mut plans = self.inner.plans.lock().unwrap();
         if let Some(plan) = plans.get(&key) {
             self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.per_op.hits[op].fetch_add(1, Ordering::Relaxed);
             return Arc::clone(plan);
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.per_op.misses[op].fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(ConvLayer::new(shape, opts));
         plans.insert(key, Arc::clone(&plan));
         plan
@@ -197,7 +237,12 @@ impl PlanCache {
 
     /// Counter snapshot.
     pub fn stats(&self) -> PlanCacheStats {
-        PlanCacheStats { hits: self.hits(), misses: self.misses(), entries: self.len() }
+        let mut per_op = [FusedOpCacheStats::default(); FusedOp::ALL.len()];
+        for (i, s) in per_op.iter_mut().enumerate() {
+            s.hits = self.inner.per_op.hits[i].load(Ordering::Relaxed);
+            s.misses = self.inner.per_op.misses[i].load(Ordering::Relaxed);
+        }
+        PlanCacheStats { hits: self.hits(), misses: self.misses(), entries: self.len(), per_op }
     }
 
     /// Snapshot of this plan cache *and* the process-wide kernel code
@@ -253,6 +298,42 @@ mod tests {
         let b = cache.get_or_build(shape, LayerOptions::new(2).with_input_pad(shape.pad));
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn out_pad_is_part_of_the_key() {
+        // a folded inference plan (fused, padded output) must never be
+        // handed to a caller asking for the plain training plan
+        let cache = PlanCache::new();
+        let a = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        let b = cache.get_or_build(small_shape(), LayerOptions::new(2).with_out_pad(1));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+        // and the padded request is itself cacheable
+        let c = cache.get_or_build(small_shape(), LayerOptions::new(2).with_out_pad(1));
+        assert!(Arc::ptr_eq(&b, &c));
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn stats_break_out_hits_and_misses_per_fused_op() {
+        let cache = PlanCache::new();
+        let _ = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        let _ = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        let fused = LayerOptions::new(2).with_fuse(FusedOp::BiasEltwiseRelu);
+        let _ = cache.get_or_build(small_shape(), fused.clone());
+        let _ = cache.get_or_build(small_shape(), fused.clone());
+        let _ = cache.get_or_build(small_shape(), fused);
+        let stats = cache.stats();
+        assert_eq!(stats.for_op(FusedOp::None).misses, 1);
+        assert_eq!(stats.for_op(FusedOp::None).hits, 1);
+        assert_eq!(stats.for_op(FusedOp::BiasEltwiseRelu).misses, 1);
+        assert_eq!(stats.for_op(FusedOp::BiasEltwiseRelu).hits, 2);
+        assert_eq!(stats.for_op(FusedOp::Relu).hits + stats.for_op(FusedOp::Relu).misses, 0);
+        // the per-op table partitions the totals exactly
+        let (h, m) = stats.per_op.iter().fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+        assert_eq!((h, m), (stats.hits, stats.misses));
     }
 
     #[test]

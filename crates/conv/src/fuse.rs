@@ -26,17 +26,49 @@ pub enum FusedOp {
     Eltwise,
     /// `out = max(out + residual, 0)` (ResNet shortcut + activation).
     EltwiseRelu,
+    /// `out += bias[k] + residual` (folded batch norm + shortcut).
+    BiasEltwise,
+    /// `out = max(out + bias[k] + residual, 0)` (folded batch norm +
+    /// shortcut + activation — the full bottleneck-block tail).
+    BiasEltwiseRelu,
 }
 
 impl FusedOp {
+    /// Every variant, in discriminant order (stable index for per-op
+    /// statistics tables).
+    pub const ALL: [FusedOp; 8] = [
+        FusedOp::None,
+        FusedOp::Bias,
+        FusedOp::Relu,
+        FusedOp::BiasRelu,
+        FusedOp::Eltwise,
+        FusedOp::EltwiseRelu,
+        FusedOp::BiasEltwise,
+        FusedOp::BiasEltwiseRelu,
+    ];
+
+    /// Position of this variant in [`FusedOp::ALL`].
+    pub fn index(&self) -> usize {
+        FusedOp::ALL.iter().position(|o| o == self).expect("every variant is listed")
+    }
+
     /// Whether this op needs a bias vector at execution time.
     pub fn needs_bias(&self) -> bool {
-        matches!(self, FusedOp::Bias | FusedOp::BiasRelu)
+        matches!(
+            self,
+            FusedOp::Bias | FusedOp::BiasRelu | FusedOp::BiasEltwise | FusedOp::BiasEltwiseRelu
+        )
     }
 
     /// Whether this op needs a residual tensor at execution time.
     pub fn needs_eltwise(&self) -> bool {
-        matches!(self, FusedOp::Eltwise | FusedOp::EltwiseRelu)
+        matches!(
+            self,
+            FusedOp::Eltwise
+                | FusedOp::EltwiseRelu
+                | FusedOp::BiasEltwise
+                | FusedOp::BiasEltwiseRelu
+        )
     }
 }
 
@@ -68,39 +100,107 @@ pub struct ApplyRec {
 /// Apply `op` to one output tile (called from stream replay while the
 /// tile is cache-hot).
 ///
+/// The dispatch happens once per tile; each variant's row loop is a
+/// tight slice-free pointer walk the compiler auto-vectorizes — the
+/// apply must stay far cheaper than the memory round trip it saves.
+///
 /// # Safety
 /// `out` (+ the offsets in `rec`) must be in-bounds for the output
 /// tensor; when the op needs eltwise, `ctx.eltwise` must have identical
 /// geometry to the output tensor.
+// lane loops index the bias splat by (pixel, lane) coordinates like
+// the kernel crates; iterator rewrites would obscure the addressing
+#[allow(clippy::needless_range_loop)]
 pub unsafe fn apply_tile(op: FusedOp, rec: &ApplyRec, out: *mut f32, ctx: &FuseCtx<'_>) {
-    let bias = ctx.bias.map(|b| &b[rec.kb as usize * VLEN..]);
+    if op == FusedOp::None {
+        return;
+    }
+    let cols = rec.cols as usize;
+    // the tile's bias block, splatted to a stack vector so every
+    // variant's inner loop is a pure (vector-load, op, vector-store)
+    // walk the compiler auto-vectorizes
+    let mut bias = [0.0f32; VLEN];
+    if op.needs_bias() {
+        let b = ctx.bias.expect("plan validated the bias").as_ptr().add(rec.kb as usize * VLEN);
+        for (v, dst) in bias.iter_mut().enumerate() {
+            *dst = *b.add(v);
+        }
+    }
     let elt = ctx.eltwise.map(|e| e.as_ptr());
     for row in 0..rec.rows as usize {
         let base = rec.out_off as usize + row * rec.row_stride as usize;
-        for col in 0..rec.cols as usize {
-            let px = out.add(base + col * VLEN);
-            let epx = elt.map(|e| e.add(base + col * VLEN));
-            for v in 0..VLEN {
-                let mut x = *px.add(v);
-                match op {
-                    FusedOp::None => {}
-                    FusedOp::Bias => x += bias.as_ref().unwrap()[v],
-                    FusedOp::Relu => x = x.max(0.0),
-                    FusedOp::BiasRelu => x = (x + bias.as_ref().unwrap()[v]).max(0.0),
-                    FusedOp::Eltwise => x += *epx.unwrap().add(v),
-                    FusedOp::EltwiseRelu => x = (x + *epx.unwrap().add(v)).max(0.0),
+        let px = out.add(base);
+        match op {
+            FusedOp::None => unreachable!("early return above"),
+            FusedOp::Relu => {
+                for i in 0..cols * VLEN {
+                    *px.add(i) = (*px.add(i)).max(0.0);
                 }
-                *px.add(v) = x;
+            }
+            FusedOp::Bias => {
+                for c in 0..cols {
+                    for v in 0..VLEN {
+                        *px.add(c * VLEN + v) += bias[v];
+                    }
+                }
+            }
+            FusedOp::BiasRelu => {
+                for c in 0..cols {
+                    for v in 0..VLEN {
+                        let p = px.add(c * VLEN + v);
+                        *p = (*p + bias[v]).max(0.0);
+                    }
+                }
+            }
+            FusedOp::Eltwise => {
+                let ex = elt.unwrap_unchecked().add(base);
+                for i in 0..cols * VLEN {
+                    *px.add(i) += *ex.add(i);
+                }
+            }
+            FusedOp::EltwiseRelu => {
+                let ex = elt.unwrap_unchecked().add(base);
+                for i in 0..cols * VLEN {
+                    *px.add(i) = (*px.add(i) + *ex.add(i)).max(0.0);
+                }
+            }
+            FusedOp::BiasEltwise => {
+                let ex = elt.unwrap_unchecked().add(base);
+                for c in 0..cols {
+                    for v in 0..VLEN {
+                        let i = c * VLEN + v;
+                        *px.add(i) = (*px.add(i) + bias[v]) + *ex.add(i);
+                    }
+                }
+            }
+            FusedOp::BiasEltwiseRelu => {
+                let ex = elt.unwrap_unchecked().add(base);
+                for c in 0..cols {
+                    for v in 0..VLEN {
+                        let i = c * VLEN + v;
+                        *px.add(i) = ((*px.add(i) + bias[v]) + *ex.add(i)).max(0.0);
+                    }
+                }
             }
         }
     }
 }
 
 /// Reference (unfused) application over a whole tensor — used by tests
-/// and by the unfused baselines.
+/// and by the unfused baselines. When the op needs eltwise, the
+/// residual must share the output's *physical* geometry (same padding).
 pub fn apply_unfused(op: FusedOp, out: &mut BlockedActs, ctx: &FuseCtx<'_>) {
     let (n, kb_total, h, w) = (out.n, out.cb, out.h, out.w);
-    assert_eq!(out.pad, 0, "outputs carry no padding");
+    if let Some(e) = ctx.eltwise {
+        assert_eq!((e.n, e.cb, e.h, e.w, e.pad), (out.n, out.cb, out.h, out.w, out.pad));
+    }
+    if op.needs_bias() {
+        // apply_tile reads whole VLEN blocks per channel block
+        assert!(
+            ctx.bias.is_some_and(|b| b.len() >= kb_total * VLEN),
+            "bias missing or shorter than the padded channel count"
+        );
+    }
     for n_ in 0..n {
         for kb in 0..kb_total {
             for h_ in 0..h {
@@ -153,6 +253,37 @@ mod tests {
         apply_unfused(FusedOp::EltwiseRelu, &mut out, &FuseCtx { bias: None, eltwise: Some(&res) });
         assert_eq!(out.get(0, 3, 0, 0), 0.0); // max(-5+2, 0)
         assert_eq!(out.get(0, 4, 0, 0), 3.0);
+    }
+
+    #[test]
+    fn bias_eltwise_combines_with_and_without_relu() {
+        let bias: Vec<f32> = (0..16).map(|k| 0.5 * k as f32 - 2.0).collect();
+        let res = BlockedActs::random(1, 16, 3, 3, 0, 21);
+        let base = BlockedActs::random(1, 16, 3, 3, 0, 22);
+        for (op, relu) in [(FusedOp::BiasEltwise, false), (FusedOp::BiasEltwiseRelu, true)] {
+            assert!(op.needs_bias() && op.needs_eltwise());
+            let mut out = base.clone();
+            apply_unfused(op, &mut out, &FuseCtx { bias: Some(&bias), eltwise: Some(&res) });
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..16 {
+                for h in 0..3 {
+                    for w in 0..3 {
+                        let mut want = base.get(0, k, h, w) + bias[k] + res.get(0, k, h, w);
+                        if relu {
+                            want = want.max(0.0);
+                        }
+                        assert_eq!(out.get(0, k, h, w), want, "{op:?} k={k} h={h} w={w}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_lists_every_variant_once() {
+        for (i, op) in FusedOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
     }
 
     #[test]

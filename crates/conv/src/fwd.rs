@@ -41,13 +41,23 @@ pub struct OutGeom {
 impl OutGeom {
     /// Dense geometry for the plan's own output shape.
     pub fn dense(shape: &ConvShape) -> Self {
-        let (p, q) = (shape.p(), shape.q());
+        Self::padded(shape, 0)
+    }
+
+    /// Geometry of an output tensor carrying `out_pad` physical zero
+    /// padding on every border (`[N][Kb][P+2p][Q+2p][VLEN]`, writes
+    /// land on the logical interior). Graph executors use this to let
+    /// a fused convolution produce directly into a blob that a later
+    /// padded convolution consumes.
+    pub fn padded(shape: &ConvShape, out_pad: usize) -> Self {
+        let (p, q) = (shape.p() + 2 * out_pad, shape.q() + 2 * out_pad);
+        let row_stride = q * VLEN;
         Self {
-            row_stride: q * VLEN,
+            row_stride,
             col_stride: VLEN,
             kb_stride: p * q * VLEN,
             n_stride: shape.kb() * p * q * VLEN,
-            base: 0,
+            base: out_pad * row_stride + out_pad * VLEN,
         }
     }
 }
@@ -63,6 +73,9 @@ pub struct FwdPlan {
     nthreads: usize,
     /// Minimum physical input padding the plan's offsets assume.
     in_pad: usize,
+    /// Physical padding of the output tensor `run` writes (0 unless the
+    /// plan was built through [`FwdPlan::with_pads`]).
+    out_pad: usize,
 }
 
 impl FwdPlan {
@@ -95,7 +108,28 @@ impl FwdPlan {
         out_geom: Option<OutGeom>,
         input_pad: usize,
     ) -> Self {
-        let out_geom = out_geom.unwrap_or_else(|| OutGeom::dense(&shape));
+        Self::with_pads(shape, blocking, nthreads, backend, prefetch, fused, out_geom, input_pad, 0)
+    }
+
+    /// Full-control dryrun: physical `input_pad` on the input tensor
+    /// *and* physical `out_pad` on the output tensor (the fused
+    /// inference executor writes folded-BN outputs straight into
+    /// padded consumer blobs). An explicit `out_geom` overrides
+    /// `out_pad` (the backward-duality callers pass their own strided
+    /// geometry and execute through `run_raw`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_pads(
+        shape: ConvShape,
+        blocking: Blocking,
+        nthreads: usize,
+        backend: Backend,
+        prefetch: bool,
+        fused: FusedOp,
+        out_geom: Option<OutGeom>,
+        input_pad: usize,
+        out_pad: usize,
+    ) -> Self {
+        let out_geom = out_geom.unwrap_or_else(|| OutGeom::padded(&shape, out_pad));
         let cb_steps = shape.cb() / blocking.cb_inner;
         assert_eq!(cb_steps * blocking.cb_inner, shape.cb(), "cb_inner must divide Cb");
 
@@ -136,7 +170,17 @@ impl FwdPlan {
             &mut variant_for,
         );
 
-        Self { shape, blocking, kernels, streams, out_geom, fused, nthreads, in_pad: input_pad }
+        Self {
+            shape,
+            blocking,
+            kernels,
+            streams,
+            out_geom,
+            fused,
+            nthreads,
+            in_pad: input_pad,
+            out_pad,
+        }
     }
 
     /// The convolution shape this plan executes.
@@ -188,17 +232,22 @@ impl FwdPlan {
         );
         assert_eq!(
             (output.n, output.c, output.h, output.w, output.pad),
-            (self.shape.n, self.shape.k, self.shape.p(), self.shape.q(), 0),
+            (self.shape.n, self.shape.k, self.shape.p(), self.shape.q(), self.out_pad),
             "output tensor mismatch"
         );
         if self.fused.needs_bias() {
-            assert!(ctx.bias.is_some_and(|b| b.len() >= self.shape.k), "bias missing");
+            // the apply reads whole VLEN blocks, so the bias must cover
+            // the padded channel count, not just the logical k
+            assert!(
+                ctx.bias.is_some_and(|b| b.len() >= self.shape.k.next_multiple_of(VLEN)),
+                "bias missing or shorter than the padded channel count"
+            );
         }
         if self.fused.needs_eltwise() {
             let e = ctx.eltwise.expect("eltwise tensor missing");
             assert_eq!(
                 (e.n, e.cb, e.h, e.w, e.pad),
-                (output.n, output.cb, output.h, output.w, 0),
+                (output.n, output.cb, output.h, output.w, self.out_pad),
                 "eltwise tensor mismatch"
             );
         }
@@ -236,6 +285,11 @@ impl FwdPlan {
     /// Output geometry the plan writes through.
     pub fn out_geom(&self) -> &OutGeom {
         &self.out_geom
+    }
+
+    /// Physical padding `run` expects on the output tensor.
+    pub fn out_pad(&self) -> usize {
+        self.out_pad
     }
 }
 
@@ -429,6 +483,72 @@ mod tests {
         conv_fwd_ref(&shape, &x, &w, &mut y_ref);
         let n = Norms::compare(BlockedActs::from_nchw(&y_ref, 0).as_slice(), yb.as_slice());
         assert!(n.ok(1e-4), "{n}");
+    }
+
+    #[test]
+    fn padded_output_matches_dense_and_keeps_border_zero() {
+        // the same conv written into a pad-2 output tensor must hold
+        // the dense results on its logical interior and leave the
+        // physical border untouched (zero) — the invariant downstream
+        // padded consumers rely on
+        let shape = ConvShape::new(2, 32, 32, 8, 8, 3, 3, 1, 1);
+        let threads = 3;
+        let pool = ThreadPool::new(threads);
+        let b = blocking::choose(&shape);
+        let x = Nchw::random(2, 32, 8, 8, 31);
+        let w = Kcrs::random(32, 32, 3, 3, 32);
+        let xb = BlockedActs::from_nchw(&x, 1);
+        let wb = BlockedFilter::from_kcrs(&w);
+        let bias: Vec<f32> = (0..32).map(|i| 0.02 * i as f32 - 0.3).collect();
+        let residual = BlockedActs::random(2, 32, 8, 8, 2, 33);
+
+        let dense = FwdPlan::new(shape, b, threads, Backend::Auto, true, FusedOp::None, None);
+        let mut y_dense = BlockedActs::zeros(2, 32, 8, 8, 0);
+        dense.run(&pool, &xb, &wb, &mut y_dense, &FuseCtx::default());
+
+        for fused in [FusedOp::None, FusedOp::BiasEltwiseRelu] {
+            let padded = FwdPlan::with_pads(
+                shape,
+                b,
+                threads,
+                Backend::Auto,
+                true,
+                fused,
+                None,
+                shape.pad,
+                2,
+            );
+            assert_eq!(padded.out_pad(), 2);
+            let mut y_pad = BlockedActs::zeros(2, 32, 8, 8, 2);
+            let ctx = FuseCtx {
+                bias: fused.needs_bias().then_some(&bias[..]),
+                eltwise: fused.needs_eltwise().then_some(&residual),
+            };
+            padded.run(&pool, &xb, &wb, &mut y_pad, &ctx);
+            for n in 0..2 {
+                #[allow(clippy::needless_range_loop)]
+                for k in 0..32 {
+                    for h in 0..8 {
+                        for wd in 0..8 {
+                            let mut want = y_dense.get(n, k, h, wd);
+                            if fused == FusedOp::BiasEltwiseRelu {
+                                want = (want + bias[k] + residual.get(n, k, h, wd)).max(0.0);
+                            }
+                            assert_eq!(y_pad.get(n, k, h, wd), want, "{fused:?} interior");
+                        }
+                    }
+                }
+                // the physical border must still be all zeros
+                for kb in 0..y_pad.cb {
+                    for wp in 0..y_pad.wp() {
+                        let off = y_pad.pix_offset_logical(n, kb, -2, wp as isize - 2);
+                        for v in 0..VLEN {
+                            assert_eq!(y_pad.as_slice()[off + v], 0.0, "{fused:?} border");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

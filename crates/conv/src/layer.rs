@@ -36,6 +36,10 @@ pub struct LayerOptions {
     /// Physical padding of the gradient-output tensor passed to
     /// `backward`/`update` (defaults to the duality-optimal padding).
     pub dout_pad: Option<usize>,
+    /// Physical padding of the *output* tensor the forward pass writes
+    /// (graph executors set this when a fused convolution produces
+    /// directly into a blob a later padded convolution consumes).
+    pub out_pad: usize,
 }
 
 impl LayerOptions {
@@ -49,7 +53,15 @@ impl LayerOptions {
             machine: MachineModel::skx(),
             input_pad: None,
             dout_pad: None,
+            out_pad: 0,
         }
+    }
+
+    /// Set the physical output padding (for fused writes into padded
+    /// consumer blobs).
+    pub fn with_out_pad(mut self, pad: usize) -> Self {
+        self.out_pad = pad;
+        self
     }
 
     /// Set the gradient-output padding (graph executors pass 0).
@@ -98,7 +110,7 @@ impl ConvLayer {
     pub fn new(shape: ConvShape, opts: LayerOptions) -> Self {
         let b = blocking::choose(&shape);
         let input_pad = opts.input_pad.unwrap_or(shape.pad);
-        let fwd = FwdPlan::with_input_pad(
+        let fwd = FwdPlan::with_pads(
             shape,
             b,
             opts.threads,
@@ -107,6 +119,7 @@ impl ConvLayer {
             opts.fuse,
             None,
             input_pad,
+            opts.out_pad,
         );
         let bwd =
             BwdPlan::with_input_pad(shape, opts.threads, opts.backend, opts.prefetch, input_pad);
@@ -165,9 +178,15 @@ impl ConvLayer {
         BlockedActs::zeros(self.shape.n, self.shape.c, self.shape.h, self.shape.w, self.input_pad())
     }
 
-    /// Allocate an output tensor.
+    /// Allocate an output tensor (with the configured output padding).
     pub fn new_output(&self) -> BlockedActs {
-        BlockedActs::zeros(self.shape.n, self.shape.k, self.shape.p(), self.shape.q(), 0)
+        BlockedActs::zeros(
+            self.shape.n,
+            self.shape.k,
+            self.shape.p(),
+            self.shape.q(),
+            self.opts.out_pad,
+        )
     }
 
     /// Allocate a gradient-output tensor with the duality padding.

@@ -36,7 +36,7 @@ pub mod upd;
 
 pub use backend::{kernel_cache_stats, Backend, FwdKernel, KernelCacheStats, UpdKernel};
 pub use blocking::Blocking;
-pub use cache::{CombinedCacheStats, PlanCache, PlanCacheStats};
+pub use cache::{CombinedCacheStats, FusedOpCacheStats, PlanCache, PlanCacheStats};
 pub use fuse::FusedOp;
 pub use layer::{ConvLayer, LayerOptions};
 pub use tensor::ConvShape;

@@ -27,7 +27,15 @@ fn backend_of(idx: usize) -> Backend {
 }
 
 fn fuse_of(idx: usize) -> FusedOp {
-    [FusedOp::None, FusedOp::Bias, FusedOp::Relu, FusedOp::BiasRelu, FusedOp::EltwiseRelu][idx]
+    [
+        FusedOp::None,
+        FusedOp::Bias,
+        FusedOp::Relu,
+        FusedOp::BiasRelu,
+        FusedOp::EltwiseRelu,
+        FusedOp::BiasEltwise,
+        FusedOp::BiasEltwiseRelu,
+    ][idx]
 }
 
 proptest! {
@@ -42,7 +50,7 @@ proptest! {
         spatial in any::<bool>(),
         stride in 1usize..3,
         backend_idx in 0usize..3,
-        fuse_idx in 0usize..5,
+        fuse_idx in 0usize..7,
         threads in 1usize..5,
         seed in 0u64..10_000,
     ) {

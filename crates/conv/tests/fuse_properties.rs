@@ -1,0 +1,100 @@
+//! Property test for the fused-operator APPLY primitive: every
+//! [`FusedOp`] variant's [`apply_tile`] must agree **bit-for-bit**
+//! with a naive scalar reference over randomized tile geometries —
+//! arbitrary tile position, rows/cols, channel block and physical
+//! output padding. This is the kernel the inference BN-folding pass
+//! rides on, so the scalar model is written here from the operator
+//! definitions, independent of the production loops.
+
+use conv::fuse::{apply_tile, ApplyRec, FuseCtx};
+use conv::FusedOp;
+use proptest::prelude::*;
+use tensor::rng::SplitMix64;
+use tensor::{BlockedActs, VLEN};
+
+/// The scalar model: apply `op` to the element at lane `v` given its
+/// current value, the channel bias and the residual element —
+/// mirrors the documented semantics of each variant (bias first,
+/// residual second, ReLU last).
+fn scalar_ref(op: FusedOp, x: f32, bias: f32, elt: f32) -> f32 {
+    match op {
+        FusedOp::None => x,
+        FusedOp::Bias => x + bias,
+        FusedOp::Relu => x.max(0.0),
+        FusedOp::BiasRelu => (x + bias).max(0.0),
+        FusedOp::Eltwise => x + elt,
+        FusedOp::EltwiseRelu => (x + elt).max(0.0),
+        FusedOp::BiasEltwise => (x + bias) + elt,
+        FusedOp::BiasEltwiseRelu => ((x + bias) + elt).max(0.0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apply_tile_matches_scalar_reference(
+        op_idx in 0usize..FusedOp::ALL.len(),
+        n in 1usize..3,
+        kb_total in 1usize..4,
+        h in 1usize..9,
+        w in 1usize..9,
+        pad in 0usize..3,
+        // tile anchor + extent, clamped to the tensor below
+        kb_pick in 0usize..4,
+        row0_pick in 0usize..9,
+        col0_pick in 0usize..9,
+        rows_pick in 1usize..9,
+        cols_pick in 1usize..9,
+        seed in 0u64..10_000,
+    ) {
+        let op = FusedOp::ALL[op_idx];
+        let kb = kb_pick % kb_total;
+        let row0 = row0_pick % h;
+        let col0 = col0_pick % w;
+        let rows = rows_pick.min(h - row0);
+        let cols = cols_pick.min(w - col0);
+        let n_pick = seed as usize % n;
+
+        let mut out = BlockedActs::random(n, kb_total * VLEN, h, w, pad, seed);
+        let residual = BlockedActs::random(n, kb_total * VLEN, h, w, pad, seed ^ 0xbeef);
+        let mut rng = SplitMix64::new(seed ^ 0x51ab);
+        let bias: Vec<f32> = (0..kb_total * VLEN).map(|_| rng.next_f32()).collect();
+        let before = out.clone();
+
+        let rec = ApplyRec {
+            out_off: out.pix_offset_logical(n_pick, kb, row0 as isize, col0 as isize) as u32,
+            kb: kb as u16,
+            rows: rows as u8,
+            cols: cols as u16,
+            row_stride: out.stride_h() as u32,
+        };
+        let ctx = FuseCtx {
+            bias: op.needs_bias().then_some(&bias[..]),
+            eltwise: op.needs_eltwise().then_some(&residual),
+        };
+        // SAFETY: the rec is built from the tensor's own layout and the
+        // residual shares its exact physical geometry.
+        unsafe { apply_tile(op, &rec, out.as_mut_ptr(), &ctx) };
+
+        // expected tensor: scalar model over the tile's coordinates,
+        // everything else (other blocks/samples, the physical padding
+        // border) untouched — compared bit-for-bit over the whole
+        // backing slice
+        let mut expected = before.clone();
+        for hi in row0..row0 + rows {
+            for wi in col0..col0 + cols {
+                for v in 0..VLEN {
+                    let c = kb * VLEN + v;
+                    let x = before.get(n_pick, c, hi, wi);
+                    let want = scalar_ref(op, x, bias[c], residual.get(n_pick, c, hi, wi));
+                    expected.set(n_pick, c, hi, wi, want);
+                }
+            }
+        }
+        let got: Vec<u32> = out.as_slice().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = expected.as_slice().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got, want, "{:?} tile at n={} kb={} ({},{})x({},{}) pad={}",
+            op, n_pick, kb, row0, col0, rows, cols, pad);
+    }
+}

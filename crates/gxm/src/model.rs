@@ -305,7 +305,7 @@ fn validate(
                 }
                 (*c, *h, *w)
             }
-            NodeSpec::Conv { bottom, k, r, s, stride, pad, bias, eltwise, .. } => {
+            NodeSpec::Conv { bottom, k, r, s, stride, pad, eltwise, .. } => {
                 let (_, h, w) = dim_of(bottom);
                 if *k == 0 || *r == 0 || *s == 0 || *stride == 0 {
                     return Err(shape_err(i, "k, r, s and stride must be >= 1".to_string()));
@@ -314,13 +314,6 @@ fn validate(
                     return Err(shape_err(
                         i,
                         format!("{r}x{s} filter does not fit {h}x{w} input with pad {pad}"),
-                    ));
-                }
-                if *bias && eltwise.is_some() {
-                    return Err(shape_err(
-                        i,
-                        "bias=1 combined with eltwise is unsupported (put bias/relu on a bn node)"
-                            .to_string(),
                     ));
                 }
                 // physically padded blobs must not be produced by a
@@ -529,14 +522,20 @@ mod tests {
     }
 
     #[test]
-    fn bias_plus_eltwise_is_rejected() {
-        let e = ModelSpec::parse(
+    fn bias_plus_eltwise_is_accepted() {
+        // the executor carries BiasEltwise/BiasEltwiseRelu fused-op
+        // variants, so a conv may combine a learned bias with a
+        // residual add (and a ReLU on top)
+        let spec = ModelSpec::parse(
             "input name=d c=16 h=8 w=8\nconv name=a bottom=d k=16\n\
-             conv name=b bottom=a k=16\nconv name=c bottom=b k=16 bias=1 eltwise=a\n\
+             conv name=b bottom=a k=16\nconv name=c bottom=b k=16 bias=1 eltwise=a relu=1\n\
              gap name=g bottom=c\nfc name=f bottom=g k=2\nsoftmaxloss name=l bottom=f\n",
         )
-        .unwrap_err();
-        assert!(e.to_string().contains("unsupported"), "{e}");
+        .unwrap();
+        assert!(spec
+            .nodes()
+            .iter()
+            .any(|n| matches!(n, NodeSpec::Conv { bias: true, eltwise: Some(_), .. })));
     }
 
     #[test]

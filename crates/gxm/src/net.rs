@@ -93,6 +93,26 @@ struct ConvTrainState {
     di_scratch: BlockedActs,
 }
 
+/// Inference-only folded-BN state of a convolution node: the weights
+/// with `gamma/sqrt(running_var+eps)` folded in and the per-channel
+/// bias `beta − gamma·running_mean/sqrt(running_var+eps)`. Re-derived
+/// by [`Network::refold`] from the raw conv weights and the target
+/// BN's parameters — which stay authoritative, so the state dict is
+/// unaffected and a `load_state_dict` transparently refreshes the
+/// fold.
+struct FoldedConv {
+    /// The BN node whose parameters fold into this convolution.
+    bn: usize,
+    /// Alias-resolved owner of the folded BN's residual blob, if any.
+    eltwise: Option<usize>,
+    /// Folded weights (raw weights × per-output-channel scale).
+    w: BlockedFilter,
+    /// Folded per-channel bias, padded to whole SIMD blocks (padding
+    /// lanes kept at 0 so the fused apply preserves the zero-lane
+    /// invariant).
+    bias: Vec<f32>,
+}
+
 #[allow(dead_code)]
 // eltwise indices / dims kept for introspection
 // One LayerState exists per network layer and they live in a Vec for
@@ -111,6 +131,9 @@ enum LayerState {
         /// `None` in inference mode — the zero-gradient-allocation
         /// invariant the serving path depends on.
         train: Option<ConvTrainState>,
+        /// `Some` when the inference fusion pass folded a BN into this
+        /// convolution (never in training mode).
+        folded: Option<Box<FoldedConv>>,
     },
     Bn {
         gamma: Param,
@@ -156,27 +179,57 @@ pub struct StepStats {
     pub top1: f32,
 }
 
+/// One `Conv → Bn (→ eltwise-add → ReLU)` subgraph the inference
+/// fusion pass rewrites into a single fused convolution: the BN's
+/// frozen statistics fold into the conv's weights and a per-channel
+/// bias, and the BN's residual add / ReLU ride along in the conv's
+/// cache-hot APPLY step.
+#[derive(Clone, Copy, Debug)]
+struct FoldSpec {
+    /// The BN node folded away (its parameters stay authoritative —
+    /// the folded weights re-derive from them on every state load).
+    bn: usize,
+    /// ReLU of the folded BN.
+    relu: bool,
+    /// Alias-resolved owner of the BN's residual blob, if any.
+    eltwise: Option<usize>,
+}
+
 /// Output of the plan phase: everything shape-dependent, including
 /// the (cached) convolution plans, but **no** tensor storage.
 struct GraphPlan {
     etg: Etg,
-    /// Alias resolution: node → node owning its output blob.
+    /// Alias resolution: node → node owning its output blob (Split
+    /// nodes alias their bottom; in inference mode, folded BN nodes
+    /// alias their producer convolution).
     alias: Vec<usize>,
     /// Inferred (c, h, w) per node.
     shapes: Vec<(usize, usize, usize)>,
-    /// Physical padding of each owner blob (max over conv consumers).
-    blob_pad: Vec<usize>,
+    /// Physical padding of each owner node's output blob (consumer
+    /// padding for non-conv producers, the folded BN's consumer
+    /// padding for fused convolutions, 0 otherwise).
+    opad: Vec<usize>,
     /// One shared plan per convolution node.
     conv_plans: Vec<Option<Arc<ConvLayer>>>,
+    /// Fusion rewrite per convolution node (inference mode only).
+    fold: Vec<Option<FoldSpec>>,
     input_node: usize,
     loss_node: usize,
     classes: usize,
 }
 
-/// Plan phase: compile the topology, infer geometry, and obtain every
-/// convolution plan through `cache` (one JIT + dryrun per *distinct*
-/// normalized layer, shared handles for repeats).
-fn plan_graph(nl: &[NodeSpec], minibatch: usize, threads: usize, cache: &PlanCache) -> GraphPlan {
+/// Plan phase: compile the topology, infer geometry, decide the
+/// inference BN folds, and obtain every convolution plan through
+/// `cache` (one JIT + dryrun per *distinct* normalized layer, shared
+/// handles for repeats).
+fn plan_graph(
+    nl: &[NodeSpec],
+    minibatch: usize,
+    threads: usize,
+    cache: &PlanCache,
+    mode: ExecMode,
+    fold_bn: bool,
+) -> GraphPlan {
     let etg = compile(nl);
     let nodes = &etg.eng.nodes;
     let index: HashMap<String, usize> =
@@ -247,6 +300,66 @@ fn plan_graph(nl: &[NodeSpec], minibatch: usize, threads: usize, cache: &PlanCac
         }
     }
 
+    // physical padding of each node's own output blob: convs, GAP and
+    // FC produce pad-0 tensors, the rest inherit the consumer padding
+    // (folds below lift a fused conv's pad to its BN's)
+    let mut opad: Vec<usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| match n {
+            NodeSpec::Conv { .. } | NodeSpec::GlobalAvgPool { .. } | NodeSpec::Fc { .. } => 0,
+            _ => blob_pad[i],
+        })
+        .collect();
+
+    // the inference fusion pass (Section II-G taken to its logical
+    // end): a BN whose bottom is a *pure* convolution it exclusively
+    // consumes folds into that convolution — frozen stats become
+    // folded weights + a per-channel bias, the BN's residual/ReLU ride
+    // in the conv's APPLY step, and the BN node aliases the conv's
+    // blob (its standalone full-tensor pass disappears). A fan-out
+    // conv is never folded: the NL extender routes shared blobs
+    // through a Split, so the BN's bottom is then not a Conv node.
+    let mut fold: Vec<Option<FoldSpec>> = vec![None; nodes.len()];
+    if mode == ExecMode::Inference && fold_bn {
+        for (j, n) in nodes.iter().enumerate() {
+            let NodeSpec::Bn { bottom, relu, eltwise, .. } = n else { continue };
+            let bi = index[bottom.as_str()];
+            let NodeSpec::Conv { bias, relu: conv_relu, eltwise: conv_elt, .. } = &nodes[bi] else {
+                continue;
+            };
+            // only a conv with no fused ops of its own can absorb the
+            // BN's affine + post-ops
+            if *bias || *conv_relu || conv_elt.is_some() {
+                continue;
+            }
+            if let Some(e) = eltwise {
+                let ro = alias[index[e.as_str()]];
+                // the residual must already exist when the *conv*
+                // executes (the fused apply reads it there, earlier
+                // than the BN's original schedule slot) and must share
+                // the merged blob's physical geometry
+                if ro >= bi || opad[ro] != blob_pad[j] {
+                    continue;
+                }
+            }
+            fold[bi] = Some(FoldSpec {
+                bn: j,
+                relu: *relu,
+                eltwise: eltwise.as_ref().map(|e| alias[index[e.as_str()]]),
+            });
+            // re-point the BN — and any Split already aliased to it —
+            // at the convolution's blob
+            for a in alias.iter_mut() {
+                if *a == j {
+                    *a = bi;
+                }
+            }
+            // the merged blob carries the BN's consumer padding
+            opad[bi] = blob_pad[j];
+        }
+    }
+
     // convolution plans through the cache (the JIT + dryrun phase)
     let mut conv_plans: Vec<Option<Arc<ConvLayer>>> = Vec::with_capacity(nodes.len());
     let mut input_node = usize::MAX;
@@ -264,34 +377,42 @@ fn plan_graph(nl: &[NodeSpec], minibatch: usize, threads: usize, cache: &PlanCac
                 None
             }
             NodeSpec::Conv { bottom, k, r, s, stride, pad, bias, relu, eltwise, .. } => {
-                // no fused-op variant applies bias together with a
-                // residual add — reject rather than silently drop the
-                // bias (real graphs put bias/relu on the BN nodes)
-                assert!(
-                    !(*bias && eltwise.is_some()),
-                    "conv '{}': bias=1 combined with eltwise is unsupported",
-                    n.name()
-                );
                 let bi = alias[index[bottom.as_str()]];
                 let (bc, bh, bw) = shapes[bi];
                 let shape =
                     tensor::ConvShape::new(minibatch, bc, *k, bh, bw, *r, *s, *stride, *pad);
-                let fuse = match (bias, relu, eltwise.is_some()) {
-                    (true, true, false) => FusedOp::BiasRelu,
-                    (true, false, false) => FusedOp::Bias,
-                    (false, true, false) => FusedOp::Relu,
-                    (false, false, true) => FusedOp::Eltwise,
-                    (false, true, true) => FusedOp::EltwiseRelu,
-                    (true, _, true) => unreachable!("rejected above"),
-                    (false, false, false) => FusedOp::None,
+                let fuse = if let Some(f) = fold[i] {
+                    // a folded BN always contributes its bias shift;
+                    // its residual add / ReLU complete the variant
+                    match (f.relu, f.eltwise.is_some()) {
+                        (false, false) => FusedOp::Bias,
+                        (true, false) => FusedOp::BiasRelu,
+                        (false, true) => FusedOp::BiasEltwise,
+                        (true, true) => FusedOp::BiasEltwiseRelu,
+                    }
+                } else {
+                    match (bias, relu, eltwise.is_some()) {
+                        (true, false, false) => FusedOp::Bias,
+                        (false, true, false) => FusedOp::Relu,
+                        (true, true, false) => FusedOp::BiasRelu,
+                        (false, false, true) => FusedOp::Eltwise,
+                        (false, true, true) => FusedOp::EltwiseRelu,
+                        (true, false, true) => FusedOp::BiasEltwise,
+                        (true, true, true) => FusedOp::BiasEltwiseRelu,
+                        (false, false, false) => FusedOp::None,
+                    }
                 };
                 Some(
                     cache.get_or_build(
                         shape,
                         LayerOptions::new(threads)
                             .with_fuse(fuse)
-                            .with_input_pad(blob_pad[bi])
-                            .with_dout_pad(0),
+                            // the *physical* padding of the input blob
+                            // (for a folded producer, the merged blob
+                            // carries its BN's consumer padding)
+                            .with_input_pad(opad[bi])
+                            .with_dout_pad(0)
+                            .with_out_pad(opad[i]),
                     ),
                 )
             }
@@ -301,18 +422,13 @@ fn plan_graph(nl: &[NodeSpec], minibatch: usize, threads: usize, cache: &PlanCac
     }
     assert!(input_node != usize::MAX, "topology has no input node");
     assert!(loss_node != usize::MAX, "topology has no softmaxloss node");
-    GraphPlan { etg, alias, shapes, blob_pad, conv_plans, input_node, loss_node, classes }
+    GraphPlan { etg, alias, shapes, opad, conv_plans, fold, input_node, loss_node, classes }
 }
 
 impl GraphPlan {
-    /// Physical padding of node `i`'s own output blob (convs, GAP and
-    /// FC always produce pad-0 tensors; the rest inherit the inferred
-    /// consumer padding).
+    /// Physical padding of node `i`'s own output blob.
     fn out_pad(&self, i: usize) -> usize {
-        match self.etg.eng.nodes[i] {
-            NodeSpec::Conv { .. } | NodeSpec::GlobalAvgPool { .. } | NodeSpec::Fc { .. } => 0,
-            _ => self.blob_pad[i],
-        }
+        self.opad[i]
     }
 
     /// Whether node `i` owns an activation blob (Splits alias their
@@ -438,6 +554,14 @@ impl Network {
     /// Full-control build: a shared thread pool, an execution mode and
     /// a shared [`PlanCache`]. Serving stacks pass one pool + cache to
     /// every network they build so repeated layer shapes JIT once.
+    ///
+    /// In [`ExecMode::Inference`] the plan phase runs the BN fusion
+    /// pass: every `Conv → Bn (→ eltwise-add → ReLU)` subgraph
+    /// executes as one fused convolution with the BN's frozen
+    /// statistics folded into weights and bias (see
+    /// [`Self::folded_bn_count`]); BN nodes that cannot fold still
+    /// normalize with frozen running statistics, so bn-graph forwards
+    /// are batch-composition-independent either way.
     pub fn build_with(
         spec: &ModelSpec,
         minibatch: usize,
@@ -445,11 +569,26 @@ impl Network {
         mode: ExecMode,
         cache: &PlanCache,
     ) -> Result<Self, Error> {
+        Self::build_with_fold(spec, minibatch, pool, mode, cache, true)
+    }
+
+    /// [`Self::build_with`] with the inference BN fusion pass made
+    /// explicit: `fold_bn = false` keeps every BN a standalone
+    /// frozen-stats pass — the unfused reference the fused executor is
+    /// benchmarked and tested against. Ignored in training mode.
+    pub fn build_with_fold(
+        spec: &ModelSpec,
+        minibatch: usize,
+        pool: Arc<ThreadPool>,
+        mode: ExecMode,
+        cache: &PlanCache,
+        fold_bn: bool,
+    ) -> Result<Self, Error> {
         if minibatch == 0 {
             return Err(Error::BadInput("minibatch must be >= 1".to_string()));
         }
         let threads = pool.nthreads();
-        let plan = plan_graph(spec.nodes(), minibatch, threads, cache);
+        let plan = plan_graph(spec.nodes(), minibatch, threads, cache, mode, fold_bn);
         Ok(Self::allocate(plan, minibatch, pool, mode, spec.seed()))
     }
 
@@ -513,6 +652,14 @@ impl Network {
                         dout_masked: layer.new_output(),
                         di_scratch: layer.new_input(),
                     });
+                    let folded = plan.fold[i].map(|f| {
+                        Box::new(FoldedConv {
+                            bn: f.bn,
+                            eltwise: f.eltwise,
+                            w: BlockedFilter::zeros(*k, bc, *r, *s),
+                            bias: vec![0.0; k.next_multiple_of(VLEN)],
+                        })
+                    });
                     LayerState::Conv {
                         layer,
                         w: wt,
@@ -520,6 +667,7 @@ impl Network {
                         relu: *relu,
                         eltwise: eltwise.as_ref().map(|e| plan.alias[index_of(e.as_str())]),
                         train,
+                        folded,
                     }
                 }
                 NodeSpec::Bn { relu, eltwise, .. } => {
@@ -564,7 +712,7 @@ impl Network {
             layers.push(state);
         }
         let input_dims = plan.shapes[plan.alias[plan.input_node]];
-        Self {
+        let mut net = Self {
             pool,
             etg: plan.etg,
             mode,
@@ -579,6 +727,48 @@ impl Network {
             minibatch,
             classes: plan.classes,
             labels: Vec::new(),
+        };
+        // derive the folded weights/biases from the freshly
+        // initialized parameters (no-op without folds)
+        net.refold();
+        net
+    }
+
+    /// Re-derive every folded convolution's weights and bias from the
+    /// current raw conv weights and BN parameters (frozen running
+    /// statistics). Called after allocation and after every
+    /// [`Self::load_state_dict`], so the fused plans always execute
+    /// the parameters the state dict holds.
+    fn refold(&mut self) {
+        for i in 0..self.layers.len() {
+            let bn = match &self.layers[i] {
+                LayerState::Conv { folded: Some(f), .. } => f.bn,
+                _ => continue,
+            };
+            let (gamma, beta, mean, var) = match &self.layers[bn] {
+                LayerState::Bn { gamma, beta, running_mean, running_var, .. } => {
+                    (gamma.w.clone(), beta.w.clone(), running_mean.clone(), running_var.clone())
+                }
+                _ => unreachable!("folds target bn nodes"),
+            };
+            if let LayerState::Conv { w, folded: Some(f), .. } = &mut self.layers[i] {
+                let kpad = f.bias.len();
+                let mut scale = vec![0.0f32; kpad];
+                for k in 0..kpad {
+                    scale[k] = gamma[k] / (var[k] + BN_EPS).sqrt();
+                    // padding lanes stay exactly 0 (canonical gamma=1,
+                    // var=1, beta=mean=0 would give 0 anyway, but the
+                    // zero-lane invariant deserves no rounding risk)
+                    f.bias[k] = if k < w.k { beta[k] - mean[k] * scale[k] } else { 0.0 };
+                }
+                // blocked filter layout [Kb][Cb][R][S][c][k]: the
+                // output channel of element `idx` is
+                // (idx / stride_kb)·VLEN + idx % VLEN
+                let stride_kb = w.stride_kb();
+                for (idx, dst) in f.w.as_mut_slice().iter_mut().enumerate() {
+                    *dst = w.as_slice()[idx] * scale[(idx / stride_kb) * VLEN + idx % VLEN];
+                }
+            }
         }
     }
 
@@ -782,31 +972,50 @@ impl Network {
             NodeSpec::Input { .. } | NodeSpec::Split { .. } => None,
             NodeSpec::Conv { bottom: _, .. } => {
                 let bots = self.bottoms_of(node);
+                let bot_owner = self.alias[bots[0]];
                 let bot = self.take_blob(bots[0]);
                 let mut own = self.take_blob(node);
-                // eltwise residual (if any) is the second bottom
-                let res = if bots.len() > 1 && self.alias[bots[1]] != self.alias[bots[0]] {
-                    Some(self.take_blob(bots[1]))
-                } else {
-                    None
+                // eltwise residual: the conv's own second bottom, or —
+                // for a folded BN — the BN's residual, read here while
+                // the output tile is still cache-hot
+                let res_owner = match &self.layers[node] {
+                    LayerState::Conv { folded: Some(f), .. } => f.eltwise,
+                    _ => (bots.len() > 1).then(|| self.alias[bots[1]]),
                 };
-                if let LayerState::Conv { layer, w, bias, .. } = &self.layers[node] {
-                    let ctx = conv::fuse::FuseCtx {
-                        bias: bias.as_ref().map(|b| &b.w[..]),
-                        eltwise: res.as_ref().map(|b| &b.act),
+                let res_is_bot = res_owner == Some(bot_owner);
+                let res = match res_owner {
+                    Some(ro) if !res_is_bot => Some((ro, self.take_blob(ro))),
+                    _ => None,
+                };
+                if let LayerState::Conv { layer, w, bias, folded, .. } = &self.layers[node] {
+                    let eltwise =
+                        if res_is_bot { Some(&bot.act) } else { res.as_ref().map(|(_, b)| &b.act) };
+                    let (weights, ctx) = match folded {
+                        Some(f) => (&f.w, conv::fuse::FuseCtx { bias: Some(&f.bias[..]), eltwise }),
+                        None => (
+                            w,
+                            conv::fuse::FuseCtx { bias: bias.as_ref().map(|b| &b.w[..]), eltwise },
+                        ),
                     };
-                    layer.forward(&self.pool, &bot.act, w, &mut own.act, &ctx);
+                    layer.forward(&self.pool, &bot.act, weights, &mut own.act, &ctx);
                 } else {
                     unreachable!()
                 }
-                if let Some(r) = res {
-                    self.put_blob(self.bottoms_of(node)[1], r);
+                if let Some((ro, r)) = res {
+                    self.put_blob(ro, r);
                 }
                 self.put_blob(self.bottoms_of(node)[0], bot);
                 self.put_blob(node, own);
                 None
             }
             NodeSpec::Bn { .. } => {
+                // a BN folded into its producer convolution already
+                // executed inside the conv's fused APPLY step — its
+                // schedule slot is a no-op (the node aliases the
+                // conv's blob)
+                if self.alias[node] != node {
+                    return None;
+                }
                 let bots = self.bottoms_of(node);
                 let bot = self.take_blob(bots[0]);
                 let mut own = self.take_blob(node);
@@ -820,28 +1029,44 @@ impl Network {
                     gamma, beta, saved, running_mean, running_var, relu, ..
                 } = &mut self.layers[node]
                 {
-                    ops::bn_fwd(
-                        &self.pool,
-                        &bot.act,
-                        &gamma.w,
-                        &beta.w,
-                        BN_EPS,
-                        *relu,
-                        res.as_ref().map(|b| &b.act),
-                        &mut own.act,
-                        saved,
-                    );
-                    // accumulate the running statistics every
-                    // training-mode forward (the EMA a frozen-stats
-                    // inference path will consume; batch statistics
-                    // still drive this PR's forward in both modes)
                     if training {
+                        ops::bn_fwd(
+                            &self.pool,
+                            &bot.act,
+                            &gamma.w,
+                            &beta.w,
+                            BN_EPS,
+                            *relu,
+                            res.as_ref().map(|b| &b.act),
+                            &mut own.act,
+                            saved,
+                        );
+                        // accumulate the running statistics every
+                        // training-mode forward — the EMAs the
+                        // frozen-stats inference paths consume
                         for c in 0..running_mean.len() {
                             running_mean[c] =
                                 (1.0 - BN_MOMENTUM) * running_mean[c] + BN_MOMENTUM * saved.mean[c];
                             running_var[c] =
                                 (1.0 - BN_MOMENTUM) * running_var[c] + BN_MOMENTUM * saved.var[c];
                         }
+                    } else {
+                        // inference: frozen running statistics — the
+                        // output of each sample no longer depends on
+                        // its co-batched neighbours (a BN the fusion
+                        // pass could not fold still serves correctly)
+                        ops::bn_infer_fwd(
+                            &self.pool,
+                            &bot.act,
+                            &gamma.w,
+                            &beta.w,
+                            running_mean,
+                            running_var,
+                            BN_EPS,
+                            *relu,
+                            res.as_ref().map(|b| &b.act),
+                            &mut own.act,
+                        );
                     }
                 } else {
                     unreachable!()
@@ -1054,7 +1279,7 @@ impl Network {
                 } else {
                     None
                 };
-                if let LayerState::Conv { layer, w, bias, relu, eltwise, train } =
+                if let LayerState::Conv { layer, w, bias, relu, eltwise, train, .. } =
                     &mut self.layers[node]
                 {
                     let ts = train.as_mut().expect("backward requires training-mode state");
@@ -1354,7 +1579,23 @@ impl Network {
                 _ => {}
             }
         }
+        // the imported conv weights / BN parameters invalidate every
+        // folded convolution — re-derive (no-op without folds)
+        self.refold();
         Ok(())
+    }
+
+    /// Number of BN nodes in the compiled graph.
+    pub fn bn_node_count(&self) -> usize {
+        self.layers.iter().filter(|l| matches!(l, LayerState::Bn { .. })).count()
+    }
+
+    /// Number of BN nodes the inference fusion pass folded into their
+    /// producer convolution (0 in training mode or with folding
+    /// disabled). `folded_bn_count / bn_node_count` is the fused-node
+    /// coverage the inference benchmark reports.
+    pub fn folded_bn_count(&self) -> usize {
+        self.layers.iter().filter(|l| matches!(l, LayerState::Conv { folded: Some(_), .. })).count()
     }
 }
 
@@ -1559,11 +1800,10 @@ mod tests {
         assert_eq!(cache.misses(), 1, "identical chain convs must share one plan");
     }
 
-    #[test]
-    fn inference_residual_network_matches_training() {
-        // eltwise fan-out through a split: liveness must keep the
-        // residual blob alive until its consumer
-        let nl = parse_topology(
+    /// The mini-ResNet block every bn-fold feature test uses: a pure
+    /// conv → bn chain with a residual join through a split.
+    fn residual_bn_spec() -> ModelSpec {
+        parse_topology(
             "input name=data c=16 h=8 w=8\n\
              conv name=c0 bottom=data k=16\n\
              bn name=b0 bottom=c0 relu=1\n\
@@ -1575,29 +1815,174 @@ mod tests {
              fc name=logits bottom=g k=16\n\
              softmaxloss name=loss bottom=logits\n",
         )
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn inference_folds_bn_into_conv_and_matches_unfused_frozen_reference() {
+        // the fused executor (conv + folded BN + residual + ReLU in
+        // one APPLY) against the unfused frozen-stats reference
+        // forward — same weights, same running statistics, so the two
+        // may differ only by fold-rounding
+        let nl = residual_bn_spec();
         let cache = PlanCache::new();
         let pool = Arc::new(ThreadPool::new(3));
+        // train a few steps so the running statistics are non-trivial
         let mut train =
             Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
-        let mut infer =
-            Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
         let mut rng = SplitMix64::new(11);
         let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
         rng.fill_f32(&mut input);
         let labels = vec![0usize, 1, 2, 3];
-        train.set_labels(&labels);
-        infer.set_labels(&labels);
-        // fill ONCE, forward repeatedly: the pinned input slot must
-        // keep the batch intact across recycled-buffer forwards
-        train.input_mut().as_mut_slice().copy_from_slice(&input);
-        infer.input_mut().as_mut_slice().copy_from_slice(&input);
-        for step in 0..3 {
-            let st = train.forward();
-            let si = infer.forward();
-            assert_eq!(st.loss, si.loss, "step {step}");
-            assert_eq!(train.probabilities(), infer.probabilities(), "step {step}");
+        for _ in 0..3 {
+            train.input_mut().as_mut_slice().copy_from_slice(&input);
+            train.train_step(&labels, 0.05, 0.9);
         }
+        let sd = train.state_dict();
+
+        let mut fused =
+            Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
+        let mut unfused =
+            Network::build_with_fold(&nl, 4, Arc::clone(&pool), ExecMode::Inference, &cache, false)
+                .unwrap();
+        // b0/b1 fold; b2's residual (b0's blob) carries physical pad 1
+        // for the 3×3 conv c1 while b2's own output is pad-0, so the
+        // geometry gate keeps b2 a standalone frozen-stats pass — the
+        // graph exercises folded and unfolded BNs side by side
+        assert_eq!(fused.bn_node_count(), 3);
+        assert_eq!(fused.folded_bn_count(), 2, "b0 and b1 fold, b2 stays standalone");
+        assert_eq!(unfused.folded_bn_count(), 0);
+        fused.load_state_dict(&sd).unwrap();
+        unfused.load_state_dict(&sd).unwrap();
+
+        fused.set_labels(&labels);
+        unfused.set_labels(&labels);
+        fused.input_mut().as_mut_slice().copy_from_slice(&input);
+        unfused.input_mut().as_mut_slice().copy_from_slice(&input);
+        for step in 0..3 {
+            let sf = fused.forward();
+            let su = unfused.forward();
+            assert!(
+                (sf.loss - su.loss).abs() <= 1e-4 * su.loss.abs().max(1.0),
+                "step {step}: fused loss {} vs unfused {}",
+                sf.loss,
+                su.loss
+            );
+            assert_eq!(sf.top1, su.top1, "step {step}");
+            let n = tensor::Norms::compare(unfused.probabilities(), fused.probabilities());
+            assert!(n.ok(1e-4), "step {step}: fused vs unfused frozen reference: {n}");
+        }
+    }
+
+    #[test]
+    fn residual_join_folds_to_bias_eltwise_relu_when_geometry_matches() {
+        // a 1×1 bottleneck chain: every blob is pad-0, so the join BN
+        // folds too (the BiasEltwiseRelu variant) and the whole graph
+        // runs without a single standalone BN pass
+        let nl = parse_topology(
+            "input name=data c=16 h=8 w=8\n\
+             conv name=c0 bottom=data k=16\n\
+             bn name=b0 bottom=c0 relu=1\n\
+             conv name=c1 bottom=b0 k=16\n\
+             bn name=b1 bottom=c1 relu=1\n\
+             conv name=c2 bottom=b1 k=16\n\
+             bn name=b2 bottom=c2 eltwise=b0 relu=1\n\
+             gap name=g bottom=b2\n\
+             fc name=logits bottom=g k=16\n\
+             softmaxloss name=loss bottom=logits\n",
+        )
+        .unwrap();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(2));
+        let mut train =
+            Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
+        let mut rng = SplitMix64::new(29);
+        let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
+        rng.fill_f32(&mut input);
+        for _ in 0..2 {
+            train.input_mut().as_mut_slice().copy_from_slice(&input);
+            train.train_step(&[0, 1], 0.05, 0.9);
+        }
+        let sd = train.state_dict();
+
+        let mut fused =
+            Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
+        let mut unfused =
+            Network::build_with_fold(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache, false)
+                .unwrap();
+        assert_eq!(fused.folded_bn_count(), 3, "all BNs fold, including the residual join");
+        // the fused-plan flavour is observable through the cache
+        let stats = cache.stats();
+        assert!(
+            stats.for_op(conv::FusedOp::BiasEltwiseRelu).misses >= 1,
+            "the join must have built a BiasEltwiseRelu plan: {stats:?}"
+        );
+        fused.load_state_dict(&sd).unwrap();
+        unfused.load_state_dict(&sd).unwrap();
+        fused.input_mut().as_mut_slice().copy_from_slice(&input);
+        unfused.input_mut().as_mut_slice().copy_from_slice(&input);
+        fused.set_labels(&[0, 1]);
+        unfused.set_labels(&[0, 1]);
+        let sf = fused.forward();
+        let su = unfused.forward();
+        assert_eq!(sf.top1, su.top1);
+        let n = tensor::Norms::compare(unfused.probabilities(), fused.probabilities());
+        assert!(n.ok(1e-4), "fused join vs unfused frozen reference: {n}");
+    }
+
+    #[test]
+    fn training_forward_is_untouched_by_the_fusion_pass() {
+        // training mode keeps batch statistics and standalone BN
+        // passes: two training nets (one built alongside an inference
+        // net, one alone) agree bit-for-bit
+        let nl = residual_bn_spec();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(2));
+        let mut a =
+            Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
+        let _infer =
+            Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
+        let mut b =
+            Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
+        assert_eq!(a.folded_bn_count(), 0, "training mode never folds");
+        let mut rng = SplitMix64::new(13);
+        let mut input = vec![0.0f32; a.input_mut().as_slice().len()];
+        rng.fill_f32(&mut input);
+        a.input_mut().as_mut_slice().copy_from_slice(&input);
+        b.input_mut().as_mut_slice().copy_from_slice(&input);
+        let labels = vec![0usize, 1];
+        a.set_labels(&labels);
+        b.set_labels(&labels);
+        let sa = a.forward();
+        let sb = b.forward();
+        assert_eq!(sa.loss, sb.loss);
+        assert_eq!(a.probabilities(), b.probabilities());
+    }
+
+    #[test]
+    fn bn_graph_inference_is_batch_composition_independent() {
+        // the ROADMAP item this PR closes: serving a bn-graph sample
+        // must give identical bits whether it shares the batch with
+        // zeros or with other live samples
+        let nl = residual_bn_spec();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(2));
+        let mut infer =
+            Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
+        let (c, h, w) = infer.input_dims();
+        let mut rng = SplitMix64::new(17);
+        let mut samples = vec![0.0f32; 4 * c * h * w];
+        rng.fill_f32(&mut samples);
+        // full batch
+        infer.load_input_nchw(&samples, 4);
+        infer.forward();
+        let kpad = infer.probabilities().len() / 4;
+        let full_row0 = infer.probabilities()[..kpad].to_vec();
+        // sample 0 alone, rest of the batch zero-padded
+        infer.load_input_nchw(&samples[..c * h * w], 1);
+        infer.forward();
+        let alone_row0 = infer.probabilities()[..kpad].to_vec();
+        assert_eq!(full_row0, alone_row0, "frozen stats must decouple co-batched samples");
     }
 
     #[test]

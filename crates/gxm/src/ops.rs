@@ -336,6 +336,73 @@ pub fn bn_fwd(
     });
 }
 
+/// Batch normalization forward with *frozen* statistics (inference
+/// semantics): `y = gamma·(x−running_mean)/sqrt(running_var+eps) +
+/// beta`, optional residual add and ReLU. No statistic is computed
+/// from the live batch, so every sample's output is independent of
+/// its co-batched neighbours — the property batch-composition-free
+/// serving depends on. Used for the BN nodes the inference fusion
+/// pass could *not* fold into their producer convolution.
+#[allow(clippy::too_many_arguments)]
+pub fn bn_infer_fwd(
+    pool: &ThreadPool,
+    x: &BlockedActs,
+    gamma: &[f32],
+    beta: &[f32],
+    running_mean: &[f32],
+    running_var: &[f32],
+    eps: f32,
+    relu: bool,
+    residual: Option<&BlockedActs>,
+    y: &mut BlockedActs,
+) {
+    let cpad = x.cb * VLEN;
+    assert!(gamma.len() >= cpad && beta.len() >= cpad);
+    assert!(running_mean.len() >= cpad && running_var.len() >= cpad);
+    assert_eq!((y.n, y.c, y.h, y.w), (x.n, x.c, x.h, x.w));
+    if let Some(res) = residual {
+        assert_eq!((res.n, res.c, res.h, res.w), (x.n, x.c, x.h, x.w));
+    }
+    // fold the frozen statistics into one affine per channel; padded
+    // lanes resolve to scale·0 + 0 = 0 under canonical parameter
+    // padding (gamma 1, beta 0, mean 0, var 1)
+    let mut scale = vec![0.0f32; cpad];
+    let mut shift = vec![0.0f32; cpad];
+    for c in 0..cpad {
+        scale[c] = gamma[c] / (running_var[c] + eps).sqrt();
+        shift[c] = beta[c] - running_mean[c] * scale[c];
+    }
+    let slots = x.n * x.cb;
+    let yptr = SendMut(y.as_mut_ptr());
+    let yy: &BlockedActs = y;
+    let (scale, shift) = (&scale, &shift);
+    pool.run(|ctx| {
+        for slot in ctx.chunk(slots) {
+            let (n, cb) = (slot / x.cb, slot % x.cb);
+            for h in 0..x.h {
+                let off = x.pix_offset_logical(n, cb, h as isize, 0);
+                let yoff = yy.pix_offset_logical(n, cb, h as isize, 0);
+                let roff = residual.map(|r| r.pix_offset_logical(n, cb, h as isize, 0));
+                for w in 0..x.w {
+                    for v in 0..VLEN {
+                        let c = cb * VLEN + v;
+                        let xv = x.as_slice()[off + w * VLEN + v];
+                        let mut yv = scale[c] * xv + shift[c];
+                        if let (Some(res), Some(ro)) = (residual, roff) {
+                            yv += res.as_slice()[ro + w * VLEN + v];
+                        }
+                        if relu {
+                            yv = yv.max(0.0);
+                        }
+                        // SAFETY: disjoint slots.
+                        unsafe { *yptr.get().add(yoff + w * VLEN + v) = yv };
+                    }
+                }
+            }
+        }
+    });
+}
+
 /// Batch normalization backward (with the fused-ReLU mask applied to
 /// the incoming gradient when `relu` was fused forward).
 #[allow(clippy::too_many_arguments)]

@@ -256,6 +256,20 @@ impl Emitter {
         self.imm32(i32::try_from(rel).expect("loop body too large"));
     }
 
+    /// `vzeroupper` — zero the upper bits of every vector register.
+    ///
+    /// The System V ABI expects the upper YMM/ZMM state clean at call
+    /// boundaries: returning from EVEX code without it puts the core
+    /// in a dirty-upper state in which every legacy-SSE instruction
+    /// the *caller* executes (all baseline-target Rust float code,
+    /// e.g. the fused-operator APPLY loops) pays a transition merge
+    /// penalty. One-cycle instruction, mandatory epilogue.
+    pub fn vzeroupper(&mut self) {
+        self.byte(0xC5);
+        self.byte(0xF8);
+        self.byte(0x77);
+    }
+
     /// `ret`.
     pub fn ret(&mut self) {
         self.byte(0xC3);

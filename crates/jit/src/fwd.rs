@@ -140,6 +140,7 @@ pub fn assemble_fwd(sh: &KernelShape) -> Vec<u8> {
             e.vmovups_store(acc, Gpr::Rdx, elem4(sh.out_off(p, q)));
         }
     }
+    e.vzeroupper();
     e.ret();
     debug_assert!(nacc <= 28);
     e.finish()

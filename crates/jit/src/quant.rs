@@ -96,6 +96,7 @@ pub fn assemble_quant(sh: &KernelShape) -> Vec<u8> {
             e.vmovdqu32_store(acc, Gpr::Rdx, elem_i32(sh.out_off(p, q)));
         }
     }
+    e.vzeroupper();
     e.ret();
     e.finish()
 }

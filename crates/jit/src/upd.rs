@@ -62,6 +62,7 @@ pub fn assemble_upd(sh: &UpdShape) -> Vec<u8> {
     for c in 0..VLEN {
         e.vmovups_store(c as u8, Gpr::Rdx, elem4(c * VLEN));
     }
+    e.vzeroupper();
     e.ret();
     e.finish()
 }

@@ -2,12 +2,17 @@
 //!
 //! 1. build a ResNet-50 (reduced resolution) through the typed
 //!    `ModelSpec` API with an explicit weight-init seed,
-//! 2. train it for a few SGD steps on synthetic data,
+//! 2. train it for a few SGD steps on synthetic data and calibrate
+//!    the BN running statistics (training-mode forwards accumulate
+//!    the EMAs the frozen-stats serving path consumes),
 //! 3. export the trained parameters (plus BN running statistics) as a
 //!    `StateDict` and save them to a versioned binary file,
 //! 4. reload the file into a forward-only `InferenceSession` *and* a
-//!    batching frontend, and verify the served outputs are
-//!    **bit-identical** to the in-memory trained network's forward.
+//!    batching frontend: the inference executor folds every BN into
+//!    its producer convolution, the fused outputs track the unfused
+//!    frozen-stats reference, and — because frozen statistics make
+//!    bn-graph predictions batch-composition-independent — a lone
+//!    sample reproduces its whole-batch bits exactly.
 //!
 //! ```sh
 //! cargo run --release --example save_load_serve -- [--hw 32] [--steps 2] [--out model.anat]
@@ -57,52 +62,68 @@ fn main() {
     }
 
     // 3. export + save
+    // calibrate the BN running statistics to the trained weights:
+    // training-mode forwards accumulate the EMAs without SGD, so the
+    // frozen-stats serving path normalizes with statistics that
+    // describe the weights actually being served
+    for _ in 0..10 {
+        data.next_batch(net.input_mut());
+        net.forward();
+    }
     let sd = net.state_dict();
     sd.save(&out).expect("state dict saves");
     let bytes = std::fs::metadata(&out).expect("saved file exists").len();
     println!("saved {} tensors ({} values, {bytes} bytes) to {out}", sd.len(), sd.value_count());
 
-    // the trained network's reference forward on one more batch
-    let labels = data.next_batch(net.input_mut());
-    net.set_labels(&labels);
-    net.forward();
     let (c, h, w) = net.input_dims();
     let probe: Vec<f32> = {
-        let acts = net.input_mut();
-        let mut v = Vec::with_capacity(minibatch * c * h * w);
-        for n in 0..minibatch {
-            for ci in 0..c {
-                for hi in 0..h {
-                    for wi in 0..w {
-                        v.push(acts.get(n, ci, hi, wi));
-                    }
-                }
-            }
-        }
+        let mut rng = anatomy::tensor::rng::SplitMix64::new(404);
+        let mut v = vec![0.0f32; minibatch * c * h * w];
+        rng.fill_f32(&mut v);
         v
     };
-    let padded = net.probabilities();
-    let kpad = padded.len() / minibatch;
-    let want: Vec<f32> =
-        (0..minibatch).flat_map(|n| padded[n * kpad..n * kpad + classes].to_vec()).collect();
 
-    // 4a. reload into a forward-only session
+    // 4a. reload into a forward-only session — the inference executor
+    // folds every BN's frozen statistics into its producer conv
     let reloaded = StateDict::load(&out).expect("state dict loads");
     let mut session = InferenceSession::new(&model, minibatch, threads).expect("valid model");
     session.load_state_dict(&reloaded).expect("dict matches the model");
+    let netref = session.network();
+    println!(
+        "BN fusion: {}/{} bn nodes folded into their convs",
+        netref.folded_bn_count(),
+        netref.bn_node_count()
+    );
     let served = session.run(&probe).expect("probe batch sized to the session");
-    assert_eq!(served.probs, want, "served forward must be bit-identical to training");
-    println!("InferenceSession: bit-exact OK (top-1 {:?})", served.top1);
 
-    // 4b. and through the batching frontend (whole-batch request, so
-    // BN batch statistics match the direct run exactly)
+    // the fused executor tracks the unfused frozen-stats reference
+    let mut reference =
+        InferenceSession::new_unfused(&model, minibatch, threads).expect("valid model");
+    reference.load_state_dict(&reloaded).expect("dict matches the model");
+    let want = reference.run(&probe).expect("probe batch sized to the session");
+    assert_eq!(served.top1, want.top1, "fused and unfused frozen-stats top-1 must agree");
+    let norms = anatomy::tensor::Norms::compare(&want.probs, &served.probs);
+    assert!(norms.ok(1e-4), "fused vs unfused frozen-stats reference: {norms}");
+    println!("InferenceSession: frozen-stats parity OK (top-1 {:?})", served.top1);
+
+    // 4b. and through the batching frontend: frozen statistics make
+    // bn-graph predictions batch-composition-independent, so even the
+    // samples of this request served one by one (each padded into its
+    // own partial batch) reproduce the whole-batch bits
     let cfg = ServeConfig::new(1, threads, minibatch)
         .with_max_wait(Duration::from_millis(1))
         .with_pinning(false);
     let frontend = BatchingFrontend::with_weights(&model, cfg, &reloaded).expect("valid model");
     let out2 = frontend.infer(&probe).expect("pipeline alive");
-    assert_eq!(out2.probs, want, "frontend must serve the same trained weights");
+    assert_eq!(out2.probs, served.probs, "frontend must serve the same trained weights");
+    let sample = c * h * w;
+    let lone = frontend.infer(&probe[..sample]).expect("pipeline alive");
+    assert_eq!(
+        lone.probs,
+        served.probs[..frontend.classes()],
+        "a lone sample must reproduce its whole-batch bits (frozen stats)"
+    );
     frontend.shutdown();
-    println!("BatchingFrontend: bit-exact OK");
+    println!("BatchingFrontend: bit-exact OK (batch-composition-independent)");
     println!("train -> save -> load -> serve round trip complete");
 }

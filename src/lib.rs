@@ -113,6 +113,13 @@ pub struct InferenceSession {
 
 impl InferenceSession {
     /// Build a session with a private pool and cache.
+    ///
+    /// The served network runs the inference BN fusion pass: every
+    /// `Conv → Bn (→ eltwise-add → ReLU)` subgraph executes as one
+    /// fused convolution with the BN's frozen running statistics
+    /// folded into weights and bias, and any BN that cannot fold
+    /// still normalizes with frozen statistics — so bn-graph
+    /// predictions are independent of batch composition.
     pub fn new(model: impl IntoModelSpec, minibatch: usize, threads: usize) -> Result<Self, Error> {
         if threads == 0 {
             return Err(Error::BadInput("threads must be >= 1".to_string()));
@@ -125,6 +132,28 @@ impl InferenceSession {
         )
     }
 
+    /// Build a session with the BN fusion pass *disabled*: every BN
+    /// runs as a standalone frozen-stats pass. Same predictions as
+    /// [`Self::new`] up to fold-rounding — this is the unfused
+    /// reference the fused executor is benchmarked and tested
+    /// against, not a serving configuration.
+    pub fn new_unfused(
+        model: impl IntoModelSpec,
+        minibatch: usize,
+        threads: usize,
+    ) -> Result<Self, Error> {
+        if threads == 0 {
+            return Err(Error::BadInput("threads must be >= 1".to_string()));
+        }
+        Self::build(
+            model,
+            minibatch,
+            Arc::new(parallel::ThreadPool::new(threads)),
+            conv::PlanCache::new(),
+            false,
+        )
+    }
+
     /// Build a session sharing `pool` and `cache` with other sessions
     /// (the cache dedupes JIT + dryrun work across all of them).
     pub fn with_shared(
@@ -133,13 +162,24 @@ impl InferenceSession {
         pool: Arc<parallel::ThreadPool>,
         cache: conv::PlanCache,
     ) -> Result<Self, Error> {
+        Self::build(model, minibatch, pool, cache, true)
+    }
+
+    fn build(
+        model: impl IntoModelSpec,
+        minibatch: usize,
+        pool: Arc<parallel::ThreadPool>,
+        cache: conv::PlanCache,
+        fold_bn: bool,
+    ) -> Result<Self, Error> {
         let spec = model.into_model_spec()?;
-        let net = gxm::Network::build_with(
+        let net = gxm::Network::build_with_fold(
             &spec,
             minibatch,
             Arc::clone(&pool),
             gxm::ExecMode::Inference,
             &cache,
+            fold_bn,
         )?;
         Ok(Self { net, pool, cache })
     }

@@ -31,10 +31,11 @@
 //! batch dimension is the outermost loop of every kernel), a
 //! frontend-served output is bit-identical to a direct
 //! [`InferenceSession::run`] of the same sample — regardless of which
-//! batch or batch position it landed in. The one exception is graphs
-//! with cross-sample operators (this repo's `bn` nodes normalize over
-//! the batch): those are only reproducible batch-for-batch, i.e. when
-//! a request supplies the whole minibatch itself.
+//! batch or batch position it landed in. That includes bn-graphs:
+//! inference executes batch norm with *frozen* running statistics
+//! (folded into the producer convolutions wherever the fusion pass
+//! applies — see DESIGN.md §5.3), so no operator in the serving path
+//! reads across samples.
 
 use crate::{Error, InferenceOutput, InferenceSession, IntoModelSpec, StateDict};
 use conv::{CombinedCacheStats, PlanCache};
@@ -290,8 +291,10 @@ impl BatchingFrontend {
 
     /// Build a frontend serving trained weights: every replica loads
     /// `weights` (a [`StateDict`] exported by
-    /// [`gxm::Network::state_dict`]) before serving, so frontend
-    /// outputs are bit-identical to the trained network's forwards.
+    /// [`gxm::Network::state_dict`]) before serving. Replicas are
+    /// deterministic in the weights alone — every replica serves the
+    /// identical bits, and bn-graph predictions use the dict's frozen
+    /// running statistics (batch-composition-independent).
     pub fn with_weights(
         model: impl IntoModelSpec,
         cfg: ServeConfig,

@@ -4,8 +4,13 @@
 //!   one JIT + dryrun per *distinct* layer shape (the distinct count
 //!   is recomputed here independently of the executor),
 //! * an `ExecMode::Inference` network allocates zero gradient blobs
-//!   and zero training-state bytes while its forward pass matches the
-//!   training-mode network bit-for-bit (loss, top-1, probabilities),
+//!   and zero training-state bytes; its forward runs the BN fusion
+//!   pass (frozen running statistics folded into the conv weights)
+//!   and tracks the *unfused frozen-stats reference forward* within a
+//!   bit-tolerance bound — the parity that stays meaningful now that
+//!   inference no longer shares batch statistics with training,
+//! * fused (folded) and unfused inference plans never collide in the
+//!   shared plan cache,
 //! * the `InferenceSession` facade serves batches end to end.
 
 use anatomy::conv::PlanCache;
@@ -79,7 +84,7 @@ fn distinct_conv_layers(nl: &[NodeSpec], minibatch: usize) -> usize {
 }
 
 #[test]
-fn resnet50_builds_once_per_distinct_shape_and_inference_matches_training() {
+fn resnet50_builds_once_per_distinct_shape_and_folds_every_bn() {
     let text = anatomy::topologies::resnet50_topology(32, 10);
     let nl = parse_topology(&text).unwrap();
     let convs = nl.nodes().iter().filter(|n| matches!(n, NodeSpec::Conv { .. })).count();
@@ -99,11 +104,24 @@ fn resnet50_builds_once_per_distinct_shape_and_inference_matches_training() {
     );
     assert_eq!(cache.hits(), convs - distinct, "every repeat must hit");
 
-    // the inference build reuses every plan: zero further misses
+    // the inference build rewrites every Conv→Bn subgraph into a fused
+    // convolution: its folded plans (different fuse op / output pad)
+    // are new cache entries that must never collide with training's
     let mut infer =
         Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
-    assert_eq!(cache.misses(), distinct, "inference build must JIT nothing");
-    assert_eq!(cache.hits(), 2 * convs - distinct);
+    let misses_after_infer = cache.misses();
+    assert!(misses_after_infer > distinct, "folded plans are distinct cache entries");
+    assert_eq!(
+        infer.folded_bn_count(),
+        infer.bn_node_count(),
+        "every ResNet-50 BN sits on a pure conv it exclusively consumes: all must fold"
+    );
+    assert_eq!(infer.bn_node_count(), 53);
+
+    // a second inference build hits every fused plan: zero new JIT
+    let _infer2 =
+        Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
+    assert_eq!(cache.misses(), misses_after_infer, "second inference build must JIT nothing");
 
     // zero gradient/momentum allocation in inference
     assert_eq!(infer.gradient_blob_count(), 0);
@@ -116,51 +134,80 @@ fn resnet50_builds_once_per_distinct_shape_and_inference_matches_training() {
         train.activation_slot_count()
     );
 
-    // forward parity: loss and top-1 agree exactly
+    // calibrate the running statistics (training-mode forwards
+    // accumulate the EMAs without touching weights) so the frozen
+    // normalization matches the network's actual activation scales,
+    // then compare the fused executor against the unfused
+    // frozen-stats reference forward under the same state dict
     let mut rng = SplitMix64::new(99);
     let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
     rng.fill_f32(&mut input);
     let labels = vec![3usize, 7];
-    train.set_labels(&labels);
-    infer.set_labels(&labels);
     train.input_mut().as_mut_slice().copy_from_slice(&input);
+    for _ in 0..10 {
+        train.forward();
+    }
+    let sd = train.state_dict();
+    let mut reference =
+        Network::build_with_fold(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache, false)
+            .unwrap();
+    assert_eq!(reference.folded_bn_count(), 0, "the reference executor keeps BNs standalone");
+    infer.load_state_dict(&sd).unwrap();
+    reference.load_state_dict(&sd).unwrap();
+    infer.set_labels(&labels);
+    reference.set_labels(&labels);
     infer.input_mut().as_mut_slice().copy_from_slice(&input);
-    let st = train.forward();
-    let si = infer.forward();
-    assert_eq!(st.loss, si.loss, "ResNet-50 inference forward must match training exactly");
-    assert_eq!(st.top1, si.top1);
-    assert_eq!(train.probabilities(), infer.probabilities());
+    reference.input_mut().as_mut_slice().copy_from_slice(&input);
+    let sf = infer.forward();
+    let su = reference.forward();
+    assert_eq!(sf.top1, su.top1, "fused and unfused frozen-stats top-1 must agree");
+    let n = anatomy::tensor::Norms::compare(reference.probabilities(), infer.probabilities());
+    assert!(n.ok(1e-4), "ResNet-50 fused vs unfused frozen-stats reference: {n}");
 }
 
 #[test]
-fn inception_inference_matches_training() {
+fn inception_fused_inference_tracks_unfused_frozen_reference() {
     let text = anatomy::topologies::inception_v3_topology_sized(63, 10);
     let nl = parse_topology(&text).unwrap();
     let cache = PlanCache::new();
     let pool = Arc::new(ThreadPool::new(4));
     let mut train =
         Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Training, &cache).unwrap();
-    let misses_after_train = cache.misses();
     let mut infer =
         Network::build_with(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
-    assert_eq!(cache.misses(), misses_after_train, "inference build must JIT nothing new");
+    let misses_after_infer = cache.misses();
+    let mut reference =
+        Network::build_with_fold(&nl, 2, Arc::clone(&pool), ExecMode::Inference, &cache, false)
+            .unwrap();
+    // unfused inference reuses the training plans: no new JIT
+    assert_eq!(cache.misses(), misses_after_infer, "unfused build must JIT nothing new");
     assert_eq!(infer.gradient_blob_count(), 0);
     assert_eq!(infer.training_state_bytes(), 0);
+    assert!(infer.folded_bn_count() > 0, "Inception conv→bn chains must fold");
 
     let mut rng = SplitMix64::new(123);
     let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
     rng.fill_f32(&mut input);
     let labels = vec![1usize, 4];
-    train.set_labels(&labels);
+    // stat calibration: EMAs converge to the init weights' activation
+    // statistics without SGD perturbing the weights
+    train.input_mut().as_mut_slice().copy_from_slice(&input);
+    for _ in 0..10 {
+        train.forward();
+    }
+    let sd = train.state_dict();
+    infer.load_state_dict(&sd).unwrap();
+    reference.load_state_dict(&sd).unwrap();
     infer.set_labels(&labels);
+    reference.set_labels(&labels);
     for step in 0..2 {
-        train.input_mut().as_mut_slice().copy_from_slice(&input);
         infer.input_mut().as_mut_slice().copy_from_slice(&input);
-        let st = train.forward();
-        let si = infer.forward();
-        assert_eq!(st.loss, si.loss, "step {step}: Inception inference must match training");
-        assert_eq!(st.top1, si.top1, "step {step}");
-        assert_eq!(train.probabilities(), infer.probabilities(), "step {step}");
+        reference.input_mut().as_mut_slice().copy_from_slice(&input);
+        let sf = infer.forward();
+        let su = reference.forward();
+        assert_eq!(sf.top1, su.top1, "step {step}");
+        let n = anatomy::tensor::Norms::compare(reference.probabilities(), infer.probabilities());
+        assert!(n.ok(1e-4), "step {step}: Inception fused vs unfused reference: {n}");
     }
 }
 

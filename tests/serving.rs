@@ -3,11 +3,10 @@
 //! parity between frontend-served and direct `InferenceSession::run`
 //! outputs.
 //!
-//! The topologies here avoid `bn` nodes on purpose: batch norm
-//! normalizes over the batch, so its outputs depend on batch
-//! composition. Everything else computes samples independently, which
-//! is what makes the bit-exactness assertions valid regardless of
-//! which batch (and batch position) the frontend assigned a sample to.
+//! The topologies here are bn-free to keep the focus on the
+//! dispatcher mechanics; `tests/frozen_stats.rs` asserts the same
+//! single-vs-coalesced bit parity for bn-graphs (frozen-stats
+//! inference made batch norm batch-composition-independent).
 
 use anatomy::serve::{BatchingFrontend, ServeConfig};
 use anatomy::InferenceSession;
