@@ -1,0 +1,139 @@
+//! `serve-daemon`: stand up the `anatomy-serve` TCP daemon from the
+//! command line (DESIGN.md §9, operator guide in the README).
+//!
+//! Hosts one [`anatomy::daemon::Daemon`] with any number of named
+//! models, each a small seeded CNN parametrized by input resolution
+//! and class count — enough to exercise every wire path (inference,
+//! stats, reload, load shed) without a training run. Weights can also
+//! come from a `StateDict` file saved by a training job.
+//!
+//! Flags:
+//!
+//! * `--model NAME:HW:CLASSES` (repeatable) — host a model named
+//!   `NAME` with `3×HW×HW` inputs and `CLASSES` output classes.
+//!   Default when absent: `alpha:32:8` and `beta:24:5`.
+//! * `--weights NAME=PATH` (repeatable) — serve the `StateDict` at
+//!   `PATH` as `NAME`'s initial weights.
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:7433`;
+//!   port `0` picks an ephemeral port).
+//! * `--addr-file PATH` — write the bound address to `PATH` once
+//!   listening (how scripts discover an ephemeral port).
+//! * `--serve-for SECS` — exit after that many seconds (default `0`:
+//!   serve until killed).
+//! * `--replicas/--threads/--minibatch/--queue-cap/--max-wait-ms` —
+//!   per-model serving shape (defaults `1`/`2`/`4`/derived/`2`).
+//!
+//! Prints the final stats snapshot on orderly exit.
+
+use anatomy::daemon::{Daemon, DaemonConfig, ModelConfig};
+use anatomy::serve::ServeConfig;
+use anatomy::{ConvOpts, GraphBuilder, ModelSpec, StateDict};
+use bench_bins::{arg_str, arg_usize};
+use std::time::Duration;
+
+/// The daemon's stock topology: two fused conv+ReLU stages around a
+/// max-pool, then GAP → FC → softmax, on `3 × hw × hw` inputs.
+fn stock_model(hw: usize, classes: usize, seed: u64) -> Result<ModelSpec, anatomy::Error> {
+    GraphBuilder::new()
+        .seed(seed)
+        .input("data", 3, hw, hw)
+        .conv("conv1", ConvOpts::k(16).rs(3).pad(1).bias().relu())
+        .max_pool("pool1", 2, 2, 0)
+        .conv("conv2", ConvOpts::k(16).rs(3).pad(1).bias().relu())
+        .gap("gap")
+        .fc("logits", classes)
+        .softmax("loss")
+        .build()
+}
+
+/// Collect every value of a repeatable `--key value` flag.
+fn args_multi(key: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == key)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// Parse one `NAME:HW:CLASSES` model spec triple.
+fn parse_model(spec: &str) -> Result<(String, usize, usize), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [name, hw, classes] = parts.as_slice() else {
+        return Err(format!("--model wants NAME:HW:CLASSES, got '{spec}'"));
+    };
+    let hw: usize = hw.parse().map_err(|_| format!("bad HW in --model '{spec}'"))?;
+    let classes: usize = classes.parse().map_err(|_| format!("bad CLASSES in --model '{spec}'"))?;
+    if hw < 4 || classes < 2 {
+        return Err(format!("--model '{spec}': HW must be >= 4 and CLASSES >= 2"));
+    }
+    Ok((name.to_string(), hw, classes))
+}
+
+fn run() -> Result<(), String> {
+    let addr = arg_str("--addr").unwrap_or_else(|| "127.0.0.1:7433".to_string());
+    let addr_file = arg_str("--addr-file");
+    let serve_for = arg_usize("--serve-for", 0);
+    let replicas = arg_usize("--replicas", 1);
+    let threads = arg_usize("--threads", 2);
+    let minibatch = arg_usize("--minibatch", 4);
+    let max_wait_ms = arg_usize("--max-wait-ms", 2);
+    let queue_cap = arg_usize("--queue-cap", 0);
+
+    let mut specs = args_multi("--model");
+    if specs.is_empty() {
+        specs = vec!["alpha:32:8".to_string(), "beta:24:5".to_string()];
+    }
+    let mut weight_files: Vec<(String, String)> = Vec::new();
+    for kv in args_multi("--weights") {
+        let (name, path) =
+            kv.split_once('=').ok_or_else(|| format!("--weights wants NAME=PATH, got '{kv}'"))?;
+        weight_files.push((name.to_string(), path.to_string()));
+    }
+
+    let mut models = Vec::new();
+    for (seed, spec) in specs.iter().enumerate() {
+        let (name, hw, classes) = parse_model(spec)?;
+        let model = stock_model(hw, classes, 0x5eed + seed as u64)
+            .map_err(|e| format!("model '{name}': {e}"))?;
+        let mut serve = ServeConfig::new(replicas, threads, minibatch)
+            .with_max_wait(Duration::from_millis(max_wait_ms as u64));
+        if queue_cap > 0 {
+            serve = serve.with_queue_cap(queue_cap);
+        }
+        let mut cfg =
+            ModelConfig::new(&name, &model, serve).map_err(|e| format!("model '{name}': {e}"))?;
+        if let Some((_, path)) = weight_files.iter().find(|(n, _)| *n == name) {
+            let sd = StateDict::load(path).map_err(|e| format!("--weights {name}={path}: {e}"))?;
+            cfg = cfg.with_weights(sd);
+        }
+        eprintln!("# hosting '{name}': 3x{hw}x{hw} -> {classes} classes");
+        models.push(cfg);
+    }
+
+    let daemon =
+        Daemon::bind(DaemonConfig::new(&addr), models).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = daemon.local_addr();
+    if let Some(path) = &addr_file {
+        std::fs::write(path, bound.to_string()).map_err(|e| format!("--addr-file {path}: {e}"))?;
+    }
+    println!("anatomy-serve listening on {bound}");
+
+    if serve_for == 0 {
+        // serve until killed; the OS reclaims the threads on exit
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(serve_for as u64));
+    let stats = daemon.shutdown();
+    println!("--- final stats ---\n{stats}");
+    Ok(())
+}
+
+fn main() {
+    if let Err(msg) = run() {
+        eprintln!("serve-daemon: {msg}");
+        std::process::exit(2);
+    }
+}

@@ -42,6 +42,14 @@ pub enum Error {
     BadInput(String),
     /// The serving pipeline failed (replica death, shutdown races).
     Serve(String),
+    /// A serving queue was full and the request was load-shed by
+    /// admission control — retry later, ideally with backoff.
+    Busy {
+        /// Samples queued when the request was shed.
+        queued: usize,
+        /// The configured admission cap (queued samples).
+        capacity: usize,
+    },
     /// A state-dict blob is malformed or does not match the network.
     StateDict(String),
     /// An underlying I/O failure (state-dict save/load).
@@ -59,6 +67,9 @@ impl fmt::Display for Error {
             Error::Shape { node, message } => write!(f, "node '{node}': {message}"),
             Error::BadInput(message) => write!(f, "bad input: {message}"),
             Error::Serve(message) => write!(f, "serving error: {message}"),
+            Error::Busy { queued, capacity } => {
+                write!(f, "busy: {queued} samples queued of a {capacity}-sample admission cap")
+            }
             Error::StateDict(message) => write!(f, "state dict: {message}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
         }

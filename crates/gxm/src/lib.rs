@@ -36,6 +36,7 @@ pub mod parser;
 pub mod pipeline;
 pub mod spec;
 pub mod state;
+pub mod swap;
 
 pub use builder::{ConvOpts, GraphBuilder};
 pub use error::Error;
@@ -44,3 +45,4 @@ pub use net::{ExecMode, Network, StepStats};
 pub use parser::parse_topology;
 pub use spec::NodeSpec;
 pub use state::{StateDict, TensorEntry};
+pub use swap::HotSwap;

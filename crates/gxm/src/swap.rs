@@ -1,0 +1,128 @@
+//! Hot-swappable published weights: the cell behind zero-downtime
+//! weight reload.
+//!
+//! A [`HotSwap`] is shared between one *publisher* (a control plane —
+//! e.g. the `anatomy-serve` reload endpoint) and any number of
+//! *replica* readers that each own a private [`crate::Network`]. The
+//! publisher atomically swaps in a new `Arc<StateDict>`; each replica
+//! polls [`HotSwap::generation`] (one `Acquire` load, no lock) at its
+//! batch boundaries and, on a change, clones the published `Arc` and
+//! applies it via [`crate::Network::load_state_dict`] — which refolds
+//! the fused-BN weights — before the next batch. In-flight batches
+//! always finish on the weights they started with, so a swap never
+//! tears a batch and serving never pauses.
+//!
+//! Memory-ordering argument (DESIGN.md §9.3): `publish` writes the
+//! `Arc` under the slot mutex *before* bumping the generation with a
+//! `Release` store; a reader that observes the new generation with an
+//! `Acquire` load therefore observes the new `Arc` when it locks the
+//! slot (the mutex itself orders the slot contents; the atomic only
+//! serves as a cheap "anything new?" check that replicas can issue
+//! per batch without contending on the lock).
+
+use crate::StateDict;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An atomically swappable published-weights cell (see the [module
+/// docs](self)).
+///
+/// ```
+/// use gxm::{HotSwap, StateDict};
+/// use std::sync::Arc;
+///
+/// let swap = HotSwap::new();
+/// assert_eq!(swap.generation(), 0); // nothing published yet
+///
+/// let mut sd = StateDict::new();
+/// sd.insert("w", vec![2], vec![1.0, 2.0]).unwrap();
+/// let gen = swap.publish(Arc::new(sd));
+/// assert_eq!(gen, 1);
+///
+/// let (published, gen) = swap.snapshot();
+/// assert_eq!(gen, 1);
+/// assert_eq!(published.unwrap().get("w").unwrap().data, vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct HotSwap {
+    slot: Mutex<Option<Arc<StateDict>>>,
+    generation: AtomicU64,
+}
+
+impl HotSwap {
+    /// An empty cell at generation 0 (no weights published yet —
+    /// readers keep whatever they were built with).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish `weights` as the new current version and return the new
+    /// generation (monotonically increasing from 1).
+    ///
+    /// The `Arc` swap happens under the slot lock; the generation bump
+    /// is a `Release` store *after* the swap, so any reader that sees
+    /// the new generation sees the new weights.
+    pub fn publish(&self, weights: Arc<StateDict>) -> u64 {
+        let mut slot = self.slot.lock().unwrap();
+        *slot = Some(weights);
+        // still under the lock: a concurrent second publisher cannot
+        // interleave its store between our slot write and our bump
+        self.generation.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// The generation of the currently published weights (0 = none
+    /// yet). One `Acquire` load — cheap enough to poll per batch.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Clone out the current weights and their generation in one
+    /// locked read (`None` until the first [`Self::publish`]).
+    pub fn snapshot(&self) -> (Option<Arc<StateDict>>, u64) {
+        let slot = self.slot.lock().unwrap();
+        // read the generation inside the lock so the pair is coherent
+        (slot.clone(), self.generation.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict(v: f32) -> Arc<StateDict> {
+        let mut sd = StateDict::new();
+        sd.insert("w", vec![1], vec![v]).unwrap();
+        Arc::new(sd)
+    }
+
+    #[test]
+    fn generations_are_monotonic_and_paired_with_contents() {
+        let swap = HotSwap::new();
+        assert_eq!(swap.generation(), 0);
+        assert!(swap.snapshot().0.is_none());
+        assert_eq!(swap.publish(dict(1.0)), 1);
+        assert_eq!(swap.publish(dict(2.0)), 2);
+        let (sd, gen) = swap.snapshot();
+        assert_eq!(gen, 2);
+        assert_eq!(sd.unwrap().get("w").unwrap().data, vec![2.0]);
+    }
+
+    #[test]
+    fn concurrent_publishers_never_lose_a_generation() {
+        let swap = Arc::new(HotSwap::new());
+        let publishers = 8;
+        let per = 25;
+        std::thread::scope(|s| {
+            for t in 0..publishers {
+                let swap = Arc::clone(&swap);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let gen = swap.publish(dict((t * per + i) as f32));
+                        assert!(gen >= 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(swap.generation(), (publishers * per) as u64);
+    }
+}

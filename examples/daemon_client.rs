@@ -1,0 +1,123 @@
+//! A complete `anatomy-serve` client session over the wire protocol
+//! (`docs/PROTOCOL.md`; operator guide in the README).
+//!
+//! With `--addr HOST:PORT` it talks to an already-running daemon
+//! (e.g. the `serve-daemon` binary). Without it, it stands up an
+//! in-process loopback daemon hosting two models so the example is
+//! self-contained:
+//!
+//! ```text
+//! cargo run --release --example daemon_client
+//! cargo run --release --example daemon_client -- --addr 127.0.0.1:7433
+//! ```
+//!
+//! The session exercises every protocol round trip: version
+//! negotiation on connect, model discovery via the stats frame,
+//! batched inference on every hosted model, a hot weight reload
+//! (self-hosted mode only, where the model spec is known), and a
+//! final stats scrape.
+
+use anatomy::daemon::{Client, Daemon, DaemonConfig, ModelConfig};
+use anatomy::serve::ServeConfig;
+use anatomy::{ConvOpts, GraphBuilder, InferenceSession, ModelSpec};
+use std::time::Duration;
+
+fn demo_model(hw: usize, classes: usize, seed: u64) -> ModelSpec {
+    GraphBuilder::new()
+        .seed(seed)
+        .input("data", 3, hw, hw)
+        .conv("conv1", ConvOpts::k(16).rs(3).pad(1).bias().relu())
+        .max_pool("pool1", 2, 2, 0)
+        .conv("conv2", ConvOpts::k(16).rs(3).pad(1).bias().relu())
+        .gap("gap")
+        .fc("logits", classes)
+        .softmax("loss")
+        .build()
+        .expect("demo topology is valid")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr_arg = args.iter().position(|a| a == "--addr").and_then(|i| args.get(i + 1)).cloned();
+
+    // Self-hosted mode: bring up a loopback daemon with two models.
+    let (addr, hosted) = match addr_arg {
+        Some(addr) => (addr, None),
+        None => {
+            let serve = ServeConfig::new(1, 2, 4).with_max_wait(Duration::from_millis(2));
+            let daemon = Daemon::bind(
+                DaemonConfig::loopback(),
+                vec![
+                    ModelConfig::new("alpha", demo_model(16, 8, 1), serve.clone())
+                        .expect("valid model config"),
+                    ModelConfig::new("beta", demo_model(12, 5, 2), serve)
+                        .expect("valid model config"),
+                ],
+            )
+            .expect("loopback daemon binds");
+            (daemon.local_addr().to_string(), Some(daemon))
+        }
+    };
+
+    // 1. Connect: Hello / HelloOk version negotiation.
+    let mut client = Client::connect(&addr).expect("daemon reachable");
+    println!(
+        "connected to {addr}: {} (protocol v{})",
+        client.server_banner(),
+        client.server_version()
+    );
+
+    // 2. Discover the hosted models from the stats frame.
+    let models = client.models().expect("stats frame parses");
+    assert!(!models.is_empty(), "daemon hosts no models");
+    for m in &models {
+        println!("model '{}': {} f32s/sample, {} classes", m.name, m.sample_elems, m.classes);
+    }
+
+    // 3. Infer a 2-sample batch on every model.
+    let mut rng = anatomy::tensor::rng::SplitMix64::new(0xc11e47);
+    for m in &models {
+        let mut batch = vec![0.0f32; 2 * m.sample_elems];
+        rng.fill_f32(&mut batch);
+        let out = client.infer(&m.name, 2, &batch).expect("inference round trip");
+        assert_eq!(out.top1.len(), 2);
+        assert_eq!(out.probs.len(), 2 * m.classes);
+        println!("'{}' top-1 classes: {:?}", m.name, out.top1);
+    }
+
+    // 4. Hot-reload (self-hosted mode, where the spec is known):
+    // export a fresh session's weights, publish them over the wire,
+    // and check the served outputs now match that session exactly.
+    if hosted.is_some() {
+        let mut donor =
+            InferenceSession::new(demo_model(16, 8, 99), 1, 1).expect("donor session builds");
+        let dict = donor.network().state_dict();
+        let generation = client.reload("alpha", &dict).expect("reload round trip");
+        println!("reloaded 'alpha' to weight generation {generation}");
+
+        let elems = models.iter().find(|m| m.name == "alpha").unwrap().sample_elems;
+        let mut image = vec![0.0f32; elems];
+        rng.fill_f32(&mut image);
+        let served = client.infer("alpha", 1, &image).expect("post-reload inference");
+        let direct = donor.run_samples(&image, 1).expect("direct run");
+        assert_eq!(served.probs, direct.probs, "post-reload outputs must be bit-identical");
+        println!("post-reload outputs match the donor session bit-for-bit");
+    }
+
+    // 5. Final stats scrape.
+    let stats = client.stats(None).expect("stats round trip");
+    let interesting = ["serve_models", "serve_connections_total", "serve_frames_total"];
+    for line in stats.lines() {
+        if interesting.iter().any(|k| line.starts_with(k))
+            || line.starts_with("serve_model_requests_total")
+            || line.starts_with("serve_model_weight_generation")
+        {
+            println!("stats: {line}");
+        }
+    }
+
+    if let Some(daemon) = hosted {
+        daemon.shutdown();
+    }
+    println!("daemon_client: OK");
+}

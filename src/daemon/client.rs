@@ -1,0 +1,224 @@
+//! A blocking client for the `anatomy-serve` wire protocol.
+//!
+//! [`Client`] speaks the length-prefixed binary protocol of
+//! `docs/PROTOCOL.md` over one TCP connection: version negotiation on
+//! connect, then any sequence of inference, stats and reload round
+//! trips. Server-side failures come back as the same typed
+//! [`Error`]s the in-process serving API uses — a load-shed request
+//! is an [`Error::Busy`] whether it was shed in-process or over the
+//! wire.
+
+use super::codec::{write_frame, CodecError, FrameReader};
+use super::protocol::{
+    encode_hello, encode_infer, encode_reload, encode_stats, parse_error, parse_hello_ok,
+    parse_infer_ok, parse_reload_ok, parse_stats_ok, ErrorCode, Frame, FrameType,
+    DEFAULT_MAX_FRAME_LEN, VERSION,
+};
+use crate::{Error, InferenceOutput, StateDict};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Geometry of one hosted model, as discovered from the stats frame
+/// (see [`Client::models`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The routing key for [`Client::infer`].
+    pub name: String,
+    /// `c × h × w` f32 values per sample the model expects.
+    pub sample_elems: usize,
+    /// Classes in the model's softmax head.
+    pub classes: usize,
+}
+
+/// A connected protocol-v1 client (see the [module docs](self)).
+///
+/// ```
+/// use anatomy::daemon::{Client, Daemon, DaemonConfig, ModelConfig};
+/// use anatomy::serve::ServeConfig;
+/// use anatomy::{ConvOpts, GraphBuilder};
+/// use std::time::Duration;
+///
+/// let model = GraphBuilder::new()
+///     .input("data", 3, 8, 8)
+///     .conv("c1", ConvOpts::k(8).rs(3).pad(1).bias().relu())
+///     .gap("g")
+///     .fc("logits", 4)
+///     .softmax("loss")
+///     .build()
+///     .unwrap();
+/// let serve = ServeConfig::new(1, 1, 2).with_max_wait(Duration::from_millis(1));
+/// let daemon = Daemon::bind(
+///     DaemonConfig::loopback(),
+///     vec![ModelConfig::new("tiny", &model, serve).unwrap()],
+/// )
+/// .unwrap();
+///
+/// let mut client = Client::connect(daemon.local_addr()).unwrap();
+/// let models = client.models().unwrap();
+/// assert_eq!(models[0].name, "tiny");
+///
+/// let image = vec![0.5f32; models[0].sample_elems];
+/// let out = client.infer("tiny", 1, &image).unwrap();
+/// assert_eq!(out.top1.len(), 1);
+/// assert_eq!(out.probs.len(), models[0].classes);
+///
+/// // unknown models are typed errors, not hangs
+/// assert!(client.infer("nope", 1, &image).is_err());
+/// daemon.shutdown();
+/// ```
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_id: u32,
+    server_version: u8,
+    banner: String,
+}
+
+impl Client {
+    /// Connect and negotiate: sends a
+    /// [`Hello`](FrameType::Hello) offering exactly protocol version
+    /// 1 and waits for the server's
+    /// [`HelloOk`](FrameType::HelloOk).
+    ///
+    /// # Errors
+    /// [`Error::Io`] on connect/transport failures; [`Error::Serve`]
+    /// when negotiation fails (e.g. the server answered with a
+    /// version-mismatch error frame).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, Error> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Self {
+            stream,
+            reader: FrameReader::new(DEFAULT_MAX_FRAME_LEN),
+            next_id: 1,
+            server_version: 0,
+            banner: String::new(),
+        };
+        let reply =
+            client.round_trip(FrameType::Hello, &encode_hello(VERSION, VERSION, "anatomy"))?;
+        let payload = expect_type(reply, FrameType::HelloOk)?;
+        let (version, banner) = parse_hello_ok(&payload)?;
+        client.server_version = version;
+        client.banner = banner;
+        Ok(client)
+    }
+
+    /// The protocol version the server chose during negotiation.
+    pub fn server_version(&self) -> u8 {
+        self.server_version
+    }
+
+    /// The server's banner string (name/version).
+    pub fn server_banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Run `count` samples (`count × sample_elems` f32s, NCHW) on the
+    /// named model and return its predictions.
+    ///
+    /// # Errors
+    /// [`Error::Busy`] when the model's queue shed the request;
+    /// [`Error::BadInput`] for unknown models or wrong payload sizes
+    /// (as reported by the server); [`Error::Io`]/[`Error::Serve`]
+    /// on transport or protocol failures.
+    pub fn infer(
+        &mut self,
+        model: &str,
+        count: u32,
+        samples: &[f32],
+    ) -> Result<InferenceOutput, Error> {
+        let reply = self.round_trip(FrameType::Infer, &encode_infer(model, count, samples))?;
+        let payload = expect_type(reply, FrameType::InferOk)?;
+        let (top1, probs) = parse_infer_ok(&payload)?;
+        Ok(InferenceOutput { probs, top1 })
+    }
+
+    /// Fetch the scrapeable stats text (`model = None` for the full
+    /// snapshot including daemon-level counters).
+    ///
+    /// # Errors
+    /// [`Error::BadInput`] when `model` names an unhosted model;
+    /// transport/protocol failures as in [`Self::infer`].
+    pub fn stats(&mut self, model: Option<&str>) -> Result<String, Error> {
+        let reply = self.round_trip(FrameType::Stats, &encode_stats(model.unwrap_or("")))?;
+        let payload = expect_type(reply, FrameType::StatsOk)?;
+        parse_stats_ok(&payload)
+    }
+
+    /// Discover the hosted models and their geometry by parsing the
+    /// `serve_model_sample_elems` / `serve_model_classes` lines of
+    /// the stats text.
+    ///
+    /// # Errors
+    /// As [`Self::stats`].
+    pub fn models(&mut self) -> Result<Vec<ModelInfo>, Error> {
+        let text = self.stats(None)?;
+        let field = |line: &str, key: &str| -> Option<(String, usize)> {
+            let rest = line.strip_prefix(key)?.strip_prefix("{model=\"")?;
+            let (name, rest) = rest.split_once("\"}")?;
+            Some((name.to_string(), rest.trim().parse().ok()?))
+        };
+        let mut infos: Vec<ModelInfo> = Vec::new();
+        for line in text.lines() {
+            if let Some((name, elems)) = field(line, "serve_model_sample_elems") {
+                infos.push(ModelInfo { name, sample_elems: elems, classes: 0 });
+            } else if let Some((name, classes)) = field(line, "serve_model_classes") {
+                if let Some(info) = infos.iter_mut().find(|i| i.name == name) {
+                    info.classes = classes;
+                }
+            }
+        }
+        Ok(infos)
+    }
+
+    /// Hot-swap the named model's weights and return the new weight
+    /// generation (see `docs/PROTOCOL.md` §Reload).
+    ///
+    /// # Errors
+    /// [`Error::StateDict`] when the server rejected the dict;
+    /// [`Error::BadInput`] for unknown models; transport/protocol
+    /// failures as in [`Self::infer`].
+    pub fn reload(&mut self, model: &str, weights: &StateDict) -> Result<u64, Error> {
+        let reply =
+            self.round_trip(FrameType::Reload, &encode_reload(model, &weights.to_bytes()))?;
+        let payload = expect_type(reply, FrameType::ReloadOk)?;
+        parse_reload_ok(&payload)
+    }
+
+    /// Send one request frame and read the matching response frame.
+    fn round_trip(&mut self, ty: FrameType, payload: &[u8]) -> Result<Frame, Error> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame(&mut self.stream, ty, id, payload)?;
+        let frame = self.reader.read_frame(&mut self.stream).map_err(|e| match e {
+            CodecError::Io(io) => Error::Io(io),
+            other => Error::Serve(format!("protocol failure: {other}")),
+        })?;
+        if frame.id != id {
+            return Err(Error::Serve(format!(
+                "response id {} does not match request id {id}",
+                frame.id
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+/// Unwrap a response frame of the expected type, converting
+/// [`FrameType::Error`] frames into the typed [`Error`] they carry.
+fn expect_type(frame: Frame, want: FrameType) -> Result<Vec<u8>, Error> {
+    if frame.ty == want {
+        return Ok(frame.payload);
+    }
+    if frame.ty == FrameType::Error {
+        let (code, a, b, msg) = parse_error(&frame.payload)?;
+        return Err(match code {
+            ErrorCode::Busy => Error::Busy { queued: a as usize, capacity: b as usize },
+            ErrorCode::UnknownModel | ErrorCode::BadRequest => Error::BadInput(msg),
+            ErrorCode::StateDict => Error::StateDict(msg),
+            ErrorCode::BadFrame | ErrorCode::VersionMismatch | ErrorCode::Internal => {
+                Error::Serve(format!("{code}: {msg}"))
+            }
+        });
+    }
+    Err(Error::Serve(format!("expected a {want:?} frame, got {:?}", frame.ty)))
+}

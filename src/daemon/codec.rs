@@ -1,0 +1,333 @@
+//! Transport framing: turning a byte stream into validated
+//! [`Frame`]s and back.
+//!
+//! The reader side is a [`FrameReader`]: an incremental buffer that
+//! tolerates partial reads and read timeouts (the daemon's connection
+//! threads poll their sockets with a short timeout so they can notice
+//! shutdown), validates the header *before* the payload arrives —
+//! bad magic, wrong version, non-zero flags, unknown type and
+//! oversized declarations are all rejected at byte 16 — and never
+//! allocates more than the configured frame cap.
+
+use super::protocol::{Frame, FrameType, HEADER_LEN, MAGIC, VERSION};
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+
+/// Why a frame could not be read. [`CodecError::Closed`] is a clean
+/// end-of-stream between frames; everything else is a protocol or
+/// transport failure.
+#[derive(Debug)]
+pub enum CodecError {
+    /// The underlying transport failed.
+    Io(std::io::Error),
+    /// The peer closed the stream on a frame boundary (clean EOF).
+    Closed,
+    /// The peer closed the stream mid-frame (header or payload
+    /// truncated).
+    Truncated,
+    /// The first four bytes were not `"ANAT"`.
+    BadMagic([u8; 4]),
+    /// The header declared a protocol version this build does not
+    /// speak.
+    BadVersion(u8),
+    /// The header's flags word was non-zero (reserved in version 1).
+    BadFlags(u16),
+    /// The header's type byte is not a known [`FrameType`].
+    UnknownType(u8),
+    /// The header declared a payload longer than the configured cap.
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o: {e}"),
+            CodecError::Closed => write!(f, "peer closed the stream"),
+            CodecError::Truncated => write!(f, "peer closed the stream mid-frame"),
+            CodecError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            CodecError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this build speaks {VERSION})")
+            }
+            CodecError::BadFlags(fl) => write!(f, "non-zero reserved flags {fl:#06x}"),
+            CodecError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            CodecError::Oversized { len, max } => {
+                write!(f, "declared payload of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Incremental frame reader over any [`Read`] (see the [module
+/// docs](self)).
+///
+/// ```
+/// use anatomy::daemon::codec::{write_frame, FrameReader};
+/// use anatomy::daemon::protocol::{FrameType, DEFAULT_MAX_FRAME_LEN};
+///
+/// let mut wire = Vec::new();
+/// write_frame(&mut wire, FrameType::Stats, 42, &[0, 0]).unwrap();
+///
+/// let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
+/// let frame = reader.poll_frame(&mut wire.as_slice()).unwrap().unwrap();
+/// assert_eq!(frame.ty, FrameType::Stats);
+/// assert_eq!(frame.id, 42);
+/// assert_eq!(frame.payload, vec![0, 0]);
+/// ```
+pub struct FrameReader {
+    buf: Vec<u8>,
+    max_frame: u32,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_frame` as the payload-length cap.
+    pub fn new(max_frame: u32) -> Self {
+        Self { buf: Vec::new(), max_frame }
+    }
+
+    /// Validate the buffered header and return the declared payload
+    /// length.
+    fn check_header(&self) -> Result<usize, CodecError> {
+        let h = &self.buf[..HEADER_LEN];
+        if h[..4] != MAGIC {
+            return Err(CodecError::BadMagic([h[0], h[1], h[2], h[3]]));
+        }
+        if h[4] != VERSION {
+            return Err(CodecError::BadVersion(h[4]));
+        }
+        let flags = u16::from_le_bytes([h[6], h[7]]);
+        if flags != 0 {
+            return Err(CodecError::BadFlags(flags));
+        }
+        if FrameType::from_u8(h[5]).is_none() {
+            return Err(CodecError::UnknownType(h[5]));
+        }
+        let len = u32::from_le_bytes([h[12], h[13], h[14], h[15]]);
+        if len > self.max_frame {
+            return Err(CodecError::Oversized { len, max: self.max_frame });
+        }
+        Ok(len as usize)
+    }
+
+    /// Read from `r` until one whole frame is buffered, the read
+    /// would block, or the stream fails.
+    ///
+    /// Returns `Ok(None)` when `r` hit its read timeout
+    /// ([`ErrorKind::WouldBlock`]/[`ErrorKind::TimedOut`]) before a
+    /// full frame arrived — call again later; buffered partial bytes
+    /// are kept. Interrupted reads are retried internally.
+    ///
+    /// # Errors
+    /// Any [`CodecError`]: header validation failures surface as soon
+    /// as the 16 header bytes are in, without waiting for (or
+    /// allocating) the declared payload.
+    pub fn poll_frame(&mut self, r: &mut impl Read) -> Result<Option<Frame>, CodecError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.buf.len() >= HEADER_LEN {
+                let payload_len = self.check_header()?;
+                if self.buf.len() >= HEADER_LEN + payload_len {
+                    let ty = FrameType::from_u8(self.buf[5]).expect("validated by check_header");
+                    let id = u32::from_le_bytes(self.buf[8..12].try_into().unwrap());
+                    let payload = self.buf[HEADER_LEN..HEADER_LEN + payload_len].to_vec();
+                    self.buf.drain(..HEADER_LEN + payload_len);
+                    return Ok(Some(Frame { ty, id, payload }));
+                }
+            }
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.buf.is_empty() {
+                        CodecError::Closed
+                    } else {
+                        CodecError::Truncated
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None);
+                }
+                Err(e) => return Err(CodecError::Io(e)),
+            }
+        }
+    }
+
+    /// [`Self::poll_frame`] for blocking streams: loops until a frame
+    /// or an error (a read timeout on the stream still surfaces as
+    /// time passing, not `Ok(None)` — only use on sockets without a
+    /// read timeout, like the [client](super::client::Client)'s).
+    pub fn read_frame(&mut self, r: &mut impl Read) -> Result<Frame, CodecError> {
+        loop {
+            if let Some(frame) = self.poll_frame(r)? {
+                return Ok(frame);
+            }
+        }
+    }
+}
+
+/// Write one frame (header + payload) to `w` and flush it.
+///
+/// # Errors
+/// Any transport [`std::io::Error`].
+pub fn write_frame(
+    w: &mut impl Write,
+    ty: FrameType,
+    id: u32,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let header = super::protocol::encode_header(ty, id, payload.len() as u32);
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::protocol::DEFAULT_MAX_FRAME_LEN;
+
+    fn roundtrip_one(payload: &[u8]) -> Frame {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Infer, 9, payload).unwrap();
+        FrameReader::new(DEFAULT_MAX_FRAME_LEN)
+            .poll_frame(&mut wire.as_slice())
+            .unwrap()
+            .expect("whole frame buffered")
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let f = roundtrip_one(&[1, 2, 3]);
+        assert_eq!((f.ty, f.id), (FrameType::Infer, 9));
+        assert_eq!(f.payload, vec![1, 2, 3]);
+        assert_eq!(roundtrip_one(&[]).payload, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn two_frames_in_one_read_are_both_delivered() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Stats, 1, &[0, 0]).unwrap();
+        write_frame(&mut wire, FrameType::Stats, 2, &[0, 0]).unwrap();
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
+        let mut src = wire.as_slice();
+        assert_eq!(reader.poll_frame(&mut src).unwrap().unwrap().id, 1);
+        // second frame is already buffered: no further source needed
+        let mut empty: &[u8] = &[];
+        assert_eq!(reader.poll_frame(&mut empty).unwrap().unwrap().id, 2);
+    }
+
+    /// A reader that yields its bytes one at a time — the torture
+    /// case for incremental header/payload assembly.
+    struct TrickleReader<'a>(&'a [u8]);
+    impl Read for TrickleReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_reads_still_assemble_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Reload, 7, &[9; 33]).unwrap();
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
+        let f = reader.poll_frame(&mut TrickleReader(&wire)).unwrap().unwrap();
+        assert_eq!(f.payload, vec![9; 33]);
+    }
+
+    #[test]
+    fn truncated_and_hostile_headers_are_typed_failures() {
+        // clean EOF between frames
+        let mut empty: &[u8] = &[];
+        assert!(matches!(FrameReader::new(64).poll_frame(&mut empty), Err(CodecError::Closed)));
+        // EOF mid-header
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Stats, 1, &[0, 0]).unwrap();
+        let mut partial = &wire[..7];
+        assert!(matches!(
+            FrameReader::new(64).poll_frame(&mut partial),
+            Err(CodecError::Truncated)
+        ));
+        // EOF mid-payload
+        let mut partial = &wire[..HEADER_LEN + 1];
+        assert!(matches!(
+            FrameReader::new(64).poll_frame(&mut partial),
+            Err(CodecError::Truncated)
+        ));
+        // bad magic
+        let mut bad = wire.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            FrameReader::new(64).poll_frame(&mut bad.as_slice()),
+            Err(CodecError::BadMagic(_))
+        ));
+        // wrong version
+        let mut bad = wire.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            FrameReader::new(64).poll_frame(&mut bad.as_slice()),
+            Err(CodecError::BadVersion(9))
+        ));
+        // reserved flags set
+        let mut bad = wire.clone();
+        bad[6] = 1;
+        assert!(matches!(
+            FrameReader::new(64).poll_frame(&mut bad.as_slice()),
+            Err(CodecError::BadFlags(1))
+        ));
+        // unknown type
+        let mut bad = wire.clone();
+        bad[5] = 200;
+        assert!(matches!(
+            FrameReader::new(64).poll_frame(&mut bad.as_slice()),
+            Err(CodecError::UnknownType(200))
+        ));
+    }
+
+    #[test]
+    fn oversized_declaration_is_rejected_at_the_header() {
+        // header declares 1 MiB against a 64-byte cap; no payload
+        // bytes are ever supplied — the reject must not wait for them
+        let header = crate::daemon::protocol::encode_header(FrameType::Infer, 1, 1 << 20);
+        let mut src = &header[..];
+        assert!(matches!(
+            FrameReader::new(64).poll_frame(&mut src),
+            Err(CodecError::Oversized { len, max: 64 }) if len == 1 << 20
+        ));
+    }
+
+    #[test]
+    fn would_block_returns_none_and_keeps_partial_bytes() {
+        struct EagainAfter<'a>(&'a [u8]);
+        impl Read for EagainAfter<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Err(std::io::Error::new(ErrorKind::WouldBlock, "eagain"));
+                }
+                let n = self.0.len().min(buf.len()).min(5);
+                buf[..n].copy_from_slice(&self.0[..n]);
+                self.0 = &self.0[n..];
+                Ok(n)
+            }
+        }
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameType::Stats, 3, &[0, 0]).unwrap();
+        let mut reader = FrameReader::new(64);
+        // first source: only half the frame, then EAGAIN
+        let half = wire.len() / 2;
+        assert!(reader.poll_frame(&mut EagainAfter(&wire[..half])).unwrap().is_none());
+        // second source: the rest — the buffered half must be reused
+        let f = reader.poll_frame(&mut EagainAfter(&wire[half..])).unwrap().unwrap();
+        assert_eq!(f.id, 3);
+    }
+}

@@ -1,0 +1,272 @@
+//! `anatomy-serve`: the network-facing, multi-model serving daemon.
+//!
+//! This module puts a process boundary in front of the serving layer
+//! (DESIGN.md §9): a [`Daemon`] binds a [`std::net::TcpListener`],
+//! hosts any number of named models — one
+//! [`BatchingFrontend`](crate::serve::BatchingFrontend) replica set
+//! per model, all planning through one shared
+//! [`PlanCache`](conv::PlanCache) — and speaks a hand-rolled,
+//! length-prefixed binary protocol (no external dependencies;
+//! byte-level spec in `docs/PROTOCOL.md`):
+//!
+//! * [`protocol`] — frame types and payload encodings;
+//! * [`codec`] — transport framing (incremental reads, header
+//!   validation, size caps);
+//! * [`registry`] — the name → frontend routing table and the
+//!   scrapeable stats text;
+//! * `router` (internal) — the per-connection dispatch loop;
+//! * [`client`] — a blocking [`Client`] for the same protocol.
+//!
+//! Three operational properties the tests pin down:
+//!
+//! * **Admission control**: each model's queue is bounded
+//!   ([`ServeConfig::queue_cap`](crate::serve::ServeConfig));
+//!   requests beyond it are load-shed with a typed
+//!   [`Busy`](protocol::ErrorCode::Busy) error frame rather than
+//!   queued into unbounded latency.
+//! * **Zero-downtime weight reload**: a
+//!   [`Reload`](protocol::FrameType::Reload) frame atomically
+//!   publishes a new [`StateDict`](crate::StateDict) through the
+//!   model's [`gxm::HotSwap`] cell; replicas pick it up at their next
+//!   batch boundary while in-flight batches finish on the old
+//!   weights — no request fails or pauses during a swap.
+//! * **Hostile-input hardening**: truncated, oversized and
+//!   wrong-version frames, unknown models, wrong payload sizes and
+//!   mid-request disconnects are all answered (or dropped) without
+//!   taking the daemon down.
+//!
+//! The operator's guide — starting the daemon, example sessions,
+//! stats scraping, hot-reload walkthrough, troubleshooting — is in
+//! the README ("Running the daemon").
+
+pub mod client;
+pub mod codec;
+pub mod protocol;
+pub mod registry;
+mod router;
+
+pub use client::{Client, ModelInfo};
+pub use registry::{ModelConfig, ModelRegistry};
+
+use crate::Error;
+use protocol::DEFAULT_MAX_FRAME_LEN;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Listener configuration of a [`Daemon`].
+///
+/// ```
+/// use anatomy::daemon::DaemonConfig;
+///
+/// let cfg = DaemonConfig::loopback(); // 127.0.0.1, ephemeral port
+/// assert_eq!(cfg.addr, "127.0.0.1:0");
+/// let cfg = DaemonConfig::new("0.0.0.0:7433").with_max_frame_len(1 << 20);
+/// assert_eq!(cfg.max_frame_len, 1 << 20);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Address to bind, `host:port` (port 0 = ephemeral; read the
+    /// result from [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Per-frame payload cap in bytes; frames declaring more are
+    /// rejected at the header with a
+    /// [`BadFrame`](protocol::ErrorCode::BadFrame) error. Must cover
+    /// the serialized [`StateDict`](crate::StateDict) size for
+    /// reloads to work.
+    pub max_frame_len: u32,
+}
+
+impl DaemonConfig {
+    /// Bind `addr` with the default 1 GiB frame cap.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), max_frame_len: DEFAULT_MAX_FRAME_LEN }
+    }
+
+    /// `127.0.0.1:0` — loopback on an ephemeral port, the test and
+    /// example configuration.
+    pub fn loopback() -> Self {
+        Self::new("127.0.0.1:0")
+    }
+
+    /// Override the per-frame payload cap.
+    pub fn with_max_frame_len(mut self, max: u32) -> Self {
+        self.max_frame_len = max;
+        self
+    }
+}
+
+/// The serving daemon: a TCP listener over a [`ModelRegistry`] (see
+/// the [module docs](self)).
+///
+/// ```
+/// use anatomy::daemon::{Client, Daemon, DaemonConfig, ModelConfig};
+/// use anatomy::serve::ServeConfig;
+/// use anatomy::{ConvOpts, GraphBuilder};
+/// use std::time::Duration;
+///
+/// let model = GraphBuilder::new()
+///     .input("data", 3, 8, 8)
+///     .conv("c1", ConvOpts::k(8).rs(3).pad(1).bias().relu())
+///     .gap("g")
+///     .fc("logits", 4)
+///     .softmax("loss")
+///     .build()
+///     .unwrap();
+/// let serve = ServeConfig::new(1, 1, 2).with_max_wait(Duration::from_millis(1));
+/// let daemon = Daemon::bind(
+///     DaemonConfig::loopback(),
+///     vec![ModelConfig::new("tiny", &model, serve).unwrap()],
+/// )
+/// .unwrap();
+///
+/// let mut client = Client::connect(daemon.local_addr()).unwrap();
+/// let out = client.infer("tiny", 1, &vec![0.5f32; 3 * 8 * 8]).unwrap();
+/// assert_eq!(out.top1.len(), 1);
+///
+/// let stats = daemon.shutdown(); // final scrape, then orderly stop
+/// assert!(stats.contains("serve_model_requests_total{model=\"tiny\"} 1"));
+/// ```
+pub struct Daemon {
+    local_addr: SocketAddr,
+    registry: Arc<ModelRegistry>,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Daemon {
+    /// Build the registry (replica threads and JIT plans come up
+    /// here), bind the listener, and start accepting connections.
+    ///
+    /// # Errors
+    /// Any model build error; [`Error::Io`] when the address cannot
+    /// be bound; [`Error::Serve`] when the accept thread cannot
+    /// spawn.
+    pub fn bind(cfg: DaemonConfig, models: Vec<ModelConfig>) -> Result<Self, Error> {
+        let mut registry = ModelRegistry::new();
+        for model in models {
+            registry.host(model)?;
+        }
+        Self::bind_registry(cfg, registry)
+    }
+
+    /// [`Self::bind`] over an already-populated registry (use this to
+    /// host models built elsewhere, or to keep a handle for in-process
+    /// [`ModelRegistry::reload`] calls — the daemon exposes its copy
+    /// via [`Self::registry`] either way).
+    ///
+    /// # Errors
+    /// As [`Self::bind`].
+    pub fn bind_registry(cfg: DaemonConfig, registry: ModelRegistry) -> Result<Self, Error> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        // non-blocking so the accept loop can poll the shutdown flag
+        listener.set_nonblocking(true)?;
+        let registry = Arc::new(registry);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(Mutex::new(Vec::<JoinHandle<()>>::new()));
+        let accept = {
+            let registry = Arc::clone(&registry);
+            let shutdown = Arc::clone(&shutdown);
+            let connections = Arc::clone(&connections);
+            let max_frame = cfg.max_frame_len;
+            std::thread::Builder::new()
+                .name("anatomy-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, registry, shutdown, connections, max_frame))
+                .map_err(|e| Error::Serve(format!("spawn accept thread: {e}")))?
+        };
+        Ok(Self { local_addr, registry, shutdown, accept: Some(accept), connections })
+    }
+
+    /// The bound address (resolves the ephemeral port of
+    /// [`DaemonConfig::loopback`]).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The hosted registry (for in-process reloads and stats).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The full stats text, as a [`Stats`](protocol::FrameType::Stats)
+    /// round trip would return it.
+    pub fn stats_text(&self) -> String {
+        self.registry.stats_text(None).expect("no filter cannot name an unknown model")
+    }
+
+    /// Stop accepting, join every connection thread, shut the hosted
+    /// frontends down, and return the final stats text. Dropping the
+    /// daemon performs the same orderly shutdown (minus the returned
+    /// stats).
+    pub fn shutdown(mut self) -> String {
+        let stats = self.stats_text();
+        self.stop();
+        stats
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *self.connections.lock().unwrap());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // every router thread is joined, so this should be the last
+        // Arc: unwrap it and shut the frontends down orderly (if a
+        // clone does linger, dropping the registry later still joins
+        // the replica threads via the frontends' Drop)
+        if let Ok(registry) = Arc::try_unwrap(std::mem::take(&mut self.registry)) {
+            registry.shutdown();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The accept loop: poll the non-blocking listener, spawn one router
+/// thread per connection, reap finished threads.
+fn accept_loop(
+    listener: TcpListener,
+    registry: Arc<ModelRegistry>,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_frame: u32,
+) {
+    let mut conn_seq = 0u64;
+    while !shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                registry.counters().connections.fetch_add(1, Ordering::Relaxed);
+                conn_seq += 1;
+                let registry = Arc::clone(&registry);
+                let shutdown = Arc::clone(&shutdown);
+                let handle = std::thread::Builder::new()
+                    .name(format!("anatomy-serve-conn-{conn_seq}"))
+                    .spawn(move || {
+                        router::serve_connection(stream, &registry, &shutdown, max_frame)
+                    });
+                if let Ok(handle) = handle {
+                    let mut conns = connections.lock().unwrap();
+                    // reap finished connections so long-lived daemons
+                    // don't accumulate dead handles
+                    conns.retain(|h| !h.is_finished());
+                    conns.push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}

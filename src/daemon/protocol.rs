@@ -1,0 +1,609 @@
+//! The `anatomy-serve` wire protocol: frame types and payload
+//! encodings.
+//!
+//! Everything on the wire is a length-prefixed binary **frame** with a
+//! fixed 16-byte header (all multi-byte integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "ANAT" (0x41 0x4E 0x41 0x54)
+//! 4       1     protocol version (currently 1)
+//! 5       1     frame type (FrameType as u8)
+//! 6       2     flags (must be 0 in version 1)
+//! 8       4     frame id (echoed verbatim in the response)
+//! 12      4     payload length in bytes
+//! ```
+//!
+//! The payload encodings live in the `encode_*`/`parse_*` pairs of
+//! this module; the byte-level specification — including a worked hex
+//! example of a full round trip — is `docs/PROTOCOL.md`. The
+//! transport framing (header validation, partial reads, size limits)
+//! is [`super::codec`].
+
+use crate::Error;
+use std::fmt;
+
+/// The 4-byte frame magic: `"ANAT"`.
+pub const MAGIC: [u8; 4] = *b"ANAT";
+
+/// The protocol version this build speaks (header byte 4).
+pub const VERSION: u8 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Default cap on a single frame's payload length (1 GiB). Frames
+/// declaring more are rejected at the header — before any allocation
+/// — with [`ErrorCode::BadFrame`].
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Every frame type of protocol version 1.
+///
+/// The discriminant is the header's type byte. `*Ok` types are
+/// server→client responses; [`FrameType::Error`] is the server's
+/// response to any request it cannot serve.
+///
+/// ```
+/// use anatomy::daemon::protocol::FrameType;
+/// assert_eq!(FrameType::Infer as u8, 3);
+/// assert_eq!(FrameType::from_u8(3), Some(FrameType::Infer));
+/// assert_eq!(FrameType::from_u8(0), None);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client→server: version negotiation, first frame on a
+    /// connection.
+    Hello = 1,
+    /// Server→client: negotiation succeeded; carries the agreed
+    /// version and a server banner.
+    HelloOk = 2,
+    /// Client→server: run inference on named model.
+    Infer = 3,
+    /// Server→client: inference results (top-1 indices +
+    /// probabilities).
+    InferOk = 4,
+    /// Server→client: typed failure ([`ErrorCode`] + detail words +
+    /// message).
+    Error = 5,
+    /// Client→server: request the plain-text stats snapshot.
+    Stats = 6,
+    /// Server→client: the scrapeable stats text.
+    StatsOk = 7,
+    /// Client→server: hot-swap a model's weights (payload carries a
+    /// serialized [`crate::StateDict`]).
+    Reload = 8,
+    /// Server→client: the reload was published; carries the new
+    /// weight generation.
+    ReloadOk = 9,
+}
+
+impl FrameType {
+    /// Decode a header type byte (`None` for unknown types).
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => Self::Hello,
+            2 => Self::HelloOk,
+            3 => Self::Infer,
+            4 => Self::InferOk,
+            5 => Self::Error,
+            6 => Self::Stats,
+            7 => Self::StatsOk,
+            8 => Self::Reload,
+            9 => Self::ReloadOk,
+            _ => return None,
+        })
+    }
+}
+
+/// Typed failure codes carried by [`FrameType::Error`] frames.
+///
+/// The two `u32` detail words of an error payload are code-specific:
+/// for [`ErrorCode::Busy`] they carry `(queued, capacity)` of the
+/// load-shedding queue; every other code sends zeros.
+///
+/// ```
+/// use anatomy::daemon::protocol::ErrorCode;
+/// assert_eq!(ErrorCode::Busy as u16, 5);
+/// assert_eq!(ErrorCode::from_u16(5), Some(ErrorCode::Busy));
+/// assert_eq!(ErrorCode::from_u16(999), None);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame itself was malformed (bad magic/flags/length,
+    /// unknown type, oversized). The server closes the connection
+    /// after sending this — framing may have desynchronized.
+    BadFrame = 1,
+    /// The header's version byte (or the Hello range) is not
+    /// supported by the server. Connection closes after this.
+    VersionMismatch = 2,
+    /// The request named a model this daemon does not host.
+    UnknownModel = 3,
+    /// The request payload failed validation (wrong sample count or
+    /// payload size, zero samples, …).
+    BadRequest = 4,
+    /// Admission control shed the request: the model's queue is full.
+    /// Detail words carry `(queued, capacity)`. Retry with backoff.
+    Busy = 5,
+    /// A reload carried a state dict that is malformed or does not
+    /// match the served model.
+    StateDict = 6,
+    /// The serving pipeline failed internally.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    /// Decode a wire code (`None` for unknown codes).
+    pub fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => Self::BadFrame,
+            2 => Self::VersionMismatch,
+            3 => Self::UnknownModel,
+            4 => Self::BadRequest,
+            5 => Self::Busy,
+            6 => Self::StateDict,
+            7 => Self::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One decoded frame: its type, the client-chosen id (echoed in
+/// responses), and the raw payload bytes.
+///
+/// ```
+/// use anatomy::daemon::protocol::{Frame, FrameType};
+/// let f = Frame { ty: FrameType::Stats, id: 7, payload: vec![0, 0] };
+/// assert_eq!(f.ty, FrameType::Stats);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// The frame type from the header.
+    pub ty: FrameType,
+    /// The correlation id from the header.
+    pub id: u32,
+    /// The payload bytes (already length-validated by the codec).
+    pub payload: Vec<u8>,
+}
+
+/// Encode a frame header for `ty`/`id` and a `payload_len`-byte
+/// payload.
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_header, FrameType, HEADER_LEN, MAGIC};
+/// let h = encode_header(FrameType::Hello, 1, 8);
+/// assert_eq!(h.len(), HEADER_LEN);
+/// assert_eq!(&h[..4], &MAGIC);
+/// assert_eq!(h[5], FrameType::Hello as u8);
+/// ```
+pub fn encode_header(ty: FrameType, id: u32, payload_len: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..4].copy_from_slice(&MAGIC);
+    h[4] = VERSION;
+    h[5] = ty as u8;
+    // bytes 6..8: flags, zero in version 1
+    h[8..12].copy_from_slice(&id.to_le_bytes());
+    h[12..16].copy_from_slice(&payload_len.to_le_bytes());
+    h
+}
+
+/// A checked little-endian reader over a payload slice — every
+/// `parse_*` function uses it so truncated payloads become typed
+/// [`Error::BadInput`]s instead of panics.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.buf.len() - self.at < n {
+            return Err(Error::BadInput(format!(
+                "payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.at,
+                self.buf.len() - self.at
+            )));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, Error> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, Error> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `u16`-length-prefixed UTF-8 string.
+    fn string(&mut self) -> Result<String, Error> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::BadInput("string field is not valid UTF-8".to_string()))
+    }
+
+    fn rest(self) -> &'a [u8] {
+        &self.buf[self.at..]
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        if self.at != self.buf.len() {
+            return Err(Error::BadInput(format!(
+                "payload has {} trailing bytes",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn push_string(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a [`FrameType::Hello`] payload: the version range the
+/// client speaks and a free-form client name.
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_hello, parse_hello};
+/// let p = encode_hello(1, 1, "bench");
+/// assert_eq!(parse_hello(&p).unwrap(), (1, 1, "bench".to_string()));
+/// ```
+pub fn encode_hello(min_version: u8, max_version: u8, client: &str) -> Vec<u8> {
+    let mut p = vec![min_version, max_version];
+    push_string(&mut p, client);
+    p
+}
+
+/// Parse a [`FrameType::Hello`] payload into `(min, max, client)`.
+///
+/// # Errors
+/// [`Error::BadInput`] on truncated or trailing bytes.
+pub fn parse_hello(payload: &[u8]) -> Result<(u8, u8, String), Error> {
+    let mut c = Cursor::new(payload);
+    let min = c.u8()?;
+    let max = c.u8()?;
+    let client = c.string()?;
+    c.finish()?;
+    Ok((min, max, client))
+}
+
+/// Encode a [`FrameType::HelloOk`] payload: the agreed version and
+/// the server banner.
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_hello_ok, parse_hello_ok};
+/// let p = encode_hello_ok(1, "anatomy-serve/0.1");
+/// assert_eq!(parse_hello_ok(&p).unwrap(), (1, "anatomy-serve/0.1".to_string()));
+/// ```
+pub fn encode_hello_ok(version: u8, banner: &str) -> Vec<u8> {
+    let mut p = vec![version];
+    push_string(&mut p, banner);
+    p
+}
+
+/// Parse a [`FrameType::HelloOk`] payload into `(version, banner)`.
+///
+/// # Errors
+/// [`Error::BadInput`] on truncated or trailing bytes.
+pub fn parse_hello_ok(payload: &[u8]) -> Result<(u8, String), Error> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    let banner = c.string()?;
+    c.finish()?;
+    Ok((version, banner))
+}
+
+/// Encode a [`FrameType::Infer`] payload: model name, sample count,
+/// then `samples` as little-endian f32s.
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_infer, parse_infer};
+/// let p = encode_infer("tiny", 1, &[0.5f32; 4]);
+/// let (model, count, data) = parse_infer(&p).unwrap();
+/// assert_eq!((model.as_str(), count), ("tiny", 1));
+/// assert_eq!(data, vec![0.5f32; 4]);
+/// ```
+pub fn encode_infer(model: &str, count: u32, samples: &[f32]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + model.len() + 4 + samples.len() * 4);
+    push_string(&mut p, model);
+    p.extend_from_slice(&count.to_le_bytes());
+    for v in samples {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    p
+}
+
+/// Parse a [`FrameType::Infer`] payload into
+/// `(model, count, samples)`. The f32 payload length is *not*
+/// validated against the model here — the router checks it against
+/// the model's `sample_elems`.
+///
+/// # Errors
+/// [`Error::BadInput`] when the name/count prefix is truncated or the
+/// trailing bytes are not a whole number of f32s.
+pub fn parse_infer(payload: &[u8]) -> Result<(String, u32, Vec<f32>), Error> {
+    let mut c = Cursor::new(payload);
+    let model = c.string()?;
+    let count = c.u32()?;
+    let rest = c.rest();
+    if !rest.len().is_multiple_of(4) {
+        return Err(Error::BadInput(format!(
+            "sample bytes ({}) are not a whole number of f32s",
+            rest.len()
+        )));
+    }
+    let samples = rest.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap())).collect();
+    Ok((model, count, samples))
+}
+
+/// Encode a [`FrameType::InferOk`] payload: count, classes, `count`
+/// top-1 indices (u32), then `count × classes` probabilities (f32).
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_infer_ok, parse_infer_ok};
+/// let p = encode_infer_ok(1, 2, &[1], &[0.25, 0.75]);
+/// let (top1, probs) = parse_infer_ok(&p).unwrap();
+/// assert_eq!(top1, vec![1]);
+/// assert_eq!(probs, vec![0.25, 0.75]);
+/// ```
+pub fn encode_infer_ok(count: u32, classes: u32, top1: &[usize], probs: &[f32]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + top1.len() * 4 + probs.len() * 4);
+    p.extend_from_slice(&count.to_le_bytes());
+    p.extend_from_slice(&classes.to_le_bytes());
+    for t in top1 {
+        p.extend_from_slice(&(*t as u32).to_le_bytes());
+    }
+    for v in probs {
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    p
+}
+
+/// Parse a [`FrameType::InferOk`] payload into `(top1, probs)`.
+///
+/// # Errors
+/// [`Error::BadInput`] when the payload length disagrees with its own
+/// count/classes prefix.
+pub fn parse_infer_ok(payload: &[u8]) -> Result<(Vec<usize>, Vec<f32>), Error> {
+    let mut c = Cursor::new(payload);
+    let count = c.u32()? as usize;
+    let classes = c.u32()? as usize;
+    let mut top1 = Vec::with_capacity(count);
+    for _ in 0..count {
+        top1.push(c.u32()? as usize);
+    }
+    let want = count
+        .checked_mul(classes)
+        .ok_or_else(|| Error::BadInput("count × classes overflows".to_string()))?;
+    let rest = c.rest();
+    if rest.len() != want * 4 {
+        return Err(Error::BadInput(format!(
+            "probability bytes ({}) disagree with count × classes ({want} f32s)",
+            rest.len()
+        )));
+    }
+    let probs = rest.chunks_exact(4).map(|b| f32::from_le_bytes(b.try_into().unwrap())).collect();
+    Ok((top1, probs))
+}
+
+/// Encode a [`FrameType::Error`] payload: code, two code-specific
+/// detail words, and a human-readable message.
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_error, parse_error, ErrorCode};
+/// let p = encode_error(ErrorCode::Busy, 12, 8, "queue full");
+/// let (code, a, b, msg) = parse_error(&p).unwrap();
+/// assert_eq!((code, a, b), (ErrorCode::Busy, 12, 8));
+/// assert_eq!(msg, "queue full");
+/// ```
+pub fn encode_error(code: ErrorCode, a: u32, b: u32, message: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(10 + 2 + message.len());
+    p.extend_from_slice(&(code as u16).to_le_bytes());
+    p.extend_from_slice(&a.to_le_bytes());
+    p.extend_from_slice(&b.to_le_bytes());
+    push_string(&mut p, message);
+    p
+}
+
+/// Parse a [`FrameType::Error`] payload into
+/// `(code, detail_a, detail_b, message)`.
+///
+/// # Errors
+/// [`Error::BadInput`] on truncated payloads or unknown codes.
+pub fn parse_error(payload: &[u8]) -> Result<(ErrorCode, u32, u32, String), Error> {
+    let mut c = Cursor::new(payload);
+    let raw = c.u16()?;
+    let code = ErrorCode::from_u16(raw)
+        .ok_or_else(|| Error::BadInput(format!("unknown error code {raw}")))?;
+    let a = c.u32()?;
+    let b = c.u32()?;
+    let msg = c.string()?;
+    c.finish()?;
+    Ok((code, a, b, msg))
+}
+
+/// Encode a [`FrameType::Stats`] payload: the model-name filter
+/// (empty string = all models + daemon-level counters).
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_stats, parse_stats};
+/// assert_eq!(parse_stats(&encode_stats("")).unwrap(), None);
+/// assert_eq!(parse_stats(&encode_stats("resnet")).unwrap(), Some("resnet".to_string()));
+/// ```
+pub fn encode_stats(model: &str) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + model.len());
+    push_string(&mut p, model);
+    p
+}
+
+/// Parse a [`FrameType::Stats`] payload into the optional model
+/// filter.
+///
+/// # Errors
+/// [`Error::BadInput`] on truncated or trailing bytes.
+pub fn parse_stats(payload: &[u8]) -> Result<Option<String>, Error> {
+    let mut c = Cursor::new(payload);
+    let model = c.string()?;
+    c.finish()?;
+    Ok(if model.is_empty() { None } else { Some(model) })
+}
+
+/// Encode a [`FrameType::StatsOk`] payload: the stats text, raw
+/// UTF-8.
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_stats_ok, parse_stats_ok};
+/// assert_eq!(parse_stats_ok(&encode_stats_ok("a 1\n")).unwrap(), "a 1\n");
+/// ```
+pub fn encode_stats_ok(text: &str) -> Vec<u8> {
+    text.as_bytes().to_vec()
+}
+
+/// Parse a [`FrameType::StatsOk`] payload back into text.
+///
+/// # Errors
+/// [`Error::BadInput`] when the payload is not valid UTF-8.
+pub fn parse_stats_ok(payload: &[u8]) -> Result<String, Error> {
+    String::from_utf8(payload.to_vec())
+        .map_err(|_| Error::BadInput("stats text is not valid UTF-8".to_string()))
+}
+
+/// Encode a [`FrameType::Reload`] payload: model name, then the
+/// serialized [`crate::StateDict`]
+/// (see [`StateDict::to_bytes`](crate::StateDict::to_bytes)).
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_reload, parse_reload};
+/// let p = encode_reload("tiny", &[1, 2, 3]);
+/// let (model, dict) = parse_reload(&p).unwrap();
+/// assert_eq!(model, "tiny");
+/// assert_eq!(dict, &[1, 2, 3]);
+/// ```
+pub fn encode_reload(model: &str, dict_bytes: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(2 + model.len() + dict_bytes.len());
+    push_string(&mut p, model);
+    p.extend_from_slice(dict_bytes);
+    p
+}
+
+/// Parse a [`FrameType::Reload`] payload into
+/// `(model, dict_bytes)` — the dict bytes are validated by
+/// [`StateDict::from_bytes`](crate::StateDict::from_bytes), not here.
+///
+/// # Errors
+/// [`Error::BadInput`] when the name prefix is truncated.
+pub fn parse_reload(payload: &[u8]) -> Result<(String, &[u8]), Error> {
+    let mut c = Cursor::new(payload);
+    let model = c.string()?;
+    Ok((model, c.rest()))
+}
+
+/// Encode a [`FrameType::ReloadOk`] payload: the new weight
+/// generation.
+///
+/// ```
+/// use anatomy::daemon::protocol::{encode_reload_ok, parse_reload_ok};
+/// assert_eq!(parse_reload_ok(&encode_reload_ok(3)).unwrap(), 3);
+/// ```
+pub fn encode_reload_ok(generation: u64) -> Vec<u8> {
+    generation.to_le_bytes().to_vec()
+}
+
+/// Parse a [`FrameType::ReloadOk`] payload into the generation.
+///
+/// # Errors
+/// [`Error::BadInput`] on truncated or trailing bytes.
+pub fn parse_reload_ok(payload: &[u8]) -> Result<u64, Error> {
+    let mut c = Cursor::new(payload);
+    let generation = c.u64()?;
+    c.finish()?;
+    Ok(generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_layout_is_exactly_the_documented_bytes() {
+        let h = encode_header(FrameType::Infer, 0x01020304, 0x0a0b0c0d);
+        assert_eq!(&h[..4], b"ANAT");
+        assert_eq!(h[4], VERSION);
+        assert_eq!(h[5], 3);
+        assert_eq!(&h[6..8], &[0, 0]);
+        assert_eq!(&h[8..12], &[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(&h[12..16], &[0x0d, 0x0c, 0x0b, 0x0a]);
+    }
+
+    #[test]
+    fn every_frame_type_round_trips_through_its_byte() {
+        for ty in [
+            FrameType::Hello,
+            FrameType::HelloOk,
+            FrameType::Infer,
+            FrameType::InferOk,
+            FrameType::Error,
+            FrameType::Stats,
+            FrameType::StatsOk,
+            FrameType::Reload,
+            FrameType::ReloadOk,
+        ] {
+            assert_eq!(FrameType::from_u8(ty as u8), Some(ty));
+        }
+        assert_eq!(FrameType::from_u8(0), None);
+        assert_eq!(FrameType::from_u8(10), None);
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors() {
+        assert!(parse_hello(&[1]).is_err());
+        assert!(parse_infer(&[0, 1]).is_err());
+        // 3 trailing bytes: not a whole f32
+        let mut p = encode_infer("m", 1, &[]);
+        p.extend_from_slice(&[0, 0, 0]);
+        assert!(parse_infer(&p).is_err());
+        assert!(parse_error(&encode_error(ErrorCode::Busy, 1, 2, "x")[..5]).is_err());
+        assert!(parse_reload_ok(&[0; 7]).is_err());
+        // trailing garbage is rejected where the payload is
+        // self-delimiting
+        let mut p = encode_hello(1, 1, "c");
+        p.push(0);
+        assert!(parse_hello(&p).is_err());
+    }
+
+    #[test]
+    fn infer_ok_validates_its_own_geometry() {
+        let p = encode_infer_ok(2, 3, &[0, 2], &[0.1; 6]);
+        let (top1, probs) = parse_infer_ok(&p).unwrap();
+        assert_eq!(top1, vec![0, 2]);
+        assert_eq!(probs.len(), 6);
+        // one probability short of count × classes
+        let bad = encode_infer_ok(2, 3, &[0, 2], &[0.1; 5]);
+        assert!(parse_infer_ok(&bad).is_err());
+    }
+}

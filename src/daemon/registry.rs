@@ -1,0 +1,269 @@
+//! The multi-model registry: named [`BatchingFrontend`]s sharing one
+//! [`PlanCache`].
+//!
+//! Each hosted model gets its own frontend (its own replica set,
+//! bounded queue and hot-swap cell) but every frontend plans through
+//! the registry's single plan cache — two hosted models that share
+//! layer shapes JIT them once, exactly like replicas of one model do
+//! (DESIGN.md §9.1). The registry also renders the plain-text stats
+//! snapshot the daemon serves as a [`StatsOk`
+//! frame](super::protocol::FrameType::StatsOk).
+
+use crate::serve::{BatchingFrontend, ServeConfig};
+use crate::{Error, IntoModelSpec, ModelSpec, StateDict};
+use conv::PlanCache;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One model to host: a name (the routing key), a spec, a serving
+/// shape and optional initial weights.
+///
+/// ```
+/// use anatomy::daemon::ModelConfig;
+/// use anatomy::serve::ServeConfig;
+/// use anatomy::{ConvOpts, GraphBuilder};
+///
+/// let model = GraphBuilder::new()
+///     .input("data", 3, 8, 8)
+///     .conv("c1", ConvOpts::k(8).rs(3).pad(1).bias().relu())
+///     .gap("g")
+///     .fc("logits", 4)
+///     .softmax("loss")
+///     .build()
+///     .unwrap();
+/// let cfg = ModelConfig::new("tiny", &model, ServeConfig::new(1, 1, 2)).unwrap();
+/// assert_eq!(cfg.name(), "tiny");
+///
+/// // names that could corrupt wire or stats framing are rejected
+/// assert!(ModelConfig::new("", &model, ServeConfig::new(1, 1, 2)).is_err());
+/// assert!(ModelConfig::new("a\"b", &model, ServeConfig::new(1, 1, 2)).is_err());
+/// ```
+pub struct ModelConfig {
+    name: String,
+    spec: ModelSpec,
+    serve: ServeConfig,
+    weights: Option<StateDict>,
+}
+
+impl ModelConfig {
+    /// Describe a model to host. `model` is anything
+    /// [`IntoModelSpec`].
+    ///
+    /// # Errors
+    /// [`Error::BadInput`] for unusable names (empty, longer than 255
+    /// bytes, or containing control characters / `"` — names travel
+    /// in wire frames and stats-text labels); any spec validation
+    /// error from `model`.
+    pub fn new(
+        name: impl Into<String>,
+        model: impl IntoModelSpec,
+        serve: ServeConfig,
+    ) -> Result<Self, Error> {
+        let name = name.into();
+        if name.is_empty() || name.len() > 255 {
+            return Err(Error::BadInput(format!(
+                "model name must be 1..=255 bytes, got {}",
+                name.len()
+            )));
+        }
+        if name.chars().any(|c| c.is_control() || c == '"') {
+            return Err(Error::BadInput(
+                "model name must not contain control characters or '\"'".to_string(),
+            ));
+        }
+        Ok(Self { name, spec: model.into_model_spec()?, serve, weights: None })
+    }
+
+    /// Serve `weights` from the start (replicas load this dict before
+    /// accepting traffic).
+    pub fn with_weights(mut self, weights: StateDict) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// The routing key clients put in
+    /// [`Infer`](super::protocol::FrameType::Infer) frames.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Daemon-level wire counters, shared with every connection thread.
+#[derive(Default)]
+pub(crate) struct DaemonCounters {
+    pub(crate) connections: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    pub(crate) wire_errors: AtomicU64,
+}
+
+/// Named frontends behind one shared plan cache (see the [module
+/// docs](self)).
+///
+/// ```
+/// use anatomy::daemon::{ModelConfig, ModelRegistry};
+/// use anatomy::serve::ServeConfig;
+/// use anatomy::{ConvOpts, GraphBuilder};
+///
+/// let model = GraphBuilder::new()
+///     .input("data", 3, 8, 8)
+///     .conv("c1", ConvOpts::k(8).rs(3).pad(1).bias().relu())
+///     .gap("g")
+///     .fc("logits", 4)
+///     .softmax("loss")
+///     .build()
+///     .unwrap();
+/// let mut registry = ModelRegistry::new();
+/// registry.host(ModelConfig::new("tiny", &model, ServeConfig::new(1, 1, 2)).unwrap()).unwrap();
+///
+/// assert_eq!(registry.names(), vec!["tiny".to_string()]);
+/// let out = registry.frontend("tiny").unwrap().infer(&vec![0.1; 3 * 8 * 8]).unwrap();
+/// assert_eq!(out.top1.len(), 1);
+/// assert!(registry.stats_text(None).unwrap().contains("serve_model_requests_total{model=\"tiny\"}"));
+/// registry.shutdown();
+/// ```
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, BatchingFrontend>,
+    cache: PlanCache,
+    counters: DaemonCounters,
+}
+
+impl ModelRegistry {
+    /// An empty registry with a fresh shared [`PlanCache`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build and start serving `cfg` (replica threads spin up here;
+    /// the frontend plans through the registry's shared cache).
+    ///
+    /// # Errors
+    /// [`Error::BadInput`] when the name is already hosted; any build
+    /// or weight-load error from the frontend.
+    pub fn host(&mut self, cfg: ModelConfig) -> Result<(), Error> {
+        if self.models.contains_key(&cfg.name) {
+            return Err(Error::BadInput(format!("model '{}' is already hosted", cfg.name)));
+        }
+        let frontend = BatchingFrontend::with_cache_and_weights(
+            &cfg.spec,
+            cfg.serve,
+            self.cache.clone(),
+            cfg.weights.as_ref(),
+        )?;
+        self.models.insert(cfg.name, frontend);
+        Ok(())
+    }
+
+    /// The frontend serving `name`, if hosted.
+    pub fn frontend(&self, name: &str) -> Option<&BatchingFrontend> {
+        self.models.get(name)
+    }
+
+    /// Hosted model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.models.keys().cloned().collect()
+    }
+
+    /// The plan cache every hosted frontend shares.
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Hot-swap `name`'s weights: validate against the served model's
+    /// schema, publish atomically, return the new generation. Every
+    /// replica of the model applies the swap at its next batch
+    /// boundary; in-flight batches finish on their old weights
+    /// (DESIGN.md §9.3).
+    ///
+    /// # Errors
+    /// [`Error::BadInput`] for unknown models; [`Error::StateDict`]
+    /// when the dict does not match the model.
+    pub fn reload(&self, name: &str, weights: StateDict) -> Result<u64, Error> {
+        let frontend = self
+            .frontend(name)
+            .ok_or_else(|| Error::BadInput(format!("unknown model '{name}'")))?;
+        frontend.publish_weights(weights)
+    }
+
+    /// The daemon-level counters (bumped by connection threads).
+    pub(crate) fn counters(&self) -> &DaemonCounters {
+        &self.counters
+    }
+
+    /// Render the scrapeable plain-text stats snapshot — one
+    /// `name value` or `name{model="..."} value` per line, in the
+    /// style text-format metric scrapers expect (the exact line set
+    /// is documented in `docs/PROTOCOL.md`). `filter` limits the
+    /// snapshot to one model and omits the daemon-level lines.
+    ///
+    /// # Errors
+    /// [`Error::BadInput`] when `filter` names a model this registry
+    /// does not host.
+    pub fn stats_text(&self, filter: Option<&str>) -> Result<String, Error> {
+        fn one(out: &mut String, name: &str, fe: &BatchingFrontend) {
+            let s = fe.stats();
+            let m = format!("{{model=\"{name}\"}}");
+            let _ = writeln!(out, "serve_model_replicas{m} {}", s.replicas);
+            let _ = writeln!(out, "serve_model_minibatch{m} {}", s.minibatch);
+            let _ = writeln!(out, "serve_model_sample_elems{m} {}", fe.sample_elems());
+            let _ = writeln!(out, "serve_model_classes{m} {}", fe.classes());
+            let _ = writeln!(out, "serve_model_requests_total{m} {}", s.requests);
+            let _ = writeln!(out, "serve_model_images_total{m} {}", s.images);
+            let _ = writeln!(out, "serve_model_batches_total{m} {}", s.batches);
+            let _ = writeln!(out, "serve_model_occupancy{m} {:.4}", s.mean_occupancy);
+            let _ = writeln!(out, "serve_model_deadline_flushes_total{m} {}", s.deadline_flushes);
+            let _ = writeln!(out, "serve_model_busy_rejections_total{m} {}", s.busy_rejections);
+            let _ = writeln!(out, "serve_model_queue_depth{m} {}", s.queue_depth);
+            let _ = writeln!(out, "serve_model_queue_cap{m} {}", s.queue_cap);
+            let _ = writeln!(out, "serve_model_weight_generation{m} {}", s.weight_generation);
+            let _ = writeln!(out, "serve_model_reloads_total{m} {}", s.reloads);
+            let _ = writeln!(out, "serve_model_reload_failures_total{m} {}", s.reload_failures);
+            let _ = writeln!(out, "serve_model_p50_latency_us{m} {}", s.p50_latency.as_micros());
+            let _ = writeln!(out, "serve_model_p99_latency_us{m} {}", s.p99_latency.as_micros());
+        }
+        let mut out = String::new();
+        match filter {
+            Some(name) => {
+                let fe = self
+                    .frontend(name)
+                    .ok_or_else(|| Error::BadInput(format!("unknown model '{name}'")))?;
+                one(&mut out, name, fe);
+            }
+            None => {
+                let mut head = String::new();
+                let _ = writeln!(head, "serve_protocol_version {}", super::protocol::VERSION);
+                let _ = writeln!(head, "serve_models {}", self.models.len());
+                let _ = writeln!(
+                    head,
+                    "serve_connections_total {}",
+                    self.counters.connections.load(Ordering::Relaxed)
+                );
+                let _ = writeln!(
+                    head,
+                    "serve_frames_total {}",
+                    self.counters.frames.load(Ordering::Relaxed)
+                );
+                let _ = writeln!(
+                    head,
+                    "serve_wire_errors_total {}",
+                    self.counters.wire_errors.load(Ordering::Relaxed)
+                );
+                for (name, fe) in &self.models {
+                    one(&mut out, name, fe);
+                }
+                out = head + &out;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stop every hosted frontend (drains queues, joins replica
+    /// threads). Dropping the registry does the same.
+    pub fn shutdown(mut self) {
+        let models = std::mem::take(&mut self.models);
+        for (_, fe) in models {
+            fe.shutdown();
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-connection request routing: decode frames, dispatch to the
+//! [`ModelRegistry`](super::ModelRegistry), write responses.
+//!
+//! Connection threads poll their socket with a short read timeout so
+//! they notice daemon shutdown, answer request-level failures (bad
+//! request, unknown model, busy, state-dict mismatch) with an
+//! [`Error` frame](super::protocol::FrameType::Error) on a healthy
+//! connection, and close the connection after *framing*-level
+//! failures (bad magic/version/flags/length, unknown frame type) —
+//! once framing has desynchronized, nothing later on the stream can
+//! be trusted.
+
+use super::codec::{write_frame, CodecError, FrameReader};
+use super::protocol::{
+    encode_error, encode_hello_ok, encode_infer_ok, encode_reload_ok, encode_stats_ok, parse_hello,
+    parse_infer, parse_reload, parse_stats, ErrorCode, Frame, FrameType, VERSION,
+};
+use super::registry::ModelRegistry;
+use crate::{Error, StateDict};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// How long a connection thread blocks in `read` before re-checking
+/// the daemon's shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// What to do with the connection after handling one frame.
+enum After {
+    KeepOpen,
+    Close,
+}
+
+/// Serve one accepted connection until the peer closes it, a framing
+/// error desynchronizes it, or the daemon shuts down.
+pub(crate) fn serve_connection(
+    mut stream: TcpStream,
+    registry: &ModelRegistry,
+    shutdown: &AtomicBool,
+    max_frame: u32,
+) {
+    // best-effort socket setup; serving still works without it
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new(max_frame);
+    while !shutdown.load(Ordering::Acquire) {
+        let frame = match reader.poll_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // read timed out — loop to re-check the shutdown flag
+            Ok(None) => continue,
+            // clean close, or the peer vanished mid-frame: nothing to
+            // answer either way
+            Err(CodecError::Closed) | Err(CodecError::Truncated) | Err(CodecError::Io(_)) => {
+                return;
+            }
+            // framing-level rejection: best-effort error frame (frame
+            // id unknowable — 0), then close
+            Err(e) => {
+                registry.counters().wire_errors.fetch_add(1, Ordering::Relaxed);
+                let code = match e {
+                    CodecError::BadVersion(_) => ErrorCode::VersionMismatch,
+                    _ => ErrorCode::BadFrame,
+                };
+                let _ = write_frame(
+                    &mut stream,
+                    FrameType::Error,
+                    0,
+                    &encode_error(code, 0, 0, &e.to_string()),
+                );
+                return;
+            }
+        };
+        registry.counters().frames.fetch_add(1, Ordering::Relaxed);
+        match handle_frame(&mut stream, &frame, registry) {
+            Ok(After::KeepOpen) => {}
+            Ok(After::Close) => return,
+            // response write failed: the peer is gone
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatch one decoded frame and write its response.
+fn handle_frame<W: Write>(
+    stream: &mut W,
+    frame: &Frame,
+    registry: &ModelRegistry,
+) -> std::io::Result<After> {
+    let id = frame.id;
+    let reply_error = |stream: &mut W, code: ErrorCode, a: u32, b: u32, msg: &str| {
+        registry.counters().wire_errors.fetch_add(1, Ordering::Relaxed);
+        write_frame(stream, FrameType::Error, id, &encode_error(code, a, b, msg))
+    };
+    match frame.ty {
+        FrameType::Hello => match parse_hello(&frame.payload) {
+            Ok((min, max, _client)) => {
+                if min > VERSION || max < VERSION {
+                    reply_error(
+                        stream,
+                        ErrorCode::VersionMismatch,
+                        0,
+                        0,
+                        &format!("server speaks version {VERSION}, client offered {min}..={max}"),
+                    )?;
+                    return Ok(After::Close);
+                }
+                let banner = format!("anatomy-serve/{}", env!("CARGO_PKG_VERSION"));
+                write_frame(stream, FrameType::HelloOk, id, &encode_hello_ok(VERSION, &banner))?;
+                Ok(After::KeepOpen)
+            }
+            Err(e) => {
+                reply_error(stream, ErrorCode::BadRequest, 0, 0, &e.to_string())?;
+                Ok(After::KeepOpen)
+            }
+        },
+        FrameType::Infer => {
+            let (model, count, samples) = match parse_infer(&frame.payload) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    reply_error(stream, ErrorCode::BadRequest, 0, 0, &e.to_string())?;
+                    return Ok(After::KeepOpen);
+                }
+            };
+            let Some(frontend) = registry.frontend(&model) else {
+                reply_error(
+                    stream,
+                    ErrorCode::UnknownModel,
+                    0,
+                    0,
+                    &format!("model '{model}' is not hosted"),
+                )?;
+                return Ok(After::KeepOpen);
+            };
+            let want = (count as usize).saturating_mul(frontend.sample_elems());
+            if count == 0 || samples.len() != want {
+                reply_error(
+                    stream,
+                    ErrorCode::BadRequest,
+                    0,
+                    0,
+                    &format!(
+                        "payload must be count × sample_elems = {want} f32s for count={count}, \
+                         got {}",
+                        samples.len()
+                    ),
+                )?;
+                return Ok(After::KeepOpen);
+            }
+            match frontend.submit(&samples).and_then(|pending| pending.wait()) {
+                Ok(out) => {
+                    let payload =
+                        encode_infer_ok(count, frontend.classes() as u32, &out.top1, &out.probs);
+                    write_frame(stream, FrameType::InferOk, id, &payload)?;
+                    Ok(After::KeepOpen)
+                }
+                Err(Error::Busy { queued, capacity }) => {
+                    reply_error(
+                        stream,
+                        ErrorCode::Busy,
+                        queued as u32,
+                        capacity as u32,
+                        "queue full; retry with backoff",
+                    )?;
+                    Ok(After::KeepOpen)
+                }
+                Err(Error::BadInput(msg)) => {
+                    reply_error(stream, ErrorCode::BadRequest, 0, 0, &msg)?;
+                    Ok(After::KeepOpen)
+                }
+                Err(e) => {
+                    reply_error(stream, ErrorCode::Internal, 0, 0, &e.to_string())?;
+                    Ok(After::KeepOpen)
+                }
+            }
+        }
+        FrameType::Stats => {
+            let filter = match parse_stats(&frame.payload) {
+                Ok(filter) => filter,
+                Err(e) => {
+                    reply_error(stream, ErrorCode::BadRequest, 0, 0, &e.to_string())?;
+                    return Ok(After::KeepOpen);
+                }
+            };
+            match registry.stats_text(filter.as_deref()) {
+                Ok(text) => {
+                    write_frame(stream, FrameType::StatsOk, id, &encode_stats_ok(&text))?;
+                    Ok(After::KeepOpen)
+                }
+                Err(e) => {
+                    reply_error(stream, ErrorCode::UnknownModel, 0, 0, &e.to_string())?;
+                    Ok(After::KeepOpen)
+                }
+            }
+        }
+        FrameType::Reload => {
+            let (model, dict_bytes) = match parse_reload(&frame.payload) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    reply_error(stream, ErrorCode::BadRequest, 0, 0, &e.to_string())?;
+                    return Ok(After::KeepOpen);
+                }
+            };
+            if registry.frontend(&model).is_none() {
+                reply_error(
+                    stream,
+                    ErrorCode::UnknownModel,
+                    0,
+                    0,
+                    &format!("model '{model}' is not hosted"),
+                )?;
+                return Ok(After::KeepOpen);
+            }
+            let dict = match StateDict::from_bytes(dict_bytes) {
+                Ok(dict) => dict,
+                Err(e) => {
+                    reply_error(stream, ErrorCode::StateDict, 0, 0, &e.to_string())?;
+                    return Ok(After::KeepOpen);
+                }
+            };
+            match registry.reload(&model, dict) {
+                Ok(generation) => {
+                    write_frame(stream, FrameType::ReloadOk, id, &encode_reload_ok(generation))?;
+                    Ok(After::KeepOpen)
+                }
+                Err(e) => {
+                    reply_error(stream, ErrorCode::StateDict, 0, 0, &e.to_string())?;
+                    Ok(After::KeepOpen)
+                }
+            }
+        }
+        // response types arriving at the server mean the peer is not
+        // speaking the client half of the protocol — close
+        FrameType::HelloOk
+        | FrameType::InferOk
+        | FrameType::Error
+        | FrameType::StatsOk
+        | FrameType::ReloadOk => {
+            reply_error(
+                stream,
+                ErrorCode::BadFrame,
+                0,
+                0,
+                &format!("{:?} is a server→client frame type", frame.ty),
+            )?;
+            Ok(After::Close)
+        }
+    }
+}

@@ -26,7 +26,12 @@
 //!   thread pool and layer-plan cache, `run(batch) → outputs`;
 //! * [`serve::BatchingFrontend`] — a multi-client micro-batching
 //!   front-end over several session replicas (see the [`serve`]
-//!   module docs).
+//!   module docs);
+//! * [`daemon::Daemon`] — `anatomy-serve`, the network-facing
+//!   multi-model daemon: a TCP listener speaking a length-prefixed
+//!   binary protocol (`docs/PROTOCOL.md`) with admission control and
+//!   zero-downtime weight hot-swap (see the [`daemon`] module docs
+//!   and the README's operator guide).
 //!
 //! The model surface is typed (DESIGN.md §8): sessions take anything
 //! [`IntoModelSpec`] — a validated [`ModelSpec`], a [`GraphBuilder`]
@@ -52,6 +57,7 @@ pub use topologies;
 
 pub use gxm::{ConvOpts, Error, GraphBuilder, IntoModelSpec, ModelSpec, StateDict};
 
+pub mod daemon;
 pub mod serve;
 
 use std::sync::Arc;

@@ -39,7 +39,7 @@
 
 use crate::{Error, InferenceOutput, InferenceSession, IntoModelSpec, StateDict};
 use conv::{CombinedCacheStats, PlanCache};
-use gxm::ModelSpec;
+use gxm::{HotSwap, ModelSpec};
 use parallel::{pin_current_thread, PoolOptions, ThreadPool};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,11 +67,19 @@ pub struct ServeConfig {
     /// `r * threads_per_replica` (best effort). Disable on
     /// oversubscribed hosts.
     pub pin_replicas: bool,
+    /// Admission cap: the maximum number of *samples* the frontend
+    /// queues. A [`BatchingFrontend::submit`] that would push the
+    /// queue past this cap is load-shed with a typed [`Error::Busy`]
+    /// instead of growing the backlog (and the latency of everything
+    /// behind it) without bound. Requests larger than the cap can
+    /// never be admitted.
+    pub queue_cap: usize,
 }
 
 impl ServeConfig {
-    /// A config with the given shape and defaults of `max_wait = 2ms`
-    /// and best-effort replica pinning.
+    /// A config with the given shape and defaults of `max_wait = 2ms`,
+    /// best-effort replica pinning, and an admission cap of eight
+    /// batches' worth of samples per replica (at least 64).
     pub fn new(replicas: usize, threads_per_replica: usize, minibatch: usize) -> Self {
         Self {
             replicas,
@@ -79,6 +87,7 @@ impl ServeConfig {
             minibatch,
             max_wait: Duration::from_millis(2),
             pin_replicas: true,
+            queue_cap: (8 * replicas * minibatch).max(64),
         }
     }
 
@@ -91,6 +100,13 @@ impl ServeConfig {
     /// Enable/disable best-effort core pinning of the replica pools.
     pub fn with_pinning(mut self, pin: bool) -> Self {
         self.pin_replicas = pin;
+        self
+    }
+
+    /// Override the admission cap (queued samples; see
+    /// [`ServeConfig::queue_cap`]).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
         self
     }
 }
@@ -186,6 +202,9 @@ struct StatsInner {
     batches: usize,
     batched_images: usize,
     deadline_flushes: usize,
+    busy_rejections: usize,
+    reloads: usize,
+    reload_failures: usize,
     latencies_us: Vec<u64>,
     latency_next: usize,
 }
@@ -219,6 +238,24 @@ pub struct ServerStats {
     pub mean_occupancy: f64,
     /// Batches flushed partially filled by the `max_wait` deadline.
     pub deadline_flushes: usize,
+    /// Requests load-shed with [`Error::Busy`] because admitting them
+    /// would have pushed the queue past [`ServeConfig::queue_cap`].
+    pub busy_rejections: usize,
+    /// The admission cap ([`ServeConfig::queue_cap`]).
+    pub queue_cap: usize,
+    /// Samples queued (admitted, not yet dispatched) at snapshot time.
+    pub queue_depth: usize,
+    /// Generation of the currently published hot-swap weights (0 =
+    /// the replicas still serve the weights they were built with; see
+    /// [`BatchingFrontend::publish_weights`]).
+    pub weight_generation: u64,
+    /// Successful [`BatchingFrontend::publish_weights`] calls.
+    pub reloads: usize,
+    /// Published weight sets a replica failed to apply (the replica
+    /// keeps serving its previous weights). Always 0 unless a dict
+    /// that passed schema validation fails the network's stricter
+    /// load-time checks.
+    pub reload_failures: usize,
     /// Median submit-to-result latency over the most recent completed
     /// samples (a bounded window of 65536).
     pub p50_latency: Duration,
@@ -233,11 +270,17 @@ pub struct ServerStats {
 struct Shared {
     queue: Mutex<VecDeque<Pending>>,
     queue_cv: Condvar,
+    /// Signalled by the dispatcher whenever it drains samples — the
+    /// wait side of [`BatchingFrontend::submit_within`].
+    space_cv: Condvar,
     shutdown: AtomicBool,
     stats: Mutex<StatsInner>,
+    /// The published-weights cell replicas poll at batch boundaries.
+    swap: Arc<HotSwap>,
     sample_elems: usize,
     minibatch: usize,
     classes: usize,
+    queue_cap: usize,
 }
 
 /// A multi-client micro-batching front-end over replicated
@@ -277,6 +320,10 @@ pub struct BatchingFrontend {
     shared: Arc<Shared>,
     cache: PlanCache,
     replicas: usize,
+    /// `(name, dims)` of every parameter tensor the served network
+    /// expects — the schema [`Self::publish_weights`] validates
+    /// candidate dicts against before publishing.
+    schema: Vec<(String, Vec<usize>)>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -320,6 +367,20 @@ impl BatchingFrontend {
         Self::build(&spec, cfg, cache, None)
     }
 
+    /// [`Self::with_cache`] plus optional initial weights — the
+    /// constructor a multi-model host uses so every hosted frontend
+    /// plans through one shared cache *and* starts from its own
+    /// trained [`StateDict`].
+    pub fn with_cache_and_weights(
+        model: impl IntoModelSpec,
+        cfg: ServeConfig,
+        cache: PlanCache,
+        weights: Option<&StateDict>,
+    ) -> Result<Self, Error> {
+        let spec = model.into_model_spec()?;
+        Self::build(&spec, cfg, cache, weights)
+    }
+
     fn build(
         spec: &ModelSpec,
         cfg: ServeConfig,
@@ -330,6 +391,12 @@ impl BatchingFrontend {
             return Err(Error::BadInput(
                 "replicas, threads_per_replica and minibatch must be >= 1".to_string(),
             ));
+        }
+        if cfg.queue_cap < cfg.minibatch {
+            return Err(Error::BadInput(format!(
+                "queue_cap ({}) must be >= minibatch ({}) or full batches could never form",
+                cfg.queue_cap, cfg.minibatch
+            )));
         }
         // Build every session up front (cheap after the first: shared
         // plan cache), then move each into its replica thread.
@@ -350,14 +417,23 @@ impl BatchingFrontend {
             }
             sessions.push(session);
         }
+        let schema: Vec<(String, Vec<usize>)> = sessions[0]
+            .network()
+            .state_dict()
+            .iter()
+            .map(|(name, entry)| (name.to_string(), entry.dims.clone()))
+            .collect();
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
+            space_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: Mutex::new(StatsInner::default()),
+            swap: Arc::new(HotSwap::new()),
             sample_elems: sessions[0].sample_elems(),
             minibatch: cfg.minibatch,
             classes: sessions[0].classes(),
+            queue_cap: cfg.queue_cap,
         });
         let mut txs = Vec::with_capacity(cfg.replicas);
         let mut workers = Vec::with_capacity(cfg.replicas);
@@ -390,7 +466,14 @@ impl BatchingFrontend {
                 .spawn(move || dispatcher_loop(sh, txs, max_wait))
                 .map_err(|e| Error::Serve(format!("spawn dispatcher: {e}")))?
         };
-        Ok(Self { shared, cache, replicas: cfg.replicas, dispatcher: Some(dispatcher), workers })
+        Ok(Self {
+            shared,
+            cache,
+            replicas: cfg.replicas,
+            schema,
+            dispatcher: Some(dispatcher),
+            workers,
+        })
     }
 
     /// Submit a request of one or more samples (`len` must be a
@@ -401,11 +484,33 @@ impl BatchingFrontend {
     /// consecutive batches; the handle completes when the last piece
     /// is served. Samples of one request stay in submission order.
     ///
+    /// Admission control is immediate: a request that does not fit
+    /// the bounded queue right now is load-shed (use
+    /// [`Self::submit_within`] to wait for space instead).
+    ///
     /// # Errors
     /// [`Error::BadInput`] for empty or non-sample-multiple payloads;
-    /// [`Error::Serve`] if the pipeline has shut down (a replica died)
-    /// — new work could never complete.
+    /// [`Error::Busy`] when admitting the request would push the
+    /// queue past [`ServeConfig::queue_cap`]; [`Error::Serve`] if the
+    /// pipeline has shut down (a replica died) — new work could never
+    /// complete.
     pub fn submit(&self, images: &[f32]) -> Result<PendingRequest, Error> {
+        self.submit_within(images, Duration::ZERO)
+    }
+
+    /// [`Self::submit`], but willing to wait up to `admission_wait`
+    /// for queue space before load-shedding with [`Error::Busy`].
+    ///
+    /// The wait is for *admission only* — once admitted, the returned
+    /// handle behaves exactly like one from [`Self::submit`], and the
+    /// sample's latency clock starts at admission. A request larger
+    /// than [`ServeConfig::queue_cap`] samples can never be admitted
+    /// and is shed immediately regardless of `admission_wait`.
+    pub fn submit_within(
+        &self,
+        images: &[f32],
+        admission_wait: Duration,
+    ) -> Result<PendingRequest, Error> {
         let se = self.shared.sample_elems;
         if images.is_empty() || !images.len().is_multiple_of(se) {
             return Err(Error::BadInput(format!(
@@ -423,7 +528,6 @@ impl BatchingFrontend {
             }),
             cv: Condvar::new(),
         });
-        let now = Instant::now();
         // slice + copy the samples before taking the queue lock so a
         // large request doesn't stall the dispatcher's deadline clock
         let mut pendings: Vec<Pending> = (0..count)
@@ -431,25 +535,44 @@ impl BatchingFrontend {
                 image: images[i * se..(i + 1) * se].into(),
                 slot: Arc::clone(&slot),
                 index: i,
-                enqueued: now,
+                enqueued: Instant::now(),
                 done: false,
             })
             .collect();
+        let deadline = Instant::now() + admission_wait;
         {
             let mut q = self.shared.queue.lock().unwrap();
-            // checked under the queue lock: the failure path sets the
-            // flag and clears the queue under this same lock, so a
-            // request can never slip in behind the drained dispatcher
-            // and strand its client
-            if self.shared.shutdown.load(Ordering::Acquire) {
-                // dropping `pendings` would poison the fresh slot and
-                // mark the request failed — return the typed error
-                // directly instead
-                pendings.iter_mut().for_each(|p| p.done = true);
-                return Err(Error::Serve(
-                    "frontend is shut down; new requests would never complete".to_string(),
-                ));
+            loop {
+                // checked under the queue lock: the failure path sets
+                // the flag and clears the queue under this same lock,
+                // so a request can never slip in behind the drained
+                // dispatcher and strand its client
+                if self.shared.shutdown.load(Ordering::Acquire) {
+                    // dropping `pendings` would poison the fresh slot
+                    // and mark the request failed — return the typed
+                    // error directly instead
+                    pendings.iter_mut().for_each(|p| p.done = true);
+                    return Err(Error::Serve(
+                        "frontend is shut down; new requests would never complete".to_string(),
+                    ));
+                }
+                if q.len() + count <= self.shared.queue_cap {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    let queued = q.len();
+                    drop(q);
+                    pendings.iter_mut().for_each(|p| p.done = true);
+                    self.shared.stats.lock().unwrap().busy_rejections += 1;
+                    return Err(Error::Busy { queued, capacity: self.shared.queue_cap });
+                }
+                q = self.shared.space_cv.wait_timeout(q, deadline - now).unwrap().0;
             }
+            // the latency clock and the deadline-flush anchor start at
+            // *admission*, not at the start of an admission wait
+            let now = Instant::now();
+            pendings.iter_mut().for_each(|p| p.enqueued = now);
             q.extend(pendings.drain(..));
         }
         self.shared.queue_cv.notify_all();
@@ -491,6 +614,74 @@ impl BatchingFrontend {
         &self.cache
     }
 
+    /// Publish a new weight set for zero-downtime hot swap.
+    ///
+    /// The dict is validated against the served network's parameter
+    /// schema (same tensor names and dims), then atomically installed
+    /// in the shared [`gxm::HotSwap`] cell. Each replica notices the
+    /// new generation at its next batch boundary (one atomic load per
+    /// batch) and applies it via
+    /// [`load_state_dict`](crate::InferenceSession::load_state_dict)
+    /// — which refolds the fused-BN weights — before running the
+    /// batch. In-flight batches finish on the weights they started
+    /// with; no request is dropped or paused by a swap (DESIGN.md
+    /// §9.3).
+    ///
+    /// Returns the new weight generation (monotonic from 1).
+    ///
+    /// # Errors
+    /// [`Error::StateDict`] when the dict's tensor names/dims do not
+    /// match the served model — nothing is published on error.
+    pub fn publish_weights(&self, weights: StateDict) -> Result<u64, Error> {
+        {
+            let mut want = self.schema.iter();
+            let mut got = weights.iter();
+            loop {
+                match (want.next(), got.next()) {
+                    (None, None) => break,
+                    (Some((name, dims)), Some((gname, gentry))) => {
+                        if name != gname || dims != &gentry.dims {
+                            return Err(Error::StateDict(format!(
+                                "dict does not match the served model: expected tensor '{name}' \
+                                 dims {dims:?}, got '{gname}' dims {:?}",
+                                gentry.dims
+                            )));
+                        }
+                    }
+                    (Some((name, _)), None) => {
+                        return Err(Error::StateDict(format!(
+                            "dict does not match the served model: missing tensor '{name}'"
+                        )));
+                    }
+                    (None, Some((gname, _))) => {
+                        return Err(Error::StateDict(format!(
+                            "dict does not match the served model: unexpected tensor '{gname}'"
+                        )));
+                    }
+                }
+            }
+        }
+        let generation = self.shared.swap.publish(Arc::new(weights));
+        self.shared.stats.lock().unwrap().reloads += 1;
+        Ok(generation)
+    }
+
+    /// Generation of the most recently published weights (0 until the
+    /// first [`Self::publish_weights`]).
+    pub fn weight_generation(&self) -> u64 {
+        self.shared.swap.generation()
+    }
+
+    /// Samples admitted but not yet dispatched to a replica.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// The admission cap ([`ServeConfig::queue_cap`]).
+    pub fn queue_cap(&self) -> usize {
+        self.shared.queue_cap
+    }
+
     /// Snapshot the serving counters (latency percentiles cover
     /// completed samples only).
     pub fn stats(&self) -> ServerStats {
@@ -506,6 +697,9 @@ impl BatchingFrontend {
                     batches: s.batches,
                     batched_images: s.batched_images,
                     deadline_flushes: s.deadline_flushes,
+                    busy_rejections: s.busy_rejections,
+                    reloads: s.reloads,
+                    reload_failures: s.reload_failures,
                     latencies_us: Vec::new(),
                     latency_next: 0,
                 },
@@ -532,6 +726,12 @@ impl BatchingFrontend {
                 s.batched_images as f64 / (s.batches * self.shared.minibatch) as f64
             },
             deadline_flushes: s.deadline_flushes,
+            busy_rejections: s.busy_rejections,
+            queue_cap: self.shared.queue_cap,
+            queue_depth: self.queue_depth(),
+            weight_generation: self.shared.swap.generation(),
+            reloads: s.reloads,
+            reload_failures: s.reload_failures,
             p50_latency: pct(0.50),
             p99_latency: pct(0.99),
             caches: self.cache.combined_stats(),
@@ -557,6 +757,7 @@ impl BatchingFrontend {
     fn join_workers(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
+        self.shared.space_cv.notify_all();
         if let Some(d) = self.dispatcher.take() {
             let _ = d.join();
         }
@@ -611,6 +812,8 @@ fn dispatcher_loop(shared: Arc<Shared>, txs: Vec<SyncSender<Vec<Pending>>>, max_
             let flushed_early = batch.len() < shared.minibatch && !draining;
             (batch, flushed_early)
         };
+        // queue space was just freed — wake admission waiters
+        shared.space_cv.notify_all();
         {
             let mut s = shared.stats.lock().unwrap();
             s.batches += 1;
@@ -631,6 +834,10 @@ fn dispatcher_loop(shared: Arc<Shared>, txs: Vec<SyncSender<Vec<Pending>>>, max_
             let mut q = shared.queue.lock().unwrap();
             shared.shutdown.store(true, Ordering::Release);
             q.clear();
+            drop(q);
+            // admission waiters must observe the shutdown, not block
+            // out their full admission timeout
+            shared.space_cv.notify_all();
             return;
         }
         rr = (rr + 1) % txs.len();
@@ -639,11 +846,30 @@ fn dispatcher_loop(shared: Arc<Shared>, txs: Vec<SyncSender<Vec<Pending>>>, max_
 
 /// One replica: execute batches on the owned session and route every
 /// sample's result back to its request slot.
+///
+/// Between batches the replica polls the shared [`HotSwap`] cell (one
+/// `Acquire` load); when a new weight generation has been published it
+/// loads the dict — refolding the fused-BN weights — before running
+/// the batch. The batch that triggered the poll therefore runs
+/// entirely on the *new* weights, and the previous batch ran entirely
+/// on the old ones: a swap never tears a batch.
 fn replica_loop(mut session: InferenceSession, rx: Receiver<Vec<Pending>>, shared: Arc<Shared>) {
     let se = shared.sample_elems;
     let classes = shared.classes;
     let mut flat = vec![0.0f32; shared.minibatch * se];
+    let mut weight_gen = 0u64;
     while let Ok(batch) = rx.recv() {
+        if shared.swap.generation() != weight_gen {
+            let (published, gen) = shared.swap.snapshot();
+            if let Some(sd) = published {
+                // schema-validated at publish time; a residual
+                // load failure keeps the previous weights serving
+                if session.load_state_dict(&sd).is_err() {
+                    shared.stats.lock().unwrap().reload_failures += 1;
+                }
+            }
+            weight_gen = gen;
+        }
         let n = batch.len();
         for (i, p) in batch.iter().enumerate() {
             flat[i * se..(i + 1) * se].copy_from_slice(&p.image);

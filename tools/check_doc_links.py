@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Check internal markdown links and anchors.
+
+Usage: check_doc_links.py FILE.md [FILE.md ...]
+
+For every markdown link in the given files:
+
+* external links (http/https/mailto) are skipped;
+* `#anchor` links must match a heading in the same file;
+* `path` / `path#anchor` links must resolve relative to the linking
+  file, and when the target is markdown its anchor must match one of
+  its headings.
+
+Anchors are derived from headings with GitHub's slug rules: lowercase,
+drop everything but word characters, spaces and hyphens, turn spaces
+into hyphens, and suffix repeats with -1, -2, ...
+
+Exits non-zero listing every broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+# [text](target) — skips images' leading '!' automatically since we
+# only care about the (target); ignore targets with spaces (not links)
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # strip code spans
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path not in cache:
+        counts: dict = {}
+        anchors = set()
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if not m:
+                continue
+            slug = slugify(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = anchors
+    return cache[path]
+
+
+def check_file(path: Path, cache: dict) -> list:
+    errors = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            where = f"{path}:{lineno}"
+            if target.startswith("#"):
+                if target[1:] not in anchors_of(path, cache):
+                    errors.append(f"{where}: no heading for anchor '{target}'")
+                continue
+            rel, _, frag = target.partition("#")
+            dest = (path.parent / rel).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: missing file '{rel}'")
+                continue
+            if frag:
+                if dest.suffix.lower() not in (".md", ".markdown"):
+                    continue
+                if frag not in anchors_of(dest, cache):
+                    errors.append(f"{where}: no heading for '#{frag}' in '{rel}'")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    cache: dict = {}
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path, cache))
+    for e in errors:
+        print(e)
+    if not errors:
+        print(f"ok: {len(argv) - 1} files, all internal links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
