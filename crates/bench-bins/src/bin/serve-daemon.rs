@@ -22,12 +22,18 @@
 //!   serve until killed).
 //! * `--replicas/--threads/--minibatch/--queue-cap/--max-wait-ms` —
 //!   per-model serving shape (defaults `1`/`2`/`4`/derived/`2`).
+//! * `--tune off|model|measured` — plan-time autotuning level of the
+//!   hosted convolutions (default: the `ANATOMY_TUNE` env var, else
+//!   `off`).
+//! * `--tune-cache PATH` — persistent tuning cache: loaded before the
+//!   models build (a restart replays tuned winners with zero
+//!   micro-bench runs) and saved back once hosting finishes.
 //!
 //! Prints the final stats snapshot on orderly exit.
 
-use anatomy::daemon::{Daemon, DaemonConfig, ModelConfig};
+use anatomy::daemon::{Daemon, DaemonConfig, ModelConfig, ModelRegistry};
 use anatomy::serve::ServeConfig;
-use anatomy::{ConvOpts, GraphBuilder, ModelSpec, StateDict};
+use anatomy::{ConvOpts, GraphBuilder, ModelSpec, StateDict, TuneLevel};
 use bench_bins::{arg_str, arg_usize};
 use std::time::Duration;
 
@@ -79,6 +85,11 @@ fn run() -> Result<(), String> {
     let minibatch = arg_usize("--minibatch", 4);
     let max_wait_ms = arg_usize("--max-wait-ms", 2);
     let queue_cap = arg_usize("--queue-cap", 0);
+    let tune = match arg_str("--tune") {
+        Some(v) => TuneLevel::parse(&v).map_err(|e| format!("--tune: {e}"))?,
+        None => TuneLevel::from_env().unwrap_or_default(),
+    };
+    let tune_cache = arg_str("--tune-cache");
 
     let mut specs = args_multi("--model");
     if specs.is_empty() {
@@ -97,7 +108,8 @@ fn run() -> Result<(), String> {
         let model = stock_model(hw, classes, 0x5eed + seed as u64)
             .map_err(|e| format!("model '{name}': {e}"))?;
         let mut serve = ServeConfig::new(replicas, threads, minibatch)
-            .with_max_wait(Duration::from_millis(max_wait_ms as u64));
+            .with_max_wait(Duration::from_millis(max_wait_ms as u64))
+            .with_tune(tune);
         if queue_cap > 0 {
             serve = serve.with_queue_cap(queue_cap);
         }
@@ -111,8 +123,29 @@ fn run() -> Result<(), String> {
         models.push(cfg);
     }
 
-    let daemon =
-        Daemon::bind(DaemonConfig::new(&addr), models).map_err(|e| format!("bind {addr}: {e}"))?;
+    // tuning cache first, models second: winners loaded from disk make
+    // every tuned build below a pure replay (zero micro-bench runs)
+    let mut registry = ModelRegistry::new();
+    if let Some(path) = &tune_cache {
+        if std::path::Path::new(path).exists() {
+            let n = registry
+                .cache()
+                .load_tuning(path)
+                .map_err(|e| format!("--tune-cache {path}: {e}"))?;
+            eprintln!("# tuning cache: loaded {n} winners from {path}");
+        }
+    }
+    for model in models {
+        registry.host(model).map_err(|e| format!("host: {e}"))?;
+    }
+    if let Some(path) = &tune_cache {
+        let n =
+            registry.cache().save_tuning(path).map_err(|e| format!("--tune-cache {path}: {e}"))?;
+        eprintln!("# tuning cache: saved {n} winners to {path}");
+    }
+
+    let daemon = Daemon::bind_registry(DaemonConfig::new(&addr), registry)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
     let bound = daemon.local_addr();
     if let Some(path) = &addr_file {
         std::fs::write(path, bound.to_string()).map_err(|e| format!("--addr-file {path}: {e}"))?;

@@ -41,45 +41,40 @@ pub struct Blocking {
 }
 
 /// Choose the blocking for `shape` (forward geometry `P × Q`).
+///
+/// The register-blocking rule lives in
+/// [`machine::register_blocking`] so the traffic model always scores
+/// the blocking the kernel actually runs (a cross-crate consistency
+/// test pins the two together).
 pub fn choose(shape: &ConvShape) -> Blocking {
     let (p, q) = (shape.p(), shape.q());
-    let rbq = choose_rbq(q);
-    let mut rbp = 1;
-    // cover FMA latency with RBP when the row is too narrow
-    while rbp * rbq < MIN_CHAINS && rbp < p && (rbp + 1) * rbq <= MAX_ACC {
-        rbp += 1;
-    }
+    let (rbp, rbq) = machine::register_blocking(MIN_CHAINS, p, q);
     let cb_inner = if shape.r == 1 && shape.s == 1 { shape.cb() } else { 1 };
 
     // weight update: full rows, with BP bounded so the dO block stays
     // within a fraction of L1 (Section II-J: "block the spatial
     // dimensions depending on the layer characteristics")
     let upd_bq = q;
-    let do_row_bytes = q * VLEN * 4;
-    let upd_bp = (16 * 1024 / do_row_bytes).clamp(1, p);
+    let upd_bp = choose_upd_bp(p, q);
 
     Blocking { rbp, rbq, cb_inner, upd_bp, upd_bq }
 }
 
+/// Weight-update spatial BP: sweep every candidate and keep the
+/// largest whose dO block (`bp` rows of `q` pixel vectors) stays
+/// within half of L1 — the Section II-J working-set bound the paper
+/// blocks the spatial dimensions for. (BQ stays the full row: the
+/// update kernels sweep complete rows by construction.)
+pub(crate) fn choose_upd_bp(p: usize, q: usize) -> usize {
+    let do_row_bytes = q * VLEN * 4;
+    (1..=p).filter(|bp| bp * do_row_bytes <= 16 * 1024).max().unwrap_or(1)
+}
+
 /// Largest `RBQ ≤ MAX_ACC` that divides `Q`, preferring at least
 /// `MIN_CHAINS`; falls back to `min(Q, 28)` plus a remainder variant.
+#[cfg(test)]
 fn choose_rbq(q: usize) -> usize {
-    if q <= MAX_ACC {
-        return q;
-    }
-    let mut best = 0;
-    for cand in (1..=MAX_ACC).rev() {
-        if q.is_multiple_of(cand) {
-            best = cand;
-            break;
-        }
-    }
-    if best >= MIN_CHAINS {
-        best
-    } else {
-        // accept a remainder tile rather than a tiny register block
-        MAX_ACC
-    }
+    machine::register_blocking(MIN_CHAINS, usize::MAX, q).1
 }
 
 impl Blocking {

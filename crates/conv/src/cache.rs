@@ -19,6 +19,7 @@
 use crate::backend::Backend;
 use crate::fuse::FusedOp;
 use crate::layer::{ConvLayer, LayerOptions};
+use crate::tune::{TuneLevel, TuneStore};
 use machine::MachineModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -46,6 +47,9 @@ struct LayerKey {
     /// shape.
     out_pad: usize,
     machine: MachineModel,
+    /// Tuning level: a `Measured`-tuned plan and the heuristic plan of
+    /// the same shape are different plans and must not collide.
+    tune: TuneLevel,
 }
 
 impl Eq for LayerKey {}
@@ -63,6 +67,7 @@ impl std::hash::Hash for LayerKey {
         self.input_pad.hash(state);
         self.dout_pad.hash(state);
         self.out_pad.hash(state);
+        self.tune.hash(state);
         let m = &self.machine;
         m.name.hash(state);
         m.cores.hash(state);
@@ -90,6 +95,7 @@ impl LayerKey {
             dout_pad: opts.dout_pad,
             out_pad: opts.out_pad,
             machine: opts.machine.clone(),
+            tune: opts.tune,
         }
     }
 }
@@ -119,6 +125,19 @@ pub struct PlanCacheStats {
     /// the cache behaviour of folded-BN inference plans observable
     /// next to the plain training plans.
     pub per_op: [FusedOpCacheStats; FusedOp::ALL.len()],
+    /// Plans built with an autotuned blocking (`Model` or `Measured`
+    /// outcome).
+    pub tuned_plans: usize,
+    /// Plans built with the heuristic blocking.
+    pub heuristic_plans: usize,
+    /// Tuning searches run through this cache's [`TuneStore`] (store
+    /// hits and disk-loaded winners don't count).
+    pub tune_runs: usize,
+    /// Candidate micro-bench measurements performed (0 when every
+    /// winner came from the on-disk tuning cache).
+    pub tune_micro_runs: usize,
+    /// Total wall-clock spent tuning, in milliseconds.
+    pub tune_time_ms: f64,
 }
 
 impl PlanCacheStats {
@@ -163,6 +182,9 @@ struct Inner {
     hits: AtomicUsize,
     misses: AtomicUsize,
     per_op: PerOpCounters,
+    tune_store: TuneStore,
+    tuned_plans: AtomicUsize,
+    heuristic_plans: AtomicUsize,
 }
 
 /// A shareable cache of fully planned convolution layers.
@@ -189,6 +211,9 @@ impl PlanCache {
                 hits: AtomicUsize::new(0),
                 misses: AtomicUsize::new(0),
                 per_op: PerOpCounters::default(),
+                tune_store: TuneStore::new(),
+                tuned_plans: AtomicUsize::new(0),
+                heuristic_plans: AtomicUsize::new(0),
             }),
         }
     }
@@ -210,9 +235,45 @@ impl PlanCache {
         }
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
         self.inner.per_op.misses[op].fetch_add(1, Ordering::Relaxed);
+        let mut opts = opts;
+        if opts.tune != TuneLevel::Heuristic && opts.tune_store.is_none() {
+            // route tuning through the cache's shared store, so every
+            // (shape, machine, level) tunes at most once per cache —
+            // replicas and repeated builds replay the memoized winner
+            opts.tune_store = Some(self.inner.tune_store.clone());
+        }
         let plan = Arc::new(ConvLayer::new(shape, opts));
+        match plan.tune_outcome().level {
+            TuneLevel::Heuristic => &self.inner.heuristic_plans,
+            _ => &self.inner.tuned_plans,
+        }
+        .fetch_add(1, Ordering::Relaxed);
         plans.insert(key, Arc::clone(&plan));
         plan
+    }
+
+    /// The cache's shared memo of tuning winners.
+    pub fn tune_store(&self) -> &TuneStore {
+        &self.inner.tune_store
+    }
+
+    /// Load an on-disk tuning cache (see [`TuneStore::load`]) into the
+    /// shared store: subsequent tuned builds replay the winners with
+    /// zero micro-bench runs. Returns the number of entries read.
+    ///
+    /// # Errors
+    /// Any I/O error from the read; `InvalidData` for malformed files.
+    pub fn load_tuning(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        self.inner.tune_store.load(path)
+    }
+
+    /// Persist the tuning winners to disk (see [`TuneStore::save`]).
+    /// Returns the number of entries written.
+    ///
+    /// # Errors
+    /// Any I/O error from the write.
+    pub fn save_tuning(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<usize> {
+        self.inner.tune_store.save(path)
     }
 
     /// Lookups served from the cache so far.
@@ -242,7 +303,17 @@ impl PlanCache {
             s.hits = self.inner.per_op.hits[i].load(Ordering::Relaxed);
             s.misses = self.inner.per_op.misses[i].load(Ordering::Relaxed);
         }
-        PlanCacheStats { hits: self.hits(), misses: self.misses(), entries: self.len(), per_op }
+        PlanCacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            entries: self.len(),
+            per_op,
+            tuned_plans: self.inner.tuned_plans.load(Ordering::Relaxed),
+            heuristic_plans: self.inner.heuristic_plans.load(Ordering::Relaxed),
+            tune_runs: self.inner.tune_store.tune_runs(),
+            tune_micro_runs: self.inner.tune_store.micro_bench_runs(),
+            tune_time_ms: self.inner.tune_store.tune_time_ms(),
+        }
     }
 
     /// Snapshot of this plan cache *and* the process-wide kernel code
@@ -344,6 +415,57 @@ mod tests {
         assert_eq!(combined.plans.misses, cache.misses());
         // building a plan touches the process-wide kernel code cache
         assert!(combined.kernels.hits + combined.kernels.misses > 0);
+    }
+
+    #[test]
+    fn tune_level_is_part_of_the_key() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        let b = cache.get_or_build(small_shape(), LayerOptions::new(2).with_tune(TuneLevel::Model));
+        assert!(!Arc::ptr_eq(&a, &b), "tuned and heuristic plans must not collide");
+        assert_eq!(cache.misses(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.heuristic_plans, 1);
+        assert_eq!(stats.tuned_plans, 1);
+        assert_eq!(stats.tune_runs, 1);
+    }
+
+    #[test]
+    fn same_shape_and_machine_tunes_exactly_once() {
+        let cache = PlanCache::new();
+        let model = LayerOptions::new(2).with_tune(TuneLevel::Model);
+        // fused variants are distinct *plans* but the same tuning key:
+        // the blocking search must run once for all of them
+        let a = cache.get_or_build(small_shape(), model.clone());
+        let b = cache.get_or_build(small_shape(), model.clone().with_fuse(FusedOp::Relu));
+        let c = cache.get_or_build(small_shape(), model.clone().with_fuse(FusedOp::BiasRelu));
+        let _ = cache.get_or_build(small_shape(), model); // pure hit
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.stats().tune_runs, 1, "one search for one (shape, machine, level)");
+        assert_eq!(a.blocking(), b.blocking());
+        assert_eq!(b.blocking(), c.blocking());
+    }
+
+    #[test]
+    fn tuning_survives_a_save_load_round_trip_with_zero_micro_runs() {
+        let cache = PlanCache::new();
+        let _ = cache.get_or_build(small_shape(), LayerOptions::new(2).with_tune(TuneLevel::Model));
+        let dir = std::env::temp_dir().join("anatomy-tune-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("tunes-{}.bin", std::process::id()));
+        assert_eq!(cache.save_tuning(&path).unwrap(), 1);
+
+        // a fresh cache (a daemon restart) replays the winner from disk
+        let restarted = PlanCache::new();
+        assert_eq!(restarted.load_tuning(&path).unwrap(), 1);
+        let plan =
+            restarted.get_or_build(small_shape(), LayerOptions::new(2).with_tune(TuneLevel::Model));
+        let stats = restarted.stats();
+        assert_eq!(stats.tune_runs, 0, "restart must not re-tune");
+        assert_eq!(stats.tune_micro_runs, 0, "restart must not micro-bench");
+        assert_eq!(stats.tuned_plans, 1);
+        assert!(plan.tune_outcome().predicted_gflops > 0.0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -7,17 +7,19 @@
 //! executor, the benchmarks and the examples all build on.
 
 use crate::backend::Backend;
-use crate::blocking::{self, Blocking};
+use crate::blocking::Blocking;
 use crate::bwd::{BwdKind, BwdPlan};
 use crate::fuse::{FuseCtx, FusedOp};
 use crate::fwd::FwdPlan;
+use crate::tune::{self, TuneLevel, TuneOutcome, TuneStore};
 use crate::upd::UpdPlan;
 use machine::MachineModel;
 use parallel::ThreadPool;
+use std::sync::Arc;
 use tensor::{BlockedActs, BlockedFilter, ConvShape};
 
 /// Configuration of a layer's engines.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct LayerOptions {
     /// Thread-team size the plans are dryrun for.
     pub threads: usize,
@@ -40,6 +42,33 @@ pub struct LayerOptions {
     /// (graph executors set this when a fused convolution produces
     /// directly into a blob a later padded convolution consumes).
     pub out_pad: usize,
+    /// How hard the planner searches for the blocking (Section II-B's
+    /// rule of thumb vs. the autotuner of `crate::tune`).
+    pub tune: TuneLevel,
+    /// Shared memo of tuning winners; `PlanCache` attaches its own so
+    /// replicas and repeated builds never re-tune the same key.
+    pub tune_store: Option<TuneStore>,
+    /// The thread pool `TuneLevel::Measured` micro-benches on. Must
+    /// match `threads`; without it, `Measured` degrades to `Model`.
+    pub pool: Option<Arc<ThreadPool>>,
+}
+
+impl std::fmt::Debug for LayerOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayerOptions")
+            .field("threads", &self.threads)
+            .field("backend", &self.backend)
+            .field("prefetch", &self.prefetch)
+            .field("fuse", &self.fuse)
+            .field("machine", &self.machine.name)
+            .field("input_pad", &self.input_pad)
+            .field("dout_pad", &self.dout_pad)
+            .field("out_pad", &self.out_pad)
+            .field("tune", &self.tune)
+            .field("tune_store", &self.tune_store.is_some())
+            .field("pool", &self.pool.is_some())
+            .finish()
+    }
 }
 
 impl LayerOptions {
@@ -54,6 +83,9 @@ impl LayerOptions {
             input_pad: None,
             dout_pad: None,
             out_pad: 0,
+            tune: TuneLevel::default(),
+            tune_store: None,
+            pool: None,
         }
     }
 
@@ -93,6 +125,30 @@ impl LayerOptions {
         self.prefetch = prefetch;
         self
     }
+
+    /// Set the tuning level.
+    pub fn with_tune(mut self, tune: TuneLevel) -> Self {
+        self.tune = tune;
+        self
+    }
+
+    /// Attach a shared tuning-winner store.
+    pub fn with_tune_store(mut self, store: TuneStore) -> Self {
+        self.tune_store = Some(store);
+        self
+    }
+
+    /// Attach the pool `Measured` tuning micro-benches on.
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Set the machine model (hosts calibrate one via `machine::host`).
+    pub fn with_machine(mut self, machine: MachineModel) -> Self {
+        self.machine = machine;
+        self
+    }
 }
 
 /// A fully planned convolution layer (fwd + bwd + upd).
@@ -100,15 +156,18 @@ pub struct ConvLayer {
     shape: ConvShape,
     opts: LayerOptions,
     blocking: Blocking,
+    tune_outcome: TuneOutcome,
     fwd: FwdPlan,
     bwd: BwdPlan,
     upd: UpdPlan,
 }
 
 impl ConvLayer {
-    /// Full setup: blocking choice, kernel generation, dryrun.
+    /// Full setup: blocking choice (heuristic or autotuned, per
+    /// `opts.tune`), kernel generation, dryrun.
     pub fn new(shape: ConvShape, opts: LayerOptions) -> Self {
-        let b = blocking::choose(&shape);
+        let outcome = tune::resolve(&shape, &opts);
+        let b = outcome.blocking;
         let input_pad = opts.input_pad.unwrap_or(shape.pad);
         let fwd = FwdPlan::with_pads(
             shape,
@@ -134,7 +193,7 @@ impl ConvLayer {
             dout_pad,
             input_pad,
         );
-        Self { shape, opts, blocking: b, fwd, bwd, upd }
+        Self { shape, opts, blocking: b, tune_outcome: outcome, fwd, bwd, upd }
     }
 
     /// Physical padding the plans expect on the input tensor.
@@ -150,6 +209,12 @@ impl ConvLayer {
     /// The blocking in effect.
     pub fn blocking(&self) -> &Blocking {
         &self.blocking
+    }
+
+    /// How the blocking was chosen (level, predicted/measured GFLOPS,
+    /// candidates ranked, tuning wall-clock).
+    pub fn tune_outcome(&self) -> &TuneOutcome {
+        &self.tune_outcome
     }
 
     /// Backward strategy chosen (Section II-I scenario).

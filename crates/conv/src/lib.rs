@@ -20,7 +20,8 @@
 //! transforms of Section II-I ([`bwd`]); int16 kernels implement the
 //! reduced-precision path of Section II-K ([`quant`]); [`mod@reference`]
 //! holds the naive Algorithm 1/6/8 loop nests every engine is tested
-//! against.
+//! against. The blocking choice itself can escalate from the Section
+//! II-B heuristic to a model-ranked or measured search ([`tune`]).
 
 pub mod backend;
 pub mod blocking;
@@ -32,6 +33,7 @@ pub mod layer;
 pub mod quant;
 pub mod reference;
 pub mod streams;
+pub mod tune;
 pub mod upd;
 
 pub use backend::{kernel_cache_stats, Backend, FwdKernel, KernelCacheStats, UpdKernel};
@@ -40,3 +42,4 @@ pub use cache::{CombinedCacheStats, FusedOpCacheStats, PlanCache, PlanCacheStats
 pub use fuse::FusedOp;
 pub use layer::{ConvLayer, LayerOptions};
 pub use tensor::ConvShape;
+pub use tune::{TuneLevel, TuneOutcome, TuneStore};

@@ -1,0 +1,150 @@
+//! Property-based legality tests of the blocking rule and the
+//! autotuner's candidate space, plus the cross-crate consistency
+//! contract: [`machine::traffic::model_register_blocking`] and
+//! [`conv::blocking::choose`] share one register-blocking rule, so the
+//! traffic model always scores the blocking the kernels actually run.
+
+use conv::blocking::{choose, MAX_ACC, MIN_CHAINS};
+use conv::tune;
+use machine::MachineModel;
+use proptest::prelude::*;
+use tensor::{ConvShape, VLEN};
+
+/// Every P×Q plane must be tiled exactly: full tiles plus (possibly)
+/// one remainder row/column of tiles, with no pixel left uncovered and
+/// no tile starting outside the plane.
+fn assert_tiles_cover_plane(rbp: usize, rbq: usize, p: usize, q: usize) {
+    let (tp, tq) = (p.div_ceil(rbp), q.div_ceil(rbq));
+    // the last tile still starts inside the plane...
+    assert!((tp - 1) * rbp < p, "rbp={rbp} p={p}");
+    assert!((tq - 1) * rbq < q, "rbq={rbq} q={q}");
+    // ...and the tiling reaches the far edge (remainder tiles included)
+    assert!(tp * rbp >= p, "rbp={rbp} p={p}");
+    assert!(tq * rbq >= q, "rbq={rbq} q={q}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The heuristic's result is always legal: register budget
+    /// respected, FMA latency covered whenever the plane allows it,
+    /// plane tiled exactly, `cb_inner` a divisor of `Cb`, update
+    /// blocking within bounds.
+    #[test]
+    fn chosen_blocking_is_always_legal(
+        cb in 1usize..6,
+        kb in 1usize..4,
+        h in 1usize..120,
+        w in 1usize..120,
+        spatial in any::<bool>(),
+        stride in 1usize..3,
+    ) {
+        let (r, pad) = if spatial { (3, 1) } else { (1, 0) };
+        prop_assume!(h + 2 * pad >= r && w + 2 * pad >= r);
+        let shape = ConvShape::new(1, cb * VLEN, kb * VLEN, h, w, r, r, stride, pad);
+        let (p, q) = (shape.p(), shape.q());
+        let b = choose(&shape);
+
+        prop_assert!(b.rbp * b.rbq <= MAX_ACC, "{}: {:?}", shape, b);
+        prop_assert!(b.rbp >= 1 && b.rbp <= p, "{}: {:?}", shape, b);
+        prop_assert!(b.rbq >= 1 && b.rbq <= q, "{}: {:?}", shape, b);
+        // MIN_CHAINS covered when the plane (under the register
+        // budget) allows it: the budget caps coverage at MAX_ACC, the
+        // plane at p*q
+        if p * q >= MIN_CHAINS {
+            prop_assert!(
+                b.rbp * b.rbq >= MIN_CHAINS.min(p.min(MAX_ACC / b.rbq) * b.rbq),
+                "{}: {:?}", shape, b
+            );
+        }
+        prop_assert!(shape.cb().is_multiple_of(b.cb_inner), "{}: {:?}", shape, b);
+        prop_assert!(b.upd_bp >= 1 && b.upd_bp <= p, "{}: {:?}", shape, b);
+        prop_assert_eq!(b.upd_bq, q, "update kernels sweep full rows");
+        assert_tiles_cover_plane(b.rbp, b.rbq, p, q);
+    }
+
+    /// Every candidate the autotuner enumerates satisfies the same
+    /// legality constraints, and the set always contains the
+    /// heuristic's choice (so a tuned plan can never be *less* legal
+    /// or lose the baseline).
+    #[test]
+    fn every_enumerated_candidate_is_legal(
+        cb in 1usize..6,
+        kb in 1usize..4,
+        h in 1usize..80,
+        w in 1usize..80,
+        spatial in any::<bool>(),
+        stride in 1usize..3,
+    ) {
+        let (r, pad) = if spatial { (3, 1) } else { (1, 0) };
+        prop_assume!(h + 2 * pad >= r && w + 2 * pad >= r);
+        let shape = ConvShape::new(1, cb * VLEN, kb * VLEN, h, w, r, r, stride, pad);
+        let (p, q) = (shape.p(), shape.q());
+        let cands = tune::candidates(&shape);
+        prop_assert!(!cands.is_empty(), "{}", shape);
+        let max_chains = cands.iter().map(|b| b.rbp * b.rbq).max().unwrap();
+        for b in &cands {
+            prop_assert!(b.rbp * b.rbq <= MAX_ACC, "{}: {:?}", shape, b);
+            prop_assert!(b.rbp >= 1 && b.rbp <= p, "{}: {:?}", shape, b);
+            prop_assert!(b.rbq >= 1 && b.rbq <= q, "{}: {:?}", shape, b);
+            prop_assert!(
+                b.rbp * b.rbq >= MIN_CHAINS.min(max_chains),
+                "candidate below the latency floor the plane allows: {}: {:?}", shape, b
+            );
+            prop_assert!(shape.cb().is_multiple_of(b.cb_inner), "{}: {:?}", shape, b);
+            prop_assert!(b.upd_bp >= 1 && b.upd_bp <= p, "{}: {:?}", shape, b);
+            prop_assert_eq!(b.upd_bq, q, "update kernels sweep full rows");
+            assert_tiles_cover_plane(b.rbp, b.rbq, p, q);
+        }
+        let h_choice = choose(&shape);
+        prop_assert!(
+            cands.contains(&h_choice),
+            "{}: heuristic {:?} missing from candidate space", shape, h_choice
+        );
+    }
+
+    /// Cross-crate consistency: the traffic model's assumed register
+    /// blocking equals the engine's chosen one on SKX (whose
+    /// `min_accum_chains` is the engine's `MIN_CHAINS`) — the two
+    /// crates can never silently disagree again.
+    #[test]
+    fn traffic_model_and_engine_agree_on_register_blocking(
+        cb in 1usize..4,
+        h in 1usize..120,
+        w in 1usize..120,
+        spatial in any::<bool>(),
+        stride in 1usize..3,
+    ) {
+        let (r, pad) = if spatial { (3, 1) } else { (1, 0) };
+        prop_assume!(h + 2 * pad >= r && w + 2 * pad >= r);
+        let shape = ConvShape::new(1, cb * VLEN, cb * VLEN, h, w, r, r, stride, pad);
+        let skx = MachineModel::skx();
+        prop_assert_eq!(skx.min_accum_chains(), MIN_CHAINS);
+        let (mrbp, mrbq) = machine::traffic::model_register_blocking(&skx, &shape);
+        let b = choose(&shape);
+        prop_assert_eq!((mrbp, mrbq), (b.rbp, b.rbq), "{}", shape);
+    }
+}
+
+/// The paper's concrete geometries, pinned (not random): the traffic
+/// model and the engine agree on every ResNet-50 Table I shape.
+#[test]
+fn table1_shapes_agree_across_crates() {
+    let skx = MachineModel::skx();
+    for shape in [
+        ConvShape::new(1, 64, 64, 56, 56, 3, 3, 1, 1),
+        ConvShape::new(1, 64, 256, 56, 56, 1, 1, 1, 0),
+        ConvShape::new(1, 256, 128, 56, 56, 1, 1, 2, 0),
+        ConvShape::new(1, 128, 128, 28, 28, 3, 3, 1, 1),
+        ConvShape::new(1, 256, 256, 14, 14, 3, 3, 1, 1),
+        ConvShape::new(1, 512, 512, 7, 7, 3, 3, 1, 1),
+        ConvShape::new(1, 1024, 2048, 14, 14, 1, 1, 2, 0),
+    ] {
+        let b = choose(&shape);
+        assert_eq!(
+            machine::traffic::model_register_blocking(&skx, &shape),
+            (b.rbp, b.rbq),
+            "{shape}"
+        );
+    }
+}

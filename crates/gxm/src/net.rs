@@ -225,11 +225,13 @@ struct GraphPlan {
 fn plan_graph(
     nl: &[NodeSpec],
     minibatch: usize,
-    threads: usize,
+    pool: &Arc<ThreadPool>,
     cache: &PlanCache,
     mode: ExecMode,
     fold_bn: bool,
+    tune: conv::TuneLevel,
 ) -> GraphPlan {
+    let threads = pool.nthreads();
     let etg = compile(nl);
     let nodes = &etg.eng.nodes;
     let index: HashMap<String, usize> =
@@ -412,7 +414,13 @@ fn plan_graph(
                             // carries its BN's consumer padding)
                             .with_input_pad(opad[bi])
                             .with_dout_pad(0)
-                            .with_out_pad(opad[i]),
+                            .with_out_pad(opad[i])
+                            // autotuning: the cache memoizes winners per
+                            // (shape, machine, level), so repeated shapes
+                            // search once; Measured micro-benches on the
+                            // network's own pool
+                            .with_tune(tune)
+                            .with_pool(Arc::clone(pool)),
                     ),
                 )
             }
@@ -584,11 +592,28 @@ impl Network {
         cache: &PlanCache,
         fold_bn: bool,
     ) -> Result<Self, Error> {
+        Self::build_tuned(spec, minibatch, pool, mode, cache, fold_bn, conv::TuneLevel::Heuristic)
+    }
+
+    /// [`Self::build_with_fold`] with the plan-time autotuner enabled:
+    /// every convolution's blocking is chosen at `tune` level
+    /// (see [`conv::TuneLevel`]), with winners memoized in `cache`'s
+    /// tuning store — replicas and repeated builds never re-tune, and
+    /// [`PlanCache::load_tuning`] lets a restart skip measurement
+    /// entirely.
+    pub fn build_tuned(
+        spec: &ModelSpec,
+        minibatch: usize,
+        pool: Arc<ThreadPool>,
+        mode: ExecMode,
+        cache: &PlanCache,
+        fold_bn: bool,
+        tune: conv::TuneLevel,
+    ) -> Result<Self, Error> {
         if minibatch == 0 {
             return Err(Error::BadInput("minibatch must be >= 1".to_string()));
         }
-        let threads = pool.nthreads();
-        let plan = plan_graph(spec.nodes(), minibatch, threads, cache, mode, fold_bn);
+        let plan = plan_graph(spec.nodes(), minibatch, &pool, cache, mode, fold_bn, tune);
         Ok(Self::allocate(plan, minibatch, pool, mode, spec.seed()))
     }
 

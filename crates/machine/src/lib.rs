@@ -30,4 +30,4 @@ pub use fabric::Fabric;
 pub use model::MachineModel;
 pub use predict::{predicted_efficiency, predicted_int16_speedup, Pass};
 pub use roofline::attainable_gflops_core;
-pub use traffic::ConvTraffic;
+pub use traffic::{forward_traffic, forward_traffic_with, register_blocking, ConvTraffic};

@@ -104,6 +104,36 @@ impl MachineModel {
         m.cores = cores;
         m
     }
+
+    /// A stable 64-bit fingerprint of every field — the machine half of
+    /// an autotuning-cache key (`(shape, fingerprint, level)`), so
+    /// tuning results measured on one machine model are never replayed
+    /// on a different one. FNV-1a over the field bytes; equal models
+    /// always fingerprint equally (f64 fields hash by bit pattern,
+    /// consistent with `PartialEq` — models never hold NaN).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&(self.cores as u64).to_le_bytes());
+        eat(&self.freq_ghz.to_bits().to_le_bytes());
+        eat(&(self.simd_f32 as u64).to_le_bytes());
+        eat(&(self.fma_per_cycle as u64).to_le_bytes());
+        eat(&(self.fma_latency as u64).to_le_bytes());
+        eat(&self.l2_read_gbs.to_bits().to_le_bytes());
+        eat(&self.l2_write_gbs.to_bits().to_le_bytes());
+        eat(&self.mem_bw_gbs.to_bits().to_le_bytes());
+        eat(&[u8::from(self.shared_llc)]);
+        eat(&self.int16_speedup.to_bits().to_le_bytes());
+        h
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +168,16 @@ mod tests {
     fn with_cores_scales_peak() {
         let m = MachineModel::skx().with_cores(14);
         assert!((m.peak_gflops() - 14.0 * 147.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let a = MachineModel::skx();
+        assert_eq!(a.fingerprint(), MachineModel::skx().fingerprint());
+        assert_ne!(a.fingerprint(), MachineModel::knm().fingerprint());
+        assert_ne!(a.fingerprint(), a.with_cores(14).fingerprint());
+        let mut b = a.clone();
+        b.l2_read_gbs += 1.0;
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -72,32 +72,82 @@ impl ConvTraffic {
     }
 }
 
-/// Register blocking choice used by the traffic model (the same policy
-/// as the real engine: cover the FMA latency, divide Q evenly).
-pub fn model_register_blocking(m: &MachineModel, shape: &ConvShape) -> (usize, usize) {
-    let q = shape.q();
-    let need = m.min_accum_chains();
-    // prefer the largest RBQ <= 28 that divides Q reasonably
-    let mut rbq = q.min(28);
-    for cand in (1..=q.min(28)).rev() {
-        if q.is_multiple_of(cand) {
-            rbq = cand;
-            break;
+/// Accumulator register budget assumed by the blocking rule (zmm0..27;
+/// zmm28..31 hold weights — the same constant as `conv::blocking::MAX_ACC`).
+pub const MAX_ACC_REGS: usize = 28;
+
+/// The canonical register-blocking rule, shared between the traffic
+/// model and the engine's `conv::blocking::choose` (which calls this
+/// with its `MIN_CHAINS` constant — a cross-crate consistency test
+/// pins the two to the same result):
+///
+/// * `RBQ` = `Q` when it fits the register budget, else the largest
+///   divisor of `Q` ≤ [`MAX_ACC_REGS`]; if every divisor is smaller
+///   than `need_chains`, take [`MAX_ACC_REGS`] and accept a remainder
+///   tile rather than a tiny register block;
+/// * `RBP` grows while `RBP × RBQ` is below `need_chains`, bounded by
+///   `P` and the register budget.
+pub fn register_blocking(need_chains: usize, p: usize, q: usize) -> (usize, usize) {
+    let rbq = if q <= MAX_ACC_REGS {
+        q
+    } else {
+        let mut best = 0;
+        for cand in (1..=MAX_ACC_REGS).rev() {
+            if q.is_multiple_of(cand) {
+                best = cand;
+                break;
+            }
         }
-    }
+        if best >= need_chains {
+            best
+        } else {
+            // accept a remainder tile rather than a tiny register block
+            MAX_ACC_REGS
+        }
+    };
     let mut rbp = 1;
-    while rbp * rbq < need && rbp < shape.p() {
+    while rbp * rbq < need_chains && rbp < p && (rbp + 1) * rbq <= MAX_ACC_REGS {
         rbp += 1;
     }
     (rbp, rbq)
 }
 
-/// Traffic estimate for one forward pass of `shape` on machine `m`.
+/// Register blocking the traffic model assumes for `shape` on `m`
+/// (the [`register_blocking`] rule at the machine's accumulation-chain
+/// requirement).
+pub fn model_register_blocking(m: &MachineModel, shape: &ConvShape) -> (usize, usize) {
+    register_blocking(m.min_accum_chains(), shape.p(), shape.q())
+}
+
+/// Traffic estimate for one forward pass of `shape` on machine `m`,
+/// at the blocking the engine would choose itself.
 pub fn forward_traffic(m: &MachineModel, shape: &ConvShape) -> ConvTraffic {
     let (rbp, rbq) = model_register_blocking(m, shape);
+    let cb_inner = if shape.r == 1 && shape.s == 1 { shape.cb() } else { 1 };
+    forward_traffic_with(m, shape, rbp, rbq, cb_inner)
+}
+
+/// Traffic estimate for one forward pass of `shape` at an *explicit*
+/// register blocking — the autotuner's scoring primitive: it lets the
+/// model rank arbitrary `(rbp, rbq, cb_inner)` candidates instead of
+/// only the one [`model_register_blocking`] would pick. Remainder
+/// tiles (when `rbp`/`rbq` do not divide `P`/`Q`) are counted as full
+/// tiles, matching the engine's remainder-variant generation.
+///
+/// `cb_inner` is the number of input-channel blocks reduced inside one
+/// kernel call: outputs are read + written once per `Cb / cb_inner`
+/// outer reduction step (Section II-C's 1×1 optimization generalized).
+pub fn forward_traffic_with(
+    m: &MachineModel,
+    shape: &ConvShape,
+    rbp: usize,
+    rbq: usize,
+    cb_inner: usize,
+) -> ConvTraffic {
+    let _ = m; // the traffic counts are machine-independent today
     let (p, q) = (shape.p(), shape.q());
     let (cb, kb) = (shape.cb(), shape.kb());
-    let tiles = shape.n as f64 * kb as f64 * (p as f64 / rbp as f64) * (q as f64 / rbq as f64);
+    let tiles = (shape.n * kb * p.div_ceil(rbp) * q.div_ceil(rbq)) as f64;
     let f32b = 4.0;
     let one_by_one = shape.r == 1 && shape.s == 1;
 
@@ -117,14 +167,14 @@ pub fn forward_traffic(m: &MachineModel, shape: &ConvShape) -> ConvTraffic {
     let weights_l1_resident = w_set <= L1_BYTES;
     let w_bytes_per_tile = if weights_l1_resident {
         // charged once per (n, kb) pass, amortized over the spatial tiles
-        (w_set as f64) / ((p as f64 / rbp as f64) * (q as f64 / rbq as f64))
+        (w_set as f64) / ((p.div_ceil(rbp) * q.div_ceil(rbq)) as f64)
     } else {
         w_set as f64
     };
 
-    // output tile bytes (read + write)
+    // output tile bytes (read + write): once per outer reduction step
     let out_tile = (rbp * rbq * VLEN) as f64 * f32b;
-    let out_passes = if one_by_one { 1.0 } else { cb as f64 };
+    let out_passes = cb.div_ceil(cb_inner.clamp(1, cb)) as f64;
 
     let l2_read = tiles * (cb as f64 * in_tile_bytes + w_bytes_per_tile + out_passes * out_tile);
     let l2_write = tiles * out_passes * out_tile;

@@ -249,6 +249,13 @@ impl ModelRegistry {
                     "serve_wire_errors_total {}",
                     self.counters.wire_errors.load(Ordering::Relaxed)
                 );
+                let plans = self.cache.stats();
+                let _ = writeln!(head, "serve_plans_tuned {}", plans.tuned_plans);
+                let _ = writeln!(head, "serve_plans_heuristic {}", plans.heuristic_plans);
+                let _ = writeln!(head, "serve_tune_runs_total {}", plans.tune_runs);
+                let _ =
+                    writeln!(head, "serve_tune_micro_bench_runs_total {}", plans.tune_micro_runs);
+                let _ = writeln!(head, "serve_tune_time_ms {:.3}", plans.tune_time_ms);
                 for (name, fe) in &self.models {
                     one(&mut out, name, fe);
                 }

@@ -55,6 +55,7 @@ pub use smallgemm;
 pub use tensor;
 pub use topologies;
 
+pub use conv::TuneLevel;
 pub use gxm::{ConvOpts, Error, GraphBuilder, IntoModelSpec, ModelSpec, StateDict};
 
 pub mod daemon;
@@ -157,6 +158,7 @@ impl InferenceSession {
             Arc::new(parallel::ThreadPool::new(threads)),
             conv::PlanCache::new(),
             false,
+            TuneLevel::Heuristic,
         )
     }
 
@@ -168,7 +170,22 @@ impl InferenceSession {
         pool: Arc<parallel::ThreadPool>,
         cache: conv::PlanCache,
     ) -> Result<Self, Error> {
-        Self::build(model, minibatch, pool, cache, true)
+        Self::build(model, minibatch, pool, cache, true, TuneLevel::Heuristic)
+    }
+
+    /// [`Self::with_shared`] with the plan-time autotuner enabled:
+    /// every convolution's blocking is chosen at `tune` level
+    /// (model-ranked search, optionally micro-bench-measured on
+    /// `pool`), with winners memoized in `cache` so replicas and
+    /// repeated builds never re-tune. See [`conv::tune`].
+    pub fn with_shared_tuned(
+        model: impl IntoModelSpec,
+        minibatch: usize,
+        pool: Arc<parallel::ThreadPool>,
+        cache: conv::PlanCache,
+        tune: TuneLevel,
+    ) -> Result<Self, Error> {
+        Self::build(model, minibatch, pool, cache, true, tune)
     }
 
     fn build(
@@ -177,15 +194,17 @@ impl InferenceSession {
         pool: Arc<parallel::ThreadPool>,
         cache: conv::PlanCache,
         fold_bn: bool,
+        tune: TuneLevel,
     ) -> Result<Self, Error> {
         let spec = model.into_model_spec()?;
-        let net = gxm::Network::build_with_fold(
+        let net = gxm::Network::build_tuned(
             &spec,
             minibatch,
             Arc::clone(&pool),
             gxm::ExecMode::Inference,
             &cache,
             fold_bn,
+            tune,
         )?;
         Ok(Self { net, pool, cache })
     }

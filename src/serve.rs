@@ -74,6 +74,11 @@ pub struct ServeConfig {
     /// behind it) without bound. Requests larger than the cap can
     /// never be admitted.
     pub queue_cap: usize,
+    /// Plan-time autotuning level for the replicas' convolutions (see
+    /// [`conv::TuneLevel`]). All replicas share one plan cache, so the
+    /// search runs once regardless of the replica count; `Measured`
+    /// micro-benches on replica 0's pool during its build.
+    pub tune: conv::TuneLevel,
 }
 
 impl ServeConfig {
@@ -88,7 +93,14 @@ impl ServeConfig {
             max_wait: Duration::from_millis(2),
             pin_replicas: true,
             queue_cap: (8 * replicas * minibatch).max(64),
+            tune: conv::TuneLevel::Heuristic,
         }
+    }
+
+    /// Set the plan-time autotuning level (see [`conv::TuneLevel`]).
+    pub fn with_tune(mut self, tune: conv::TuneLevel) -> Self {
+        self.tune = tune;
+        self
     }
 
     /// Override the deadline-flush window.
@@ -410,8 +422,13 @@ impl BatchingFrontend {
                 opts.without_pinning()
             };
             let pool = Arc::new(ThreadPool::with_options(opts));
-            let mut session =
-                InferenceSession::with_shared(spec, cfg.minibatch, pool, cache.clone())?;
+            let mut session = InferenceSession::with_shared_tuned(
+                spec,
+                cfg.minibatch,
+                pool,
+                cache.clone(),
+                cfg.tune,
+            )?;
             if let Some(sd) = weights {
                 session.load_state_dict(sd)?;
             }
