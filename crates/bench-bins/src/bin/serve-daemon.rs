@@ -25,6 +25,10 @@
 //! * `--tune off|model|measured` — plan-time autotuning level of the
 //!   hosted convolutions (default: the `ANATOMY_TUNE` env var, else
 //!   `off`).
+//! * `--precision f32|int8` — numeric execution mode of the hosted
+//!   replicas (default: the `ANATOMY_PRECISION` env var, else `f32`).
+//!   At `int8` every model calibrates on a small seeded sample batch
+//!   so all its convolutions join the quantized path.
 //! * `--tune-cache PATH` — persistent tuning cache: loaded before the
 //!   models build (a restart replays tuned winners with zero
 //!   micro-bench runs) and saved back once hosting finishes.
@@ -33,7 +37,7 @@
 
 use anatomy::daemon::{Daemon, DaemonConfig, ModelConfig, ModelRegistry};
 use anatomy::serve::ServeConfig;
-use anatomy::{ConvOpts, GraphBuilder, ModelSpec, StateDict, TuneLevel};
+use anatomy::{ConvOpts, GraphBuilder, ModelSpec, Precision, StateDict, TuneLevel};
 use bench_bins::{arg_str, arg_usize};
 use std::time::Duration;
 
@@ -50,6 +54,20 @@ fn stock_model(hw: usize, classes: usize, seed: u64) -> Result<ModelSpec, anatom
         .fc("logits", classes)
         .softmax("loss")
         .build()
+}
+
+/// Deterministic pseudo-random calibration pixels in `[-0.5, 0.5)` —
+/// representative of normalized inputs, reproducible across restarts.
+fn calib_batch(elems: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..elems)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+        })
+        .collect()
 }
 
 /// Collect every value of a repeatable `--key value` flag.
@@ -89,6 +107,10 @@ fn run() -> Result<(), String> {
         Some(v) => TuneLevel::parse(&v).map_err(|e| format!("--tune: {e}"))?,
         None => TuneLevel::from_env().unwrap_or_default(),
     };
+    let precision = match arg_str("--precision") {
+        Some(v) => Precision::parse(&v).map_err(|e| format!("--precision: {e}"))?,
+        None => Precision::from_env().unwrap_or_default(),
+    };
     let tune_cache = arg_str("--tune-cache");
 
     let mut specs = args_multi("--model");
@@ -109,7 +131,15 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("model '{name}': {e}"))?;
         let mut serve = ServeConfig::new(replicas, threads, minibatch)
             .with_max_wait(Duration::from_millis(max_wait_ms as u64))
-            .with_tune(tune);
+            .with_tune(tune)
+            .with_precision(precision);
+        if precision == Precision::Int8 {
+            // the stock models carry no batch norm, so the quantized
+            // path needs measured activation ranges: calibrate every
+            // replica on a reproducible seeded batch
+            serve =
+                serve.with_calibration(calib_batch(minibatch * 3 * hw * hw, 0xca11b + seed as u64));
+        }
         if queue_cap > 0 {
             serve = serve.with_queue_cap(queue_cap);
         }
@@ -119,7 +149,7 @@ fn run() -> Result<(), String> {
             let sd = StateDict::load(path).map_err(|e| format!("--weights {name}={path}: {e}"))?;
             cfg = cfg.with_weights(sd);
         }
-        eprintln!("# hosting '{name}': 3x{hw}x{hw} -> {classes} classes");
+        eprintln!("# hosting '{name}': 3x{hw}x{hw} -> {classes} classes ({})", precision.name());
         models.push(cfg);
     }
 

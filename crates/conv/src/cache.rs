@@ -18,7 +18,7 @@
 
 use crate::backend::Backend;
 use crate::fuse::FusedOp;
-use crate::layer::{ConvLayer, LayerOptions};
+use crate::layer::{ConvLayer, LayerOptions, Precision};
 use crate::tune::{TuneLevel, TuneStore};
 use machine::MachineModel;
 use std::collections::HashMap;
@@ -50,6 +50,13 @@ struct LayerKey {
     /// Tuning level: a `Measured`-tuned plan and the heuristic plan of
     /// the same shape are different plans and must not collide.
     tune: TuneLevel,
+    /// Numeric execution mode: an int8 plan (f32 plans + quant plan)
+    /// and the plain f32 plan of the same shape must not collide.
+    precision: Precision,
+    /// Accumulation-chain bound of the int8 plan. Normalized to 0 at
+    /// `F32` (where it is ignored), so chain-length variants of f32
+    /// requests unify while int8 variants stay distinct.
+    chain_limit: usize,
 }
 
 impl Eq for LayerKey {}
@@ -68,6 +75,8 @@ impl std::hash::Hash for LayerKey {
         self.dout_pad.hash(state);
         self.out_pad.hash(state);
         self.tune.hash(state);
+        self.precision.hash(state);
+        self.chain_limit.hash(state);
         let m = &self.machine;
         m.name.hash(state);
         m.cores.hash(state);
@@ -96,6 +105,8 @@ impl LayerKey {
             out_pad: opts.out_pad,
             machine: opts.machine.clone(),
             tune: opts.tune,
+            precision: opts.precision,
+            chain_limit: if opts.precision == Precision::Int8 { opts.chain_limit } else { 0 },
         }
     }
 }
@@ -138,6 +149,11 @@ pub struct PlanCacheStats {
     pub tune_micro_runs: usize,
     /// Total wall-clock spent tuning, in milliseconds.
     pub tune_time_ms: f64,
+    /// Plans built at [`Precision::F32`].
+    pub f32_plans: usize,
+    /// Plans built at [`Precision::Int8`] (f32 plans + a fused
+    /// quantized forward plan).
+    pub int8_plans: usize,
 }
 
 impl PlanCacheStats {
@@ -185,6 +201,8 @@ struct Inner {
     tune_store: TuneStore,
     tuned_plans: AtomicUsize,
     heuristic_plans: AtomicUsize,
+    f32_plans: AtomicUsize,
+    int8_plans: AtomicUsize,
 }
 
 /// A shareable cache of fully planned convolution layers.
@@ -214,6 +232,8 @@ impl PlanCache {
                 tune_store: TuneStore::new(),
                 tuned_plans: AtomicUsize::new(0),
                 heuristic_plans: AtomicUsize::new(0),
+                f32_plans: AtomicUsize::new(0),
+                int8_plans: AtomicUsize::new(0),
             }),
         }
     }
@@ -243,6 +263,11 @@ impl PlanCache {
             opts.tune_store = Some(self.inner.tune_store.clone());
         }
         let plan = Arc::new(ConvLayer::new(shape, opts));
+        match plan.precision() {
+            Precision::F32 => &self.inner.f32_plans,
+            Precision::Int8 => &self.inner.int8_plans,
+        }
+        .fetch_add(1, Ordering::Relaxed);
         match plan.tune_outcome().level {
             TuneLevel::Heuristic => &self.inner.heuristic_plans,
             _ => &self.inner.tuned_plans,
@@ -313,6 +338,8 @@ impl PlanCache {
             tune_runs: self.inner.tune_store.tune_runs(),
             tune_micro_runs: self.inner.tune_store.micro_bench_runs(),
             tune_time_ms: self.inner.tune_store.tune_time_ms(),
+            f32_plans: self.inner.f32_plans.load(Ordering::Relaxed),
+            int8_plans: self.inner.int8_plans.load(Ordering::Relaxed),
         }
     }
 
@@ -466,6 +493,29 @@ mod tests {
         assert_eq!(stats.tuned_plans, 1);
         assert!(plan.tune_outcome().predicted_gflops > 0.0);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn precision_and_chain_limit_are_part_of_the_key() {
+        let cache = PlanCache::new();
+        let f32_plan = cache.get_or_build(small_shape(), LayerOptions::new(2));
+        let int8 = LayerOptions::new(2).with_precision(Precision::Int8);
+        let int8_plan = cache.get_or_build(small_shape(), int8.clone());
+        assert!(!Arc::ptr_eq(&f32_plan, &int8_plan), "int8 must not collide with f32");
+        assert!(int8_plan.quant_plan().is_some());
+        assert!(f32_plan.quant_plan().is_none());
+        // chain-length variants of the int8 plan are distinct plans
+        let short = cache.get_or_build(small_shape(), int8.clone().with_chain_limit(1));
+        assert!(!Arc::ptr_eq(&int8_plan, &short), "chain-limit variants must not collide");
+        // ...but chain limit is ignored (normalized) for f32 requests
+        let f32_chain = cache.get_or_build(small_shape(), LayerOptions::new(2).with_chain_limit(1));
+        assert!(Arc::ptr_eq(&f32_plan, &f32_chain), "chain limit is an int8-only knob");
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.f32_plans, 1);
+        assert_eq!(stats.int8_plans, 2);
+        assert_eq!(stats.f32_plans + stats.int8_plans, stats.misses);
     }
 
     #[test]

@@ -186,6 +186,71 @@ pub unsafe fn apply_tile(op: FusedOp, rec: &ApplyRec, out: *mut f32, ctx: &FuseC
     }
 }
 
+/// Requantizing apply for the int8 path: the tile holds raw int32
+/// accumulators (written bit-wise into the f32 tensor's storage by the
+/// int16 kernels); this converts them in place to
+/// `f32 = acc · mult[k]` and then applies `op`'s extras (bias, residual
+/// add, ReLU) while the tile is cache-hot — the quantize→conv→requant
+/// chain of the paper's low-precision section folded into one APPLY.
+///
+/// `op == FusedOp::None` still performs the conversion (pure requant).
+/// The bias stays f32 (it is the folded-BN bias, added *after*
+/// dequantization), and the residual is read as f32 from a tensor with
+/// the output's geometry.
+///
+/// # Safety
+/// Same contract as [`apply_tile`]; additionally every element of the
+/// tile must hold an int32 accumulator exactly once before this runs
+/// (the stream replay guarantees it: the APPLY follows the tile's last
+/// channel-block reduction).
+#[allow(clippy::needless_range_loop)]
+pub unsafe fn apply_tile_requant(
+    op: FusedOp,
+    rec: &ApplyRec,
+    out: *mut f32,
+    mult: &[f32],
+    ctx: &FuseCtx<'_>,
+) {
+    let cols = rec.cols as usize;
+    let m = mult.as_ptr().add(rec.kb as usize * VLEN);
+    let mut bias = [0.0f32; VLEN];
+    if op.needs_bias() {
+        let b = ctx.bias.expect("plan validated the bias").as_ptr().add(rec.kb as usize * VLEN);
+        for (v, dst) in bias.iter_mut().enumerate() {
+            *dst = *b.add(v);
+        }
+    }
+    let relu = matches!(
+        op,
+        FusedOp::Relu | FusedOp::BiasRelu | FusedOp::EltwiseRelu | FusedOp::BiasEltwiseRelu
+    );
+    let (add_bias, add_elt) = (op.needs_bias(), op.needs_eltwise());
+    let elt = ctx.eltwise.map(|e| e.as_ptr());
+    for row in 0..rec.rows as usize {
+        let base = rec.out_off as usize + row * rec.row_stride as usize;
+        let px = out.add(base);
+        let acc = px as *const i32;
+        // the flag tests are loop-invariant; LLVM unswitches them out
+        // of this (load, convert, fma, store) walk
+        for c in 0..cols {
+            for v in 0..VLEN {
+                let i = c * VLEN + v;
+                let mut x = *acc.add(i) as f32 * *m.add(v);
+                if add_bias {
+                    x += bias[v];
+                }
+                if add_elt {
+                    x += *elt.unwrap_unchecked().add(base + i);
+                }
+                if relu {
+                    x = x.max(0.0);
+                }
+                *px.add(i) = x;
+            }
+        }
+    }
+}
+
 /// Reference (unfused) application over a whole tensor — used by tests
 /// and by the unfused baselines. When the op needs eltwise, the
 /// residual must share the output's *physical* geometry (same padding).

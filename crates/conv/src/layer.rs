@@ -11,12 +11,59 @@ use crate::blocking::Blocking;
 use crate::bwd::{BwdKind, BwdPlan};
 use crate::fuse::{FuseCtx, FusedOp};
 use crate::fwd::FwdPlan;
+use crate::quant::{QuantFwdPlan, QuantOptions, DEFAULT_CHAIN_LIMIT};
 use crate::tune::{self, TuneLevel, TuneOutcome, TuneStore};
 use crate::upd::UpdPlan;
 use machine::MachineModel;
 use parallel::ThreadPool;
 use std::sync::Arc;
-use tensor::{BlockedActs, BlockedFilter, ConvShape};
+use tensor::{BlockedActs, BlockedFilter, ConvShape, VnniActs, VnniFilter};
+
+/// Numeric execution mode of a planned layer (and, through the graph
+/// executor, of a whole served model).
+///
+/// `Int8` layers carry an additional [`QuantFwdPlan`] beside the f32
+/// plans: activations are quantized per input channel to the symmetric
+/// int8 range, convolved by the int16/VNNI kernels, and requantized in
+/// the fused APPLY step (see DESIGN.md §11). The f32 plans remain —
+/// executors fall back to them for nodes whose activation scales are
+/// unknown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Plain f32 execution.
+    #[default]
+    F32,
+    /// Quantized int8-range execution with f32 fallback.
+    Int8,
+}
+
+impl Precision {
+    /// Parse a precision name as accepted by `--precision`.
+    ///
+    /// # Errors
+    /// A message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" | "fp32" | "float" => Ok(Precision::F32),
+            "int8" | "i8" | "quant" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision '{other}' (expected f32|int8)")),
+        }
+    }
+
+    /// Read `ANATOMY_PRECISION` from the environment; `None` when the
+    /// variable is unset or invalid.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("ANATOMY_PRECISION").ok().and_then(|v| Self::parse(&v).ok())
+    }
+
+    /// Stable lowercase name (`f32` / `int8`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
 
 /// Configuration of a layer's engines.
 #[derive(Clone)]
@@ -51,6 +98,13 @@ pub struct LayerOptions {
     /// The thread pool `TuneLevel::Measured` micro-benches on. Must
     /// match `threads`; without it, `Measured` degrades to `Model`.
     pub pool: Option<Arc<ThreadPool>>,
+    /// Numeric execution mode: `Int8` builds a [`QuantFwdPlan`]
+    /// (sharing this layer's blocking, paddings and fused op) beside
+    /// the f32 plans.
+    pub precision: Precision,
+    /// Accumulation-chain bound of the int8 plan, in channel blocks
+    /// (the paper's int16 overflow guard). Ignored at `F32`.
+    pub chain_limit: usize,
 }
 
 impl std::fmt::Debug for LayerOptions {
@@ -67,6 +121,8 @@ impl std::fmt::Debug for LayerOptions {
             .field("tune", &self.tune)
             .field("tune_store", &self.tune_store.is_some())
             .field("pool", &self.pool.is_some())
+            .field("precision", &self.precision)
+            .field("chain_limit", &self.chain_limit)
             .finish()
     }
 }
@@ -86,6 +142,8 @@ impl LayerOptions {
             tune: TuneLevel::default(),
             tune_store: None,
             pool: None,
+            precision: Precision::default(),
+            chain_limit: DEFAULT_CHAIN_LIMIT,
         }
     }
 
@@ -149,6 +207,19 @@ impl LayerOptions {
         self.machine = machine;
         self
     }
+
+    /// Set the numeric execution mode.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Set the int8 accumulation-chain bound (channel blocks).
+    pub fn with_chain_limit(mut self, chain_limit: usize) -> Self {
+        assert!(chain_limit >= 1, "chain limit must be at least one channel block");
+        self.chain_limit = chain_limit;
+        self
+    }
 }
 
 /// A fully planned convolution layer (fwd + bwd + upd).
@@ -160,6 +231,7 @@ pub struct ConvLayer {
     fwd: FwdPlan,
     bwd: BwdPlan,
     upd: UpdPlan,
+    quant: Option<QuantFwdPlan>,
 }
 
 impl ConvLayer {
@@ -193,7 +265,27 @@ impl ConvLayer {
             dout_pad,
             input_pad,
         );
-        Self { shape, opts, blocking: b, tune_outcome: outcome, fwd, bwd, upd }
+        let quant = (opts.precision == Precision::Int8).then(|| {
+            // the requantizing APPLY must visit every output tile, so a
+            // fusion-free layer still records applies: Bias with an
+            // all-zero vector degenerates to the pure requant.
+            let qfuse = match opts.fuse {
+                FusedOp::None => FusedOp::Bias,
+                f => f,
+            };
+            QuantFwdPlan::new(
+                shape,
+                &QuantOptions::new(opts.threads)
+                    .with_backend(opts.backend)
+                    .with_prefetch(opts.prefetch)
+                    .with_chain_limit(opts.chain_limit)
+                    .with_blocking(b)
+                    .with_input_pad(input_pad)
+                    .with_fuse(qfuse)
+                    .with_out_pad(opts.out_pad),
+            )
+        });
+        Self { shape, opts, blocking: b, tune_outcome: outcome, fwd, bwd, upd, quant }
     }
 
     /// Physical padding the plans expect on the input tensor.
@@ -268,6 +360,33 @@ impl ConvLayer {
     /// Allocate a filter tensor.
     pub fn new_filter(&self) -> BlockedFilter {
         BlockedFilter::zeros(self.shape.k, self.shape.c, self.shape.r, self.shape.s)
+    }
+
+    /// The quantized forward plan (layers built at `Precision::Int8`).
+    pub fn quant_plan(&self) -> Option<&QuantFwdPlan> {
+        self.quant.as_ref()
+    }
+
+    /// The numeric execution mode this layer was planned for.
+    pub fn precision(&self) -> Precision {
+        self.opts.precision
+    }
+
+    /// Quantized forward propagation: int16 conv + requantizing fused
+    /// APPLY (see [`QuantFwdPlan::run_fused`]). The layer must have
+    /// been built at [`Precision::Int8`]. When the layer's fused op is
+    /// `None`, the quant plan runs `Bias` — pass an all-zero bias.
+    pub fn forward_quant(
+        &self,
+        pool: &ThreadPool,
+        input: &VnniActs,
+        weights: &VnniFilter,
+        output: &mut BlockedActs,
+        mult: &[f32],
+        ctx: &FuseCtx<'_>,
+    ) {
+        let plan = self.quant.as_ref().expect("layer was not planned at Precision::Int8");
+        plan.run_fused(pool, input, weights, output, mult, ctx);
     }
 
     /// Forward propagation (with the configured fusion).

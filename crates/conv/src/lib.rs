@@ -40,6 +40,7 @@ pub use backend::{kernel_cache_stats, Backend, FwdKernel, KernelCacheStats, UpdK
 pub use blocking::Blocking;
 pub use cache::{CombinedCacheStats, FusedOpCacheStats, PlanCache, PlanCacheStats};
 pub use fuse::FusedOp;
-pub use layer::{ConvLayer, LayerOptions};
+pub use layer::{ConvLayer, LayerOptions, Precision};
+pub use quant::{QuantBwdPlan, QuantFwdPlan, QuantOptions, QuantUpdPlan, DEFAULT_CHAIN_LIMIT};
 pub use tensor::ConvShape;
 pub use tune::{TuneLevel, TuneOutcome, TuneStore};

@@ -19,52 +19,151 @@
 //!   16-accumulator `vpdpwssd` kernel sweeps pixel pairs.
 
 use crate::backend::{Backend, QuantKernel};
-use crate::blocking;
-use crate::fuse::FusedOp;
-use crate::fwd::{dryrun_streams, OutGeom};
+use crate::blocking::{self, Blocking};
+use crate::fuse::{FuseCtx, FusedOp};
+use crate::fwd::{dryrun_streams, OutGeom, SendMutPtr};
 use crate::streams::Stream;
 use microkernel::KernelShape;
 use parallel::{split_even, ThreadPool};
 use std::collections::HashMap;
 use tensor::vnni::BlockedI32;
-use tensor::{BlockedFilter, ConvShape, VnniActs, VnniFilter, VLEN};
+use tensor::{BlockedActs, BlockedFilter, ConvShape, VnniActs, VnniFilter, VLEN};
 
 /// Default accumulation-chain bound in channel blocks (64 channels).
 pub const DEFAULT_CHAIN_LIMIT: usize = 4;
 
+/// Configuration of a quantized plan — the int16 counterpart of
+/// [`crate::LayerOptions`], replacing the former positional
+/// `bool`/`usize` argument list. Every field participates in the
+/// plan-cache key (via `LayerOptions`), so chain-length or padding
+/// variants of the same shape never collide.
+#[derive(Clone, Debug)]
+pub struct QuantOptions {
+    /// Thread-team size the plan is dryrun for.
+    pub threads: usize,
+    /// Kernel backend.
+    pub backend: Backend,
+    /// Emit software prefetches.
+    pub prefetch: bool,
+    /// Accumulation-chain bound in channel blocks (the paper's int16
+    /// overflow guard); clamped to a divisor of the shape's `Cb`.
+    pub chain_limit: usize,
+    /// Blocking override (e.g. the autotuner's winner for the f32 plan
+    /// of the same shape); `None` chooses the Section II-B heuristic.
+    /// `cb_inner` is clamped to `chain_limit` either way.
+    pub blocking: Option<Blocking>,
+    /// Physical padding of the input tensor (defaults to the conv's
+    /// own pad).
+    pub input_pad: Option<usize>,
+    /// Fused requantizing APPLY. `FusedOp::None` builds a *raw* plan
+    /// that leaves int32 accumulators (kernel tests, duality); any
+    /// other op builds a fused plan executed through
+    /// [`QuantFwdPlan::run_fused`], which dequantizes in the APPLY.
+    pub fuse: FusedOp,
+    /// Physical padding of the output tensor (fused plans only).
+    pub out_pad: usize,
+    /// Explicit output geometry (duality callers); overrides `out_pad`.
+    pub out_geom: Option<OutGeom>,
+}
+
+impl QuantOptions {
+    /// Defaults for a given team size.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            backend: Backend::Auto,
+            prefetch: true,
+            chain_limit: DEFAULT_CHAIN_LIMIT,
+            blocking: None,
+            input_pad: None,
+            fuse: FusedOp::None,
+            out_pad: 0,
+            out_geom: None,
+        }
+    }
+
+    /// Set the kernel backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Enable/disable prefetching.
+    pub fn with_prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Set the accumulation-chain bound.
+    pub fn with_chain_limit(mut self, chain_limit: usize) -> Self {
+        assert!(chain_limit >= 1, "chain limit must be at least one channel block");
+        self.chain_limit = chain_limit;
+        self
+    }
+
+    /// Reuse a blocking decision (typically the f32 plan's).
+    pub fn with_blocking(mut self, blocking: Blocking) -> Self {
+        self.blocking = Some(blocking);
+        self
+    }
+
+    /// Set the physical input padding (shared activation buffers).
+    pub fn with_input_pad(mut self, pad: usize) -> Self {
+        self.input_pad = Some(pad);
+        self
+    }
+
+    /// Set the fused requantizing APPLY op.
+    pub fn with_fuse(mut self, fuse: FusedOp) -> Self {
+        self.fuse = fuse;
+        self
+    }
+
+    /// Set the physical output padding.
+    pub fn with_out_pad(mut self, pad: usize) -> Self {
+        self.out_pad = pad;
+        self
+    }
+
+    /// Set an explicit output geometry (backward-duality wrappers).
+    pub fn with_out_geom(mut self, geom: OutGeom) -> Self {
+        self.out_geom = Some(geom);
+        self
+    }
+}
+
 /// Planned int16 forward pass.
 pub struct QuantFwdPlan {
     shape: ConvShape,
+    blocking: Blocking,
     kernels: Vec<QuantKernel>,
     streams: Vec<Stream>,
     nthreads: usize,
     out_geom: OutGeom,
+    fused: FusedOp,
+    input_pad: usize,
+    out_pad: usize,
 }
 
 impl QuantFwdPlan {
     /// Dryrun with a bounded accumulation chain.
-    pub fn new(
-        shape: ConvShape,
-        nthreads: usize,
-        backend: Backend,
-        prefetch: bool,
-        chain_limit: usize,
-        out_geom: Option<OutGeom>,
-    ) -> Self {
-        let out_geom = out_geom.unwrap_or_else(|| OutGeom::dense(&shape));
-        let mut b = blocking::choose(&shape);
+    pub fn new(shape: ConvShape, opts: &QuantOptions) -> Self {
+        let input_pad = opts.input_pad.unwrap_or(shape.pad);
+        assert!(input_pad >= shape.pad, "input padding below the conv's pad");
+        let out_geom = opts.out_geom.unwrap_or_else(|| OutGeom::padded(&shape, opts.out_pad));
+        let mut b = opts.blocking.unwrap_or_else(|| blocking::choose(&shape));
         // the overflow guard: bound the in-register reduction length
-        if b.cb_inner > chain_limit {
+        if b.cb_inner > opts.chain_limit {
             // keep it a divisor of Cb so cb_steps stays integral
-            let mut ci = chain_limit;
+            let mut ci = opts.chain_limit;
             while !shape.cb().is_multiple_of(ci) {
                 ci -= 1;
             }
             b.cb_inner = ci;
         }
         let blocking = b;
-        let in_row = (shape.w + 2 * shape.pad) * VLEN;
-        let in_cb = (shape.h + 2 * shape.pad) * in_row;
+        let in_row = (shape.w + 2 * input_pad) * VLEN;
+        let in_cb = (shape.h + 2 * input_pad) * in_row;
         let mut kernels: Vec<QuantKernel> = Vec::new();
         let mut variant: HashMap<(usize, usize, bool), u8> = HashMap::new();
         let mut variant_for = |rows: usize, cols: usize, init: bool| -> u8 {
@@ -81,25 +180,52 @@ impl QuantFwdPlan {
                     out_row_stride: out_geom.row_stride,
                     out_col_stride: out_geom.col_stride,
                     init_zero: init,
-                    prefetch,
+                    prefetch: opts.prefetch,
                 };
-                kernels.push(QuantKernel::cached(sh, backend));
+                kernels.push(QuantKernel::cached(sh, opts.backend));
                 u8::try_from(kernels.len() - 1).expect("too many kernel variants")
             })
         };
         let streams = dryrun_streams(
             &shape,
             &blocking,
-            nthreads,
+            opts.threads,
             &out_geom,
-            FusedOp::None,
-            shape.pad,
+            opts.fuse,
+            input_pad,
             &mut variant_for,
         );
-        Self { shape, kernels, streams, nthreads, out_geom }
+        Self {
+            shape,
+            blocking,
+            kernels,
+            streams,
+            nthreads: opts.threads,
+            out_geom,
+            fused: opts.fuse,
+            input_pad,
+            out_pad: opts.out_pad,
+        }
     }
 
-    /// Execute `out = conv(input, weights)` in int16→int32.
+    /// The blocking in effect (chain-clamped) — the legality invariants
+    /// of the f32 planner hold here too, and are property-tested.
+    pub fn blocking(&self) -> &Blocking {
+        &self.blocking
+    }
+
+    /// The fused requantizing op (`FusedOp::None` for raw plans).
+    pub fn fused(&self) -> FusedOp {
+        self.fused
+    }
+
+    /// Physical input padding the plan's offsets assume.
+    pub fn input_pad(&self) -> usize {
+        self.input_pad
+    }
+
+    /// Execute `out = conv(input, weights)` in int16→int32 (raw plans
+    /// only — fused plans requantize through [`QuantFwdPlan::run_fused`]).
     pub fn run(
         &self,
         pool: &ThreadPool,
@@ -108,16 +234,83 @@ impl QuantFwdPlan {
         out: &mut BlockedI32,
     ) {
         assert_eq!(pool.nthreads(), self.nthreads);
+        assert_eq!(self.fused, FusedOp::None, "fused plans must run through run_fused");
         let sh = &self.shape;
         assert_eq!(
             (input.n, input.c, input.h, input.w, input.pad),
-            (sh.n, sh.c, sh.h, sh.w, sh.pad),
+            (sh.n, sh.c, sh.h, sh.w, self.input_pad),
             "input mismatch"
         );
         assert_eq!((weights.k, weights.c), (sh.k, sh.c), "filter mismatch");
         assert_eq!((out.n, out.k, out.h, out.w), (sh.n, sh.k, sh.p(), sh.q()), "output mismatch");
         // SAFETY: geometry validated; disjoint tiles per thread.
         unsafe { self.run_raw(pool, input.as_ptr(), weights.as_ptr(), out.as_mut_ptr()) }
+    }
+
+    /// Execute the full quantized chain into an f32 tensor:
+    /// int16 conv → int32 accumulators (written bit-wise into the f32
+    /// storage) → per-tile requantize `acc · mult[k]` + fused post-ops
+    /// (folded-BN bias, residual add, ReLU) in the APPLY step.
+    ///
+    /// `mult` is the per-output-channel requantization multiplier (the
+    /// per-k weight scale with the activation scales folded in, see
+    /// `VnniFilter::quantize_per_k`), length ≥ the padded channel
+    /// count. The bias in `ctx` stays f32. The output's physical
+    /// border (when `out_pad > 0`) is never touched and must already
+    /// be zero, exactly like the f32 fused path.
+    pub fn run_fused(
+        &self,
+        pool: &ThreadPool,
+        input: &VnniActs,
+        weights: &VnniFilter,
+        output: &mut BlockedActs,
+        mult: &[f32],
+        ctx: &FuseCtx<'_>,
+    ) {
+        assert_eq!(pool.nthreads(), self.nthreads);
+        assert_ne!(self.fused, FusedOp::None, "raw plans must run through run");
+        let sh = &self.shape;
+        assert_eq!(
+            (input.n, input.c, input.h, input.w, input.pad),
+            (sh.n, sh.c, sh.h, sh.w, self.input_pad),
+            "input mismatch"
+        );
+        assert_eq!((weights.k, weights.c), (sh.k, sh.c), "filter mismatch");
+        assert_eq!(
+            (output.n, output.c, output.h, output.w, output.pad),
+            (sh.n, sh.k, sh.p(), sh.q(), self.out_pad),
+            "output mismatch"
+        );
+        let kpad = sh.k.next_multiple_of(VLEN);
+        assert!(mult.len() >= kpad, "mult shorter than the padded channel count");
+        if self.fused.needs_bias() {
+            assert!(
+                ctx.bias.is_some_and(|b| b.len() >= kpad),
+                "bias missing or shorter than the padded channel count"
+            );
+        }
+        if self.fused.needs_eltwise() {
+            let e = ctx.eltwise.expect("eltwise tensor missing");
+            assert_eq!(
+                (e.n, e.cb, e.h, e.w, e.pad),
+                (output.n, output.cb, output.h, output.w, self.out_pad),
+                "eltwise tensor mismatch"
+            );
+        }
+        let streams = &self.streams;
+        let kernels = &self.kernels;
+        let fused = self.fused;
+        let inp = SendPtrI16(input.as_ptr());
+        let wt = SendPtrI16(weights.as_ptr());
+        let out = SendMutPtr(output.as_mut_ptr());
+        pool.run(move |pctx| {
+            let s = &streams[pctx.tid];
+            // SAFETY: geometry validated above; threads own disjoint
+            // tiles, and every tile's APPLY follows its last reduction.
+            unsafe {
+                s.replay_quant_fused(kernels, fused, inp.get(), wt.get(), out.get(), mult, ctx)
+            };
+        });
     }
 
     /// Raw-pointer execution (duality paths).
@@ -158,13 +351,16 @@ pub struct QuantBwdPlan {
 
 impl QuantBwdPlan {
     /// Build the dual plan. Panics for strided spatial filters.
-    pub fn new(
-        shape: ConvShape,
-        nthreads: usize,
-        backend: Backend,
-        prefetch: bool,
-        chain_limit: usize,
-    ) -> Self {
+    /// The `fuse`/`out_pad` fields of `opts` are ignored (duality plans
+    /// are raw int32 producers with their own output geometry).
+    pub fn new(shape: ConvShape, opts: &QuantOptions) -> Self {
+        let raw = QuantOptions {
+            fuse: FusedOp::None,
+            out_pad: 0,
+            input_pad: None,
+            blocking: None,
+            ..opts.clone()
+        };
         if shape.stride == 1 {
             let dual_pad = shape.r - 1 - shape.pad;
             let dual = ConvShape::new(
@@ -179,8 +375,7 @@ impl QuantBwdPlan {
                 dual_pad,
             );
             let geom = OutGeom::dense(&dual);
-            let plan =
-                QuantFwdPlan::new(dual, nthreads, backend, prefetch, chain_limit, Some(geom));
+            let plan = QuantFwdPlan::new(dual, &raw.with_out_geom(geom));
             Self { shape, dual: plan, dual_pad }
         } else if shape.r == 1 && shape.s == 1 {
             let dual = ConvShape::new(shape.n, shape.k, shape.c, shape.p(), shape.q(), 1, 1, 1, 0);
@@ -192,8 +387,7 @@ impl QuantBwdPlan {
                 n_stride: shape.cb() * shape.h * di_row,
                 base: 0,
             };
-            let plan =
-                QuantFwdPlan::new(dual, nthreads, backend, prefetch, chain_limit, Some(geom));
+            let plan = QuantFwdPlan::new(dual, &raw.with_out_geom(geom));
             Self { shape, dual: plan, dual_pad: 0 }
         } else {
             panic!("int16 backward supports stride-1 or 1x1 layers (as does the paper)")
@@ -439,13 +633,70 @@ mod tests {
             (ConvShape::new(1, 32, 32, 8, 8, 1, 1, 2, 0), 2),
         ] {
             let pool = ThreadPool::new(threads);
-            let plan = QuantFwdPlan::new(shape, threads, Backend::Auto, false, 2, None);
+            let plan = QuantFwdPlan::new(
+                shape,
+                &QuantOptions::new(threads).with_prefetch(false).with_chain_limit(2),
+            );
             let x = VnniActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 3);
             let w = VnniFilter::random(shape.k, shape.c, shape.r, shape.s, 4);
             let mut out = BlockedI32::zeros(shape.n, shape.k, shape.p(), shape.q());
             plan.run(&pool, &x, &w, &mut out);
             let expect = fwd_ref(&shape, &x, &w);
             assert_eq!(expect.as_slice(), out.as_slice(), "{shape}");
+        }
+    }
+
+    #[test]
+    fn fused_requant_matches_raw_plus_manual_apply() {
+        let shape = ConvShape::new(2, 32, 32, 8, 8, 3, 3, 1, 1);
+        let threads = 3;
+        let pool = ThreadPool::new(threads);
+        let x = VnniActs::random(shape.n, shape.c, shape.h, shape.w, shape.pad, 3);
+        let w = VnniFilter::random(shape.k, shape.c, shape.r, shape.s, 4);
+        let mult: Vec<f32> = (0..32).map(|k| 1e-4 * (k + 1) as f32).collect();
+        let bias: Vec<f32> = (0..32).map(|k| 0.05 * k as f32 - 0.8).collect();
+        let residual = BlockedActs::random(2, 32, 8, 8, 1, 5);
+
+        let raw = QuantFwdPlan::new(shape, &QuantOptions::new(threads).with_prefetch(false));
+        let mut acc = BlockedI32::zeros(2, 32, 8, 8);
+        raw.run(&pool, &x, &w, &mut acc);
+
+        for fuse in [FusedOp::Bias, FusedOp::BiasRelu, FusedOp::BiasEltwiseRelu] {
+            // fused plan writes into a pad-1 padded output blob
+            let fused = QuantFwdPlan::new(
+                shape,
+                &QuantOptions::new(threads).with_prefetch(false).with_fuse(fuse).with_out_pad(1),
+            );
+            assert_eq!(fused.fused(), fuse);
+            let mut out = BlockedActs::zeros(2, 32, 8, 8, 1);
+            let ctx =
+                FuseCtx { bias: Some(&bias), eltwise: fuse.needs_eltwise().then_some(&residual) };
+            fused.run_fused(&pool, &x, &w, &mut out, &mult, &ctx);
+            for n in 0..2 {
+                for k in 0..32 {
+                    for h in 0..8 {
+                        for wd in 0..8 {
+                            let mut want = acc.get(n, k, h, wd) as f32 * mult[k] + bias[k];
+                            if fuse.needs_eltwise() {
+                                want += residual.get(n, k, h, wd);
+                            }
+                            if matches!(fuse, FusedOp::BiasRelu | FusedOp::BiasEltwiseRelu) {
+                                want = want.max(0.0);
+                            }
+                            assert_eq!(out.get(n, k, h, wd), want, "{fuse:?} n={n} k={k}");
+                        }
+                    }
+                }
+                // the physical border must still be all zeros
+                for kb in 0..out.cb {
+                    for wp in 0..out.wp() {
+                        let off = out.pix_offset_logical(n, kb, -1, wp as isize - 1);
+                        for v in 0..VLEN {
+                            assert_eq!(out.as_slice()[off + v], 0.0, "{fuse:?} border");
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -457,7 +708,10 @@ mod tests {
         let pool = ThreadPool::new(2);
         let mut results = Vec::new();
         for chain in [1usize, 2, 4, 8] {
-            let plan = QuantFwdPlan::new(shape, 2, Backend::Auto, false, chain, None);
+            let plan = QuantFwdPlan::new(
+                shape,
+                &QuantOptions::new(2).with_prefetch(false).with_chain_limit(chain),
+            );
             let mut out = BlockedI32::zeros(1, 16, 6, 6);
             plan.run(&pool, &x, &w, &mut out);
             results.push(out.as_slice().to_vec());
@@ -472,7 +726,7 @@ mod tests {
         let shape = ConvShape::new(1, 32, 32, 6, 6, 3, 3, 1, 1);
         let threads = 3;
         let pool = ThreadPool::new(threads);
-        let plan = QuantBwdPlan::new(shape, threads, Backend::Auto, false, 4);
+        let plan = QuantBwdPlan::new(shape, &QuantOptions::new(threads).with_prefetch(false));
         // f32 master weights with integer values so quantization at
         // scale 1.0 is exact
         let wq = VnniFilter::random(32, 32, 3, 3, 9);

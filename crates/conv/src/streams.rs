@@ -15,7 +15,7 @@
 //! `i + 1`.
 
 use crate::backend::FwdKernel;
-use crate::fuse::{apply_tile, ApplyRec, FuseCtx, FusedOp};
+use crate::fuse::{apply_tile, apply_tile_requant, ApplyRec, FuseCtx, FusedOp};
 
 /// One RLE segment of a thread's execution (Figure 2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -152,9 +152,59 @@ impl Stream {
                         i += 1;
                     }
                 }
-                Segment::Apply(_) => unreachable!("int16 plans are built without fusion"),
+                Segment::Apply(_) => unreachable!("raw int16 plans are built without fusion"),
             }
         }
+    }
+
+    /// Replay with int16 kernels *and* a fused requantizing APPLY: the
+    /// kernels write raw int32 accumulators bit-wise into the f32
+    /// output tensor's storage (same element size, same strides), and
+    /// each APPLY converts its freshly finished tile in place with
+    /// [`apply_tile_requant`] — quantized conv, requantization and the
+    /// folded post-ops in one cache-hot pass.
+    ///
+    /// # Safety
+    /// Same contract as [`Stream::replay`]; the stream must have been
+    /// dryrun with a non-`None` fused op so every output tile carries an
+    /// APPLY record (otherwise accumulators would be left unconverted).
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn replay_quant_fused(
+        &self,
+        kernels: &[crate::backend::QuantKernel],
+        fused: FusedOp,
+        inp: *const i16,
+        wt: *const i16,
+        out: *mut f32,
+        mult: &[f32],
+        ctx: &FuseCtx<'_>,
+    ) {
+        let acc = out as *mut i32;
+        let mut i = 0usize;
+        let last = self.var.len().saturating_sub(1);
+        for seg in &self.segments {
+            match *seg {
+                Segment::ConvStreak(n) => {
+                    for _ in 0..n {
+                        let j = if i == last { i } else { i + 1 };
+                        let k = &kernels[self.var[i] as usize];
+                        k.call(
+                            inp.add(self.inp[i] as usize),
+                            wt.add(self.wt[i] as usize),
+                            acc.add(self.out[i] as usize),
+                            inp.add(self.inp[j] as usize),
+                            wt.add(self.wt[j] as usize),
+                            acc.add(self.out[j] as usize),
+                        );
+                        i += 1;
+                    }
+                }
+                Segment::Apply(a) => {
+                    apply_tile_requant(fused, &self.applies[a as usize], out, mult, ctx);
+                }
+            }
+        }
+        debug_assert_eq!(i, self.var.len(), "segment RLE must cover every call");
     }
 }
 

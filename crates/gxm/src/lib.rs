@@ -39,6 +39,7 @@ pub mod state;
 pub mod swap;
 
 pub use builder::{ConvOpts, GraphBuilder};
+pub use conv::Precision;
 pub use error::Error;
 pub use model::{IntoModelSpec, ModelSpec};
 pub use net::{ExecMode, Network, StepStats};

@@ -30,12 +30,13 @@ use crate::ops;
 use crate::pipeline::{compile, fwd_last_use, Etg, PassKind};
 use crate::spec::{NodeSpec, PoolKind};
 use crate::state::StateDict;
-use conv::{ConvLayer, FusedOp, LayerOptions, PlanCache};
+use conv::{ConvLayer, FusedOp, LayerOptions, PlanCache, Precision};
 use parallel::ThreadPool;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tensor::rng::SplitMix64;
-use tensor::{BlockedActs, BlockedFilter, VLEN};
+use tensor::vnni::I8_QMAX;
+use tensor::{BlockedActs, BlockedFilter, VnniActs, VnniFilter, VLEN};
 
 /// Epsilon of every batch-norm node.
 const BN_EPS: f32 = 1e-5;
@@ -111,6 +112,28 @@ struct FoldedConv {
     /// lanes kept at 0 so the fused apply preserves the zero-lane
     /// invariant).
     bias: Vec<f32>,
+}
+
+/// Per-conv-node int8 execution state, re-derived by `requantize` from
+/// the current (folded) f32 weights and the input blob's per-channel
+/// absolute-maximum estimate. A conv node carries one iff the network
+/// runs at [`Precision::Int8`] *and* its input amax is known (derived
+/// from BN parameters or measured by calibration) — otherwise the node
+/// falls back to its f32 plan, with the quantize-on-entry /
+/// requantize-in-APPLY convention keeping every blob between nodes
+/// plain f32 (the explicit precision boundary of mixed graphs).
+struct QuantState {
+    /// int8 weights with the input scales pre-folded per channel.
+    wq: VnniFilter,
+    /// Per-output-channel requant multiplier (`kb·VLEN` lanes).
+    mult: Vec<f32>,
+    /// Per-input-channel quantization factor `127/amax` (1.0 for
+    /// degenerate all-zero channels — safe, never NaN/inf).
+    inv_sx: Vec<f32>,
+    /// All-zero bias for plans whose f32 fuse carries no bias source:
+    /// the quantized plan still runs a bias-bearing APPLY (the requant
+    /// pass must visit every tile), so a neutral vector stands in.
+    zero_bias: Option<Vec<f32>>,
 }
 
 #[allow(dead_code)]
@@ -213,6 +236,8 @@ struct GraphPlan {
     conv_plans: Vec<Option<Arc<ConvLayer>>>,
     /// Fusion rewrite per convolution node (inference mode only).
     fold: Vec<Option<FoldSpec>>,
+    /// Numeric execution mode every conv plan was built for.
+    precision: Precision,
     input_node: usize,
     loss_node: usize,
     classes: usize,
@@ -222,6 +247,7 @@ struct GraphPlan {
 /// inference BN folds, and obtain every convolution plan through
 /// `cache` (one JIT + dryrun per *distinct* normalized layer, shared
 /// handles for repeats).
+#[allow(clippy::too_many_arguments)]
 fn plan_graph(
     nl: &[NodeSpec],
     minibatch: usize,
@@ -230,6 +256,7 @@ fn plan_graph(
     mode: ExecMode,
     fold_bn: bool,
     tune: conv::TuneLevel,
+    precision: Precision,
 ) -> GraphPlan {
     let threads = pool.nthreads();
     let etg = compile(nl);
@@ -409,6 +436,10 @@ fn plan_graph(
                         shape,
                         LayerOptions::new(threads)
                             .with_fuse(fuse)
+                            // int8: every conv also plans a fused
+                            // quantized forward, so a later calibration
+                            // can widen coverage without replanning
+                            .with_precision(precision)
                             // the *physical* padding of the input blob
                             // (for a folded producer, the merged blob
                             // carries its BN's consumer padding)
@@ -430,7 +461,18 @@ fn plan_graph(
     }
     assert!(input_node != usize::MAX, "topology has no input node");
     assert!(loss_node != usize::MAX, "topology has no softmaxloss node");
-    GraphPlan { etg, alias, shapes, opad, conv_plans, fold, input_node, loss_node, classes }
+    GraphPlan {
+        etg,
+        alias,
+        shapes,
+        opad,
+        conv_plans,
+        fold,
+        precision,
+        input_node,
+        loss_node,
+        classes,
+    }
 }
 
 impl GraphPlan {
@@ -536,6 +578,23 @@ pub struct Network {
     /// Class count of the softmax head.
     pub classes: usize,
     labels: Vec<usize>,
+    /// Numeric execution mode the conv plans were built for.
+    precision: Precision,
+    /// Per-node int8 state (`Some` only for quantizable convs at
+    /// [`Precision::Int8`]); rebuilt by `requantize`.
+    quant: Vec<Option<QuantState>>,
+    /// Per-owner-node input-amax estimate derived from BN parameters
+    /// (rebuilt with every `requantize`).
+    derived_amax: Vec<Option<Vec<f32>>>,
+    /// Per-owner-node measured amax from `calibrate_batch` forwards
+    /// (max-accumulated; overrides the derived estimate).
+    calibrated_amax: Vec<Option<Vec<f32>>>,
+    /// `true` while a calibration forward runs: forces the f32 path so
+    /// the recorded maxima describe the unquantized distribution.
+    calibrating: bool,
+    /// Reusable int16 activation scratch, one per distinct input-blob
+    /// geometry `(n, c, h, w, pad)` seen by quantized convs.
+    quant_scratch: HashMap<(usize, usize, usize, usize, usize), VnniActs>,
 }
 
 impl Network {
@@ -610,10 +669,37 @@ impl Network {
         fold_bn: bool,
         tune: conv::TuneLevel,
     ) -> Result<Self, Error> {
+        Self::build_quantized(spec, minibatch, pool, mode, cache, fold_bn, tune, Precision::F32)
+    }
+
+    /// [`Self::build_tuned`] with the numeric execution mode made
+    /// explicit. At [`Precision::Int8`] (inference mode only) every
+    /// convolution plans a fused quantized forward next to its f32
+    /// plan; nodes whose input-scale estimate can be derived from BN
+    /// parameters execute int8 immediately, the rest fall back to f32
+    /// until a [`Self::calibrate_batch`] measurement covers them.
+    /// Blobs between nodes stay plain f32 either way — quantization
+    /// happens on entry to a conv and requantization inside its fused
+    /// APPLY, so mixed-precision graphs need no explicit cast nodes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_quantized(
+        spec: &ModelSpec,
+        minibatch: usize,
+        pool: Arc<ThreadPool>,
+        mode: ExecMode,
+        cache: &PlanCache,
+        fold_bn: bool,
+        tune: conv::TuneLevel,
+        precision: Precision,
+    ) -> Result<Self, Error> {
         if minibatch == 0 {
             return Err(Error::BadInput("minibatch must be >= 1".to_string()));
         }
-        let plan = plan_graph(spec.nodes(), minibatch, &pool, cache, mode, fold_bn, tune);
+        if precision == Precision::Int8 && mode != ExecMode::Inference {
+            return Err(Error::BadInput("int8 precision requires inference mode".to_string()));
+        }
+        let plan =
+            plan_graph(spec.nodes(), minibatch, &pool, cache, mode, fold_bn, tune, precision);
         Ok(Self::allocate(plan, minibatch, pool, mode, spec.seed()))
     }
 
@@ -752,6 +838,12 @@ impl Network {
             minibatch,
             classes: plan.classes,
             labels: Vec::new(),
+            precision: plan.precision,
+            quant: (0..nodes_len).map(|_| None).collect(),
+            derived_amax: vec![None; nodes_len],
+            calibrated_amax: vec![None; nodes_len],
+            calibrating: false,
+            quant_scratch: HashMap::new(),
         };
         // derive the folded weights/biases from the freshly
         // initialized parameters (no-op without folds)
@@ -792,6 +884,170 @@ impl Network {
                 let stride_kb = w.stride_kb();
                 for (idx, dst) in f.w.as_mut_slice().iter_mut().enumerate() {
                     *dst = w.as_slice()[idx] * scale[(idx / stride_kb) * VLEN + idx % VLEN];
+                }
+            }
+        }
+        // folded weights feed the int8 quantization — refresh it too
+        // (no-op at f32 precision)
+        self.requantize();
+    }
+
+    /// Derive a per-channel absolute-maximum estimate for every
+    /// blob-owning node from the *current* parameters, walking the
+    /// (topologically ordered) node list:
+    ///
+    /// * the network input is assumed normalized to `|x| <= 1`
+    ///   (calibration measures the real range when that is wrong);
+    /// * a BN output — standalone or folded into its producer conv —
+    ///   is bounded by `|beta| + 3·|gamma|` per channel (the frozen
+    ///   running statistics normalize the pre-activation to ~N(0,1));
+    /// * pooling and global average pooling never increase a maximum;
+    /// * concat concatenates channel ranges, a residual add sums them;
+    /// * a convolution *without* a folded BN has an unknown output
+    ///   range → `None`, and every consumer conv falls back to f32
+    ///   until calibration covers it.
+    fn derive_amax(&self) -> Vec<Option<Vec<f32>>> {
+        let n = self.layers.len();
+        let mut amax: Vec<Option<Vec<f32>>> = vec![None; n];
+        let bn_bound = |gamma: &[f32], beta: &[f32], cpad: usize| -> Vec<f32> {
+            (0..cpad).map(|c| beta[c].abs() + 3.0 * gamma[c].abs()).collect()
+        };
+        let add_residual = |own: Vec<f32>, res: Option<&Vec<f32>>| -> Option<Vec<f32>> {
+            res.map(|r| own.iter().zip(r).map(|(a, b)| a + b).collect())
+        };
+        for i in 0..n {
+            if self.alias[i] != i {
+                continue;
+            }
+            let cpad = self.shapes[i].0.next_multiple_of(VLEN);
+            let bottom_owner = || self.alias[self.etg.eng.preds[i][0]];
+            amax[i] = match &self.layers[i] {
+                LayerState::Input => Some(vec![1.0; cpad]),
+                LayerState::Conv { folded: Some(f), .. } => {
+                    let bound = match &self.layers[f.bn] {
+                        LayerState::Bn { gamma, beta, .. } => bn_bound(&gamma.w, &beta.w, cpad),
+                        _ => unreachable!("folds target bn nodes"),
+                    };
+                    match f.eltwise {
+                        Some(ro) => add_residual(bound, amax[ro].as_ref()),
+                        None => Some(bound),
+                    }
+                }
+                LayerState::Conv { folded: None, .. } => None,
+                LayerState::Bn { gamma, beta, eltwise, .. } => {
+                    let bound = bn_bound(&gamma.w, &beta.w, cpad);
+                    match eltwise {
+                        Some(ro) => add_residual(bound, amax[*ro].as_ref()),
+                        None => Some(bound),
+                    }
+                }
+                LayerState::Pool { .. } | LayerState::Gap => amax[bottom_owner()].clone(),
+                LayerState::Concat => {
+                    let mut cat = Vec::with_capacity(cpad);
+                    let mut ok = true;
+                    for &b in &self.etg.eng.preds[i] {
+                        let o = self.alias[b];
+                        match &amax[o] {
+                            Some(a) => cat.extend_from_slice(&a[..self.shapes[o].0]),
+                            None => ok = false,
+                        }
+                    }
+                    cat.resize(cpad, 0.0);
+                    ok.then_some(cat)
+                }
+                _ => None,
+            };
+        }
+        amax
+    }
+
+    /// Rebuild every quantizable conv node's int8 state from the
+    /// current folded f32 weights and the effective per-channel input
+    /// amax (measured calibration maxima override the derived
+    /// estimates). Runs at the end of [`Self::refold`], so allocation,
+    /// `load_state_dict` and a hot weight reload all leave the int8
+    /// weights consistent with the f32 parameters. No-op at f32.
+    fn requantize(&mut self) {
+        if self.precision != Precision::Int8 {
+            return;
+        }
+        self.derived_amax = self.derive_amax();
+        for i in 0..self.layers.len() {
+            let LayerState::Conv { layer, w, bias, folded, .. } = &self.layers[i] else {
+                self.quant[i] = None;
+                continue;
+            };
+            let Some(qplan) = layer.quant_plan() else {
+                self.quant[i] = None;
+                continue;
+            };
+            let bi = self.alias[self.etg.eng.preds[i][0]];
+            let amax = self.calibrated_amax[bi].as_ref().or(self.derived_amax[bi].as_ref());
+            let Some(amax) = amax else {
+                self.quant[i] = None;
+                continue;
+            };
+            // s_x = amax/127 per input channel; a degenerate (all-zero
+            // or non-finite) channel gets the neutral scale 1.0 — its
+            // activations are 0 (or garbage no scale could save), and
+            // the scheme stays NaN- and divide-free
+            let s_x: Vec<f32> = amax
+                .iter()
+                .map(|&a| if a > 0.0 && a.is_finite() { a / I8_QMAX } else { 1.0 })
+                .collect();
+            let inv_sx: Vec<f32> = s_x.iter().map(|&s| 1.0 / s).collect();
+            let wsrc: &BlockedFilter = match folded {
+                Some(f) => &f.w,
+                None => w,
+            };
+            let (wq, mult) = VnniFilter::quantize_per_k(wsrc, &s_x);
+            let zero_bias = (qplan.fused().needs_bias() && folded.is_none() && bias.is_none())
+                .then(|| vec![0.0f32; wsrc.k.next_multiple_of(VLEN)]);
+            self.quant[i] = Some(QuantState { wq, mult, inv_sx, zero_bias });
+        }
+    }
+
+    /// Run one calibration forward over the currently loaded input
+    /// batch: the f32 path executes end to end while the per-channel
+    /// absolute maximum of every blob is recorded (max-accumulated
+    /// across calls, so several batches sharpen one profile), then the
+    /// int8 states are rebuilt against the measured ranges. Only
+    /// meaningful — and only allowed — at [`Precision::Int8`].
+    pub fn calibrate_batch(&mut self) {
+        assert_eq!(self.precision, Precision::Int8, "calibration needs an int8-precision network");
+        if self.labels.len() != self.minibatch {
+            self.labels = vec![0; self.minibatch];
+        }
+        self.calibrating = true;
+        let fwd = self.etg.fwd.clone();
+        for t in &fwd {
+            self.forward_node(t.node);
+            let owner = self.alias[t.node];
+            if self.slot_of[owner] != usize::MAX {
+                self.record_amax(owner);
+            }
+        }
+        self.calibrating = false;
+        self.requantize();
+    }
+
+    /// Max-accumulate the per-channel |activation| maxima of `owner`'s
+    /// blob into the calibration profile.
+    fn record_amax(&mut self, owner: usize) {
+        let blob = &self.blobs[self.slot_of[owner]].as_ref().expect("blob in place").act;
+        let cpad = blob.cb * VLEN;
+        let entry = self.calibrated_amax[owner].get_or_insert_with(|| vec![0.0; cpad]);
+        for n in 0..blob.n {
+            for cb in 0..blob.cb {
+                for h in 0..blob.h {
+                    for w in 0..blob.w {
+                        for v in 0..VLEN {
+                            let x = blob.get(n, cb * VLEN + v, h, w).abs();
+                            if x > entry[cb * VLEN + v] {
+                                entry[cb * VLEN + v] = x;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -1012,17 +1268,46 @@ impl Network {
                     Some(ro) if !res_is_bot => Some((ro, self.take_blob(ro))),
                     _ => None,
                 };
+                let qs = if self.calibrating { &None } else { &self.quant[node] };
                 if let LayerState::Conv { layer, w, bias, folded, .. } = &self.layers[node] {
                     let eltwise =
                         if res_is_bot { Some(&bot.act) } else { res.as_ref().map(|(_, b)| &b.act) };
-                    let (weights, ctx) = match folded {
-                        Some(f) => (&f.w, conv::fuse::FuseCtx { bias: Some(&f.bias[..]), eltwise }),
-                        None => (
-                            w,
-                            conv::fuse::FuseCtx { bias: bias.as_ref().map(|b| &b.w[..]), eltwise },
-                        ),
-                    };
-                    layer.forward(&self.pool, &bot.act, weights, &mut own.act, &ctx);
+                    if let Some(qs) = qs {
+                        // int8 path: quantize the f32 input blob into
+                        // the geometry's int16 scratch, run the fused
+                        // quantized plan (conv in int8/int16, requant +
+                        // bias/residual/ReLU in the f32 APPLY) — the
+                        // output blob is plain f32 again, so consumers
+                        // never see a precision boundary
+                        let a = &bot.act;
+                        let key = (a.n, a.c, a.h, a.w, a.pad);
+                        let mut xq = self
+                            .quant_scratch
+                            .remove(&key)
+                            .unwrap_or_else(|| VnniActs::zeros(a.n, a.c, a.h, a.w, a.pad));
+                        xq.quantize_per_channel_into(a, &qs.inv_sx);
+                        let bias_ref: Option<&[f32]> = match folded {
+                            Some(f) => Some(&f.bias),
+                            None => bias.as_ref().map(|b| &b.w[..]).or(qs.zero_bias.as_deref()),
+                        };
+                        let ctx = conv::fuse::FuseCtx { bias: bias_ref, eltwise };
+                        layer.forward_quant(&self.pool, &xq, &qs.wq, &mut own.act, &qs.mult, &ctx);
+                        self.quant_scratch.insert(key, xq);
+                    } else {
+                        let (weights, ctx) = match folded {
+                            Some(f) => {
+                                (&f.w, conv::fuse::FuseCtx { bias: Some(&f.bias[..]), eltwise })
+                            }
+                            None => (
+                                w,
+                                conv::fuse::FuseCtx {
+                                    bias: bias.as_ref().map(|b| &b.w[..]),
+                                    eltwise,
+                                },
+                            ),
+                        };
+                        layer.forward(&self.pool, &bot.act, weights, &mut own.act, &ctx);
+                    }
                 } else {
                     unreachable!()
                 }
@@ -1622,6 +1907,50 @@ impl Network {
     pub fn folded_bn_count(&self) -> usize {
         self.layers.iter().filter(|l| matches!(l, LayerState::Conv { folded: Some(_), .. })).count()
     }
+
+    /// Numeric execution mode the network's conv plans were built for.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Number of convolution nodes in the compiled graph.
+    pub fn conv_node_count(&self) -> usize {
+        self.layers.iter().filter(|l| matches!(l, LayerState::Conv { .. })).count()
+    }
+
+    /// Number of convolution nodes currently executing the int8 path
+    /// (0 at f32 precision). `quantized_conv_count / conv_node_count`
+    /// is the int8 coverage the inference benchmark reports; nodes
+    /// outside it fall back to their f32 plan.
+    pub fn quantized_conv_count(&self) -> usize {
+        self.quant.iter().filter(|q| q.is_some()).count()
+    }
+
+    /// The BN-derived per-channel input-amax estimate of node `name`'s
+    /// output blob (`None` if underivable or at f32 precision).
+    pub fn derived_amax_of(&self, name: &str) -> Option<&[f32]> {
+        let i = self.node_index(name)?;
+        self.derived_amax[self.alias[i]].as_deref()
+    }
+
+    /// The calibration-measured per-channel amax of node `name`'s
+    /// output blob (`None` before any [`Self::calibrate_batch`]).
+    pub fn calibrated_amax_of(&self, name: &str) -> Option<&[f32]> {
+        let i = self.node_index(name)?;
+        self.calibrated_amax[self.alias[i]].as_deref()
+    }
+
+    /// The per-input-channel quantization factors (`127/amax`) conv
+    /// node `name` currently quantizes its input with (`None` when the
+    /// node runs f32).
+    pub fn conv_input_scales(&self, name: &str) -> Option<&[f32]> {
+        let i = self.node_index(name)?;
+        self.quant[i].as_ref().map(|q| &q.inv_sx[..])
+    }
+
+    fn node_index(&self, name: &str) -> Option<usize> {
+        self.etg.eng.nodes.iter().position(|n| n.name() == name)
+    }
 }
 
 /// Derive a node's private weight-init stream from the spec seed and
@@ -2150,5 +2479,206 @@ mod tests {
     fn degenerate_runtime_params_are_bad_input() {
         assert!(matches!(Network::build(&small_cnn(), 0, 1), Err(Error::BadInput(_))));
         assert!(matches!(Network::build(&small_cnn(), 1, 0), Err(Error::BadInput(_))));
+    }
+
+    /// Train `residual_bn_spec` a few steps on a fixed batch and hand
+    /// back (state dict, input, labels) — shared by the int8 tests.
+    fn trained_residual(
+        pool: &Arc<ThreadPool>,
+        cache: &PlanCache,
+    ) -> (StateDict, Vec<f32>, Vec<usize>) {
+        let nl = residual_bn_spec();
+        let mut train =
+            Network::build_with(&nl, 4, Arc::clone(pool), ExecMode::Training, cache).unwrap();
+        let mut rng = SplitMix64::new(41);
+        let mut input = vec![0.0f32; train.input_mut().as_slice().len()];
+        rng.fill_f32(&mut input);
+        let labels = vec![0usize, 1, 2, 3];
+        for _ in 0..5 {
+            train.input_mut().as_mut_slice().copy_from_slice(&input);
+            train.train_step(&labels, 0.05, 0.9);
+        }
+        (train.state_dict(), input, labels)
+    }
+
+    #[test]
+    fn int8_inference_quantizes_every_bn_fed_conv_and_tracks_f32() {
+        let nl = residual_bn_spec();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(3));
+        let (sd, input, labels) = trained_residual(&pool, &cache);
+
+        let mut f32_net =
+            Network::build_with(&nl, 4, Arc::clone(&pool), ExecMode::Inference, &cache).unwrap();
+        let mut int8 = Network::build_quantized(
+            &nl,
+            4,
+            Arc::clone(&pool),
+            ExecMode::Inference,
+            &cache,
+            true,
+            conv::TuneLevel::Heuristic,
+            Precision::Int8,
+        )
+        .unwrap();
+        assert_eq!(int8.precision(), Precision::Int8);
+        assert_eq!(f32_net.precision(), Precision::F32);
+        assert_eq!(f32_net.quantized_conv_count(), 0);
+        // c0 reads the (assumed-normalized) input, c1/c2 read
+        // folded-BN outputs: every conv derives an input scale
+        assert_eq!(int8.conv_node_count(), 3);
+        assert_eq!(int8.quantized_conv_count(), 3, "all three convs must run int8");
+        f32_net.load_state_dict(&sd).unwrap();
+        int8.load_state_dict(&sd).unwrap();
+        f32_net.input_mut().as_mut_slice().copy_from_slice(&input);
+        int8.input_mut().as_mut_slice().copy_from_slice(&input);
+        f32_net.set_labels(&labels);
+        int8.set_labels(&labels);
+        let sf = f32_net.forward();
+        let si = int8.forward();
+        assert_eq!(sf.top1, si.top1, "top-1 must survive quantization");
+        let n = tensor::Norms::compare(f32_net.probabilities(), int8.probabilities());
+        assert!(n.ok(0.05), "int8 probability drift vs f32: {n}");
+        // calibration replaces the derived estimates with measured
+        // ranges; the net must stay quantized and stay close
+        int8.calibrate_batch();
+        assert_eq!(int8.quantized_conv_count(), 3);
+        let si2 = int8.forward();
+        assert_eq!(sf.top1, si2.top1);
+        let n2 = tensor::Norms::compare(f32_net.probabilities(), int8.probabilities());
+        assert!(n2.ok(0.05), "calibrated int8 drift vs f32: {n2}");
+    }
+
+    #[test]
+    fn int8_unquantizable_convs_fall_back_to_f32() {
+        // small_cnn's c2 reads a pooled *raw conv* output (c1 carries
+        // its own bias+relu, no BN) — no derivable range, so c2 must
+        // serve f32 until a calibration forward measures it
+        let nl = small_cnn();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(2));
+        let mut int8 = Network::build_quantized(
+            &nl,
+            2,
+            Arc::clone(&pool),
+            ExecMode::Inference,
+            &cache,
+            true,
+            conv::TuneLevel::Heuristic,
+            Precision::Int8,
+        )
+        .unwrap();
+        assert_eq!(int8.conv_node_count(), 2);
+        assert_eq!(int8.quantized_conv_count(), 1, "only the input-fed conv can derive scales");
+        assert!(int8.conv_input_scales("c1").is_some());
+        assert!(int8.conv_input_scales("c2").is_none());
+        let mut rng = SplitMix64::new(43);
+        rng.fill_f32(int8.input_mut().as_mut_slice());
+        let s = int8.forward();
+        assert!(s.loss.is_finite());
+        // a calibration forward measures c2's input range → full
+        // coverage without replanning
+        int8.calibrate_batch();
+        assert_eq!(int8.quantized_conv_count(), 2, "calibration must widen coverage");
+        assert!(int8.conv_input_scales("c2").is_some());
+        let s2 = int8.forward();
+        assert!(s2.loss.is_finite());
+    }
+
+    #[test]
+    fn calibrated_scales_agree_with_bn_derived_estimates() {
+        // the BN-derived bound |beta| + 3·|gamma| models the frozen
+        // stats; a measured maximum over an in-distribution batch must
+        // land in the same ballpark (below the 3-sigma bound, not
+        // orders of magnitude under it)
+        let nl = residual_bn_spec();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(2));
+        let (sd, input, _) = trained_residual(&pool, &cache);
+        let mut int8 = Network::build_quantized(
+            &nl,
+            4,
+            Arc::clone(&pool),
+            ExecMode::Inference,
+            &cache,
+            true,
+            conv::TuneLevel::Heuristic,
+            Precision::Int8,
+        )
+        .unwrap();
+        int8.load_state_dict(&sd).unwrap();
+        int8.input_mut().as_mut_slice().copy_from_slice(&input);
+        let derived = int8.derived_amax_of("b0").expect("b0 folds, range derives").to_vec();
+        int8.calibrate_batch();
+        let measured = int8.calibrated_amax_of("b0").expect("calibration recorded b0").to_vec();
+        let dmax = derived.iter().cloned().fold(0.0f32, f32::max);
+        let mmax = measured.iter().cloned().fold(0.0f32, f32::max);
+        assert!(dmax > 0.0 && mmax > 0.0);
+        let ratio = mmax / dmax;
+        assert!(
+            (0.05..=3.0).contains(&ratio),
+            "measured max {mmax} vs derived bound {dmax}: ratio {ratio} out of tolerance"
+        );
+    }
+
+    #[test]
+    fn degenerate_all_zero_channel_yields_safe_scales() {
+        // zero gamma+beta on one BN channel drives its activation —
+        // and the derived amax — to exactly 0; the quantization scheme
+        // must answer with the neutral scale 1.0, never NaN or inf
+        let nl = residual_bn_spec();
+        let cache = PlanCache::new();
+        let pool = Arc::new(ThreadPool::new(2));
+        let (sd, input, _) = trained_residual(&pool, &cache);
+        let mut dead = StateDict::new();
+        for (name, e) in sd.iter() {
+            let mut data = e.data.clone();
+            if name == "b0.gamma" || name == "b0.beta" {
+                data[3] = 0.0;
+            }
+            dead.insert(name, e.dims.clone(), data).unwrap();
+        }
+        let mut int8 = Network::build_quantized(
+            &nl,
+            4,
+            Arc::clone(&pool),
+            ExecMode::Inference,
+            &cache,
+            true,
+            conv::TuneLevel::Heuristic,
+            Precision::Int8,
+        )
+        .unwrap();
+        int8.load_state_dict(&dead).unwrap();
+        assert_eq!(int8.derived_amax_of("b0").unwrap()[3], 0.0, "channel 3 is dead");
+        let scales = int8.conv_input_scales("c1").expect("c1 still quantizes");
+        assert!(scales.iter().all(|s| s.is_finite() && *s > 0.0), "scales must stay safe");
+        assert_eq!(scales[3], 1.0, "dead channel gets the neutral scale");
+        // and the whole net still forwards to finite probabilities —
+        // also after a calibration pass re-measures the dead channel
+        int8.input_mut().as_mut_slice().copy_from_slice(&input);
+        assert!(int8.forward().loss.is_finite());
+        int8.calibrate_batch();
+        let scales = int8.conv_input_scales("c1").unwrap();
+        assert!(scales.iter().all(|s| s.is_finite() && *s > 0.0));
+        assert!(int8.forward().loss.is_finite());
+    }
+
+    #[test]
+    fn int8_training_is_rejected() {
+        let r = Network::build_quantized(
+            &small_cnn(),
+            2,
+            Arc::new(ThreadPool::new(1)),
+            ExecMode::Training,
+            &PlanCache::new(),
+            true,
+            conv::TuneLevel::Heuristic,
+            Precision::Int8,
+        );
+        match r {
+            Err(e) => assert!(e.to_string().contains("inference mode"), "{e}"),
+            Ok(_) => panic!("int8 training build must be rejected"),
+        }
     }
 }

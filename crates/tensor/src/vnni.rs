@@ -21,6 +21,20 @@ use crate::align::AVec;
 use crate::rng::SplitMix64;
 use crate::shape::VLEN;
 
+/// Largest magnitude representable in the symmetric int8 quantization
+/// range. Values are carried in i16 VNNI containers but saturate at
+/// `±127` — the symmetric choice avoids the `-128` asymmetry so a
+/// quantized value can always be negated without overflow.
+pub const I8_QMAX: f32 = 127.0;
+
+/// Round-to-nearest-even quantization saturating at the symmetric i8
+/// edges `[-127, 127]`. NaN inputs quantize to 0 (Rust's saturating
+/// float→int cast), so a degenerate scale can never poison the tensor.
+#[inline]
+pub fn rne_sat_i8(v: f32) -> i16 {
+    v.round_ties_even().clamp(-I8_QMAX, I8_QMAX) as i16
+}
+
 /// Blocked int16 activations `[N][Cb][Hp][Wp][VLEN]`.
 #[derive(Clone, Debug)]
 pub struct VnniActs {
@@ -122,6 +136,34 @@ impl VnniActs {
         out
     }
 
+    /// Per-channel int8-range quantization into this tensor (which acts
+    /// as a reusable scratch buffer: the executor quantizes every conv
+    /// input into one geometry-keyed scratch instead of reallocating).
+    ///
+    /// `q[c] = rne_sat_i8(x[c] · inv_scale[c])` — round-to-nearest-even,
+    /// saturating at `±127`. `inv_scale` must cover the padded channel
+    /// count (`cb · VLEN`). Geometry (incl. physical padding) must match
+    /// `src` exactly; the zero padding quantizes to exact zeros, so a
+    /// sample's quantized image is independent of its batch neighbours.
+    pub fn quantize_per_channel_into(&mut self, src: &crate::BlockedActs, inv_scale: &[f32]) {
+        assert_eq!(
+            (self.n, self.cb, self.h, self.w, self.pad),
+            (src.n, src.cb, src.h, src.w, src.pad),
+            "quantize scratch geometry mismatch"
+        );
+        assert!(inv_scale.len() >= self.cb * VLEN, "inv_scale shorter than padded channels");
+        let chunk = self.stride_cb();
+        let cb_total = self.cb;
+        for (ci, (dst, s)) in
+            self.data.as_mut_slice().chunks_mut(chunk).zip(src.as_slice().chunks(chunk)).enumerate()
+        {
+            let inv = &inv_scale[(ci % cb_total) * VLEN..(ci % cb_total) * VLEN + VLEN];
+            for (i, (d, x)) in dst.iter_mut().zip(s).enumerate() {
+                *d = rne_sat_i8(x * inv[i % VLEN]);
+            }
+        }
+    }
+
     /// Raw pointer.
     #[inline]
     pub fn as_ptr(&self) -> *const i16 {
@@ -202,6 +244,44 @@ impl VnniFilter {
         let (cp, parity) = ((c % VLEN) / 2, c % 2);
         let off = base + (cp * VLEN + k % VLEN) * 2 + parity;
         self.data[off] = v;
+    }
+
+    /// Symmetric per-output-channel quantization with the per-input-
+    /// channel activation scales folded into the weights.
+    ///
+    /// The effective weight is `w'[k,c] = w[k,c] · act_scale[c]`; each
+    /// output channel gets `scale[k] = amax_c,r,s |w'[k]| / 127` (1.0
+    /// for an all-zero channel, so downstream requantization never
+    /// divides by zero or produces NaN) and `q = rne_sat_i8(w'/scale[k])`.
+    /// Because the activation scales are folded in here, `scale[k]` is
+    /// exactly the requantization multiplier that converts the int32
+    /// accumulator back to f32. The returned vector covers the padded
+    /// channel count (`kb · VLEN`, pad lanes 1.0).
+    pub fn quantize_per_k(src: &crate::BlockedFilter, act_scale: &[f32]) -> (Self, Vec<f32>) {
+        assert!(act_scale.len() >= src.c, "act_scale shorter than input channels");
+        let mut out = Self::zeros(src.k, src.c, src.r, src.s);
+        let mut mult = vec![1.0f32; out.kb * VLEN];
+        for (k, mult_k) in mult.iter_mut().enumerate().take(src.k) {
+            let mut amax = 0.0f32;
+            for (c, &sx) in act_scale.iter().enumerate().take(src.c) {
+                for r in 0..src.r {
+                    for s in 0..src.s {
+                        amax = amax.max((src.get(k, c, r, s) * sx).abs());
+                    }
+                }
+            }
+            let scale = if amax > 0.0 { amax / I8_QMAX } else { 1.0 };
+            *mult_k = scale;
+            let inv = 1.0 / scale;
+            for (c, &sx) in act_scale.iter().enumerate().take(src.c) {
+                for r in 0..src.r {
+                    for s in 0..src.s {
+                        out.set(k, c, r, s, rne_sat_i8(src.get(k, c, r, s) * sx * inv));
+                    }
+                }
+            }
+        }
+        (out, mult)
     }
 
     /// Quantize a f32 blocked filter with the given scale.
@@ -380,6 +460,62 @@ mod tests {
                     assert!((x - back).abs() <= 0.5 / 256.0 + 1e-6);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn rne_sat_rounds_to_even_and_saturates() {
+        assert_eq!(rne_sat_i8(0.5), 0);
+        assert_eq!(rne_sat_i8(1.5), 2);
+        assert_eq!(rne_sat_i8(2.5), 2);
+        assert_eq!(rne_sat_i8(-0.5), 0);
+        assert_eq!(rne_sat_i8(-1.5), -2);
+        assert_eq!(rne_sat_i8(1000.0), 127);
+        assert_eq!(rne_sat_i8(-1000.0), -127);
+        assert_eq!(rne_sat_i8(f32::NAN), 0);
+        assert_eq!(rne_sat_i8(f32::INFINITY), 127);
+    }
+
+    #[test]
+    fn per_channel_quantize_respects_scales_and_padding() {
+        let mut src = crate::BlockedActs::zeros(1, 32, 3, 3, 1);
+        src.set(0, 0, 1, 1, 0.5);
+        src.set(0, 17, 0, 2, -0.25);
+        let mut inv = vec![1.0f32; 32];
+        inv[0] = 100.0; // scale 0.01
+        inv[17] = 8.0;
+        let mut q = VnniActs::zeros(1, 32, 3, 3, 1);
+        q.quantize_per_channel_into(&src, &inv);
+        assert_eq!(q.get(0, 0, 1, 1), 50);
+        assert_eq!(q.get(0, 17, 0, 2), -2);
+        // physical padding must stay exactly zero
+        let off = q.pix_offset_logical(0, 0, -1, -1);
+        for v in 0..VLEN {
+            assert_eq!(q.as_slice()[off + v], 0);
+        }
+    }
+
+    #[test]
+    fn filter_per_k_quantization_is_symmetric_and_safe() {
+        let mut w = crate::BlockedFilter::zeros(32, 16, 1, 1);
+        for c in 0..16 {
+            w.set(0, c, 0, 0, 0.1 * (c as f32 + 1.0));
+            // channel 1 stays all-zero (degenerate)
+        }
+        let act_scale = vec![0.5f32; 16];
+        let (q, mult) = VnniFilter::quantize_per_k(&w, &act_scale);
+        assert_eq!(mult.len(), 32);
+        // amax of k=0 lands exactly on ±127
+        assert_eq!(q.get(0, 15, 0, 0), 127);
+        // degenerate all-zero output channel: safe scale, zero weights
+        assert_eq!(mult[1], 1.0);
+        assert!(mult.iter().all(|m| m.is_finite() && *m > 0.0));
+        assert_eq!(q.get(1, 3, 0, 0), 0);
+        // round trip within half a step
+        for (c, &sx) in act_scale.iter().enumerate() {
+            let back = q.get(0, c, 0, 0) as f32 * mult[0] / sx;
+            let err = (back - w.get(0, c, 0, 0)).abs();
+            assert!(err <= 0.5 * mult[0] / sx + 1e-6, "c={c} err={err}");
         }
     }
 

@@ -208,6 +208,7 @@ impl ModelRegistry {
             let _ = writeln!(out, "serve_model_minibatch{m} {}", s.minibatch);
             let _ = writeln!(out, "serve_model_sample_elems{m} {}", fe.sample_elems());
             let _ = writeln!(out, "serve_model_classes{m} {}", fe.classes());
+            let _ = writeln!(out, "serve_model_precision{m} \"{}\"", fe.precision().name());
             let _ = writeln!(out, "serve_model_requests_total{m} {}", s.requests);
             let _ = writeln!(out, "serve_model_images_total{m} {}", s.images);
             let _ = writeln!(out, "serve_model_batches_total{m} {}", s.batches);
@@ -252,6 +253,8 @@ impl ModelRegistry {
                 let plans = self.cache.stats();
                 let _ = writeln!(head, "serve_plans_tuned {}", plans.tuned_plans);
                 let _ = writeln!(head, "serve_plans_heuristic {}", plans.heuristic_plans);
+                let _ = writeln!(head, "serve_plans_f32 {}", plans.f32_plans);
+                let _ = writeln!(head, "serve_plans_int8 {}", plans.int8_plans);
                 let _ = writeln!(head, "serve_tune_runs_total {}", plans.tune_runs);
                 let _ =
                     writeln!(head, "serve_tune_micro_bench_runs_total {}", plans.tune_micro_runs);

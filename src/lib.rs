@@ -55,7 +55,7 @@ pub use smallgemm;
 pub use tensor;
 pub use topologies;
 
-pub use conv::TuneLevel;
+pub use conv::{Precision, TuneLevel};
 pub use gxm::{ConvOpts, Error, GraphBuilder, IntoModelSpec, ModelSpec, StateDict};
 
 pub mod daemon;
@@ -159,6 +159,7 @@ impl InferenceSession {
             conv::PlanCache::new(),
             false,
             TuneLevel::Heuristic,
+            Precision::F32,
         )
     }
 
@@ -170,7 +171,7 @@ impl InferenceSession {
         pool: Arc<parallel::ThreadPool>,
         cache: conv::PlanCache,
     ) -> Result<Self, Error> {
-        Self::build(model, minibatch, pool, cache, true, TuneLevel::Heuristic)
+        Self::build(model, minibatch, pool, cache, true, TuneLevel::Heuristic, Precision::F32)
     }
 
     /// [`Self::with_shared`] with the plan-time autotuner enabled:
@@ -185,7 +186,26 @@ impl InferenceSession {
         cache: conv::PlanCache,
         tune: TuneLevel,
     ) -> Result<Self, Error> {
-        Self::build(model, minibatch, pool, cache, true, tune)
+        Self::build(model, minibatch, pool, cache, true, tune, Precision::F32)
+    }
+
+    /// [`Self::with_shared_tuned`] with the numeric execution mode made
+    /// explicit. At [`Precision::Int8`] every convolution whose input
+    /// range is derivable (from folded-BN statistics, or measured via
+    /// [`Self::calibrate`]) executes the paper's Section II-K
+    /// reduced-precision path — quantize → int8/VNNI convolution →
+    /// fused requantize — while underivable nodes fall back to their
+    /// f32 plans (DESIGN.md §11). [`Precision::F32`] is exactly
+    /// [`Self::with_shared_tuned`].
+    pub fn with_shared_quantized(
+        model: impl IntoModelSpec,
+        minibatch: usize,
+        pool: Arc<parallel::ThreadPool>,
+        cache: conv::PlanCache,
+        tune: TuneLevel,
+        precision: Precision,
+    ) -> Result<Self, Error> {
+        Self::build(model, minibatch, pool, cache, true, tune, precision)
     }
 
     fn build(
@@ -195,9 +215,10 @@ impl InferenceSession {
         cache: conv::PlanCache,
         fold_bn: bool,
         tune: TuneLevel,
+        precision: Precision,
     ) -> Result<Self, Error> {
         let spec = model.into_model_spec()?;
-        let net = gxm::Network::build_tuned(
+        let net = gxm::Network::build_quantized(
             &spec,
             minibatch,
             Arc::clone(&pool),
@@ -205,6 +226,7 @@ impl InferenceSession {
             &cache,
             fold_bn,
             tune,
+            precision,
         )?;
         Ok(Self { net, pool, cache })
     }
@@ -275,6 +297,69 @@ impl InferenceSession {
             top1.push(best);
         }
         Ok(InferenceOutput { probs, top1 })
+    }
+
+    /// Feed `count` representative samples (`count × c × h × w` NCHW
+    /// f32) through the network in calibration mode: every batch runs
+    /// the *f32* plans while per-channel activation maxima are
+    /// recorded at each node, then the int8 convolutions requantize
+    /// their weights against the measured ranges. Calibration widens
+    /// int8 coverage — convolutions whose input range was underivable
+    /// from BN statistics join the quantized path — and tightens the
+    /// scales of those already on it (DESIGN.md §11).
+    ///
+    /// `count` may exceed the planned minibatch; samples are chunked
+    /// into full-or-partial batches and the recorded maxima accumulate
+    /// across all of them. No-op data-wise at [`Precision::F32`]
+    /// (rejected with [`Error::BadInput`] so a misconfigured pipeline
+    /// is caught loudly).
+    ///
+    /// # Errors
+    /// [`Error::BadInput`] when the session is not int8, `count` is 0,
+    /// or `samples` is not `count × c × h × w` values.
+    pub fn calibrate(&mut self, samples: &[f32], count: usize) -> Result<(), Error> {
+        if self.net.precision() != Precision::Int8 {
+            return Err(Error::BadInput(
+                "calibrate requires an int8-precision session".to_string(),
+            ));
+        }
+        if count == 0 {
+            return Err(Error::BadInput("calibration needs at least one sample".to_string()));
+        }
+        let se = self.sample_elems();
+        if samples.len() != count * se {
+            return Err(Error::BadInput(format!(
+                "samples must be count × c × h × w = {} f32 values, got {}",
+                count * se,
+                samples.len()
+            )));
+        }
+        let mb = self.net.minibatch();
+        let mut done = 0;
+        while done < count {
+            let take = (count - done).min(mb);
+            self.net.load_input_nchw(&samples[done * se..(done + take) * se], take);
+            self.net.calibrate_batch();
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// The session's numeric execution mode.
+    pub fn precision(&self) -> Precision {
+        self.net.precision()
+    }
+
+    /// Number of convolution nodes in the served graph.
+    pub fn conv_node_count(&self) -> usize {
+        self.net.conv_node_count()
+    }
+
+    /// Number of convolutions currently executing the int8 path (0 at
+    /// f32 precision); `quantized_conv_count / conv_node_count` is the
+    /// int8 coverage the inference benchmark reports.
+    pub fn quantized_conv_count(&self) -> usize {
+        self.net.quantized_conv_count()
     }
 
     /// Class count of the model's softmax head.

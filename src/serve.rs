@@ -37,7 +37,7 @@
 //! applies — see DESIGN.md §5.3), so no operator in the serving path
 //! reads across samples.
 
-use crate::{Error, InferenceOutput, InferenceSession, IntoModelSpec, StateDict};
+use crate::{Error, InferenceOutput, InferenceSession, IntoModelSpec, Precision, StateDict};
 use conv::{CombinedCacheStats, PlanCache};
 use gxm::{HotSwap, ModelSpec};
 use parallel::{pin_current_thread, PoolOptions, ThreadPool};
@@ -79,6 +79,19 @@ pub struct ServeConfig {
     /// search runs once regardless of the replica count; `Measured`
     /// micro-benches on replica 0's pool during its build.
     pub tune: conv::TuneLevel,
+    /// Numeric execution mode of every replica (see
+    /// [`crate::Precision`]). At [`Precision::Int8`] each replica
+    /// serves the quantized convolution path where the input range is
+    /// derivable, falling back to f32 plans elsewhere; supply
+    /// representative samples via [`ServeConfig::with_calibration`]
+    /// to widen coverage and tighten scales.
+    pub precision: Precision,
+    /// Representative calibration samples (a multiple of the model's
+    /// `c × h × w`, NCHW f32). At [`Precision::Int8`] every replica
+    /// calibrates on these after loading weights — including after
+    /// every hot-swap reload, so published weight sets are requantized
+    /// against the same measured activation ranges. Ignored at f32.
+    pub calibration: Vec<f32>,
 }
 
 impl ServeConfig {
@@ -94,12 +107,28 @@ impl ServeConfig {
             pin_replicas: true,
             queue_cap: (8 * replicas * minibatch).max(64),
             tune: conv::TuneLevel::Heuristic,
+            precision: Precision::F32,
+            calibration: Vec::new(),
         }
     }
 
     /// Set the plan-time autotuning level (see [`conv::TuneLevel`]).
     pub fn with_tune(mut self, tune: conv::TuneLevel) -> Self {
         self.tune = tune;
+        self
+    }
+
+    /// Set the replicas' numeric execution mode (see
+    /// [`ServeConfig::precision`]).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Supply representative calibration samples (see
+    /// [`ServeConfig::calibration`]).
+    pub fn with_calibration(mut self, samples: Vec<f32>) -> Self {
+        self.calibration = samples;
         self
     }
 
@@ -293,6 +322,13 @@ struct Shared {
     minibatch: usize,
     classes: usize,
     queue_cap: usize,
+    /// The replicas' numeric execution mode.
+    precision: Precision,
+    /// Calibration samples re-applied by every replica after a weight
+    /// hot swap (empty at f32 or when none were supplied) — so
+    /// reloaded weights requantize against the same measured ranges
+    /// the replicas were built with.
+    calibration: Arc<Vec<f32>>,
 }
 
 /// A multi-client micro-batching front-end over replicated
@@ -422,15 +458,26 @@ impl BatchingFrontend {
                 opts.without_pinning()
             };
             let pool = Arc::new(ThreadPool::with_options(opts));
-            let mut session = InferenceSession::with_shared_tuned(
+            let mut session = InferenceSession::with_shared_quantized(
                 spec,
                 cfg.minibatch,
                 pool,
                 cache.clone(),
                 cfg.tune,
+                cfg.precision,
             )?;
             if let Some(sd) = weights {
                 session.load_state_dict(sd)?;
+            }
+            if cfg.precision == Precision::Int8 && !cfg.calibration.is_empty() {
+                let se = session.sample_elems();
+                if !cfg.calibration.len().is_multiple_of(se) {
+                    return Err(Error::BadInput(format!(
+                        "calibration must be a multiple of sample_elems ({se}) f32s, got {}",
+                        cfg.calibration.len()
+                    )));
+                }
+                session.calibrate(&cfg.calibration, cfg.calibration.len() / se)?;
             }
             sessions.push(session);
         }
@@ -451,6 +498,12 @@ impl BatchingFrontend {
             minibatch: cfg.minibatch,
             classes: sessions[0].classes(),
             queue_cap: cfg.queue_cap,
+            precision: cfg.precision,
+            calibration: Arc::new(if cfg.precision == Precision::Int8 {
+                cfg.calibration.clone()
+            } else {
+                Vec::new()
+            }),
         });
         let mut txs = Vec::with_capacity(cfg.replicas);
         let mut workers = Vec::with_capacity(cfg.replicas);
@@ -624,6 +677,11 @@ impl BatchingFrontend {
     /// Number of session replicas.
     pub fn replicas(&self) -> usize {
         self.replicas
+    }
+
+    /// The replicas' numeric execution mode.
+    pub fn precision(&self) -> Precision {
+        self.shared.precision
     }
 
     /// The plan cache all replicas share.
@@ -883,6 +941,14 @@ fn replica_loop(mut session: InferenceSession, rx: Receiver<Vec<Pending>>, share
                 // load failure keeps the previous weights serving
                 if session.load_state_dict(&sd).is_err() {
                     shared.stats.lock().unwrap().reload_failures += 1;
+                } else if !shared.calibration.is_empty() {
+                    // int8: requantize the fresh weights against the
+                    // same measured ranges the replica was built with
+                    // (the load itself only sees BN-derived bounds)
+                    let n = shared.calibration.len() / se;
+                    if session.calibrate(&shared.calibration, n).is_err() {
+                        shared.stats.lock().unwrap().reload_failures += 1;
+                    }
                 }
             }
             weight_gen = gen;

@@ -97,6 +97,75 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(usize, u64, u32, u16, u8);
 
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                (self.start as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )+};
+}
+
+impl_signed_range_strategy!(i64, i32, i16, i8);
+
+macro_rules! impl_inclusive_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as i64).wrapping_sub(*self.start() as i64) as u64 + 1;
+                (*self.start() as i64 + (rng.next_u64() % span) as i64) as $t
+            }
+        }
+    )+};
+}
+
+impl_inclusive_range_strategy!(usize, u32, u16, u8, i64, i32, i16, i8);
+
+/// Uniform floats over `[start, end)` — 24 bits of mantissa entropy,
+/// plenty for property sampling.
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn pick(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Fixed-length vector of independently sampled elements.
+    pub struct VecStrategy<S>(S, usize);
+
+    /// Mirrors proptest's `collection::vec` for an exact length.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy(element, len)
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.1).map(|_| self.0.pick(rng)).collect()
+        }
+    }
+}
+
 /// `any::<T>()` — uniform over the whole domain.
 pub struct Any<T>(std::marker::PhantomData<T>);
 
