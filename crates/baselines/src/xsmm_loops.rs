@@ -84,12 +84,13 @@ pub(crate) fn run_gemm_loops<F>(
                         let b_off = weights.panel_offset(kb, cb, r, s);
                         // SAFETY: offsets in-bounds; output rows disjoint
                         // per work item.
-                        small_gemm(
-                            // SAFETY: see above
-                            unsafe { in_ptr.get().add(a_off) },
-                            unsafe { wt_ptr.get().add(b_off) },
-                            unsafe { out_ptr.get().add(c_off) },
-                        );
+                        unsafe {
+                            small_gemm(
+                                in_ptr.get().add(a_off),
+                                wt_ptr.get().add(b_off),
+                                out_ptr.get().add(c_off),
+                            )
+                        };
                     }
                 }
             }

@@ -97,6 +97,14 @@ pub fn kernel_cache_stats() -> KernelCacheStats {
     }
 }
 
+/// Process-wide static-verifier counters: how many JIT kernels passed
+/// verification and how many instructions were checked. Stays at zero
+/// in release builds without the `jit/verify` feature (the check is
+/// compiled out of [`jit::CodeBuffer::from_kernel`]).
+pub fn kernel_verify_stats() -> kver::VerifyStats {
+    kver::stats()
+}
+
 enum FwdImpl {
     Jit {
         #[allow(dead_code)] // owns the mapping the fn pointer points into
@@ -122,7 +130,8 @@ impl FwdKernel {
         let imp = match backend.resolve() {
             Backend::Jit => {
                 let code = jit::assemble_fwd(&shape);
-                let buf = CodeBuffer::from_code(&code).expect("executable memory for JIT kernel");
+                let buf = CodeBuffer::from_kernel(&code, &kver::KernelSpec::FwdF32(shape))
+                    .expect("verified executable JIT kernel");
                 // SAFETY: the buffer holds a kernel with the F32Kernel ABI.
                 let f = unsafe { buf.as_f32_kernel() };
                 FwdImpl::Jit { buf, f }
@@ -217,7 +226,8 @@ impl UpdKernel {
         let imp = match backend.resolve() {
             Backend::Jit => {
                 let code = jit::assemble_upd(&shape);
-                let buf = CodeBuffer::from_code(&code).expect("executable memory for JIT kernel");
+                let buf = CodeBuffer::from_kernel(&code, &kver::KernelSpec::UpdF32(shape))
+                    .expect("verified executable JIT kernel");
                 // SAFETY: the buffer holds a kernel with the F32Kernel ABI.
                 let f = unsafe { buf.as_f32_kernel() };
                 UpdImpl::Jit { buf, f }
@@ -302,7 +312,8 @@ impl QuantKernel {
         let imp = match backend {
             Backend::Jit | Backend::Auto if jit_ok => {
                 let code = jit::assemble_quant(&shape);
-                let buf = CodeBuffer::from_code(&code).expect("executable memory for JIT kernel");
+                let buf = CodeBuffer::from_kernel(&code, &kver::KernelSpec::QuantI16(shape))
+                    .expect("verified executable JIT kernel");
                 // SAFETY: the buffer holds a kernel with the I16Kernel ABI.
                 let f = unsafe { buf.as_i16_kernel() };
                 QuantImpl::Jit { buf, f }
@@ -426,6 +437,7 @@ mod tests {
         let run = |backend| {
             let k = FwdKernel::new(sh, backend);
             let mut out = vec![0.0f32; 16 * 16 * VLEN];
+            // SAFETY: buffers sized for the shape's extents above.
             unsafe {
                 k.call(
                     inp.as_ptr(),

@@ -62,6 +62,57 @@ impl OutGeom {
     }
 }
 
+/// Enumerate every [`KernelShape`] variant a forward dryrun for
+/// `(shape, blocking)` can generate against a dense output and
+/// `shape.pad` physical input padding: main tiles, spatial remainder
+/// tiles, and the initializing/accumulating `cb`-step variants. The
+/// int16 quantized plan draws from the *same* population, so this one
+/// enumeration feeds both the `verify-kernels` sweep and the verifier
+/// property tests.
+pub fn kernel_shape_variants(
+    shape: &ConvShape,
+    blocking: &Blocking,
+    prefetch: bool,
+) -> Vec<KernelShape> {
+    let out_geom = OutGeom::dense(shape);
+    let cb_steps = shape.cb() / blocking.cb_inner;
+    assert_eq!(cb_steps * blocking.cb_inner, shape.cb(), "cb_inner must divide Cb");
+    let in_row = (shape.w + 2 * shape.pad) * VLEN;
+    let in_cb = (shape.h + 2 * shape.pad) * in_row;
+    let (p, q) = (shape.p(), shape.q());
+    let mut rows_set: Vec<usize> =
+        (0..p.div_ceil(blocking.rbp)).map(|tj| (p - tj * blocking.rbp).min(blocking.rbp)).collect();
+    rows_set.sort_unstable();
+    rows_set.dedup();
+    let mut cols_set: Vec<usize> =
+        (0..q.div_ceil(blocking.rbq)).map(|ti| (q - ti * blocking.rbq).min(blocking.rbq)).collect();
+    cols_set.sort_unstable();
+    cols_set.dedup();
+    let inits: &[bool] = if cb_steps > 1 { &[true, false] } else { &[true] };
+    let mut out = Vec::new();
+    for &rows in &rows_set {
+        for &cols in &cols_set {
+            for &init in inits {
+                out.push(KernelShape {
+                    rbp: rows,
+                    rbq: cols,
+                    r: shape.r,
+                    s: shape.s,
+                    stride: shape.stride,
+                    cb_inner: blocking.cb_inner,
+                    in_row_stride: in_row,
+                    in_cb_stride: in_cb,
+                    out_row_stride: out_geom.row_stride,
+                    out_col_stride: out_geom.col_stride,
+                    init_zero: init,
+                    prefetch,
+                });
+            }
+        }
+    }
+    out
+}
+
 /// A fully planned forward (or dual-backward) convolution.
 pub struct FwdPlan {
     shape: ConvShape,

@@ -36,7 +36,9 @@ pub mod streams;
 pub mod tune;
 pub mod upd;
 
-pub use backend::{kernel_cache_stats, Backend, FwdKernel, KernelCacheStats, UpdKernel};
+pub use backend::{
+    kernel_cache_stats, kernel_verify_stats, Backend, FwdKernel, KernelCacheStats, UpdKernel,
+};
 pub use blocking::Blocking;
 pub use cache::{CombinedCacheStats, FusedOpCacheStats, PlanCache, PlanCacheStats};
 pub use fuse::FusedOp;

@@ -86,6 +86,34 @@ pub fn choose_copies(shape: &ConvShape, t: usize, _machine: &MachineModel) -> us
     best.1
 }
 
+/// Enumerate every [`UpdShape`] variant an update dryrun for
+/// `(shape, blocking)` can generate (unpadded dO, `shape.pad` physical
+/// input padding): the main `upd_bp`-row tile and the spatial
+/// remainder. Counterpart of [`crate::fwd::kernel_shape_variants`] for
+/// the `verify-kernels` sweep and the verifier property tests.
+pub fn upd_shape_variants(shape: &ConvShape, blocking: &Blocking, prefetch: bool) -> Vec<UpdShape> {
+    let in_row = (shape.w + 2 * shape.pad) * VLEN;
+    let do_row = shape.q() * VLEN;
+    let p = shape.p();
+    let mut rows_needed = vec![blocking.upd_bp.min(p)];
+    if !p.is_multiple_of(blocking.upd_bp) {
+        rows_needed.push(p % blocking.upd_bp);
+    }
+    rows_needed.sort_unstable();
+    rows_needed.dedup();
+    rows_needed
+        .into_iter()
+        .map(|rows| UpdShape {
+            bp: rows,
+            bq: shape.q(),
+            stride: shape.stride,
+            in_row_stride: in_row,
+            do_row_stride: do_row,
+            prefetch,
+        })
+        .collect()
+}
+
 impl UpdPlan {
     /// Dryrun: choose strategy, generate kernels.
     pub fn new(

@@ -17,6 +17,10 @@ pub enum JitError {
     Protect(i32),
     /// Empty code sequence.
     Empty,
+    /// The static verifier rejected the kernel bytes (see
+    /// [`CodeBuffer::from_kernel`]) — the code never reached
+    /// executable memory.
+    Verify(kver::Violation),
 }
 
 impl fmt::Display for JitError {
@@ -25,6 +29,7 @@ impl fmt::Display for JitError {
             JitError::Map(e) => write!(f, "mmap failed (errno {e})"),
             JitError::Protect(e) => write!(f, "mprotect failed (errno {e})"),
             JitError::Empty => write!(f, "empty code buffer"),
+            JitError::Verify(v) => write!(f, "kernel verification failed: {v}"),
         }
     }
 }
@@ -73,6 +78,27 @@ impl CodeBuffer {
             }
             Ok(Self { ptr: ptr as *mut u8, map_len, code_len: code.len() })
         }
+    }
+
+    /// Map *kernel* code into executable memory, statically verifying
+    /// it against the [`kver::KernelSpec`] it was assembled from.
+    ///
+    /// In debug builds (and with the `verify` feature in release) the
+    /// bytes are decoded and abstract-interpreted first — ABI
+    /// structure, register discipline, and memory bounds per the
+    /// spec's shape — and a [`kver::Violation`] surfaces as
+    /// [`JitError::Verify`] *before* anything becomes executable.
+    /// Release builds without the feature skip straight to
+    /// [`CodeBuffer::from_code`] (the verifier runs on every kernel in
+    /// every test run, which is where it earns its keep).
+    ///
+    /// Use this for assembled kernels; `from_code` remains the raw
+    /// escape hatch for non-kernel stubs (availability probes, tests).
+    pub fn from_kernel(code: &[u8], spec: &kver::KernelSpec) -> Result<Self, JitError> {
+        if cfg!(any(debug_assertions, feature = "verify")) {
+            kver::verify(code, spec).map_err(JitError::Verify)?;
+        }
+        Self::from_code(code)
     }
 
     /// Entry point of the generated kernel.
@@ -133,6 +159,7 @@ mod tests {
         // mov eax, 0x1234; ret
         let code = [0xB8u8, 0x34, 0x12, 0, 0, 0xC3];
         let buf = CodeBuffer::from_code(&code).expect("exec memory available");
+        // SAFETY: the stub above is a complete nullary function.
         let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(buf.as_ptr()) };
         assert_eq!(f(), 0x1234);
     }
@@ -143,6 +170,7 @@ mod tests {
         // 48 8d 04 37  lea rax,[rdi+rsi]
         let code = [0x48u8, 0x8D, 0x04, 0x37, 0xC3];
         let buf = CodeBuffer::from_code(&code).unwrap();
+        // SAFETY: the stub reads only its two register arguments.
         let f: extern "C" fn(usize, usize) -> usize = unsafe { std::mem::transmute(buf.as_ptr()) };
         assert_eq!(f(40, 2), 42);
         assert_eq!(f(1000, 337), 1337);
@@ -160,6 +188,7 @@ mod tests {
         code.extend_from_slice(&[0xB8, 7, 0, 0, 0, 0xC3]);
         let buf = CodeBuffer::from_code(&code).unwrap();
         assert_eq!(buf.code_len(), 8198);
+        // SAFETY: NOP sled ending in a complete nullary function.
         let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(buf.as_ptr()) };
         assert_eq!(f(), 7);
     }

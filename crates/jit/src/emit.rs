@@ -382,7 +382,9 @@ mod tests {
         let inp: Vec<f32> = (0..16).map(|i| i as f32).collect();
         let wt: Vec<f32> = (0..16).map(|i| (i + 1) as f32).collect();
         let mut out = vec![0.0f32; 16];
+        // SAFETY: the snippet above follows the F32Kernel ABI.
         let f = unsafe { buf.as_f32_kernel() };
+        // SAFETY: the snippet touches one vector of each buffer.
         unsafe {
             f(
                 inp.as_ptr(),

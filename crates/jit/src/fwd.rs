@@ -195,6 +195,7 @@ mod tests {
         rng.fill_f32(&mut out0);
 
         let mut expect = out0.clone();
+        // SAFETY: buffers sized by the shape's extents just above.
         unsafe {
             fwd_scalar(
                 sh,
@@ -208,9 +209,11 @@ mod tests {
         };
 
         let code = assemble_fwd(sh);
-        let buf = CodeBuffer::from_code(&code).unwrap();
+        let buf = CodeBuffer::from_kernel(&code, &kver::KernelSpec::FwdF32(*sh)).unwrap();
+        // SAFETY: the buffer holds a just-assembled F32Kernel.
         let f = unsafe { buf.as_f32_kernel() };
         let mut out_j = out0.clone();
+        // SAFETY: same buffers as the scalar oracle call above.
         unsafe {
             f(
                 inp.as_ptr(),

@@ -40,6 +40,12 @@ pub use fwd::assemble_fwd;
 pub use quant::assemble_quant;
 pub use upd::assemble_upd;
 
+/// Re-exported verifier spec: callers mapping assembled kernels via
+/// [`CodeBuffer::from_kernel`] pass the matching `KernelSpec` variant
+/// (`FwdF32` / `UpdF32` / `QuantI16`) wrapping the shape the kernel
+/// was assembled from.
+pub use kver::KernelSpec;
+
 /// ABI of the generated f32 kernels: `(in, wt, out, pf_in, pf_wt,
 /// pf_out)`. For the weight-update kernel the roles are `(in, dO, dW,
 /// pf_in, pf_dO, pf_dW)`.
@@ -67,6 +73,7 @@ pub fn jit_available() -> bool {
             let stub = [0xB8u8, 42, 0, 0, 0, 0xC3];
             match CodeBuffer::from_code(&stub) {
                 Ok(buf) => {
+                    // SAFETY: the stub above is a complete nullary function.
                     let f: extern "C" fn() -> i32 = unsafe { std::mem::transmute(buf.as_ptr()) };
                     f() == 42
                 }

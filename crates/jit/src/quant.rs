@@ -163,6 +163,7 @@ mod tests {
         }
 
         let mut expect = out0.clone();
+        // SAFETY: buffers sized by the shape's extents just above.
         unsafe {
             quant_scalar(
                 sh,
@@ -175,9 +176,12 @@ mod tests {
             )
         };
 
-        let buf = CodeBuffer::from_code(&assemble_quant(sh)).unwrap();
+        let buf =
+            CodeBuffer::from_kernel(&assemble_quant(sh), &kver::KernelSpec::QuantI16(*sh)).unwrap();
+        // SAFETY: the buffer holds a just-assembled I16Kernel.
         let f = unsafe { buf.as_i16_kernel() };
         let mut out_j = out0.clone();
+        // SAFETY: same buffers as the scalar oracle call above.
         unsafe {
             f(
                 inp.as_ptr(),

@@ -104,6 +104,7 @@ mod tests {
         rng.fill_f32(&mut dw0);
 
         let mut expect = dw0.clone();
+        // SAFETY: buffers sized by the shape's extents just above.
         unsafe {
             upd_scalar(
                 sh,
@@ -116,9 +117,12 @@ mod tests {
             )
         };
 
-        let buf = CodeBuffer::from_code(&assemble_upd(sh)).unwrap();
+        let buf =
+            CodeBuffer::from_kernel(&assemble_upd(sh), &kver::KernelSpec::UpdF32(*sh)).unwrap();
+        // SAFETY: the buffer holds a just-assembled F32Kernel.
         let f = unsafe { buf.as_f32_kernel() };
         let mut dw_j = dw0.clone();
+        // SAFETY: same buffers as the scalar oracle call above.
         unsafe {
             f(
                 inp.as_ptr(),
@@ -160,9 +164,12 @@ mod tests {
         let inp = vec![1.0f32; in_len];
         let dout = vec![1.0f32; do_len];
         let mut dw = vec![0.0f32; 256];
-        let buf = CodeBuffer::from_code(&assemble_upd(&sh)).unwrap();
+        let buf =
+            CodeBuffer::from_kernel(&assemble_upd(&sh), &kver::KernelSpec::UpdF32(sh)).unwrap();
+        // SAFETY: the buffer holds a just-assembled F32Kernel.
         let f = unsafe { buf.as_f32_kernel() };
         for _ in 0..5 {
+            // SAFETY: buffers sized by the shape's extents above.
             unsafe {
                 f(
                     inp.as_ptr(),

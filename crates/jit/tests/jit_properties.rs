@@ -59,12 +59,14 @@ proptest! {
         rng.fill_f32(&mut out0);
         let mut a = out0.clone();
         let mut b = out0;
+        // SAFETY: buffers sized by the shape's extents above; the JIT
+        // kernel was statically verified by from_kernel.
         unsafe {
             microkernel::fwd::fwd_scalar(
                 &sh, inp.as_ptr(), wt.as_ptr(), a.as_mut_ptr(),
                 std::ptr::null(), std::ptr::null(), std::ptr::null(),
             );
-            let buf = CodeBuffer::from_code(&assemble_fwd(&sh)).unwrap();
+            let buf = CodeBuffer::from_kernel(&assemble_fwd(&sh), &jit::KernelSpec::FwdF32(sh)).unwrap();
             (buf.as_f32_kernel())(
                 inp.as_ptr(), wt.as_ptr(), b.as_mut_ptr(),
                 inp.as_ptr(), wt.as_ptr(), b.as_ptr(),
@@ -101,12 +103,15 @@ proptest! {
         }
         let mut a = out0.clone();
         let mut b = out0;
+        // SAFETY: buffers sized by the shape's extents above; the JIT
+        // kernel was statically verified by from_kernel.
         unsafe {
             microkernel::quant::quant_scalar(
                 &sh, inp.as_ptr(), wt.as_ptr(), a.as_mut_ptr(),
                 std::ptr::null(), std::ptr::null(), std::ptr::null(),
             );
-            let buf = CodeBuffer::from_code(&assemble_quant(&sh)).unwrap();
+            let buf =
+                CodeBuffer::from_kernel(&assemble_quant(&sh), &jit::KernelSpec::QuantI16(sh)).unwrap();
             (buf.as_i16_kernel())(
                 inp.as_ptr(), wt.as_ptr(), b.as_mut_ptr(),
                 inp.as_ptr(), wt.as_ptr(), b.as_ptr(),

@@ -1,0 +1,275 @@
+//! Mutation tests for the static kernel verifier: take a *real*
+//! emitted kernel, corrupt it the way a codegen bug (or memory
+//! corruption) would, and assert the verifier rejects it with the
+//! expected typed [`kver::Violation`]. Each mutation is located by
+//! decoding the pristine stream first, so the tests stay valid as the
+//! emitter's instruction schedule evolves.
+//!
+//! None of this needs executable memory: `kver::verify` works on the
+//! raw bytes, so the suite runs on any host.
+
+use jit::{assemble_fwd, assemble_quant, assemble_upd};
+use kver::decode::{decode_all, Inst};
+use kver::{verify, KernelSpec, Tensor, Violation};
+use microkernel::{KernelShape, UpdShape};
+use tensor::VLEN;
+
+/// A small forward shape covering every structural feature except the
+/// machine loop (`cb_inner = 1` keeps instruction offsets stable under
+/// splicing).
+fn fwd_shape(cb_inner: usize) -> KernelShape {
+    let (rbp, rbq, r, s, stride) = (2usize, 3usize, 3usize, 3usize, 1usize);
+    let in_cols = (rbq - 1) * stride + s + 2;
+    let in_rows = (rbp - 1) * stride + r + 1;
+    KernelShape {
+        rbp,
+        rbq,
+        r,
+        s,
+        stride,
+        cb_inner,
+        in_row_stride: in_cols * VLEN,
+        in_cb_stride: in_rows * in_cols * VLEN + 48,
+        out_row_stride: (rbq + 1) * VLEN,
+        out_col_stride: VLEN,
+        init_zero: false,
+        prefetch: false,
+    }
+}
+
+fn upd_shape() -> UpdShape {
+    UpdShape {
+        bp: 4,
+        bq: 7,
+        stride: 1,
+        in_row_stride: 9 * VLEN,
+        do_row_stride: 8 * VLEN,
+        prefetch: false,
+    }
+}
+
+/// Assembled kernel + its spec + decoded instruction index.
+struct Subject {
+    code: Vec<u8>,
+    spec: KernelSpec,
+    insts: Vec<(usize, Inst)>,
+}
+
+fn fwd_subject(cb_inner: usize) -> Subject {
+    let sh = fwd_shape(cb_inner);
+    let code = assemble_fwd(&sh);
+    let spec = KernelSpec::FwdF32(sh);
+    verify(&code, &spec).expect("pristine kernel must verify");
+    let insts = decode_all(&code).unwrap();
+    Subject { code, spec, insts }
+}
+
+impl Subject {
+    /// Byte offset of the first instruction matching `pred`.
+    fn find(&self, pred: impl Fn(&Inst) -> bool) -> usize {
+        self.insts.iter().find(|(_, i)| pred(i)).expect("instruction present").0
+    }
+}
+
+#[test]
+fn pristine_kernels_of_all_three_classes_verify() {
+    let sh = fwd_shape(4);
+    verify(&assemble_fwd(&sh), &KernelSpec::FwdF32(sh)).unwrap();
+    verify(&assemble_quant(&sh), &KernelSpec::QuantI16(sh)).unwrap();
+    let us = upd_shape();
+    verify(&assemble_upd(&us), &KernelSpec::UpdF32(us)).unwrap();
+}
+
+#[test]
+fn dropped_vzeroupper_is_rejected() {
+    let s = fwd_subject(1);
+    let at = s.find(|i| matches!(i, Inst::Vzeroupper));
+    let mut m = s.code.clone();
+    m.drain(at..at + 3); // vzeroupper is the 3-byte C5 F8 77
+    assert!(
+        matches!(verify(&m, &s.spec), Err(Violation::MissingVzeroupper { .. })),
+        "ret without vzeroupper must be a MissingVzeroupper"
+    );
+}
+
+#[test]
+fn out_of_bounds_store_displacement_is_rejected() {
+    let s = fwd_subject(1);
+    let at = s.find(|i| matches!(i, Inst::VecStore { .. }));
+    let mut m = s.code.clone();
+    // disp32 lives in bytes 6..10 of the EVEX form; 16 MiB is far
+    // outside any declared output extent but still 64-byte aligned
+    m[at + 6..at + 10].copy_from_slice(&(1i32 << 24).to_le_bytes());
+    assert!(
+        matches!(verify(&m, &s.spec), Err(Violation::OutOfBounds { tensor: Tensor::Out, .. })),
+        "bumped store disp32 must be an OutOfBounds on the output tensor"
+    );
+}
+
+#[test]
+fn misaligned_store_displacement_is_rejected() {
+    let s = fwd_subject(1);
+    let at = s.find(|i| matches!(i, Inst::VecStore { disp: 0, .. }));
+    let mut m = s.code.clone();
+    m[at + 6..at + 10].copy_from_slice(&4i32.to_le_bytes());
+    assert!(
+        matches!(
+            verify(&m, &s.spec),
+            Err(Violation::Misaligned { tensor: Tensor::Out, offset: 4, align: 64, .. })
+        ),
+        "a 4-byte-offset vector store must be a Misaligned"
+    );
+}
+
+#[test]
+fn accumulator_retargeted_into_weight_range_is_rejected() {
+    let s = fwd_subject(1);
+    let at = s.find(|i| matches!(i, Inst::FmaBcst { acc: 0, .. }));
+    let mut m = s.code.clone();
+    // acc zmm0 -> zmm28: modrm.reg = 4, EVEX R and R' flip to extended
+    m[at + 1] &= !(0x80 | 0x10);
+    m[at + 5] = (m[at + 5] & 0b1100_0111) | (4 << 3);
+    assert!(
+        matches!(verify(&m, &s.spec), Err(Violation::AccumulatorOutOfBudget { zmm: 28, .. })),
+        "an FMA accumulating into zmm28 must be an AccumulatorOutOfBudget"
+    );
+}
+
+#[test]
+fn truncated_stream_is_rejected() {
+    let s = fwd_subject(1);
+    // cutting two bytes removes `ret` and splits `vzeroupper`
+    let cut = &s.code[..s.code.len() - 2];
+    assert!(matches!(verify(cut, &s.spec), Err(Violation::Truncated { .. })));
+    // cutting exactly `ret` leaves whole instructions but no return
+    let cut = &s.code[..s.code.len() - 1];
+    assert_eq!(verify(cut, &s.spec), Err(Violation::MissingRet));
+}
+
+#[test]
+fn foreign_bytes_are_rejected() {
+    let s = fwd_subject(1);
+    let mut m = s.code.clone();
+    m[0] = 0x90; // NOP: valid x86, not part of the emitter's subset
+    assert_eq!(verify(&m, &s.spec), Err(Violation::Decode { at: 0, byte: 0x90 }));
+}
+
+#[test]
+fn store_through_readonly_pointer_is_rejected() {
+    let s = fwd_subject(1);
+    let at = s.find(|i| matches!(i, Inst::VecStore { base: 2, .. }));
+    let mut m = s.code.clone();
+    // retarget the store base from rdx (output) to rsi (weights)
+    m[at + 5] = (m[at + 5] & 0b1111_1000) | 6;
+    assert!(
+        matches!(verify(&m, &s.spec), Err(Violation::StoreToReadOnly { tensor: Tensor::Wt, .. })),
+        "a store through the weights pointer must be a StoreToReadOnly"
+    );
+}
+
+#[test]
+fn duplicated_tile_store_is_rejected() {
+    let s = fwd_subject(1);
+    // redirect the second output store onto the first store's offset:
+    // still in bounds and aligned, but the tile multiset is now wrong
+    let stores: Vec<(usize, i32)> = s
+        .insts
+        .iter()
+        .filter_map(|(at, i)| match i {
+            Inst::VecStore { disp, .. } => Some((*at, *disp)),
+            _ => None,
+        })
+        .collect();
+    assert!(stores.len() >= 2);
+    let (at, _) = stores[1];
+    let (_, first_disp) = stores[0];
+    let mut m = s.code.clone();
+    m[at + 6..at + 10].copy_from_slice(&first_disp.to_le_bytes());
+    assert_eq!(
+        verify(&m, &s.spec),
+        Err(Violation::OutputTileMismatch { missing: 1, unexpected: 1 })
+    );
+}
+
+#[test]
+fn retargeted_back_edge_is_rejected() {
+    let s = fwd_subject(8); // cb_inner = 8 takes the machine-loop path
+    let at = s.find(|i| matches!(i, Inst::Jnz { .. }));
+    let mut m = s.code.clone();
+    let rel = i32::from_le_bytes([m[at + 2], m[at + 3], m[at + 4], m[at + 5]]);
+    m[at + 2..at + 6].copy_from_slice(&(rel + 1).to_le_bytes());
+    assert!(
+        matches!(verify(&m, &s.spec), Err(Violation::BadBranch { .. })),
+        "a back-edge into the middle of an instruction must be a BadBranch"
+    );
+}
+
+#[test]
+fn loop_counter_in_callee_saved_register_is_rejected() {
+    let s = fwd_subject(8);
+    let at = s.find(|i| matches!(i, Inst::MovImm { dst: 10, .. }));
+    let mut m = s.code.clone();
+    // mov r10, imm -> mov rbx, imm (drop REX.B, modrm.rm 2 -> 3)
+    m[at] = 0x48;
+    m[at + 2] = 0xC3;
+    assert_eq!(
+        verify(&m, &s.spec),
+        Err(Violation::UnsanctionedGpr { at, reg: 3 }),
+        "writing the callee-saved rbx must be an UnsanctionedGpr"
+    );
+}
+
+#[test]
+fn dec_of_an_unknown_register_is_rejected() {
+    let s = fwd_subject(8);
+    let at = s.find(|i| matches!(i, Inst::Dec { dst: 10 }));
+    let mut m = s.code.clone();
+    m[at + 2] = 0xCB; // dec r10 -> dec r11 (scratch, but holds no counter)
+    assert_eq!(verify(&m, &s.spec), Err(Violation::UninitLoopCounter { at }));
+}
+
+#[test]
+fn runaway_trip_count_is_rejected() {
+    let s = fwd_subject(8);
+    let at = s.find(|i| matches!(i, Inst::MovImm { dst: 10, .. }));
+    let mut m = s.code.clone();
+    m[at + 3..at + 7].copy_from_slice(&i32::MAX.to_le_bytes());
+    // also zero the pointer advances so the spinning loop stays in
+    // bounds — otherwise an OutOfBounds fires first
+    for (at, inst) in &s.insts {
+        if matches!(inst, Inst::AddImm { .. }) {
+            m[at + 3..at + 7].copy_from_slice(&0i32.to_le_bytes());
+        }
+    }
+    assert!(
+        matches!(verify(&m, &s.spec), Err(Violation::Runaway { .. })),
+        "a 2^31 trip count must exhaust the step budget, not hang"
+    );
+}
+
+#[test]
+fn quant_out_of_bounds_input_broadcast_is_rejected() {
+    let sh = fwd_shape(2);
+    let code = assemble_quant(&sh);
+    let spec = KernelSpec::QuantI16(sh);
+    verify(&code, &spec).unwrap();
+    let insts = decode_all(&code).unwrap();
+    let at = insts.iter().find(|(_, i)| matches!(i, Inst::FmaBcst { base: 7, .. })).unwrap().0;
+    let mut m = code.clone();
+    m[at + 6..at + 10].copy_from_slice(&(1i32 << 24).to_le_bytes());
+    assert!(matches!(verify(&m, &spec), Err(Violation::OutOfBounds { tensor: Tensor::In, .. })));
+}
+
+#[test]
+fn upd_panel_store_out_of_bounds_is_rejected() {
+    let us = upd_shape();
+    let code = assemble_upd(&us);
+    let spec = KernelSpec::UpdF32(us);
+    verify(&code, &spec).unwrap();
+    let insts = decode_all(&code).unwrap();
+    let at = insts.iter().find(|(_, i)| matches!(i, Inst::VecStore { .. })).unwrap().0;
+    let mut m = code.clone();
+    // one vector past the 16×16 dW panel, still 64-byte aligned
+    m[at + 6..at + 10].copy_from_slice(&((VLEN * VLEN * 4) as i32).to_le_bytes());
+    assert!(matches!(verify(&m, &spec), Err(Violation::OutOfBounds { tensor: Tensor::Out, .. })));
+}

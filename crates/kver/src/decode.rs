@@ -1,0 +1,393 @@
+//! Decoder for the exact x86-64 encoding subset `jit::emit` produces.
+//!
+//! This is deliberately *not* a general x86 decoder: it accepts the
+//! one EVEX form the emitter writes (512-bit, `mod = 10` base + disp32
+//! memory operands, no SIB, no masking, W = 0) plus the handful of
+//! legacy instructions of the loop scaffolding and prefetch plan.
+//! Anything else — including well-formed x86 the emitter never
+//! generates — is a [`Violation::Decode`], so a tampered or corrupted
+//! stream cannot hide behind decoder generality.
+
+use crate::Violation;
+
+/// One decoded instruction of the kernel subset.
+///
+/// Register fields are full 5-bit zmm numbers (EVEX `R'R`/`V'` bits
+/// folded in); `base` is a 4-bit GPR number; `disp` is the byte
+/// displacement of the `mod = 10` memory form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inst {
+    /// 512-bit vector load: `vmovups`/`vmovdqu32 zmm, [base + disp]`.
+    VecLoad {
+        /// Destination zmm register.
+        dst: u8,
+        /// Base GPR of the memory operand.
+        base: u8,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// 512-bit vector store: `vmovups`/`vmovdqu32 [base + disp], zmm`.
+    VecStore {
+        /// Source zmm register.
+        src: u8,
+        /// Base GPR of the memory operand.
+        base: u8,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// Embedded-broadcast multiply-accumulate: `vfmadd231ps` (f32) or
+    /// `vpdpwssd` (int16 pairs), `acc += mul · bcast([base + disp])`.
+    FmaBcst {
+        /// Accumulator zmm (destination).
+        acc: u8,
+        /// Multiplier zmm (weights).
+        mul: u8,
+        /// Base GPR of the broadcast memory operand.
+        base: u8,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// `vbroadcastss zmm, dword [base + disp]`.
+    Broadcast {
+        /// Destination zmm register.
+        dst: u8,
+        /// Base GPR of the memory operand.
+        base: u8,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// Zeroing idiom `vpxord zmm, zmm, zmm` (all operands equal).
+    Zero {
+        /// The zmm register being cleared.
+        reg: u8,
+    },
+    /// `prefetcht0`/`prefetcht1 [base + disp]`.
+    Prefetch {
+        /// Base GPR of the prefetched address.
+        base: u8,
+        /// Byte displacement.
+        disp: i32,
+    },
+    /// `mov r64, imm32` (sign-extended).
+    MovImm {
+        /// Destination GPR.
+        dst: u8,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// `add r64, imm32`.
+    AddImm {
+        /// Destination GPR.
+        dst: u8,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// `dec r64`.
+    Dec {
+        /// Destination GPR.
+        dst: u8,
+    },
+    /// `jnz rel32`, with the branch target resolved to an absolute
+    /// byte offset into the code stream.
+    Jnz {
+        /// Absolute byte offset of the branch target.
+        target: i64,
+    },
+    /// `vzeroupper` — the mandatory ABI epilogue before `ret`.
+    Vzeroupper,
+    /// `ret`.
+    Ret,
+}
+
+/// Decode `code` linearly into `(byte offset, instruction)` pairs.
+///
+/// Every byte must belong to exactly one instruction of the subset and
+/// the stream must end exactly at an instruction boundary; a partial
+/// final instruction is [`Violation::Truncated`], an unrecognized
+/// encoding is [`Violation::Decode`].
+pub fn decode_all(code: &[u8]) -> Result<Vec<(usize, Inst)>, Violation> {
+    let mut out = Vec::with_capacity(code.len() / 8);
+    let mut at = 0usize;
+    while at < code.len() {
+        let (inst, len) = decode_one(code, at)?;
+        out.push((at, inst));
+        at += len;
+    }
+    Ok(out)
+}
+
+/// Fetch `n` bytes at `at`, or report truncation of the instruction
+/// starting at `at`.
+fn need(code: &[u8], at: usize, n: usize) -> Result<&[u8], Violation> {
+    code.get(at..at + n).ok_or(Violation::Truncated { at })
+}
+
+/// Read a little-endian disp32/imm32.
+fn imm32(bytes: &[u8]) -> i32 {
+    i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
+/// Decode one instruction at `at`, returning it and its length.
+fn decode_one(code: &[u8], at: usize) -> Result<(Inst, usize), Violation> {
+    let op0 = code[at];
+    match op0 {
+        0x62 => decode_evex(code, at),
+        0xC3 => Ok((Inst::Ret, 1)),
+        0xC5 => {
+            let b = need(code, at, 3)?;
+            if b[1] == 0xF8 && b[2] == 0x77 {
+                Ok((Inst::Vzeroupper, 3))
+            } else {
+                Err(Violation::Decode { at, byte: b[1] })
+            }
+        }
+        0x0F => {
+            let b = need(code, at, 2)?;
+            match b[1] {
+                0x18 => decode_prefetch(code, at, at + 2, 0),
+                0x85 => {
+                    let b = need(code, at, 6)?;
+                    let rel = imm32(&b[2..6]);
+                    Ok((Inst::Jnz { target: (at + 6) as i64 + rel as i64 }, 6))
+                }
+                other => Err(Violation::Decode { at, byte: other }),
+            }
+        }
+        0x41 => {
+            let b = need(code, at, 3)?;
+            if b[1] == 0x0F && b[2] == 0x18 {
+                decode_prefetch(code, at, at + 3, 8)
+            } else {
+                Err(Violation::Decode { at, byte: b[1] })
+            }
+        }
+        0x48 | 0x49 => decode_rex_legacy(code, at, op0 & 1),
+        other => Err(Violation::Decode { at, byte: other }),
+    }
+}
+
+/// `prefetcht0/t1 [base + disp32]`: modrm (+ disp32) at `pos`, base
+/// extension `ext` (8 when a REX.B prefix was seen).
+fn decode_prefetch(
+    code: &[u8],
+    at: usize,
+    pos: usize,
+    ext: u8,
+) -> Result<(Inst, usize), Violation> {
+    let b = need(code, pos, 5)?;
+    let modrm = b[0];
+    let hint = (modrm >> 3) & 7;
+    // mod = 10, hint t0 (/1) or t1 (/2), no SIB (rm ≠ 100)
+    if modrm >> 6 != 0b10 || !(hint == 1 || hint == 2) || modrm & 7 == 4 {
+        return Err(Violation::Decode { at, byte: modrm });
+    }
+    let base = (modrm & 7) | ext;
+    Ok((Inst::Prefetch { base, disp: imm32(&b[1..5]) }, pos + 5 - at))
+}
+
+/// The REX.W-prefixed legacy scaffolding: `mov r64, imm32`,
+/// `add r64, imm32`, `dec r64`.
+fn decode_rex_legacy(code: &[u8], at: usize, rex_b: u8) -> Result<(Inst, usize), Violation> {
+    let b = need(code, at, 3)?;
+    let opcode = b[1];
+    let modrm = b[2];
+    if modrm >> 6 != 0b11 {
+        return Err(Violation::Decode { at, byte: modrm });
+    }
+    let slash = (modrm >> 3) & 7;
+    let reg = (modrm & 7) | (rex_b << 3);
+    match opcode {
+        0xC7 | 0x81 => {
+            if slash != 0 {
+                return Err(Violation::Decode { at, byte: modrm });
+            }
+            let b = need(code, at, 7)?;
+            let imm = imm32(&b[3..7]);
+            let inst = if opcode == 0xC7 {
+                Inst::MovImm { dst: reg, imm }
+            } else {
+                Inst::AddImm { dst: reg, imm }
+            };
+            Ok((inst, 7))
+        }
+        0xFF if slash == 1 => Ok((Inst::Dec { dst: reg }, 3)),
+        other => Err(Violation::Decode { at, byte: other }),
+    }
+}
+
+/// Decode the one EVEX form the emitter writes.
+fn decode_evex(code: &[u8], at: usize) -> Result<(Inst, usize), Violation> {
+    let b = need(code, at, 6)?;
+    let (p0, p1, p2, opcode, modrm) = (b[1], b[2], b[3], b[4], b[5]);
+    let map = p0 & 0b111;
+    // p0 bit3 reserved-zero; p1: W = 0, bit2 set; p2: L'L = 512-bit,
+    // no masking (aaa = 0), no zeroing (z = 0)
+    if p0 & 0b1000 != 0
+        || p1 & 0x80 != 0
+        || p1 & 0b100 == 0
+        || p2 & 0b111 != 0
+        || p2 & 0x80 != 0
+        || (p2 >> 5) & 0b11 != 0b10
+    {
+        return Err(Violation::Decode { at, byte: p1 });
+    }
+    let pp = p1 & 0b11;
+    let bcst = p2 & 0x10 != 0;
+    let vvvv = ((!(p1 >> 3)) & 0xF) | ((((p2 >> 3) & 1) ^ 1) << 4);
+    let reg = ((modrm >> 3) & 7) | ((((p0 >> 7) & 1) ^ 1) << 3) | ((((p0 >> 4) & 1) ^ 1) << 4);
+    match modrm >> 6 {
+        0b10 => {
+            // memory form: no index register (X = 1), no SIB
+            if p0 & 0x40 == 0 || modrm & 7 == 4 {
+                return Err(Violation::Decode { at, byte: modrm });
+            }
+            let base = (modrm & 7) | ((((p0 >> 5) & 1) ^ 1) << 3);
+            let b = need(code, at, 10)?;
+            let disp = imm32(&b[6..10]);
+            let inst = match (map, pp, opcode, bcst) {
+                // vmovups / vmovdqu32 load
+                (0b001, 0b00, 0x10, false) | (0b001, 0b10, 0x6F, false) if vvvv == 0 => {
+                    Inst::VecLoad { dst: reg, base, disp }
+                }
+                // vmovups / vmovdqu32 store
+                (0b001, 0b00, 0x11, false) | (0b001, 0b10, 0x7F, false) if vvvv == 0 => {
+                    Inst::VecStore { src: reg, base, disp }
+                }
+                // vfmadd231ps / vpdpwssd with embedded broadcast
+                (0b010, 0b01, 0xB8, true) | (0b010, 0b01, 0x52, true) => {
+                    Inst::FmaBcst { acc: reg, mul: vvvv, base, disp }
+                }
+                (0b010, 0b01, 0x18, false) if vvvv == 0 => Inst::Broadcast { dst: reg, base, disp },
+                _ => return Err(Violation::Decode { at, byte: opcode }),
+            };
+            Ok((inst, 10))
+        }
+        0b11 => {
+            let rm = (modrm & 7) | ((((p0 >> 5) & 1) ^ 1) << 3) | ((((p0 >> 6) & 1) ^ 1) << 4);
+            match (map, pp, opcode, bcst) {
+                // vpxord zmm, zmm, zmm — only the zeroing idiom
+                (0b001, 0b01, 0xEF, false) if reg == vvvv && vvvv == rm => {
+                    Ok((Inst::Zero { reg }, 6))
+                }
+                _ => Err(Violation::Decode { at, byte: opcode }),
+            }
+        }
+        _ => Err(Violation::Decode { at, byte: modrm }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Byte sequences taken from the emitter's own ground-truth tests
+    /// (cross-checked against GNU `as` + objdump there).
+    #[test]
+    fn decodes_the_ground_truth_encodings() {
+        // vfmadd231ps (%rdi){1to16}, %zmm31, %zmm0
+        let code = [0x62, 0xF2, 0x05, 0x50, 0xB8, 0x87, 0, 0, 0, 0];
+        assert_eq!(
+            decode_all(&code).unwrap(),
+            vec![(0, Inst::FmaBcst { acc: 0, mul: 31, base: 7, disp: 0 })]
+        );
+        // vfmadd231ps 0x12345(%r9){1to16}, %zmm2, %zmm27
+        let code = [0x62, 0x42, 0x6D, 0x58, 0xB8, 0x99, 0x45, 0x23, 0x01, 0x00];
+        assert_eq!(
+            decode_all(&code).unwrap(),
+            vec![(0, Inst::FmaBcst { acc: 27, mul: 2, base: 9, disp: 0x12345 })]
+        );
+        // vmovups 0x40(%rsi), %zmm28
+        let code = [0x62, 0x61, 0x7C, 0x48, 0x10, 0xA6, 0x40, 0, 0, 0];
+        assert_eq!(
+            decode_all(&code).unwrap(),
+            vec![(0, Inst::VecLoad { dst: 28, base: 6, disp: 0x40 })]
+        );
+        // vmovups %zmm5, 0x80(%rdx)
+        let code = [0x62, 0xF1, 0x7C, 0x48, 0x11, 0xAA, 0x80, 0, 0, 0];
+        assert_eq!(
+            decode_all(&code).unwrap(),
+            vec![(0, Inst::VecStore { src: 5, base: 2, disp: 0x80 })]
+        );
+        // vpxord %zmm3, %zmm3, %zmm3
+        let code = [0x62, 0xF1, 0x65, 0x48, 0xEF, 0xDB];
+        assert_eq!(decode_all(&code).unwrap(), vec![(0, Inst::Zero { reg: 3 })]);
+        // vpdpwssd (%rcx){1to16}, %zmm29, %zmm2
+        let code = [0x62, 0xF2, 0x15, 0x50, 0x52, 0x91, 0, 0, 0, 0];
+        assert_eq!(
+            decode_all(&code).unwrap(),
+            vec![(0, Inst::FmaBcst { acc: 2, mul: 29, base: 1, disp: 0 })]
+        );
+        // vmovdqu32 0x100(%r8), %zmm1
+        let code = [0x62, 0xD1, 0x7E, 0x48, 0x6F, 0x88, 0, 1, 0, 0];
+        assert_eq!(
+            decode_all(&code).unwrap(),
+            vec![(0, Inst::VecLoad { dst: 1, base: 8, disp: 0x100 })]
+        );
+        // prefetcht0 0x40(%rcx) and prefetcht1 0x80(%r8)
+        let code = [0x0F, 0x18, 0x89, 0x40, 0, 0, 0];
+        assert_eq!(decode_all(&code).unwrap(), vec![(0, Inst::Prefetch { base: 1, disp: 0x40 })]);
+        let code = [0x41, 0x0F, 0x18, 0x90, 0x80, 0, 0, 0];
+        assert_eq!(decode_all(&code).unwrap(), vec![(0, Inst::Prefetch { base: 8, disp: 0x80 })]);
+        // vbroadcastss 0x10(%rdi), %zmm30
+        let code = [0x62, 0x62, 0x7D, 0x48, 0x18, 0xB7, 0x10, 0, 0, 0];
+        assert_eq!(
+            decode_all(&code).unwrap(),
+            vec![(0, Inst::Broadcast { dst: 30, base: 7, disp: 0x10 })]
+        );
+    }
+
+    #[test]
+    fn decodes_the_loop_scaffolding() {
+        // mov r10, 5; dec r10; jnz -9; ret
+        let code = [
+            0x49, 0xC7, 0xC2, 5, 0, 0, 0, 0x49, 0xFF, 0xCA, 0x0F, 0x85, 0xF7, 0xFF, 0xFF, 0xFF,
+            0xC3,
+        ];
+        assert_eq!(
+            decode_all(&code).unwrap(),
+            vec![
+                (0, Inst::MovImm { dst: 10, imm: 5 }),
+                (7, Inst::Dec { dst: 10 }),
+                (10, Inst::Jnz { target: 7 }),
+                (16, Inst::Ret),
+            ]
+        );
+        // add rdi, 0x1000; add r8, -64; vzeroupper
+        let code = [
+            0x48, 0x81, 0xC7, 0x00, 0x10, 0, 0, 0x49, 0x81, 0xC0, 0xC0, 0xFF, 0xFF, 0xFF, 0xC5,
+            0xF8, 0x77,
+        ];
+        assert_eq!(
+            decode_all(&code).unwrap(),
+            vec![
+                (0, Inst::AddImm { dst: 7, imm: 0x1000 }),
+                (7, Inst::AddImm { dst: 8, imm: -64 }),
+                (14, Inst::Vzeroupper),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_foreign_bytes_and_truncation() {
+        // NOP is valid x86 but not part of the kernel subset
+        assert_eq!(decode_all(&[0x90]), Err(Violation::Decode { at: 0, byte: 0x90 }));
+        // the probe stub `mov eax, 42` is not kernel code either
+        assert_eq!(
+            decode_all(&[0xB8, 42, 0, 0, 0, 0xC3]),
+            Err(Violation::Decode { at: 0, byte: 0xB8 })
+        );
+        // a truncated EVEX instruction
+        let full = [0x62, 0xF1, 0x7C, 0x48, 0x11, 0xAA, 0x80, 0, 0, 0];
+        for cut in 1..full.len() {
+            assert_eq!(decode_all(&full[..cut]), Err(Violation::Truncated { at: 0 }));
+        }
+        // an x87 escape behind the 0F prefix
+        assert_eq!(decode_all(&[0x0F, 0xAE, 0, 0]), Err(Violation::Decode { at: 0, byte: 0xAE }));
+        // vpxord with distinct operands is not the zeroing idiom
+        let code = [0x62, 0xF1, 0x65, 0x48, 0xEF, 0xDA]; // vpxord zmm3, zmm3, zmm2
+        assert_eq!(decode_all(&code), Err(Violation::Decode { at: 0, byte: 0xEF }));
+        // rsp-based memory operand would need a SIB byte
+        let code = [0x62, 0xF1, 0x7C, 0x48, 0x11, 0xAC, 0x80, 0, 0, 0];
+        assert_eq!(decode_all(&code), Err(Violation::Decode { at: 0, byte: 0xAC }));
+    }
+}

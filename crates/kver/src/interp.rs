@@ -1,0 +1,311 @@
+//! The abstract interpreter: a concrete walk of the decoded stream.
+//!
+//! GPRs carry a tiny abstract value — `Ptr(tensor, offset)` for the
+//! six argument pointers (offsets advance through `add r64, imm32`),
+//! `Imm` for loop counters, `Unknown` otherwise. zmm registers carry a
+//! role (`Acc`/`Vec`) plus initialization state. The channel-block
+//! back-edge is executed *concretely*: `mov r10, N; … dec; jnz` runs
+//! all `N` iterations, so "every displacement across all loop-counter
+//! values" is checked literally, not approximated. A step budget turns
+//! tampered trip counts into [`Violation::Runaway`] instead of a hang.
+
+use crate::decode::Inst;
+use crate::{ClassCfg, Report, Tensor, Violation};
+
+/// Interpreter step budget. The largest realistic kernels (deep-1×1
+/// loops, full-row update sweeps) execute well under 10⁵ steps; the
+/// budget only exists to bound tampered counters.
+const MAX_STEPS: usize = 16_000_000;
+
+/// GPR numbers the kernels may touch: the six System-V pointer
+/// arguments (rdi rsi rdx rcx r8 r9) plus r10/r11 scratch.
+const SANCTIONED: [u8; 8] = [1, 2, 6, 7, 8, 9, 10, 11];
+
+#[derive(Clone, Copy, PartialEq)]
+enum GprVal {
+    /// One of the six tensor pointers, displaced by `off` bytes.
+    Ptr(Tensor, i64),
+    /// A known immediate (loop counter).
+    Imm(i64),
+    /// Anything else.
+    Unknown,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ZState {
+    Uninit,
+    /// Initialized accumulator (zeroed or loaded from the output).
+    Acc,
+    /// Initialized weight-stream vector.
+    Vec,
+}
+
+/// Resolve the extent (bytes) governing `t`: prefetch pointers share
+/// their compute counterpart's tensor extent.
+fn extent_of(cfg: &ClassCfg, t: Tensor) -> usize {
+    match t {
+        Tensor::In | Tensor::PfIn => cfg.extents[0],
+        Tensor::Wt | Tensor::PfWt => cfg.extents[1],
+        Tensor::Out | Tensor::PfOut => cfg.extents[2],
+    }
+}
+
+/// Check one resolved access against its tensor extent and alignment.
+fn bounds(
+    cfg: &ClassCfg,
+    at: usize,
+    t: Tensor,
+    off: i64,
+    size: u32,
+    align: u32,
+) -> Result<(), Violation> {
+    let extent = extent_of(cfg, t);
+    if off < 0 || off + size as i64 > extent as i64 {
+        return Err(Violation::OutOfBounds { at, tensor: t, offset: off, size, extent });
+    }
+    if align > 1 && off % align as i64 != 0 {
+        return Err(Violation::Misaligned { at, tensor: t, offset: off, align });
+    }
+    Ok(())
+}
+
+struct Machine {
+    gpr: [GprVal; 16],
+    zmm: [ZState; 32],
+    /// Result of the last flag-setting instruction (`add`/`dec` on a
+    /// known immediate), if concrete.
+    flags: Option<i64>,
+    /// Byte offsets of output vector stores, in execution order.
+    writes: Vec<i64>,
+    steps: usize,
+}
+
+impl Machine {
+    fn new() -> Self {
+        let mut gpr = [GprVal::Unknown; 16];
+        gpr[7] = GprVal::Ptr(Tensor::In, 0);
+        gpr[6] = GprVal::Ptr(Tensor::Wt, 0);
+        gpr[2] = GprVal::Ptr(Tensor::Out, 0);
+        gpr[1] = GprVal::Ptr(Tensor::PfIn, 0);
+        gpr[8] = GprVal::Ptr(Tensor::PfWt, 0);
+        gpr[9] = GprVal::Ptr(Tensor::PfOut, 0);
+        Self { gpr, zmm: [ZState::Uninit; 32], flags: None, writes: Vec::new(), steps: 0 }
+    }
+
+    /// Resolve a memory-operand base register to `(tensor, offset)`.
+    fn base(&self, at: usize, reg: u8) -> Result<(Tensor, i64), Violation> {
+        if !SANCTIONED.contains(&reg) {
+            return Err(Violation::UnsanctionedGpr { at, reg });
+        }
+        match self.gpr[reg as usize] {
+            GprVal::Ptr(t, off) => Ok((t, off)),
+            _ => Err(Violation::NonPointerBase { at, reg }),
+        }
+    }
+}
+
+/// Mark `zmm` as a legal initialized accumulator, or report why not.
+fn init_acc(cfg: &ClassCfg, m: &mut Machine, at: usize, zmm: u8) -> Result<(), Violation> {
+    if (zmm as usize) >= cfg.nacc {
+        return Err(Violation::AccumulatorOutOfBudget { at, zmm, budget: cfg.nacc });
+    }
+    m.zmm[zmm as usize] = ZState::Acc;
+    Ok(())
+}
+
+/// Mark `zmm` as a legal weight-stream vector, or report why not.
+fn init_vec(cfg: &ClassCfg, m: &mut Machine, at: usize, zmm: u8) -> Result<(), Violation> {
+    if zmm < cfg.wt_lo || zmm > cfg.wt_hi {
+        return Err(Violation::WeightRegOutOfRange { at, zmm });
+    }
+    m.zmm[zmm as usize] = ZState::Vec;
+    Ok(())
+}
+
+/// Execute the decoded stream against `cfg`. Returns the report on a
+/// clean run; the first violation otherwise.
+pub(crate) fn run(
+    insts: &[(usize, Inst)],
+    cfg: &ClassCfg,
+    code_bytes: usize,
+) -> Result<Report, Violation> {
+    let mut m = Machine::new();
+    let mut ip = 0usize;
+    loop {
+        let (at, inst) = insts[ip];
+        m.steps += 1;
+        if m.steps > MAX_STEPS {
+            return Err(Violation::Runaway { steps: m.steps });
+        }
+        match inst {
+            Inst::VecLoad { dst, base, disp } => {
+                let (t, off) = m.base(at, base)?;
+                match t {
+                    Tensor::In => return Err(Violation::VectorLoadFromInput { at }),
+                    Tensor::Wt => init_vec(cfg, &mut m, at, dst)?,
+                    Tensor::Out => init_acc(cfg, &mut m, at, dst)?,
+                    _ => return Err(Violation::PrefetchPointerComputeAccess { at, reg: base }),
+                }
+                bounds(cfg, at, t, off + disp as i64, 64, 64)?;
+            }
+            Inst::VecStore { src, base, disp } => {
+                let (t, off) = m.base(at, base)?;
+                match t {
+                    Tensor::Out => {}
+                    Tensor::In | Tensor::Wt => {
+                        return Err(Violation::StoreToReadOnly { at, tensor: t })
+                    }
+                    _ => return Err(Violation::PrefetchPointerComputeAccess { at, reg: base }),
+                }
+                if (src as usize) >= cfg.nacc {
+                    return Err(Violation::AccumulatorOutOfBudget {
+                        at,
+                        zmm: src,
+                        budget: cfg.nacc,
+                    });
+                }
+                if m.zmm[src as usize] == ZState::Uninit {
+                    return Err(Violation::ReadBeforeInit { at, zmm: src });
+                }
+                let dst = off + disp as i64;
+                bounds(cfg, at, t, dst, 64, 64)?;
+                m.writes.push(dst);
+            }
+            Inst::FmaBcst { acc, mul, base, disp } => {
+                let (t, off) = m.base(at, base)?;
+                match t {
+                    Tensor::In => {}
+                    Tensor::Wt | Tensor::Out => {
+                        return Err(Violation::BroadcastOutsideInput { at, tensor: t })
+                    }
+                    _ => return Err(Violation::PrefetchPointerComputeAccess { at, reg: base }),
+                }
+                if (acc as usize) >= cfg.nacc {
+                    return Err(Violation::AccumulatorOutOfBudget {
+                        at,
+                        zmm: acc,
+                        budget: cfg.nacc,
+                    });
+                }
+                if m.zmm[acc as usize] == ZState::Uninit {
+                    return Err(Violation::ReadBeforeInit { at, zmm: acc });
+                }
+                match m.zmm[mul as usize] {
+                    ZState::Vec => {}
+                    ZState::Uninit => return Err(Violation::ReadBeforeInit { at, zmm: mul }),
+                    ZState::Acc => return Err(Violation::WeightRegOutOfRange { at, zmm: mul }),
+                }
+                bounds(cfg, at, t, off + disp as i64, 4, cfg.bcst_align)?;
+            }
+            Inst::Broadcast { dst, base, disp } => {
+                let (t, off) = m.base(at, base)?;
+                match t {
+                    Tensor::In => {}
+                    Tensor::Wt | Tensor::Out => {
+                        return Err(Violation::BroadcastOutsideInput { at, tensor: t })
+                    }
+                    _ => return Err(Violation::PrefetchPointerComputeAccess { at, reg: base }),
+                }
+                init_vec(cfg, &mut m, at, dst)?;
+                bounds(cfg, at, t, off + disp as i64, 4, cfg.bcst_align)?;
+            }
+            Inst::Zero { reg } => init_acc(cfg, &mut m, at, reg)?,
+            Inst::Prefetch { base, disp } => {
+                // prefetches are harmless at any alignment but must
+                // still point inside their tensor (size-1 access)
+                let (t, off) = m.base(at, base)?;
+                bounds(cfg, at, t, off + disp as i64, 1, 1)?;
+            }
+            Inst::MovImm { dst, imm } => {
+                if !SANCTIONED.contains(&dst) {
+                    return Err(Violation::UnsanctionedGpr { at, reg: dst });
+                }
+                m.gpr[dst as usize] = GprVal::Imm(imm as i64);
+            }
+            Inst::AddImm { dst, imm } => {
+                if !SANCTIONED.contains(&dst) {
+                    return Err(Violation::UnsanctionedGpr { at, reg: dst });
+                }
+                m.flags = match &mut m.gpr[dst as usize] {
+                    GprVal::Ptr(_, off) => {
+                        *off += imm as i64;
+                        None
+                    }
+                    GprVal::Imm(v) => {
+                        *v += imm as i64;
+                        Some(*v)
+                    }
+                    GprVal::Unknown => None,
+                };
+            }
+            Inst::Dec { dst } => {
+                if !SANCTIONED.contains(&dst) {
+                    return Err(Violation::UnsanctionedGpr { at, reg: dst });
+                }
+                match &mut m.gpr[dst as usize] {
+                    GprVal::Imm(v) => {
+                        *v -= 1;
+                        m.flags = Some(*v);
+                    }
+                    _ => return Err(Violation::UninitLoopCounter { at }),
+                }
+            }
+            Inst::Jnz { target } => {
+                let taken = match m.flags {
+                    Some(v) => v != 0,
+                    None => return Err(Violation::UninitLoopCounter { at }),
+                };
+                if taken {
+                    // check_structure guaranteed target is a boundary
+                    let idx = insts
+                        .binary_search_by_key(&target, |(o, _)| *o as i64)
+                        .expect("branch target validated");
+                    ip = idx;
+                    continue;
+                }
+            }
+            Inst::Vzeroupper => {}
+            Inst::Ret => break,
+        }
+        ip += 1;
+    }
+
+    // the stores must tile the output block exactly: compare the write
+    // multiset against the expected (sorted) tile offsets
+    let mut writes = m.writes.clone();
+    writes.sort_unstable();
+    if writes != cfg.tiles {
+        let missing = cfg.tiles.iter().filter(|t| !contains(&writes, **t)).count();
+        let unexpected = count_unexpected(&writes, &cfg.tiles);
+        return Err(Violation::OutputTileMismatch { missing, unexpected });
+    }
+
+    Ok(Report {
+        instructions: insts.len(),
+        steps: m.steps,
+        output_writes: m.writes.len(),
+        code_bytes,
+    })
+}
+
+fn contains(sorted: &[i64], v: i64) -> bool {
+    sorted.binary_search(&v).is_ok()
+}
+
+/// Writes (with multiplicity) that exceed the expected multiset: a
+/// two-pointer sorted-walk difference.
+fn count_unexpected(writes: &[i64], tiles: &[i64]) -> usize {
+    let (mut i, mut j, mut extra) = (0usize, 0usize, 0usize);
+    while i < writes.len() {
+        if j < tiles.len() && tiles[j] == writes[i] {
+            i += 1;
+            j += 1;
+        } else if j < tiles.len() && tiles[j] < writes[i] {
+            j += 1;
+        } else {
+            extra += 1;
+            i += 1;
+        }
+    }
+    extra
+}

@@ -246,6 +246,7 @@ mod tests {
 
         // scalar kernel
         let mut out_s = out0.clone();
+        // SAFETY: buffers sized by the shape's extents above.
         unsafe {
             fwd_scalar(
                 sh,
@@ -263,6 +264,7 @@ mod tests {
         // dispatched kernel (AVX-512 when available)
         let mut out_v = out0.clone();
         let k = select_fwd(sh);
+        // SAFETY: same buffers as the scalar call above.
         unsafe {
             k(
                 sh,

@@ -33,7 +33,7 @@ pub mod upd;
 
 pub use fwd::{select_fwd, FwdFn};
 pub use quant::{select_quant, QuantFn};
-pub use shape::{KernelShape, UpdShape};
+pub use shape::{Extents, KernelShape, UpdShape};
 pub use upd::{select_upd, UpdFn};
 
 /// True when the host can run the AVX-512 f32 kernels.

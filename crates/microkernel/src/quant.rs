@@ -303,6 +303,7 @@ mod tests {
         }
 
         let mut out_s = out0.clone();
+        // SAFETY: buffers sized by the shape's extents above.
         unsafe {
             quant_scalar(
                 sh,
@@ -318,6 +319,7 @@ mod tests {
 
         let k = select_quant(sh);
         let mut out_v = out0.clone();
+        // SAFETY: same buffers as the scalar call above.
         unsafe {
             k(
                 sh,

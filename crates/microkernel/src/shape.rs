@@ -90,6 +90,40 @@ impl KernelShape {
         p * self.out_row_stride + q * self.out_col_stride
     }
 
+    /// Extents (in elements) of the three tensors one invocation may
+    /// touch — see [`Extents`]. The input extent covers every embedded
+    /// broadcast *and* every software prefetch the assemblers emit:
+    /// the deepest access is channel block `cb_inner - 1`, input row
+    /// `(rbp-1)·stride + r - 1`, input column `(rbq-1)·stride + s - 1`,
+    /// channel `VLEN - 1`.
+    pub fn extents(&self) -> Extents {
+        let rows = (self.rbp - 1) * self.stride + self.r - 1;
+        let cols = (self.rbq - 1) * self.stride + self.s;
+        Extents {
+            input: (self.cb_inner - 1) * self.in_cb_stride
+                + rows * self.in_row_stride
+                + cols * VLEN,
+            weights: self.cb_inner * self.r * self.s * VLEN * VLEN,
+            output: (self.rbp - 1) * self.out_row_stride
+                + (self.rbq - 1) * self.out_col_stride
+                + VLEN,
+        }
+    }
+
+    /// Element offsets of the `rbp × rbq` output-tile vectors — the
+    /// exact set of vectors one invocation stores (each exactly once).
+    /// Writes anywhere else would corrupt physical output padding,
+    /// which padded fused plans require to stay zero.
+    pub fn out_tile_offsets(&self) -> Vec<usize> {
+        let mut offs = Vec::with_capacity(self.rbp * self.rbq);
+        for p in 0..self.rbp {
+            for q in 0..self.rbq {
+                offs.push(self.out_off(p, q));
+            }
+        }
+        offs
+    }
+
     /// Validate invariants that both backends rely on.
     pub fn validate(&self) {
         assert!(self.rbp >= 1 && self.rbq >= 1, "empty register block");
@@ -102,6 +136,25 @@ impl KernelShape {
             assert!(self.in_cb_stride > 0, "cb_inner > 1 requires a channel-block stride");
         }
     }
+}
+
+/// Tensor extents (in *elements*) that one kernel invocation may
+/// touch, counted from each of the three compute base pointers.
+///
+/// These are the contracts a generated kernel is verified against
+/// (`kver`): every displacement the instruction stream can produce —
+/// across all loop-counter values, prefetches included — must fall
+/// inside `[0, extent)` of its tensor. They are *tight*: the last
+/// element of each extent is reachable by some access of the kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Extents {
+    /// Input-activation elements reachable from the input pointer.
+    pub input: usize,
+    /// Weight (or dO, for the update kernel) elements reachable from
+    /// the second pointer.
+    pub weights: usize,
+    /// Output (or dW) elements reachable from the third pointer.
+    pub output: usize,
 }
 
 /// Descriptor of a weight-gradient microkernel (Section II-J).
@@ -150,6 +203,26 @@ impl UpdShape {
     #[inline]
     pub fn do_off(&self, p: usize, q: usize) -> usize {
         p * self.do_row_stride + q * VLEN
+    }
+
+    /// Extents (in elements) of the three tensors one invocation may
+    /// touch: input broadcasts up to row `(bp-1)·stride`, column
+    /// `(bq-1)·stride·VLEN + VLEN - 1`; dO vectors up to pixel
+    /// `(bp-1, bq-1)`; one `VLEN × VLEN` dW panel.
+    pub fn extents(&self) -> Extents {
+        Extents {
+            input: (self.bp - 1) * self.stride * self.in_row_stride
+                + (self.bq - 1) * self.stride * VLEN
+                + VLEN,
+            weights: (self.bp - 1) * self.do_row_stride + (self.bq - 1) * VLEN + VLEN,
+            output: VLEN * VLEN,
+        }
+    }
+
+    /// Element offsets of the `VLEN` dW-panel vectors one invocation
+    /// loads and stores (each exactly once).
+    pub fn out_tile_offsets(&self) -> Vec<usize> {
+        (0..VLEN).map(|c| c * VLEN).collect()
     }
 
     /// Validate invariants.
@@ -213,6 +286,51 @@ mod tests {
         k.s = 1;
         assert_eq!(k.in_off(0, 0, 0, 0, 1), 2 * VLEN);
         assert_eq!(k.in_off(0, 0, 0, 1, 0), 2 * k.in_row_stride);
+    }
+
+    #[test]
+    fn extents_cover_the_deepest_access() {
+        let k = shape();
+        let e = k.extents();
+        // deepest broadcast: cb = 0, tap (2, 2), pixel (1, 13), c = 15
+        assert_eq!(e.input, k.in_off(k.cb_inner - 1, 2, 2, 1, 13) + VLEN);
+        // one weight block of r·s panels: the last panel plus itself
+        assert_eq!(e.weights, k.wt_off(k.cb_inner - 1, 2, 2) + VLEN * VLEN);
+        // last output vector
+        assert_eq!(e.output, k.out_off(1, 13) + VLEN);
+        // every tile offset is inside the output extent
+        let tiles = k.out_tile_offsets();
+        assert_eq!(tiles.len(), k.accumulators());
+        assert!(tiles.iter().all(|&t| t + VLEN <= e.output));
+    }
+
+    #[test]
+    fn extents_scale_with_cb_inner_and_stride() {
+        let mut k = shape();
+        k.cb_inner = 4;
+        assert_eq!(k.extents().input, 3 * k.in_cb_stride + shape().extents().input);
+        assert_eq!(k.extents().weights, 4 * k.r * k.s * VLEN * VLEN);
+        let mut k = shape();
+        k.stride = 2;
+        let e = k.extents();
+        assert_eq!(e.input, ((k.rbp - 1) * 2 + 3 - 1) * k.in_row_stride + (13 * 2 + 3) * VLEN);
+    }
+
+    #[test]
+    fn upd_extents_cover_the_deepest_access() {
+        let u = UpdShape {
+            bp: 4,
+            bq: 14,
+            stride: 2,
+            in_row_stride: 30 * VLEN,
+            do_row_stride: 14 * VLEN,
+            prefetch: false,
+        };
+        let e = u.extents();
+        assert_eq!(e.input, u.in_off(3, 13) + VLEN);
+        assert_eq!(e.weights, u.do_off(3, 13) + VLEN);
+        assert_eq!(e.output, VLEN * VLEN);
+        assert_eq!(u.out_tile_offsets(), (0..VLEN).map(|c| c * VLEN).collect::<Vec<_>>());
     }
 
     #[test]

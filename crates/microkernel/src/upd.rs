@@ -156,6 +156,7 @@ mod tests {
         }
 
         let mut dw_s = dw0.clone();
+        // SAFETY: buffers sized by the shape's extents above.
         unsafe {
             upd_scalar(
                 sh,
@@ -172,6 +173,7 @@ mod tests {
 
         let k = select_upd(sh);
         let mut dw_v = dw0.clone();
+        // SAFETY: same buffers as the scalar call above.
         unsafe {
             k(
                 sh,
@@ -225,6 +227,7 @@ mod tests {
         let mut dw = vec![0.0f32; 256];
         let k = select_upd(&sh);
         for _ in 0..3 {
+            // SAFETY: buffers sized by the shape's extents above.
             unsafe {
                 k(
                     &sh,

@@ -57,6 +57,7 @@ proptest! {
 
         let mut a = out0.clone();
         let mut b = out0.clone();
+        // SAFETY: buffers sized by the shape's extents above.
         unsafe {
             microkernel::fwd::fwd_scalar(
                 &sh, inp.as_ptr(), wt.as_ptr(), a.as_mut_ptr(),
@@ -97,6 +98,7 @@ proptest! {
         rng.fill_f32(&mut dw0);
         let mut a = dw0.clone();
         let mut b = dw0.clone();
+        // SAFETY: buffers sized by the shape's extents above.
         unsafe {
             microkernel::upd::upd_scalar(
                 &sh, inp.as_ptr(), dout.as_ptr(), a.as_mut_ptr(),

@@ -251,6 +251,7 @@ fn worker_loop(tid: usize, shared: Arc<Shared>, pin: Option<usize>) {
 /// pool's core-offset so the caller-participates-as-tid-0 convention
 /// keeps the whole team on one contiguous core range.
 pub fn pin_current_thread(core: usize) {
+    // SAFETY: zeroed cpu_set_t is valid; sched_setaffinity only reads it.
     #[cfg(target_os = "linux")]
     unsafe {
         let mut set: libc::cpu_set_t = std::mem::zeroed();

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Enforce `// SAFETY:` comments on every `unsafe` block.
+
+Usage: check_safety_comments.py DIR [DIR ...]
+
+Scans every `.rs` file under the given directories. Each `unsafe`
+*block* (`unsafe {`, `unsafe impl`-free) must carry a justification: a
+comment containing `SAFETY:` either on the same line or within the
+preceding few lines (attributes and blank lines in between are
+allowed). Declarations that only *introduce* obligations — `unsafe fn`,
+`unsafe impl`, `unsafe extern` — are exempt: their contracts live in
+doc comments (`# Safety` sections, enforced by rustdoc convention),
+not block comments.
+
+Lines inside string literals are not parsed (this is a lexical
+checker); in practice the emitter/test code never spells `unsafe {`
+inside a string, and a false positive just asks for one more comment.
+
+Exits non-zero listing every unjustified `unsafe` block.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# an `unsafe` keyword starting a block: next non-space char sequence is
+# `{`, possibly with attributes between — but NOT fn/impl/trait/extern
+UNSAFE_BLOCK = re.compile(r"\bunsafe\s*\{")
+UNSAFE_DECL = re.compile(r"\bunsafe\s+(fn|impl|trait|extern)\b")
+SAFETY = re.compile(r"//.*SAFETY:|/\*.*SAFETY:")
+# lines that may sit between the SAFETY comment and the block
+SKIPPABLE = re.compile(r"^\s*(#\[.*\]\s*)?$|^\s*//")
+
+
+def line_is_comment(line: str) -> bool:
+    return line.lstrip().startswith("//")
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        if line_is_comment(line):
+            continue
+        # strip line-comment tails so a commented-out `unsafe {` or a
+        # SAFETY comment mentioning one is not flagged
+        code = line.split("//", 1)[0]
+        if not UNSAFE_BLOCK.search(code):
+            continue
+        if UNSAFE_DECL.search(code):
+            continue
+        # justified on the same line?
+        if SAFETY.search(line):
+            continue
+        # look upward through comments, attributes, and blanks
+        justified = False
+        for j in range(i - 1, max(-1, i - 8), -1):
+            prev = lines[j]
+            if SAFETY.search(prev):
+                justified = True
+                break
+            if not SKIPPABLE.match(prev):
+                break
+        if not justified:
+            errors.append(f"{path}:{i + 1}: unsafe block without a SAFETY: comment")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    errors = []
+    nfiles = 0
+    for name in argv[1:]:
+        root = Path(name)
+        if not root.exists():
+            errors.append(f"{name}: not found")
+            continue
+        for path in sorted(root.rglob("*.rs")):
+            nfiles += 1
+            errors.extend(check_file(path))
+    for e in errors:
+        print(e)
+    if not errors:
+        print(f"ok: {nfiles} files, every unsafe block carries a SAFETY: comment")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
