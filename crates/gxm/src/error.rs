@@ -52,6 +52,14 @@ pub enum Error {
     },
     /// A state-dict blob is malformed or does not match the network.
     StateDict(String),
+    /// A bounded wait expired before the operation completed (a
+    /// request-handle `wait_deadline`/`wait_timeout`, or a network
+    /// client's read deadline). The operation was cancelled on the
+    /// waiter's side; a late result is dropped, not delivered.
+    Timeout {
+        /// How long the caller waited before giving up.
+        waited: std::time::Duration,
+    },
     /// An underlying I/O failure (state-dict save/load).
     Io(std::io::Error),
 }
@@ -71,6 +79,9 @@ impl fmt::Display for Error {
                 write!(f, "busy: {queued} samples queued of a {capacity}-sample admission cap")
             }
             Error::StateDict(message) => write!(f, "state dict: {message}"),
+            Error::Timeout { waited } => {
+                write!(f, "timed out after {:.3}s", waited.as_secs_f64())
+            }
             Error::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -7,6 +7,32 @@
 //! [`Error`]s the in-process serving API uses — a load-shed request
 //! is an [`Error::Busy`] whether it was shed in-process or over the
 //! wire.
+//!
+//! ## Bounded waits and retry
+//!
+//! [`Client::connect_with`] takes a [`ClientConfig`] carrying
+//! connect/read/write timeouts (an expired read deadline surfaces as
+//! [`Error::Timeout`]) and an opt-in [`RetryPolicy`] with jittered
+//! exponential backoff. The policy is deliberately conservative about
+//! *what* it retries:
+//!
+//! * [`Error::Busy`] — always retryable (the server sheds with
+//!   backpressure intent);
+//! * connect failures and **pre-response** transport errors (the
+//!   write failed, or the connection died before a single response
+//!   byte arrived) — retryable, over a fresh connection;
+//! * anything after a partial response — **never** retried: the
+//!   request may have executed, and the stream is desynchronized;
+//! * [`Error::Timeout`] — never retried: the server may still be
+//!   working, and re-sending piles on;
+//! * server-side `Internal` failures (e.g. the request's batch died
+//!   with a panicking replica) — retried only when
+//!   [`RetryPolicy::retry_server_failures`] is set, and only for
+//!   idempotent inference/stats requests.
+//!
+//! After any transport-level failure the connection is **poisoned**:
+//! the next request transparently reconnects and re-negotiates before
+//! sending.
 
 use super::codec::{write_frame, CodecError, FrameReader};
 use super::protocol::{
@@ -15,7 +41,163 @@ use super::protocol::{
     DEFAULT_MAX_FRAME_LEN, VERSION,
 };
 use crate::{Error, InferenceOutput, StateDict};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Socket-level read timeout slice: the blocking read wakes at this
+/// cadence so an overall read deadline is enforced precisely even
+/// against a peer trickling bytes.
+const READ_POLL_SLICE: Duration = Duration::from_millis(50);
+
+/// Opt-in request retry with deterministic jittered exponential
+/// backoff (see the [module docs](self) for exactly what is and is
+/// not retried).
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (≥ 1).
+    pub max_attempts: usize,
+    /// Backoff before the second attempt; doubles per subsequent
+    /// attempt up to [`RetryPolicy::max_delay`].
+    pub base_delay: Duration,
+    /// Upper bound of the exponential backoff.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter stream — two clients given
+    /// different seeds desynchronize their retry storms; the same
+    /// seed reproduces the exact backoff schedule (see
+    /// [`RetryPolicy::backoff_schedule`]).
+    pub jitter_seed: u64,
+    /// Also retry server-side `Internal` failures (a request whose
+    /// batch died with a panicking replica). Off by default: it is
+    /// only sound for idempotent requests, and reloads never use it.
+    pub retry_server_failures: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            jitter_seed: 0x5eed,
+            retry_server_failures: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Enable [`RetryPolicy::retry_server_failures`].
+    pub fn with_server_failure_retry(mut self) -> Self {
+        self.retry_server_failures = true;
+        self
+    }
+
+    /// The deterministic backoff schedule this policy produces: the
+    /// delay before retry 1, 2, … `retries`. Each delay is the
+    /// exponential base (doubling from [`RetryPolicy::base_delay`],
+    /// capped at [`RetryPolicy::max_delay`]) scaled by a jitter in
+    /// `[0.5, 1.0)` drawn from the seeded stream.
+    ///
+    /// ```
+    /// use anatomy::daemon::RetryPolicy;
+    ///
+    /// let p = RetryPolicy::default();
+    /// let a = p.backoff_schedule(3);
+    /// assert_eq!(a, p.backoff_schedule(3), "same seed, same schedule");
+    /// for (i, d) in a.iter().enumerate() {
+    ///     assert!(*d <= p.max_delay);
+    ///     assert!(*d >= p.base_delay * (1 << i.min(6)) / 2);
+    /// }
+    /// ```
+    pub fn backoff_schedule(&self, retries: usize) -> Vec<Duration> {
+        let mut rng = self.jitter_seed | 1;
+        let mut delay = self.base_delay;
+        (0..retries)
+            .map(|_| {
+                let d = jittered(delay, &mut rng);
+                delay = (delay * 2).min(self.max_delay);
+                d
+            })
+            .collect()
+    }
+}
+
+/// Scale `delay` by a jitter factor in `[0.5, 1.0)` drawn from the
+/// xorshift stream `rng`.
+fn jittered(delay: Duration, rng: &mut u64) -> Duration {
+    let mut x = *rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    let frac = 0.5 + 0.5 * ((x >> 11) as f64 / (1u64 << 53) as f64);
+    delay.mul_f64(frac)
+}
+
+/// Connection behavior of a [`Client`] (see the [module docs](self)).
+///
+/// The default has no timeouts and no retry — byte-compatible with
+/// the historical blocking client. Production callers should bound at
+/// least the read side:
+///
+/// ```
+/// use anatomy::daemon::{ClientConfig, RetryPolicy};
+/// use std::time::Duration;
+///
+/// let cfg = ClientConfig::new()
+///     .with_timeouts(Duration::from_secs(5))
+///     .with_retry(RetryPolicy::default());
+/// assert_eq!(cfg.read_timeout, Some(Duration::from_secs(5)));
+/// assert!(cfg.retry.is_some());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection (per address tried).
+    pub connect_timeout: Option<Duration>,
+    /// Overall bound on reading one response frame; expiry returns
+    /// [`Error::Timeout`] and poisons the connection (the late
+    /// response can no longer be matched to a request).
+    pub read_timeout: Option<Duration>,
+    /// Socket-level bound on blocking writes.
+    pub write_timeout: Option<Duration>,
+    /// Opt-in retry; `None` fails every request on its first error.
+    pub retry: Option<RetryPolicy>,
+}
+
+impl ClientConfig {
+    /// The default config: no timeouts, no retry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the TCP connect.
+    pub fn with_connect_timeout(mut self, t: Duration) -> Self {
+        self.connect_timeout = Some(t);
+        self
+    }
+
+    /// Bound each response read (see [`ClientConfig::read_timeout`]).
+    pub fn with_read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = Some(t);
+        self
+    }
+
+    /// Bound blocking writes.
+    pub fn with_write_timeout(mut self, t: Duration) -> Self {
+        self.write_timeout = Some(t);
+        self
+    }
+
+    /// Apply one bound to connect, read and write alike.
+    pub fn with_timeouts(self, t: Duration) -> Self {
+        self.with_connect_timeout(t).with_read_timeout(t).with_write_timeout(t)
+    }
+
+    /// Enable retry under `policy`.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+}
 
 /// Geometry of one hosted model, as discovered from the stats frame
 /// (see [`Client::models`]).
@@ -27,6 +209,19 @@ pub struct ModelInfo {
     pub sample_elems: usize,
     /// Classes in the model's softmax head.
     pub classes: usize,
+}
+
+/// How an attempt failed, for the retry decision.
+enum Retryability {
+    /// Busy / connect / pre-response transport failure: retryable
+    /// under any [`RetryPolicy`].
+    Transport,
+    /// A complete, typed server-side `Internal` failure: retryable
+    /// only under [`RetryPolicy::retry_server_failures`].
+    ServerFailure,
+    /// Never retried (typed request rejections, timeouts, partial
+    /// responses, protocol desync).
+    No,
 }
 
 /// A connected protocol-v1 client (see the [module docs](self)).
@@ -71,12 +266,18 @@ pub struct Client {
     next_id: u32,
     server_version: u8,
     banner: String,
+    config: ClientConfig,
+    /// The resolved peer addresses, kept for reconnection.
+    addrs: Vec<SocketAddr>,
+    /// Set after any transport-level failure: the stream may be
+    /// desynchronized, so the next request reconnects first.
+    poisoned: bool,
 }
 
 impl Client {
-    /// Connect and negotiate: sends a
-    /// [`Hello`](FrameType::Hello) offering exactly protocol version
-    /// 1 and waits for the server's
+    /// Connect with the default [`ClientConfig`] (no timeouts, no
+    /// retry) and negotiate: sends a [`Hello`](FrameType::Hello)
+    /// offering exactly protocol version 1 and waits for the server's
     /// [`HelloOk`](FrameType::HelloOk).
     ///
     /// # Errors
@@ -84,21 +285,32 @@ impl Client {
     /// when negotiation fails (e.g. the server answered with a
     /// version-mismatch error frame).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, Error> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`Self::connect`] under an explicit [`ClientConfig`]:
+    /// connect/read/write timeouts and optional retry.
+    ///
+    /// # Errors
+    /// As [`Self::connect`], plus [`Error::Timeout`] when the
+    /// negotiation response exceeds the configured read timeout.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, Error> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(Error::BadInput("address resolved to no socket addresses".to_string()));
+        }
+        let stream = open_stream(&addrs, &config)?;
         let mut client = Self {
             stream,
             reader: FrameReader::new(DEFAULT_MAX_FRAME_LEN),
             next_id: 1,
             server_version: 0,
             banner: String::new(),
+            config,
+            addrs,
+            poisoned: false,
         };
-        let reply =
-            client.round_trip(FrameType::Hello, &encode_hello(VERSION, VERSION, "anatomy"))?;
-        let payload = expect_type(reply, FrameType::HelloOk)?;
-        let (version, banner) = parse_hello_ok(&payload)?;
-        client.server_version = version;
-        client.banner = banner;
+        client.handshake()?;
         Ok(client)
     }
 
@@ -118,17 +330,19 @@ impl Client {
     /// # Errors
     /// [`Error::Busy`] when the model's queue shed the request;
     /// [`Error::BadInput`] for unknown models or wrong payload sizes
-    /// (as reported by the server); [`Error::Io`]/[`Error::Serve`]
-    /// on transport or protocol failures.
+    /// (as reported by the server); [`Error::Timeout`] when a
+    /// configured read deadline expired; [`Error::Io`]/[`Error::Serve`]
+    /// on transport or protocol failures. Under a [`RetryPolicy`],
+    /// what surfaces is the *last* attempt's error.
     pub fn infer(
         &mut self,
         model: &str,
         count: u32,
         samples: &[f32],
     ) -> Result<InferenceOutput, Error> {
-        let reply = self.round_trip(FrameType::Infer, &encode_infer(model, count, samples))?;
-        let payload = expect_type(reply, FrameType::InferOk)?;
-        let (top1, probs) = parse_infer_ok(&payload)?;
+        let payload = encode_infer(model, count, samples);
+        let reply = self.request(FrameType::Infer, &payload, FrameType::InferOk, true)?;
+        let (top1, probs) = parse_infer_ok(&reply)?;
         Ok(InferenceOutput { probs, top1 })
     }
 
@@ -139,9 +353,9 @@ impl Client {
     /// [`Error::BadInput`] when `model` names an unhosted model;
     /// transport/protocol failures as in [`Self::infer`].
     pub fn stats(&mut self, model: Option<&str>) -> Result<String, Error> {
-        let reply = self.round_trip(FrameType::Stats, &encode_stats(model.unwrap_or("")))?;
-        let payload = expect_type(reply, FrameType::StatsOk)?;
-        parse_stats_ok(&payload)
+        let payload = encode_stats(model.unwrap_or(""));
+        let reply = self.request(FrameType::Stats, &payload, FrameType::StatsOk, true)?;
+        parse_stats_ok(&reply)
     }
 
     /// Discover the hosted models and their geometry by parsing the
@@ -173,52 +387,228 @@ impl Client {
     /// Hot-swap the named model's weights and return the new weight
     /// generation (see `docs/PROTOCOL.md` §Reload).
     ///
+    /// Under a [`RetryPolicy`], reloads retry only connect and
+    /// pre-response transport failures —
+    /// [`RetryPolicy::retry_server_failures`] never applies here.
+    ///
     /// # Errors
     /// [`Error::StateDict`] when the server rejected the dict;
     /// [`Error::BadInput`] for unknown models; transport/protocol
     /// failures as in [`Self::infer`].
     pub fn reload(&mut self, model: &str, weights: &StateDict) -> Result<u64, Error> {
-        let reply =
-            self.round_trip(FrameType::Reload, &encode_reload(model, &weights.to_bytes()))?;
-        let payload = expect_type(reply, FrameType::ReloadOk)?;
-        parse_reload_ok(&payload)
+        let payload = encode_reload(model, &weights.to_bytes());
+        let reply = self.request(FrameType::Reload, &payload, FrameType::ReloadOk, false)?;
+        parse_reload_ok(&reply)
     }
 
-    /// Send one request frame and read the matching response frame.
-    fn round_trip(&mut self, ty: FrameType, payload: &[u8]) -> Result<Frame, Error> {
+    /// Negotiate versions on a fresh stream.
+    fn handshake(&mut self) -> Result<(), Error> {
+        let hello = encode_hello(VERSION, VERSION, "anatomy");
+        let reply = self.attempt_round_trip(FrameType::Hello, &hello).map_err(|(e, _)| e)?;
+        let payload = match expect_type(reply, FrameType::HelloOk) {
+            Ok(p) => p,
+            Err((e, _)) => return Err(e),
+        };
+        let (version, banner) = parse_hello_ok(&payload)?;
+        self.server_version = version;
+        self.banner = banner;
+        Ok(())
+    }
+
+    /// Tear down the poisoned stream and establish + negotiate a
+    /// fresh one. On failure the client stays poisoned.
+    fn reconnect(&mut self) -> Result<(), Error> {
+        self.stream = open_stream(&self.addrs, &self.config)?;
+        self.reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
+        self.handshake()?;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// One full request: send, read the typed response, with retry
+    /// per the configured policy. `allow_server_retry` marks the
+    /// request idempotent enough to re-send after a *complete* typed
+    /// `Internal` failure (inference/stats yes, reload no).
+    fn request(
+        &mut self,
+        ty: FrameType,
+        payload: &[u8],
+        want: FrameType,
+        allow_server_retry: bool,
+    ) -> Result<Vec<u8>, Error> {
+        let policy = self.config.retry.clone();
+        let (max_attempts, mut rng, mut delay) = match &policy {
+            Some(p) => (p.max_attempts.max(1), p.jitter_seed | 1, p.base_delay),
+            None => (1, 1, Duration::ZERO),
+        };
+        let mut attempt = 0usize;
+        loop {
+            attempt += 1;
+            let (err, why) = match self.attempt(ty, payload, want) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => e,
+            };
+            let retryable = match why {
+                Retryability::Transport => true,
+                Retryability::ServerFailure => {
+                    allow_server_retry && policy.as_ref().is_some_and(|p| p.retry_server_failures)
+                }
+                Retryability::No => false,
+            };
+            if !retryable || attempt >= max_attempts {
+                return Err(err);
+            }
+            let p = policy.as_ref().expect("max_attempts > 1 implies a policy");
+            std::thread::sleep(jittered(delay, &mut rng));
+            delay = (delay * 2).min(p.max_delay);
+        }
+    }
+
+    /// One attempt: reconnect if poisoned, send, read, type-check.
+    fn attempt(
+        &mut self,
+        ty: FrameType,
+        payload: &[u8],
+        want: FrameType,
+    ) -> Result<Vec<u8>, (Error, Retryability)> {
+        if self.poisoned {
+            // connect-class failure: retryable, still poisoned
+            self.reconnect().map_err(|e| (e, Retryability::Transport))?;
+        }
+        let frame = self.attempt_round_trip(ty, payload)?;
+        expect_type(frame, want)
+    }
+
+    /// Send one request frame and read the matching response frame,
+    /// classifying every transport failure for the retry decision and
+    /// poisoning the connection on all of them.
+    fn attempt_round_trip(
+        &mut self,
+        ty: FrameType,
+        payload: &[u8],
+    ) -> Result<Frame, (Error, Retryability)> {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1);
-        write_frame(&mut self.stream, ty, id, payload)?;
-        let frame = self.reader.read_frame(&mut self.stream).map_err(|e| match e {
-            CodecError::Io(io) => Error::Io(io),
-            other => Error::Serve(format!("protocol failure: {other}")),
+        if let Err(e) = write_frame(&mut self.stream, ty, id, payload) {
+            // the request may be partially written — poison; but no
+            // response byte exists, so a retry is safe
+            self.poisoned = true;
+            return Err((Error::Io(e), Retryability::Transport));
+        }
+        let frame = self.read_reply().map_err(|e| {
+            self.poisoned = true;
+            let pre_response = self.reader.buffered_len() == 0;
+            match e {
+                ReadError::Timeout(waited) => {
+                    // the server may still answer later; never retried
+                    (Error::Timeout { waited }, Retryability::No)
+                }
+                ReadError::Codec(CodecError::Io(io)) => (
+                    Error::Io(io),
+                    if pre_response { Retryability::Transport } else { Retryability::No },
+                ),
+                ReadError::Codec(CodecError::Closed) => (
+                    Error::Serve("server closed the connection before answering".to_string()),
+                    Retryability::Transport,
+                ),
+                ReadError::Codec(other) => {
+                    (Error::Serve(format!("protocol failure: {other}")), Retryability::No)
+                }
+            }
         })?;
         if frame.id != id {
-            return Err(Error::Serve(format!(
-                "response id {} does not match request id {id}",
-                frame.id
-            )));
+            self.poisoned = true;
+            return Err((
+                Error::Serve(format!("response id {} does not match request id {id}", frame.id)),
+                Retryability::No,
+            ));
         }
         Ok(frame)
     }
+
+    /// Read one frame, enforcing [`ClientConfig::read_timeout`] as an
+    /// overall deadline (the socket wakes every [`READ_POLL_SLICE`]).
+    fn read_reply(&mut self) -> Result<Frame, ReadError> {
+        match self.config.read_timeout {
+            None => self.reader.read_frame(&mut self.stream).map_err(ReadError::Codec),
+            Some(limit) => {
+                let start = Instant::now();
+                let deadline = start + limit;
+                loop {
+                    match self.reader.poll_frame(&mut self.stream) {
+                        Ok(Some(frame)) => return Ok(frame),
+                        Ok(None) => {
+                            if Instant::now() >= deadline {
+                                return Err(ReadError::Timeout(start.elapsed()));
+                            }
+                        }
+                        Err(e) => return Err(ReadError::Codec(e)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Internal read-side failure: codec/transport, or the overall read
+/// deadline expired after the carried wait.
+enum ReadError {
+    Codec(CodecError),
+    Timeout(Duration),
+}
+
+/// Connect to the first reachable address under the config's connect
+/// timeout, and arm the socket's read/write timeouts.
+fn open_stream(addrs: &[SocketAddr], config: &ClientConfig) -> Result<TcpStream, Error> {
+    let mut last: Option<std::io::Error> = None;
+    for addr in addrs {
+        let attempt = match config.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(addr, t),
+            None => TcpStream::connect(addr),
+        };
+        match attempt {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                // slice the read timeout so `read_reply` can enforce
+                // its overall deadline even against trickled bytes
+                let read = config.read_timeout.map(|t| t.min(READ_POLL_SLICE));
+                stream.set_read_timeout(read)?;
+                stream.set_write_timeout(config.write_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(Error::Io(last.expect("addrs is non-empty")))
 }
 
 /// Unwrap a response frame of the expected type, converting
-/// [`FrameType::Error`] frames into the typed [`Error`] they carry.
-fn expect_type(frame: Frame, want: FrameType) -> Result<Vec<u8>, Error> {
+/// [`FrameType::Error`] frames into the typed [`Error`] they carry
+/// and classifying each for the retry decision.
+fn expect_type(frame: Frame, want: FrameType) -> Result<Vec<u8>, (Error, Retryability)> {
     if frame.ty == want {
         return Ok(frame.payload);
     }
     if frame.ty == FrameType::Error {
-        let (code, a, b, msg) = parse_error(&frame.payload)?;
+        let (code, a, b, msg) = match parse_error(&frame.payload) {
+            Ok(parts) => parts,
+            Err(e) => return Err((e, Retryability::No)),
+        };
         return Err(match code {
-            ErrorCode::Busy => Error::Busy { queued: a as usize, capacity: b as usize },
-            ErrorCode::UnknownModel | ErrorCode::BadRequest => Error::BadInput(msg),
-            ErrorCode::StateDict => Error::StateDict(msg),
-            ErrorCode::BadFrame | ErrorCode::VersionMismatch | ErrorCode::Internal => {
-                Error::Serve(format!("{code}: {msg}"))
+            ErrorCode::Busy => {
+                (Error::Busy { queued: a as usize, capacity: b as usize }, Retryability::Transport)
+            }
+            ErrorCode::UnknownModel | ErrorCode::BadRequest => {
+                (Error::BadInput(msg), Retryability::No)
+            }
+            ErrorCode::StateDict => (Error::StateDict(msg), Retryability::No),
+            ErrorCode::Internal => {
+                (Error::Serve(format!("{code}: {msg}")), Retryability::ServerFailure)
+            }
+            ErrorCode::BadFrame | ErrorCode::VersionMismatch => {
+                (Error::Serve(format!("{code}: {msg}")), Retryability::No)
             }
         });
     }
-    Err(Error::Serve(format!("expected a {want:?} frame, got {:?}", frame.ty)))
+    Err((Error::Serve(format!("expected a {want:?} frame, got {:?}", frame.ty)), Retryability::No))
 }

@@ -10,6 +10,7 @@
 //! allocates more than the configured frame cap.
 
 use super::protocol::{Frame, FrameType, HEADER_LEN, MAGIC, VERSION};
+use crate::fault;
 use std::fmt;
 use std::io::{ErrorKind, Read, Write};
 
@@ -91,6 +92,15 @@ impl FrameReader {
         Self { buf: Vec::new(), max_frame }
     }
 
+    /// Bytes of the *next* frame already buffered (partial header or
+    /// payload). Zero exactly when the reader sits on a frame
+    /// boundary — the discriminator a retrying client uses between
+    /// "the response never started" (safe to retry) and "a response
+    /// was partially received" (never retried).
+    pub fn buffered_len(&self) -> usize {
+        self.buf.len()
+    }
+
     /// Validate the buffered header and return the declared payload
     /// length.
     fn check_header(&self) -> Result<usize, CodecError> {
@@ -140,6 +150,7 @@ impl FrameReader {
                     return Ok(Some(Frame { ty, id, payload }));
                 }
             }
+            fault::io_point("codec.read").map_err(CodecError::Io)?;
             match r.read(&mut chunk) {
                 Ok(0) => {
                     return Err(if self.buf.is_empty() {
@@ -326,8 +337,144 @@ mod tests {
         // first source: only half the frame, then EAGAIN
         let half = wire.len() / 2;
         assert!(reader.poll_frame(&mut EagainAfter(&wire[..half])).unwrap().is_none());
+        assert_eq!(reader.buffered_len(), half);
         // second source: the rest — the buffered half must be reused
         let f = reader.poll_frame(&mut EagainAfter(&wire[half..])).unwrap().unwrap();
         assert_eq!(f.id, 3);
+        assert_eq!(reader.buffered_len(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Parse everything a byte stream yields in one-shot slice
+        /// delivery: the frames in order, then the terminal error.
+        fn parse_all(mut src: &[u8], cap: u32) -> (Vec<Frame>, CodecError) {
+            let mut reader = FrameReader::new(cap);
+            let mut frames = Vec::new();
+            loop {
+                match reader.poll_frame(&mut src) {
+                    Ok(Some(f)) => frames.push(f),
+                    // a finite slice always terminates in Closed /
+                    // Truncated once drained — Ok(None) is impossible
+                    Ok(None) => unreachable!("slice readers never block"),
+                    Err(e) => return (frames, e),
+                }
+            }
+        }
+
+        /// A reader delivering its bytes in caller-chosen chunk sizes,
+        /// with a `WouldBlock` between chunks (the shape of a socket
+        /// under load).
+        struct Chunked<'a> {
+            data: &'a [u8],
+            sizes: Vec<usize>,
+            next: usize,
+            block: bool,
+        }
+
+        impl Read for Chunked<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.block {
+                    self.block = false;
+                    return Err(std::io::Error::new(ErrorKind::WouldBlock, "eagain"));
+                }
+                self.block = true;
+                if self.data.is_empty() {
+                    return Ok(0);
+                }
+                let want = self.sizes[self.next % self.sizes.len()].clamp(1, buf.len());
+                self.next += 1;
+                let n = want.min(self.data.len());
+                buf[..n].copy_from_slice(&self.data[..n]);
+                self.data = &self.data[n..];
+                Ok(n)
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+
+            /// Hostile input: arbitrary bytes (sometimes seeded with a
+            /// valid-looking prefix) never panic the reader — every
+            /// outcome is a validated frame or a typed error, and no
+            /// delivered payload exceeds the cap.
+            #[test]
+            fn arbitrary_streams_never_panic(
+                bytes in prop::collection::vec(0u8..=255u8, 96),
+                len in 0usize..=96,
+                cap in 0u32..128,
+                magic_prefix in any::<bool>(),
+            ) {
+                let mut stream = bytes[..len].to_vec();
+                if magic_prefix {
+                    // steer half the cases past the magic check so the
+                    // deeper header/payload validation gets exercised
+                    for (i, b) in MAGIC.iter().enumerate() {
+                        if stream.len() > i {
+                            stream[i] = *b;
+                        }
+                    }
+                }
+                let (frames, terminal) = parse_all(&stream, cap);
+                for f in &frames {
+                    prop_assert!(f.payload.len() <= cap as usize);
+                }
+                prop_assert!(matches!(
+                    terminal,
+                    CodecError::Closed
+                        | CodecError::Truncated
+                        | CodecError::BadMagic(_)
+                        | CodecError::BadVersion(_)
+                        | CodecError::BadFlags(_)
+                        | CodecError::UnknownType(_)
+                        | CodecError::Oversized { .. }
+                ));
+            }
+
+            /// Valid frames split at arbitrary chunk boundaries (with
+            /// interleaved would-blocks) parse identically to one-shot
+            /// delivery.
+            #[test]
+            fn chunked_delivery_matches_one_shot(
+                payload in prop::collection::vec(0u8..=255u8, 48),
+                plen in 0usize..=48,
+                nframes in 1usize..4,
+                sizes in prop::collection::vec(1usize..24, 5),
+            ) {
+                let mut wire = Vec::new();
+                for i in 0..nframes {
+                    write_frame(
+                        &mut wire,
+                        FrameType::Infer,
+                        i as u32 + 1,
+                        &payload[..plen],
+                    ).unwrap();
+                }
+                let (reference, terminal) = parse_all(&wire, DEFAULT_MAX_FRAME_LEN);
+                prop_assert_eq!(reference.len(), nframes);
+                prop_assert!(matches!(terminal, CodecError::Closed));
+
+                let mut chunked =
+                    Chunked { data: &wire, sizes: sizes.clone(), next: 0, block: false };
+                let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
+                let mut got = Vec::new();
+                loop {
+                    match reader.poll_frame(&mut chunked) {
+                        Ok(Some(f)) => got.push(f),
+                        Ok(None) => {} // WouldBlock between chunks
+                        Err(CodecError::Closed) => break,
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                prop_assert_eq!(got.len(), reference.len());
+                for (a, b) in got.iter().zip(reference.iter()) {
+                    prop_assert_eq!(a.ty, b.ty);
+                    prop_assert_eq!(a.id, b.id);
+                    prop_assert_eq!(&a.payload, &b.payload);
+                }
+            }
+        }
     }
 }

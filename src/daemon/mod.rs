@@ -45,7 +45,7 @@ pub mod protocol;
 pub mod registry;
 mod router;
 
-pub use client::{Client, ModelInfo};
+pub use client::{Client, ClientConfig, ModelInfo, RetryPolicy};
 pub use registry::{ModelConfig, ModelRegistry};
 
 use crate::Error;

@@ -220,6 +220,11 @@ impl ModelRegistry {
             let _ = writeln!(out, "serve_model_weight_generation{m} {}", s.weight_generation);
             let _ = writeln!(out, "serve_model_reloads_total{m} {}", s.reloads);
             let _ = writeln!(out, "serve_model_reload_failures_total{m} {}", s.reload_failures);
+            let _ = writeln!(out, "serve_model_replica_panics_total{m} {}", s.replica_panics);
+            let _ = writeln!(out, "serve_model_replica_restarts_total{m} {}", s.replica_restarts);
+            let _ = writeln!(out, "serve_model_requests_failed_total{m} {}", s.requests_failed);
+            let _ = writeln!(out, "serve_model_request_timeouts_total{m} {}", s.request_timeouts);
+            let _ = writeln!(out, "serve_model_failed{m} {}", u8::from(s.failed));
             let _ = writeln!(out, "serve_model_p50_latency_us{m} {}", s.p50_latency.as_micros());
             let _ = writeln!(out, "serve_model_p99_latency_us{m} {}", s.p99_latency.as_micros());
         }

@@ -16,7 +16,7 @@ use super::protocol::{
     parse_infer, parse_reload, parse_stats, ErrorCode, Frame, FrameType, VERSION,
 };
 use super::registry::ModelRegistry;
-use crate::{Error, StateDict};
+use crate::{fault, Error, StateDict};
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -72,6 +72,10 @@ pub(crate) fn serve_connection(
             }
         };
         registry.counters().frames.fetch_add(1, Ordering::Relaxed);
+        // chaos site: a panic here kills this connection thread (the
+        // daemon reaps it; the peer sees a closed connection), a delay
+        // stalls only this connection
+        fault::point("router.frame");
         match handle_frame(&mut stream, &frame, registry) {
             Ok(After::KeepOpen) => {}
             Ok(After::Close) => return,

@@ -1,0 +1,365 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! The fault-tolerance claims of DESIGN.md §13 — a replica panic is a
+//! recoverable event, every request resolves, no client ever hangs —
+//! are only claims until failure paths actually execute. This module
+//! plants named **fault points** at the places failures happen in
+//! production (replica batch execution, replica rebuild, the
+//! dispatcher, the connection router, the wire codec) and lets a test
+//! or an operator arm them with a seeded **fault plan** that injects
+//! panics, delays and I/O errors deterministically.
+//!
+//! ## Zero cost by default
+//!
+//! Without the `chaos` cargo feature, [`point`] and [`io_point`]
+//! compile to empty inline functions — the serving hot paths carry no
+//! branch, no lock, no atomic. With `--features chaos` the points
+//! consult the installed plan (one mutex-guarded lookup per hit;
+//! chaos builds are for testing, not production).
+//!
+//! ## Sites
+//!
+//! | site | location | honored actions |
+//! |---|---|---|
+//! | `replica.batch` | a serving replica, after receiving a batch and before running it | panic, delay |
+//! | `replica.rebuild` | the supervisor, while rebuilding a crashed replica's session | panic, delay |
+//! | `dispatcher.batch` | the dispatcher, after forming a batch and before handing it to a replica | panic, delay |
+//! | `router.frame` | a daemon connection thread, after decoding a request frame | panic, delay |
+//! | `codec.read` | [`FrameReader::poll_frame`](crate::daemon::codec::FrameReader::poll_frame), before each transport read | panic, delay, io |
+//!
+//! ## Plan syntax
+//!
+//! A plan is `;`-separated entries, installable programmatically via
+//! `install` (chaos builds only) or from the `ANATOMY_FAULT_PLAN`
+//! environment variable
+//! (read once, at the first fault-point hit of the process):
+//!
+//! ```text
+//! plan    := entry (';' entry)*
+//! entry   := 'seed=' u64
+//!          | site '=' action ['@' trigger]
+//! action  := 'panic' | 'delay:' millis 'ms' | 'io'
+//! trigger := 'every' N      fire on every Nth hit of the site
+//!          | 'first' N      fire on the first N hits only
+//!          | 'p' FLOAT      fire with probability FLOAT (seeded RNG)
+//! ```
+//!
+//! e.g. `seed=7;replica.batch=panic@every5;codec.read=io@p0.05`.
+//! Omitting the trigger fires on every hit. Probabilistic triggers
+//! draw from a per-entry xorshift stream seeded by `(plan seed, site
+//! name)`, so a given seed produces the same per-site fire/skip
+//! sequence on every run — thread interleaving varies, the decisions
+//! do not.
+//!
+//! Injected panics carry the message `injected fault at <site>`;
+//! injected I/O errors use [`std::io::ErrorKind::ConnectionReset`]
+//! with the same marker, so logs and panic hooks can tell injected
+//! failures from real ones.
+
+#[cfg(not(feature = "chaos"))]
+mod imp {
+    /// Hit the named fault point. Compiled to a no-op (the `chaos`
+    /// feature is off).
+    #[inline(always)]
+    pub fn point(_site: &str) {}
+
+    /// Hit the named fault point on an I/O path. Compiled to a no-op
+    /// returning `Ok(())` (the `chaos` feature is off).
+    #[inline(always)]
+    pub fn io_point(_site: &str) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// Whether a fault plan is armed — always `false` without the
+    /// `chaos` feature.
+    #[inline(always)]
+    pub fn active() -> bool {
+        false
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod imp {
+    use crate::Error;
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Duration;
+
+    /// What an armed fault point does when its trigger fires.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum FaultAction {
+        /// Panic with `injected fault at <site>`. At [`point`] and
+        /// [`io_point`] alike.
+        Panic,
+        /// Sleep for the given duration, then continue normally.
+        Delay(Duration),
+        /// Return an injected [`std::io::ErrorKind::ConnectionReset`]
+        /// error. Only [`io_point`] can honor this; a plain [`point`]
+        /// ignores it.
+        Io,
+    }
+
+    /// When an armed entry fires (see the [module docs](super) for
+    /// the plan grammar).
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Trigger {
+        Always,
+        Every(u64),
+        First(u64),
+        Prob(f64),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Entry {
+        site: String,
+        action: FaultAction,
+        trigger: Trigger,
+        /// Hits of this entry's site so far (drives `every`/`first`).
+        hits: u64,
+        /// Per-entry xorshift state (drives `p`); seeded from the
+        /// plan seed and the site name so the fire/skip sequence is a
+        /// pure function of `(seed, site, hit index)`.
+        rng: u64,
+    }
+
+    /// A parsed, seeded fault plan (see the [module docs](super)).
+    #[derive(Clone, Debug, Default)]
+    pub struct FaultPlan {
+        seed: u64,
+        entries: Vec<(String, FaultAction, String)>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan with the given seed (add entries with
+        /// [`Self::entry`]).
+        pub fn seeded(seed: u64) -> Self {
+            Self { seed, entries: Vec::new() }
+        }
+
+        /// Arm `site` with `action`, fired per `trigger` (`""` or
+        /// `"always"` = every hit; otherwise the `every`/`first`/`p`
+        /// grammar of the module docs).
+        pub fn entry(mut self, site: &str, action: FaultAction, trigger: &str) -> Self {
+            self.entries.push((site.to_string(), action, trigger.to_string()));
+            self
+        }
+
+        /// Parse the textual plan grammar of the module docs.
+        ///
+        /// # Errors
+        /// [`Error::BadInput`] naming the offending entry.
+        pub fn parse(text: &str) -> Result<Self, Error> {
+            let mut plan = Self::default();
+            for raw in text.split(';') {
+                let raw = raw.trim();
+                if raw.is_empty() {
+                    continue;
+                }
+                let (key, value) = raw.split_once('=').ok_or_else(|| {
+                    Error::BadInput(format!("fault plan entry '{raw}' is missing '='"))
+                })?;
+                if key == "seed" {
+                    plan.seed = value.parse().map_err(|_| {
+                        Error::BadInput(format!("fault plan seed '{value}' is not a u64"))
+                    })?;
+                    continue;
+                }
+                let (action_text, trigger_text) = match value.split_once('@') {
+                    Some((a, t)) => (a, t),
+                    None => (value, ""),
+                };
+                let action = parse_action(action_text)
+                    .ok_or_else(|| bad_entry(raw, "unknown action", action_text))?;
+                // validate the trigger now so a bad plan fails loudly
+                // at install time, not silently at the first hit
+                parse_trigger(trigger_text)
+                    .ok_or_else(|| bad_entry(raw, "unknown trigger", trigger_text))?;
+                plan.entries.push((key.to_string(), action, trigger_text.to_string()));
+            }
+            Ok(plan)
+        }
+
+        fn arm(&self) -> Vec<Entry> {
+            self.entries
+                .iter()
+                .map(|(site, action, trigger)| Entry {
+                    site: site.clone(),
+                    action: *action,
+                    trigger: parse_trigger(trigger).expect("validated at parse/entry time"),
+                    hits: 0,
+                    rng: (self.seed ^ fnv(site)) | 1,
+                })
+                .collect()
+        }
+    }
+
+    fn bad_entry(raw: &str, what: &str, part: &str) -> Error {
+        Error::BadInput(format!("fault plan entry '{raw}': {what} '{part}'"))
+    }
+
+    fn parse_action(text: &str) -> Option<FaultAction> {
+        if text == "panic" {
+            return Some(FaultAction::Panic);
+        }
+        if text == "io" {
+            return Some(FaultAction::Io);
+        }
+        let ms = text.strip_prefix("delay:")?.strip_suffix("ms")?;
+        Some(FaultAction::Delay(Duration::from_millis(ms.parse().ok()?)))
+    }
+
+    fn parse_trigger(text: &str) -> Option<Trigger> {
+        if text.is_empty() || text == "always" {
+            return Some(Trigger::Always);
+        }
+        if let Some(n) = text.strip_prefix("every") {
+            let n: u64 = n.parse().ok()?;
+            return (n > 0).then_some(Trigger::Every(n));
+        }
+        if let Some(n) = text.strip_prefix("first") {
+            return Some(Trigger::First(n.parse().ok()?));
+        }
+        if let Some(p) = text.strip_prefix('p') {
+            let p: f64 = p.parse().ok()?;
+            return (0.0..=1.0).contains(&p).then_some(Trigger::Prob(p));
+        }
+        None
+    }
+
+    /// FNV-1a, the same stable string hash the machine fingerprint
+    /// uses — per-site RNG streams must not depend on `DefaultHasher`
+    /// internals changing across toolchains.
+    fn fnv(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    struct Armed {
+        entries: Vec<Entry>,
+        fired: BTreeMap<String, u64>,
+    }
+
+    fn state() -> &'static Mutex<Option<Armed>> {
+        static STATE: OnceLock<Mutex<Option<Armed>>> = OnceLock::new();
+        STATE.get_or_init(|| {
+            // first touch of the process: arm the env-supplied plan,
+            // if any (a malformed plan must abort the chaos run, not
+            // silently run fault-free)
+            let armed = std::env::var("ANATOMY_FAULT_PLAN").ok().map(|text| {
+                let plan =
+                    FaultPlan::parse(&text).unwrap_or_else(|e| panic!("ANATOMY_FAULT_PLAN: {e}"));
+                Armed { entries: plan.arm(), fired: BTreeMap::new() }
+            });
+            Mutex::new(armed)
+        })
+    }
+
+    /// Install `plan`, replacing any active plan (including one armed
+    /// from `ANATOMY_FAULT_PLAN`) and zeroing the fire counters.
+    pub fn install(plan: &FaultPlan) {
+        *state().lock().unwrap() = Some(Armed { entries: plan.arm(), fired: BTreeMap::new() });
+    }
+
+    /// Disarm every fault point (fire counters are kept until the
+    /// next [`install`]).
+    pub fn clear() {
+        if let Some(armed) = state().lock().unwrap().as_mut() {
+            armed.entries.clear();
+        }
+    }
+
+    /// Whether any fault plan is currently armed.
+    pub fn active() -> bool {
+        state().lock().unwrap().as_ref().is_some_and(|a| !a.entries.is_empty())
+    }
+
+    /// How many times `site` has fired an action since the last
+    /// [`install`].
+    pub fn fired(site: &str) -> u64 {
+        state().lock().unwrap().as_ref().and_then(|a| a.fired.get(site).copied()).unwrap_or(0)
+    }
+
+    /// `(site, fires)` for every site that has fired since the last
+    /// [`install`].
+    pub fn fire_counts() -> Vec<(String, u64)> {
+        state()
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|a| a.fired.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Decide this hit's action for `site` (bumping counters) without
+    /// yet executing it — the panic/sleep must happen *outside* the
+    /// state lock or a fault point could deadlock the process it is
+    /// trying to test.
+    fn decide(site: &str) -> Option<FaultAction> {
+        let mut guard = state().lock().unwrap();
+        let armed = guard.as_mut()?;
+        let mut fire: Option<FaultAction> = None;
+        for entry in armed.entries.iter_mut().filter(|e| e.site == site) {
+            entry.hits += 1;
+            let fires = match entry.trigger {
+                Trigger::Always => true,
+                Trigger::Every(n) => entry.hits.is_multiple_of(n),
+                Trigger::First(n) => entry.hits <= n,
+                Trigger::Prob(p) => {
+                    ((xorshift(&mut entry.rng) >> 11) as f64 / (1u64 << 53) as f64) < p
+                }
+            };
+            if fires {
+                fire = Some(entry.action);
+                break;
+            }
+        }
+        if fire.is_some() {
+            *armed.fired.entry(site.to_string()).or_insert(0) += 1;
+        }
+        fire
+    }
+
+    /// Hit the named fault point: consult the armed plan and panic or
+    /// sleep if an entry fires (`io` entries are ignored here — a
+    /// plain point has no error channel).
+    pub fn point(site: &str) {
+        match decide(site) {
+            Some(FaultAction::Panic) => panic!("injected fault at {site}"),
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Io) | None => {}
+        }
+    }
+
+    /// Hit the named fault point on an I/O path: as [`point`], but
+    /// `io` entries return an injected
+    /// [`ConnectionReset`](std::io::ErrorKind::ConnectionReset) error.
+    pub fn io_point(site: &str) -> std::io::Result<()> {
+        match decide(site) {
+            Some(FaultAction::Panic) => panic!("injected fault at {site}"),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            Some(FaultAction::Io) => Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                format!("injected fault at {site}"),
+            )),
+            None => Ok(()),
+        }
+    }
+}
+
+pub use imp::*;

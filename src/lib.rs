@@ -31,7 +31,10 @@
 //!   multi-model daemon: a TCP listener speaking a length-prefixed
 //!   binary protocol (`docs/PROTOCOL.md`) with admission control and
 //!   zero-downtime weight hot-swap (see the [`daemon`] module docs
-//!   and the README's operator guide).
+//!   and the README's operator guide);
+//! * [`fault`] — deterministic fault injection for the serving stack:
+//!   named fault points compiled to no-ops by default and armed by a
+//!   seeded plan under `--features chaos` (DESIGN.md §13).
 //!
 //! The model surface is typed (DESIGN.md §8): sessions take anything
 //! [`IntoModelSpec`] — a validated [`ModelSpec`], a [`GraphBuilder`]
@@ -59,6 +62,7 @@ pub use conv::{Precision, TuneLevel};
 pub use gxm::{ConvOpts, Error, GraphBuilder, IntoModelSpec, ModelSpec, StateDict};
 
 pub mod daemon;
+pub mod fault;
 pub mod serve;
 
 use std::sync::Arc;

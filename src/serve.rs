@@ -36,13 +36,38 @@
 //! (folded into the producer convolutions wherever the fusion pass
 //! applies — see DESIGN.md §5.3), so no operator in the serving path
 //! reads across samples.
+//!
+//! ## Supervision (DESIGN.md §13)
+//!
+//! A panic in the serving pipeline is a recoverable event, not a slow
+//! outage. Every replica runs its batches under `catch_unwind`: a
+//! panic fails **only the in-flight batch's requests** (each waiter
+//! gets a typed [`Error::Serve`] naming the replica panic), the panic
+//! is counted in [`ServerStats::replica_panics`], and the replica
+//! thread rebuilds its [`InferenceSession`] — through the same shared
+//! [`PlanCache`], re-applying the current [`HotSwap`] weight
+//! generation and any int8 calibration — under capped exponential
+//! backoff. After [`ServeConfig::max_restart_attempts`] consecutive
+//! rebuild failures the frontend enters a **terminal Failed state**
+//! ([`ServerStats::failed`]): the queue is drained (every queued
+//! request fails typed) and [`BatchingFrontend::submit`] returns an
+//! error immediately instead of queueing work that can never
+//! complete. The dispatcher is supervised the same way, minus the
+//! rebuild (it owns no session).
+//!
+//! Waits are bounded on the client side too:
+//! [`PendingRequest::wait_timeout`] / [`PendingRequest::wait_deadline`]
+//! (both returning [`Error::Timeout`]) cancel the completion slot on
+//! expiry, so a late result is dropped rather than written into a
+//! slot nobody will read.
 
-use crate::{Error, InferenceOutput, InferenceSession, IntoModelSpec, Precision, StateDict};
+use crate::{fault, Error, InferenceOutput, InferenceSession, IntoModelSpec, Precision, StateDict};
 use conv::{CombinedCacheStats, PlanCache};
 use gxm::{HotSwap, ModelSpec};
 use parallel::{pin_current_thread, PoolOptions, ThreadPool};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -92,6 +117,19 @@ pub struct ServeConfig {
     /// every hot-swap reload, so published weight sets are requantized
     /// against the same measured activation ranges. Ignored at f32.
     pub calibration: Vec<f32>,
+    /// How many *consecutive* failed session rebuilds a crashed
+    /// replica may accumulate before the frontend gives up and enters
+    /// the terminal Failed state (see the [module docs](self)). A
+    /// successful rebuild resets the count. Panics themselves are not
+    /// attempts — a replica that crashes and rebuilds cleanly can do
+    /// so indefinitely.
+    pub max_restart_attempts: usize,
+    /// Backoff before the first rebuild attempt of a crash; doubles
+    /// per consecutive failure up to
+    /// [`ServeConfig::restart_backoff_cap`].
+    pub restart_backoff: Duration,
+    /// Upper bound of the rebuild backoff.
+    pub restart_backoff_cap: Duration,
 }
 
 impl ServeConfig {
@@ -109,6 +147,9 @@ impl ServeConfig {
             tune: conv::TuneLevel::Heuristic,
             precision: Precision::F32,
             calibration: Vec::new(),
+            max_restart_attempts: 5,
+            restart_backoff: Duration::from_millis(10),
+            restart_backoff_cap: Duration::from_millis(500),
         }
     }
 
@@ -150,6 +191,69 @@ impl ServeConfig {
         self.queue_cap = cap;
         self
     }
+
+    /// Override the replica restart policy: `max_attempts` consecutive
+    /// rebuild failures before the terminal Failed state, starting
+    /// from `backoff` and doubling up to `cap` between attempts.
+    pub fn with_restart_policy(
+        mut self,
+        max_attempts: usize,
+        backoff: Duration,
+        cap: Duration,
+    ) -> Self {
+        self.max_restart_attempts = max_attempts;
+        self.restart_backoff = backoff;
+        self.restart_backoff_cap = cap;
+        self
+    }
+}
+
+/// Why a request failed before completing — the typed poison a
+/// queued sample applies to its completion slot when it is dropped
+/// unserved, and the reason behind every serving-side
+/// [`Error::Serve`] returned by [`PendingRequest::wait`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailReason {
+    /// The serving pipeline panicked (replica batch execution or the
+    /// dispatcher) while this request was in flight. The pipeline
+    /// restarts; resubmitting is reasonable.
+    ReplicaPanic,
+    /// The frontend shut down — orderly teardown or the terminal
+    /// Failed state — before this request completed.
+    Shutdown,
+    /// The waiter cancelled the request (its
+    /// [`PendingRequest::wait_timeout`] /
+    /// [`PendingRequest::wait_deadline`] expired); a late result is
+    /// dropped, not delivered.
+    Cancelled,
+}
+
+impl FailReason {
+    fn to_error(self) -> Error {
+        Error::Serve(
+            match self {
+                FailReason::ReplicaPanic => {
+                    "serving pipeline panicked while the request was in flight; \
+                     the replica restarts — resubmit"
+                }
+                FailReason::Shutdown => "frontend shut down before the request completed",
+                FailReason::Cancelled => "request was cancelled by its waiter's deadline",
+            }
+            .to_string(),
+        )
+    }
+}
+
+/// Lock-free failure counters shared by the frontend, every queued
+/// sample and every request handle (a separate allocation from
+/// [`Shared`] so a [`Pending`] sitting in `Shared.queue` never holds a
+/// strong reference back to the queue that holds it).
+#[derive(Default)]
+struct ServeCounters {
+    replica_panics: AtomicUsize,
+    replica_restarts: AtomicUsize,
+    requests_failed: AtomicUsize,
+    request_timeouts: AtomicUsize,
 }
 
 /// One queued sample: its pixels, where its result goes, and when it
@@ -161,16 +265,28 @@ struct Pending {
     enqueued: Instant,
     /// Set once the sample's result has been written to its slot.
     done: bool,
+    /// The poison applied if this sample is dropped unserved. Defaults
+    /// to [`FailReason::Shutdown`] (a drained queue); the pipeline
+    /// upgrades it to [`FailReason::ReplicaPanic`] the moment the
+    /// sample enters a batch that could die with its executor.
+    fail_reason: FailReason,
+    counters: Arc<ServeCounters>,
 }
 
 impl Drop for Pending {
     /// A sample dropped before completion (replica panicked mid-batch,
     /// or the pipeline drained on failure) poisons its request so the
     /// waiting client wakes up and fails instead of blocking forever.
+    /// The first poison of a slot wins (and counts the request as
+    /// failed); a slot already failed — or cancelled by its waiter —
+    /// keeps its original reason.
     fn drop(&mut self) {
         if !self.done {
             if let Ok(mut g) = self.slot.inner.lock() {
-                g.failed = true;
+                if g.failed.is_none() {
+                    g.failed = Some(self.fail_reason);
+                    self.counters.requests_failed.fetch_add(1, Ordering::Relaxed);
+                }
             }
             self.slot.cv.notify_all();
         }
@@ -188,17 +304,21 @@ struct ResponseInner {
     probs: Vec<f32>,
     top1: Vec<usize>,
     remaining: usize,
-    /// True when a sample of this request was abandoned (see
-    /// [`Pending::drop`]); waiters get [`Error::Serve`] rather than
-    /// hanging.
-    failed: bool,
+    /// Set when a sample of this request was abandoned (see
+    /// [`Pending::drop`]) or the waiter cancelled; waiters get a typed
+    /// error rather than hanging, and replicas drop late results
+    /// rather than writing into a slot nobody will read.
+    failed: Option<FailReason>,
 }
 
 /// Handle to an in-flight request; [`PendingRequest::wait`] blocks
-/// until every sample of the request has been served.
+/// until every sample of the request has been served (and
+/// [`PendingRequest::wait_timeout`] / [`PendingRequest::wait_deadline`]
+/// bound that wait).
 pub struct PendingRequest {
     slot: Arc<ResponseState>,
     count: usize,
+    counters: Arc<ServeCounters>,
 }
 
 impl PendingRequest {
@@ -211,18 +331,66 @@ impl PendingRequest {
     /// in submission order.
     ///
     /// # Errors
-    /// [`Error::Serve`] if the serving pipeline failed (a replica
-    /// died) before this request completed — the alternative would be
-    /// to block forever.
+    /// [`Error::Serve`] if the serving pipeline failed before this
+    /// request completed (the message names the failure mode: pipeline
+    /// panic vs. shutdown) — the alternative would be to block
+    /// forever.
     pub fn wait(self) -> Result<InferenceOutput, Error> {
+        self.wait_inner(None)
+    }
+
+    /// [`Self::wait`], giving up after `timeout`.
+    ///
+    /// On expiry the request is **cancelled**: the completion slot is
+    /// poisoned so any sample still in flight drops its late result
+    /// instead of delivering it, and the frontend counts a
+    /// [`ServerStats::request_timeouts`]. The samples already admitted
+    /// still occupy the queue/batch they landed in (cancellation stops
+    /// the *delivery*, it does not recall the work).
+    ///
+    /// # Errors
+    /// [`Error::Timeout`] when the bound expires first; otherwise as
+    /// [`Self::wait`].
+    pub fn wait_timeout(self, timeout: Duration) -> Result<InferenceOutput, Error> {
+        self.wait_inner(Some(Instant::now() + timeout))
+    }
+
+    /// [`Self::wait_timeout`] with an absolute deadline — the form a
+    /// server propagating one overall request budget across several
+    /// waits wants. A deadline already in the past cancels and times
+    /// out immediately.
+    ///
+    /// # Errors
+    /// As [`Self::wait_timeout`].
+    pub fn wait_deadline(self, deadline: Instant) -> Result<InferenceOutput, Error> {
+        self.wait_inner(Some(deadline))
+    }
+
+    fn wait_inner(self, deadline: Option<Instant>) -> Result<InferenceOutput, Error> {
+        let start = Instant::now();
         let mut g = self.slot.inner.lock().unwrap();
-        while g.remaining > 0 && !g.failed {
-            g = self.slot.cv.wait(g).unwrap();
-        }
-        if g.failed {
-            return Err(Error::Serve(
-                "serving pipeline failed before the request completed".to_string(),
-            ));
+        loop {
+            if let Some(reason) = g.failed {
+                return Err(reason.to_error());
+            }
+            if g.remaining == 0 {
+                break;
+            }
+            match deadline {
+                None => g = self.slot.cv.wait(g).unwrap(),
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        // cancel under the slot lock: late results
+                        // check `failed` under the same lock, so after
+                        // this point none can be delivered
+                        g.failed = Some(FailReason::Cancelled);
+                        self.counters.request_timeouts.fetch_add(1, Ordering::Relaxed);
+                        return Err(Error::Timeout { waited: start.elapsed() });
+                    }
+                    g = self.slot.cv.wait_timeout(g, dl - now).unwrap().0;
+                }
+            }
         }
         Ok(InferenceOutput {
             probs: std::mem::take(&mut g.probs),
@@ -297,6 +465,26 @@ pub struct ServerStats {
     /// that passed schema validation fails the network's stricter
     /// load-time checks.
     pub reload_failures: usize,
+    /// Serving-thread panics caught by the supervisor (replica batch
+    /// execution or the dispatcher). Each failed only its in-flight
+    /// batch; see [`ServerStats::replica_restarts`] for the
+    /// recoveries.
+    pub replica_panics: usize,
+    /// Successful replica session rebuilds after a panic.
+    pub replica_restarts: usize,
+    /// Requests that resolved with a serving-side [`Error::Serve`]
+    /// (pipeline panic or shutdown poison). Waiter-side cancellations
+    /// are counted separately in
+    /// [`ServerStats::request_timeouts`], never here.
+    pub requests_failed: usize,
+    /// Bounded waits ([`PendingRequest::wait_timeout`] /
+    /// [`PendingRequest::wait_deadline`]) that expired and cancelled
+    /// their request.
+    pub request_timeouts: usize,
+    /// True once the frontend entered the terminal Failed state
+    /// (replica restarts exhausted): every queued request was failed
+    /// and [`BatchingFrontend::submit`] returns a typed error.
+    pub failed: bool,
     /// Median submit-to-result latency over the most recent completed
     /// samples (a bounded window of 65536).
     pub p50_latency: Duration,
@@ -315,6 +503,11 @@ struct Shared {
     /// wait side of [`BatchingFrontend::submit_within`].
     space_cv: Condvar,
     shutdown: AtomicBool,
+    /// The terminal Failed state (set together with `shutdown`, under
+    /// the queue lock, by [`enter_failed_state`]): replica restarts
+    /// exhausted, every queued request failed, `submit` rejects.
+    failed: AtomicBool,
+    counters: Arc<ServeCounters>,
     stats: Mutex<StatsInner>,
     /// The published-weights cell replicas poll at batch boundaries.
     swap: Arc<HotSwap>,
@@ -492,6 +685,8 @@ impl BatchingFrontend {
             queue_cv: Condvar::new(),
             space_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            counters: Arc::new(ServeCounters::default()),
             stats: Mutex::new(StatsInner::default()),
             swap: Arc::new(HotSwap::new()),
             sample_elems: sessions[0].sample_elems(),
@@ -505,6 +700,12 @@ impl BatchingFrontend {
                 Vec::new()
             }),
         });
+        let initial_weights = weights.map(|w| Arc::new(w.clone()));
+        let restart = RestartPolicy {
+            max_attempts: cfg.max_restart_attempts,
+            backoff: cfg.restart_backoff,
+            cap: cfg.restart_backoff_cap,
+        };
         let mut txs = Vec::with_capacity(cfg.replicas);
         let mut workers = Vec::with_capacity(cfg.replicas);
         for (r, session) in sessions.into_iter().enumerate() {
@@ -514,6 +715,17 @@ impl BatchingFrontend {
             let (tx, rx) = sync_channel::<Vec<Pending>>(1);
             let sh = Arc::clone(&shared);
             let pin = cfg.pin_replicas.then_some(r * cfg.threads_per_replica);
+            let factory = ReplicaFactory {
+                spec: spec.clone(),
+                minibatch: cfg.minibatch,
+                threads: cfg.threads_per_replica,
+                pin_offset: pin,
+                pool_name: format!("serve-r{r}"),
+                cache: cache.clone(),
+                tune: cfg.tune,
+                precision: cfg.precision,
+                initial_weights: initial_weights.clone(),
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("serve-replica-{r}"))
                 .spawn(move || {
@@ -522,7 +734,7 @@ impl BatchingFrontend {
                     if let Some(core) = pin {
                         pin_current_thread(core);
                     }
-                    replica_loop(session, rx, sh);
+                    replica_loop(session, rx, sh, factory, restart);
                 })
                 .map_err(|e| Error::Serve(format!("spawn replica {r}: {e}")))?;
             txs.push(tx);
@@ -594,7 +806,7 @@ impl BatchingFrontend {
                 probs: vec![0.0; count * self.shared.classes],
                 top1: vec![0; count],
                 remaining: count,
-                failed: false,
+                failed: None,
             }),
             cv: Condvar::new(),
         });
@@ -607,24 +819,31 @@ impl BatchingFrontend {
                 index: i,
                 enqueued: Instant::now(),
                 done: false,
+                fail_reason: FailReason::Shutdown,
+                counters: Arc::clone(&self.shared.counters),
             })
             .collect();
         let deadline = Instant::now() + admission_wait;
         {
             let mut q = self.shared.queue.lock().unwrap();
             loop {
-                // checked under the queue lock: the failure path sets
-                // the flag and clears the queue under this same lock,
-                // so a request can never slip in behind the drained
-                // dispatcher and strand its client
+                // checked under the queue lock: the failure paths set
+                // their flags and clear the queue under this same
+                // lock, so a request can never slip in behind the
+                // drained dispatcher and strand its client
                 if self.shared.shutdown.load(Ordering::Acquire) {
                     // dropping `pendings` would poison the fresh slot
                     // and mark the request failed — return the typed
                     // error directly instead
                     pendings.iter_mut().for_each(|p| p.done = true);
-                    return Err(Error::Serve(
-                        "frontend is shut down; new requests would never complete".to_string(),
-                    ));
+                    let failed = self.shared.failed.load(Ordering::Acquire);
+                    return Err(Error::Serve(if failed {
+                        "frontend is in the terminal Failed state (replica restarts \
+                         exhausted); rebuild the frontend"
+                            .to_string()
+                    } else {
+                        "frontend is shut down; new requests would never complete".to_string()
+                    }));
                 }
                 if q.len() + count <= self.shared.queue_cap {
                     break;
@@ -651,7 +870,7 @@ impl BatchingFrontend {
             s.requests += 1;
             s.images += count;
         }
-        Ok(PendingRequest { slot, count })
+        Ok(PendingRequest { slot, count, counters: Arc::clone(&self.shared.counters) })
     }
 
     /// Submit and block: `submit(images)?.wait()`.
@@ -757,6 +976,15 @@ impl BatchingFrontend {
         self.shared.queue_cap
     }
 
+    /// True once the frontend has entered the terminal Failed state
+    /// (consecutive replica rebuilds exhausted — see the
+    /// [module docs](self)). [`Self::submit`] rejects with a typed
+    /// [`Error::Serve`] from then on; the only recovery is building a
+    /// new frontend.
+    pub fn failed(&self) -> bool {
+        self.shared.failed.load(Ordering::Acquire)
+    }
+
     /// Snapshot the serving counters (latency percentiles cover
     /// completed samples only).
     pub fn stats(&self) -> ServerStats {
@@ -807,6 +1035,11 @@ impl BatchingFrontend {
             weight_generation: self.shared.swap.generation(),
             reloads: s.reloads,
             reload_failures: s.reload_failures,
+            replica_panics: self.shared.counters.replica_panics.load(Ordering::Relaxed),
+            replica_restarts: self.shared.counters.replica_restarts.load(Ordering::Relaxed),
+            requests_failed: self.shared.counters.requests_failed.load(Ordering::Relaxed),
+            request_timeouts: self.shared.counters.request_timeouts.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Acquire),
             p50_latency: pct(0.50),
             p99_latency: pct(0.99),
             caches: self.cache.combined_stats(),
@@ -819,6 +1052,11 @@ impl BatchingFrontend {
     /// occupancy describe only the measured traffic.
     pub fn reset_stats(&self) {
         *self.shared.stats.lock().unwrap() = StatsInner::default();
+        let c = &self.shared.counters;
+        c.replica_panics.store(0, Ordering::Relaxed);
+        c.replica_restarts.store(0, Ordering::Relaxed);
+        c.requests_failed.store(0, Ordering::Relaxed);
+        c.request_timeouts.store(0, Ordering::Relaxed);
     }
 
     /// Drain the queue, stop the dispatcher and every replica, and
@@ -848,10 +1086,126 @@ impl Drop for BatchingFrontend {
     }
 }
 
-/// The dispatcher: form batches (full, or partial at the deadline /
-/// shutdown) and hand them to replicas round-robin.
+/// Everything a replica thread needs to rebuild its session after a
+/// panic: the spec, the pool shape, the shared plan cache, and the
+/// initial weights (used only until the first hot-swap publish — a
+/// rebuild always prefers the freshest published generation).
+struct ReplicaFactory {
+    spec: ModelSpec,
+    minibatch: usize,
+    threads: usize,
+    pin_offset: Option<usize>,
+    pool_name: String,
+    cache: PlanCache,
+    tune: conv::TuneLevel,
+    precision: Precision,
+    initial_weights: Option<Arc<StateDict>>,
+}
+
+impl ReplicaFactory {
+    /// Rebuild a crashed replica's session from scratch: fresh thread
+    /// pool (same name/pinning — the old pool may have died with the
+    /// panic), a session planned through the shared cache (so the
+    /// rebuild costs no new JIT of already-planned shapes), the
+    /// current weights, and re-calibration at int8. Returns the
+    /// session and the weight generation it serves.
+    fn rebuild(&self, shared: &Shared) -> Result<(InferenceSession, u64), Error> {
+        fault::point("replica.rebuild");
+        let mut opts = PoolOptions::new(self.threads).with_name(self.pool_name.clone());
+        opts = match self.pin_offset {
+            Some(off) => opts.with_core_offset(off),
+            None => opts.without_pinning(),
+        };
+        let pool = Arc::new(ThreadPool::with_options(opts));
+        let mut session = InferenceSession::with_shared_quantized(
+            &self.spec,
+            self.minibatch,
+            pool,
+            self.cache.clone(),
+            self.tune,
+            self.precision,
+        )?;
+        let (published, gen) = shared.swap.snapshot();
+        if let Some(sd) = &published {
+            session.load_state_dict(sd)?;
+        } else if let Some(sd) = &self.initial_weights {
+            session.load_state_dict(sd)?;
+        }
+        if !shared.calibration.is_empty() {
+            let n = shared.calibration.len() / shared.sample_elems;
+            session.calibrate(&shared.calibration, n)?;
+        }
+        Ok((session, gen))
+    }
+}
+
+/// The replica restart policy of [`ServeConfig::with_restart_policy`].
+#[derive(Clone, Copy)]
+struct RestartPolicy {
+    max_attempts: usize,
+    backoff: Duration,
+    cap: Duration,
+}
+
+/// Put the frontend into the terminal Failed state: flag it and drain
+/// the queue under the queue lock (so no submit can slip in behind
+/// the drain), then poison every drained request and wake everyone —
+/// admission waiters, the dispatcher, and clients blocked in `wait`.
+/// Idempotent; callable from any serving thread.
+fn enter_failed_state(shared: &Shared) {
+    let drained: Vec<Pending> = {
+        let mut q = shared.queue.lock().unwrap();
+        shared.failed.store(true, Ordering::Release);
+        shared.shutdown.store(true, Ordering::Release);
+        q.drain(..).collect()
+    };
+    // dropping outside the queue lock: each Pending takes its slot
+    // lock to poison the request
+    drop(drained);
+    shared.queue_cv.notify_all();
+    shared.space_cv.notify_all();
+}
+
+/// Sleep for `total`, waking early (in ≤25ms slices) if the frontend
+/// shuts down — a replica in restart backoff must not stall teardown.
+fn sleep_unless_shutdown(shared: &Shared, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        std::thread::sleep((deadline - now).min(Duration::from_millis(25)));
+    }
+}
+
+/// The dispatcher's supervisor: run [`dispatch_batches`] until clean
+/// shutdown, restarting it after a caught panic. A dispatcher panic
+/// fails only the batch in hand (its `Pending`s unwind and poison
+/// their requests); the dispatcher owns no session, so the restart
+/// itself is free and unlimited.
 fn dispatcher_loop(shared: Arc<Shared>, txs: Vec<SyncSender<Vec<Pending>>>, max_wait: Duration) {
     let mut rr = 0usize;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| dispatch_batches(&shared, &txs, max_wait, &mut rr)))
+        {
+            Ok(()) => return,
+            Err(_) => {
+                shared.counters.replica_panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One dispatcher incarnation: form batches (full, or partial at the
+/// deadline / shutdown) and hand them to replicas round-robin.
+/// Returns on shutdown; panics propagate to [`dispatcher_loop`].
+fn dispatch_batches(
+    shared: &Shared,
+    txs: &[SyncSender<Vec<Pending>>],
+    max_wait: Duration,
+    rr: &mut usize,
+) {
     loop {
         let (batch, flushed_early) = {
             let mut q = shared.queue.lock().unwrap();
@@ -881,7 +1235,13 @@ fn dispatcher_loop(shared: Arc<Shared>, txs: Vec<SyncSender<Vec<Pending>>>, max_
                 continue; // spurious wakeup
             }
             let take = q.len().min(shared.minibatch);
-            let batch: Vec<Pending> = q.drain(..take).collect();
+            let mut batch: Vec<Pending> = q.drain(..take).collect();
+            // from here until a replica owns the batch, a dispatcher
+            // panic kills it — poison as a pipeline panic, not as a
+            // shutdown drain
+            for p in &mut batch {
+                p.fail_reason = FailReason::ReplicaPanic;
+            }
             // a partial batch drained at shutdown is not a *deadline*
             // flush — don't let teardown skew the batching stats
             let flushed_early = batch.len() < shared.minibatch && !draining;
@@ -897,30 +1257,87 @@ fn dispatcher_loop(shared: Arc<Shared>, txs: Vec<SyncSender<Vec<Pending>>>, max_
                 s.deadline_flushes += 1;
             }
         }
+        fault::point("dispatcher.batch");
         // round-robin over replicas; `send` blocks when the target is
         // busy (bound-1 channel), which is the frontend's backpressure
-        if txs[rr].send(batch).is_err() {
-            // a replica died: stop accepting work and abandon whatever
-            // is still queued — dropping the Pendings poisons their
+        if txs[*rr].send(batch).is_err() {
+            // a replica's receiver is gone — it exhausted its restart
+            // budget (or exited terminally some other way), so the
+            // frontend cannot promise capacity any more: enter the
+            // terminal Failed state. The batch inside the SendError
+            // and everything still queued drop and poison their
             // request slots, so every waiting client wakes and fails
-            // instead of hanging (the batch inside the SendError is
-            // dropped the same way). Flag and drain under the queue
-            // lock so `submit` can't enqueue behind the drain.
-            let mut q = shared.queue.lock().unwrap();
-            shared.shutdown.store(true, Ordering::Release);
-            q.clear();
-            drop(q);
-            // admission waiters must observe the shutdown, not block
-            // out their full admission timeout
-            shared.space_cv.notify_all();
+            // instead of hanging.
+            enter_failed_state(shared);
             return;
         }
-        rr = (rr + 1) % txs.len();
+        *rr = (*rr + 1) % txs.len();
     }
 }
 
-/// One replica: execute batches on the owned session and route every
-/// sample's result back to its request slot.
+/// A replica thread's supervisor: run [`serve_batches`] on the owned
+/// session until clean shutdown; on a caught panic, count it and
+/// rebuild the session through the [`ReplicaFactory`] under capped
+/// exponential backoff. Consecutive rebuild failures beyond the
+/// [`RestartPolicy`] budget put the whole frontend into the terminal
+/// Failed state (see the [module docs](self)).
+fn replica_loop(
+    session: InferenceSession,
+    rx: Receiver<Vec<Pending>>,
+    shared: Arc<Shared>,
+    factory: ReplicaFactory,
+    restart: RestartPolicy,
+) {
+    let mut flat = vec![0.0f32; shared.minibatch * shared.sample_elems];
+    let mut session = session;
+    let mut weight_gen = 0u64;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_batches(&mut session, &rx, &shared, &mut weight_gen, &mut flat)
+        }));
+        if outcome.is_ok() {
+            return; // channel closed: orderly shutdown
+        }
+        // the panic unwound the in-flight batch inside serve_batches:
+        // its Pendings dropped and poisoned their requests as
+        // ReplicaPanic. Only that batch is lost — rebuild and go on.
+        shared.counters.replica_panics.fetch_add(1, Ordering::Relaxed);
+        let mut attempts = 0usize;
+        let mut delay = restart.backoff;
+        loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                // teardown (or another thread's terminal failure) won
+                // the race — dropping `rx` fails whatever batch is
+                // still parked in the channel instead of serving it
+                return;
+            }
+            if attempts >= restart.max_attempts {
+                enter_failed_state(&shared);
+                return;
+            }
+            sleep_unless_shutdown(&shared, delay);
+            attempts += 1;
+            match catch_unwind(AssertUnwindSafe(|| factory.rebuild(&shared))) {
+                Ok(Ok((fresh, gen))) => {
+                    // assignment drops the crashed session (and its
+                    // pool) now that the replacement is live
+                    session = fresh;
+                    weight_gen = gen;
+                    shared.counters.replica_restarts.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Ok(Err(_)) | Err(_) => {
+                    delay = (delay * 2).min(restart.cap);
+                }
+            }
+        }
+    }
+}
+
+/// One replica incarnation: execute batches on the owned session and
+/// route every sample's result back to its request slot. Returns when
+/// the dispatcher closes the channel; panics propagate to
+/// [`replica_loop`], which fails the in-flight batch and rebuilds.
 ///
 /// Between batches the replica polls the shared [`HotSwap`] cell (one
 /// `Acquire` load); when a new weight generation has been published it
@@ -928,13 +1345,23 @@ fn dispatcher_loop(shared: Arc<Shared>, txs: Vec<SyncSender<Vec<Pending>>>, max_
 /// the batch. The batch that triggered the poll therefore runs
 /// entirely on the *new* weights, and the previous batch ran entirely
 /// on the old ones: a swap never tears a batch.
-fn replica_loop(mut session: InferenceSession, rx: Receiver<Vec<Pending>>, shared: Arc<Shared>) {
+fn serve_batches(
+    session: &mut InferenceSession,
+    rx: &Receiver<Vec<Pending>>,
+    shared: &Shared,
+    weight_gen: &mut u64,
+    flat: &mut [f32],
+) {
     let se = shared.sample_elems;
     let classes = shared.classes;
-    let mut flat = vec![0.0f32; shared.minibatch * se];
-    let mut weight_gen = 0u64;
-    while let Ok(batch) = rx.recv() {
-        if shared.swap.generation() != weight_gen {
+    while let Ok(mut batch) = rx.recv() {
+        // from here until delivery, a panic dies with this batch —
+        // upgrade the poison before anything fallible runs
+        for p in &mut batch {
+            p.fail_reason = FailReason::ReplicaPanic;
+        }
+        fault::point("replica.batch");
+        if shared.swap.generation() != *weight_gen {
             let (published, gen) = shared.swap.snapshot();
             if let Some(sd) = published {
                 // schema-validated at publish time; a residual
@@ -951,7 +1378,7 @@ fn replica_loop(mut session: InferenceSession, rx: Receiver<Vec<Pending>>, share
                     }
                 }
             }
-            weight_gen = gen;
+            *weight_gen = gen;
         }
         let n = batch.len();
         for (i, p) in batch.iter().enumerate() {
@@ -963,13 +1390,20 @@ fn replica_loop(mut session: InferenceSession, rx: Receiver<Vec<Pending>>, share
         let done = Instant::now();
         let mut latencies = Vec::with_capacity(n);
         for (i, mut p) in batch.into_iter().enumerate() {
-            latencies.push(done.duration_since(p.enqueued).as_micros() as u64);
             let mut g = p.slot.inner.lock().unwrap();
+            if g.failed.is_some() {
+                // the waiter cancelled (deadline) or a sibling sample
+                // already poisoned the request — drop the late result
+                // instead of writing into a slot nobody will read
+                p.done = true;
+                continue;
+            }
             g.probs[p.index * classes..(p.index + 1) * classes]
                 .copy_from_slice(&out.probs[i * classes..(i + 1) * classes]);
             g.top1[p.index] = out.top1[i];
             g.remaining -= 1;
             p.done = true;
+            latencies.push(done.duration_since(p.enqueued).as_micros() as u64);
             if g.remaining == 0 {
                 drop(g);
                 p.slot.cv.notify_all();

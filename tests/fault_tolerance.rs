@@ -1,0 +1,225 @@
+//! Fault-tolerance surface that runs without the `chaos` feature:
+//! deadline-bounded waits (typed `Error::Timeout`, slot cancellation,
+//! late-result drop), the new failure counters, client read
+//! timeouts against a mute server, and `RetryPolicy` — deterministic
+//! backoff schedules and transparent reconnect after a pre-response
+//! connection loss. The panic-injection e2e lives in `tests/chaos.rs`
+//! (`--features chaos`).
+
+use anatomy::daemon::codec::{write_frame, FrameReader};
+use anatomy::daemon::protocol::{
+    encode_hello_ok, encode_stats_ok, FrameType, DEFAULT_MAX_FRAME_LEN, VERSION,
+};
+use anatomy::daemon::{Client, ClientConfig, RetryPolicy};
+use anatomy::serve::{BatchingFrontend, ServeConfig};
+use anatomy::Error;
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+fn tiny_topology() -> &'static str {
+    "input name=data c=3 h=8 w=8\n\
+     conv name=c1 bottom=data k=16 r=3 s=3 pad=1 bias=1 relu=1\n\
+     gap name=g bottom=c1\n\
+     fc name=logits bottom=g k=5\n\
+     softmaxloss name=loss bottom=logits\n"
+}
+
+const SAMPLE: usize = 3 * 8 * 8;
+
+#[test]
+fn wait_timeout_cancels_and_late_results_are_dropped() {
+    // minibatch 4 with a generous flush deadline: a lone sample sits
+    // in the queue long enough for the waiter to give up first
+    let cfg = ServeConfig::new(1, 1, 4).with_max_wait(Duration::from_millis(200));
+    let frontend = BatchingFrontend::new(tiny_topology(), cfg).unwrap();
+    let image = vec![0.25f32; SAMPLE];
+
+    let pending = frontend.submit(&image).unwrap();
+    let before = Instant::now();
+    let err = pending.wait_timeout(Duration::from_millis(10)).unwrap_err();
+    assert!(before.elapsed() < Duration::from_millis(150), "timeout must not overshoot");
+    match err {
+        Error::Timeout { waited } => assert!(waited >= Duration::from_millis(10)),
+        other => panic!("expected Error::Timeout, got {other:?}"),
+    }
+
+    // the deadline flush eventually serves the cancelled slot — the
+    // late result must be dropped, and the frontend must stay healthy
+    std::thread::sleep(Duration::from_millis(400));
+    let out = frontend.infer(&image).unwrap();
+    assert_eq!(out.top1.len(), 1);
+
+    let stats = frontend.shutdown();
+    assert_eq!(stats.request_timeouts, 1, "the expired wait must be counted");
+    assert_eq!(stats.requests_failed, 0, "a cancel is not a serving-side failure");
+    assert_eq!(stats.replica_panics, 0);
+    assert_eq!(stats.replica_restarts, 0);
+    assert!(!stats.failed);
+}
+
+#[test]
+fn wait_deadline_in_the_past_times_out_immediately() {
+    let cfg = ServeConfig::new(1, 1, 4).with_max_wait(Duration::from_millis(100));
+    let frontend = BatchingFrontend::new(tiny_topology(), cfg).unwrap();
+    let image = vec![0.5f32; SAMPLE];
+    let pending = frontend.submit(&image).unwrap();
+    let err = pending.wait_deadline(Instant::now() - Duration::from_millis(1)).unwrap_err();
+    assert!(matches!(err, Error::Timeout { .. }));
+    assert_eq!(frontend.stats().request_timeouts, 1);
+}
+
+#[test]
+fn healthy_frontend_reports_zeroed_failure_counters() {
+    let cfg = ServeConfig::new(1, 1, 2).with_max_wait(Duration::from_millis(1));
+    let frontend = BatchingFrontend::new(tiny_topology(), cfg).unwrap();
+    assert!(!frontend.failed());
+    let out = frontend.infer(&vec![0.1f32; SAMPLE]).unwrap();
+    assert_eq!(out.top1.len(), 1);
+    let stats = frontend.shutdown();
+    assert_eq!((stats.replica_panics, stats.replica_restarts, stats.requests_failed), (0, 0, 0));
+    assert!(!stats.failed);
+}
+
+#[test]
+fn restart_policy_builder_sets_the_knobs() {
+    let cfg = ServeConfig::new(1, 1, 2).with_restart_policy(
+        7,
+        Duration::from_millis(3),
+        Duration::from_millis(90),
+    );
+    assert_eq!(cfg.max_restart_attempts, 7);
+    assert_eq!(cfg.restart_backoff, Duration::from_millis(3));
+    assert_eq!(cfg.restart_backoff_cap, Duration::from_millis(90));
+    // defaults exist and are sane
+    let d = ServeConfig::new(1, 1, 2);
+    assert!(d.max_restart_attempts >= 1);
+    assert!(d.restart_backoff <= d.restart_backoff_cap);
+}
+
+#[test]
+fn backoff_schedule_is_deterministic_jittered_and_capped() {
+    let p = RetryPolicy {
+        max_attempts: 8,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(80),
+        jitter_seed: 42,
+        retry_server_failures: false,
+    };
+    let a = p.backoff_schedule(7);
+    let b = p.backoff_schedule(7);
+    assert_eq!(a, b, "same seed must reproduce the schedule exactly");
+
+    let other = RetryPolicy { jitter_seed: 0xBEEF, ..p.clone() };
+    assert_ne!(a, other.backoff_schedule(7), "different seeds must desynchronize");
+
+    // jitter keeps each delay in [base/2, base] of its exponential
+    // step, and the cap bounds the tail
+    let mut base = p.base_delay;
+    for d in &a {
+        assert!(*d >= base / 2 && *d <= base, "jitter range violated: {d:?} vs base {base:?}");
+        base = (base * 2).min(p.max_delay);
+    }
+    assert!(a.last().unwrap() <= &p.max_delay);
+}
+
+/// A server that accepts but never answers: a configured read
+/// timeout must surface as a typed `Error::Timeout`, not a hang.
+#[test]
+fn client_read_timeout_against_a_mute_server_is_typed() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // hold the connection open (drain whatever arrives) until the
+        // client gives up and closes
+        let mut buf = [0u8; 256];
+        while matches!(stream.read(&mut buf), Ok(n) if n > 0) {}
+    });
+    let started = Instant::now();
+    let err = match Client::connect_with(
+        addr,
+        ClientConfig::new().with_read_timeout(Duration::from_millis(120)),
+    ) {
+        Ok(_) => panic!("handshake against a mute server must not succeed"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, Error::Timeout { .. }), "got {err:?}");
+    assert!(started.elapsed() >= Duration::from_millis(120));
+    assert!(started.elapsed() < Duration::from_secs(5), "must not block unboundedly");
+    server.join().unwrap();
+}
+
+/// Minimal protocol-v1 server half for the retry tests: handshake,
+/// then `n_requests` served with the supplied responder.
+fn fake_server_conn(
+    stream: &mut TcpStream,
+    n_requests: usize,
+    respond: impl Fn(&mut TcpStream, u32, FrameType),
+) {
+    let mut reader = FrameReader::new(DEFAULT_MAX_FRAME_LEN);
+    let hello = reader.read_frame(stream).unwrap();
+    assert_eq!(hello.ty, FrameType::Hello);
+    write_frame(stream, FrameType::HelloOk, hello.id, &encode_hello_ok(VERSION, "fake")).unwrap();
+    for _ in 0..n_requests {
+        let req = reader.read_frame(stream).unwrap();
+        respond(stream, req.id, req.ty);
+    }
+}
+
+/// A server that dies before answering the first request: the retry
+/// policy must reconnect (fresh handshake included) and complete the
+/// request on the second connection.
+#[test]
+fn retry_reconnects_after_pre_response_connection_loss() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        // connection 1: handshake, swallow one request, close —
+        // strictly pre-response, so the client may retry
+        let (mut s, _) = listener.accept().unwrap();
+        fake_server_conn(&mut s, 1, |_, _, _| {});
+        drop(s);
+        // connection 2: full service
+        let (mut s, _) = listener.accept().unwrap();
+        fake_server_conn(&mut s, 1, |stream, id, ty| {
+            assert_eq!(ty, FrameType::Stats);
+            write_frame(stream, FrameType::StatsOk, id, &encode_stats_ok("serve_models 0\n"))
+                .unwrap();
+        });
+    });
+    let mut client = Client::connect_with(
+        addr,
+        ClientConfig::new().with_timeouts(Duration::from_secs(10)).with_retry(RetryPolicy {
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(5),
+            ..RetryPolicy::default()
+        }),
+    )
+    .unwrap();
+    let text = client.stats(None).unwrap();
+    assert!(text.contains("serve_models"));
+    server.join().unwrap();
+}
+
+/// Without a retry policy the same pre-response loss is surfaced to
+/// the caller as a typed error — no silent retry.
+#[test]
+fn no_retry_policy_means_no_silent_retry() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        fake_server_conn(&mut s, 1, |_, _, _| {});
+        drop(s);
+    });
+    let mut client =
+        Client::connect_with(addr, ClientConfig::new().with_timeouts(Duration::from_secs(10)))
+            .unwrap();
+    let err = client.stats(None).unwrap_err();
+    assert!(
+        matches!(err, Error::Serve(_) | Error::Io(_)),
+        "pre-response loss must be a typed transport error, got {err:?}"
+    );
+    server.join().unwrap();
+}
